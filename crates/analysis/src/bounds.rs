@@ -1,0 +1,167 @@
+//! Theoretical lower bounds on the communication time.
+//!
+//! The paper compares the measured ratios against the diameter ratio of
+//! Eq. (3); these bounds make that comparison per-configuration. They are
+//! conservative (valid for *any* behaviour), so measured/bound gives an
+//! upper estimate of how far the evolved agents are from optimal.
+
+use a2a_grid::{torus_distance, GridKind, Lattice};
+use a2a_sim::InitialConfig;
+
+/// A per-configuration lower bound on `t_comm`, for any agent behaviour.
+///
+/// An information bit travels at most one hop per exchange; its carriers
+/// move at most one cell per step; and the receiving agent moves at most
+/// one cell towards it per step. The pairwise "gap" therefore closes by
+/// at most 3 per counted step, and the free placement exchange already
+/// covers distance 1:
+///
+/// `t_comm ≥ max_{i,j} ⌈(d(i, j) − 1) / 3⌉`.
+///
+/// The bound is loose in crowded fields (blocked agents cannot move; the
+/// fully packed field actually needs `D − 1` steps) but tight in spirit
+/// for sparse ones: it scales with the grid diameter, which is the
+/// paper's explanation of the T/S speed-up.
+///
+/// # Panics
+///
+/// Panics if the lattice is not a torus or a placement lies outside it.
+#[must_use]
+pub fn diffusion_lower_bound(lattice: Lattice, kind: GridKind, init: &InitialConfig) -> u32 {
+    let mut max_d = 0u32;
+    let placements = init.placements();
+    for (a, &(pa, _)) in placements.iter().enumerate() {
+        for &(pb, _) in placements.iter().skip(a + 1) {
+            max_d = max_d.max(torus_distance(lattice, kind, pa, pb));
+        }
+    }
+    max_d.saturating_sub(1).div_ceil(3)
+}
+
+/// The stationary-agent bound: if no agent ever moved, bit `i` reaches
+/// agent `j` only through chains of adjacent agents, one hop per step.
+/// Returns `None` when the occupancy graph is disconnected (the task is
+/// then unsolvable without movement) — which is the normal sparse case
+/// and the reason the agents must move at all.
+///
+/// # Panics
+///
+/// Panics if a placement lies outside the lattice.
+#[must_use]
+pub fn stationary_time(lattice: Lattice, kind: GridKind, init: &InitialConfig) -> Option<u32> {
+    let placements = init.placements();
+    let k = placements.len();
+    let mut occupied = vec![usize::MAX; lattice.len()];
+    for (i, &(p, _)) in placements.iter().enumerate() {
+        occupied[lattice.index_of(p)] = i;
+    }
+    // BFS over the agent-adjacency graph from each agent; the answer is
+    // the graph's diameter minus the free placement exchange.
+    let mut ecc_max = 0u32;
+    for start in 0..k {
+        let mut dist = vec![u32::MAX; k];
+        dist[start] = 0;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(i) = queue.pop_front() {
+            for n in lattice.neighbors(placements[i].0, kind) {
+                let j = occupied[lattice.index_of(n)];
+                if j != usize::MAX && dist[j] == u32::MAX {
+                    dist[j] = dist[i] + 1;
+                    queue.push_back(j);
+                }
+            }
+        }
+        let ecc = *dist.iter().max().expect("k >= 1");
+        if ecc == u32::MAX {
+            return None;
+        }
+        ecc_max = ecc_max.max(ecc);
+    }
+    Some(ecc_max.saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_grid::{Dir, Pos};
+
+    fn torus16() -> Lattice {
+        Lattice::torus(16, 16)
+    }
+
+    #[test]
+    fn adjacent_agents_have_zero_bound() {
+        let init = InitialConfig::new(vec![
+            (Pos::new(0, 0), Dir::new(0)),
+            (Pos::new(1, 0), Dir::new(0)),
+        ]);
+        assert_eq!(diffusion_lower_bound(torus16(), GridKind::Square, &init), 0);
+        assert_eq!(stationary_time(torus16(), GridKind::Square, &init), Some(0));
+    }
+
+    #[test]
+    fn antipodal_pair_bound() {
+        // Distance 16 in S (8 + 8 across the torus) ⇒ ⌈15/3⌉ = 5.
+        let init = InitialConfig::new(vec![
+            (Pos::new(0, 0), Dir::new(0)),
+            (Pos::new(8, 8), Dir::new(0)),
+        ]);
+        assert_eq!(diffusion_lower_bound(torus16(), GridKind::Square, &init), 5);
+        // In T the same pair is at hexagonal distance 8 ⇒ ⌈7/3⌉ = 3.
+        assert_eq!(diffusion_lower_bound(torus16(), GridKind::Triangulate, &init), 3);
+    }
+
+    #[test]
+    fn t_bound_never_exceeds_s_bound() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let init =
+                InitialConfig::random(torus16(), GridKind::Square, 8, &[], &mut rng).unwrap();
+            let s = diffusion_lower_bound(torus16(), GridKind::Square, &init);
+            let t = diffusion_lower_bound(torus16(), GridKind::Triangulate, &init);
+            assert!(t <= s, "T distances dominate S distances");
+        }
+    }
+
+    #[test]
+    fn fully_packed_stationary_time_is_diameter_minus_one() {
+        // The packed field cannot move, so the stationary bound is exact
+        // there: D − 1 counted steps (Table 1's k = 256 values).
+        let lattice = torus16();
+        let placements: Vec<_> = lattice.positions().map(|p| (p, Dir::new(0))).collect();
+        let init = InitialConfig::new(placements);
+        assert_eq!(stationary_time(lattice, GridKind::Square, &init), Some(15));
+        assert_eq!(stationary_time(lattice, GridKind::Triangulate, &init), Some(9));
+    }
+
+    #[test]
+    fn sparse_agents_are_stationary_disconnected() {
+        let init = InitialConfig::new(vec![
+            (Pos::new(0, 0), Dir::new(0)),
+            (Pos::new(5, 5), Dir::new(0)),
+        ]);
+        assert_eq!(stationary_time(torus16(), GridKind::Square, &init), None);
+    }
+
+    #[test]
+    fn bound_is_actually_a_lower_bound_for_the_best_agents() {
+        use a2a_fsm::best_agent;
+        use a2a_sim::{simulate, WorldConfig};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let cfg = WorldConfig::paper(kind, 16);
+            let mut rng = SmallRng::seed_from_u64(11);
+            for _ in 0..15 {
+                let init =
+                    InitialConfig::random(cfg.lattice, kind, 4, &[], &mut rng).unwrap();
+                let bound = diffusion_lower_bound(cfg.lattice, kind, &init);
+                let out = simulate(&cfg, best_agent(kind), &init, 3000).unwrap();
+                let t = out.t_comm.expect("best agents are reliable");
+                assert!(t >= bound, "{kind}: measured {t} < bound {bound}");
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! ASCII line charts for terminal reproduction of the paper's figures
+//! (Fig. 5's two-series density plot in particular).
+
+use std::fmt;
+
+/// X-axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XScale {
+    /// Linear positions.
+    Linear,
+    /// Logarithmic positions (base 2) — natural for the paper's agent
+    /// counts `2, 4, 8, …, 256`.
+    Log2,
+}
+
+/// A plotted series: a label, a plotting glyph and the data points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Mark used on the canvas (e.g. `T` / `S` like the paper's curves).
+    pub glyph: char,
+    /// `(x, y)` points, in any order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, glyph: char, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), glyph, points }
+    }
+}
+
+/// A fixed-size ASCII chart.
+///
+/// # Examples
+///
+/// ```
+/// use a2a_analysis::{AsciiChart, Series, XScale};
+///
+/// let chart = AsciiChart::new(40, 10, XScale::Log2)
+///     .series(Series::new("T-grid", 'T', vec![(2.0, 58.4), (4.0, 78.3), (8.0, 58.7)]))
+///     .series(Series::new("S-grid", 'S', vec![(2.0, 82.8), (4.0, 116.1), (8.0, 90.9)]));
+/// let out = chart.to_string();
+/// assert!(out.contains('T') && out.contains('S'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    x_scale: XScale,
+    series: Vec<Series>,
+}
+
+impl AsciiChart {
+    /// Creates an empty chart of the given canvas size (excluding axis
+    /// labels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 8` or `height < 4` (too small to plot).
+    #[must_use]
+    pub fn new(width: usize, height: usize, x_scale: XScale) -> Self {
+        assert!(width >= 8 && height >= 4, "canvas too small to plot");
+        Self { width, height, x_scale, series: Vec::new() }
+    }
+
+    /// Adds a series (builder style).
+    #[must_use]
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    fn x_pos(&self, x: f64) -> f64 {
+        match self.x_scale {
+            XScale::Linear => x,
+            XScale::Log2 => x.max(f64::MIN_POSITIVE).log2(),
+        }
+    }
+
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut pts = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .map(|&(x, y)| (self.x_pos(x), y));
+        let first = pts.next()?;
+        let mut b = (first.0, first.0, first.1, first.1);
+        for (x, y) in pts {
+            b = (b.0.min(x), b.1.max(x), b.2.min(y), b.3.max(y));
+        }
+        Some(b)
+    }
+}
+
+impl fmt::Display for AsciiChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let Some((x_min, x_max, y_min, y_max)) = self.bounds() else {
+            return writeln!(f, "(empty chart)");
+        };
+        let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+        let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let cx = ((self.x_pos(x) - x_min) / x_span * (self.width - 1) as f64).round()
+                    as usize;
+                let cy = ((y - y_min) / y_span * (self.height - 1) as f64).round() as usize;
+                // y grows upward: row 0 is the top of the canvas.
+                canvas[self.height - 1 - cy][cx.min(self.width - 1)] = s.glyph;
+            }
+        }
+        for (r, row) in canvas.iter().enumerate() {
+            let y_label = if r == 0 {
+                format!("{y_max:>8.1}")
+            } else if r == self.height - 1 {
+                format!("{y_min:>8.1}")
+            } else {
+                " ".repeat(8)
+            };
+            writeln!(f, "{y_label} |{}", row.iter().collect::<String>())?;
+        }
+        writeln!(f, "{} +{}", " ".repeat(8), "-".repeat(self.width))?;
+        let x_lo = match self.x_scale {
+            XScale::Linear => x_min,
+            XScale::Log2 => x_min.exp2(),
+        };
+        let x_hi = match self.x_scale {
+            XScale::Linear => x_max,
+            XScale::Log2 => x_max.exp2(),
+        };
+        writeln!(
+            f,
+            "{}{x_lo:<10.0}{:>width$.0}",
+            " ".repeat(10),
+            x_hi,
+            width = self.width.saturating_sub(10)
+        )?;
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| format!("{} = {}", s.glyph, s.label))
+            .collect();
+        writeln!(f, "{}{}", " ".repeat(10), legend.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AsciiChart {
+        AsciiChart::new(40, 10, XScale::Log2)
+            .series(Series::new("T-grid", 'T', vec![(2.0, 58.4), (32.0, 28.1), (256.0, 9.0)]))
+            .series(Series::new("S-grid", 'S', vec![(2.0, 82.8), (32.0, 42.9), (256.0, 15.0)]))
+    }
+
+    #[test]
+    fn renders_marks_axes_and_legend() {
+        let out = sample().to_string();
+        assert!(out.contains('T') && out.contains('S'));
+        assert!(out.contains("T = T-grid"));
+        assert!(out.contains('|') && out.contains('+'));
+        // y-axis extremes labelled.
+        assert!(out.contains("82.8"));
+        assert!(out.contains("9.0"));
+    }
+
+    #[test]
+    fn log_scale_spreads_powers_of_two_evenly() {
+        let chart = AsciiChart::new(41, 5, XScale::Log2)
+            .series(Series::new("p", '*', vec![(2.0, 1.0), (16.0, 1.0), (128.0, 1.0)]));
+        let out = chart.to_string();
+        // The three marks sit on the bottom row, evenly spaced in log-x:
+        // columns 0, 20 and 40 of the canvas.
+        let bottom = out.lines().nth(4).unwrap();
+        let cols: Vec<usize> = bottom
+            .char_indices()
+            .filter(|&(_, c)| c == '*')
+            .map(|(i, _)| i - bottom.find('|').unwrap() - 1)
+            .collect();
+        assert_eq!(cols, vec![0, 20, 40]);
+    }
+
+    #[test]
+    fn empty_chart_is_harmless() {
+        let out = AsciiChart::new(20, 5, XScale::Linear).to_string();
+        assert!(out.contains("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_canvas_rejected() {
+        let _ = AsciiChart::new(4, 2, XScale::Linear);
+    }
+}

@@ -1,0 +1,102 @@
+//! E25 — evolving agents *for* bordered fields.
+//!
+//! The paper's earlier work found "environments with border are easier
+//! (faster) to solve" — for agents evolved in those environments. E15
+//! only tested the torus-evolved agents out of distribution; this
+//! experiment completes the claim by evolving border-native agents under
+//! the same budget and comparing each specialist in its home
+//! environment.
+
+use a2a_fsm::FsmSpec;
+use a2a_ga::{Evaluator, Evolution, FitnessReport, GaConfig};
+use a2a_grid::{GridKind, Lattice};
+use a2a_sim::{paper_config_set, SimError, WorldConfig};
+use serde::{Deserialize, Serialize};
+
+/// Home-environment comparison of torus- and border-evolved agents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BorderEvolution {
+    /// Grid family.
+    pub kind: GridKind,
+    /// Torus specialist evaluated on fresh torus fields.
+    pub torus_home: FitnessReport,
+    /// Border specialist evaluated on fresh bordered fields.
+    pub border_home: FitnessReport,
+    /// Torus specialist on bordered fields (the E15 cross-over).
+    pub torus_on_border: FitnessReport,
+    /// Border specialist on torus fields (the reverse cross-over).
+    pub border_on_torus: FitnessReport,
+}
+
+impl BorderEvolution {
+    /// The earlier-paper claim: the bordered environment is easier *for
+    /// its own specialist* than the torus is for its specialist.
+    #[must_use]
+    pub fn border_is_easier(&self) -> bool {
+        self.border_home.fitness < self.torus_home.fitness
+    }
+}
+
+/// Evolves one specialist per environment and cross-evaluates both.
+///
+/// # Errors
+///
+/// Propagates configuration-set construction failures.
+pub fn border_evolution(
+    kind: GridKind,
+    k: usize,
+    train_configs: usize,
+    generations: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<BorderEvolution, SimError> {
+    let torus_env = WorldConfig::paper(kind, 16);
+    let border_env = WorldConfig {
+        lattice: Lattice::bordered(16, 16),
+        ..WorldConfig::paper(kind, 16)
+    };
+    let mut specialists = Vec::with_capacity(2);
+    for env in [&torus_env, &border_env] {
+        let train = paper_config_set(env.lattice, kind, k, train_configs, seed)?;
+        let ga = Evolution::new(
+            FsmSpec::paper(kind),
+            Evaluator::new(env.clone(), train).with_threads(threads),
+            GaConfig::paper(generations, seed),
+        );
+        specialists.push(ga.run(|_| ()).best().genome.clone());
+    }
+    let fresh_eval = |env: &WorldConfig| -> Result<Evaluator, SimError> {
+        let fresh = paper_config_set(env.lattice, kind, k, train_configs.max(40), seed ^ 0xD008_u64)?;
+        Ok(Evaluator::new(env.clone(), fresh).with_t_max(2000).with_threads(threads))
+    };
+    let torus_eval = fresh_eval(&torus_env)?;
+    let border_eval = fresh_eval(&border_env)?;
+    Ok(BorderEvolution {
+        kind,
+        torus_home: torus_eval.evaluate(&specialists[0]),
+        border_home: border_eval.evaluate(&specialists[1]),
+        torus_on_border: border_eval.evaluate(&specialists[0]),
+        border_on_torus: torus_eval.evaluate(&specialists[1]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_evaluation_runs_and_specialists_work_at_home() {
+        let r = border_evolution(GridKind::Triangulate, 4, 10, 25, 3, 2).unwrap();
+        // Each specialist solves a majority of its home environment.
+        assert!(
+            r.torus_home.successes * 2 > r.torus_home.total,
+            "torus specialist at home: {:?}",
+            r.torus_home
+        );
+        assert!(
+            r.border_home.successes * 2 > r.border_home.total,
+            "border specialist at home: {:?}",
+            r.border_home
+        );
+    }
+}

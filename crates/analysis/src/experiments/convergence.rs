@@ -1,0 +1,120 @@
+//! E20 — GA heuristic comparison: mutation-only (the paper's choice)
+//! versus classical crossover+mutation, over several independent seeds.
+//!
+//! The paper: "We experimented with the classical crossover/mutation
+//! method. Then we found that mutation only gave us similar good
+//! results… It is subject to further research which heuristic is best to
+//! evolve state machines." This runner performs that research at
+//! configurable scale.
+
+use crate::stats::Summary;
+use a2a_fsm::FsmSpec;
+use a2a_ga::{Evaluator, Evolution, GaConfig, ReproductionStrategy};
+use a2a_grid::GridKind;
+use a2a_sim::{paper_config_set, SimError, WorldConfig};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated convergence behaviour of one strategy over several seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyReport {
+    /// Which strategy.
+    pub strategy: ReproductionStrategy,
+    /// Final best fitness per seed.
+    pub final_fitness: Summary,
+    /// Generation at which the best individual first became completely
+    /// successful, per seed (runs that never did are excluded).
+    pub success_generation: Option<Summary>,
+    /// How many of the seeds reached complete success.
+    pub runs_successful: usize,
+    /// Seeds run.
+    pub runs: usize,
+    /// Mean best-fitness trajectory (generation-indexed, averaged over
+    /// seeds).
+    pub mean_trajectory: Vec<f64>,
+}
+
+/// Runs `runs` independent evolutions per strategy and aggregates their
+/// convergence.
+///
+/// # Errors
+///
+/// Propagates configuration-set construction failures.
+pub fn compare_strategies(
+    kind: GridKind,
+    strategies: &[ReproductionStrategy],
+    runs: usize,
+    train_configs: usize,
+    generations: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<StrategyReport>, SimError> {
+    let env = WorldConfig::paper(kind, 16);
+    let mut reports = Vec::with_capacity(strategies.len());
+    for &strategy in strategies {
+        let mut finals = Vec::with_capacity(runs);
+        let mut success_gens = Vec::new();
+        let mut trajectory = vec![0.0f64; generations + 1];
+        for run in 0..runs {
+            let run_seed = seed.wrapping_add(run as u64 * 0x9E37_79B9);
+            let train = paper_config_set(env.lattice, kind, 8, train_configs, run_seed)?;
+            let ga = Evolution::new(
+                FsmSpec::paper(kind),
+                Evaluator::new(env.clone(), train).with_threads(threads),
+                GaConfig::with_strategy(generations, run_seed, strategy),
+            );
+            let outcome = ga.run(|_| ());
+            finals.push(outcome.best().report.fitness);
+            if let Some(s) = outcome.history.iter().find(|s| s.best_complete) {
+                success_gens.push(s.generation as f64);
+            }
+            for (slot, s) in trajectory.iter_mut().zip(&outcome.history) {
+                *slot += s.best_fitness;
+            }
+        }
+        for slot in &mut trajectory {
+            *slot /= runs as f64;
+        }
+        reports.push(StrategyReport {
+            strategy,
+            final_fitness: Summary::of(&finals).expect("runs >= 1"),
+            success_generation: Summary::of(&success_gens),
+            runs_successful: success_gens.len(),
+            runs,
+            mean_trajectory: trajectory,
+        });
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_aggregates_all_strategies() {
+        let reports = compare_strategies(
+            GridKind::Square,
+            &[
+                ReproductionStrategy::MutationOnly,
+                ReproductionStrategy::UniformCrossover,
+            ],
+            2,
+            8,
+            10,
+            5,
+            1,
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.runs, 2);
+            assert_eq!(r.mean_trajectory.len(), 11);
+            // Elitist pools: the mean best-fitness trajectory is
+            // non-increasing.
+            for w in r.mean_trajectory.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "{:?}", r.strategy);
+            }
+            assert!(r.runs_successful <= r.runs);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! E6 — Table 1 / Fig. 5: communication time vs. agent density in the
+//! T- and S-grids, plus arbitrary density sweeps (the same machinery runs
+//! the 33×33 comparison, E9, via a different extent/agent count).
+
+use crate::stats::Summary;
+use crate::table::{f2, f3, TextTable};
+use a2a_fsm::{best_agent, Genome};
+use a2a_ga::parallel_map;
+use a2a_grid::GridKind;
+use a2a_sim::{paper_config_set, simulate, SimError, WorldConfig};
+use serde::{Deserialize, Serialize};
+
+/// The agent counts of Table 1.
+pub const TABLE1_AGENT_COUNTS: [usize; 6] = [2, 4, 8, 16, 32, 256];
+
+/// Paper Table 1, T-grid row (16×16, 1003 configurations).
+pub const PAPER_TABLE1_T: [f64; 6] = [58.43, 78.30, 58.68, 41.25, 28.06, 9.00];
+
+/// Paper Table 1, S-grid row.
+pub const PAPER_TABLE1_S: [f64; 6] = [82.78, 116.12, 90.93, 63.39, 42.93, 15.00];
+
+/// Parameters of a density experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DensityExperiment {
+    /// Field extent (`m × m`).
+    pub m: u16,
+    /// Agent counts to sweep.
+    pub agent_counts: Vec<usize>,
+    /// Random configurations per count (paper: 1000, plus the manual 3).
+    pub n_random: usize,
+    /// Seed of the configuration stream.
+    pub seed: u64,
+    /// Verification horizon (generous, unlike evolution's 200).
+    pub t_max: u32,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl DensityExperiment {
+    /// The full Table 1 protocol: 16×16, `k ∈ {2,4,8,16,32,256}`,
+    /// 1000 random + manual configurations each.
+    #[must_use]
+    pub fn table1(seed: u64, threads: usize) -> Self {
+        Self {
+            m: 16,
+            agent_counts: TABLE1_AGENT_COUNTS.to_vec(),
+            n_random: 1000,
+            seed,
+            t_max: 5000,
+            threads,
+        }
+    }
+
+    /// A reduced protocol for quick runs and benches.
+    #[must_use]
+    pub fn quick(n_random: usize, seed: u64, threads: usize) -> Self {
+        Self { n_random, ..Self::table1(seed, threads) }
+    }
+}
+
+/// Results for one grid at one agent count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityPoint {
+    /// Agent count `k`.
+    pub agents: usize,
+    /// Summary of `t_comm` over the *successful* configurations.
+    pub times: Summary,
+    /// Solved configurations.
+    pub successes: usize,
+    /// Total configurations.
+    pub total: usize,
+}
+
+impl DensityPoint {
+    /// Whether every configuration was solved ("completely successful").
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.successes == self.total
+    }
+}
+
+/// One grid's series over all densities (a Fig. 5 curve).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSeries {
+    /// Which grid.
+    pub kind: GridKind,
+    /// One point per agent count.
+    pub points: Vec<DensityPoint>,
+}
+
+/// The full two-grid comparison (Table 1 / Fig. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityComparison {
+    /// Parameters that produced this result.
+    pub experiment: DensityExperiment,
+    /// T-grid series.
+    pub t_grid: GridSeries,
+    /// S-grid series.
+    pub s_grid: GridSeries,
+}
+
+impl DensityComparison {
+    /// The `T/S` mean-time ratios per agent count (Table 1's third row).
+    #[must_use]
+    pub fn ratios(&self) -> Vec<f64> {
+        self.t_grid
+            .points
+            .iter()
+            .zip(&self.s_grid.points)
+            .map(|(t, s)| t.times.mean / s.times.mean)
+            .collect()
+    }
+
+    /// Renders the paper's Table 1 layout (with our measured values).
+    #[must_use]
+    pub fn to_table(&self) -> TextTable {
+        let mut header = vec!["N_agents".to_string()];
+        header.extend(self.experiment.agent_counts.iter().map(ToString::to_string));
+        let mut table = TextTable::new(header);
+        let row = |label: &str, values: Vec<String>| {
+            let mut cells = vec![label.to_string()];
+            cells.extend(values);
+            cells
+        };
+        table.add_row(row(
+            "T-grid",
+            self.t_grid.points.iter().map(|p| f2(p.times.mean)).collect(),
+        ));
+        table.add_row(row(
+            "S-grid",
+            self.s_grid.points.iter().map(|p| f2(p.times.mean)).collect(),
+        ));
+        table.add_row(row("T/S", self.ratios().iter().map(|&r| f3(r)).collect()));
+        table
+    }
+
+    /// CSV of the Fig. 5 series (`k, t_mean, s_mean, ratio`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("agents,t_grid_mean,s_grid_mean,ratio\n");
+        for ((t, s), r) in self
+            .t_grid
+            .points
+            .iter()
+            .zip(&self.s_grid.points)
+            .zip(self.ratios())
+        {
+            out.push_str(&format!("{},{:.4},{:.4},{:.4}\n", t.agents, t.times.mean, s.times.mean, r));
+        }
+        out
+    }
+}
+
+/// Runs one grid's series with an explicit behaviour.
+///
+/// # Errors
+///
+/// Propagates configuration-set construction failures (e.g. more agents
+/// than cells).
+pub fn run_series(
+    kind: GridKind,
+    genome: &Genome,
+    exp: &DensityExperiment,
+) -> Result<GridSeries, SimError> {
+    let cfg = WorldConfig::paper(kind, exp.m);
+    run_series_in(&cfg, genome, exp)
+}
+
+/// Runs one grid's series in a custom environment (bordered fields,
+/// obstacles, alternative policies — used by the ablations E12–E15).
+///
+/// # Errors
+///
+/// Propagates configuration-set construction failures.
+pub fn run_series_in(
+    cfg: &WorldConfig,
+    genome: &Genome,
+    exp: &DensityExperiment,
+) -> Result<GridSeries, SimError> {
+    let mut points = Vec::with_capacity(exp.agent_counts.len());
+    for &k in &exp.agent_counts {
+        let configs = paper_config_set(cfg.lattice, cfg.kind, k, exp.n_random, exp.seed)?;
+        let outcomes = parallel_map(&configs, exp.threads, |init| {
+            simulate(cfg, genome.clone(), init, exp.t_max)
+                .expect("configuration sets are generated to match the environment")
+        });
+        let times: Vec<u32> = outcomes.iter().filter_map(|o| o.t_comm).collect();
+        points.push(DensityPoint {
+            agents: k,
+            times: Summary::of_u32(&times).unwrap_or(Summary {
+                n: 0,
+                mean: f64::NAN,
+                std_dev: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                median: f64::NAN,
+            }),
+            successes: times.len(),
+            total: outcomes.len(),
+        });
+    }
+    Ok(GridSeries { kind: cfg.kind, points })
+}
+
+/// Runs the full two-grid comparison with the paper's published best
+/// agents (E6: Table 1 and Fig. 5).
+///
+/// # Errors
+///
+/// Propagates configuration-set construction failures.
+pub fn run_density_comparison(exp: &DensityExperiment) -> Result<DensityComparison, SimError> {
+    let t_grid = run_series(GridKind::Triangulate, &best_agent(GridKind::Triangulate), exp)?;
+    let s_grid = run_series(GridKind::Square, &best_agent(GridKind::Square), exp)?;
+    Ok(DensityComparison { experiment: exp.clone(), t_grid, s_grid })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> DensityExperiment {
+        DensityExperiment {
+            m: 16,
+            agent_counts: vec![2, 16, 256],
+            n_random: 12,
+            seed: 2013,
+            t_max: 3000,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn quick_comparison_matches_paper_shape() {
+        let cmp = run_density_comparison(&quick()).unwrap();
+        // Complete success everywhere.
+        for p in cmp.t_grid.points.iter().chain(&cmp.s_grid.points) {
+            assert!(p.is_complete(), "{p:?}");
+        }
+        // T beats S at every density.
+        for (t, s) in cmp.t_grid.points.iter().zip(&cmp.s_grid.points) {
+            assert!(t.times.mean < s.times.mean, "T {t:?} vs S {s:?}");
+        }
+        // The fully packed case is exactly D − 1.
+        assert_eq!(cmp.t_grid.points[2].times.mean, 9.0);
+        assert_eq!(cmp.s_grid.points[2].times.mean, 15.0);
+        // Ratios live in the paper's band.
+        for r in cmp.ratios() {
+            assert!((0.5..0.85).contains(&r), "ratio {r}");
+        }
+    }
+
+    #[test]
+    fn table_and_csv_render() {
+        let cmp = run_density_comparison(&DensityExperiment {
+            agent_counts: vec![256],
+            n_random: 2,
+            ..quick()
+        })
+        .unwrap();
+        let table = cmp.to_table().to_string();
+        assert!(table.contains("T-grid") && table.contains("T/S"), "{table}");
+        let csv = cmp.to_csv();
+        assert!(csv.starts_with("agents,"));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("256,9.0000,15.0000,0.6000"), "{csv}");
+    }
+
+    #[test]
+    fn quick_protocol_shares_table1_structure() {
+        let exp = DensityExperiment::quick(5, 1, 1);
+        assert_eq!(exp.agent_counts, TABLE1_AGENT_COUNTS.to_vec());
+        assert_eq!(exp.m, 16);
+        assert_eq!(exp.n_random, 5);
+    }
+}

@@ -1,0 +1,143 @@
+//! E2/E3 — Fig. 2 and Eq. (1)–(3): distance maps, diameters, mean
+//! distances and the closed-form T/S ratios.
+
+use crate::table::{f2, f3, TextTable};
+use a2a_grid::{
+    bfs_distances, diameter_formula, mean_distance_formula, survey_from, GridKind, Lattice, Pos,
+};
+use serde::{Deserialize, Serialize};
+
+/// Distance survey of one grid kind at one size (half of Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceReport {
+    /// Grid kind.
+    pub kind: GridKind,
+    /// Network "size" `n` (extent `2^n`).
+    pub n: u32,
+    /// Exact diameter (BFS).
+    pub diameter: u32,
+    /// Exact mean distance (BFS).
+    pub mean: f64,
+    /// Closed-form diameter, Eq. (1).
+    pub diameter_formula: f64,
+    /// Closed-form mean distance, Eq. (2).
+    pub mean_formula: f64,
+    /// Number of antipodal nodes from the centre cell.
+    pub antipodal_count: usize,
+    /// ASCII distance map from the centre cell (Fig. 2 style).
+    pub map: String,
+}
+
+/// Runs the Fig. 2 survey for one kind at size `n` from the centre cell.
+///
+/// # Panics
+///
+/// Panics if `n > 15` (extent would overflow `u16`).
+#[must_use]
+pub fn survey(kind: GridKind, n: u32) -> DistanceReport {
+    let lattice = Lattice::torus_of_size(n);
+    let center = Pos::new(lattice.width() / 2 - 1, lattice.height() / 2 - 1);
+    let s = survey_from(lattice, kind, center);
+    let dist = bfs_distances(lattice, kind, center);
+    let mut map = String::new();
+    for y in 0..lattice.height() {
+        for x in 0..lattice.width() {
+            let d = dist[lattice.index_of(Pos::new(x, y))];
+            if Pos::new(x, y) == center {
+                map.push_str(" *");
+            } else {
+                map.push_str(&format!("{d:>2}"));
+            }
+        }
+        map.push('\n');
+    }
+    DistanceReport {
+        kind,
+        n,
+        diameter: s.eccentricity,
+        mean: s.mean,
+        diameter_formula: diameter_formula(kind, n),
+        mean_formula: mean_distance_formula(kind, n),
+        antipodal_count: s.antipodals.len(),
+        map,
+    }
+}
+
+/// The Eq. (1)–(3) formula table over a range of sizes: exact vs. closed
+/// form vs. ratios.
+#[must_use]
+pub fn formula_table(sizes: std::ops::RangeInclusive<u32>) -> TextTable {
+    let mut table = TextTable::new(vec![
+        "n", "N", "D_S", "D_T", "D_T/S", "mean_S", "mean_T", "mean_T/S",
+    ]);
+    for n in sizes {
+        let s = survey(GridKind::Square, n);
+        let t = survey(GridKind::Triangulate, n);
+        table.add_row(vec![
+            n.to_string(),
+            (1u64 << (2 * n)).to_string(),
+            s.diameter.to_string(),
+            t.diameter.to_string(),
+            f3(f64::from(t.diameter) / f64::from(s.diameter)),
+            f2(s.mean),
+            f2(t.mean),
+            f3(t.mean / s.mean),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_values_reproduced() {
+        // Fig. 2 (n = 3): D_S = 8, mean_S = 4; D_T = 5, mean_T ≈ 3.09.
+        let s = survey(GridKind::Square, 3);
+        assert_eq!(s.diameter, 8);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        let t = survey(GridKind::Triangulate, 3);
+        assert_eq!(t.diameter, 5);
+        assert!((t.mean - 3.09).abs() < 0.02);
+    }
+
+    #[test]
+    fn formulas_match_bfs_for_diameters() {
+        for n in 1..=5 {
+            for kind in [GridKind::Square, GridKind::Triangulate] {
+                let r = survey(kind, n);
+                assert_eq!(f64::from(r.diameter), r.diameter_formula, "n={n} {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_has_field_shape_and_marks_center() {
+        let r = survey(GridKind::Triangulate, 3);
+        assert_eq!(r.map.lines().count(), 8);
+        assert_eq!(r.map.matches('*').count(), 1);
+        // Maximum digit in the map equals the diameter.
+        let max_digit = r
+            .map
+            .split_whitespace()
+            .filter_map(|t| t.parse::<u32>().ok())
+            .max()
+            .unwrap();
+        assert_eq!(max_digit, r.diameter);
+    }
+
+    #[test]
+    fn formula_table_shows_ratio_convergence() {
+        let table = formula_table(2..=6);
+        assert_eq!(table.row_count(), 5);
+        let text = table.to_string();
+        assert!(text.contains("D_T/S"), "{text}");
+    }
+
+    #[test]
+    fn square_antipodal_is_unique() {
+        let s = survey(GridKind::Square, 3);
+        assert_eq!(s.antipodal_count, 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! E15 — the environments the paper's conclusion lists as future work:
+//! bordered fields ("environments with border are easier") and obstacle
+//! fields, exercised with the published best agents.
+
+use crate::experiments::density::{run_series_in, DensityExperiment, GridSeries};
+use a2a_fsm::best_agent;
+use a2a_grid::{GridKind, Lattice, Pos};
+use a2a_sim::{SimError, WorldConfig};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Torus vs. bordered field, same behaviour and densities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BorderComparison {
+    /// Which grid family.
+    pub kind: GridKind,
+    /// Series on the paper's torus.
+    pub torus: GridSeries,
+    /// Series on the bordered field.
+    pub bordered: GridSeries,
+}
+
+/// Runs the border extension for one grid kind.
+///
+/// Note the published agents were evolved *for the torus*; the comparison
+/// shows whether they exploit borders as meeting lines as the paper's
+/// earlier S-grid work suggests, or lose performance out of distribution.
+///
+/// # Errors
+///
+/// Propagates configuration-set construction failures.
+pub fn border_comparison(
+    kind: GridKind,
+    exp: &DensityExperiment,
+) -> Result<BorderComparison, SimError> {
+    let genome = best_agent(kind);
+    let torus_cfg = WorldConfig::paper(kind, exp.m);
+    let bordered_cfg = WorldConfig {
+        lattice: Lattice::bordered(exp.m, exp.m),
+        ..WorldConfig::paper(kind, exp.m)
+    };
+    Ok(BorderComparison {
+        kind,
+        torus: run_series_in(&torus_cfg, &genome, exp)?,
+        bordered: run_series_in(&bordered_cfg, &genome, exp)?,
+    })
+}
+
+/// Obstacle density sweep: `n_obstacles` random obstacle cells (seeded),
+/// same densities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObstacleReport {
+    /// Number of obstacle cells.
+    pub obstacles: usize,
+    /// Series in the obstacle field.
+    pub series: GridSeries,
+}
+
+/// Runs the obstacle extension for one grid kind over several obstacle
+/// counts.
+///
+/// # Errors
+///
+/// Propagates configuration-set construction failures.
+pub fn obstacle_sweep(
+    kind: GridKind,
+    obstacle_counts: &[usize],
+    exp: &DensityExperiment,
+    obstacle_seed: u64,
+) -> Result<Vec<ObstacleReport>, SimError> {
+    let genome = best_agent(kind);
+    let mut reports = Vec::with_capacity(obstacle_counts.len());
+    for &n_obs in obstacle_counts {
+        let mut rng = SmallRng::seed_from_u64(obstacle_seed ^ n_obs as u64);
+        let lattice = Lattice::torus(exp.m, exp.m);
+        let mut cells: Vec<usize> = (0..lattice.len()).collect();
+        for i in 0..n_obs.min(cells.len()) {
+            let j = rng.random_range(i..cells.len());
+            cells.swap(i, j);
+        }
+        let obstacles: Vec<Pos> = cells[..n_obs.min(cells.len())]
+            .iter()
+            .map(|&c| lattice.pos_at(c))
+            .collect();
+        // Keep agents off the obstacle cells: the shared config-set
+        // generator does not know about them, so build sets that do.
+        let cfg = WorldConfig { obstacles: obstacles.clone(), ..WorldConfig::paper(kind, exp.m) };
+        let series = run_obstacle_series(&cfg, &genome, exp, &obstacles)?;
+        reports.push(ObstacleReport { obstacles: n_obs, series });
+    }
+    Ok(reports)
+}
+
+fn run_obstacle_series(
+    cfg: &WorldConfig,
+    genome: &a2a_fsm::Genome,
+    exp: &DensityExperiment,
+    obstacles: &[Pos],
+) -> Result<GridSeries, SimError> {
+    use crate::stats::Summary;
+    use a2a_ga::parallel_map;
+    use a2a_sim::{simulate, InitialConfig};
+
+    let mut points = Vec::new();
+    for &k in &exp.agent_counts {
+        let mut rng = SmallRng::seed_from_u64(exp.seed ^ (k as u64) << 1);
+        let configs: Result<Vec<InitialConfig>, SimError> = (0..exp.n_random)
+            .map(|_| InitialConfig::random(cfg.lattice, cfg.kind, k, obstacles, &mut rng))
+            .collect();
+        let configs = configs?;
+        let outcomes = parallel_map(&configs, exp.threads, |init| {
+            simulate(cfg, genome.clone(), init, exp.t_max).expect("valid construction")
+        });
+        let times: Vec<u32> = outcomes.iter().filter_map(|o| o.t_comm).collect();
+        points.push(crate::experiments::density::DensityPoint {
+            agents: k,
+            times: Summary::of_u32(&times).unwrap_or(Summary {
+                n: 0,
+                mean: f64::NAN,
+                std_dev: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                median: f64::NAN,
+            }),
+            successes: times.len(),
+            total: outcomes.len(),
+        });
+    }
+    Ok(GridSeries { kind: cfg.kind, points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DensityExperiment {
+        DensityExperiment {
+            m: 16,
+            agent_counts: vec![8],
+            n_random: 8,
+            seed: 23,
+            t_max: 4000,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn border_comparison_runs_both_environments() {
+        let cmp = border_comparison(GridKind::Square, &tiny()).unwrap();
+        assert!(cmp.torus.points[0].is_complete());
+        // Bordered environments may or may not be solved by
+        // torus-evolved agents; just require the runs happened
+        // (8 random + 3 manual configurations).
+        assert_eq!(cmp.bordered.points[0].total, 11);
+    }
+
+    #[test]
+    fn obstacle_sweep_reports_each_count() {
+        let reports = obstacle_sweep(GridKind::Triangulate, &[0, 8], &tiny(), 99).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].obstacles, 0);
+        // The zero-obstacle case must be solvable.
+        assert!(reports[0].series.points[0].successes > 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! E18 — the conclusion's remaining future work: agents with **more
+//! control states** and **more colours**. The FSM machinery is fully
+//! parametric, so this experiment evolves richer specs under the same
+//! budget and compares them to the paper's 4-state/2-colour agents.
+
+use a2a_fsm::{FsmSpec, TurnSet};
+use a2a_ga::{Evaluator, Evolution, FitnessReport, GaConfig};
+use a2a_grid::GridKind;
+use a2a_sim::{paper_config_set, SimError, WorldConfig};
+use serde::{Deserialize, Serialize};
+
+/// One spec's result under the shared budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecResult {
+    /// Human-readable label.
+    pub label: String,
+    /// States / colours of the spec.
+    pub n_states: u8,
+    /// Colour count.
+    pub n_colors: u8,
+    /// log₁₀ of the search-space size (the cost of richness).
+    pub search_space_log10: f64,
+    /// Held-out evaluation of the evolved winner.
+    pub held_out: FitnessReport,
+}
+
+/// Evolves one FSM per spec (same generations, same configuration sets)
+/// and evaluates each winner on a fresh set.
+///
+/// The paper's hypothesis cuts both ways: more states/colours increase
+/// expressive power but blow up the search space (`K = (|s||y|)^(|s||x|)`),
+/// so under a *fixed budget* richer specs may do worse.
+///
+/// # Errors
+///
+/// Propagates configuration-set construction failures.
+pub fn spec_sweep(
+    kind: GridKind,
+    specs: &[(String, FsmSpec)],
+    train_configs: usize,
+    generations: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<SpecResult>, SimError> {
+    let env = WorldConfig::paper(kind, 16);
+    let train = paper_config_set(env.lattice, kind, 8, train_configs, seed)?;
+    let held_out = paper_config_set(env.lattice, kind, 8, train_configs.max(30), seed ^ 0xF00D)?;
+    let mut results = Vec::with_capacity(specs.len());
+    for (label, spec) in specs {
+        assert_eq!(spec.kind(), kind, "spec must match the grid");
+        let ga = Evolution::new(
+            *spec,
+            Evaluator::new(env.clone(), train.clone()).with_threads(threads),
+            GaConfig::paper(generations, seed),
+        );
+        let outcome = ga.run(|_| ());
+        let held = Evaluator::new(env.clone(), held_out.clone())
+            .with_t_max(1000)
+            .with_threads(threads)
+            .evaluate(&outcome.best().genome);
+        results.push(SpecResult {
+            label: label.clone(),
+            n_states: spec.n_states,
+            n_colors: spec.n_colors,
+            search_space_log10: spec.search_space_log10(),
+            held_out: held,
+        });
+    }
+    Ok(results)
+}
+
+/// The default spec ladder for a grid kind: the paper's 4/2 plus the
+/// future-work 6-state and 3-colour variants.
+#[must_use]
+pub fn default_specs(kind: GridKind) -> Vec<(String, FsmSpec)> {
+    let ts = TurnSet::for_kind(kind);
+    vec![
+        ("4 states, 2 colors (paper)".to_string(), FsmSpec::paper(kind)),
+        ("6 states, 2 colors".to_string(), FsmSpec::new(6, 2, ts)),
+        ("4 states, 3 colors".to_string(), FsmSpec::new(4, 3, ts)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ladder_has_growing_search_spaces() {
+        let specs = default_specs(GridKind::Triangulate);
+        assert_eq!(specs.len(), 3);
+        let paper = specs[0].1.search_space_log10();
+        for (label, spec) in &specs[1..] {
+            assert!(spec.search_space_log10() > paper, "{label}");
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_produces_one_result_per_spec() {
+        let specs = default_specs(GridKind::Square);
+        let results = spec_sweep(GridKind::Square, &specs, 6, 4, 1, 1).unwrap();
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(r.held_out.total >= 30);
+            assert!(r.held_out.fitness.is_finite());
+        }
+        assert_eq!(results[1].n_states, 6);
+        assert_eq!(results[2].n_colors, 3);
+    }
+}

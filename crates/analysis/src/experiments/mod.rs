@@ -1,0 +1,20 @@
+//! One module per experiment of DESIGN.md's per-experiment index
+//! (E2–E15): each regenerates a table or figure of the paper, or an
+//! ablation/extension of its design choices.
+
+pub mod ablation;
+pub mod baselines;
+pub mod border_evolution;
+pub mod convergence;
+pub mod density;
+pub mod distances;
+pub mod exhaustive;
+pub mod extensions;
+pub mod future_work;
+pub mod grid33;
+pub mod mobility;
+pub mod profile;
+pub mod scaling;
+pub mod time_shuffle;
+pub mod traces;
+pub mod worstcase;

@@ -1,0 +1,156 @@
+//! E7/E8 — Fig. 6 and Fig. 7: two-agent simulations showing how colour
+//! traces build "streets" (S-grid) and "honeycomb-like networks" (T-grid).
+//!
+//! The paper's exact initial configurations are not machine-readable from
+//! the figures, so [`find_two_agent_config`] searches a seeded stream of
+//! random two-agent fields for one whose communication time matches the
+//! figure (114 steps in S, 44 in T), then replays it with snapshots.
+
+use a2a_fsm::best_agent;
+use a2a_grid::GridKind;
+use a2a_sim::{
+    render_snapshot, run_to_completion, InitialConfig, RunOutcome, SimError, World, WorldConfig,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 6's headline: the special S-configuration needs 114 steps.
+pub const FIG6_S_TIME: u32 = 114;
+
+/// Fig. 7's headline: the T-agents need only 44 steps.
+pub const FIG7_T_TIME: u32 = 44;
+
+/// A replayed trace: the snapshots and the run outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceResult {
+    /// The configuration that was traced.
+    pub init: InitialConfig,
+    /// Fig. 6/7-style snapshots at the requested times (and at the end).
+    pub snapshots: Vec<String>,
+    /// Final outcome.
+    pub outcome: RunOutcome,
+}
+
+/// Runs the paper's best agent for `kind` on `init`, capturing snapshots
+/// at `times` (plus the final state).
+///
+/// # Errors
+///
+/// Propagates world-construction failures.
+pub fn run_trace(
+    kind: GridKind,
+    init: &InitialConfig,
+    times: &[u32],
+    t_max: u32,
+) -> Result<TraceResult, SimError> {
+    let cfg = WorldConfig::paper(kind, 16);
+    let mut world = World::new(&cfg, best_agent(kind), init)?;
+    let mut snapshots = Vec::new();
+    loop {
+        if times.contains(&world.time()) {
+            snapshots.push(render_snapshot(&world));
+        }
+        if world.all_informed() || world.time() >= t_max {
+            break;
+        }
+        world.step();
+    }
+    snapshots.push(render_snapshot(&world));
+    let outcome = run_to_completion(&mut world, t_max);
+    Ok(TraceResult { init: init.clone(), snapshots, outcome })
+}
+
+/// Searches a seeded stream of random two-agent 16×16 configurations for
+/// the one whose communication time is closest to `target` (exact match
+/// returns early). Returns the configuration and its time.
+///
+/// # Panics
+///
+/// Panics if `max_tries == 0`.
+#[must_use]
+pub fn find_two_agent_config(
+    kind: GridKind,
+    target: u32,
+    max_tries: usize,
+    seed: u64,
+) -> (InitialConfig, u32) {
+    assert!(max_tries > 0, "need at least one attempt");
+    let cfg = WorldConfig::paper(kind, 16);
+    let genome = best_agent(kind);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut best: Option<(InitialConfig, u32)> = None;
+    for _ in 0..max_tries {
+        let init = InitialConfig::random(cfg.lattice, kind, 2, &[], &mut rng)
+            .expect("two agents always fit a 16x16 field");
+        let out = a2a_sim::simulate(&cfg, genome.clone(), &init, 2000)
+            .expect("valid world construction");
+        let Some(t) = out.t_comm else { continue };
+        if t == target {
+            return (init, t);
+        }
+        let better = best
+            .as_ref()
+            .is_none_or(|(_, bt)| t.abs_diff(target) < bt.abs_diff(target));
+        if better {
+            best = Some((init, t));
+        }
+    }
+    best.expect("at least one successful two-agent run in the stream")
+}
+
+/// Reproduces Fig. 6: a two-agent S-grid trace targeting 114 steps, with
+/// snapshots at the paper's times `t = 0, 56` and the end.
+///
+/// # Errors
+///
+/// Propagates world-construction failures.
+pub fn fig6(seed: u64, max_tries: usize) -> Result<TraceResult, SimError> {
+    let (init, t) = find_two_agent_config(GridKind::Square, FIG6_S_TIME, max_tries, seed);
+    run_trace(GridKind::Square, &init, &[0, t / 2], 2000)
+}
+
+/// Reproduces Fig. 7: a two-agent T-grid trace targeting 44 steps, with
+/// snapshots at `t = 0, 13` (the paper's honeycomb snapshot) and the end.
+///
+/// # Errors
+///
+/// Propagates world-construction failures.
+pub fn fig7(seed: u64, max_tries: usize) -> Result<TraceResult, SimError> {
+    let (init, _) = find_two_agent_config(GridKind::Triangulate, FIG7_T_TIME, max_tries, seed);
+    run_trace(GridKind::Triangulate, &init, &[0, 13], 2000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_finds_exact_or_close_time() {
+        let (_, t) = find_two_agent_config(GridKind::Triangulate, FIG7_T_TIME, 300, 3);
+        assert!(t.abs_diff(FIG7_T_TIME) <= 5, "got {t}");
+    }
+
+    #[test]
+    fn trace_snapshots_include_start_and_end() {
+        let (init, t) = find_two_agent_config(GridKind::Square, 60, 100, 5);
+        let trace = run_trace(GridKind::Square, &init, &[0], 2000).unwrap();
+        assert!(trace.snapshots.len() >= 2);
+        assert!(trace.snapshots[0].contains("t=0"));
+        assert_eq!(trace.outcome.t_comm, Some(t));
+        // Colours appear by the end of the run.
+        let last = trace.snapshots.last().unwrap();
+        assert!(last.contains("colors"));
+        assert!(last.contains('1'), "agents must have set colours");
+    }
+
+    #[test]
+    fn agents_revisit_cells_forming_streets() {
+        let (init, _) = find_two_agent_config(GridKind::Square, 100, 100, 7);
+        let cfg = WorldConfig::paper(GridKind::Square, 16);
+        let mut world = World::new(&cfg, best_agent(GridKind::Square), &init).unwrap();
+        let _ = run_to_completion(&mut world, 2000);
+        let max_visits = world.visited().iter().max().copied().unwrap_or(0);
+        assert!(max_visits >= 2, "street cells are travelled repeatedly: {max_visits}");
+    }
+}

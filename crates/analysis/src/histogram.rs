@@ -1,0 +1,176 @@
+//! Integer-valued histograms with ASCII bar rendering, used for
+//! communication-time distributions.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram over `u32` observations (e.g. communication times).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u32) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of one exact value.
+    #[must_use]
+    pub fn count(&self, value: u32) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Smallest observation, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<u32> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest observation, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<u32> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by cumulative counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0;
+        for (&value, &count) in &self.counts {
+            cumulative += count;
+            if cumulative >= target {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Renders the distribution as horizontal ASCII bars, bucketing into
+    /// at most `max_buckets` equal-width value ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_buckets == 0`.
+    #[must_use]
+    pub fn render(&self, max_buckets: usize, bar_width: usize) -> String {
+        assert!(max_buckets > 0, "need at least one bucket");
+        let (Some(min), Some(max)) = (self.min(), self.max()) else {
+            return "(empty histogram)\n".to_string();
+        };
+        let span = u64::from(max - min) + 1;
+        let bucket_width = span.div_ceil(max_buckets as u64).max(1);
+        let n_buckets = span.div_ceil(bucket_width) as usize;
+        let mut buckets = vec![0u64; n_buckets];
+        for (&value, &count) in &self.counts {
+            buckets[(u64::from(value - min) / bucket_width) as usize] += count;
+        }
+        let peak = buckets.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &count) in buckets.iter().enumerate() {
+            let lo = u64::from(min) + i as u64 * bucket_width;
+            let hi = (lo + bucket_width - 1).min(u64::from(max));
+            let bar = "#".repeat((count as f64 / peak as f64 * bar_width as f64).round() as usize);
+            out.push_str(&format!("{lo:>5}-{hi:<5} |{bar:<bar_width$} {count}\n"));
+        }
+        out
+    }
+}
+
+impl FromIterator<u32> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut h = Self::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+impl Extend<u32> for Histogram {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(20, 40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let h: Histogram = [5u32, 5, 7, 9].into_iter().collect();
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(5), 2);
+        assert_eq!(h.count(6), 0);
+        assert_eq!((h.min(), h.max()), (Some(5), Some(9)));
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics() {
+        let h: Histogram = (1..=100u32).collect();
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.95), Some(95));
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn empty_histogram_behaviour() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert!(h.render(10, 20).contains("empty"));
+    }
+
+    #[test]
+    fn render_buckets_and_scales() {
+        let mut h = Histogram::new();
+        h.extend(std::iter::repeat_n(10u32, 40));
+        h.record(30);
+        let text = h.render(4, 20);
+        assert!(text.lines().count() <= 6);
+        assert!(text.contains('#'));
+        // The dominant bucket gets the full bar.
+        assert!(text.contains(&"#".repeat(20)), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn quantile_validates_input() {
+        let h: Histogram = [1u32].into_iter().collect();
+        let _ = h.quantile(1.5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Light-weight inferential statistics for the T-vs-S comparisons:
+//! seeded bootstrap confidence intervals and Welch's t statistic.
+//!
+//! The paper reports plain means; with our seeded configuration sets we
+//! can additionally state how certain the T < S ordering is at each
+//! density.
+
+use crate::stats::Summary;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A two-sided bootstrap confidence interval for the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// Nominal coverage (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval excludes `value` (e.g. 0 for a difference).
+    #[must_use]
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.lo || value > self.hi
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the mean of `values`,
+/// with `resamples` bootstrap draws at coverage `level` (seeded, hence
+/// reproducible).
+///
+/// Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `level` is outside `(0, 1)` or `resamples == 0`.
+#[must_use]
+pub fn bootstrap_mean_ci(
+    values: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    assert!(resamples > 0, "need at least one resample");
+    assert!(0.0 < level && level < 1.0, "coverage must be in (0, 1)");
+    if values.is_empty() {
+        return None;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = values.len();
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let sum: f64 = (0..n).map(|_| values[rng.random_range(0..n)]).sum();
+            sum / n as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("bootstrap means are not NaN"));
+    let tail = (1.0 - level) / 2.0;
+    let idx = |q: f64| -> usize {
+        ((q * (resamples - 1) as f64).round() as usize).min(resamples - 1)
+    };
+    Some(ConfidenceInterval {
+        lo: means[idx(tail)],
+        hi: means[idx(1.0 - tail)],
+        level,
+    })
+}
+
+/// Welch's two-sample t statistic and its Welch–Satterthwaite degrees of
+/// freedom, for unequal variances/sizes.
+///
+/// Returns `None` when either sample has fewer than two observations or
+/// both variances are zero.
+#[must_use]
+pub fn welch_t(a: &[f64], b: &[f64]) -> Option<(f64, f64)> {
+    let (sa, sb) = (Summary::of(a)?, Summary::of(b)?);
+    if sa.n < 2 || sb.n < 2 {
+        return None;
+    }
+    let va = sa.std_dev.powi(2) / sa.n as f64;
+    let vb = sb.std_dev.powi(2) / sb.n as f64;
+    if va + vb == 0.0 {
+        return None;
+    }
+    let t = (sa.mean - sb.mean) / (va + vb).sqrt();
+    let df = (va + vb).powi(2)
+        / (va.powi(2) / (sa.n as f64 - 1.0) + vb.powi(2) / (sb.n as f64 - 1.0));
+    Some((t, df))
+}
+
+/// Whether Welch's test rejects equal means at the 1 % level, using the
+/// normal approximation (`|t| > 2.576`) — accurate for the df ≥ 100 that
+/// all our experiments have.
+#[must_use]
+pub fn significantly_different(a: &[f64], b: &[f64]) -> bool {
+    welch_t(a, b).is_some_and(|(t, df)| df >= 30.0 && t.abs() > 2.576)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_ci_contains_the_mean_of_a_tight_sample() {
+        let values: Vec<f64> = (0..200).map(|i| 50.0 + f64::from(i % 5)).collect();
+        let ci = bootstrap_mean_ci(&values, 500, 0.95, 1).unwrap();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!(ci.lo <= mean && mean <= ci.hi, "{ci:?} vs {mean}");
+        assert!(ci.hi - ci.lo < 1.0, "tight sample ⇒ tight interval: {ci:?}");
+    }
+
+    #[test]
+    fn bootstrap_is_seed_reproducible() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let a = bootstrap_mean_ci(&values, 200, 0.9, 42).unwrap();
+        let b = bootstrap_mean_ci(&values, 200, 0.9, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bootstrap_empty_is_none() {
+        assert_eq!(bootstrap_mean_ci(&[], 10, 0.9, 0), None);
+    }
+
+    #[test]
+    fn welch_detects_separated_samples() {
+        let a: Vec<f64> = (0..100).map(|i| 40.0 + f64::from(i % 7)).collect();
+        let b: Vec<f64> = (0..100).map(|i| 60.0 + f64::from(i % 7)).collect();
+        let (t, df) = welch_t(&a, &b).unwrap();
+        assert!(t < -10.0, "t = {t}");
+        assert!(df > 100.0);
+        assert!(significantly_different(&a, &b));
+    }
+
+    #[test]
+    fn welch_accepts_identical_distributions() {
+        let a: Vec<f64> = (0..100).map(|i| 50.0 + f64::from(i % 10)).collect();
+        let b = a.clone();
+        let (t, _) = welch_t(&a, &b).unwrap();
+        assert!(t.abs() < 1e-12);
+        assert!(!significantly_different(&a, &b));
+    }
+
+    #[test]
+    fn degenerate_samples_are_none() {
+        assert_eq!(welch_t(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(welch_t(&[1.0, 1.0], &[1.0, 1.0]), None, "zero variance");
+    }
+
+    #[test]
+    fn ci_excludes_works() {
+        let ci = ConfidenceInterval { lo: 1.0, hi: 2.0, level: 0.95 };
+        assert!(ci.excludes(0.0));
+        assert!(!ci.excludes(1.5));
+    }
+}

@@ -1,0 +1,129 @@
+//! Behaviour-level transformations used by the ablation experiments:
+//! suppressing colour writes and reinterpreting turn codes.
+
+use a2a_fsm::{Entry, FsmSpec, Genome, TurnSet};
+
+/// Returns a copy of `genome` that never writes colour 1 (every
+/// `setcolor` output forced to 0).
+///
+/// With the paper's all-zero initial colouring this makes the colour
+/// mechanism inert: the agent still *reads* colours but only ever sees 0,
+/// so only the `x ∈ {0, 1}` table columns remain reachable. This isolates
+/// the contribution of indirect ("pheromone") communication, which the
+/// paper credits with a ≈ 2× speed-up in earlier work.
+#[must_use]
+pub fn suppress_colors(genome: &Genome) -> Genome {
+    let entries: Vec<Entry> = genome
+        .entries()
+        .iter()
+        .map(|e| {
+            let mut e = *e;
+            e.action.set_color = 0;
+            e
+        })
+        .collect();
+    Genome::from_entries(genome.spec(), entries)
+}
+
+/// Re-expresses a restricted-turn T-genome over the full 6-code turn set
+/// **preserving behaviour**: code `c` becomes the delta
+/// `{0, 1, 3, 5}[c]` that [`TurnSet::TriangulateRestricted`] would apply.
+///
+/// # Panics
+///
+/// Panics if the genome does not use [`TurnSet::TriangulateRestricted`].
+#[must_use]
+pub fn remap_to_full_turns(genome: &Genome) -> Genome {
+    let spec = genome.spec();
+    assert_eq!(
+        spec.turn_set,
+        TurnSet::TriangulateRestricted,
+        "remap applies to restricted T-genomes"
+    );
+    let full_spec = FsmSpec::new(spec.n_states, spec.n_colors, TurnSet::TriangulateFull);
+    let entries: Vec<Entry> = genome
+        .entries()
+        .iter()
+        .map(|e| {
+            let mut e = *e;
+            e.action.turn = spec.turn_set.delta(e.action.turn);
+            e
+        })
+        .collect();
+    Genome::from_entries(full_spec, entries)
+}
+
+/// Reinterprets a restricted-turn T-genome **naively** over the full turn
+/// set: code `c` keeps delta `c`, so codes 2 and 3 now mean +120° and
+/// 180° instead of 180° and −60°. This deliberately perturbs the evolved
+/// behaviour to show the restricted turn set is load-bearing.
+///
+/// # Panics
+///
+/// Panics if the genome does not use [`TurnSet::TriangulateRestricted`].
+#[must_use]
+pub fn reinterpret_turns_naive(genome: &Genome) -> Genome {
+    let spec = genome.spec();
+    assert_eq!(
+        spec.turn_set,
+        TurnSet::TriangulateRestricted,
+        "reinterpretation applies to restricted T-genomes"
+    );
+    let full_spec = FsmSpec::new(spec.n_states, spec.n_colors, TurnSet::TriangulateFull);
+    Genome::from_entries(full_spec, genome.entries().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_fsm::{best_t_agent, Percept};
+    use a2a_grid::GridKind;
+
+    #[test]
+    fn suppressed_genome_never_sets_color() {
+        let g = suppress_colors(&a2a_fsm::best_s_agent());
+        assert!(g.entries().iter().all(|e| e.action.set_color == 0));
+        assert_eq!(g.spec(), FsmSpec::paper(GridKind::Square));
+    }
+
+    #[test]
+    fn remap_preserves_turn_semantics() {
+        let g = best_t_agent();
+        let full = remap_to_full_turns(&g);
+        for x in 0..8 {
+            for s in 0..4 {
+                let p = Percept::decode(x, 2);
+                let orig = g.lookup(p, s);
+                let new = full.lookup(p, s);
+                assert_eq!(
+                    g.spec().turn_set.delta(orig.action.turn),
+                    full.spec().turn_set.delta(new.action.turn),
+                    "same direction delta"
+                );
+                assert_eq!(orig.next_state, new.next_state);
+                assert_eq!(orig.action.mv, new.action.mv);
+            }
+        }
+    }
+
+    #[test]
+    fn naive_reinterpretation_changes_some_deltas() {
+        let g = best_t_agent();
+        let naive = reinterpret_turns_naive(&g);
+        let mut changed = 0;
+        for (a, b) in g.entries().iter().zip(naive.entries()) {
+            let da = g.spec().turn_set.delta(a.action.turn);
+            let db = naive.spec().turn_set.delta(b.action.turn);
+            if da != db {
+                changed += 1;
+            }
+        }
+        assert!(changed > 0, "codes 2/3 must change meaning");
+    }
+
+    #[test]
+    #[should_panic(expected = "restricted T-genomes")]
+    fn remap_rejects_square_genomes() {
+        let _ = remap_to_full_turns(&a2a_fsm::best_s_agent());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the analysis toolbox.
+
+use a2a_analysis::{
+    bootstrap_mean_ci, diffusion_lower_bound, welch_t, AsciiChart, Series, Summary, TextTable,
+    XScale,
+};
+use a2a_grid::{GridKind, Lattice};
+use a2a_sim::InitialConfig;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Summary statistics agree with naive recomputation.
+    #[test]
+    fn summary_matches_naive(values in prop::collection::vec(-1e4f64..1e4, 1..60)) {
+        let s = Summary::of(&values).unwrap();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((s.mean - mean).abs() < 1e-6);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.n, values.len());
+    }
+
+    /// The bootstrap CI always contains values between sample min and max
+    /// and brackets tighter with higher coverage demanded lower.
+    #[test]
+    fn bootstrap_ci_is_ordered_and_in_range(
+        values in prop::collection::vec(0f64..100.0, 2..40),
+        seed in any::<u64>(),
+    ) {
+        let narrow = bootstrap_mean_ci(&values, 200, 0.5, seed).unwrap();
+        let wide = bootstrap_mean_ci(&values, 200, 0.99, seed).unwrap();
+        prop_assert!(narrow.lo <= narrow.hi);
+        prop_assert!(wide.lo <= narrow.lo && narrow.hi <= wide.hi, "wider coverage ⊇ narrower");
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Resample means live in [min, max] up to summation rounding
+        // (mean of [v, v, v] as sum/3 can be 1 ulp outside).
+        let eps = 1e-9 * max.abs().max(1.0);
+        prop_assert!(wide.lo >= min - eps && wide.hi <= max + eps);
+    }
+
+    /// Welch's t is antisymmetric in its arguments.
+    #[test]
+    fn welch_t_is_antisymmetric(
+        a in prop::collection::vec(0f64..50.0, 3..30),
+        b in prop::collection::vec(10f64..80.0, 3..30),
+    ) {
+        if let (Some((t_ab, df_ab)), Some((t_ba, df_ba))) = (welch_t(&a, &b), welch_t(&b, &a)) {
+            prop_assert!((t_ab + t_ba).abs() < 1e-9);
+            prop_assert!((df_ab - df_ba).abs() < 1e-9);
+        }
+    }
+
+    /// The diffusion lower bound never exceeds ⌈(D−1)/3⌉ (no pair can be
+    /// farther apart than the diameter) and is 0 for single agents.
+    #[test]
+    fn bound_is_within_diameter(seed in any::<u64>(), k in 1usize..20) {
+        let lattice = Lattice::torus(16, 16);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let init = InitialConfig::random(lattice, kind, k, &[], &mut rng).unwrap();
+            let bound = diffusion_lower_bound(lattice, kind, &init);
+            let diameter = a2a_grid::diameter(lattice, kind);
+            prop_assert!(bound <= (diameter - 1).div_ceil(3));
+            if k == 1 {
+                prop_assert_eq!(bound, 0);
+            }
+        }
+    }
+
+    /// Charts render any finite series without panicking, and contain
+    /// every glyph at least once.
+    #[test]
+    fn charts_never_panic(
+        points in prop::collection::vec((1f64..1000.0, -50f64..50.0), 1..30),
+        log in any::<bool>(),
+    ) {
+        let scale = if log { XScale::Log2 } else { XScale::Linear };
+        let text = AsciiChart::new(30, 8, scale)
+            .series(Series::new("s", '*', points))
+            .to_string();
+        prop_assert!(text.contains('*'));
+        prop_assert!(text.contains("s"));
+    }
+
+    /// Tables align any cell contents.
+    #[test]
+    fn tables_render_arbitrary_cells(
+        rows in prop::collection::vec(("[a-z0-9 ]{0,12}", "[a-z0-9 ]{0,12}"), 0..10),
+    ) {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        for (x, y) in &rows {
+            t.add_row(vec![x.clone(), y.clone()]);
+        }
+        let text = t.to_string();
+        prop_assert_eq!(text.lines().count(), rows.len() + 2);
+        let md = t.to_markdown();
+        prop_assert_eq!(md.lines().count(), rows.len() + 2);
+    }
+}

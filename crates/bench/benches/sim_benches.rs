@@ -1,0 +1,159 @@
+//! Microbenchmarks of the simulation core: stepping, exchange, world
+//! construction, FSM lookup and BFS distances — the building blocks every
+//! experiment and GA generation is made of.
+
+use a2a_fsm::{best_agent, Percept};
+use a2a_grid::{bfs_distances, GridKind, Lattice, Pos};
+use a2a_sim::{run_to_completion, InitialConfig, World, WorldConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn world_with(kind: GridKind, k: usize, seed: u64) -> World {
+    let cfg = WorldConfig::paper(kind, 16);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let init = InitialConfig::random(cfg.lattice, kind, k, &[], &mut rng)
+        .expect("agents fit the field");
+    World::new(&cfg, best_agent(kind), &init).expect("valid world")
+}
+
+/// One CA step, 16 agents on 16×16 — S vs T (the T step visits 6
+/// neighbours per exchange instead of 4).
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_step_16_agents");
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched_ref(
+                || world_with(kind, 16, 42),
+                |world| {
+                    for _ in 0..50 {
+                        world.step();
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// The degenerate fully packed field: pure exchange, no movement — the
+/// upper bound of per-step communication cost.
+fn bench_packed_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fully_packed_step_256_agents");
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched_ref(
+                || {
+                    let lattice = Lattice::torus(16, 16);
+                    let placements: Vec<_> = lattice
+                        .positions()
+                        .map(|p| (p, a2a_grid::Dir::new(0)))
+                        .collect();
+                    let cfg = WorldConfig::paper(kind, 16);
+                    World::new(&cfg, best_agent(kind), &InitialConfig::new(placements))
+                        .expect("valid world")
+                },
+                |world| world.step(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// The 33×33 fully packed field: 1089 agents exercise the heap-backed
+/// communication vectors (> 256 bits), the InfoSet slow path.
+fn bench_packed_exchange_33(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fully_packed_step_33x33_1089_agents");
+    group.sample_size(20);
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched_ref(
+                || {
+                    let lattice = Lattice::torus(33, 33);
+                    let placements: Vec<_> = lattice
+                        .positions()
+                        .map(|p| (p, a2a_grid::Dir::new(0)))
+                        .collect();
+                    let cfg = WorldConfig::with_lattice(kind, lattice);
+                    World::new(&cfg, best_agent(kind), &InitialConfig::new(placements))
+                        .expect("valid world")
+                },
+                |world| world.step(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end: one full communication run, 16 agents (the unit of work a
+/// fitness evaluation repeats ~1000×).
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_run_16_agents");
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched_ref(
+                || world_with(kind, 16, 7),
+                |world| black_box(run_to_completion(world, 1000)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// World assembly (allocation + placement + the free exchange).
+fn bench_world_construction(c: &mut Criterion) {
+    c.bench_function("world_construction_16_agents", |b| {
+        let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let init = InitialConfig::random(cfg.lattice, cfg.kind, 16, &[], &mut rng).unwrap();
+        let genome = best_agent(GridKind::Triangulate);
+        b.iter(|| World::new(&cfg, genome.clone(), black_box(&init)).expect("valid world"));
+    });
+}
+
+/// Raw FSM table lookup (the inner loop of the act phase).
+fn bench_fsm_lookup(c: &mut Criterion) {
+    let genome = best_agent(GridKind::Triangulate);
+    c.bench_function("fsm_lookup_all_inputs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for x in 0..8usize {
+                for s in 0..4u8 {
+                    let e = genome.lookup(Percept::decode(black_box(x), 2), s);
+                    acc += u32::from(e.next_state);
+                }
+            }
+            acc
+        });
+    });
+}
+
+/// BFS distance field on the 16×16 tori (used by Fig. 2 regeneration and
+/// formula validation).
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs_distances_16x16");
+    let lattice = Lattice::torus(16, 16);
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| bfs_distances(lattice, kind, black_box(Pos::new(3, 3))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step,
+    bench_packed_exchange,
+    bench_packed_exchange_33,
+    bench_full_run,
+    bench_world_construction,
+    bench_fsm_lookup,
+    bench_bfs,
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Benchmarks of the experiment-level units: one Table 1 measurement
+//! point (reduced configuration count), one GA generation and a
+//! reliability screen — so regressions in experiment wall-time are caught
+//! before a full regeneration run.
+
+use a2a_analysis::experiments::density::{run_series, DensityExperiment};
+use a2a_fsm::{best_agent, FsmSpec};
+use a2a_ga::{Evaluator, Evolution, GaConfig};
+use a2a_grid::GridKind;
+use a2a_sim::{paper_config_set, WorldConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// One Table 1 measurement point: 20 configurations at k = 16.
+fn bench_table1_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_point_k16_20cfg");
+    group.sample_size(20);
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        let exp = DensityExperiment {
+            m: 16,
+            agent_counts: vec![16],
+            n_random: 20,
+            seed: 1,
+            t_max: 1000,
+            threads: 1, // single-threaded: measure the work, not the pool
+        };
+        let genome = best_agent(kind);
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| run_series(kind, black_box(&genome), &exp).expect("valid experiment"));
+        });
+    }
+    group.finish();
+}
+
+/// One full fitness evaluation (the GA's unit of work): one genome over
+/// 50 configurations of 8 agents.
+fn bench_fitness_evaluation(c: &mut Criterion) {
+    let kind = GridKind::Triangulate;
+    let env = WorldConfig::paper(kind, 16);
+    let configs = paper_config_set(env.lattice, kind, 8, 50, 5).unwrap();
+    let evaluator = Evaluator::new(env, configs).with_threads(1);
+    let genome = best_agent(kind);
+    let mut group = c.benchmark_group("fitness_evaluation_8_agents_50cfg");
+    group.sample_size(20);
+    group.bench_function("published_t_agent", |b| {
+        b.iter(|| evaluator.evaluate(black_box(&genome)));
+    });
+    group.finish();
+}
+
+/// A tiny but complete evolution run (pool 20, 3 generations, 10
+/// configurations) — the generational overhead on top of raw fitness.
+fn bench_ga_generations(c: &mut Criterion) {
+    let kind = GridKind::Square;
+    let env = WorldConfig::paper(kind, 16);
+    let configs = paper_config_set(env.lattice, kind, 8, 10, 9).unwrap();
+    let mut group = c.benchmark_group("ga_3_generations_10cfg");
+    group.sample_size(10);
+    group.bench_function("pool20", |b| {
+        b.iter(|| {
+            let ga = Evolution::new(
+                FsmSpec::paper(kind),
+                Evaluator::new(env.clone(), configs.clone()).with_threads(1),
+                GaConfig::paper(3, 11),
+            );
+            black_box(ga.run(|_| ()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_point,
+    bench_fitness_evaluation,
+    bench_ga_generations,
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Benchmarks of the SVG renderers: a full 16×16 field snapshot and a
+//! long trajectory plot.
+
+use a2a_fsm::best_t_agent;
+use a2a_grid::GridKind;
+use a2a_sim::{record_trajectory, InitialConfig, World, WorldConfig};
+use a2a_viz::{render_field, render_trajectory, Theme};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn prepared() -> (World, a2a_sim::Trajectory) {
+    let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let init = InitialConfig::random(cfg.lattice, cfg.kind, 8, &[], &mut rng).unwrap();
+    let mut world = World::new(&cfg, best_t_agent(), &init).unwrap();
+    let (_, traj) = record_trajectory(&mut world, 1000);
+    (world, traj)
+}
+
+fn bench_render_field(c: &mut Criterion) {
+    let (world, _) = prepared();
+    let theme = Theme::default();
+    c.bench_function("svg_render_field_16x16", |b| {
+        b.iter(|| render_field(black_box(&world), &theme));
+    });
+}
+
+fn bench_render_trajectory(c: &mut Criterion) {
+    let (world, traj) = prepared();
+    let theme = Theme::default();
+    c.bench_function("svg_render_trajectory_8_agents", |b| {
+        b.iter(|| render_trajectory(world.lattice(), black_box(&traj), &theme));
+    });
+}
+
+criterion_group!(benches, bench_render_field, bench_render_trajectory);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E12 — colour ablation: the published best agents with their colour
+//! writes suppressed. The paper's earlier S-grid work found "colors speed
+//! up the task by a factor of around 2"; this quantifies the effect for
+//! both published agents.
+//!
+//! ```text
+//! cargo run --release -p a2a-bench --bin ablation_colors [--configs N]
+//! ```
+
+use a2a_analysis::experiments::ablation::{colors_ablation, colors_paired};
+use a2a_analysis::experiments::density::DensityExperiment;
+use a2a_analysis::{f2, TextTable};
+use a2a_bench::RunScale;
+
+fn main() {
+    let scale = RunScale::from_args(100);
+    println!("{}\n", scale.banner("E12: colour ablation"));
+
+    let exp = DensityExperiment {
+        m: 16,
+        agent_counts: vec![2, 4, 8, 16, 32],
+        n_random: scale.configs,
+        seed: scale.seed,
+        t_max: 5000,
+        threads: scale.threads,
+    };
+    let variants = colors_ablation(&exp).expect("densities fit the field");
+
+    let mut header = vec!["variant".to_string()];
+    header.extend(exp.agent_counts.iter().map(|k| format!("k={k}")));
+    header.push("solved".to_string());
+    let mut table = TextTable::new(header);
+    for v in &variants {
+        let mut cells = vec![v.label.clone()];
+        cells.extend(v.series.points.iter().map(|p| {
+            if p.successes == 0 {
+                "-".to_string()
+            } else {
+                f2(p.times.mean)
+            }
+        }));
+        let solved: usize = v.series.points.iter().map(|p| p.successes).sum();
+        let total: usize = v.series.points.iter().map(|p| p.total).sum();
+        cells.push(format!("{solved}/{total}"));
+        table.add_row(cells);
+    }
+    println!("{table}");
+
+    // Speed-up factors where both variants solve.
+    for pair in variants.chunks(2) {
+        let label = pair[0].series.kind.label();
+        let factors: Vec<String> = pair[0]
+            .series
+            .points
+            .iter()
+            .zip(&pair[1].series.points)
+            .filter(|(_, without)| without.successes > 0)
+            .map(|(with, without)| {
+                format!("k={}: {:.2}x", with.agents, without.times.mean / with.times.mean)
+            })
+            .collect();
+        println!(
+            "{label}-grid colour speed-up (colourless/coloured): {}",
+            if factors.is_empty() { "colourless never solves".to_string() } else { factors.join(", ") },
+        );
+    }
+    // Paired comparison on the configurations both variants solve — the
+    // raw means above under-count the colourless agent's weakness (it
+    // only solves the easy fields).
+    println!("\npaired comparison (configs solved by BOTH variants):");
+    let mut paired = TextTable::new(vec![
+        "grid", "k", "both solved", "with colors", "without", "speed-up",
+    ]);
+    for kind in [a2a_grid::GridKind::Triangulate, a2a_grid::GridKind::Square] {
+        for &k in &[8usize, 16, 32] {
+            let r = colors_paired(kind, k, scale.configs, scale.seed, 5000, scale.threads)
+                .expect("densities fit the field");
+            let (w, wo, sp) = if r.both_solved == 0 {
+                ("-".to_string(), "-".to_string(), "-".to_string())
+            } else {
+                (f2(r.mean_with), f2(r.mean_without), format!("{:.2}x", r.speedup()))
+            };
+            paired.add_row(vec![
+                kind.label().to_string(),
+                k.to_string(),
+                format!("{}/{}", r.both_solved, r.total),
+                w,
+                wo,
+                sp,
+            ]);
+        }
+    }
+    println!("{paired}");
+    println!("paper context: colours acted as pheromones worth ~2x in earlier S-grid work");
+}

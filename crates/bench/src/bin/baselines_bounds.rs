@@ -1,0 +1,76 @@
+//! E16 — evolved agents vs. hand-coded baselines vs. the diffusion lower
+//! bound: how much the genetic procedure buys, and how close the evolved
+//! agents are to movement-optimal information diffusion.
+//!
+//! ```text
+//! cargo run --release -p a2a-bench --bin baselines_bounds [--configs N]
+//! ```
+
+use a2a_analysis::experiments::baselines::{baseline_comparison, bound_comparison};
+use a2a_analysis::experiments::density::DensityExperiment;
+use a2a_analysis::{f2, TextTable};
+use a2a_bench::RunScale;
+use a2a_grid::GridKind;
+
+fn main() {
+    let scale = RunScale::from_args(100);
+    println!("{}\n", scale.banner("E16: baselines & lower bounds"));
+
+    let exp = DensityExperiment {
+        m: 16,
+        agent_counts: vec![2, 8, 16],
+        n_random: scale.configs,
+        seed: scale.seed,
+        t_max: 5000,
+        threads: scale.threads,
+    };
+
+    println!("--- hand-coded baselines vs the evolved agents ---");
+    for kind in [GridKind::Triangulate, GridKind::Square] {
+        let variants = baseline_comparison(kind, &exp).expect("densities fit the field");
+        let mut header = vec!["behaviour".to_string()];
+        header.extend(exp.agent_counts.iter().map(|k| format!("k={k}")));
+        header.push("solved".to_string());
+        let mut table = TextTable::new(header);
+        for v in &variants {
+            let mut cells = vec![v.label.clone()];
+            cells.extend(v.series.points.iter().map(|p| {
+                if p.successes == 0 { "-".into() } else { f2(p.times.mean) }
+            }));
+            let solved: usize = v.series.points.iter().map(|p| p.successes).sum();
+            let total: usize = v.series.points.iter().map(|p| p.total).sum();
+            cells.push(format!("{solved}/{total}"));
+            table.add_row(cells);
+        }
+        println!("{}-grid:\n{table}", kind.label());
+    }
+    println!(
+        "reading: ballistic agents ride parallel orbits and often never meet; \
+         even the hand-written colour-trail heuristic trails the evolved FSM.\n"
+    );
+
+    println!("--- measured time vs the diffusion lower bound (⌈(d_max−1)/3⌉) ---");
+    let mut table = TextTable::new(vec![
+        "grid", "k", "bound mean", "measured mean", "slowdown", "solved",
+    ]);
+    for kind in [GridKind::Triangulate, GridKind::Square] {
+        for &k in &[2usize, 8, 16] {
+            let r = bound_comparison(kind, k, scale.configs, scale.seed, 5000, scale.threads)
+                .expect("densities fit the field");
+            table.add_row(vec![
+                kind.label().to_string(),
+                k.to_string(),
+                f2(r.bound.mean),
+                f2(r.measured.mean),
+                format!("{:.1}x", r.mean_slowdown),
+                format!("{}/{}", r.successes, r.total),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "reading: the bound assumes perfectly aimed movement and relaying; \
+         the gap (one order of magnitude at low density) is the price of \
+         *searching* for partners with local information only."
+    );
+}

@@ -1,0 +1,48 @@
+//! E19 — information-diffusion profiles: mean informed fraction vs time,
+//! T vs S, for several densities.
+//!
+//! ```text
+//! cargo run --release -p a2a-bench --bin diffusion_profile [--configs N]
+//! ```
+
+use a2a_analysis::experiments::profile::diffusion_profile;
+use a2a_analysis::{AsciiChart, Series, XScale};
+use a2a_bench::RunScale;
+use a2a_grid::GridKind;
+
+fn main() {
+    let scale = RunScale::from_args(150);
+    println!("{}\n", scale.banner("E19: diffusion profiles"));
+
+    for k in [4usize, 16] {
+        let t = diffusion_profile(GridKind::Triangulate, k, scale.configs, scale.seed, 3000, scale.threads)
+            .expect("densities fit the field");
+        let s = diffusion_profile(GridKind::Square, k, scale.configs, scale.seed, 3000, scale.threads)
+            .expect("densities fit the field");
+        let pts = |p: &a2a_analysis::experiments::profile::DiffusionProfile| {
+            p.fraction
+                .iter()
+                .enumerate()
+                .map(|(t, &f)| (t as f64, f))
+                .collect::<Vec<_>>()
+        };
+        let chart = AsciiChart::new(70, 16, XScale::Linear)
+            .series(Series::new("T-grid", 'T', pts(&t)))
+            .series(Series::new("S-grid", 'S', pts(&s)));
+        println!("k = {k}: mean informed fraction vs time\n{chart}");
+        for q in [0.5, 0.9, 1.0] {
+            println!(
+                "  time to {:3.0}% informed: T {:>4} | S {:>4}",
+                q * 100.0,
+                t.time_to_fraction(q).map_or("-".into(), |v| v.to_string()),
+                s.time_to_fraction(q).map_or("-".into(), |v| v.to_string()),
+            );
+        }
+        println!();
+    }
+    println!(
+        "reading: the T advantage is not only the final meeting — the whole \
+         curve is shifted left, consistent with the diameter-driven \
+         explanation of Eq. (3)."
+    );
+}

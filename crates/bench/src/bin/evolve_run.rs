@@ -1,0 +1,165 @@
+//! E11 — the genetic procedure of Sect. 4, at configurable scale:
+//! four independent optimisation runs (k = 8, 16×16), extraction of the
+//! top completely successful FSMs, and a reliability screen across agent
+//! densities — exactly the paper's protocol, with `--configs/--full`
+//! scaling the configuration sets.
+//!
+//! ```text
+//! cargo run --release -p a2a-bench --bin evolve_run -- --grid t \
+//!     [--configs N] [--generations G] [--runs R]
+//! ```
+
+use a2a_fsm::{best_agent, FsmSpec, Genome};
+use a2a_ga::{default_threads, screen, Evaluator, Evolution, GaConfig};
+use a2a_grid::GridKind;
+use a2a_sim::{paper_config_set, WorldConfig};
+
+struct Args {
+    kind: GridKind,
+    configs: usize,
+    generations: usize,
+    runs: usize,
+    seed: u64,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        kind: GridKind::Triangulate,
+        configs: 100,
+        generations: 150,
+        runs: 4,
+        seed: 2013,
+        threads: default_threads(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+                .clone()
+        };
+        match flag.as_str() {
+            "--grid" => {
+                args.kind = match value("--grid").as_str() {
+                    "t" | "T" => GridKind::Triangulate,
+                    "s" | "S" => GridKind::Square,
+                    g => panic!("unknown grid `{g}`"),
+                }
+            }
+            "--configs" => args.configs = value("--configs").parse().expect("numeric"),
+            "--generations" => args.generations = value("--generations").parse().expect("numeric"),
+            "--runs" => args.runs = value("--runs").parse().expect("numeric"),
+            "--seed" => args.seed = value("--seed").parse().expect("numeric"),
+            "--threads" => args.threads = value("--threads").parse().expect("numeric"),
+            "--full" => {
+                args.configs = 1000;
+                args.generations = 600;
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let kind = args.kind;
+    println!(
+        "=== E11: genetic procedure — {} grid, {} runs x {} generations, {} configs, seed {} ===\n",
+        kind, args.runs, args.generations, args.configs, args.seed,
+    );
+    println!("search space: 10^{:.1} FSMs\n", FsmSpec::paper(kind).search_space_log10());
+
+    let env = WorldConfig::paper(kind, 16);
+    // "Four independent optimization runs on 1003 initial configurations
+    //  were performed, with field size 16x16 and N_agents = 8."
+    let mut candidates: Vec<(usize, Genome, f64)> = Vec::new();
+    for run in 0..args.runs {
+        let run_seed = args.seed.wrapping_add(run as u64 * 0x0123_4567);
+        let train = paper_config_set(env.lattice, kind, 8, args.configs, run_seed)
+            .expect("8 agents fit 16x16");
+        let ga = Evolution::new(
+            FsmSpec::paper(kind),
+            Evaluator::new(env.clone(), train).with_threads(args.threads),
+            GaConfig::paper(args.generations, run_seed),
+        );
+        let outcome = ga.run(|s| {
+            if s.generation % 25 == 0 {
+                println!(
+                    "  run {run}, gen {:4}: best F {:10.2}{}",
+                    s.generation,
+                    s.best_fitness,
+                    if s.best_complete { " complete" } else { "" },
+                );
+            }
+        });
+        // "Then the top 3 completely successful FSMs of each run
+        //  (altogether 12) were also tested …"
+        let top = outcome.top_completely_successful(3);
+        println!(
+            "run {run}: {} completely successful individuals in the final pool",
+            top.len()
+        );
+        for ind in top {
+            candidates.push((run, ind.genome.clone(), ind.report.fitness));
+        }
+    }
+
+    if candidates.is_empty() {
+        println!(
+            "\nno completely successful FSM evolved at this scale; \
+             re-run with more --generations/--configs"
+        );
+        return;
+    }
+
+    // Reliability screening across densities, then rank.
+    println!("\nscreening {} candidates across densities…", candidates.len());
+    let screen_ks = [2usize, 4, 8, 16, 32, 256];
+    let mut ranked: Vec<(usize, Genome, f64, bool)> = Vec::new();
+    for (run, genome, _) in candidates {
+        let report = screen(
+            &genome,
+            &env,
+            &screen_ks,
+            (args.configs / 4).max(10),
+            args.seed ^ 0xBEEF,
+            2000,
+            args.threads,
+        )
+        .expect("screen densities fit the field");
+        let mean_fitness: f64 = report
+            .per_density
+            .iter()
+            .map(|d| d.report.fitness)
+            .sum::<f64>()
+            / report.per_density.len() as f64;
+        ranked.push((run, genome, mean_fitness, report.is_reliable()));
+    }
+    ranked.sort_by(|a, b| {
+        b.3.cmp(&a.3)
+            .then(a.2.partial_cmp(&b.2).expect("fitness is not NaN"))
+    });
+
+    let (run, best, fitness, reliable) = &ranked[0];
+    println!(
+        "\nbest evolved candidate (from run {run}): screen fitness {fitness:.2}, reliable: {reliable}"
+    );
+    println!("{best}");
+    println!("genome digits: {}\n", best.to_digits());
+
+    // Compare against the published FSM on a fresh set.
+    let fresh = paper_config_set(env.lattice, kind, 8, args.configs.max(100), 0xACE)
+        .expect("8 agents fit 16x16");
+    let eval = Evaluator::new(env, fresh).with_t_max(2000).with_threads(args.threads);
+    let ours = eval.evaluate(best);
+    let published = eval.evaluate(&best_agent(kind));
+    println!(
+        "fresh-set comparison  (k = 8): evolved mean t_comm {:.2} ({}/{} solved) \
+         vs published {:.2} ({}/{})",
+        ours.mean_t_comm, ours.successes, ours.total,
+        published.mean_t_comm, published.successes, published.total,
+    );
+}

@@ -1,0 +1,35 @@
+//! E7/E8 — regenerates the **Fig. 6** (S-grid streets) and **Fig. 7**
+//! (T-grid honeycombs) two-agent traces, including the colour and visited
+//! layers.
+//!
+//! ```text
+//! cargo run --release -p a2a-bench --bin fig6_fig7_traces [--seed S]
+//! ```
+
+use a2a_analysis::experiments::traces;
+use a2a_bench::RunScale;
+
+fn main() {
+    let scale = RunScale::from_args(500);
+    println!("{}\n", scale.banner("E7/E8: Fig. 6 and Fig. 7 traces"));
+
+    println!("--- E7: Fig. 6, S-grid, target 114 steps ---\n");
+    let fig6 = traces::fig6(scale.seed, scale.configs).expect("trace construction");
+    for snap in &fig6.snapshots {
+        println!("{snap}\n");
+    }
+    println!(
+        "S-pair solved in {} steps (paper's special configuration: 114)\n",
+        fig6.outcome.t_comm.expect("searched configurations are successful"),
+    );
+
+    println!("--- E8: Fig. 7, T-grid, target 44 steps ---\n");
+    let fig7 = traces::fig7(scale.seed, scale.configs).expect("trace construction");
+    for snap in &fig7.snapshots {
+        println!("{snap}\n");
+    }
+    println!(
+        "T-pair solved in {} steps (paper's special configuration: 44)",
+        fig7.outcome.t_comm.expect("searched configurations are successful"),
+    );
+}

@@ -1,0 +1,42 @@
+//! E21 — mobility vs density: what fraction of steps agents spend
+//! moving, and how it explains the k = 4 maximum of Table 1.
+//!
+//! ```text
+//! cargo run --release -p a2a-bench --bin mobility [--configs N]
+//! ```
+
+use a2a_analysis::experiments::mobility::mobility_sweep;
+use a2a_analysis::{f2, TextTable};
+use a2a_bench::RunScale;
+use a2a_grid::GridKind;
+
+fn main() {
+    let scale = RunScale::from_args(100);
+    println!("{}\n", scale.banner("E21: agent mobility vs density"));
+
+    let ks = [2usize, 4, 8, 16, 32, 64, 256];
+    let mut table = TextTable::new(vec![
+        "grid", "k", "mobility (mean)", "sd", "t_comm (mean)",
+    ]);
+    for kind in [GridKind::Triangulate, GridKind::Square] {
+        let points = mobility_sweep(kind, &ks, scale.configs, scale.seed, 5000, scale.threads)
+            .expect("densities fit the field");
+        for p in &points {
+            table.add_row(vec![
+                kind.label().to_string(),
+                p.agents.to_string(),
+                format!("{:.3}", p.mobility.mean),
+                format!("{:.3}", p.mobility.std_dev),
+                if p.times.n == 0 { "-".into() } else { f2(p.times.mean) },
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "reading: mobility stays near 1 up to k≈32 (collisions are rare) and \
+         collapses towards 0 at full packing, where pure diffusion takes \
+         over. The k = 4 slowdown is therefore *not* a congestion effect — \
+         it is a search effect: more agents than 2 dilute the pairwise \
+         meeting problem without yet providing relay coverage."
+    );
+}

@@ -1,0 +1,65 @@
+//! Renders the graphical versions of the paper's figures as SVG files
+//! under `results/`: the Fig. 5 density chart, Fig. 6/7 field snapshots
+//! and the two-agent trajectory plots.
+//!
+//! ```text
+//! cargo run --release -p a2a-bench --bin render_svg [--configs N]
+//! ```
+
+use a2a_analysis::experiments::density::{run_density_comparison, DensityExperiment};
+use a2a_analysis::experiments::traces::{find_two_agent_config, FIG6_S_TIME, FIG7_T_TIME};
+use a2a_bench::RunScale;
+use a2a_fsm::best_agent;
+use a2a_grid::GridKind;
+use a2a_sim::{record_trajectory, World, WorldConfig};
+use a2a_viz::{render_chart, render_field, render_trajectory, ChartScale, ChartSeries, Theme};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let scale = RunScale::from_args(100);
+    println!("{}\n", scale.banner("SVG renderings of Fig. 5/6/7"));
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("results directory is creatable");
+    let theme = Theme::default();
+
+    // Fig. 5 as an SVG chart.
+    let exp = DensityExperiment::quick(scale.configs, scale.seed, scale.threads);
+    let cmp = run_density_comparison(&exp).expect("valid experiment");
+    let series = |s: &a2a_analysis::experiments::density::GridSeries, color: &str| ChartSeries {
+        label: format!("{}-grid", s.kind.label()),
+        color: color.into(),
+        points: s.points.iter().map(|p| (p.agents as f64, p.times.mean)).collect(),
+    };
+    let chart = render_chart(
+        "Fig. 5: communication time vs N_agents (16x16)",
+        "N_agents (log2)",
+        "t_comm",
+        ChartScale::Log2,
+        &[series(&cmp.t_grid, "#c1121f"), series(&cmp.s_grid, "#2a6f97")],
+    );
+    fs::write(out_dir.join("fig5_chart.svg"), &chart).expect("results/ is writable");
+    println!("wrote results/fig5_chart.svg ({} bytes)", chart.len());
+
+    // Fig. 6/7: final field snapshots + trajectory plots.
+    for (kind, target, stem) in [
+        (GridKind::Square, FIG6_S_TIME, "fig6_s"),
+        (GridKind::Triangulate, FIG7_T_TIME, "fig7_t"),
+    ] {
+        let (init, t) = find_two_agent_config(kind, target, 500, scale.seed);
+        let cfg = WorldConfig::paper(kind, 16);
+        let mut world = World::new(&cfg, best_agent(kind), &init).expect("valid world");
+        let (outcome, traj) = record_trajectory(&mut world, 2000);
+        let field_svg = render_field(&world, &theme);
+        let traj_svg = render_trajectory(cfg.lattice, &traj, &theme);
+        fs::write(out_dir.join(format!("{stem}_field.svg")), &field_svg)
+            .expect("results/ is writable");
+        fs::write(out_dir.join(format!("{stem}_paths.svg")), &traj_svg)
+            .expect("results/ is writable");
+        println!(
+            "wrote results/{stem}_field.svg + results/{stem}_paths.svg \
+             (config with t_comm = {t}, replay took {:?})",
+            outcome.t_comm,
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! E6 — regenerates **Table 1** and the **Fig. 5** series: communication
+//! time vs. agent density for the best T- and S-agents on a 16×16 torus.
+//!
+//! ```text
+//! cargo run --release -p a2a-bench --bin table1_fig5 [--full] [--configs N] [--seed S]
+//! ```
+
+use a2a_analysis::experiments::density::{
+    run_density_comparison, DensityExperiment, PAPER_TABLE1_S, PAPER_TABLE1_T,
+    TABLE1_AGENT_COUNTS,
+};
+use a2a_analysis::{f2, f3, AsciiChart, Series, TextTable, XScale};
+use a2a_bench::RunScale;
+
+fn main() {
+    let scale = RunScale::from_args(200);
+    println!("{}\n", scale.banner("E6: Table 1 / Fig. 5"));
+
+    let exp = DensityExperiment {
+        m: 16,
+        agent_counts: TABLE1_AGENT_COUNTS.to_vec(),
+        n_random: scale.configs,
+        seed: scale.seed,
+        t_max: 5000,
+        threads: scale.threads,
+    };
+    let cmp = run_density_comparison(&exp).expect("16x16 densities are all representable");
+
+    println!("measured:\n{}", cmp.to_table());
+
+    // Side-by-side with the published Table 1.
+    let mut table = TextTable::new(vec![
+        "N_agents", "T paper", "T ours", "T dev%", "S paper", "S ours", "S dev%", "T/S paper",
+        "T/S ours",
+    ]);
+    for (i, &k) in TABLE1_AGENT_COUNTS.iter().enumerate() {
+        let (tp, sp) = (PAPER_TABLE1_T[i], PAPER_TABLE1_S[i]);
+        let (to, so) = (cmp.t_grid.points[i].times.mean, cmp.s_grid.points[i].times.mean);
+        table.add_row(vec![
+            k.to_string(),
+            f2(tp),
+            f2(to),
+            format!("{:+.1}", 100.0 * (to - tp) / tp),
+            f2(sp),
+            f2(so),
+            format!("{:+.1}", 100.0 * (so - sp) / sp),
+            f3(tp / sp),
+            f3(to / so),
+        ]);
+    }
+    println!("paper vs measured:\n{table}");
+
+    // Success accounting (the reliability claim behind the averages).
+    for series in [&cmp.t_grid, &cmp.s_grid] {
+        let solved: usize = series.points.iter().map(|p| p.successes).sum();
+        let total: usize = series.points.iter().map(|p| p.total).sum();
+        println!(
+            "{}-grid: {solved}/{total} configurations solved{}",
+            series.kind.label(),
+            if solved == total { " (completely successful)" } else { "" },
+        );
+    }
+
+    // Fig. 5 as an ASCII chart (log2 x-axis over the agent counts).
+    let to_points = |series: &a2a_analysis::experiments::density::GridSeries| {
+        series
+            .points
+            .iter()
+            .map(|p| (p.agents as f64, p.times.mean))
+            .collect::<Vec<_>>()
+    };
+    let chart = AsciiChart::new(64, 16, XScale::Log2)
+        .series(Series::new("T-grid", 'T', to_points(&cmp.t_grid)))
+        .series(Series::new("S-grid", 'S', to_points(&cmp.s_grid)));
+    println!("\nFig. 5 (communication time vs N_agents):\n{chart}");
+
+    println!("\nFig. 5 CSV:\n{}", cmp.to_csv());
+}

@@ -1,0 +1,56 @@
+//! E24 — adversarial worst-case search: hill-climbing configurations to
+//! maximise communication time, bounding the published agents' tail
+//! behaviour beyond what random sampling sees.
+//!
+//! ```text
+//! cargo run --release -p a2a-bench --bin worst_case [--configs ITERATIONS]
+//! ```
+
+use a2a_analysis::experiments::worstcase::adversarial_search;
+use a2a_analysis::TextTable;
+use a2a_bench::RunScale;
+use a2a_grid::GridKind;
+
+fn main() {
+    let scale = RunScale::from_args(400);
+    println!("{}\n", scale.banner("E24: adversarial worst-case search"));
+    println!("(--configs is the hill-climbing iteration budget here)\n");
+
+    let mut table = TextTable::new(vec![
+        "grid", "k", "random start", "worst found", "blow-up", "accepted moves",
+    ]);
+    for kind in [GridKind::Triangulate, GridKind::Square] {
+        for &k in &[2usize, 4, 8, 16] {
+            // Three restarts, keep the hardest.
+            let mut best: Option<a2a_analysis::experiments::worstcase::WorstCase> = None;
+            for restart in 0..3u64 {
+                let w = adversarial_search(kind, k, scale.configs, scale.seed ^ restart, 20_000)
+                    .expect("valid environment");
+                if w.time.is_none() {
+                    println!("!!! reliability REFUTED: unsolved configuration found: {w:?}");
+                    return;
+                }
+                if best.as_ref().is_none_or(|b| w.time > b.time) {
+                    best = Some(w);
+                }
+            }
+            let w = best.expect("three restarts ran");
+            let t = w.time.expect("reliable");
+            table.add_row(vec![
+                kind.label().to_string(),
+                k.to_string(),
+                w.initial_time.to_string(),
+                t.to_string(),
+                format!("{:.1}x", f64::from(t) / f64::from(w.initial_time.max(1))),
+                w.improvements.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "reading: adversarial search finds configurations several times slower \
+         than typical random fields (cf. the exact k=2 worst cases of E22: \
+         499 T / 663 S), yet never an unsolved one — the reliability claim \
+         survives active attack at every density tried."
+    );
+}

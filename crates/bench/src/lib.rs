@@ -1,0 +1,95 @@
+//! Shared plumbing for the experiment binaries of the reproduction: a
+//! tiny flag parser and run-scale presets, so every binary accepts the
+//! same `--configs/--seed/--threads/--full` switches.
+//!
+//! The binaries themselves (in `src/bin/`) regenerate the paper's tables
+//! and figures; see DESIGN.md's per-experiment index for the mapping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use a2a_ga::default_threads;
+
+/// Scale/seed options shared by all experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// Random configurations per measurement point.
+    pub configs: usize,
+    /// Seed of every configuration stream.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Whether `--full` (the paper's 1000-config protocol) was requested.
+    pub full: bool,
+}
+
+impl RunScale {
+    /// Parses `--configs N`, `--seed S`, `--threads T` and `--full` from
+    /// the process arguments. `default_configs` applies when neither
+    /// `--configs` nor `--full` is given; `--full` selects the paper's
+    /// 1000 random configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags (these are
+    /// experiment binaries; failing fast beats guessing).
+    #[must_use]
+    pub fn from_args(default_configs: usize) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut scale = Self {
+            configs: default_configs,
+            seed: 2013,
+            threads: default_threads(),
+            full: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+                    .clone()
+            };
+            match flag.as_str() {
+                "--configs" => scale.configs = value("--configs").parse().expect("numeric --configs"),
+                "--seed" => scale.seed = value("--seed").parse().expect("numeric --seed"),
+                "--threads" => scale.threads = value("--threads").parse().expect("numeric --threads"),
+                "--full" => {
+                    scale.full = true;
+                    scale.configs = 1000;
+                }
+                other => panic!("unknown flag `{other}` (use --configs/--seed/--threads/--full)"),
+            }
+        }
+        scale
+    }
+
+    /// A banner line describing the scale, printed by every binary.
+    #[must_use]
+    pub fn banner(&self, experiment: &str) -> String {
+        format!(
+            "=== {experiment} — {} random configs per point, seed {}, {} threads{} ===",
+            self.configs,
+            self.seed,
+            self.threads,
+            if self.full { " (paper-scale protocol)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_mentions_scale() {
+        let scale = RunScale { configs: 42, seed: 7, threads: 3, full: false };
+        let b = scale.banner("Table 1");
+        assert!(b.contains("Table 1") && b.contains("42") && b.contains("seed 7"));
+    }
+
+    #[test]
+    fn full_banner_marks_protocol() {
+        let scale = RunScale { configs: 1000, seed: 7, threads: 3, full: true };
+        assert!(scale.banner("x").contains("paper-scale"));
+    }
+}

@@ -1,0 +1,301 @@
+//! `a2a` — command-line front end for the reproduction: simulate, trace,
+//! regenerate the paper's tables and evolve new agents.
+
+use a2a::analysis::experiments::{density, distances, grid33, traces};
+use a2a::ga::{Evaluator, Evolution, GaConfig};
+use a2a::prelude::*;
+use a2a::sim::render_snapshot;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+a2a — CA agents for all-to-all communication (PaCT 2013 reproduction)
+
+USAGE:
+    a2a <COMMAND> [OPTIONS]
+
+COMMANDS:
+    simulate    run one configuration and print the outcome
+    decide      prove whether a configuration ever solves (cycle detection)
+    render      run one configuration and write SVG field + path plots
+    table1      regenerate Table 1 / Fig. 5 (T vs S over densities)
+    distances   print Fig. 2 distance maps and the Eq. (1)-(3) table
+    trace       replay a Fig. 6/7-style two-agent trace with snapshots
+    grid33      run the 33x33 / 16-agent comparison of Sect. 5
+    evolve      run the Sect. 4 genetic procedure
+    help        show this text
+
+COMMON OPTIONS:
+    --grid t|s          grid family (default t)
+    --agents K          number of agents (default 16)
+    --extent M          field extent MxM (default 16)
+    --seed S            RNG seed (default 2013)
+    --configs N         random configurations per point (default 100)
+    --generations G     GA generations (default 50)
+    --threads N         worker threads (default: all cores)
+    --snapshots         print ASCII snapshots (simulate)
+    --out DIR           output directory for SVGs (render; default results)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = Options::parse(&args[1..]);
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(&opts),
+        "decide" => cmd_decide(&opts),
+        "render" => cmd_render(&opts),
+        "table1" => cmd_table1(&opts),
+        "distances" => cmd_distances(&opts),
+        "trace" => cmd_trace(&opts),
+        "grid33" => cmd_grid33(&opts),
+        "evolve" => cmd_evolve(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `a2a help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed command-line options with the defaults listed in `USAGE`.
+struct Options {
+    grid: GridKind,
+    agents: usize,
+    extent: u16,
+    seed: u64,
+    configs: usize,
+    generations: usize,
+    threads: usize,
+    snapshots: bool,
+    out: String,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Self {
+        let mut opts = Self {
+            grid: GridKind::Triangulate,
+            agents: 16,
+            extent: 16,
+            seed: 2013,
+            configs: 100,
+            generations: 50,
+            threads: a2a::ga::default_threads(),
+            snapshots: false,
+            out: "results".to_string(),
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+                    .clone()
+            };
+            match flag.as_str() {
+                "--grid" => {
+                    opts.grid = match value("--grid").as_str() {
+                        "t" | "T" => GridKind::Triangulate,
+                        "s" | "S" => GridKind::Square,
+                        other => panic!("unknown grid `{other}` (use t or s)"),
+                    }
+                }
+                "--agents" => opts.agents = value("--agents").parse().expect("numeric --agents"),
+                "--extent" => opts.extent = value("--extent").parse().expect("numeric --extent"),
+                "--seed" => opts.seed = value("--seed").parse().expect("numeric --seed"),
+                "--configs" => opts.configs = value("--configs").parse().expect("numeric --configs"),
+                "--generations" => {
+                    opts.generations = value("--generations").parse().expect("numeric --generations");
+                }
+                "--threads" => opts.threads = value("--threads").parse().expect("numeric --threads"),
+                "--snapshots" => opts.snapshots = true,
+                "--out" => opts.out = value("--out"),
+                other => panic!("unknown option `{other}`; try `a2a help`"),
+            }
+        }
+        opts
+    }
+}
+
+fn cmd_simulate(opts: &Options) -> Result<(), String> {
+    let scenario = Scenario::new(opts.grid)
+        .extent(opts.extent)
+        .agents(opts.agents)
+        .seed(opts.seed);
+    let mut world = scenario.world().map_err(|e| e.to_string())?;
+    if opts.snapshots {
+        println!("{}", render_snapshot(&world));
+    }
+    let outcome = a2a::sim::run_to_completion(&mut world, 5000);
+    if opts.snapshots {
+        println!("{}", render_snapshot(&world));
+    }
+    match outcome.t_comm {
+        Some(t) => println!(
+            "solved: {} agents all informed after {t} steps ({} grid, {}x{}, seed {})",
+            outcome.agents, opts.grid, opts.extent, opts.extent, opts.seed
+        ),
+        None => println!(
+            "NOT solved within horizon: {}/{} agents informed",
+            outcome.informed, outcome.agents
+        ),
+    }
+    Ok(())
+}
+
+fn cmd_decide(opts: &Options) -> Result<(), String> {
+    use a2a::sim::{decide, Decision};
+    let scenario = Scenario::new(opts.grid)
+        .extent(opts.extent)
+        .agents(opts.agents)
+        .seed(opts.seed);
+    let mut world = scenario.world().map_err(|e| e.to_string())?;
+    // ~300 bytes per stored state: cap at ~1M states (a few hundred MB).
+    match decide(&mut world, 1_000_000) {
+        Decision::Solved(t) => {
+            println!("PROVEN solvable: all {} agents informed after {t} steps", opts.agents);
+        }
+        Decision::NeverSolves { entered, repeated } => {
+            println!(
+                "PROVEN unsolvable: the system enters a limit cycle of period {} at step {entered}                  (state repeats at step {repeated}) without ever informing all agents",
+                repeated - entered,
+            );
+        }
+        Decision::Undecided => {
+            println!("undecided within the 1M-state memory budget; raise it in code for a full proof");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_render(opts: &Options) -> Result<(), String> {
+    use a2a::sim::record_trajectory;
+    use a2a::viz::{render_field, render_trajectory, Theme};
+    let scenario = Scenario::new(opts.grid)
+        .extent(opts.extent)
+        .agents(opts.agents)
+        .seed(opts.seed);
+    let mut world = scenario.world().map_err(|e| e.to_string())?;
+    let (outcome, trajectory) = record_trajectory(&mut world, 5000);
+    let theme = Theme::default();
+    let dir = std::path::Path::new(&opts.out);
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let stem = format!(
+        "{}_{}a_seed{}",
+        world.kind().label().to_lowercase(),
+        opts.agents,
+        opts.seed
+    );
+    let field = dir.join(format!("{stem}_field.svg"));
+    let paths = dir.join(format!("{stem}_paths.svg"));
+    std::fs::write(&field, render_field(&world, &theme)).map_err(|e| e.to_string())?;
+    std::fs::write(&paths, render_trajectory(world.lattice(), &trajectory, &theme))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "t_comm = {:?}; wrote {} and {}",
+        outcome.t_comm,
+        field.display(),
+        paths.display()
+    );
+    Ok(())
+}
+
+fn cmd_table1(opts: &Options) -> Result<(), String> {
+    let exp = density::DensityExperiment {
+        m: 16,
+        agent_counts: density::TABLE1_AGENT_COUNTS.to_vec(),
+        n_random: opts.configs,
+        seed: opts.seed,
+        t_max: 5000,
+        threads: opts.threads,
+    };
+    println!(
+        "Table 1 / Fig. 5 — {} random + manual configurations per density (seed {})\n",
+        opts.configs, opts.seed
+    );
+    let cmp = density::run_density_comparison(&exp).map_err(|e| e.to_string())?;
+    println!("{}", cmp.to_table());
+    println!("paper reference:");
+    println!("  T-grid: {:?}", density::PAPER_TABLE1_T);
+    println!("  S-grid: {:?}", density::PAPER_TABLE1_S);
+    println!("\nFig. 5 CSV:\n{}", cmp.to_csv());
+    Ok(())
+}
+
+fn cmd_distances(_opts: &Options) -> Result<(), String> {
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        let r = distances::survey(kind, 3);
+        println!(
+            "{} torus, n=3 (Fig. 2): D = {}, mean = {:.2} (formula {:.2}), {} antipodal(s)",
+            kind, r.diameter, r.mean, r.mean_formula, r.antipodal_count
+        );
+        println!("{}", r.map);
+    }
+    println!("Eq. (1)-(3) over sizes:");
+    println!("{}", distances::formula_table(1..=8));
+    Ok(())
+}
+
+fn cmd_trace(opts: &Options) -> Result<(), String> {
+    let trace = match opts.grid {
+        GridKind::Square => traces::fig6(opts.seed, 500),
+        GridKind::Triangulate => traces::fig7(opts.seed, 500),
+    }
+    .map_err(|e| e.to_string())?;
+    for snap in &trace.snapshots {
+        println!("{snap}\n");
+    }
+    println!("communication time: {:?}", trace.outcome.t_comm);
+    Ok(())
+}
+
+fn cmd_grid33(opts: &Options) -> Result<(), String> {
+    println!(
+        "33x33 field, 16 agents, {} random configurations (paper: T 181, S 229)",
+        opts.configs
+    );
+    let r = grid33::run_grid33(opts.configs, opts.seed, opts.threads).map_err(|e| e.to_string())?;
+    println!("T-agent mean: {:.2}", r.t_mean());
+    println!("S-agent mean: {:.2}", r.s_mean());
+    println!("reliable: {}", r.both_reliable());
+    Ok(())
+}
+
+fn cmd_evolve(opts: &Options) -> Result<(), String> {
+    let env = WorldConfig::paper(opts.grid, opts.extent);
+    let configs = a2a::sim::paper_config_set(env.lattice, opts.grid, opts.agents, opts.configs, opts.seed)
+        .map_err(|e| e.to_string())?;
+    let evaluator = Evaluator::new(env, configs).with_threads(opts.threads);
+    let ga = Evolution::new(
+        FsmSpec::paper(opts.grid),
+        evaluator,
+        GaConfig::paper(opts.generations, opts.seed),
+    );
+    println!(
+        "evolving {} agents on {}x{}, {} configs, {} generations (seed {})",
+        opts.agents, opts.extent, opts.extent, opts.configs, opts.generations, opts.seed
+    );
+    let outcome = ga.run(|s| {
+        println!(
+            "gen {:4}: best F = {:10.2} ({} / {} configs solved{})",
+            s.generation,
+            s.best_fitness,
+            s.best_successes,
+            opts.configs,
+            if s.best_complete { ", COMPLETE" } else { "" },
+        );
+    });
+    let best = outcome.best();
+    println!("\nbest evolved FSM (fitness {:.2}):", best.report.fitness);
+    println!("{}", best.genome);
+    println!("genome digits: {}", best.genome.to_digits());
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! **a2a** — a full reproduction of Hoffmann & Désérable, *CA Agents for
+//! All-to-All Communication Are Faster in the Triangulate Grid*
+//! (PaCT 2013).
+//!
+//! `k` FSM-controlled agents move on a cyclic square ("S") or triangulate
+//! ("T") grid, exchange information with von-Neumann neighbours each
+//! synchronous step, and leave 1-bit colour traces. The paper's headline:
+//! evolved T-agents solve the all-to-all task in ≈ 2/3 of the S-agent
+//! time, tracking the diameter ratio of the two tori.
+//!
+//! This facade crate re-exports the whole stack and adds the high-level
+//! [`Scenario`] builder:
+//!
+//! | layer | crate | contents |
+//! |-------|-------|----------|
+//! | topology | [`grid`] | S/T tori, distances, Eq. (1)–(3) metrics |
+//! | behaviour | [`fsm`] | Mealy genomes, mutation, the published Fig. 3/4 FSMs |
+//! | dynamics | [`sim`] | the synchronous CA world, conflicts, colours, exchange |
+//! | evolution | [`ga`] | the Sect. 4 genetic procedure and reliability screens |
+//! | experiments | [`analysis`] | Table 1 / Fig. 2–7 runners, ablations, extensions |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use a2a::Scenario;
+//! use a2a_grid::GridKind;
+//!
+//! # fn main() -> Result<(), a2a_sim::SimError> {
+//! let t = Scenario::new(GridKind::Triangulate).agents(16).seed(1).run()?;
+//! let s = Scenario::new(GridKind::Square).agents(16).seed(1).run()?;
+//! assert!(t.is_successful() && s.is_successful());
+//! // The headline effect usually shows on a single field already:
+//! println!("T: {:?} steps, S: {:?} steps", t.t_comm, s.t_comm);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod scenario;
+
+pub use scenario::Scenario;
+
+/// Topology layer: tori, directions, distances (re-export of `a2a-grid`).
+pub use a2a_grid as grid;
+
+/// Behaviour layer: FSM genomes and the published agents (re-export of
+/// `a2a-fsm`).
+pub use a2a_fsm as fsm;
+
+/// Dynamics layer: the CA simulator (re-export of `a2a-sim`).
+pub use a2a_sim as sim;
+
+/// Evolution layer: the genetic procedure (re-export of `a2a-ga`).
+pub use a2a_ga as ga;
+
+/// Experiment layer: statistics and paper-figure runners (re-export of
+/// `a2a-analysis`).
+pub use a2a_analysis as analysis;
+
+/// Visualisation layer: SVG renderers (re-export of `a2a-viz`).
+pub use a2a_viz as viz;
+
+/// The most frequently used items in one import.
+pub mod prelude {
+    pub use crate::Scenario;
+    pub use a2a_fsm::{best_agent, best_s_agent, best_t_agent, FsmSpec, Genome};
+    pub use a2a_grid::{Dir, GridKind, Lattice, Pos};
+    pub use a2a_sim::{
+        simulate, InitialConfig, RunOutcome, SimError, World, WorldConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let g = best_agent(GridKind::Triangulate);
+        assert_eq!(g.spec().kind(), GridKind::Triangulate);
+    }
+}

@@ -1,0 +1,185 @@
+//! A one-stop builder for the most common workflow: pick a grid, a number
+//! of agents and a seed, get a running world or a measured outcome.
+
+use a2a_fsm::{best_agent, Genome};
+use a2a_grid::GridKind;
+use a2a_sim::{
+    run_to_completion, InitialConfig, RunOutcome, SimError, World, WorldConfig,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Builder for a single simulation scenario.
+///
+/// Defaults follow the paper's evaluation: a 16×16 torus, 16 agents, the
+/// published best FSM for the chosen grid, `ID mod 2` initial states and
+/// a generous verification horizon.
+///
+/// # Examples
+///
+/// ```
+/// use a2a::Scenario;
+/// use a2a_grid::GridKind;
+///
+/// # fn main() -> Result<(), a2a_sim::SimError> {
+/// let outcome = Scenario::new(GridKind::Triangulate)
+///     .agents(8)
+///     .seed(2013)
+///     .run()?;
+/// assert!(outcome.is_successful());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    kind: GridKind,
+    m: u16,
+    agents: usize,
+    seed: u64,
+    genome: Option<Genome>,
+    init: Option<InitialConfig>,
+    t_max: u32,
+}
+
+impl Scenario {
+    /// A paper-default scenario on the chosen grid.
+    #[must_use]
+    pub fn new(kind: GridKind) -> Self {
+        Self {
+            kind,
+            m: 16,
+            agents: 16,
+            seed: 0,
+            genome: None,
+            init: None,
+            t_max: 5000,
+        }
+    }
+
+    /// Field extent (`m × m`; paper: 16).
+    #[must_use]
+    pub fn extent(mut self, m: u16) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Number of agents (paper sweeps 2–256).
+    #[must_use]
+    pub fn agents(mut self, k: usize) -> Self {
+        self.agents = k;
+        self
+    }
+
+    /// Seed of the random initial configuration.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the published best FSM with a custom behaviour (e.g. one
+    /// you evolved with [`a2a_ga::Evolution`]).
+    #[must_use]
+    pub fn behaviour(mut self, genome: Genome) -> Self {
+        self.genome = Some(genome);
+        self
+    }
+
+    /// Uses an explicit initial configuration instead of a seeded random
+    /// one.
+    #[must_use]
+    pub fn initial(mut self, init: InitialConfig) -> Self {
+        self.init = Some(init);
+        self
+    }
+
+    /// Simulation horizon (default 5000).
+    #[must_use]
+    pub fn horizon(mut self, t_max: u32) -> Self {
+        self.t_max = t_max;
+        self
+    }
+
+    /// Builds the world (placed, initial exchange done, not yet stepped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`World::new`] and placement errors.
+    pub fn world(&self) -> Result<World, SimError> {
+        let cfg = WorldConfig::paper(self.kind, self.m);
+        let genome = self.genome.clone().unwrap_or_else(|| best_agent(self.kind));
+        let init = match &self.init {
+            Some(init) => init.clone(),
+            None => {
+                let mut rng = SmallRng::seed_from_u64(self.seed);
+                InitialConfig::random(cfg.lattice, self.kind, self.agents, &[], &mut rng)?
+            }
+        };
+        World::new(&cfg, genome, &init)
+    }
+
+    /// Builds and runs the world to completion (or the horizon).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`World::new`] and placement errors.
+    pub fn run(&self) -> Result<RunOutcome, SimError> {
+        let mut world = self.world()?;
+        Ok(run_to_completion(&mut world, self.t_max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_solves_the_task() {
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let out = Scenario::new(kind).seed(7).run().unwrap();
+            assert!(out.is_successful(), "{kind}: {out:?}");
+            assert_eq!(out.agents, 16);
+        }
+    }
+
+    #[test]
+    fn builder_knobs_apply() {
+        let world = Scenario::new(GridKind::Triangulate)
+            .extent(8)
+            .agents(4)
+            .seed(1)
+            .world()
+            .unwrap();
+        assert_eq!(world.lattice().len(), 64);
+        assert_eq!(world.agents().len(), 4);
+    }
+
+    #[test]
+    fn custom_behaviour_is_used() {
+        use a2a_fsm::FsmSpec;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let genome = Genome::random(FsmSpec::paper(GridKind::Square), &mut rng);
+        let world = Scenario::new(GridKind::Square)
+            .behaviour(genome.clone())
+            .world()
+            .unwrap();
+        assert_eq!(world.genome(), &genome);
+    }
+
+    #[test]
+    fn explicit_initial_config() {
+        use a2a_grid::{Dir, Pos};
+        let init = InitialConfig::new(vec![
+            (Pos::new(0, 0), Dir::new(0)),
+            (Pos::new(1, 0), Dir::new(0)),
+        ]);
+        let out = Scenario::new(GridKind::Square).initial(init).run().unwrap();
+        assert_eq!(out.t_comm, Some(0), "adjacent agents exchange at placement");
+    }
+
+    #[test]
+    fn overfull_scenario_errors() {
+        let err = Scenario::new(GridKind::Square).extent(4).agents(17).run().unwrap_err();
+        assert!(matches!(err, SimError::TooManyAgents { .. }));
+    }
+}

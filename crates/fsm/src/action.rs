@@ -1,0 +1,117 @@
+//! Agent actions (Sect. 3, "Actions"): the independent triple
+//! *(turn, move, setcolor)*, written in the paper's abbreviated form such
+//! as `Sm0` (straight, move, reset colour) or `R.1` (right, wait, set
+//! colour).
+
+use crate::turnset::TurnSet;
+use serde::{Deserialize, Serialize};
+
+/// One agent action: turn code, move flag and colour to write.
+///
+/// With the paper's parameters (4 turn codes, binary move, binary colour)
+/// there are 16 possible actions:
+/// `{Sm0, Sm1, S.0, S.1, Rm0, …, L.1}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Action {
+    /// Turn code, interpreted through a [`TurnSet`].
+    pub turn: u8,
+    /// Whether the agent attempts to move into its front cell.
+    pub mv: bool,
+    /// Colour written to the agent's current cell.
+    pub set_color: u8,
+}
+
+impl Action {
+    /// Creates an action.
+    #[must_use]
+    pub const fn new(turn: u8, mv: bool, set_color: u8) -> Self {
+        Self { turn, mv, set_color }
+    }
+
+    /// The paper's abbreviated notation, e.g. `Sm0` or `L.1`.
+    ///
+    /// ```
+    /// use a2a_fsm::{Action, TurnSet};
+    ///
+    /// let a = Action::new(1, true, 0);
+    /// assert_eq!(a.abbrev(TurnSet::Square), "Rm0");
+    /// assert_eq!(Action::new(0, false, 1).abbrev(TurnSet::Square), "S.1");
+    /// ```
+    #[must_use]
+    pub fn abbrev(self, turn_set: TurnSet) -> String {
+        format!(
+            "{}{}{}",
+            turn_set.letter(self.turn),
+            if self.mv { 'm' } else { '.' },
+            self.set_color
+        )
+    }
+
+    /// Parses the abbreviated notation back into an action.
+    ///
+    /// Returns `None` for malformed strings or letters outside `turn_set`.
+    #[must_use]
+    pub fn parse_abbrev(s: &str, turn_set: TurnSet) -> Option<Self> {
+        let mut chars = s.chars();
+        let turn = turn_set.code_for_letter(chars.next()?)?;
+        let mv = match chars.next()? {
+            'm' => true,
+            '.' => false,
+            _ => return None,
+        };
+        let set_color = chars.next()?.to_digit(10)? as u8;
+        if chars.next().is_some() {
+            return None;
+        }
+        Some(Self { turn, mv, set_color })
+    }
+
+    /// Enumerates every action expressible with the given cardinalities
+    /// (`|y| = N_turn · N_move · N_setcolor`, 16 in the paper).
+    pub fn all(turn_set: TurnSet, n_colors: u8) -> impl Iterator<Item = Action> {
+        (0..turn_set.cardinality()).flat_map(move |turn| {
+            [false, true].into_iter().flat_map(move |mv| {
+                (0..n_colors).map(move |set_color| Action { turn, mv, set_color })
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_action_set_has_16_elements() {
+        let all: Vec<Action> = Action::all(TurnSet::Square, 2).collect();
+        assert_eq!(all.len(), 16);
+        let abbrevs: Vec<String> = all.iter().map(|a| a.abbrev(TurnSet::Square)).collect();
+        // Spot-check against the set listed in Sect. 3.
+        for expected in ["Sm0", "Sm1", "S.0", "S.1", "Rm0", "Bm1", "L.1"] {
+            assert!(abbrevs.iter().any(|a| a == expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn abbrev_roundtrip_all_turnsets() {
+        for ts in [TurnSet::Square, TurnSet::TriangulateRestricted, TurnSet::TriangulateFull] {
+            for action in Action::all(ts, 2) {
+                let s = action.abbrev(ts);
+                assert_eq!(Action::parse_abbrev(&s, ts), Some(action), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        let ts = TurnSet::Square;
+        assert_eq!(Action::parse_abbrev("", ts), None);
+        assert_eq!(Action::parse_abbrev("Xm0", ts), None);
+        assert_eq!(Action::parse_abbrev("Sq0", ts), None);
+        assert_eq!(Action::parse_abbrev("Sm", ts), None);
+        assert_eq!(Action::parse_abbrev("Sm01", ts), None);
+        // 'r' (+120°) is only valid in the full T turn set.
+        assert_eq!(Action::parse_abbrev("rm0", ts), None);
+        assert!(Action::parse_abbrev("rm0", TurnSet::TriangulateFull).is_some());
+    }
+}

@@ -1,0 +1,155 @@
+//! Hand-coded reference behaviours.
+//!
+//! The paper evolves FSMs because hand-designing good agents is hard;
+//! these baselines quantify that claim. Each is expressed in the same
+//! 4-state/2-colour genome format as the evolved agents, so every
+//! experiment can swap them in unchanged.
+
+use crate::action::Action;
+use crate::genome::{Entry, Genome};
+use crate::spec::FsmSpec;
+use a2a_grid::GridKind;
+
+/// Builds a state-less behaviour from a per-input action table:
+/// `actions[x]` is applied in every control state, and the control state
+/// never changes.
+fn uniform_rows(kind: GridKind, actions: impl Fn(usize) -> Action) -> Genome {
+    let spec = FsmSpec::paper(kind);
+    let entries = (0..spec.entry_count())
+        .map(|i| {
+            let x = i / usize::from(spec.n_states);
+            Entry { next_state: (i % usize::from(spec.n_states)) as u8, action: actions(x) }
+        })
+        .collect();
+    Genome::from_entries(spec, entries)
+}
+
+/// **Ballistic** agents: always move straight ahead, never turn, never
+/// colour. On a torus they loop on a fixed orbit, so two parallel agents
+/// may never meet — the canonical unreliable behaviour (the paper's
+/// "agents can follow similar routes which are 'parallel' and therefore
+/// never intersect").
+#[must_use]
+pub fn ballistic(kind: GridKind) -> Genome {
+    uniform_rows(kind, |_| Action::new(0, true, 0))
+}
+
+/// **Bouncer** agents: move straight; when blocked, turn 180° ("back").
+/// Slightly less degenerate than [`ballistic`], still colour-blind.
+#[must_use]
+pub fn bouncer(kind: GridKind) -> Genome {
+    uniform_rows(kind, |x| {
+        let blocked = x % 2 == 1;
+        if blocked {
+            Action::new(2, false, 0) // turn code 2 = 180° in both turn sets
+        } else {
+            Action::new(0, true, 0)
+        }
+    })
+}
+
+/// **Right-hand** agents: move straight while free, turn right when
+/// blocked — the classic wall/obstacle-following heuristic.
+#[must_use]
+pub fn right_hand(kind: GridKind) -> Genome {
+    uniform_rows(kind, |x| {
+        let blocked = x % 2 == 1;
+        if blocked {
+            Action::new(1, false, 0) // turn code 1 = +90° (S) / +60° (T)
+        } else {
+            Action::new(0, true, 0)
+        }
+    })
+}
+
+/// **Colour-trail** agents: a hand-written pheromone strategy. Mark every
+/// visited cell; on fresh (colour-0) front cells go straight, on marked
+/// front cells turn right to seek unvisited ground; turn right when
+/// blocked. A human's best guess at what evolution discovers.
+#[must_use]
+pub fn color_trail(kind: GridKind) -> Genome {
+    uniform_rows(kind, |x| {
+        let blocked = x % 2 == 1;
+        let front_marked = (x / 4) % 2 == 1;
+        if blocked {
+            Action::new(1, false, 1)
+        } else if front_marked {
+            Action::new(1, true, 1)
+        } else {
+            Action::new(0, true, 1)
+        }
+    })
+}
+
+/// All baselines with display labels, for experiment tables.
+#[must_use]
+pub fn all_baselines(kind: GridKind) -> Vec<(&'static str, Genome)> {
+    vec![
+        ("ballistic", ballistic(kind)),
+        ("bouncer", bouncer(kind)),
+        ("right-hand", right_hand(kind)),
+        ("color-trail", color_trail(kind)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::percept::Percept;
+
+    #[test]
+    fn baselines_are_valid_paper_spec_genomes() {
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            for (label, g) in all_baselines(kind) {
+                assert_eq!(g.spec(), FsmSpec::paper(kind), "{label}");
+                assert_eq!(g.entries().len(), 32, "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn ballistic_always_moves_straight() {
+        let g = ballistic(GridKind::Square);
+        for x in 0..8 {
+            for s in 0..4 {
+                let e = g.lookup(Percept::decode(x, 2), s);
+                assert!(e.action.mv);
+                assert_eq!(e.action.turn, 0);
+                assert_eq!(e.action.set_color, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn bouncer_reverses_when_blocked() {
+        let g = bouncer(GridKind::Triangulate);
+        let blocked = g.lookup(Percept::new(true, 0, 0), 0);
+        assert!(!blocked.action.mv);
+        assert_eq!(blocked.action.turn, 2, "180° turn code");
+        let free = g.lookup(Percept::new(false, 0, 0), 0);
+        assert!(free.action.mv);
+        assert_eq!(free.action.turn, 0);
+    }
+
+    #[test]
+    fn color_trail_marks_and_avoids() {
+        let g = color_trail(GridKind::Square);
+        // Fresh ground: straight, marking.
+        let fresh = g.lookup(Percept::new(false, 0, 0), 2);
+        assert_eq!((fresh.action.turn, fresh.action.mv, fresh.action.set_color), (0, true, 1));
+        // Marked front cell: turn right, still marking.
+        let marked = g.lookup(Percept::new(false, 1, 1), 1);
+        assert_eq!((marked.action.turn, marked.action.mv, marked.action.set_color), (1, true, 1));
+    }
+
+    #[test]
+    fn baselines_keep_control_state_fixed() {
+        for (_, g) in all_baselines(GridKind::Square) {
+            for x in 0..8 {
+                for s in 0..4u8 {
+                    assert_eq!(g.lookup(Percept::decode(x, 2), s).next_state, s);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Graphviz DOT export of FSM genomes: renders a state table (Fig. 3/4)
+//! as the Mealy state graph it encodes, for inspection of evolved
+//! behaviours.
+
+use crate::genome::Genome;
+use crate::percept::Percept;
+use std::fmt::Write;
+
+/// Renders `genome` as a Graphviz `digraph`: one node per control state,
+/// one edge per (input, state) entry labelled `x<i>/<action>` in the
+/// paper's abbreviated action notation. Parallel transitions between the
+/// same state pair are merged into one multi-line label.
+///
+/// ```
+/// use a2a_fsm::{best_t_agent, to_dot};
+///
+/// let dot = to_dot(&best_t_agent(), "best_t_agent");
+/// assert!(dot.starts_with("digraph best_t_agent {"));
+/// assert!(dot.contains("s0"));
+/// ```
+#[must_use]
+pub fn to_dot(genome: &Genome, name: &str) -> String {
+    let spec = genome.spec();
+    let states = usize::from(spec.n_states);
+    // edge_labels[(from, to)] = lines.
+    let mut edge_labels = vec![vec![Vec::<String>::new(); states]; states];
+    for x in 0..spec.input_count() {
+        let percept = Percept::decode(x, spec.n_colors);
+        for s in 0..spec.n_states {
+            let e = genome.lookup(percept, s);
+            edge_labels[usize::from(s)][usize::from(e.next_state)].push(format!(
+                "x{x}/{}",
+                e.action.abbrev(spec.turn_set)
+            ));
+        }
+    }
+    let mut out = String::new();
+    writeln!(out, "digraph {name} {{").expect("writing to String cannot fail");
+    writeln!(out, "    rankdir=LR;").expect("writing to String cannot fail");
+    writeln!(out, "    node [shape=circle];").expect("writing to String cannot fail");
+    for s in 0..states {
+        writeln!(out, "    s{s} [label=\"{s}\"];").expect("writing to String cannot fail");
+    }
+    for (from, row) in edge_labels.iter().enumerate() {
+        for (to, labels) in row.iter().enumerate() {
+            if !labels.is_empty() {
+                writeln!(
+                    out,
+                    "    s{from} -> s{to} [label=\"{}\"];",
+                    labels.join("\\n")
+                )
+                .expect("writing to String cannot fail");
+            }
+        }
+    }
+    writeln!(out, "}}").expect("writing to String cannot fail");
+    out
+}
+
+/// Control states reachable from the given start states by *any* input
+/// sequence (static reachability over the transition table).
+///
+/// The paper starts agents in states `{0, 1}` (`ID mod 2`); an evolved
+/// genome may leave some of its 4 states unreachable — dead genome
+/// weight that mutation can repurpose.
+#[must_use]
+pub fn reachable_states(genome: &Genome, start: &[u8]) -> Vec<u8> {
+    let spec = genome.spec();
+    let mut seen = vec![false; usize::from(spec.n_states)];
+    let mut stack: Vec<u8> = start
+        .iter()
+        .copied()
+        .filter(|&s| s < spec.n_states)
+        .collect();
+    for &s in &stack {
+        seen[usize::from(s)] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for x in 0..spec.input_count() {
+            let next = genome.lookup(Percept::decode(x, spec.n_colors), s).next_state;
+            if !seen[usize::from(next)] {
+                seen[usize::from(next)] = true;
+                stack.push(next);
+            }
+        }
+    }
+    (0..spec.n_states).filter(|&s| seen[usize::from(s)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::published::{best_s_agent, best_t_agent};
+    use crate::spec::FsmSpec;
+    use crate::genome::{Entry, Genome};
+    use crate::action::Action;
+    use a2a_grid::GridKind;
+
+    #[test]
+    fn dot_output_has_all_states_and_32_transitions() {
+        let dot = to_dot(&best_s_agent(), "s_agent");
+        for s in 0..4 {
+            assert!(dot.contains(&format!("s{s} [label=")), "{dot}");
+        }
+        // 32 transition labels distributed over the merged edges.
+        let label_count = dot.matches("x").count();
+        assert!(label_count >= 32, "all (input,state) pairs labelled: {label_count}");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn published_agents_use_all_four_states() {
+        for g in [best_s_agent(), best_t_agent()] {
+            assert_eq!(reachable_states(&g, &[0, 1]), vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn sink_state_genome_reaches_only_itself() {
+        // All entries lead to state 0: states 1..3 unreachable from 0.
+        let spec = FsmSpec::paper(GridKind::Square);
+        let entries = vec![
+            Entry { next_state: 0, action: Action::new(0, true, 0) };
+            spec.entry_count()
+        ];
+        let g = Genome::from_entries(spec, entries);
+        assert_eq!(reachable_states(&g, &[0]), vec![0]);
+        assert_eq!(reachable_states(&g, &[0, 1]), vec![0, 1]);
+        assert_eq!(reachable_states(&g, &[2]), vec![0, 2]);
+    }
+
+    #[test]
+    fn out_of_range_starts_are_ignored() {
+        let g = best_t_agent();
+        assert_eq!(reachable_states(&g, &[9]), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,56 @@
+//! Agent behaviours as evolvable Mealy state machines, reproducing the
+//! control model of Hoffmann & Désérable, *CA Agents for All-to-All
+//! Communication Are Faster in the Triangulate Grid* (PaCT 2013), Sect. 3–4.
+//!
+//! An agent's "algorithm" is a finite state machine of type MEALY: the
+//! input is the perception triple *(blocked, color, frontcolor)* plus the
+//! own control state, the output is the next state and the action triple
+//! *(move, turn, setcolor)*. The full transition table is the **genome**
+//! the genetic procedure evolves.
+//!
+//! * [`Percept`] — the input and its Fig. 3/4 column encoding;
+//! * [`Action`] / [`TurnSet`] — outputs and the paper's abbreviated
+//!   notation (`Sm0`, `R.1`, …);
+//! * [`FsmSpec`] / [`Genome`] — table shape and contents, with the flat
+//!   genome index `i = x·|s| + s` of Fig. 3;
+//! * [`mutate`] / [`MutationRates`] — the 18 % increment-mod mutation of
+//!   Sect. 4;
+//! * [`best_s_agent`] / [`best_t_agent`] — the published best FSMs,
+//!   transcribed digit for digit.
+//!
+//! # Examples
+//!
+//! ```
+//! use a2a_fsm::{best_t_agent, Percept, TurnSet};
+//!
+//! let fsm = best_t_agent();
+//! let e = fsm.lookup(Percept::new(false, 0, 0), 0);
+//! // Fig. 4, x = 0, state 0: next state 1, action Sm1 (straight, move, set colour).
+//! assert_eq!(e.next_state, 1);
+//! assert_eq!(e.action.abbrev(TurnSet::TriangulateRestricted), "Sm1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod action;
+mod baselines;
+mod dot;
+mod genome;
+mod mutation;
+mod percept;
+mod published;
+mod similarity;
+mod spec;
+mod turnset;
+
+pub use action::Action;
+pub use baselines::{all_baselines, ballistic, bouncer, color_trail, right_hand};
+pub use dot::{reachable_states, to_dot};
+pub use genome::{Entry, Genome, TableRow};
+pub use mutation::{mutate, offspring, MutationRates};
+pub use percept::{input_count, Percept};
+pub use published::{best_agent, best_s_agent, best_t_agent};
+pub use similarity::{hamming_distance, pool_diversity};
+pub use spec::FsmSpec;
+pub use turnset::TurnSet;

@@ -1,0 +1,161 @@
+//! The paper's mutation operator (Sect. 4): every genome field is
+//! independently incremented modulo its cardinality with a fixed
+//! probability — "we achieved good results with p₁ = p₂ = p₃ = p₄ = 18%".
+
+use crate::genome::Genome;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Per-field mutation probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MutationRates {
+    /// `p₁`: probability of `nextstate ← nextstate + 1 mod N_states`.
+    pub next_state: f64,
+    /// `p₂`: probability of `setcolor ← setcolor + 1 mod N_setcolor`.
+    pub set_color: f64,
+    /// `p₃`: probability of `move ← move + 1 mod N_move`.
+    pub mv: f64,
+    /// `p₄`: probability of `turn ← turn + 1 mod N_turn`.
+    pub turn: f64,
+}
+
+impl MutationRates {
+    /// The paper's uniform 18 % rates.
+    #[must_use]
+    pub const fn paper() -> Self {
+        Self::uniform(0.18)
+    }
+
+    /// The same probability for all four fields.
+    #[must_use]
+    pub const fn uniform(p: f64) -> Self {
+        Self { next_state: p, set_color: p, mv: p, turn: p }
+    }
+
+    /// Validates that every probability lies in `[0, 1]`.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        [self.next_state, self.set_color, self.mv, self.turn]
+            .iter()
+            .all(|p| (0.0..=1.0).contains(p))
+    }
+}
+
+impl Default for MutationRates {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Mutates `genome` in place: each field of each entry is incremented
+/// modulo its cardinality with the corresponding probability.
+///
+/// # Panics
+///
+/// Panics if `rates` contains a probability outside `[0, 1]`.
+pub fn mutate<R: Rng + ?Sized>(genome: &mut Genome, rates: MutationRates, rng: &mut R) {
+    assert!(rates.is_valid(), "mutation probabilities must lie in [0, 1]");
+    let spec = genome.spec();
+    let n_states = spec.n_states;
+    let n_colors = spec.n_colors;
+    let n_turns = spec.turn_set.cardinality();
+    for i in 0..spec.entry_count() {
+        let e = genome.entry_mut(i);
+        if rng.random_bool(rates.next_state) {
+            e.next_state = (e.next_state + 1) % n_states;
+        }
+        if rng.random_bool(rates.set_color) {
+            e.action.set_color = (e.action.set_color + 1) % n_colors;
+        }
+        if rng.random_bool(rates.mv) {
+            e.action.mv = !e.action.mv;
+        }
+        if rng.random_bool(rates.turn) {
+            e.action.turn = (e.action.turn + 1) % n_turns;
+        }
+    }
+}
+
+/// Returns a mutated copy ("offspring") of `genome`.
+#[must_use]
+pub fn offspring<R: Rng + ?Sized>(genome: &Genome, rates: MutationRates, rng: &mut R) -> Genome {
+    let mut child = genome.clone();
+    mutate(&mut child, rates, rng);
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FsmSpec;
+    use a2a_grid::GridKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn random_genome(seed: u64) -> Genome {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Genome::random(FsmSpec::paper(GridKind::Triangulate), &mut rng)
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let g = random_genome(1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let child = offspring(&g, MutationRates::uniform(0.0), &mut rng);
+        assert_eq!(child, g);
+    }
+
+    #[test]
+    fn full_rate_increments_every_field() {
+        let g = random_genome(3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let child = offspring(&g, MutationRates::uniform(1.0), &mut rng);
+        for i in 0..g.spec().entry_count() {
+            let (a, b) = (g.entry(i), child.entry(i));
+            assert_eq!(b.next_state, (a.next_state + 1) % 4);
+            assert_eq!(b.action.set_color, (a.action.set_color + 1) % 2);
+            assert_eq!(b.action.mv, !a.action.mv);
+            assert_eq!(b.action.turn, (a.action.turn + 1) % 4);
+        }
+    }
+
+    #[test]
+    fn mutated_genomes_stay_valid() {
+        let g = random_genome(5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut current = g;
+        for _ in 0..50 {
+            mutate(&mut current, MutationRates::paper(), &mut rng);
+        }
+        let spec = current.spec();
+        for e in current.entries() {
+            assert!(e.next_state < spec.n_states);
+            assert!(e.action.set_color < spec.n_colors);
+            assert!(e.action.turn < spec.turn_set.cardinality());
+        }
+    }
+
+    #[test]
+    fn mutation_rate_is_roughly_18_percent() {
+        let g = random_genome(7);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let trials = 2000;
+        let mut changed = 0usize;
+        for _ in 0..trials {
+            let child = offspring(&g, MutationRates::paper(), &mut rng);
+            changed += (0..32)
+                .filter(|&i| child.entry(i).next_state != g.entry(i).next_state)
+                .count();
+        }
+        let rate = changed as f64 / (trials * 32) as f64;
+        assert!((rate - 0.18).abs() < 0.01, "observed rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn invalid_rates_panic() {
+        let mut g = random_genome(9);
+        let mut rng = SmallRng::seed_from_u64(10);
+        mutate(&mut g, MutationRates::uniform(1.5), &mut rng);
+    }
+}

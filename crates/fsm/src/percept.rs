@@ -1,0 +1,153 @@
+//! The agent's local perception and its encoding as the FSM input index
+//! `x` (Sect. 3, "Input Information" / "Control FSM").
+//!
+//! The paper's input is the triple *(blocked, color, frontcolor)* with
+//! binary colours, giving 8 input values laid out as the columns of
+//! Fig. 3/4: `x = blocked + 2·color + 4·frontcolor`. This module keeps the
+//! colour cardinality parametric (the conclusion lists "more colors" as
+//! future work) while defaulting to the paper's 2.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What an agent perceives before acting.
+///
+/// * `blocked` — the inverse move condition: `true` when the agent cannot
+///   move (agent in front, obstacle/border, or lost the conflict
+///   arbitration);
+/// * `color` — colour of the cell the agent is on;
+/// * `front_color` — colour of the cell ahead (in the moving direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Percept {
+    /// Inverse move condition.
+    pub blocked: bool,
+    /// Colour of the agent's own cell.
+    pub color: u8,
+    /// Colour of the front cell. For a bordered field the front cell may
+    /// not exist; the convention is to perceive colour 0 there (the agent
+    /// is necessarily `blocked` in that case).
+    pub front_color: u8,
+}
+
+impl Percept {
+    /// Creates a perception triple.
+    #[must_use]
+    pub const fn new(blocked: bool, color: u8, front_color: u8) -> Self {
+        Self { blocked, color, front_color }
+    }
+
+    /// Encodes the perception as the input index `x` for `n_colors`
+    /// possible cell colours.
+    ///
+    /// For the paper's `n_colors = 2` this is exactly the Fig. 3/4 column
+    /// order: `x = blocked + 2·color + 4·frontcolor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a colour is `≥ n_colors`.
+    ///
+    /// ```
+    /// use a2a_fsm::Percept;
+    ///
+    /// assert_eq!(Percept::new(false, 0, 0).encode(2), 0);
+    /// assert_eq!(Percept::new(true, 0, 0).encode(2), 1);
+    /// assert_eq!(Percept::new(false, 1, 0).encode(2), 2);
+    /// assert_eq!(Percept::new(true, 1, 1).encode(2), 7);
+    /// ```
+    #[must_use]
+    pub fn encode(self, n_colors: u8) -> usize {
+        assert!(
+            self.color < n_colors && self.front_color < n_colors,
+            "colour out of range: {self:?} with n_colors = {n_colors}"
+        );
+        usize::from(self.blocked)
+            + 2 * (usize::from(self.color) + usize::from(n_colors) * usize::from(self.front_color))
+    }
+
+    /// Decodes an input index back into a perception triple
+    /// (inverse of [`Percept::encode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ 2·n_colors²`.
+    #[must_use]
+    pub fn decode(x: usize, n_colors: u8) -> Self {
+        assert!(x < input_count(n_colors), "input index {x} out of range");
+        let blocked = x % 2 == 1;
+        let rest = x / 2;
+        let color = (rest % usize::from(n_colors)) as u8;
+        let front_color = (rest / usize::from(n_colors)) as u8;
+        Self { blocked, color, front_color }
+    }
+}
+
+impl fmt::Display for Percept {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} c{} f{}]",
+            if self.blocked { "blk" } else { "free" },
+            self.color,
+            self.front_color
+        )
+    }
+}
+
+/// Number of distinct input values `|x| = 2 · n_colors²` (8 in the paper).
+#[must_use]
+pub fn input_count(n_colors: u8) -> usize {
+    2 * usize::from(n_colors) * usize::from(n_colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_column_order() {
+        // Fig. 3 header: x = 0..7 maps to (blocked, color, frontcolor) =
+        // (0,0,0) (1,0,0) (0,1,0) (1,1,0) (0,0,1) (1,0,1) (0,1,1) (1,1,1).
+        let expected = [
+            (false, 0, 0),
+            (true, 0, 0),
+            (false, 1, 0),
+            (true, 1, 0),
+            (false, 0, 1),
+            (true, 0, 1),
+            (false, 1, 1),
+            (true, 1, 1),
+        ];
+        for (x, &(b, c, fc)) in expected.iter().enumerate() {
+            let p = Percept::new(b, c, fc);
+            assert_eq!(p.encode(2), x);
+            assert_eq!(Percept::decode(x, 2), p);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_multi_color() {
+        for n_colors in 1..=4u8 {
+            for x in 0..input_count(n_colors) {
+                assert_eq!(Percept::decode(x, n_colors).encode(n_colors), x);
+            }
+        }
+    }
+
+    #[test]
+    fn input_count_matches_paper() {
+        assert_eq!(input_count(2), 8);
+        assert_eq!(input_count(1), 2); // colour-less ablation
+        assert_eq!(input_count(3), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "colour out of range")]
+    fn encode_validates_colors() {
+        let _ = Percept::new(false, 2, 0).encode(2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Percept::new(true, 1, 0).to_string(), "[blk c1 f0]");
+    }
+}

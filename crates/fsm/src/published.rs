@@ -1,0 +1,144 @@
+//! The best evolved FSMs published in the paper, transcribed digit for
+//! digit from Fig. 3 (S-agent) and Fig. 4 (T-agent).
+
+use crate::genome::{Genome, TableRow};
+use crate::spec::FsmSpec;
+use a2a_grid::GridKind;
+
+/// The best found reliable S-agent FSM (Fig. 3).
+///
+/// "This FSM represents also the best found algorithm for the S-agents."
+/// Turn codes mean 0°/90°/180°/−90° for 0/1/2/3.
+///
+/// ```
+/// use a2a_fsm::{best_s_agent, Percept};
+///
+/// let fsm = best_s_agent();
+/// // Fig. 3, x = 0, state 0: nextstate 2, setcolor 1, move 1, turn 3.
+/// let e = fsm.lookup(Percept::new(false, 0, 0), 0);
+/// assert_eq!((e.next_state, e.action.set_color, e.action.mv, e.action.turn), (2, 1, true, 3));
+/// ```
+#[must_use]
+pub fn best_s_agent() -> Genome {
+    let rows = [
+        //                      nextstate setcolor move    turn
+        TableRow::from_digits("2311", "1100", "1101", "3010"), // x = 0
+        TableRow::from_digits("0332", "0101", "0111", "1112"), // x = 1
+        TableRow::from_digits("1302", "0001", "1111", "3003"), // x = 2
+        TableRow::from_digits("0021", "1011", "1110", "2123"), // x = 3
+        TableRow::from_digits("1220", "0000", "1111", "0121"), // x = 4
+        TableRow::from_digits("2320", "0001", "0000", "3013"), // x = 5
+        TableRow::from_digits("2230", "0001", "0001", "2333"), // x = 6
+        TableRow::from_digits("3102", "1000", "0100", "3223"), // x = 7
+    ];
+    Genome::from_rows(FsmSpec::paper(GridKind::Square), &rows)
+}
+
+/// The best evolved T-agent FSM (Fig. 4).
+///
+/// Turn codes mean 0°/60°/180°/−60° for 0/1/2/3 (the restricted
+/// triangulate turn set).
+///
+/// ```
+/// use a2a_fsm::{best_t_agent, Percept};
+///
+/// let fsm = best_t_agent();
+/// // Fig. 4, x = 7, state 3: nextstate 1, setcolor 0, move 1, turn 3.
+/// let e = fsm.lookup(Percept::new(true, 1, 1), 3);
+/// assert_eq!((e.next_state, e.action.set_color, e.action.mv, e.action.turn), (1, 0, true, 3));
+/// ```
+#[must_use]
+pub fn best_t_agent() -> Genome {
+    let rows = [
+        //                      nextstate setcolor move    turn
+        TableRow::from_digits("1212", "1111", "1110", "0010"), // x = 0
+        TableRow::from_digits("1030", "0111", "1000", "3222"), // x = 1
+        TableRow::from_digits("2103", "0011", "1111", "3001"), // x = 2
+        TableRow::from_digits("1213", "0100", "0111", "0033"), // x = 3
+        TableRow::from_digits("1202", "0000", "1110", "1012"), // x = 4
+        TableRow::from_digits("0130", "1111", "1000", "3301"), // x = 5
+        TableRow::from_digits("2211", "0010", "1110", "3013"), // x = 6
+        TableRow::from_digits("2211", "1110", "1011", "2023"), // x = 7
+    ];
+    Genome::from_rows(FsmSpec::paper(GridKind::Triangulate), &rows)
+}
+
+/// The paper's best FSM for a grid kind.
+#[must_use]
+pub fn best_agent(kind: GridKind) -> Genome {
+    match kind {
+        GridKind::Square => best_s_agent(),
+        GridKind::Triangulate => best_t_agent(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::percept::Percept;
+
+    /// Full transcription check of Fig. 3 against the flat digit encoding.
+    #[test]
+    fn s_agent_full_table() {
+        let g = best_s_agent();
+        let expect: [(&str, &str, &str, &str); 8] = [
+            ("2311", "1100", "1101", "3010"),
+            ("0332", "0101", "0111", "1112"),
+            ("1302", "0001", "1111", "3003"),
+            ("0021", "1011", "1110", "2123"),
+            ("1220", "0000", "1111", "0121"),
+            ("2320", "0001", "0000", "3013"),
+            ("2230", "0001", "0001", "2333"),
+            ("3102", "1000", "0100", "3223"),
+        ];
+        for (x, (ns, sc, mv, tn)) in expect.iter().enumerate() {
+            for s in 0..4u8 {
+                let e = g.lookup(Percept::decode(x, 2), s);
+                let at = |row: &str| row.as_bytes()[s as usize] - b'0';
+                assert_eq!(e.next_state, at(ns), "x={x} s={s} nextstate");
+                assert_eq!(e.action.set_color, at(sc), "x={x} s={s} setcolor");
+                assert_eq!(u8::from(e.action.mv), at(mv), "x={x} s={s} move");
+                assert_eq!(e.action.turn, at(tn), "x={x} s={s} turn");
+            }
+        }
+    }
+
+    /// Full transcription check of Fig. 4.
+    #[test]
+    fn t_agent_full_table() {
+        let g = best_t_agent();
+        let expect: [(&str, &str, &str, &str); 8] = [
+            ("1212", "1111", "1110", "0010"),
+            ("1030", "0111", "1000", "3222"),
+            ("2103", "0011", "1111", "3001"),
+            ("1213", "0100", "0111", "0033"),
+            ("1202", "0000", "1110", "1012"),
+            ("0130", "1111", "1000", "3301"),
+            ("2211", "0010", "1110", "3013"),
+            ("2211", "1110", "1011", "2023"),
+        ];
+        for (x, (ns, sc, mv, tn)) in expect.iter().enumerate() {
+            for s in 0..4u8 {
+                let e = g.lookup(Percept::decode(x, 2), s);
+                let at = |row: &str| row.as_bytes()[s as usize] - b'0';
+                assert_eq!(e.next_state, at(ns), "x={x} s={s} nextstate");
+                assert_eq!(e.action.set_color, at(sc), "x={x} s={s} setcolor");
+                assert_eq!(u8::from(e.action.mv), at(mv), "x={x} s={s} move");
+                assert_eq!(e.action.turn, at(tn), "x={x} s={s} turn");
+            }
+        }
+    }
+
+    #[test]
+    fn best_agent_dispatches_by_kind() {
+        assert_eq!(best_agent(GridKind::Square), best_s_agent());
+        assert_eq!(best_agent(GridKind::Triangulate), best_t_agent());
+        assert_ne!(best_s_agent().to_digits(), best_t_agent().to_digits());
+    }
+
+    #[test]
+    fn published_specs_are_papers() {
+        assert_eq!(best_s_agent().spec(), FsmSpec::paper(GridKind::Square));
+        assert_eq!(best_t_agent().spec(), FsmSpec::paper(GridKind::Triangulate));
+    }
+}

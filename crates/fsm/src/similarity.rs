@@ -1,0 +1,121 @@
+//! Genome similarity metrics, used to monitor GA pool diversity (the
+//! motivation behind the paper's b=3 diversity exchange).
+
+use crate::genome::Genome;
+
+/// Hamming distance between two genomes: the number of differing scalar
+/// fields (nextstate, setcolor, move, turn) over all entries.
+///
+/// Ranges from 0 (identical) to `4 · entry_count` (128 for the paper's
+/// spec).
+///
+/// # Panics
+///
+/// Panics if the genomes have different specs.
+///
+/// ```
+/// use a2a_fsm::{best_t_agent, hamming_distance};
+///
+/// let g = best_t_agent();
+/// assert_eq!(hamming_distance(&g, &g), 0);
+/// ```
+#[must_use]
+pub fn hamming_distance(a: &Genome, b: &Genome) -> usize {
+    assert_eq!(a.spec(), b.spec(), "distance requires a common spec");
+    a.entries()
+        .iter()
+        .zip(b.entries())
+        .map(|(x, y)| {
+            usize::from(x.next_state != y.next_state)
+                + usize::from(x.action.set_color != y.action.set_color)
+                + usize::from(x.action.mv != y.action.mv)
+                + usize::from(x.action.turn != y.action.turn)
+        })
+        .sum()
+}
+
+/// Mean pairwise Hamming distance of a pool — the GA's diversity
+/// indicator (0 when all genomes are identical).
+///
+/// # Panics
+///
+/// Panics if genomes have different specs.
+#[must_use]
+pub fn pool_diversity(genomes: &[&Genome]) -> f64 {
+    let n = genomes.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in i + 1..n {
+            total += hamming_distance(genomes[i], genomes[j]);
+            pairs += 1;
+        }
+    }
+    total as f64 / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::{offspring, MutationRates};
+    use crate::published::{best_s_agent, best_t_agent};
+    use crate::spec::FsmSpec;
+    use a2a_grid::GridKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_is_zero_iff_identical() {
+        let g = best_t_agent();
+        assert_eq!(hamming_distance(&g, &g), 0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let child = offspring(&g, MutationRates::uniform(0.3), &mut rng);
+        assert!(hamming_distance(&g, &child) > 0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let spec = FsmSpec::paper(GridKind::Square);
+        let a = Genome::random(spec, &mut rng);
+        let b = Genome::random(spec, &mut rng);
+        let d = hamming_distance(&a, &b);
+        assert_eq!(d, hamming_distance(&b, &a));
+        assert!(d <= 4 * spec.entry_count());
+    }
+
+    #[test]
+    fn single_field_change_has_distance_one() {
+        let g = best_t_agent();
+        let mut h = g.clone();
+        h.entry_mut(5).next_state = (g.entry(5).next_state + 1) % 4;
+        assert_eq!(hamming_distance(&g, &h), 1);
+    }
+
+    #[test]
+    fn diversity_of_identical_pool_is_zero() {
+        let g = best_t_agent();
+        assert_eq!(pool_diversity(&[&g, &g, &g]), 0.0);
+        assert_eq!(pool_diversity(&[&g]), 0.0);
+    }
+
+    #[test]
+    fn random_pools_are_diverse() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let spec = FsmSpec::paper(GridKind::Triangulate);
+        let genomes: Vec<Genome> = (0..5).map(|_| Genome::random(spec, &mut rng)).collect();
+        let refs: Vec<&Genome> = genomes.iter().collect();
+        // Random fields match with probability 1/card; expected distance
+        // is far above half the maximum of 128.
+        assert!(pool_diversity(&refs) > 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "common spec")]
+    fn mismatched_specs_panic() {
+        let _ = hamming_distance(&best_t_agent(), &best_s_agent());
+    }
+}

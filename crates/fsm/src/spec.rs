@@ -1,0 +1,163 @@
+//! The shape of an agent FSM: state count, colour count and turn set.
+
+use crate::percept::input_count;
+use crate::turnset::TurnSet;
+use a2a_grid::GridKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Structural parameters of an agent-controlling Mealy FSM.
+///
+/// The paper fixes `n_states = 4` and `n_colors = 2` ("In order to keep the
+/// control automaton simple, we restrict the number of states and actions
+/// to a certain limit", Sect. 3); both remain parametric here because the
+/// conclusion names "more states, more colors" as future work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FsmSpec {
+    /// Number of control states `|s|` (4 in the paper).
+    pub n_states: u8,
+    /// Number of cell colours (2 in the paper).
+    pub n_colors: u8,
+    /// Turn-code interpretation (also fixes the grid kind).
+    pub turn_set: TurnSet,
+}
+
+impl FsmSpec {
+    /// The paper's specification for a grid kind: 4 states, 2 colours and
+    /// the 4-element turn set of that grid.
+    ///
+    /// ```
+    /// use a2a_fsm::FsmSpec;
+    /// use a2a_grid::GridKind;
+    ///
+    /// let spec = FsmSpec::paper(GridKind::Triangulate);
+    /// assert_eq!((spec.n_states, spec.n_colors), (4, 2));
+    /// assert_eq!(spec.input_count(), 8);
+    /// assert_eq!(spec.entry_count(), 32);
+    /// ```
+    #[must_use]
+    pub const fn paper(kind: GridKind) -> Self {
+        Self {
+            n_states: 4,
+            n_colors: 2,
+            turn_set: TurnSet::for_kind(kind),
+        }
+    }
+
+    /// Creates a custom specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_states` or `n_colors` is zero.
+    #[must_use]
+    pub fn new(n_states: u8, n_colors: u8, turn_set: TurnSet) -> Self {
+        assert!(n_states > 0, "FSM needs at least one state");
+        assert!(n_colors > 0, "cells need at least one colour");
+        Self { n_states, n_colors, turn_set }
+    }
+
+    /// The grid kind this FSM drives agents on.
+    #[must_use]
+    pub const fn kind(self) -> GridKind {
+        self.turn_set.kind()
+    }
+
+    /// Number of distinct input values `|x| = 2·n_colors²` (8 in the paper).
+    #[must_use]
+    pub fn input_count(self) -> usize {
+        input_count(self.n_colors)
+    }
+
+    /// Number of distinct outputs `|y| = N_turn · N_move · N_setcolor`
+    /// (16 in the paper).
+    #[must_use]
+    pub fn output_count(self) -> usize {
+        usize::from(self.turn_set.cardinality()) * 2 * usize::from(self.n_colors)
+    }
+
+    /// Genome length: one (nextstate, action) entry per (input, state)
+    /// combination — 32 in the paper (Fig. 3's index `i ∈ 0..32`).
+    #[must_use]
+    pub fn entry_count(self) -> usize {
+        self.input_count() * usize::from(self.n_states)
+    }
+
+    /// Fig. 3's flat genome index `i` of an (input `x`, state `s`) pair:
+    /// `i = x·|s| + s` (states vary fastest within an input column block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `state` is out of range.
+    #[must_use]
+    pub fn entry_index(self, x: usize, state: u8) -> usize {
+        assert!(x < self.input_count(), "input {x} out of range");
+        assert!(state < self.n_states, "state {state} out of range");
+        x * usize::from(self.n_states) + usize::from(state)
+    }
+
+    /// log₁₀ of the search-space size `K = (|s|·|y|)^(|s|·|x|)` (Sect. 4).
+    ///
+    /// For the paper's spec: `K = 64³² ≈ 10^57.8`.
+    #[must_use]
+    pub fn search_space_log10(self) -> f64 {
+        let base = (usize::from(self.n_states) * self.output_count()) as f64;
+        self.entry_count() as f64 * base.log10()
+    }
+}
+
+impl fmt::Display for FsmSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-state/{}-colour FSM for the {} grid",
+            self.n_states,
+            self.n_colors,
+            self.kind()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_dimensions() {
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let spec = FsmSpec::paper(kind);
+            assert_eq!(spec.input_count(), 8);
+            assert_eq!(spec.output_count(), 16);
+            assert_eq!(spec.entry_count(), 32);
+            assert_eq!(spec.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn search_space_is_64_pow_32() {
+        // K = (4 · 16)^(4 · 8) = 64^32; log10 = 32 · log10(64) ≈ 57.8.
+        let spec = FsmSpec::paper(GridKind::Square);
+        assert!((spec.search_space_log10() - 32.0 * 64f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entry_index_matches_fig3_layout() {
+        let spec = FsmSpec::paper(GridKind::Square);
+        // Fig. 3: x = 0 occupies i = 0..3, x = 7 occupies i = 28..31.
+        assert_eq!(spec.entry_index(0, 0), 0);
+        assert_eq!(spec.entry_index(0, 3), 3);
+        assert_eq!(spec.entry_index(7, 0), 28);
+        assert_eq!(spec.entry_index(7, 3), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_states_rejected() {
+        let _ = FsmSpec::new(0, 2, TurnSet::Square);
+    }
+
+    #[test]
+    fn display_names_kind() {
+        let s = FsmSpec::paper(GridKind::Triangulate).to_string();
+        assert!(s.contains("triangulate"), "{s}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Turn sets: the mapping from genome turn codes to direction deltas.
+//!
+//! The paper keeps the turn cardinality at 4 for both grids so S- and
+//! T-agents have "the same complexity of abilities" (Sect. 3): the S-agent
+//! may turn to any of its 4 directions, the T-agent to `{0°, 60°, 180°,
+//! −60°}` (±120° excluded). The full 6-turn T-set is provided for the
+//! design-choice ablation.
+
+use a2a_grid::GridKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A mapping from genome turn codes `0..cardinality` to rotational
+/// direction deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TurnSet {
+    /// S-agent turns: `turn ∈ {0,1,2,3}` → `0°/90°/180°/−90°` (Fig. 3).
+    Square,
+    /// T-agent turns of the paper: codes `{0,1,2,3}` → deltas `{0,1,3,5}`
+    /// in 60° steps, i.e. `0°/60°/180°/−60°` (Fig. 4).
+    TriangulateRestricted,
+    /// All six T-grid turns (ablation; not used by the paper's agents).
+    TriangulateFull,
+}
+
+impl TurnSet {
+    /// The paper's turn set for a grid kind.
+    #[must_use]
+    pub const fn for_kind(kind: GridKind) -> Self {
+        match kind {
+            GridKind::Square => TurnSet::Square,
+            GridKind::Triangulate => TurnSet::TriangulateRestricted,
+        }
+    }
+
+    /// The grid kind this turn set applies to.
+    #[must_use]
+    pub const fn kind(self) -> GridKind {
+        match self {
+            TurnSet::Square => GridKind::Square,
+            TurnSet::TriangulateRestricted | TurnSet::TriangulateFull => GridKind::Triangulate,
+        }
+    }
+
+    /// Number of distinct turn codes a genome can hold (`N_turn`).
+    #[must_use]
+    pub const fn cardinality(self) -> u8 {
+        match self {
+            TurnSet::Square | TurnSet::TriangulateRestricted => 4,
+            TurnSet::TriangulateFull => 6,
+        }
+    }
+
+    /// Direction delta (in rotational steps of the grid) for a turn code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code ≥ self.cardinality()`.
+    #[must_use]
+    pub fn delta(self, code: u8) -> u8 {
+        assert!(code < self.cardinality(), "turn code {code} out of range for {self}");
+        match self {
+            TurnSet::Square | TurnSet::TriangulateFull => code,
+            TurnSet::TriangulateRestricted => [0, 1, 3, 5][code as usize],
+        }
+    }
+
+    /// One-letter mnemonic used in the paper's action abbreviations:
+    /// `S`(traight), `R`(ight), `B`(ack), `L`(eft); the full T-set extends
+    /// this with `r`/`l` for the ±120° turns.
+    #[must_use]
+    pub fn letter(self, code: u8) -> char {
+        let n = self.kind().dir_count();
+        let delta = self.delta(code);
+        if delta == 0 {
+            'S'
+        } else if delta == n / 2 {
+            'B'
+        } else if delta == 1 {
+            'R'
+        } else if delta == n - 1 {
+            'L'
+        } else if delta < n / 2 {
+            'r'
+        } else {
+            'l'
+        }
+    }
+
+    /// Parses a mnemonic letter back to a turn code.
+    #[must_use]
+    pub fn code_for_letter(self, letter: char) -> Option<u8> {
+        (0..self.cardinality()).find(|&c| self.letter(c) == letter)
+    }
+}
+
+impl fmt::Display for TurnSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TurnSet::Square => "square turns",
+            TurnSet::TriangulateRestricted => "triangulate turns {0,1,3,5}",
+            TurnSet::TriangulateFull => "triangulate turns {0..5}",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_deltas_are_quarter_turns() {
+        let ts = TurnSet::Square;
+        assert_eq!((0..4).map(|c| ts.delta(c)).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn restricted_t_deltas_skip_120_degrees() {
+        // Fig. 4 caption: turn = 0,1,2,3 mean 0°/60°/180°/−60°.
+        let ts = TurnSet::TriangulateRestricted;
+        assert_eq!((0..4).map(|c| ts.delta(c)).collect::<Vec<_>>(), vec![0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn letters_follow_paper_mnemonics() {
+        for ts in [TurnSet::Square, TurnSet::TriangulateRestricted] {
+            let letters: Vec<char> = (0..4).map(|c| ts.letter(c)).collect();
+            assert_eq!(letters, vec!['S', 'R', 'B', 'L'], "{ts}");
+        }
+        let full: Vec<char> = (0..6).map(|c| TurnSet::TriangulateFull.letter(c)).collect();
+        assert_eq!(full, vec!['S', 'R', 'r', 'B', 'l', 'L']);
+    }
+
+    #[test]
+    fn letter_roundtrip() {
+        for ts in [TurnSet::Square, TurnSet::TriangulateRestricted, TurnSet::TriangulateFull] {
+            for code in 0..ts.cardinality() {
+                assert_eq!(ts.code_for_letter(ts.letter(code)), Some(code), "{ts} code {code}");
+            }
+            assert_eq!(ts.code_for_letter('x'), None);
+        }
+    }
+
+    #[test]
+    fn for_kind_picks_paper_sets() {
+        assert_eq!(TurnSet::for_kind(GridKind::Square), TurnSet::Square);
+        assert_eq!(
+            TurnSet::for_kind(GridKind::Triangulate),
+            TurnSet::TriangulateRestricted
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn delta_validates_code() {
+        let _ = TurnSet::Square.delta(4);
+    }
+}

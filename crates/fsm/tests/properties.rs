@@ -1,0 +1,102 @@
+//! Property-based tests for genomes, percept encoding and mutation.
+
+use a2a_fsm::{mutate, offspring, FsmSpec, Genome, MutationRates, Percept, TurnSet};
+use a2a_grid::GridKind;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_spec() -> impl Strategy<Value = FsmSpec> {
+    (
+        1u8..=6,
+        1u8..=3,
+        prop_oneof![
+            Just(TurnSet::Square),
+            Just(TurnSet::TriangulateRestricted),
+            Just(TurnSet::TriangulateFull),
+        ],
+    )
+        .prop_map(|(s, c, t)| FsmSpec::new(s, c, t))
+}
+
+proptest! {
+    /// Percept encoding is a bijection onto 0..2·n_colors².
+    #[test]
+    fn percept_encoding_is_bijective(n_colors in 1u8..=4) {
+        let n = a2a_fsm::input_count(n_colors);
+        let mut seen = vec![false; n];
+        for blocked in [false, true] {
+            for color in 0..n_colors {
+                for front in 0..n_colors {
+                    let x = Percept::new(blocked, color, front).encode(n_colors);
+                    prop_assert!(!seen[x], "duplicate index {}", x);
+                    seen[x] = true;
+                    prop_assert_eq!(Percept::decode(x, n_colors), Percept::new(blocked, color, front));
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Random genomes respect the spec and the digit codec round-trips
+    /// for arbitrary specs.
+    #[test]
+    fn genome_digits_roundtrip(spec in arb_spec(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = Genome::random(spec, &mut rng);
+        prop_assert_eq!(g.entries().len(), spec.entry_count());
+        let digits = g.to_digits();
+        prop_assert_eq!(Genome::from_digits(spec, &digits), Some(g));
+    }
+
+    /// Lookup agrees with the flat entry indexing for every (x, s).
+    #[test]
+    fn lookup_matches_flat_index(spec in arb_spec(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = Genome::random(spec, &mut rng);
+        for x in 0..spec.input_count() {
+            for s in 0..spec.n_states {
+                prop_assert_eq!(
+                    g.lookup(Percept::decode(x, spec.n_colors), s),
+                    g.entry(spec.entry_index(x, s))
+                );
+            }
+        }
+    }
+
+    /// Mutation keeps genomes valid and is deterministic under a seed.
+    #[test]
+    fn mutation_is_valid_and_deterministic(
+        spec in arb_spec(),
+        seed in any::<u64>(),
+        p in 0.0f64..=1.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = Genome::random(spec, &mut rng);
+        let rates = MutationRates::uniform(p);
+        let c1 = offspring(&g, rates, &mut SmallRng::seed_from_u64(seed ^ 1));
+        let c2 = offspring(&g, rates, &mut SmallRng::seed_from_u64(seed ^ 1));
+        prop_assert_eq!(&c1, &c2, "determinism");
+        for e in c1.entries() {
+            prop_assert!(e.next_state < spec.n_states);
+            prop_assert!(e.action.set_color < spec.n_colors);
+            prop_assert!(e.action.turn < spec.turn_set.cardinality());
+        }
+    }
+
+    /// Applying the increment mutation `cardinality` times with p = 1
+    /// returns to the original genome (the mutation is a cyclic group
+    /// action per field) — exercised on the paper spec where all field
+    /// cardinalities divide 4.
+    #[test]
+    fn full_mutation_has_finite_order(seed in any::<u64>()) {
+        let spec = FsmSpec::paper(GridKind::Square);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = Genome::random(spec, &mut rng);
+        let mut current = g.clone();
+        for _ in 0..4 {
+            mutate(&mut current, MutationRates::uniform(1.0), &mut rng);
+        }
+        prop_assert_eq!(current, g);
+    }
+}

@@ -1,0 +1,135 @@
+//! Crossover operators.
+//!
+//! The paper: "We experimented with the classical crossover/mutation
+//! method. Then we found that mutation only gave us similar good results.
+//! So we used here only mutation. It is subject to further research which
+//! heuristic is best to evolve state machines." This module supplies the
+//! classical operators so that comparison is reproducible
+//! (`ga_convergence` binary, E20).
+
+use a2a_fsm::Genome;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// How offspring are produced each generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ReproductionStrategy {
+    /// Mutation only — the paper's final choice.
+    #[default]
+    MutationOnly,
+    /// One-point crossover of two parents (cut at a random genome entry),
+    /// followed by mutation.
+    OnePointCrossover,
+    /// Uniform crossover (each entry from either parent with probability
+    /// ½), followed by mutation.
+    UniformCrossover,
+}
+
+/// One-point crossover: entries `0..cut` from `a`, the rest from `b`.
+///
+/// # Panics
+///
+/// Panics if the parents have different specs.
+#[must_use]
+pub fn one_point<R: Rng + ?Sized>(a: &Genome, b: &Genome, rng: &mut R) -> Genome {
+    assert_eq!(a.spec(), b.spec(), "crossover parents must share a spec");
+    let n = a.spec().entry_count();
+    let cut = rng.random_range(0..=n);
+    let entries = (0..n)
+        .map(|i| if i < cut { a.entry(i) } else { b.entry(i) })
+        .collect();
+    Genome::from_entries(a.spec(), entries)
+}
+
+/// Uniform crossover: every entry independently from either parent.
+///
+/// # Panics
+///
+/// Panics if the parents have different specs.
+#[must_use]
+pub fn uniform<R: Rng + ?Sized>(a: &Genome, b: &Genome, rng: &mut R) -> Genome {
+    assert_eq!(a.spec(), b.spec(), "crossover parents must share a spec");
+    let n = a.spec().entry_count();
+    let entries = (0..n)
+        .map(|i| if rng.random_bool(0.5) { a.entry(i) } else { b.entry(i) })
+        .collect();
+    Genome::from_entries(a.spec(), entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_fsm::FsmSpec;
+    use a2a_grid::GridKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn parents() -> (Genome, Genome) {
+        let spec = FsmSpec::paper(GridKind::Triangulate);
+        let mut rng = SmallRng::seed_from_u64(1);
+        (Genome::random(spec, &mut rng), Genome::random(spec, &mut rng))
+    }
+
+    #[test]
+    fn one_point_child_is_a_prefix_suffix_mix() {
+        let (a, b) = parents();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let child = one_point(&a, &b, &mut rng);
+        // Every entry comes from one of the parents at the same index,
+        // and parent origin switches at most once.
+        let mut switched = false;
+        let mut from_a = true;
+        for i in 0..32 {
+            let e = child.entry(i);
+            if from_a && e != a.entry(i) {
+                assert!(!switched, "more than one switch point");
+                switched = true;
+                from_a = false;
+            }
+            if !from_a {
+                assert_eq!(e, b.entry(i), "suffix must come from b");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_child_entries_come_from_parents() {
+        let (a, b) = parents();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let child = uniform(&a, &b, &mut rng);
+        let mut from_a = 0;
+        for i in 0..32 {
+            let e = child.entry(i);
+            assert!(e == a.entry(i) || e == b.entry(i), "entry {i} from neither parent");
+            if e == a.entry(i) {
+                from_a += 1;
+            }
+        }
+        assert!((4..=28).contains(&from_a), "roughly balanced mix, got {from_a} from a");
+    }
+
+    #[test]
+    fn crossover_of_identical_parents_is_identity() {
+        let (a, _) = parents();
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(one_point(&a, &a, &mut rng), a);
+        assert_eq!(uniform(&a, &a, &mut rng), a);
+    }
+
+    #[test]
+    fn crossover_is_seed_deterministic() {
+        let (a, b) = parents();
+        let c1 = uniform(&a, &b, &mut SmallRng::seed_from_u64(9));
+        let c2 = uniform(&a, &b, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a spec")]
+    fn mismatched_parents_rejected() {
+        let a = a2a_fsm::best_t_agent();
+        let b = a2a_fsm::best_s_agent();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = one_point(&a, &b, &mut rng);
+    }
+}

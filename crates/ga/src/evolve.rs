@@ -1,0 +1,424 @@
+//! The genetic procedure of Sect. 4: a 20-individual pool, mutation-only
+//! offspring from the top half, duplicate elimination, truncation and the
+//! diversity exchange between pool halves.
+
+use crate::crossover::{one_point, uniform, ReproductionStrategy};
+use crate::fitness::{Evaluator, FitnessReport};
+use a2a_fsm::{offspring, FsmSpec, Genome, MutationRates};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the genetic procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Pool size `N` (paper: 20).
+    pub population: usize,
+    /// Diversity-exchange width `b` (paper: 3 — individuals 7,8,9 swap
+    /// with 10,11,12).
+    pub exchange_b: usize,
+    /// Per-field mutation probabilities (paper: 18 % each).
+    pub rates: MutationRates,
+    /// Generations to run.
+    pub generations: usize,
+    /// RNG seed for initial population and mutations.
+    pub seed: u64,
+    /// How offspring are produced (the paper settled on mutation only).
+    pub strategy: ReproductionStrategy,
+}
+
+impl GaConfig {
+    /// The paper's GA parameters with a caller-chosen generation budget.
+    #[must_use]
+    pub fn paper(generations: usize, seed: u64) -> Self {
+        Self {
+            population: 20,
+            exchange_b: 3,
+            rates: MutationRates::paper(),
+            generations,
+            seed,
+            strategy: ReproductionStrategy::MutationOnly,
+        }
+    }
+
+    /// The paper's parameters with a different reproduction strategy
+    /// (for the crossover comparison the paper describes).
+    #[must_use]
+    pub fn with_strategy(generations: usize, seed: u64, strategy: ReproductionStrategy) -> Self {
+        Self { strategy, ..Self::paper(generations, seed) }
+    }
+}
+
+/// One ranked individual of the pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Individual {
+    /// The behaviour.
+    pub genome: Genome,
+    /// Its evaluation on the training configuration set.
+    pub report: FitnessReport,
+}
+
+/// Per-generation progress record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// Generation index (0 = initial random pool).
+    pub generation: usize,
+    /// Best (lowest) fitness in the pool.
+    pub best_fitness: f64,
+    /// Mean fitness over the pool.
+    pub mean_fitness: f64,
+    /// Successes of the best individual.
+    pub best_successes: usize,
+    /// Whether the best individual is completely successful.
+    pub best_complete: bool,
+    /// Mean pairwise Hamming distance of the pool (the diversity the
+    /// b=3 exchange is designed to preserve).
+    pub pool_diversity: f64,
+}
+
+/// Result of an evolution run.
+#[derive(Debug, Clone)]
+pub struct EvolutionOutcome {
+    /// Final pool, best first.
+    pub pool: Vec<Individual>,
+    /// Progress per generation (index 0 is the initial pool).
+    pub history: Vec<GenerationStats>,
+}
+
+impl EvolutionOutcome {
+    /// The best individual of the final pool.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the pool is non-empty by construction.
+    #[must_use]
+    pub fn best(&self) -> &Individual {
+        &self.pool[0]
+    }
+
+    /// The top completely successful individuals (paper: the "top 3
+    /// completely successful FSMs of each run" enter reliability
+    /// screening).
+    #[must_use]
+    pub fn top_completely_successful(&self, n: usize) -> Vec<&Individual> {
+        self.pool
+            .iter()
+            .filter(|i| i.report.is_completely_successful())
+            .take(n)
+            .collect()
+    }
+}
+
+/// The genetic procedure. Owns the evaluator (environment + training
+/// configurations) and the GA parameters.
+#[derive(Debug)]
+pub struct Evolution {
+    spec: FsmSpec,
+    evaluator: Evaluator,
+    config: GaConfig,
+}
+
+impl Evolution {
+    /// Creates a procedure evolving FSMs of `spec` against `evaluator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is smaller than 2 or `exchange_b` exceeds
+    /// half the population.
+    #[must_use]
+    pub fn new(spec: FsmSpec, evaluator: Evaluator, config: GaConfig) -> Self {
+        assert!(config.population >= 2, "population must hold at least 2 individuals");
+        assert!(
+            config.exchange_b <= config.population / 2,
+            "exchange width b must fit in half the pool"
+        );
+        Self { spec, evaluator, config }
+    }
+
+    /// Runs the procedure, reporting each generation to `on_generation`
+    /// (use `|_| ()` to run silently).
+    #[must_use]
+    pub fn run(&self, on_generation: impl FnMut(&GenerationStats)) -> EvolutionOutcome {
+        self.run_seeded(Vec::new(), on_generation)
+    }
+
+    /// Like [`Evolution::run`] but starts from the given genomes (topped
+    /// up with random FSMs to the pool size) — used by the island model's
+    /// migration and for resuming a previous pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed genome's spec differs from the procedure's.
+    #[must_use]
+    pub fn run_seeded(
+        &self,
+        seeds: Vec<Genome>,
+        mut on_generation: impl FnMut(&GenerationStats),
+    ) -> EvolutionOutcome {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let n = self.config.population;
+
+        // Initial pool: the seeds plus random FSMs up to N ("usually
+        // there is no FSM in the initial population that is successful").
+        for g in &seeds {
+            assert_eq!(g.spec(), self.spec, "seed genome spec mismatch");
+        }
+        let mut genomes = seeds;
+        genomes.truncate(n);
+        while genomes.len() < n {
+            genomes.push(Genome::random(self.spec, &mut rng));
+        }
+        let mut pool = self.rank(genomes);
+        let mut history = Vec::with_capacity(self.config.generations + 1);
+        let stats = Self::stats(0, &pool);
+        on_generation(&stats);
+        history.push(stats);
+
+        for generation in 1..=self.config.generations {
+            // N/2 offspring from the top N/2 individuals.
+            let parents = &pool[..(n / 2).min(pool.len())];
+            let children: Vec<Genome> = match self.config.strategy {
+                ReproductionStrategy::MutationOnly => parents
+                    .iter()
+                    .map(|p| offspring(&p.genome, self.config.rates, &mut rng))
+                    .collect(),
+                ReproductionStrategy::OnePointCrossover
+                | ReproductionStrategy::UniformCrossover => (0..parents.len())
+                    .map(|i| {
+                        // Pair each top parent with a random distinct mate,
+                        // then mutate the recombined child.
+                        let j = if parents.len() > 1 {
+                            let mut j = rng.random_range(0..parents.len() - 1);
+                            if j >= i {
+                                j += 1;
+                            }
+                            j
+                        } else {
+                            i
+                        };
+                        let child = match self.config.strategy {
+                            ReproductionStrategy::OnePointCrossover => {
+                                one_point(&parents[i].genome, &parents[j].genome, &mut rng)
+                            }
+                            _ => uniform(&parents[i].genome, &parents[j].genome, &mut rng),
+                        };
+                        offspring(&child, self.config.rates, &mut rng)
+                    })
+                    .collect(),
+            };
+            let mut union: Vec<Individual> = pool;
+            union.extend(self.rank(children));
+
+            // Sort by fitness, delete duplicates, truncate to N.
+            union.sort_by(|a, b| {
+                a.report
+                    .fitness
+                    .partial_cmp(&b.report.fitness)
+                    .expect("fitness is never NaN")
+            });
+            let mut seen = std::collections::HashSet::new();
+            union.retain(|ind| seen.insert(ind.genome.to_digits()));
+            union.truncate(n);
+
+            // Diversity exchange: the first b individuals of the second
+            // half swap with the last b of the first half (7,8,9 ↔
+            // 10,11,12 for N = 20, b = 3).
+            let b = self.config.exchange_b;
+            if b > 0 && union.len() == n {
+                let half = n / 2;
+                for j in 0..b {
+                    union.swap(half - b + j, half + j);
+                }
+            }
+
+            pool = union;
+            let stats = Self::stats(generation, &pool);
+            on_generation(&stats);
+            history.push(stats);
+        }
+
+        // Report the pool best-first regardless of the final exchange.
+        pool.sort_by(|a, b| {
+            a.report
+                .fitness
+                .partial_cmp(&b.report.fitness)
+                .expect("fitness is never NaN")
+        });
+        EvolutionOutcome { pool, history }
+    }
+
+    fn rank(&self, genomes: Vec<Genome>) -> Vec<Individual> {
+        let reports = self.evaluator.evaluate_all(&genomes);
+        genomes
+            .into_iter()
+            .zip(reports)
+            .map(|(genome, report)| Individual { genome, report })
+            .collect()
+    }
+
+    fn stats(generation: usize, pool: &[Individual]) -> GenerationStats {
+        let best = pool
+            .iter()
+            .min_by(|a, b| {
+                a.report
+                    .fitness
+                    .partial_cmp(&b.report.fitness)
+                    .expect("fitness is never NaN")
+            })
+            .expect("pool is never empty");
+        let genomes: Vec<&Genome> = pool.iter().map(|i| &i.genome).collect();
+        GenerationStats {
+            generation,
+            best_fitness: best.report.fitness,
+            mean_fitness: pool.iter().map(|i| i.report.fitness).sum::<f64>() / pool.len() as f64,
+            best_successes: best.report.successes,
+            best_complete: best.report.is_completely_successful(),
+            pool_diversity: a2a_fsm::pool_diversity(&genomes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_grid::GridKind;
+    use a2a_sim::{paper_config_set, WorldConfig};
+
+    fn tiny_evolution(kind: GridKind, generations: usize, seed: u64) -> EvolutionOutcome {
+        let cfg = WorldConfig::paper(kind, 8);
+        let configs = paper_config_set(cfg.lattice, kind, 4, 12, 5).unwrap();
+        let evaluator = Evaluator::new(cfg, configs).with_threads(2);
+        let ga = Evolution::new(FsmSpec::paper(kind), evaluator, GaConfig::paper(generations, seed));
+        ga.run(|_| ())
+    }
+
+    #[test]
+    fn fitness_never_worsens_across_generations() {
+        let out = tiny_evolution(GridKind::Square, 15, 3);
+        let bests: Vec<f64> = out.history.iter().map(|s| s.best_fitness).collect();
+        for w in bests.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "elitist pool: best fitness is monotone {bests:?}");
+        }
+        assert_eq!(out.history.len(), 16);
+    }
+
+    #[test]
+    fn evolution_improves_over_random_pool() {
+        let out = tiny_evolution(GridKind::Triangulate, 25, 11);
+        let first = out.history.first().unwrap().best_fitness;
+        let last = out.history.last().unwrap().best_fitness;
+        assert!(last < first, "no progress: {first} -> {last}");
+    }
+
+    #[test]
+    fn runs_are_seed_reproducible() {
+        let a = tiny_evolution(GridKind::Square, 8, 42);
+        let b = tiny_evolution(GridKind::Square, 8, 42);
+        assert_eq!(a.best().genome, b.best().genome);
+        let hist_a: Vec<f64> = a.history.iter().map(|s| s.best_fitness).collect();
+        let hist_b: Vec<f64> = b.history.iter().map(|s| s.best_fitness).collect();
+        assert_eq!(hist_a, hist_b);
+    }
+
+    #[test]
+    fn pool_has_no_duplicates_and_is_sorted() {
+        let out = tiny_evolution(GridKind::Square, 10, 7);
+        let digits: Vec<String> = out.pool.iter().map(|i| i.genome.to_digits()).collect();
+        let mut dedup = digits.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), digits.len(), "duplicates must be deleted");
+        for w in out.pool.windows(2) {
+            assert!(w[0].report.fitness <= w[1].report.fitness);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_population_rejected() {
+        let cfg = WorldConfig::paper(GridKind::Square, 8);
+        let configs = paper_config_set(cfg.lattice, GridKind::Square, 2, 2, 0).unwrap();
+        let _ = Evolution::new(
+            FsmSpec::paper(GridKind::Square),
+            Evaluator::new(cfg, configs),
+            GaConfig { population: 1, ..GaConfig::paper(1, 0) },
+        );
+    }
+}
+
+#[cfg(test)]
+mod strategy_tests {
+    use super::*;
+    use crate::crossover::ReproductionStrategy;
+    use a2a_grid::GridKind;
+    use a2a_sim::{paper_config_set, WorldConfig};
+
+    fn run_with(strategy: ReproductionStrategy, seed: u64) -> EvolutionOutcome {
+        let kind = GridKind::Square;
+        let cfg = WorldConfig::paper(kind, 8);
+        let configs = paper_config_set(cfg.lattice, kind, 4, 10, 3).unwrap();
+        let ga = Evolution::new(
+            FsmSpec::paper(kind),
+            Evaluator::new(cfg, configs).with_threads(2),
+            GaConfig::with_strategy(12, seed, strategy),
+        );
+        ga.run(|_| ())
+    }
+
+    #[test]
+    fn all_strategies_make_progress_and_stay_valid() {
+        for strategy in [
+            ReproductionStrategy::MutationOnly,
+            ReproductionStrategy::OnePointCrossover,
+            ReproductionStrategy::UniformCrossover,
+        ] {
+            let out = run_with(strategy, 77);
+            assert!(
+                out.history.last().unwrap().best_fitness
+                    <= out.history.first().unwrap().best_fitness,
+                "{strategy:?}"
+            );
+            for ind in &out.pool {
+                let spec = ind.genome.spec();
+                for e in ind.genome.entries() {
+                    assert!(e.next_state < spec.n_states, "{strategy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_explore_differently() {
+        let mutation = run_with(ReproductionStrategy::MutationOnly, 5);
+        let crossover = run_with(ReproductionStrategy::UniformCrossover, 5);
+        assert_ne!(
+            mutation.best().genome, crossover.best().genome,
+            "same seed, different search trajectories"
+        );
+    }
+}
+
+#[cfg(test)]
+mod diversity_tests {
+    use super::*;
+    use a2a_grid::GridKind;
+    use a2a_sim::{paper_config_set, WorldConfig};
+
+    #[test]
+    fn diversity_is_tracked_and_decreases_from_random_start() {
+        let kind = GridKind::Square;
+        let cfg = WorldConfig::paper(kind, 8);
+        let configs = paper_config_set(cfg.lattice, kind, 3, 6, 1).unwrap();
+        let ga = Evolution::new(
+            FsmSpec::paper(kind),
+            Evaluator::new(cfg, configs).with_threads(2),
+            GaConfig::paper(20, 9),
+        );
+        let out = ga.run(|_| ());
+        let first = out.history.first().unwrap().pool_diversity;
+        let last = out.history.last().unwrap().pool_diversity;
+        assert!(first > 50.0, "random pools are diverse: {first}");
+        assert!(last < first, "selection concentrates the pool: {first} -> {last}");
+        assert!(last > 0.0, "the exchange keeps some diversity");
+    }
+}

@@ -1,0 +1,236 @@
+//! The paper's fitness function (Sect. 4): the dominance combination
+//! `F = Σᵢ (W·(N_agents − aᵢ) + t_comm,ᵢ) / N_fields` with `W = 10⁴`,
+//! evaluated by simulating the agent system over a set of initial
+//! configurations.
+
+use crate::parallel::parallel_map;
+use a2a_fsm::Genome;
+use a2a_sim::{simulate, simulate_behaviour, Behaviour, InitialConfig, RunOutcome, WorldConfig};
+use serde::{Deserialize, Serialize};
+
+/// The paper's dominance weight `W = 10⁴`.
+pub const PAPER_WEIGHT: f64 = 1e4;
+
+/// The paper's simulation horizon during evolution (`t_max = 200`).
+pub const PAPER_T_MAX: u32 = 200;
+
+/// Aggregated fitness of one behaviour over a configuration set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitnessReport {
+    /// Mean fitness `F` (lower is better).
+    pub fitness: f64,
+    /// Number of configurations solved within the horizon.
+    pub successes: usize,
+    /// Total configurations evaluated.
+    pub total: usize,
+    /// Mean communication time over the *successful* configurations
+    /// (`NaN` when none succeeded).
+    pub mean_t_comm: f64,
+}
+
+impl FitnessReport {
+    /// "Completely successful": solved every configuration in the set.
+    #[must_use]
+    pub fn is_completely_successful(&self) -> bool {
+        self.successes == self.total && self.total > 0
+    }
+
+    fn from_outcomes(outcomes: &[RunOutcome], weight: f64) -> Self {
+        let total = outcomes.len();
+        let successes = outcomes.iter().filter(|o| o.is_successful()).count();
+        let fitness =
+            outcomes.iter().map(|o| o.fitness(weight)).sum::<f64>() / total.max(1) as f64;
+        let t_sum: u64 = outcomes
+            .iter()
+            .filter_map(|o| o.t_comm.map(u64::from))
+            .sum();
+        Self {
+            fitness,
+            successes,
+            total,
+            mean_t_comm: t_sum as f64 / successes as f64,
+        }
+    }
+}
+
+/// A reusable fitness evaluator: an environment, a configuration set and
+/// the horizon/weight parameters.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    config: WorldConfig,
+    configs: Vec<InitialConfig>,
+    t_max: u32,
+    weight: f64,
+    threads: usize,
+}
+
+impl Evaluator {
+    /// Creates an evaluator with the paper's horizon and weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    #[must_use]
+    pub fn new(config: WorldConfig, configs: Vec<InitialConfig>) -> Self {
+        assert!(!configs.is_empty(), "fitness needs at least one configuration");
+        Self {
+            config,
+            configs,
+            t_max: PAPER_T_MAX,
+            weight: PAPER_WEIGHT,
+            threads: crate::parallel::default_threads(),
+        }
+    }
+
+    /// Overrides the simulation horizon (paper: 200 during evolution).
+    #[must_use]
+    pub fn with_t_max(mut self, t_max: u32) -> Self {
+        self.t_max = t_max;
+        self
+    }
+
+    /// Overrides the worker-thread count (1 = run inline).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The evaluation environment.
+    #[must_use]
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// The configuration set.
+    #[must_use]
+    pub fn configs(&self) -> &[InitialConfig] {
+        &self.configs
+    }
+
+    /// Simulation horizon.
+    #[must_use]
+    pub fn t_max(&self) -> u32 {
+        self.t_max
+    }
+
+    /// Runs `genome` on every configuration (in parallel) and aggregates
+    /// the paper's fitness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome is incompatible with the environment (wrong
+    /// grid kind) — a programming error in GA callers, which construct
+    /// genomes from the evaluator's own spec.
+    #[must_use]
+    pub fn evaluate(&self, genome: &Genome) -> FitnessReport {
+        let outcomes = parallel_map(&self.configs, self.threads, |init| {
+            simulate(&self.config, genome.clone(), init, self.t_max)
+                .expect("genome and configuration set must match the environment")
+        });
+        FitnessReport::from_outcomes(&outcomes, self.weight)
+    }
+
+    /// Runs a full [`Behaviour`] (e.g. a time-shuffled FSM pair) over the
+    /// configuration set — the extension of the authors' earlier work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the behaviour is incompatible with the environment.
+    #[must_use]
+    pub fn evaluate_behaviour(&self, behaviour: &Behaviour) -> FitnessReport {
+        let outcomes = parallel_map(&self.configs, self.threads, |init| {
+            simulate_behaviour(&self.config, behaviour.clone(), init, self.t_max)
+                .expect("behaviour and configuration set must match the environment")
+        });
+        FitnessReport::from_outcomes(&outcomes, self.weight)
+    }
+
+    /// Evaluates many genomes, parallelising over genomes (better cache
+    /// behaviour for whole-population evaluation than per-config
+    /// parallelism).
+    #[must_use]
+    pub fn evaluate_all(&self, genomes: &[Genome]) -> Vec<FitnessReport> {
+        parallel_map(genomes, self.threads, |g| {
+            let outcomes: Vec<RunOutcome> = self
+                .configs
+                .iter()
+                .map(|init| {
+                    simulate(&self.config, g.clone(), init, self.t_max)
+                        .expect("genome and configuration set must match the environment")
+                })
+                .collect();
+            FitnessReport::from_outcomes(&outcomes, self.weight)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_fsm::{best_s_agent, best_t_agent, FsmSpec};
+    use a2a_grid::GridKind;
+    use a2a_sim::paper_config_set;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn evaluator(kind: GridKind, k: usize, n: usize) -> Evaluator {
+        let cfg = WorldConfig::paper(kind, 16);
+        let configs = paper_config_set(cfg.lattice, kind, k, n, 7).unwrap();
+        Evaluator::new(cfg, configs)
+    }
+
+    #[test]
+    fn best_agents_are_completely_successful_on_small_sets() {
+        for (kind, genome) in [
+            (GridKind::Square, best_s_agent()),
+            (GridKind::Triangulate, best_t_agent()),
+        ] {
+            let eval = evaluator(kind, 8, 30);
+            let report = eval.evaluate(&genome);
+            assert!(report.is_completely_successful(), "{kind}: {report:?}");
+            // Completely successful ⇒ fitness equals mean t_comm.
+            assert!((report.fitness - report.mean_t_comm).abs() < 1e-9);
+            assert!(report.mean_t_comm < 150.0);
+        }
+    }
+
+    #[test]
+    fn random_genomes_rank_below_best() {
+        let eval = evaluator(GridKind::Triangulate, 8, 20);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let random = Genome::random(FsmSpec::paper(GridKind::Triangulate), &mut rng);
+        let best = eval.evaluate(&best_t_agent());
+        let rnd = eval.evaluate(&random);
+        assert!(best.fitness < rnd.fitness, "best {best:?} vs random {rnd:?}");
+    }
+
+    #[test]
+    fn evaluate_all_matches_evaluate() {
+        let eval = evaluator(GridKind::Square, 4, 10).with_threads(2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let genomes: Vec<Genome> = (0..4)
+            .map(|_| Genome::random(FsmSpec::paper(GridKind::Square), &mut rng))
+            .collect();
+        let batch = eval.evaluate_all(&genomes);
+        for (g, r) in genomes.iter().zip(&batch) {
+            assert_eq!(&eval.evaluate(g), r);
+        }
+    }
+
+    #[test]
+    fn failed_configs_dominate_fitness() {
+        // With horizon 0 nothing can be solved unless already adjacent.
+        let eval = evaluator(GridKind::Square, 8, 10).with_t_max(0);
+        let report = eval.evaluate(&best_s_agent());
+        assert!(!report.is_completely_successful());
+        assert!(report.fitness >= PAPER_WEIGHT, "dominance term kicks in");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one configuration")]
+    fn empty_config_set_rejected() {
+        let cfg = WorldConfig::paper(GridKind::Square, 16);
+        let _ = Evaluator::new(cfg, Vec::new());
+    }
+}

@@ -1,0 +1,107 @@
+//! Reliability screening (Sect. 4–5): testing a behaviour across agent
+//! densities on fresh configuration sets, the step that distinguishes the
+//! paper's "reliable" agents from merely fast ones.
+
+use crate::fitness::{Evaluator, FitnessReport};
+use a2a_fsm::Genome;
+use a2a_sim::{paper_config_set, SimError, WorldConfig};
+use serde::{Deserialize, Serialize};
+
+/// Screening result for one agent count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DensityReport {
+    /// Number of agents `k`.
+    pub agents: usize,
+    /// Aggregated outcome over the configuration set.
+    pub report: FitnessReport,
+}
+
+/// Full reliability screen of one behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityReport {
+    /// One entry per screened agent count, in input order.
+    pub per_density: Vec<DensityReport>,
+}
+
+impl ReliabilityReport {
+    /// Whether the behaviour was completely successful on *every*
+    /// configuration of *every* density — the paper's bar for a reliable
+    /// agent (5 × 1003 + 1003 configurations in their protocol).
+    #[must_use]
+    pub fn is_reliable(&self) -> bool {
+        self.per_density.iter().all(|d| d.report.is_completely_successful())
+    }
+
+    /// Total configurations screened.
+    #[must_use]
+    pub fn total_configs(&self) -> usize {
+        self.per_density.iter().map(|d| d.report.total).sum()
+    }
+}
+
+/// Screens `genome` on `n_random + 3` configurations for every agent count
+/// in `agent_counts` (the paper uses `{2, 4, 8, 16, 32, 256}` with 1000
+/// random + 3 manual fields each).
+///
+/// A generous `t_max` should be used here (unlike evolution's 200) so a
+/// slow-but-successful configuration is not misclassified; the paper's
+/// Table 1 reports only successful averages.
+///
+/// # Errors
+///
+/// Propagates configuration-generation errors (e.g. an agent count
+/// exceeding the cell count).
+pub fn screen(
+    genome: &Genome,
+    env: &WorldConfig,
+    agent_counts: &[usize],
+    n_random: usize,
+    seed: u64,
+    t_max: u32,
+    threads: usize,
+) -> Result<ReliabilityReport, SimError> {
+    let mut per_density = Vec::with_capacity(agent_counts.len());
+    for &k in agent_counts {
+        let configs = paper_config_set(env.lattice, env.kind, k, n_random, seed)?;
+        let evaluator = Evaluator::new(env.clone(), configs)
+            .with_t_max(t_max)
+            .with_threads(threads);
+        per_density.push(DensityReport { agents: k, report: evaluator.evaluate(genome) });
+    }
+    Ok(ReliabilityReport { per_density })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_fsm::{best_t_agent, FsmSpec};
+    use a2a_grid::GridKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn best_t_agent_is_reliable_on_a_small_screen() {
+        let env = WorldConfig::paper(GridKind::Triangulate, 16);
+        let report = screen(&best_t_agent(), &env, &[2, 8, 32], 15, 9, 2000, 2).unwrap();
+        assert!(report.is_reliable(), "{report:?}");
+        assert_eq!(report.per_density.len(), 3);
+        // 15 random (+3 manual where representable: k = 2 and 8 fit).
+        assert_eq!(report.total_configs(), 18 + 18 + 15);
+    }
+
+    #[test]
+    fn random_genome_is_usually_unreliable() {
+        let env = WorldConfig::paper(GridKind::Triangulate, 16);
+        let mut rng = SmallRng::seed_from_u64(123);
+        let genome = Genome::random(FsmSpec::paper(GridKind::Triangulate), &mut rng);
+        let report = screen(&genome, &env, &[8], 15, 9, 200, 2).unwrap();
+        assert!(!report.is_reliable(), "a random FSM solving everything would be a miracle");
+    }
+
+    #[test]
+    fn screen_rejects_overfull_densities() {
+        let env = WorldConfig::paper(GridKind::Triangulate, 4);
+        let err = screen(&best_t_agent(), &env, &[17], 2, 0, 100, 1).unwrap_err();
+        assert!(matches!(err, SimError::TooManyAgents { .. }));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the genetic procedure's invariants.
+
+use a2a_fsm::{FsmSpec, Genome};
+use a2a_ga::{
+    one_point, uniform, Evaluator, Evolution, GaConfig, ReproductionStrategy,
+};
+use a2a_grid::GridKind;
+use a2a_sim::{paper_config_set, WorldConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn tiny_evaluator(kind: GridKind, seed: u64) -> Evaluator {
+    let cfg = WorldConfig::paper(kind, 8);
+    let configs = paper_config_set(cfg.lattice, kind, 3, 4, seed).unwrap();
+    Evaluator::new(cfg, configs).with_threads(1).with_t_max(60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The pool is always sorted, duplicate-free and within the size
+    /// limit after any number of generations, for any strategy and seed.
+    #[test]
+    fn pool_invariants_hold(
+        seed in any::<u64>(),
+        generations in 1usize..6,
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = [
+            ReproductionStrategy::MutationOnly,
+            ReproductionStrategy::OnePointCrossover,
+            ReproductionStrategy::UniformCrossover,
+        ][strategy_idx];
+        let kind = GridKind::Square;
+        let ga = Evolution::new(
+            FsmSpec::paper(kind),
+            tiny_evaluator(kind, seed),
+            GaConfig { population: 8, exchange_b: 2, ..GaConfig::with_strategy(generations, seed, strategy) },
+        );
+        let out = ga.run(|_| ());
+        prop_assert!(out.pool.len() <= 8);
+        let mut digits: Vec<String> = out.pool.iter().map(|i| i.genome.to_digits()).collect();
+        let before = digits.len();
+        digits.sort();
+        digits.dedup();
+        prop_assert_eq!(digits.len(), before, "no duplicates");
+        for w in out.pool.windows(2) {
+            prop_assert!(w[0].report.fitness <= w[1].report.fitness);
+        }
+        // Elitism: the best fitness is non-increasing over history.
+        for w in out.history.windows(2) {
+            prop_assert!(w[1].best_fitness <= w[0].best_fitness + 1e-9);
+        }
+    }
+
+    /// Crossover children always draw each entry from one of the parents.
+    #[test]
+    fn crossover_children_are_mixtures(seed in any::<u64>()) {
+        let spec = FsmSpec::paper(GridKind::Triangulate);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = Genome::random(spec, &mut rng);
+        let b = Genome::random(spec, &mut rng);
+        for child in [one_point(&a, &b, &mut rng), uniform(&a, &b, &mut rng)] {
+            for i in 0..spec.entry_count() {
+                let e = child.entry(i);
+                prop_assert!(e == a.entry(i) || e == b.entry(i));
+            }
+        }
+    }
+
+    /// Fitness evaluation is thread-count invariant: 1 worker and 3
+    /// workers produce identical reports.
+    #[test]
+    fn evaluation_is_thread_invariant(seed in any::<u64>()) {
+        let kind = GridKind::Triangulate;
+        let cfg = WorldConfig::paper(kind, 8);
+        let configs = paper_config_set(cfg.lattice, kind, 3, 6, seed).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let genome = Genome::random(FsmSpec::paper(kind), &mut rng);
+        let seq = Evaluator::new(cfg.clone(), configs.clone())
+            .with_threads(1)
+            .with_t_max(80)
+            .evaluate(&genome);
+        let par = Evaluator::new(cfg, configs)
+            .with_threads(3)
+            .with_t_max(80)
+            .evaluate(&genome);
+        prop_assert_eq!(seq.fitness, par.fitness);
+        prop_assert_eq!(seq.successes, par.successes);
+        prop_assert_eq!(seq.total, par.total);
+        // mean_t_comm is NaN when nothing succeeded; NaN != NaN.
+        prop_assert!(
+            seq.mean_t_comm == par.mean_t_comm
+                || (seq.mean_t_comm.is_nan() && par.mean_t_comm.is_nan())
+        );
+    }
+
+    /// Seeded evolutions are bit-for-bit reproducible.
+    #[test]
+    fn evolution_is_reproducible(seed in any::<u64>()) {
+        let kind = GridKind::Square;
+        let run = || {
+            Evolution::new(
+                FsmSpec::paper(kind),
+                tiny_evaluator(kind, seed),
+                GaConfig { population: 6, exchange_b: 1, ..GaConfig::paper(3, seed) },
+            )
+            .run(|_| ())
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(
+            a.pool.iter().map(|i| i.genome.to_digits()).collect::<Vec<_>>(),
+            b.pool.iter().map(|i| i.genome.to_digits()).collect::<Vec<_>>()
+        );
+    }
+}

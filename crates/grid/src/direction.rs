@@ -1,0 +1,239 @@
+//! Moving directions and the two grid kinds of the paper.
+//!
+//! The square torus "S" is 4-valent, the triangulate torus "T" is 6-valent
+//! (Sect. 2 of the paper). Directions are represented uniformly as a small
+//! index [`Dir`] whose valid range depends on the [`GridKind`]; turning is
+//! rotation of that index.
+
+use crate::pos::Offset;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two CA network families compared by the paper (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GridKind {
+    /// 4-valent torus "S": neighbours `(x±1, y)`, `(x, y±1)`.
+    Square,
+    /// 6-valent torus "T": the square links plus the NW–SE diagonal
+    /// `(x−1, y−1)`, `(x+1, y+1)`.
+    Triangulate,
+}
+
+/// Neighbour displacements of the square grid, in rotational (clockwise)
+/// order starting east.
+const SQUARE_OFFSETS: [Offset; 4] = [
+    Offset::new(1, 0),
+    Offset::new(0, 1),
+    Offset::new(-1, 0),
+    Offset::new(0, -1),
+];
+
+/// Neighbour displacements of the triangulate grid, in rotational order
+/// starting east. The diagonal `(±1, ±1)` realises the paper's NW–SE link.
+const TRIANGULATE_OFFSETS: [Offset; 6] = [
+    Offset::new(1, 0),
+    Offset::new(1, 1),
+    Offset::new(0, 1),
+    Offset::new(-1, 0),
+    Offset::new(-1, -1),
+    Offset::new(0, -1),
+];
+
+impl GridKind {
+    /// Number of moving directions: 4 in S, 6 in T.
+    ///
+    /// ```
+    /// use a2a_grid::GridKind;
+    /// assert_eq!(GridKind::Square.dir_count(), 4);
+    /// assert_eq!(GridKind::Triangulate.dir_count(), 6);
+    /// ```
+    #[must_use]
+    pub const fn dir_count(self) -> u8 {
+        match self {
+            GridKind::Square => 4,
+            GridKind::Triangulate => 6,
+        }
+    }
+
+    /// The displacement of one step along direction `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` is not valid for this grid kind
+    /// (`dir.index() >= self.dir_count()`).
+    #[must_use]
+    pub fn offset(self, dir: Dir) -> Offset {
+        self.offsets()[dir.index() as usize]
+    }
+
+    /// All neighbour displacements in rotational order (index = direction).
+    #[must_use]
+    pub fn offsets(self) -> &'static [Offset] {
+        match self {
+            GridKind::Square => &SQUARE_OFFSETS,
+            GridKind::Triangulate => &TRIANGULATE_OFFSETS,
+        }
+    }
+
+    /// Iterator over every valid direction of this grid kind.
+    ///
+    /// ```
+    /// use a2a_grid::GridKind;
+    /// assert_eq!(GridKind::Triangulate.dirs().count(), 6);
+    /// ```
+    pub fn dirs(self) -> impl Iterator<Item = Dir> {
+        (0..self.dir_count()).map(Dir::new)
+    }
+
+    /// Short label used in paper-style output: `"S"` or `"T"`.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            GridKind::Square => "S",
+            GridKind::Triangulate => "T",
+        }
+    }
+}
+
+impl fmt::Display for GridKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GridKind::Square => "square",
+            GridKind::Triangulate => "triangulate",
+        })
+    }
+}
+
+/// A moving direction, stored as an index into the rotational order of
+/// neighbour displacements of a [`GridKind`].
+///
+/// `Dir(0)` is east in both grids; increasing indices rotate clockwise
+/// (90° steps in S, 60° steps in T).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Dir(u8);
+
+impl Dir {
+    /// Direction from a raw rotational index.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        Self(index)
+    }
+
+    /// The raw rotational index.
+    #[must_use]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Rotates by `delta` rotational steps (may exceed the direction count;
+    /// it is reduced modulo `kind.dir_count()`).
+    ///
+    /// ```
+    /// use a2a_grid::{Dir, GridKind};
+    /// let east = Dir::new(0);
+    /// // 180° in the square grid is two 90° steps:
+    /// assert_eq!(east.turned(GridKind::Square, 2), Dir::new(2));
+    /// // …and three 60° steps in the triangulate grid:
+    /// assert_eq!(east.turned(GridKind::Triangulate, 3), Dir::new(3));
+    /// ```
+    #[must_use]
+    pub fn turned(self, kind: GridKind, delta: u8) -> Self {
+        Self((self.0 + delta) % kind.dir_count())
+    }
+
+    /// The opposite direction (180° turn).
+    #[must_use]
+    pub fn reversed(self, kind: GridKind) -> Self {
+        self.turned(kind, kind.dir_count() / 2)
+    }
+
+    /// Whether this index is a valid direction of `kind`.
+    #[must_use]
+    pub fn is_valid_for(self, kind: GridKind) -> bool {
+        self.0 < kind.dir_count()
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Compass-style glyph for rendering an agent heading, matching the arrows
+/// of Fig. 6/7 in the paper (`>`, `v`, `<`, `^` plus diagonal `\`).
+#[must_use]
+pub fn dir_glyph(kind: GridKind, dir: Dir) -> char {
+    match (kind, dir.index()) {
+        (GridKind::Square, 0) | (GridKind::Triangulate, 0) => '>',
+        (GridKind::Square, 1) | (GridKind::Triangulate, 2) => 'v',
+        (GridKind::Square, 2) | (GridKind::Triangulate, 3) => '<',
+        (GridKind::Square, 3) | (GridKind::Triangulate, 5) => '^',
+        (GridKind::Triangulate, 1) => '\\',
+        (GridKind::Triangulate, 4) => '`',
+        _ => '?',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_rotational_and_antipodal() {
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let n = kind.dir_count();
+            for d in kind.dirs() {
+                let opp = d.reversed(kind);
+                assert_eq!(kind.offset(d).reversed(), kind.offset(opp), "{kind} {d}");
+                assert_eq!(d.turned(kind, n), d, "full turn is identity");
+            }
+        }
+    }
+
+    #[test]
+    fn square_offsets_match_paper() {
+        use GridKind::Square as S;
+        assert_eq!(S.offset(Dir::new(0)), Offset::new(1, 0));
+        assert_eq!(S.offset(Dir::new(1)), Offset::new(0, 1));
+        assert_eq!(S.offset(Dir::new(2)), Offset::new(-1, 0));
+        assert_eq!(S.offset(Dir::new(3)), Offset::new(0, -1));
+    }
+
+    #[test]
+    fn triangulate_adds_nw_se_diagonal() {
+        let t = GridKind::Triangulate;
+        let extras: Vec<Offset> = t
+            .offsets()
+            .iter()
+            .filter(|o| !GridKind::Square.offsets().contains(o))
+            .copied()
+            .collect();
+        assert_eq!(extras, vec![Offset::new(1, 1), Offset::new(-1, -1)]);
+    }
+
+    #[test]
+    fn turning_wraps_modulo_dir_count() {
+        let d = Dir::new(5);
+        assert_eq!(d.turned(GridKind::Triangulate, 1), Dir::new(0));
+        assert_eq!(Dir::new(3).turned(GridKind::Square, 1), Dir::new(0));
+    }
+
+    #[test]
+    fn validity_check() {
+        assert!(Dir::new(3).is_valid_for(GridKind::Square));
+        assert!(!Dir::new(4).is_valid_for(GridKind::Square));
+        assert!(Dir::new(5).is_valid_for(GridKind::Triangulate));
+    }
+
+    #[test]
+    fn glyphs_are_distinct_per_kind() {
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let glyphs: Vec<char> = kind.dirs().map(|d| dir_glyph(kind, d)).collect();
+            let mut dedup = glyphs.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), glyphs.len(), "{kind}");
+        }
+    }
+}

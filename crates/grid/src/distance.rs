@@ -1,0 +1,241 @@
+//! Graph distances on the S- and T-grids: BFS ground truth, closed forms
+//! (Manhattan and "hexagonal" distance, Sect. 2 of the paper), diameter,
+//! mean distance and antipodal sets (Fig. 2).
+
+use crate::direction::GridKind;
+use crate::lattice::Lattice;
+use crate::pos::Pos;
+use std::collections::VecDeque;
+
+/// Single-source shortest-path distances (in hops) from `from` to every
+/// node, row-major, computed by breadth-first search.
+///
+/// Works for both edge rules; on a torus this is the ground truth the
+/// closed forms below are validated against.
+///
+/// # Panics
+///
+/// Panics if `from` lies outside the field.
+///
+/// # Examples
+///
+/// ```
+/// use a2a_grid::{bfs_distances, GridKind, Lattice, Pos};
+///
+/// let l = Lattice::torus(8, 8);
+/// let d = bfs_distances(l, GridKind::Triangulate, Pos::new(0, 0));
+/// assert_eq!(d[l.index_of(Pos::new(1, 1))], 1); // the NW–SE diagonal
+/// ```
+#[must_use]
+pub fn bfs_distances(lattice: Lattice, kind: GridKind, from: Pos) -> Vec<u32> {
+    assert!(lattice.contains(from), "source {from} outside {lattice}");
+    let mut dist = vec![u32::MAX; lattice.len()];
+    let mut queue = VecDeque::with_capacity(lattice.len());
+    dist[lattice.index_of(from)] = 0;
+    queue.push_back(from);
+    while let Some(p) = queue.pop_front() {
+        let dp = dist[lattice.index_of(p)];
+        for q in lattice.neighbors(p, kind) {
+            let slot = &mut dist[lattice.index_of(q)];
+            if *slot == u32::MAX {
+                *slot = dp + 1;
+                queue.push_back(q);
+            }
+        }
+    }
+    dist
+}
+
+/// Closed-form torus distance between `a` and `b` for grid `kind`:
+/// Manhattan distance in S, hexagonal distance in T (the metric driving
+/// the paper's routing schemes, Sect. 2).
+///
+/// # Panics
+///
+/// Panics if `lattice` is not a torus or a position lies outside it.
+#[must_use]
+pub fn torus_distance(lattice: Lattice, kind: GridKind, a: Pos, b: Pos) -> u32 {
+    assert!(lattice.is_torus(), "closed-form distance requires a torus");
+    assert!(lattice.contains(a) && lattice.contains(b), "positions outside {lattice}");
+    let w = i64::from(lattice.width());
+    let h = i64::from(lattice.height());
+    // Normalised displacement in [0, w) × [0, h).
+    let dx = (i64::from(b.x) - i64::from(a.x)).rem_euclid(w);
+    let dy = (i64::from(b.y) - i64::from(a.y)).rem_euclid(h);
+    // Each axis can independently wrap the other way.
+    let xs = [dx, dx - w];
+    let ys = [dy, dy - h];
+    let mut best = u32::MAX;
+    for &x in &xs {
+        for &y in &ys {
+            let cost = match kind {
+                GridKind::Square => x.abs() + y.abs(),
+                // With only the (+1,+1)/(−1,−1) diagonal, same-sign
+                // displacements ride the diagonal (max norm), mixed-sign
+                // ones pay both axes.
+                GridKind::Triangulate => {
+                    if x.signum() * y.signum() >= 0 {
+                        x.abs().max(y.abs())
+                    } else {
+                        x.abs() + y.abs()
+                    }
+                }
+            };
+            best = best.min(cost as u32);
+        }
+    }
+    best
+}
+
+/// Summary of the distance structure of a field as seen from one node
+/// (which, by vertex-transitivity, characterises the whole torus).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceSurvey {
+    /// Eccentricity of the source (the torus diameter).
+    pub eccentricity: u32,
+    /// Mean distance from the source to all `N` nodes (self included,
+    /// matching the paper's `δ̄`).
+    pub mean: f64,
+    /// Nodes realising the eccentricity ("antipodal" nodes, Fig. 2).
+    pub antipodals: Vec<Pos>,
+    /// Histogram: `histogram[d]` = number of nodes at distance `d`.
+    pub histogram: Vec<usize>,
+}
+
+/// Surveys distances from `from` by BFS.
+///
+/// # Panics
+///
+/// Panics if `from` lies outside the field.
+#[must_use]
+pub fn survey_from(lattice: Lattice, kind: GridKind, from: Pos) -> DistanceSurvey {
+    let dist = bfs_distances(lattice, kind, from);
+    let ecc = *dist.iter().max().expect("non-empty lattice");
+    assert_ne!(ecc, u32::MAX, "field must be connected");
+    let mut histogram = vec![0usize; ecc as usize + 1];
+    let mut total = 0u64;
+    let mut antipodals = Vec::new();
+    for (i, &d) in dist.iter().enumerate() {
+        histogram[d as usize] += 1;
+        total += u64::from(d);
+        if d == ecc {
+            antipodals.push(lattice.pos_at(i));
+        }
+    }
+    DistanceSurvey {
+        eccentricity: ecc,
+        mean: total as f64 / lattice.len() as f64,
+        antipodals,
+        histogram,
+    }
+}
+
+/// The exact diameter of the field.
+///
+/// On a torus this is the eccentricity of any single node
+/// (vertex-transitivity); on a bordered field all sources are scanned.
+#[must_use]
+pub fn diameter(lattice: Lattice, kind: GridKind) -> u32 {
+    if lattice.is_torus() {
+        survey_from(lattice, kind, Pos::new(0, 0)).eccentricity
+    } else {
+        lattice
+            .positions()
+            .map(|p| survey_from(lattice, kind, p).eccentricity)
+            .max()
+            .expect("non-empty lattice")
+    }
+}
+
+/// The exact mean distance `δ̄` over ordered node pairs (self-pairs
+/// included, as in the paper's Eq. (2) normalisation).
+#[must_use]
+pub fn mean_distance(lattice: Lattice, kind: GridKind) -> f64 {
+    if lattice.is_torus() {
+        survey_from(lattice, kind, Pos::new(0, 0)).mean
+    } else {
+        let total: f64 = lattice
+            .positions()
+            .map(|p| survey_from(lattice, kind, p).mean)
+            .sum();
+        total / lattice.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_square_survey_n3() {
+        // Fig. 2: for n = 3 (8×8), D_S = 8 and δ̄_S = 4.
+        let l = Lattice::torus_of_size(3);
+        let s = survey_from(l, GridKind::Square, Pos::new(3, 3));
+        assert_eq!(s.eccentricity, 8);
+        assert!((s.mean - 4.0).abs() < 1e-12, "mean = {}", s.mean);
+        // The unique antipodal of the S-torus is the diagonally opposite node.
+        assert_eq!(s.antipodals, vec![Pos::new(7, 7)]);
+    }
+
+    #[test]
+    fn fig2_triangulate_survey_n3() {
+        // Fig. 2: for n = 3 (8×8), D_T = 5 and δ̄_T ≈ 3.09.
+        let l = Lattice::torus_of_size(3);
+        let s = survey_from(l, GridKind::Triangulate, Pos::new(3, 3));
+        assert_eq!(s.eccentricity, 5);
+        assert!((s.mean - 3.09).abs() < 0.02, "mean = {}", s.mean);
+    }
+
+    #[test]
+    fn diameter_16x16_matches_eq1() {
+        // Eq. (1) for n = 4: D_S = 16, D_T = (2·15 + 0)/3 = 10.
+        let l = Lattice::torus_of_size(4);
+        assert_eq!(diameter(l, GridKind::Square), 16);
+        assert_eq!(diameter(l, GridKind::Triangulate), 10);
+    }
+
+    #[test]
+    fn closed_form_matches_bfs_small() {
+        for (w, h) in [(4u16, 4u16), (5, 7), (8, 8), (6, 3)] {
+            let l = Lattice::torus(w, h);
+            for kind in [GridKind::Square, GridKind::Triangulate] {
+                for a in [Pos::new(0, 0), Pos::new(2, 1)] {
+                    let bfs = bfs_distances(l, kind, a);
+                    for b in l.positions() {
+                        assert_eq!(
+                            torus_distance(l, kind, a, b),
+                            bfs[l.index_of(b)],
+                            "{kind} {w}x{h} {a}->{b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_histogram_sums_to_node_count() {
+        let l = Lattice::torus(8, 8);
+        let s = survey_from(l, GridKind::Triangulate, Pos::new(0, 0));
+        assert_eq!(s.histogram.iter().sum::<usize>(), 64);
+        assert_eq!(s.histogram[0], 1);
+        // Degree of the T-grid: 6 nodes at distance 1.
+        assert_eq!(s.histogram[1], 6);
+    }
+
+    #[test]
+    fn bordered_diameter_exceeds_torus() {
+        let torus = Lattice::torus(8, 8);
+        let bordered = Lattice::bordered(8, 8);
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            assert!(diameter(bordered, kind) > diameter(torus, kind));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a torus")]
+    fn closed_form_rejects_bordered() {
+        let l = Lattice::bordered(4, 4);
+        let _ = torus_distance(l, GridKind::Square, Pos::new(0, 0), Pos::new(1, 1));
+    }
+}

@@ -1,0 +1,317 @@
+//! The cell field: a `W × H` lattice, cyclic (torus, as in the paper) or
+//! bordered (the extension discussed in the paper's conclusion).
+
+use crate::direction::{Dir, GridKind};
+use crate::pos::{Offset, Pos};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Edge behaviour of the field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeRule {
+    /// Cyclic wrap-around (the paper's setting: "without borders").
+    Wrap,
+    /// Hard border: steps off the field are invalid. Listed by the paper as
+    /// the *easier* environment and as future work for this model.
+    Border,
+}
+
+/// A rectangular cell field of `width × height` nodes.
+///
+/// The paper uses `M × M` fields with `M = 2^n` (16×16 in the evaluation)
+/// plus one 33×33 comparison; this type supports any extent ≥ 1 and both
+/// [`EdgeRule`]s.
+///
+/// # Examples
+///
+/// ```
+/// use a2a_grid::{Dir, GridKind, Lattice, Pos};
+///
+/// let field = Lattice::torus(16, 16);
+/// // Wrap-around: stepping east from the last column lands on column 0.
+/// let east = field.neighbor(Pos::new(15, 3), GridKind::Square, Dir::new(0));
+/// assert_eq!(east, Some(Pos::new(0, 3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lattice {
+    width: u16,
+    height: u16,
+    edge: EdgeRule,
+}
+
+impl Lattice {
+    /// Creates a cyclic (torus) field, the paper's standard environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    #[must_use]
+    pub fn torus(width: u16, height: u16) -> Self {
+        Self::new(width, height, EdgeRule::Wrap)
+    }
+
+    /// Creates a bordered field (extension environment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    #[must_use]
+    pub fn bordered(width: u16, height: u16) -> Self {
+        Self::new(width, height, EdgeRule::Border)
+    }
+
+    /// Creates a field with an explicit [`EdgeRule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    #[must_use]
+    pub fn new(width: u16, height: u16, edge: EdgeRule) -> Self {
+        assert!(width > 0 && height > 0, "lattice extent must be positive");
+        Self { width, height, edge }
+    }
+
+    /// The square `2^n × 2^n` torus of "size" `n` in the paper's notation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15` (the extent would not fit in `u16`).
+    #[must_use]
+    pub fn torus_of_size(n: u32) -> Self {
+        assert!(n <= 15, "size n must be at most 15");
+        let m = 1u16 << n;
+        Self::torus(m, m)
+    }
+
+    /// Field width (number of columns).
+    #[must_use]
+    pub const fn width(self) -> u16 {
+        self.width
+    }
+
+    /// Field height (number of rows).
+    #[must_use]
+    pub const fn height(self) -> u16 {
+        self.height
+    }
+
+    /// Edge behaviour.
+    #[must_use]
+    pub const fn edge(self) -> EdgeRule {
+        self.edge
+    }
+
+    /// Whether the field wraps around (is a torus).
+    #[must_use]
+    pub const fn is_torus(self) -> bool {
+        matches!(self.edge, EdgeRule::Wrap)
+    }
+
+    /// Total number of nodes `N = width × height`.
+    #[must_use]
+    pub const fn len(self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// A lattice is never empty; provided for API completeness.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Number of undirected links of the torus: `2N` for S, `3N` for T
+    /// (Sect. 2 / Fig. 1 of the paper). For bordered fields the boundary
+    /// loses links accordingly.
+    #[must_use]
+    pub fn link_count(self, kind: GridKind) -> usize {
+        match self.edge {
+            EdgeRule::Wrap => self.len() * kind.dir_count() as usize / 2,
+            EdgeRule::Border => {
+                // Count each undirected link once by enumerating "forward"
+                // directions (the first half of the rotational order).
+                let forward = 0..kind.dir_count() / 2;
+                self.positions()
+                    .map(|p| {
+                        forward
+                            .clone()
+                            .filter(|&d| self.neighbor(p, kind, Dir::new(d)).is_some())
+                            .count()
+                    })
+                    .sum()
+            }
+        }
+    }
+
+    /// Whether `pos` lies inside the field.
+    #[must_use]
+    pub fn contains(self, pos: Pos) -> bool {
+        pos.x < self.width && pos.y < self.height
+    }
+
+    /// Row-major linear index of `pos`, used for flat storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is outside the field.
+    #[must_use]
+    pub fn index_of(self, pos: Pos) -> usize {
+        assert!(self.contains(pos), "{pos} outside {self}");
+        pos.y as usize * self.width as usize + pos.x as usize
+    }
+
+    /// Inverse of [`Lattice::index_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn pos_at(self, index: usize) -> Pos {
+        assert!(index < self.len(), "index {index} out of range for {self}");
+        Pos::new(
+            (index % self.width as usize) as u16,
+            (index / self.width as usize) as u16,
+        )
+    }
+
+    /// Iterator over all positions in row-major order.
+    pub fn positions(self) -> impl Iterator<Item = Pos> {
+        (0..self.len()).map(move |i| self.pos_at(i))
+    }
+
+    /// Applies a displacement, honouring the edge rule. Returns `None` when
+    /// a bordered field is left.
+    #[must_use]
+    pub fn offset(self, pos: Pos, offset: Offset) -> Option<Pos> {
+        let (w, h) = (i64::from(self.width), i64::from(self.height));
+        let x = i64::from(pos.x) + i64::from(offset.dx);
+        let y = i64::from(pos.y) + i64::from(offset.dy);
+        match self.edge {
+            EdgeRule::Wrap => Some(Pos::new(
+                (x.rem_euclid(w)) as u16,
+                (y.rem_euclid(h)) as u16,
+            )),
+            EdgeRule::Border => {
+                if (0..w).contains(&x) && (0..h).contains(&y) {
+                    Some(Pos::new(x as u16, y as u16))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The neighbour of `pos` along moving direction `dir` of grid `kind`.
+    #[must_use]
+    pub fn neighbor(self, pos: Pos, kind: GridKind, dir: Dir) -> Option<Pos> {
+        self.offset(pos, kind.offset(dir))
+    }
+
+    /// All existing neighbours of `pos` in rotational direction order
+    /// (4 in S, 6 in T on a torus; fewer on a border cell).
+    pub fn neighbors(self, pos: Pos, kind: GridKind) -> impl Iterator<Item = Pos> {
+        kind.dirs().filter_map(move |d| self.neighbor(pos, kind, d))
+    }
+}
+
+impl fmt::Display for Lattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} {}",
+            self.width,
+            self.height,
+            match self.edge {
+                EdgeRule::Wrap => "torus",
+                EdgeRule::Border => "bordered field",
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_n_torus_has_power_of_two_extent() {
+        let l = Lattice::torus_of_size(4);
+        assert_eq!((l.width(), l.height()), (16, 16));
+        assert_eq!(l.len(), 256);
+        assert!(l.is_torus());
+    }
+
+    #[test]
+    #[should_panic(expected = "extent must be positive")]
+    fn zero_extent_rejected() {
+        let _ = Lattice::torus(0, 4);
+    }
+
+    #[test]
+    fn link_counts_match_fig1() {
+        // Fig. 1: tori of size n = 2 (N = 16) have 2N = 32 (S) and 3N = 48 (T) links.
+        let l = Lattice::torus_of_size(2);
+        assert_eq!(l.link_count(GridKind::Square), 32);
+        assert_eq!(l.link_count(GridKind::Triangulate), 48);
+    }
+
+    #[test]
+    fn bordered_link_counts() {
+        // 3x3 bordered square grid: 2*3*2 = 12 links.
+        let l = Lattice::bordered(3, 3);
+        assert_eq!(l.link_count(GridKind::Square), 12);
+        // Triangulate adds 2x2 = 4 interior diagonals.
+        assert_eq!(l.link_count(GridKind::Triangulate), 16);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let l = Lattice::torus(5, 7);
+        for i in 0..l.len() {
+            assert_eq!(l.index_of(l.pos_at(i)), i);
+        }
+        assert_eq!(l.positions().count(), 35);
+    }
+
+    #[test]
+    fn torus_wraps_all_edges() {
+        let l = Lattice::torus(4, 4);
+        let k = GridKind::Triangulate;
+        assert_eq!(
+            l.neighbor(Pos::new(0, 0), k, Dir::new(4)),
+            Some(Pos::new(3, 3)),
+            "NW diagonal wraps both axes"
+        );
+        assert_eq!(l.neighbor(Pos::new(3, 0), k, Dir::new(0)), Some(Pos::new(0, 0)));
+    }
+
+    #[test]
+    fn border_blocks_departure() {
+        let l = Lattice::bordered(4, 4);
+        let k = GridKind::Square;
+        assert_eq!(l.neighbor(Pos::new(0, 0), k, Dir::new(3)), None);
+        assert_eq!(l.neighbor(Pos::new(0, 0), k, Dir::new(0)), Some(Pos::new(1, 0)));
+        assert_eq!(l.neighbors(Pos::new(0, 0), k).count(), 2);
+    }
+
+    #[test]
+    fn torus_neighbor_counts_are_valence() {
+        let l = Lattice::torus(8, 8);
+        for p in l.positions() {
+            assert_eq!(l.neighbors(p, GridKind::Square).count(), 4);
+            assert_eq!(l.neighbors(p, GridKind::Triangulate).count(), 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn index_of_out_of_range_panics() {
+        let l = Lattice::torus(4, 4);
+        let _ = l.index_of(Pos::new(4, 0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Lattice::torus(16, 16).to_string(), "16x16 torus");
+        assert_eq!(Lattice::bordered(4, 8).to_string(), "4x8 bordered field");
+    }
+}

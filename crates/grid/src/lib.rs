@@ -1,0 +1,53 @@
+//! Topology layer for the reproduction of Hoffmann & Désérable,
+//! *CA Agents for All-to-All Communication Are Faster in the Triangulate
+//! Grid* (PaCT 2013).
+//!
+//! This crate models the two CA networks compared in the paper (Sect. 2):
+//!
+//! * the **square torus "S"** — 4-valent, neighbours `(x±1, y)`, `(x, y±1)`;
+//! * the **triangulate torus "T"** — 6-valent, adding the NW–SE diagonal
+//!   links `(x−1, y−1)`, `(x+1, y+1)`.
+//!
+//! It provides:
+//!
+//! * [`Lattice`] — a `W × H` cell field, cyclic ([`Lattice::torus`], the
+//!   paper's setting) or bordered (the extension environment);
+//! * [`GridKind`] and [`Dir`] — the grid family and its moving directions;
+//! * [`bfs_distances`], [`torus_distance`], [`survey_from`] — graph
+//!   distances (Fig. 2 of the paper), diameter and antipodal sets;
+//! * [`diameter_formula`], [`mean_distance_formula`] — the closed forms of
+//!   Eq. (1)–(2) and the T/S ratios of Eq. (3).
+//!
+//! # Examples
+//!
+//! Reproducing the Fig. 2 headline numbers for the size-3 tori:
+//!
+//! ```
+//! use a2a_grid::{survey_from, GridKind, Lattice, Pos};
+//!
+//! let field = Lattice::torus_of_size(3); // 8×8, N = 64
+//! let s = survey_from(field, GridKind::Square, Pos::new(3, 3));
+//! let t = survey_from(field, GridKind::Triangulate, Pos::new(3, 3));
+//! assert_eq!((s.eccentricity, t.eccentricity), (8, 5));
+//! assert!((s.mean - 4.0).abs() < 1e-12);
+//! assert!((t.mean - 3.09).abs() < 0.02);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod direction;
+mod distance;
+mod lattice;
+mod metrics;
+mod pos;
+mod routing;
+
+pub use direction::{dir_glyph, Dir, GridKind};
+pub use distance::{
+    bfs_distances, diameter, mean_distance, survey_from, torus_distance, DistanceSurvey,
+};
+pub use lattice::{EdgeRule, Lattice};
+pub use metrics::{diameter_formula, diameter_ratio, mean_distance_formula, mean_distance_ratio};
+pub use pos::{Offset, Pos};
+pub use routing::{minimal_directions, shortest_path};

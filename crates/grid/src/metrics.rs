@@ -1,0 +1,121 @@
+//! Closed-form network metrics of the paper, Eq. (1)–(3): diameters, mean
+//! distances and their T/S ratios for the size-`n` tori (`N = 2^n × 2^n`).
+
+use crate::direction::GridKind;
+
+/// Diameter `D_n` of the size-`n` torus, Eq. (1):
+/// `D_n^S = √N` and `D_n^T = (2(√N − 1) + ε_n) / 3` with `ε_n` the parity
+/// of `n`.
+///
+/// Returned as `f64` for uniformity with [`mean_distance_formula`]; both
+/// formulas yield integers for valid `n`.
+///
+/// # Examples
+///
+/// ```
+/// use a2a_grid::{diameter_formula, GridKind};
+///
+/// assert_eq!(diameter_formula(GridKind::Square, 3), 8.0);
+/// assert_eq!(diameter_formula(GridKind::Triangulate, 3), 5.0);
+/// assert_eq!(diameter_formula(GridKind::Triangulate, 4), 10.0);
+/// ```
+#[must_use]
+pub fn diameter_formula(kind: GridKind, n: u32) -> f64 {
+    let sqrt_n = f64::from(1u32 << n); // √N = 2^n
+    match kind {
+        GridKind::Square => sqrt_n,
+        GridKind::Triangulate => {
+            let eps = f64::from(n % 2);
+            (2.0 * (sqrt_n - 1.0) + eps) / 3.0
+        }
+    }
+}
+
+/// Mean distance `δ̄_n` of the size-`n` torus, Eq. (2):
+/// `δ̄_n^S = √N / 2` and `δ̄_n^T ≈ (7√N/3 − 1/√N) / 6`.
+///
+/// The T-form is the paper's asymptotic approximation; see
+/// [`crate::mean_distance`] for the exact BFS value.
+///
+/// ```
+/// use a2a_grid::{mean_distance_formula, GridKind};
+///
+/// assert_eq!(mean_distance_formula(GridKind::Square, 3), 4.0);
+/// let t = mean_distance_formula(GridKind::Triangulate, 3);
+/// assert!((t - 3.09).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn mean_distance_formula(kind: GridKind, n: u32) -> f64 {
+    let sqrt_n = f64::from(1u32 << n);
+    match kind {
+        GridKind::Square => sqrt_n / 2.0,
+        GridKind::Triangulate => (7.0 * sqrt_n / 3.0 - 1.0 / sqrt_n) / 6.0,
+    }
+}
+
+/// Asymptotic diameter ratio `D^{T/S} ≈ 0.666…` of Eq. (3) at size `n`.
+#[must_use]
+pub fn diameter_ratio(n: u32) -> f64 {
+    diameter_formula(GridKind::Triangulate, n) / diameter_formula(GridKind::Square, n)
+}
+
+/// Asymptotic mean-distance ratio `δ̄^{T/S} ≈ 0.775…` of Eq. (3) at size `n`.
+#[must_use]
+pub fn mean_distance_ratio(n: u32) -> f64 {
+    mean_distance_formula(GridKind::Triangulate, n) / mean_distance_formula(GridKind::Square, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{diameter, mean_distance};
+    use crate::lattice::Lattice;
+
+    #[test]
+    fn diameter_formula_matches_bfs_up_to_n5() {
+        for n in 1..=5 {
+            let l = Lattice::torus_of_size(n);
+            for kind in [GridKind::Square, GridKind::Triangulate] {
+                assert_eq!(
+                    diameter_formula(kind, n),
+                    f64::from(diameter(l, kind)),
+                    "n = {n}, {kind}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn square_mean_formula_is_exact() {
+        for n in 1..=5 {
+            let l = Lattice::torus_of_size(n);
+            let exact = mean_distance(l, GridKind::Square);
+            assert!(
+                (mean_distance_formula(GridKind::Square, n) - exact).abs() < 1e-12,
+                "n = {n}: formula {} vs exact {exact}",
+                mean_distance_formula(GridKind::Square, n)
+            );
+        }
+    }
+
+    #[test]
+    fn triangulate_mean_formula_is_close() {
+        // The paper marks δ̄^T with ≈; accept a 3 % relative error.
+        for n in 2..=5 {
+            let l = Lattice::torus_of_size(n);
+            let exact = mean_distance(l, GridKind::Triangulate);
+            let approx = mean_distance_formula(GridKind::Triangulate, n);
+            assert!(
+                (approx - exact).abs() / exact < 0.03,
+                "n = {n}: formula {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn ratios_approach_eq3_constants() {
+        // Eq. (3): D^{T/S} ≈ 0.666 and δ̄^{T/S} ≈ 0.775 for large n.
+        assert!((diameter_ratio(8) - 0.666).abs() < 0.01);
+        assert!((mean_distance_ratio(8) - 0.775).abs() < 0.005);
+    }
+}

@@ -1,0 +1,109 @@
+//! Grid positions in the XY coordinate system of the paper (Fig. 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node of an `M × M` (or more generally `W × H`) grid, labelled in the
+/// XY-orthogonal coordinate system used by the paper.
+///
+/// `x` grows eastwards, `y` grows southwards (screen convention), so the
+/// triangulate grid's extra diagonal `(x+1, y+1)`/`(x−1, y−1)` runs NW–SE as
+/// in Fig. 1 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use a2a_grid::Pos;
+///
+/// let p = Pos::new(3, 5);
+/// assert_eq!((p.x, p.y), (3, 5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Pos {
+    /// Column (west → east).
+    pub x: u16,
+    /// Row (north → south).
+    pub y: u16,
+}
+
+impl Pos {
+    /// Creates a position from its column and row.
+    #[must_use]
+    pub const fn new(x: u16, y: u16) -> Self {
+        Self { x, y }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(u16, u16)> for Pos {
+    fn from((x, y): (u16, u16)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+/// A relative displacement between grid nodes, before any torus wrapping.
+///
+/// Displacements are what [`crate::GridKind::offset`] returns for each moving
+/// direction; the lattice applies them modulo its extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Offset {
+    /// Change along `x`.
+    pub dx: i32,
+    /// Change along `y`.
+    pub dy: i32,
+}
+
+impl Offset {
+    /// Creates a displacement.
+    #[must_use]
+    pub const fn new(dx: i32, dy: i32) -> Self {
+        Self { dx, dy }
+    }
+
+    /// The opposite displacement.
+    ///
+    /// ```
+    /// use a2a_grid::Offset;
+    /// assert_eq!(Offset::new(1, -1).reversed(), Offset::new(-1, 1));
+    /// ```
+    #[must_use]
+    pub const fn reversed(self) -> Self {
+        Self::new(-self.dx, -self.dy)
+    }
+}
+
+impl fmt::Display for Offset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:+}, {:+})", self.dx, self.dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display_and_conversion() {
+        let p: Pos = (2, 7).into();
+        assert_eq!(p.to_string(), "(2, 7)");
+        assert_eq!(p, Pos::new(2, 7));
+    }
+
+    #[test]
+    fn pos_ordering_is_lexicographic() {
+        assert!(Pos::new(0, 9) < Pos::new(1, 0));
+        assert!(Pos::new(1, 0) < Pos::new(1, 1));
+    }
+
+    #[test]
+    fn offset_reverse_roundtrip() {
+        let o = Offset::new(-3, 4);
+        assert_eq!(o.reversed().reversed(), o);
+        assert_eq!(o.to_string(), "(-3, +4)");
+    }
+}

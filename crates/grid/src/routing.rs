@@ -1,0 +1,157 @@
+//! Minimal routing on the S- and T-tori.
+//!
+//! Sect. 2 of the paper notes that "the basic routing schemes are driven
+//! by the Manhattan distance in S and by the so-called 'hexagonal'
+//! distance in T" (Désérable's minimal-routing construction, the paper's
+//! ref. [16]). This module provides shortest paths as explicit node
+//! sequences — useful as ground truth for the lower-bound analysis and
+//! for visualising optimal trajectories next to the evolved agents'.
+
+use crate::direction::{Dir, GridKind};
+use crate::distance::torus_distance;
+use crate::lattice::Lattice;
+use crate::pos::Pos;
+
+/// One shortest path from `a` to `b` (inclusive of both endpoints),
+/// produced by greedy distance descent: every hop moves to a neighbour
+/// strictly closer to the target, so the path length equals the
+/// closed-form distance.
+///
+/// Ties are broken by the rotational direction order, making the result
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics if the lattice is not a torus or a position lies outside it.
+///
+/// # Examples
+///
+/// ```
+/// use a2a_grid::{shortest_path, GridKind, Lattice, Pos};
+///
+/// let l = Lattice::torus(8, 8);
+/// let path = shortest_path(l, GridKind::Triangulate, Pos::new(0, 0), Pos::new(3, 3));
+/// assert_eq!(path.len(), 4); // hex distance 3 via the NW–SE diagonal
+/// ```
+#[must_use]
+pub fn shortest_path(lattice: Lattice, kind: GridKind, a: Pos, b: Pos) -> Vec<Pos> {
+    assert!(lattice.is_torus(), "minimal routing is defined on the torus");
+    let mut path = vec![a];
+    let mut current = a;
+    let mut remaining = torus_distance(lattice, kind, a, b);
+    while remaining > 0 {
+        let next = kind
+            .dirs()
+            .filter_map(|d| lattice.neighbor(current, kind, d))
+            .find(|&n| torus_distance(lattice, kind, n, b) == remaining - 1)
+            .expect("on a torus some neighbour is strictly closer");
+        path.push(next);
+        current = next;
+        remaining -= 1;
+    }
+    path
+}
+
+/// The moving directions an agent at `from` could take on *some* shortest
+/// path to `to` (the "minimal directions" of the routing scheme). Empty
+/// iff `from == to`.
+///
+/// # Panics
+///
+/// Panics if the lattice is not a torus or a position lies outside it.
+#[must_use]
+pub fn minimal_directions(lattice: Lattice, kind: GridKind, from: Pos, to: Pos) -> Vec<Dir> {
+    let d = torus_distance(lattice, kind, from, to);
+    if d == 0 {
+        return Vec::new();
+    }
+    kind.dirs()
+        .filter(|&dir| {
+            lattice
+                .neighbor(from, kind, dir)
+                .is_some_and(|n| torus_distance(lattice, kind, n, to) == d - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_endpoints_and_length() {
+        let l = Lattice::torus(16, 16);
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let (a, b) = (Pos::new(2, 3), Pos::new(13, 9));
+            let path = shortest_path(l, kind, a, b);
+            assert_eq!(path.first(), Some(&a));
+            assert_eq!(path.last(), Some(&b));
+            assert_eq!(path.len() as u32 - 1, torus_distance(l, kind, a, b), "{kind}");
+        }
+    }
+
+    #[test]
+    fn consecutive_path_nodes_are_adjacent() {
+        let l = Lattice::torus(8, 8);
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let path = shortest_path(l, kind, Pos::new(0, 0), Pos::new(4, 7));
+            for w in path.windows(2) {
+                assert!(
+                    l.neighbors(w[0], kind).any(|n| n == w[1]),
+                    "{kind}: {} !~ {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_path_is_the_single_node() {
+        let l = Lattice::torus(4, 4);
+        let p = Pos::new(1, 1);
+        assert_eq!(shortest_path(l, GridKind::Square, p, p), vec![p]);
+        assert!(minimal_directions(l, GridKind::Square, p, p).is_empty());
+    }
+
+    #[test]
+    fn t_route_uses_the_diagonal() {
+        // (0,0) → (3,3) in T: three diagonal hops.
+        let l = Lattice::torus(8, 8);
+        let path = shortest_path(l, GridKind::Triangulate, Pos::new(0, 0), Pos::new(3, 3));
+        assert_eq!(
+            path,
+            vec![Pos::new(0, 0), Pos::new(1, 1), Pos::new(2, 2), Pos::new(3, 3)]
+        );
+    }
+
+    #[test]
+    fn minimal_directions_agree_with_distance_descent() {
+        let l = Lattice::torus(8, 8);
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let (a, b) = (Pos::new(1, 2), Pos::new(6, 5));
+            let dirs = minimal_directions(l, kind, a, b);
+            assert!(!dirs.is_empty());
+            let d = torus_distance(l, kind, a, b);
+            for dir in dirs {
+                let n = l.neighbor(a, kind, dir).unwrap();
+                assert_eq!(torus_distance(l, kind, n, b), d - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_routes_take_the_short_way() {
+        let l = Lattice::torus(16, 16);
+        // (0,0) → (15,0): one westward hop across the seam, not 15 east.
+        let path = shortest_path(l, GridKind::Square, Pos::new(0, 0), Pos::new(15, 0));
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus")]
+    fn bordered_fields_rejected() {
+        let l = Lattice::bordered(4, 4);
+        let _ = shortest_path(l, GridKind::Square, Pos::new(0, 0), Pos::new(1, 1));
+    }
+}

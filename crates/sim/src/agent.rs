@@ -1,0 +1,84 @@
+//! Agents: the moving entities of the multi-agent system.
+//!
+//! The paper's agent state is the quadruple
+//! `{IDentifier, Direction, ControlState, CommunicationVector}` (Sect. 3).
+
+use crate::infoset::InfoSet;
+use a2a_grid::{Dir, Pos};
+use serde::{Deserialize, Serialize};
+
+/// One agent of the multi-agent system.
+///
+/// Fields are read-only outside the simulator; the [`crate::World`] is the
+/// sole mutator so CA invariants (one agent per cell, synchronous updates)
+/// cannot be broken from outside.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Agent {
+    pub(crate) id: u16,
+    pub(crate) pos: Pos,
+    pub(crate) dir: Dir,
+    pub(crate) state: u8,
+    pub(crate) info: InfoSet,
+}
+
+impl Agent {
+    /// The identifier `ID ∈ {0 … N_agents − 1}`; also the conflict
+    /// priority (lowest ID wins under the paper's resolution strategy).
+    #[must_use]
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Current cell.
+    #[must_use]
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+
+    /// Current moving direction.
+    #[must_use]
+    pub fn dir(&self) -> Dir {
+        self.dir
+    }
+
+    /// Current control state of the embedded FSM.
+    #[must_use]
+    pub fn state(&self) -> u8 {
+        self.state
+    }
+
+    /// The communication vector gathered so far.
+    #[must_use]
+    pub fn info(&self) -> &InfoSet {
+        &self.info
+    }
+
+    /// Whether this agent has gathered the complete information
+    /// (is *informed* in the paper's terminology).
+    #[must_use]
+    pub fn is_informed(&self) -> bool {
+        self.info.is_complete()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_expose_state() {
+        let a = Agent {
+            id: 3,
+            pos: Pos::new(1, 2),
+            dir: Dir::new(5),
+            state: 2,
+            info: InfoSet::singleton(3, 8),
+        };
+        assert_eq!(a.id(), 3);
+        assert_eq!(a.pos(), Pos::new(1, 2));
+        assert_eq!(a.dir(), Dir::new(5));
+        assert_eq!(a.state(), 2);
+        assert!(a.info().contains(3));
+        assert!(!a.is_informed());
+    }
+}

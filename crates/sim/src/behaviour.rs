@@ -1,0 +1,183 @@
+//! Agent behaviours: a single FSM (the paper's setting) or a
+//! time-shuffled sequence of FSMs.
+//!
+//! Time-shuffling — alternating two FSMs over time — is reported by the
+//! authors' earlier work (ref. \[8\] in the paper) to speed up the task; the
+//! paper itself deliberately uses one FSM ("we used only one FSM with 4
+//! states, instead of using two FSMs with 8 states each"). Supporting
+//! both makes that prior-work comparison reproducible.
+
+use a2a_fsm::{FsmSpec, Genome};
+use serde::{Deserialize, Serialize};
+
+/// What drives the agents: one FSM, or several alternating by time step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Behaviour {
+    /// All steps use the same FSM (the paper's model).
+    Single(Genome),
+    /// Step `t` uses FSM `t mod n` — "time-shuffling" of `n` FSMs.
+    TimeShuffled(Vec<Genome>),
+}
+
+impl Behaviour {
+    /// Creates a time-shuffled behaviour of exactly two FSMs (the form
+    /// used in the authors' earlier work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genomes have different specs.
+    #[must_use]
+    pub fn shuffled_pair(a: Genome, b: Genome) -> Self {
+        assert_eq!(a.spec(), b.spec(), "shuffled FSMs must share one spec");
+        Behaviour::TimeShuffled(vec![a, b])
+    }
+
+    /// The common structural spec of all phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty `TimeShuffled` list (rejected by
+    /// [`Behaviour::is_consistent`], which [`crate::World`] enforces).
+    #[must_use]
+    pub fn spec(&self) -> FsmSpec {
+        match self {
+            Behaviour::Single(g) => g.spec(),
+            Behaviour::TimeShuffled(gs) => gs.first().expect("non-empty shuffle").spec(),
+        }
+    }
+
+    /// Whether the behaviour is well-formed: at least one FSM and all
+    /// phases sharing one spec.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        match self {
+            Behaviour::Single(_) => true,
+            Behaviour::TimeShuffled(gs) => {
+                !gs.is_empty() && gs.iter().all(|g| g.spec() == gs[0].spec())
+            }
+        }
+    }
+
+    /// The FSM driving the step taken at time `t` (the step that moves
+    /// the world from `t` to `t + 1`).
+    #[must_use]
+    pub fn genome_at(&self, t: u32) -> &Genome {
+        match self {
+            Behaviour::Single(g) => g,
+            Behaviour::TimeShuffled(gs) => &gs[t as usize % gs.len()],
+        }
+    }
+
+    /// Number of phases (1 for `Single`).
+    #[must_use]
+    pub fn phase_count(&self) -> usize {
+        match self {
+            Behaviour::Single(_) => 1,
+            Behaviour::TimeShuffled(gs) => gs.len(),
+        }
+    }
+}
+
+impl From<Genome> for Behaviour {
+    fn from(genome: Genome) -> Self {
+        Behaviour::Single(genome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_fsm::{best_t_agent, MutationRates};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_behaviour_is_time_invariant() {
+        let b = Behaviour::from(best_t_agent());
+        assert_eq!(b.genome_at(0), b.genome_at(17));
+        assert_eq!(b.phase_count(), 1);
+        assert!(b.is_consistent());
+    }
+
+    #[test]
+    fn pair_alternates_by_parity() {
+        let a = best_t_agent();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let c = a2a_fsm::offspring(&a, MutationRates::uniform(0.3), &mut rng);
+        let b = Behaviour::shuffled_pair(a.clone(), c.clone());
+        assert_eq!(b.genome_at(0), &a);
+        assert_eq!(b.genome_at(1), &c);
+        assert_eq!(b.genome_at(2), &a);
+        assert_eq!(b.phase_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one spec")]
+    fn mismatched_pair_rejected() {
+        let _ = Behaviour::shuffled_pair(a2a_fsm::best_t_agent(), a2a_fsm::best_s_agent());
+    }
+
+    #[test]
+    fn consistency_checks() {
+        assert!(!Behaviour::TimeShuffled(vec![]).is_consistent());
+        let g = best_t_agent();
+        assert!(Behaviour::TimeShuffled(vec![g.clone(), g]).is_consistent());
+    }
+}
+
+#[cfg(test)]
+mod world_integration_tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::init::InitialConfig;
+    use crate::run::{simulate, simulate_behaviour};
+    use a2a_fsm::{best_t_agent, MutationRates};
+    use a2a_grid::GridKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shuffling_identical_genomes_equals_single() {
+        let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let init = InitialConfig::random(cfg.lattice, cfg.kind, 8, &[], &mut rng).unwrap();
+        let g = best_t_agent();
+        let single = simulate(&cfg, g.clone(), &init, 1000).unwrap();
+        let shuffled = simulate_behaviour(
+            &cfg,
+            Behaviour::shuffled_pair(g.clone(), g),
+            &init,
+            1000,
+        )
+        .unwrap();
+        assert_eq!(single, shuffled, "A/A shuffle is the single-FSM system");
+    }
+
+    #[test]
+    fn shuffled_pair_changes_the_trajectory() {
+        let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let init = InitialConfig::random(cfg.lattice, cfg.kind, 8, &[], &mut rng).unwrap();
+        let a = best_t_agent();
+        let b = a2a_fsm::offspring(&a, MutationRates::uniform(0.4), &mut rng);
+        let single = simulate(&cfg, a.clone(), &init, 1000).unwrap();
+        let shuffled =
+            simulate_behaviour(&cfg, Behaviour::shuffled_pair(a, b), &init, 1000).unwrap();
+        // Different dynamics; the outcomes will almost surely differ in
+        // some field (time or informed count).
+        assert_ne!(single, shuffled);
+    }
+
+    #[test]
+    fn empty_shuffle_is_rejected_by_the_world() {
+        let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+        let init = InitialConfig::new(vec![(a2a_grid::Pos::new(0, 0), a2a_grid::Dir::new(0))]);
+        let err = crate::world::World::with_behaviour(
+            &cfg,
+            Behaviour::TimeShuffled(vec![]),
+            &init,
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::error::SimError::SpecMismatch(_)));
+    }
+}

@@ -1,0 +1,164 @@
+//! World configuration: environment parameters and the policies the paper
+//! either fixes or lists as reliability options (Sect. 3–4).
+
+use a2a_grid::{GridKind, Lattice, Pos};
+use serde::{Deserialize, Serialize};
+
+/// Conflict-resolution strategy when several agents request the same front
+/// cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ConflictPolicy {
+    /// "The agent with the lowest ID has priority" — the paper's choice.
+    #[default]
+    LowestId,
+    /// Highest ID wins (design-choice ablation).
+    HighestId,
+}
+
+/// How agents' initial control states are assigned.
+///
+/// The paper could not find reliable uniform agents starting all in state
+/// 0 or 3, and settled on "initial state = 0/1 for agents with even/odd
+/// ID" (Sect. 4, reliability option 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InitStatePolicy {
+    /// Every agent starts in the same control state.
+    Uniform(u8),
+    /// Agent `i` starts in state `i mod 2` — the paper's reliable setting.
+    IdParity,
+    /// Agent `i` starts in state `i mod n` (generalised symmetry breaking).
+    IdModulo(u8),
+}
+
+impl Default for InitStatePolicy {
+    fn default() -> Self {
+        InitStatePolicy::IdParity
+    }
+}
+
+impl InitStatePolicy {
+    /// The initial control state of agent `id` for an FSM with `n_states`
+    /// states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy references a state `≥ n_states` or
+    /// `IdModulo(0)`.
+    #[must_use]
+    pub fn state_for(self, id: u16, n_states: u8) -> u8 {
+        let s = match self {
+            InitStatePolicy::Uniform(s) => s,
+            InitStatePolicy::IdParity => (id % 2) as u8,
+            InitStatePolicy::IdModulo(n) => {
+                assert!(n > 0, "IdModulo needs a positive modulus");
+                (id % u16::from(n)) as u8
+            }
+        };
+        assert!(s < n_states, "initial state {s} out of range ({n_states} states)");
+        s
+    }
+}
+
+/// Initial colouring of the field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ColorInit {
+    /// All cells start with colour 0 (the paper's setting; Fig. 6/7 show
+    /// blank colour layers at `t = 0`).
+    #[default]
+    AllZero,
+    /// A fixed explicit pattern, row-major (reliability option 2:
+    /// "random-like pattern of initial colors").
+    Pattern(Vec<u8>),
+}
+
+/// Full environment description for a simulation world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Grid family: square "S" or triangulate "T".
+    pub kind: GridKind,
+    /// The cell field (extent and edge rule).
+    pub lattice: Lattice,
+    /// Obstacle cells (reliability option 5; empty in the paper's runs).
+    pub obstacles: Vec<Pos>,
+    /// Initial colouring.
+    pub colors: ColorInit,
+    /// Conflict arbitration.
+    pub conflict: ConflictPolicy,
+    /// Initial control-state assignment.
+    pub init_states: InitStatePolicy,
+}
+
+impl WorldConfig {
+    /// The paper's evaluation environment: a cyclic `m × m` field with no
+    /// obstacles, zero colours, lowest-ID arbitration and `ID mod 2`
+    /// initial states.
+    ///
+    /// ```
+    /// use a2a_sim::WorldConfig;
+    /// use a2a_grid::GridKind;
+    ///
+    /// let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+    /// assert_eq!(cfg.lattice.len(), 256);
+    /// assert!(cfg.lattice.is_torus());
+    /// ```
+    #[must_use]
+    pub fn paper(kind: GridKind, m: u16) -> Self {
+        Self {
+            kind,
+            lattice: Lattice::torus(m, m),
+            obstacles: Vec::new(),
+            colors: ColorInit::AllZero,
+            conflict: ConflictPolicy::LowestId,
+            init_states: InitStatePolicy::IdParity,
+        }
+    }
+
+    /// Same as [`WorldConfig::paper`] but with a custom lattice (e.g. a
+    /// bordered field or a non-square extent).
+    #[must_use]
+    pub fn with_lattice(kind: GridKind, lattice: Lattice) -> Self {
+        Self { lattice, ..Self::paper(kind, 1) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_parity_matches_paper() {
+        let p = InitStatePolicy::IdParity;
+        assert_eq!(p.state_for(0, 4), 0);
+        assert_eq!(p.state_for(1, 4), 1);
+        assert_eq!(p.state_for(2, 4), 0);
+        assert_eq!(p.state_for(15, 4), 1);
+    }
+
+    #[test]
+    fn id_modulo_generalises() {
+        let p = InitStatePolicy::IdModulo(3);
+        assert_eq!((0..6).map(|i| p.state_for(i, 4)).collect::<Vec<_>>(), vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn uniform_state_validated() {
+        let _ = InitStatePolicy::Uniform(4).state_for(0, 4);
+    }
+
+    #[test]
+    fn paper_config_defaults() {
+        let cfg = WorldConfig::paper(GridKind::Square, 16);
+        assert_eq!(cfg.conflict, ConflictPolicy::LowestId);
+        assert_eq!(cfg.init_states, InitStatePolicy::IdParity);
+        assert_eq!(cfg.colors, ColorInit::AllZero);
+        assert!(cfg.obstacles.is_empty());
+    }
+
+    #[test]
+    fn with_lattice_keeps_policies() {
+        let cfg = WorldConfig::with_lattice(GridKind::Square, Lattice::bordered(33, 33));
+        assert!(!cfg.lattice.is_torus());
+        assert_eq!(cfg.conflict, ConflictPolicy::LowestId);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type of the simulator.
+
+use a2a_grid::Pos;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when assembling a simulation world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// No agents were supplied; the task needs at least one.
+    NoAgents,
+    /// More agents than cells, or more than the information-vector limit.
+    TooManyAgents {
+        /// Requested number of agents.
+        requested: usize,
+        /// Maximum supported for this world.
+        limit: usize,
+    },
+    /// Two agents were placed on the same cell.
+    DuplicatePosition(Pos),
+    /// An agent or obstacle was placed outside the field.
+    OutsideField(Pos),
+    /// An agent was placed on an obstacle cell.
+    OnObstacle(Pos),
+    /// An agent's direction index is invalid for the grid kind.
+    InvalidDirection {
+        /// The offending direction index.
+        index: u8,
+        /// Directions available in this grid.
+        available: u8,
+    },
+    /// The FSM genome was built for the other grid kind or an incompatible
+    /// colour count.
+    SpecMismatch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoAgents => write!(f, "at least one agent is required"),
+            SimError::TooManyAgents { requested, limit } => {
+                write!(f, "{requested} agents exceed the limit of {limit}")
+            }
+            SimError::DuplicatePosition(p) => write!(f, "two agents share cell {p}"),
+            SimError::OutsideField(p) => write!(f, "position {p} lies outside the field"),
+            SimError::OnObstacle(p) => write!(f, "cell {p} is an obstacle"),
+            SimError::InvalidDirection { index, available } => {
+                write!(f, "direction index {index} invalid ({available} directions available)")
+            }
+            SimError::SpecMismatch(msg) => write!(f, "incompatible FSM spec: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            SimError::NoAgents.to_string(),
+            SimError::TooManyAgents { requested: 9, limit: 4 }.to_string(),
+            SimError::DuplicatePosition(Pos::new(1, 2)).to_string(),
+            SimError::OutsideField(Pos::new(99, 0)).to_string(),
+            SimError::OnObstacle(Pos::new(0, 0)).to_string(),
+            SimError::InvalidDirection { index: 5, available: 4 }.to_string(),
+            SimError::SpecMismatch("kind".into()).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase() || m.starts_with(char::is_numeric));
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<SimError>();
+    }
+}

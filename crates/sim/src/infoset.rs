@@ -1,0 +1,241 @@
+//! The communication vector (Sect. 3, "Communication Method"): a `k`-bit
+//! vector per agent, initialised mutually exclusively (`bit(i) = 1` for
+//! agent `i`) and combined by OR when agents meet.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of agents whose bits fit in the inline representation.
+const INLINE_BITS: usize = 256;
+const INLINE_WORDS: usize = INLINE_BITS / 64;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+enum Words {
+    /// Up to 256 agents (covers every experiment of the paper) without
+    /// heap allocation.
+    Inline([u64; INLINE_WORDS]),
+    /// Arbitrarily many agents (e.g. a fully packed 33×33 field).
+    Heap(Box<[u64]>),
+}
+
+/// A `k`-bit communication vector.
+///
+/// The all-to-all task is solved when every agent's vector is all ones
+/// ([`InfoSet::is_complete`]).
+///
+/// # Examples
+///
+/// ```
+/// use a2a_sim::InfoSet;
+///
+/// let mut a = InfoSet::singleton(0, 3);
+/// let b = InfoSet::singleton(2, 3);
+/// a.merge(&b);
+/// assert_eq!(a.count(), 2);
+/// assert!(!a.is_complete());
+/// a.merge(&InfoSet::singleton(1, 3));
+/// assert!(a.is_complete());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InfoSet {
+    bits: usize,
+    words: Words,
+}
+
+impl InfoSet {
+    /// An empty vector for `k` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn empty(k: usize) -> Self {
+        assert!(k > 0, "communication vectors need at least one bit");
+        let words = if k <= INLINE_BITS {
+            Words::Inline([0; INLINE_WORDS])
+        } else {
+            Words::Heap(vec![0; k.div_ceil(64)].into_boxed_slice())
+        };
+        Self { bits: k, words }
+    }
+
+    /// The initial vector of agent `i`: only `bit(i)` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k` or `k == 0`.
+    #[must_use]
+    pub fn singleton(i: usize, k: usize) -> Self {
+        let mut s = Self::empty(k);
+        s.insert(i);
+        s
+    }
+
+    /// Number of bits (`k`, the agent count).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether no bit is set (never the case for an agent's own vector).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words().iter().all(|&w| w == 0)
+    }
+
+    fn words(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline(a) => a,
+            Words::Heap(b) => b,
+        }
+    }
+
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.words {
+            Words::Inline(a) => a,
+            Words::Heap(b) => b,
+        }
+    }
+
+    /// Sets bit `i` (agent `i`'s exclusive information part).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.bits, "bit {i} out of range for {} agents", self.bits);
+        self.words_mut()[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether bit `i` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.bits, "bit {i} out of range for {} agents", self.bits);
+        self.words()[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// ORs `other` into `self` — the paper's information exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.bits, other.bits, "mismatched communication vectors");
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
+            *a |= b;
+        }
+    }
+
+    /// Number of information parts gathered.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the vector is all ones — the agent is *informed*.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        let full_words = self.bits / 64;
+        let tail = self.bits % 64;
+        let w = self.words();
+        w[..full_words].iter().all(|&x| x == u64::MAX)
+            && (tail == 0 || w[full_words] == (1u64 << tail) - 1)
+    }
+}
+
+impl fmt::Display for InfoSet {
+    /// Renders as a bit string, most significant agent last, e.g. `101`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.bits {
+            write!(f, "{}", u8::from(self.contains(i)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_has_exactly_one_bit() {
+        for k in [1usize, 2, 16, 64, 65, 256, 300, 1089] {
+            for i in [0, k / 2, k - 1] {
+                let s = InfoSet::singleton(i, k);
+                assert_eq!(s.count(), 1, "k={k} i={i}");
+                assert!(s.contains(i));
+                assert_eq!(s.is_complete(), k == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = InfoSet::singleton(0, 16);
+        a.merge(&InfoSet::singleton(5, 16));
+        a.merge(&InfoSet::singleton(15, 16));
+        assert_eq!(a.count(), 3);
+        assert!(a.contains(0) && a.contains(5) && a.contains(15));
+        assert!(!a.contains(1));
+    }
+
+    #[test]
+    fn complete_detection_at_word_boundaries() {
+        for k in [1usize, 63, 64, 65, 128, 256, 257, 1089] {
+            let mut s = InfoSet::empty(k);
+            for i in 0..k - 1 {
+                s.insert(i);
+            }
+            assert!(!s.is_complete(), "k={k} missing last bit");
+            s.insert(k - 1);
+            assert!(s.is_complete(), "k={k}");
+            assert_eq!(s.count(), k);
+        }
+    }
+
+    #[test]
+    fn heap_spill_beyond_256() {
+        let s = InfoSet::singleton(1000, 1089);
+        assert_eq!(s.len(), 1089);
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_commutative() {
+        let mut a = InfoSet::singleton(3, 40);
+        let mut b = InfoSet::singleton(7, 40);
+        let (a0, b0) = (a.clone(), b.clone());
+        a.merge(&b0);
+        b.merge(&a0);
+        assert_eq!(a, b);
+        let snapshot = a.clone();
+        a.merge(&b);
+        assert_eq!(a, snapshot, "idempotent");
+    }
+
+    #[test]
+    fn display_is_bit_string() {
+        let mut s = InfoSet::singleton(0, 4);
+        s.insert(2);
+        assert_eq!(s.to_string(), "1010");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut s = InfoSet::empty(8);
+        s.insert(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn merge_length_mismatch_panics() {
+        let mut a = InfoSet::empty(8);
+        a.merge(&InfoSet::empty(9));
+    }
+}

@@ -1,0 +1,445 @@
+//! Initial configurations (Sect. 4): seeded random placements plus the
+//! three manually designed hard cases ("agents queueing in a line, agents
+//! on the diagonal").
+
+use crate::error::SimError;
+use a2a_grid::{Dir, GridKind, Lattice, Pos};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// An initial configuration: position and direction per agent, in ID
+/// order. Control states are assigned separately by the world's
+/// [`crate::InitStatePolicy`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InitialConfig {
+    placements: Vec<(Pos, Dir)>,
+}
+
+impl InitialConfig {
+    /// Builds a configuration from explicit placements.
+    #[must_use]
+    pub fn new(placements: Vec<(Pos, Dir)>) -> Self {
+        Self { placements }
+    }
+
+    /// Number of agents.
+    #[must_use]
+    pub fn agent_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// The placements in agent-ID order.
+    #[must_use]
+    pub fn placements(&self) -> &[(Pos, Dir)] {
+        &self.placements
+    }
+
+    /// Checks the configuration against a field and grid kind: all agents
+    /// inside, on distinct cells, with valid directions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, lattice: Lattice, kind: GridKind) -> Result<(), SimError> {
+        if self.placements.is_empty() {
+            return Err(SimError::NoAgents);
+        }
+        let mut seen = vec![false; lattice.len()];
+        for &(pos, dir) in &self.placements {
+            if !lattice.contains(pos) {
+                return Err(SimError::OutsideField(pos));
+            }
+            if !dir.is_valid_for(kind) {
+                return Err(SimError::InvalidDirection {
+                    index: dir.index(),
+                    available: kind.dir_count(),
+                });
+            }
+            let idx = lattice.index_of(pos);
+            if seen[idx] {
+                return Err(SimError::DuplicatePosition(pos));
+            }
+            seen[idx] = true;
+        }
+        Ok(())
+    }
+
+    /// A uniformly random configuration: `k` distinct cells (avoiding
+    /// `excluded` cells, e.g. obstacles) and uniform directions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyAgents`] if fewer than `k` free cells
+    /// exist, or [`SimError::NoAgents`] if `k == 0`.
+    pub fn random<R: Rng + ?Sized>(
+        lattice: Lattice,
+        kind: GridKind,
+        k: usize,
+        excluded: &[Pos],
+        rng: &mut R,
+    ) -> Result<Self, SimError> {
+        if k == 0 {
+            return Err(SimError::NoAgents);
+        }
+        let mut free: Vec<usize> = (0..lattice.len()).collect();
+        for &p in excluded {
+            if !lattice.contains(p) {
+                return Err(SimError::OutsideField(p));
+            }
+        }
+        if !excluded.is_empty() {
+            let mut blocked = vec![false; lattice.len()];
+            for &p in excluded {
+                blocked[lattice.index_of(p)] = true;
+            }
+            free.retain(|&i| !blocked[i]);
+        }
+        if k > free.len() {
+            return Err(SimError::TooManyAgents { requested: k, limit: free.len() });
+        }
+        // Partial Fisher–Yates: the first k entries become a uniform
+        // sample without replacement.
+        for i in 0..k {
+            let j = rng.random_range(i..free.len());
+            free.swap(i, j);
+        }
+        let placements = free[..k]
+            .iter()
+            .map(|&cell| {
+                let dir = Dir::new(rng.random_range(0..kind.dir_count()));
+                (lattice.pos_at(cell), dir)
+            })
+            .collect();
+        Ok(Self { placements })
+    }
+
+    /// Manual configuration 1: a queue of `k` agents in the middle row,
+    /// all heading east (`→`).
+    ///
+    /// Returns `None` if the row is too short for `k` agents.
+    #[must_use]
+    pub fn queue_east(lattice: Lattice, k: usize) -> Option<Self> {
+        Self::queue(lattice, k, Dir::new(0))
+    }
+
+    /// Manual configuration 2: the same queue, all heading west (`←`).
+    ///
+    /// Returns `None` if the row is too short for `k` agents.
+    #[must_use]
+    pub fn queue_west(lattice: Lattice, kind: GridKind, k: usize) -> Option<Self> {
+        Self::queue(lattice, k, west(kind))
+    }
+
+    fn queue(lattice: Lattice, k: usize, dir: Dir) -> Option<Self> {
+        if k == 0 || k > usize::from(lattice.width()) {
+            return None;
+        }
+        let y = lattice.height() / 2;
+        let placements = (0..k as u16).map(|x| (Pos::new(x, y), dir)).collect();
+        Some(Self { placements })
+    }
+
+    /// Manual configuration 3: agents on the main diagonal "with maximum
+    /// space between them", all heading west (`←`).
+    ///
+    /// Returns `None` if the diagonal is too short for `k` agents.
+    #[must_use]
+    pub fn diagonal_spaced(lattice: Lattice, kind: GridKind, k: usize) -> Option<Self> {
+        let diag = usize::from(lattice.width().min(lattice.height()));
+        if k == 0 || k > diag {
+            return None;
+        }
+        let dir = west(kind);
+        let placements = (0..k)
+            .map(|i| {
+                let c = (i * diag / k) as u16;
+                (Pos::new(c, c), dir)
+            })
+            .collect();
+        Some(Self { placements })
+    }
+}
+
+impl InitialConfig {
+    /// A tight `⌈√k⌉ × ⌈√k⌉` cluster of agents in the field centre, all
+    /// heading east — a stress case for the conflict arbitration (every
+    /// interior agent starts blocked).
+    ///
+    /// Returns `None` if the cluster does not fit the field.
+    #[must_use]
+    pub fn cluster(lattice: Lattice, k: usize) -> Option<Self> {
+        if k == 0 {
+            return None;
+        }
+        let side = (k as f64).sqrt().ceil() as u16;
+        if side > lattice.width() || side > lattice.height() {
+            return None;
+        }
+        let (x0, y0) = (
+            (lattice.width() - side) / 2,
+            (lattice.height() - side) / 2,
+        );
+        let placements = (0..k)
+            .map(|i| {
+                let (dx, dy) = ((i as u16) % side, (i as u16) / side);
+                (Pos::new(x0 + dx, y0 + dy), Dir::new(0))
+            })
+            .collect();
+        Some(Self { placements })
+    }
+
+    /// Agents split between the four field corners (as evenly as
+    /// possible), each heading towards the centre along its row — a
+    /// maximum-initial-spread case.
+    ///
+    /// Returns `None` when `k` exceeds the cell count or corner runs
+    /// would collide (`k > 2·min(w, h)`).
+    #[must_use]
+    pub fn corners(lattice: Lattice, kind: GridKind, k: usize) -> Option<Self> {
+        if k == 0 || k > 2 * usize::from(lattice.width().min(lattice.height())) {
+            return None;
+        }
+        let w = lattice.width();
+        let h = lattice.height();
+        let east = Dir::new(0);
+        let west_dir = west(kind);
+        let mut placements = Vec::with_capacity(k);
+        for i in 0..k {
+            let run = (i / 4) as u16;
+            let (pos, dir) = match i % 4 {
+                0 => (Pos::new(run, 0), east),
+                1 => (Pos::new(w - 1 - run, 0), west_dir),
+                2 => (Pos::new(run, h - 1), east),
+                _ => (Pos::new(w - 1 - run, h - 1), west_dir),
+            };
+            placements.push((pos, dir));
+        }
+        Some(Self { placements })
+    }
+}
+
+/// The westwards direction index of a grid kind (`←` in the paper's manual
+/// configurations).
+fn west(kind: GridKind) -> Dir {
+    match kind {
+        GridKind::Square => Dir::new(2),
+        GridKind::Triangulate => Dir::new(3),
+    }
+}
+
+/// The evaluation sets of the paper: for each agent count, 1000 seeded
+/// random configurations plus the manually designed hard cases
+/// (`1003` total when all three fit the field).
+///
+/// The random stream is fully determined by `seed`, `k` and the field, so
+/// every experiment in EXPERIMENTS.md is reproducible.
+///
+/// # Errors
+///
+/// Propagates [`InitialConfig::random`] errors (e.g. `k` exceeding the
+/// cell count).
+pub fn paper_config_set(
+    lattice: Lattice,
+    kind: GridKind,
+    k: usize,
+    n_random: usize,
+    seed: u64,
+) -> Result<Vec<InitialConfig>, SimError> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut set = Vec::with_capacity(n_random + 3);
+    for _ in 0..n_random {
+        set.push(InitialConfig::random(lattice, kind, k, &[], &mut rng)?);
+    }
+    set.extend(InitialConfig::queue_east(lattice, k));
+    set.extend(InitialConfig::queue_west(lattice, kind, k));
+    set.extend(InitialConfig::diagonal_spaced(lattice, kind, k));
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const L: fn() -> Lattice = || Lattice::torus(16, 16);
+
+    #[test]
+    fn random_configs_are_valid_and_reproducible() {
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let mut r1 = SmallRng::seed_from_u64(11);
+            let mut r2 = SmallRng::seed_from_u64(11);
+            let a = InitialConfig::random(L(), kind, 16, &[], &mut r1).unwrap();
+            let b = InitialConfig::random(L(), kind, 16, &[], &mut r2).unwrap();
+            assert_eq!(a, b);
+            a.validate(L(), kind).unwrap();
+        }
+    }
+
+    #[test]
+    fn random_full_pack_uses_every_cell() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = InitialConfig::random(L(), GridKind::Square, 256, &[], &mut rng).unwrap();
+        cfg.validate(L(), GridKind::Square).unwrap();
+        assert_eq!(cfg.agent_count(), 256);
+    }
+
+    #[test]
+    fn random_respects_exclusions() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let wall: Vec<Pos> = (0..16).map(|x| Pos::new(x, 8)).collect();
+        let cfg = InitialConfig::random(L(), GridKind::Square, 64, &wall, &mut rng).unwrap();
+        for (p, _) in cfg.placements() {
+            assert_ne!(p.y, 8);
+        }
+    }
+
+    #[test]
+    fn random_overfull_errors() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let err = InitialConfig::random(L(), GridKind::Square, 257, &[], &mut rng).unwrap_err();
+        assert!(matches!(err, SimError::TooManyAgents { requested: 257, limit: 256 }));
+    }
+
+    #[test]
+    fn queues_head_the_right_way() {
+        let east = InitialConfig::queue_east(L(), 8).unwrap();
+        assert!(east.placements().iter().all(|&(_, d)| d == Dir::new(0)));
+        assert!(east.placements().iter().all(|&(p, _)| p.y == 8));
+
+        let west_s = InitialConfig::queue_west(L(), GridKind::Square, 8).unwrap();
+        assert!(west_s.placements().iter().all(|&(_, d)| d == Dir::new(2)));
+        let west_t = InitialConfig::queue_west(L(), GridKind::Triangulate, 8).unwrap();
+        assert!(west_t.placements().iter().all(|&(_, d)| d == Dir::new(3)));
+    }
+
+    #[test]
+    fn diagonal_is_evenly_spaced() {
+        let cfg = InitialConfig::diagonal_spaced(L(), GridKind::Square, 8).unwrap();
+        let xs: Vec<u16> = cfg.placements().iter().map(|&(p, _)| p.x).collect();
+        assert_eq!(xs, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        for &(p, _) in cfg.placements() {
+            assert_eq!(p.x, p.y);
+        }
+        cfg.validate(L(), GridKind::Square).unwrap();
+    }
+
+    #[test]
+    fn manual_configs_absent_when_too_large() {
+        assert!(InitialConfig::queue_east(L(), 17).is_none());
+        assert!(InitialConfig::diagonal_spaced(L(), GridKind::Square, 17).is_none());
+        assert!(InitialConfig::queue_east(L(), 0).is_none());
+    }
+
+    #[test]
+    fn paper_set_has_1003_configs_for_8_agents() {
+        let set = paper_config_set(L(), GridKind::Triangulate, 8, 1000, 42).unwrap();
+        assert_eq!(set.len(), 1003);
+        for cfg in &set {
+            cfg.validate(L(), GridKind::Triangulate).unwrap();
+            assert_eq!(cfg.agent_count(), 8);
+        }
+    }
+
+    #[test]
+    fn paper_set_drops_unrepresentable_manual_configs() {
+        // 32 agents exceed a 16-cell row and diagonal: only the random part.
+        let set = paper_config_set(L(), GridKind::Square, 32, 100, 42).unwrap();
+        assert_eq!(set.len(), 100);
+        // 256 agents: same.
+        let set = paper_config_set(L(), GridKind::Square, 256, 10, 42).unwrap();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_and_bad_dirs() {
+        let dup = InitialConfig::new(vec![
+            (Pos::new(0, 0), Dir::new(0)),
+            (Pos::new(0, 0), Dir::new(1)),
+        ]);
+        assert!(matches!(
+            dup.validate(L(), GridKind::Square),
+            Err(SimError::DuplicatePosition(_))
+        ));
+        let bad_dir = InitialConfig::new(vec![(Pos::new(0, 0), Dir::new(4))]);
+        assert!(matches!(
+            bad_dir.validate(L(), GridKind::Square),
+            Err(SimError::InvalidDirection { index: 4, available: 4 })
+        ));
+        assert!(bad_dir.validate(L(), GridKind::Triangulate).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod pattern_tests {
+    use super::*;
+
+    const L: fn() -> Lattice = || Lattice::torus(16, 16);
+
+    #[test]
+    fn cluster_is_contiguous_and_valid() {
+        for k in [1usize, 4, 9, 16, 255] {
+            let cfg = InitialConfig::cluster(L(), k).unwrap();
+            cfg.validate(L(), GridKind::Square).unwrap();
+            assert_eq!(cfg.agent_count(), k);
+        }
+        assert!(InitialConfig::cluster(L(), 0).is_none());
+        assert!(InitialConfig::cluster(Lattice::torus(2, 2), 5).is_none());
+    }
+
+    #[test]
+    fn cluster_interior_agents_start_blocked() {
+        use crate::world::World;
+        let cfg = WorldLessCheck::world(InitialConfig::cluster(L(), 9).unwrap());
+        // In a 3x3 east-heading block the two western columns are blocked.
+        let blocked = cfg
+            .agents()
+            .iter()
+            .filter(|a| {
+                let front = L().neighbor(a.pos(), GridKind::Square, a.dir()).unwrap();
+                cfg.agent_at(front).is_some()
+            })
+            .count();
+        assert_eq!(blocked, 6);
+        struct WorldLessCheck;
+        impl WorldLessCheck {
+            fn world(init: InitialConfig) -> World {
+                World::new(
+                    &crate::config::WorldConfig::paper(GridKind::Square, 16),
+                    a2a_fsm::best_s_agent(),
+                    &init,
+                )
+                .unwrap()
+            }
+        }
+    }
+
+    #[test]
+    fn corners_spread_and_validate() {
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let cfg = InitialConfig::corners(L(), kind, 8).unwrap();
+            cfg.validate(L(), kind).unwrap();
+            let positions: Vec<Pos> = cfg.placements().iter().map(|&(p, _)| p).collect();
+            assert!(positions.contains(&Pos::new(0, 0)));
+            assert!(positions.contains(&Pos::new(15, 15)));
+        }
+        assert!(InitialConfig::corners(L(), GridKind::Square, 33).is_none());
+    }
+
+    #[test]
+    fn pattern_configs_are_solved_by_published_agents() {
+        use crate::run::simulate;
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let env = crate::config::WorldConfig::paper(kind, 16);
+            for cfg in [
+                InitialConfig::cluster(L(), 9).unwrap(),
+                InitialConfig::corners(L(), kind, 8).unwrap(),
+            ] {
+                let out = simulate(&env, a2a_fsm::best_agent(kind), &cfg, 5000).unwrap();
+                assert!(out.is_successful(), "{kind}: {out:?}");
+            }
+        }
+    }
+}

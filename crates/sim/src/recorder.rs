@@ -1,0 +1,187 @@
+//! Trajectory recording: full per-step agent snapshots for replay,
+//! mobility analysis and visualisation beyond the live ASCII renderer.
+
+use crate::run::RunOutcome;
+use crate::world::World;
+use a2a_grid::{Dir, Pos};
+use serde::{Deserialize, Serialize};
+
+/// One agent's state at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentSnapshot {
+    /// Cell the agent stands on.
+    pub pos: Pos,
+    /// Moving direction.
+    pub dir: Dir,
+    /// FSM control state.
+    pub state: u8,
+    /// Information parts gathered so far.
+    pub info_count: usize,
+}
+
+/// The system state after one step (or at placement for `time == 0`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Counted time (0 = right after the free placement exchange).
+    pub time: u32,
+    /// Agents in ID order.
+    pub agents: Vec<AgentSnapshot>,
+    /// Informed agents at this instant.
+    pub informed: usize,
+}
+
+/// A recorded run: one [`Frame`] per instant from placement to the end.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trajectory {
+    frames: Vec<Frame>,
+}
+
+impl Trajectory {
+    /// All frames, placement first.
+    #[must_use]
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Number of recorded instants (`steps + 1`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// A trajectory always contains the placement frame.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The positions agent `id` visited, in time order (consecutive
+    /// duplicates mean the agent waited).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn path_of(&self, id: usize) -> Vec<Pos> {
+        self.frames.iter().map(|f| f.agents[id].pos).collect()
+    }
+
+    /// Number of steps in which agent `id` actually moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn moves_of(&self, id: usize) -> usize {
+        self.path_of(id).windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Mean fraction of steps spent moving, over all agents — the
+    /// system's "mobility". Dense systems are mostly blocked; the fully
+    /// packed field has mobility 0.
+    #[must_use]
+    pub fn mobility(&self) -> f64 {
+        let steps = self.frames.len() - 1;
+        if steps == 0 {
+            return 0.0;
+        }
+        let k = self.frames[0].agents.len();
+        let total_moves: usize = (0..k).map(|id| self.moves_of(id)).sum();
+        total_moves as f64 / (steps * k) as f64
+    }
+}
+
+/// Runs `world` to completion (or `t_max`), recording every instant.
+pub fn record_trajectory(world: &mut World, t_max: u32) -> (RunOutcome, Trajectory) {
+    let snapshot = |w: &World| Frame {
+        time: w.time(),
+        agents: w
+            .agents()
+            .iter()
+            .map(|a| AgentSnapshot {
+                pos: a.pos(),
+                dir: a.dir(),
+                state: a.state(),
+                info_count: a.info().count(),
+            })
+            .collect(),
+        informed: w.informed_count(),
+    };
+    let mut frames = vec![snapshot(world)];
+    while !world.all_informed() && world.time() < t_max {
+        world.step();
+        frames.push(snapshot(world));
+    }
+    let outcome = RunOutcome {
+        t_comm: world.all_informed().then(|| world.time()),
+        informed: world.informed_count(),
+        agents: world.agents().len(),
+        steps: world.time(),
+    };
+    (outcome, Trajectory { frames })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::init::InitialConfig;
+    use a2a_fsm::{best_agent, best_t_agent};
+    use a2a_grid::{GridKind, Lattice};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn recorded(kind: GridKind, k: usize, seed: u64) -> (RunOutcome, Trajectory) {
+        let cfg = WorldConfig::paper(kind, 16);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let init = InitialConfig::random(cfg.lattice, kind, k, &[], &mut rng).unwrap();
+        let mut world = World::new(&cfg, best_agent(kind), &init).unwrap();
+        record_trajectory(&mut world, 2000)
+    }
+
+    #[test]
+    fn frame_count_matches_steps() {
+        let (outcome, traj) = recorded(GridKind::Triangulate, 8, 3);
+        assert!(outcome.is_successful());
+        assert_eq!(traj.len() as u32, outcome.steps + 1);
+        assert_eq!(traj.frames()[0].time, 0);
+        assert_eq!(traj.frames().last().unwrap().informed, 8);
+    }
+
+    #[test]
+    fn paths_are_single_hop_and_info_monotone() {
+        let (_, traj) = recorded(GridKind::Square, 4, 9);
+        let lattice = Lattice::torus(16, 16);
+        for id in 0..4 {
+            let path = traj.path_of(id);
+            for w in path.windows(2) {
+                let d = a2a_grid::torus_distance(lattice, GridKind::Square, w[0], w[1]);
+                assert!(d <= 1);
+            }
+            let counts: Vec<usize> =
+                traj.frames().iter().map(|f| f.agents[id].info_count).collect();
+            for w in counts.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn fully_packed_has_zero_mobility() {
+        let lattice = Lattice::torus(16, 16);
+        let placements: Vec<_> =
+            lattice.positions().map(|p| (p, a2a_grid::Dir::new(0))).collect();
+        let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+        let mut world =
+            World::new(&cfg, best_t_agent(), &InitialConfig::new(placements)).unwrap();
+        let (_, traj) = record_trajectory(&mut world, 100);
+        assert_eq!(traj.mobility(), 0.0);
+    }
+
+    #[test]
+    fn sparse_agents_are_mostly_mobile() {
+        let (_, traj) = recorded(GridKind::Triangulate, 2, 5);
+        assert!(traj.mobility() > 0.5, "mobility {}", traj.mobility());
+        assert!(traj.moves_of(0) + traj.moves_of(1) > 0);
+    }
+}

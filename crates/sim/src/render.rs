@@ -1,0 +1,139 @@
+//! ASCII rendering of world snapshots in the style of Fig. 6/7: an agent
+//! layer (direction glyph + ID), a colour layer and a visited layer.
+
+use crate::world::World;
+use a2a_grid::{dir_glyph, Pos};
+
+/// Renders the agent layer: each cell shows the direction glyph and the
+/// agent ID (mod 10) as in the paper's `>0`, `<1`, `^0` markers, or `· `
+/// for empty cells and `##` for obstacles.
+#[must_use]
+pub fn render_agents(world: &World) -> String {
+    render_layer(world, |w, p| {
+        if w.is_obstacle(p) {
+            "##".to_string()
+        } else if let Some(a) = w.agent_at(p) {
+            format!("{}{}", dir_glyph(w.kind(), a.dir()), a.id() % 10)
+        } else {
+            " .".to_string()
+        }
+    })
+}
+
+/// Renders the colour layer: `.` for colour 0, the digit otherwise
+/// (the middle layer of Fig. 6/7).
+#[must_use]
+pub fn render_colors(world: &World) -> String {
+    render_layer(world, |w, p| {
+        let c = w.color_at(p);
+        if c == 0 {
+            " .".to_string()
+        } else {
+            format!(" {c}")
+        }
+    })
+}
+
+/// Renders the visited layer: visit counts capped at 9 (the bottom layer
+/// of Fig. 6/7 showing the "streets" and "honeycombs").
+#[must_use]
+pub fn render_visited(world: &World) -> String {
+    let lattice = world.lattice();
+    render_layer(world, |w, p| {
+        let v = w.visited()[lattice.index_of(p)];
+        if v == 0 {
+            " .".to_string()
+        } else {
+            format!(" {}", v.min(9))
+        }
+    })
+}
+
+/// A full Fig. 6/7-style snapshot: the three layers with headings.
+#[must_use]
+pub fn render_snapshot(world: &World) -> String {
+    format!(
+        "{}GRID FSM t={}\n{}\ncolors\n{}\nvisited\n{}",
+        world.kind().label(),
+        world.time(),
+        render_agents(world),
+        render_colors(world),
+        render_visited(world),
+    )
+}
+
+fn render_layer(world: &World, cell: impl Fn(&World, Pos) -> String) -> String {
+    let lattice = world.lattice();
+    let mut out = String::with_capacity(lattice.len() * 3);
+    for y in 0..lattice.height() {
+        for x in 0..lattice.width() {
+            let s = cell(world, Pos::new(x, y));
+            out.push_str(&s);
+            out.push(' ');
+        }
+        // Trim the trailing space of each row.
+        out.pop();
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::init::InitialConfig;
+    use a2a_fsm::best_s_agent;
+    use a2a_grid::{Dir, GridKind};
+
+    fn small_world() -> World {
+        let cfg = WorldConfig::paper(GridKind::Square, 4);
+        let init = InitialConfig::new(vec![
+            (Pos::new(0, 0), Dir::new(0)),
+            (Pos::new(2, 1), Dir::new(3)),
+        ]);
+        World::new(&cfg, best_s_agent(), &init).unwrap()
+    }
+
+    #[test]
+    fn agent_layer_shows_glyph_and_id() {
+        let w = small_world();
+        let layer = render_agents(&w);
+        let rows: Vec<&str> = layer.lines().collect();
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].starts_with(">0"), "{}", rows[0]);
+        assert!(rows[1].contains("^1"), "{}", rows[1]);
+    }
+
+    #[test]
+    fn color_layer_starts_blank() {
+        let w = small_world();
+        assert!(!render_colors(&w).contains('1'));
+    }
+
+    #[test]
+    fn visited_layer_marks_initial_cells() {
+        let w = small_world();
+        let v = render_visited(&w);
+        assert_eq!(v.matches('1').count(), 2, "{v}");
+    }
+
+    #[test]
+    fn snapshot_contains_all_layers() {
+        let w = small_world();
+        let snap = render_snapshot(&w);
+        assert!(snap.contains("SGRID"));
+        assert!(snap.contains("t=0"));
+        assert!(snap.contains("colors"));
+        assert!(snap.contains("visited"));
+    }
+
+    #[test]
+    fn obstacles_render_as_hashes() {
+        let mut cfg = WorldConfig::paper(GridKind::Square, 4);
+        cfg.obstacles = vec![Pos::new(3, 3)];
+        let init = InitialConfig::new(vec![(Pos::new(0, 0), Dir::new(0))]);
+        let w = World::new(&cfg, best_s_agent(), &init).unwrap();
+        assert!(render_agents(&w).contains("##"));
+    }
+}

@@ -1,0 +1,770 @@
+//! The synchronous CA world: agents, colours, conflict arbitration and the
+//! information exchange (Sect. 3 of the paper).
+//!
+//! # Step semantics
+//!
+//! One counted time step is *act → exchange*:
+//!
+//! 1. **Act.** Every agent perceives *(blocked, color, frontcolor)* on the
+//!    pre-step configuration and looks up its FSM row. An agent whose
+//!    front cell is occupied (or an obstacle/border) is hard-blocked.
+//!    Otherwise, if its unblocked row requests `move = 1`, it becomes a
+//!    *requester* of the front cell; among requesters of the same cell the
+//!    conflict policy picks one winner (lowest ID in the paper), the
+//!    losers re-evaluate with `blocked = 1`. Each agent then writes its
+//!    `setcolor` output to the cell it is on, adopts its next control
+//!    state, turns, and — if it won an unblocked move — steps into its
+//!    front cell.
+//! 2. **Exchange.** Every agent ORs the communication vectors of all
+//!    agents on its 4 (S) / 6 (T) nearest neighbour cells into its own,
+//!    synchronously (reads see the pre-exchange vectors).
+//!
+//! A free exchange happens at `t = 0` right after placement; the paper
+//! does not count it ("the communication after the initial placement is
+//! not counted"), which reproduces `t_comm = D − 1` for the fully packed
+//! field (Table 1: 15 in S, 9 in T on 16×16).
+
+use crate::agent::Agent;
+use crate::behaviour::Behaviour;
+use crate::config::{ColorInit, ConflictPolicy, WorldConfig};
+use crate::error::SimError;
+use crate::infoset::InfoSet;
+use crate::init::InitialConfig;
+use a2a_fsm::{Entry, Genome, Percept};
+use a2a_grid::{GridKind, Lattice, Pos};
+
+/// Sentinel for an unoccupied cell in the occupancy index.
+const EMPTY: u16 = u16::MAX;
+
+/// A per-agent action decision within one step.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    entry: Entry,
+    /// Flat genome index of the row that produced `entry` (Fig. 3's `i`).
+    entry_idx: usize,
+    /// Target cell index when the agent actually moves.
+    target: Option<usize>,
+}
+
+/// The complete state of the multi-agent CA system.
+///
+/// # Examples
+///
+/// ```
+/// use a2a_sim::{InitialConfig, World, WorldConfig};
+/// use a2a_fsm::best_t_agent;
+/// use a2a_grid::GridKind;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// # fn main() -> Result<(), a2a_sim::SimError> {
+/// let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let init = InitialConfig::random(cfg.lattice, cfg.kind, 16, &[], &mut rng)?;
+/// let mut world = World::new(&cfg, best_t_agent(), &init)?;
+/// while !world.all_informed() && world.time() < 200 {
+///     world.step();
+/// }
+/// assert!(world.all_informed());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct World {
+    kind: GridKind,
+    lattice: Lattice,
+    behaviour: Behaviour,
+    conflict: ConflictPolicy,
+    colors: Vec<u8>,
+    occupant: Vec<u16>,
+    obstacle: Vec<bool>,
+    agents: Vec<Agent>,
+    visited: Vec<u32>,
+    time: u32,
+    informed: usize,
+    // Scratch buffers reused across steps.
+    claims: Vec<u16>,
+    requests: Vec<(u16, usize)>,
+    decisions: Vec<Decision>,
+    info_next: Vec<InfoSet>,
+    usage: Option<Vec<u64>>,
+}
+
+impl World {
+    /// Assembles a world from an environment, a behaviour and an initial
+    /// configuration, and performs the uncounted `t = 0` exchange.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::SpecMismatch`] — the genome was built for the other
+    ///   grid kind, or the initial colouring uses colours the FSM cannot
+    ///   perceive;
+    /// * [`SimError::NoAgents`], [`SimError::TooManyAgents`],
+    ///   [`SimError::DuplicatePosition`], [`SimError::OutsideField`],
+    ///   [`SimError::OnObstacle`], [`SimError::InvalidDirection`] — invalid
+    ///   placements.
+    pub fn new(
+        config: &WorldConfig,
+        genome: Genome,
+        init: &InitialConfig,
+    ) -> Result<Self, SimError> {
+        Self::with_behaviour(config, Behaviour::Single(genome), init)
+    }
+
+    /// Like [`World::new`] but accepts a [`Behaviour`] (e.g. a
+    /// time-shuffled pair of FSMs, the extension of the authors' earlier
+    /// work).
+    ///
+    /// # Errors
+    ///
+    /// As [`World::new`]; additionally rejects inconsistent behaviours
+    /// (empty shuffle list or mixed specs).
+    pub fn with_behaviour(
+        config: &WorldConfig,
+        behaviour: Behaviour,
+        init: &InitialConfig,
+    ) -> Result<Self, SimError> {
+        if !behaviour.is_consistent() {
+            return Err(SimError::SpecMismatch(
+                "time-shuffled behaviours need at least one FSM and a common spec".into(),
+            ));
+        }
+        let spec = behaviour.spec();
+        if spec.kind() != config.kind {
+            return Err(SimError::SpecMismatch(format!(
+                "genome drives {} agents but the world is {}",
+                spec.kind(),
+                config.kind
+            )));
+        }
+        let lattice = config.lattice;
+        init.validate(lattice, config.kind)?;
+
+        let mut obstacle = vec![false; lattice.len()];
+        for &p in &config.obstacles {
+            if !lattice.contains(p) {
+                return Err(SimError::OutsideField(p));
+            }
+            obstacle[lattice.index_of(p)] = true;
+        }
+
+        let colors = match &config.colors {
+            ColorInit::AllZero => vec![0u8; lattice.len()],
+            ColorInit::Pattern(pattern) => {
+                if pattern.len() != lattice.len() {
+                    return Err(SimError::SpecMismatch(format!(
+                        "colour pattern has {} cells, field has {}",
+                        pattern.len(),
+                        lattice.len()
+                    )));
+                }
+                pattern.clone()
+            }
+        };
+        if let Some(&c) = colors.iter().find(|&&c| c >= spec.n_colors) {
+            return Err(SimError::SpecMismatch(format!(
+                "initial colour {c} exceeds the FSM's {} colours",
+                spec.n_colors
+            )));
+        }
+
+        let k = init.agent_count();
+        if k > usize::from(EMPTY) {
+            return Err(SimError::TooManyAgents { requested: k, limit: usize::from(EMPTY) });
+        }
+        let mut occupant = vec![EMPTY; lattice.len()];
+        let mut visited = vec![0u32; lattice.len()];
+        let mut agents = Vec::with_capacity(k);
+        for (i, &(pos, dir)) in init.placements().iter().enumerate() {
+            let idx = lattice.index_of(pos);
+            if obstacle[idx] {
+                return Err(SimError::OnObstacle(pos));
+            }
+            occupant[idx] = i as u16;
+            visited[idx] = 1;
+            agents.push(Agent {
+                id: i as u16,
+                pos,
+                dir,
+                state: config.init_states.state_for(i as u16, spec.n_states),
+                info: InfoSet::singleton(i, k),
+            });
+        }
+
+        let info_next = agents.iter().map(|a| a.info.clone()).collect();
+        let mut world = Self {
+            kind: config.kind,
+            lattice,
+            behaviour,
+            conflict: config.conflict,
+            colors,
+            occupant,
+            obstacle,
+            agents,
+            visited,
+            time: 0,
+            informed: 0,
+            claims: vec![EMPTY; lattice.len()],
+            requests: Vec::with_capacity(k),
+            decisions: Vec::with_capacity(k),
+            info_next,
+            usage: None,
+        };
+        // The uncounted exchange right after placement.
+        world.exchange();
+        world.informed = world.count_informed();
+        Ok(world)
+    }
+
+    /// Advances the system by one counted time step (act, then exchange).
+    pub fn step(&mut self) {
+        self.act();
+        self.exchange();
+        self.informed = self.count_informed();
+        self.time += 1;
+    }
+
+    /// The act phase: perception, arbitration, colour writes and moves.
+    fn act(&mut self) {
+        self.decisions.clear();
+        self.requests.clear();
+
+        let genome = self.behaviour.genome_at(self.time);
+
+        // Round 1: perceive on the pre-step configuration; collect move
+        // requests from agents that are not hard-blocked.
+        for (i, agent) in self.agents.iter().enumerate() {
+            let here = self.lattice.index_of(agent.pos);
+            let front = self
+                .lattice
+                .neighbor(agent.pos, self.kind, agent.dir)
+                .map(|p| self.lattice.index_of(p));
+            let hard_blocked = match front {
+                None => true,
+                Some(f) => self.obstacle[f] || self.occupant[f] != EMPTY,
+            };
+            let percept = Percept::new(
+                hard_blocked,
+                self.colors[here],
+                front.map_or(0, |f| self.colors[f]),
+            );
+            let entry_idx = spec_entry_index(genome, percept, agent.state);
+            let entry = genome.entry(entry_idx);
+            if !hard_blocked && entry.action.mv {
+                let target = front.expect("unblocked agents have a front cell");
+                self.requests.push((i as u16, target));
+                // Arbitrate while scanning: keep the preferred claimant.
+                let cur = self.claims[target];
+                let winner = match (cur, self.conflict) {
+                    (EMPTY, _) => i as u16,
+                    (c, ConflictPolicy::LowestId) => c.min(i as u16),
+                    (c, ConflictPolicy::HighestId) => c.max(i as u16),
+                };
+                self.claims[target] = winner;
+            }
+            // Provisional decision; losers are corrected below.
+            self.decisions.push(Decision {
+                entry,
+                entry_idx,
+                target: (!hard_blocked && entry.action.mv).then_some(front.unwrap_or(0)),
+            });
+        }
+
+        // Round 2: losers of a conflict perceive blocked = 1 and re-select
+        // their FSM row; they do not move.
+        for &(i, target) in &self.requests {
+            if self.claims[target] != i {
+                let agent = &self.agents[usize::from(i)];
+                let here = self.lattice.index_of(agent.pos);
+                let percept = Percept::new(true, self.colors[here], self.colors[target]);
+                let entry_idx = spec_entry_index(genome, percept, agent.state);
+                self.decisions[usize::from(i)] = Decision {
+                    entry: genome.entry(entry_idx),
+                    entry_idx,
+                    target: None,
+                };
+            }
+        }
+        // Reset claims for the next step (only touched cells).
+        for &(_, target) in &self.requests {
+            self.claims[target] = EMPTY;
+        }
+
+        // Record which genome rows actually fired (if tracking is on).
+        if let Some(usage) = &mut self.usage {
+            for d in &self.decisions {
+                usage[d.entry_idx] += 1;
+            }
+        }
+
+        // Apply: colour writes, state/direction updates, moves.
+        let turn_set = self.behaviour.spec().turn_set;
+        for (i, agent) in self.agents.iter_mut().enumerate() {
+            let d = self.decisions[i];
+            let here = self.lattice.index_of(agent.pos);
+            self.colors[here] = d.entry.action.set_color;
+            agent.state = d.entry.next_state;
+            agent.dir = agent.dir.turned(self.kind, turn_set.delta(d.entry.action.turn));
+            if let Some(target) = d.target {
+                // Targets were unoccupied at step start and are claimed by
+                // exactly one winner, so sequential application is safe.
+                self.occupant[here] = EMPTY;
+                self.occupant[target] = i as u16;
+                agent.pos = self.lattice.pos_at(target);
+                self.visited[target] += 1;
+            }
+        }
+    }
+
+    /// The synchronous information exchange: every agent ORs the pre-phase
+    /// vectors of the agents on its nearest-neighbour cells.
+    fn exchange(&mut self) {
+        for (i, agent) in self.agents.iter().enumerate() {
+            self.info_next[i].clone_from(&agent.info);
+            for p in self.lattice.neighbors(agent.pos, self.kind) {
+                let occ = self.occupant[self.lattice.index_of(p)];
+                if occ != EMPTY && occ != i as u16 {
+                    self.info_next[i].merge(&self.agents[usize::from(occ)].info);
+                }
+            }
+        }
+        for (agent, next) in self.agents.iter_mut().zip(&mut self.info_next) {
+            std::mem::swap(&mut agent.info, next);
+        }
+    }
+
+    fn count_informed(&self) -> usize {
+        self.agents.iter().filter(|a| a.info.is_complete()).count()
+    }
+
+    /// Steps executed so far (the uncounted placement exchange is not a
+    /// step).
+    #[must_use]
+    pub fn time(&self) -> u32 {
+        self.time
+    }
+
+    /// Grid family of this world.
+    #[must_use]
+    pub fn kind(&self) -> GridKind {
+        self.kind
+    }
+
+    /// The cell field.
+    #[must_use]
+    pub fn lattice(&self) -> Lattice {
+        self.lattice
+    }
+
+    /// The FSM driving the *next* step (for `Single` behaviours, the one
+    /// and only genome).
+    #[must_use]
+    pub fn genome(&self) -> &Genome {
+        self.behaviour.genome_at(self.time)
+    }
+
+    /// The full behaviour (single or time-shuffled).
+    #[must_use]
+    pub fn behaviour(&self) -> &Behaviour {
+        &self.behaviour
+    }
+
+    /// All agents in ID order.
+    #[must_use]
+    pub fn agents(&self) -> &[Agent] {
+        &self.agents
+    }
+
+    /// Number of *informed* agents (complete communication vector).
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.informed
+    }
+
+    /// Whether the all-to-all task is solved.
+    #[must_use]
+    pub fn all_informed(&self) -> bool {
+        self.informed == self.agents.len()
+    }
+
+    /// Colour of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is outside the field.
+    #[must_use]
+    pub fn color_at(&self, pos: Pos) -> u8 {
+        self.colors[self.lattice.index_of(pos)]
+    }
+
+    /// Row-major colour plane (the middle layer of Fig. 6/7).
+    #[must_use]
+    pub fn colors(&self) -> &[u8] {
+        &self.colors
+    }
+
+    /// Row-major visit counts, including the initial placement (the
+    /// "visited" layer of Fig. 6/7 showing the agents' streets).
+    #[must_use]
+    pub fn visited(&self) -> &[u32] {
+        &self.visited
+    }
+
+    /// The agent on `pos`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is outside the field.
+    #[must_use]
+    pub fn agent_at(&self, pos: Pos) -> Option<&Agent> {
+        let occ = self.occupant[self.lattice.index_of(pos)];
+        (occ != EMPTY).then(|| &self.agents[usize::from(occ)])
+    }
+
+    /// Whether `pos` is an obstacle cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is outside the field.
+    #[must_use]
+    pub fn is_obstacle(&self, pos: Pos) -> bool {
+        self.obstacle[self.lattice.index_of(pos)]
+    }
+
+    /// Enables per-entry usage tracking: after stepping, [`World::usage`]
+    /// reports how often each flat genome index (Fig. 3's `i`) selected
+    /// an agent's action. Used by the dead-entry analysis.
+    pub fn enable_usage_tracking(&mut self) {
+        let len = self.behaviour.spec().entry_count();
+        self.usage = Some(vec![0; len]);
+    }
+
+    /// Per-entry usage counts, if tracking was enabled.
+    #[must_use]
+    pub fn usage(&self) -> Option<&[u64]> {
+        self.usage.as_deref()
+    }
+
+    /// Internal consistency check used by tests and property suites:
+    /// occupancy index and agent positions agree, and no two agents share
+    /// a cell.
+    #[must_use]
+    pub fn check_invariants(&self) -> bool {
+        let mut count = 0usize;
+        for (idx, &occ) in self.occupant.iter().enumerate() {
+            if occ != EMPTY {
+                count += 1;
+                let a = &self.agents[usize::from(occ)];
+                if self.lattice.index_of(a.pos) != idx || self.obstacle[idx] {
+                    return false;
+                }
+            }
+        }
+        count == self.agents.len()
+            && self
+                .agents
+                .iter()
+                .enumerate()
+                .all(|(i, a)| {
+                    self.occupant[self.lattice.index_of(a.pos)] == i as u16
+                        && a.info.contains(usize::from(a.id))
+                        && a.state < self.behaviour.spec().n_states
+                })
+    }
+}
+
+/// Flat genome index of the row a percept/state pair selects.
+fn spec_entry_index(genome: &Genome, percept: Percept, state: u8) -> usize {
+    let spec = genome.spec();
+    spec.entry_index(percept.encode(spec.n_colors), state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InitStatePolicy;
+    use a2a_fsm::{best_s_agent, best_t_agent, FsmSpec, TableRow};
+    use a2a_grid::Dir;
+
+    fn cfg(kind: GridKind) -> WorldConfig {
+        WorldConfig::paper(kind, 16)
+    }
+
+    /// A behaviour that always moves straight ahead without colouring:
+    /// useful for deterministic movement tests.
+    fn always_straight(kind: GridKind) -> Genome {
+        let spec = FsmSpec::paper(kind);
+        let rows: Vec<TableRow> = (0..8)
+            .map(|_| TableRow::from_digits("0000", "0000", "1111", "0000"))
+            .collect();
+        Genome::from_rows(spec, &rows)
+    }
+
+    #[test]
+    fn single_agent_is_informed_immediately() {
+        let init = InitialConfig::new(vec![(Pos::new(4, 4), Dir::new(0))]);
+        let w = World::new(&cfg(GridKind::Square), best_s_agent(), &init).unwrap();
+        assert!(w.all_informed());
+        assert_eq!(w.time(), 0);
+    }
+
+    #[test]
+    fn adjacent_agents_exchange_at_placement() {
+        let init = InitialConfig::new(vec![
+            (Pos::new(4, 4), Dir::new(0)),
+            (Pos::new(5, 4), Dir::new(0)),
+        ]);
+        let w = World::new(&cfg(GridKind::Square), best_s_agent(), &init).unwrap();
+        assert!(w.all_informed(), "t = 0 exchange is free");
+    }
+
+    #[test]
+    fn diagonal_agents_meet_in_t_but_not_s() {
+        let placements = vec![
+            (Pos::new(4, 4), Dir::new(0)),
+            (Pos::new(5, 5), Dir::new(0)),
+        ];
+        let t = World::new(
+            &cfg(GridKind::Triangulate),
+            best_t_agent(),
+            &InitialConfig::new(placements.clone()),
+        )
+        .unwrap();
+        assert!(t.all_informed(), "NW–SE diagonal is a T-link");
+        let s = World::new(&cfg(GridKind::Square), best_s_agent(), &InitialConfig::new(placements))
+            .unwrap();
+        assert!(!s.all_informed(), "no diagonal link in S");
+    }
+
+    #[test]
+    fn straight_mover_advances_and_wraps() {
+        let init = InitialConfig::new(vec![(Pos::new(15, 3), Dir::new(0))]);
+        let mut w = World::new(&cfg(GridKind::Square), always_straight(GridKind::Square), &init)
+            .unwrap();
+        w.step();
+        assert_eq!(w.agents()[0].pos(), Pos::new(0, 3), "torus wrap");
+        assert!(w.check_invariants());
+    }
+
+    #[test]
+    fn agent_in_front_hard_blocks() {
+        // Two agents in a row, both heading east; the rear one is blocked
+        // by the front one's *current* cell even though it vacates.
+        // Wait: the front one is unblocked and moves; the rear one stays.
+        let init = InitialConfig::new(vec![
+            (Pos::new(4, 4), Dir::new(0)),
+            (Pos::new(3, 4), Dir::new(0)),
+        ]);
+        let mut w =
+            World::new(&cfg(GridKind::Square), always_straight(GridKind::Square), &init).unwrap();
+        w.step();
+        assert_eq!(w.agents()[0].pos(), Pos::new(5, 4), "front agent moves");
+        assert_eq!(w.agents()[1].pos(), Pos::new(3, 4), "rear agent blocked (no train-following)");
+        assert!(w.check_invariants());
+    }
+
+    #[test]
+    fn head_on_agents_block_each_other() {
+        let init = InitialConfig::new(vec![
+            (Pos::new(4, 4), Dir::new(0)),
+            (Pos::new(5, 4), Dir::new(2)),
+        ]);
+        let mut w =
+            World::new(&cfg(GridKind::Square), always_straight(GridKind::Square), &init).unwrap();
+        w.step();
+        assert_eq!(w.agents()[0].pos(), Pos::new(4, 4), "no swap");
+        assert_eq!(w.agents()[1].pos(), Pos::new(5, 4));
+    }
+
+    #[test]
+    fn conflict_lowest_id_wins() {
+        // Agents north and south of (5,5), both turning towards it.
+        let init = InitialConfig::new(vec![
+            (Pos::new(5, 4), Dir::new(1)), // south-heading, id 0
+            (Pos::new(5, 6), Dir::new(3)), // north-heading, id 1
+        ]);
+        let mut w =
+            World::new(&cfg(GridKind::Square), always_straight(GridKind::Square), &init).unwrap();
+        w.step();
+        assert_eq!(w.agents()[0].pos(), Pos::new(5, 5), "id 0 wins the cell");
+        assert_eq!(w.agents()[1].pos(), Pos::new(5, 6), "id 1 loses and waits");
+        assert!(w.check_invariants());
+    }
+
+    #[test]
+    fn conflict_highest_id_policy() {
+        let mut config = cfg(GridKind::Square);
+        config.conflict = ConflictPolicy::HighestId;
+        let init = InitialConfig::new(vec![
+            (Pos::new(5, 4), Dir::new(1)),
+            (Pos::new(5, 6), Dir::new(3)),
+        ]);
+        let mut w = World::new(&config, always_straight(GridKind::Square), &init).unwrap();
+        w.step();
+        assert_eq!(w.agents()[0].pos(), Pos::new(5, 4));
+        assert_eq!(w.agents()[1].pos(), Pos::new(5, 5), "id 1 wins under HighestId");
+    }
+
+    #[test]
+    fn obstacles_block_and_reject_placement() {
+        let mut config = cfg(GridKind::Square);
+        config.obstacles = vec![Pos::new(5, 4)];
+        let onto = InitialConfig::new(vec![(Pos::new(5, 4), Dir::new(0))]);
+        assert!(matches!(
+            World::new(&config, best_s_agent(), &onto),
+            Err(SimError::OnObstacle(_))
+        ));
+        let init = InitialConfig::new(vec![(Pos::new(4, 4), Dir::new(0))]);
+        let mut w = World::new(&config, always_straight(GridKind::Square), &init).unwrap();
+        w.step();
+        assert_eq!(w.agents()[0].pos(), Pos::new(4, 4), "obstacle hard-blocks");
+    }
+
+    #[test]
+    fn border_blocks_departure() {
+        let mut config = cfg(GridKind::Square);
+        config.lattice = Lattice::bordered(16, 16);
+        let init = InitialConfig::new(vec![(Pos::new(15, 3), Dir::new(0))]);
+        let mut w = World::new(&config, always_straight(GridKind::Square), &init).unwrap();
+        w.step();
+        assert_eq!(w.agents()[0].pos(), Pos::new(15, 3));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let init = InitialConfig::new(vec![(Pos::new(0, 0), Dir::new(0))]);
+        let err = World::new(&cfg(GridKind::Square), best_t_agent(), &init).unwrap_err();
+        assert!(matches!(err, SimError::SpecMismatch(_)));
+    }
+
+    #[test]
+    fn colors_are_written_by_fsm_output() {
+        // best_s_agent, x = 0 (free, colourless), state 0 sets colour 1.
+        let init = InitialConfig::new(vec![(Pos::new(4, 4), Dir::new(0))]);
+        let mut config = cfg(GridKind::Square);
+        config.init_states = InitStatePolicy::Uniform(0);
+        let mut w = World::new(&config, best_s_agent(), &init).unwrap();
+        w.step();
+        assert_eq!(w.color_at(Pos::new(4, 4)), 1, "setcolor=1 on the departed cell");
+    }
+
+    #[test]
+    fn initial_color_pattern_is_used_and_validated() {
+        let mut config = cfg(GridKind::Square);
+        config.colors = ColorInit::Pattern(vec![1u8; 256]);
+        let init = InitialConfig::new(vec![(Pos::new(0, 0), Dir::new(0))]);
+        let w = World::new(&config, best_s_agent(), &init).unwrap();
+        assert_eq!(w.color_at(Pos::new(9, 9)), 1);
+
+        config.colors = ColorInit::Pattern(vec![2u8; 256]);
+        assert!(matches!(
+            World::new(&config, best_s_agent(), &init),
+            Err(SimError::SpecMismatch(_))
+        ));
+        config.colors = ColorInit::Pattern(vec![0u8; 17]);
+        assert!(matches!(
+            World::new(&config, best_s_agent(), &init),
+            Err(SimError::SpecMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn id_parity_initial_states() {
+        let init = InitialConfig::new(vec![
+            (Pos::new(0, 0), Dir::new(0)),
+            (Pos::new(8, 8), Dir::new(0)),
+            (Pos::new(12, 3), Dir::new(0)),
+        ]);
+        let w = World::new(&cfg(GridKind::Square), best_s_agent(), &init).unwrap();
+        let states: Vec<u8> = w.agents().iter().map(Agent::state).collect();
+        assert_eq!(states, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn info_only_grows_and_invariants_hold_under_best_agents() {
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let genome = a2a_fsm::best_agent(kind);
+            let init = crate::init::paper_config_set(Lattice::torus(16, 16), kind, 8, 3, 7)
+                .unwrap()
+                .remove(0);
+            let mut w = World::new(&cfg(kind), genome, &init).unwrap();
+            let mut counts: Vec<usize> =
+                w.agents().iter().map(|a| a.info().count()).collect();
+            for _ in 0..100 {
+                w.step();
+                assert!(w.check_invariants(), "{kind}");
+                for (i, a) in w.agents().iter().enumerate() {
+                    let c = a.info().count();
+                    assert!(c >= counts[i], "information is monotone");
+                    counts[i] = c;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fully_packed_cannot_move_and_takes_diameter_steps() {
+        // Table 1, k = 256: everything blocked, t_comm = D − 1 counted
+        // steps after the free placement exchange (S: 15, T: 9).
+        for (kind, expected) in [(GridKind::Square, 15), (GridKind::Triangulate, 9)] {
+            let lattice = Lattice::torus(16, 16);
+            let placements: Vec<(Pos, Dir)> =
+                lattice.positions().map(|p| (p, Dir::new(0))).collect();
+            let genome = a2a_fsm::best_agent(kind);
+            let mut w =
+                World::new(&cfg(kind), genome, &InitialConfig::new(placements)).unwrap();
+            let mut t = 0u32;
+            while !w.all_informed() {
+                w.step();
+                t += 1;
+                assert!(t < 100, "must converge");
+            }
+            assert_eq!(t, expected, "{kind}");
+            // Nobody can ever move in a fully packed field.
+            for (agent, pos) in w.agents().iter().zip(lattice.positions()) {
+                assert_eq!(agent.pos(), pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod usage_tests {
+    use super::*;
+    use a2a_fsm::best_t_agent;
+    use a2a_grid::Dir;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn usage_counts_sum_to_agents_times_steps() {
+        let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let init = InitialConfig::random(cfg.lattice, cfg.kind, 8, &[], &mut rng).unwrap();
+        let mut w = World::new(&cfg, best_t_agent(), &init).unwrap();
+        w.enable_usage_tracking();
+        for _ in 0..25 {
+            w.step();
+        }
+        let usage = w.usage().unwrap();
+        assert_eq!(usage.len(), 32);
+        assert_eq!(usage.iter().sum::<u64>(), 8 * 25, "one row per agent per step");
+    }
+
+    #[test]
+    fn tracking_off_by_default_and_does_not_change_dynamics() {
+        let cfg = WorldConfig::paper(GridKind::Square, 16);
+        let init = InitialConfig::new(vec![
+            (Pos::new(2, 2), Dir::new(0)),
+            (Pos::new(9, 9), Dir::new(1)),
+        ]);
+        let mut a = World::new(&cfg, a2a_fsm::best_s_agent(), &init).unwrap();
+        let mut b = a.clone();
+        assert!(a.usage().is_none());
+        b.enable_usage_tracking();
+        for _ in 0..40 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.agents(), b.agents());
+    }
+}

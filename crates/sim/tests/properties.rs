@@ -1,0 +1,137 @@
+//! Property-based tests of the CA simulator's invariants.
+
+use a2a_fsm::{FsmSpec, Genome};
+use a2a_grid::{GridKind, Lattice};
+use a2a_sim::{InitialConfig, RunOutcome, World, WorldConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_kind() -> impl Strategy<Value = GridKind> {
+    prop_oneof![Just(GridKind::Square), Just(GridKind::Triangulate)]
+}
+
+/// A random world: arbitrary genome, arbitrary placement, on a small torus.
+fn arb_world() -> impl Strategy<Value = World> {
+    (arb_kind(), 4u16..=10, 1usize..=12, any::<u64>()).prop_map(|(kind, m, k, seed)| {
+        let cfg = WorldConfig::paper(kind, m);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let genome = Genome::random(FsmSpec::paper(kind), &mut rng);
+        let k = k.min(cfg.lattice.len());
+        let init = InitialConfig::random(cfg.lattice, kind, k, &[], &mut rng)
+            .expect("k clamped to the cell count");
+        World::new(&cfg, genome, &init).expect("valid construction")
+    })
+}
+
+proptest! {
+    /// Core CA invariants survive arbitrary behaviours: one agent per
+    /// cell, occupancy index consistent, states in range, own bit kept.
+    #[test]
+    fn invariants_hold_for_arbitrary_genomes(mut world in arb_world()) {
+        prop_assert!(world.check_invariants());
+        for _ in 0..60 {
+            world.step();
+            prop_assert!(world.check_invariants());
+        }
+    }
+
+    /// Information is monotone: bits are never lost, so the informed count
+    /// and every agent's gathered count never decrease.
+    #[test]
+    fn information_is_monotone(mut world in arb_world()) {
+        let mut counts: Vec<usize> = world.agents().iter().map(|a| a.info().count()).collect();
+        let mut informed = world.informed_count();
+        for _ in 0..60 {
+            world.step();
+            for (i, a) in world.agents().iter().enumerate() {
+                let c = a.info().count();
+                prop_assert!(c >= counts[i]);
+                counts[i] = c;
+            }
+            prop_assert!(world.informed_count() >= informed);
+            informed = world.informed_count();
+        }
+    }
+
+    /// Exchange is mutual within a step: after any step, if agent j's bit
+    /// reached agent i at placement-adjacency, i's bit reached j too.
+    /// (Checked globally: the "knows" relation gained from one exchange
+    /// between stationary neighbours is symmetric.)
+    #[test]
+    fn placement_exchange_is_symmetric(world in arb_world()) {
+        let agents = world.agents();
+        for a in agents {
+            for b in agents {
+                if a.id() != b.id() {
+                    prop_assert_eq!(
+                        a.info().contains(usize::from(b.id())),
+                        b.info().contains(usize::from(a.id())),
+                        "t = 0 exchange must be mutual"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Time advances by exactly one per step, and the step count of a run
+    /// outcome never exceeds the horizon.
+    #[test]
+    fn time_accounting(mut world in arb_world(), t_max in 0u32..50) {
+        prop_assert_eq!(world.time(), 0);
+        let out: RunOutcome = a2a_sim::run_to_completion(&mut world, t_max);
+        prop_assert!(out.steps <= t_max);
+        prop_assert_eq!(out.steps, world.time());
+        if let Some(t) = out.t_comm {
+            prop_assert!(t <= t_max);
+            prop_assert_eq!(out.informed, out.agents);
+        }
+    }
+
+    /// Agents never move more than one cell per step (in graph distance),
+    /// and colour values stay within the FSM's colour range.
+    #[test]
+    fn single_hop_moves_and_valid_colors(mut world in arb_world()) {
+        let lattice: Lattice = world.lattice();
+        let kind = world.kind();
+        for _ in 0..40 {
+            let before: Vec<_> = world.agents().iter().map(|a| a.pos()).collect();
+            world.step();
+            for (agent, prev) in world.agents().iter().zip(&before) {
+                let d = a2a_grid::torus_distance(lattice, kind, *prev, agent.pos());
+                prop_assert!(d <= 1, "agent hopped {} cells", d);
+            }
+            for &c in world.colors() {
+                prop_assert!(c < world.genome().spec().n_colors);
+            }
+        }
+    }
+
+    /// The world is deterministic: two copies evolve identically.
+    #[test]
+    fn stepping_is_deterministic(world in arb_world()) {
+        let mut a = world.clone();
+        let mut b = world;
+        for _ in 0..30 {
+            a.step();
+            b.step();
+            prop_assert_eq!(a.agents(), b.agents());
+            prop_assert_eq!(a.colors(), b.colors());
+        }
+    }
+
+    /// A single agent is always informed immediately, whatever it does.
+    #[test]
+    fn singleton_task_is_trivial(
+        kind in arb_kind(),
+        m in 3u16..=8,
+        seed in any::<u64>(),
+    ) {
+        let cfg = WorldConfig::paper(kind, m);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let genome = Genome::random(FsmSpec::paper(kind), &mut rng);
+        let init = InitialConfig::random(cfg.lattice, kind, 1, &[], &mut rng).unwrap();
+        let world = World::new(&cfg, genome, &init).unwrap();
+        prop_assert!(world.all_informed());
+    }
+}

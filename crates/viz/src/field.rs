@@ -1,0 +1,150 @@
+//! SVG snapshots of a simulation field: colour plane, visited heatmap,
+//! obstacles and direction-marked agents — the graphical version of the
+//! paper's Fig. 6/7 ASCII layers.
+
+use crate::svg::SvgDoc;
+use crate::theme::Theme;
+use a2a_grid::Pos;
+use a2a_sim::World;
+
+/// Pixel size of one cell.
+const CELL: f64 = 18.0;
+/// Margin around the field.
+const MARGIN: f64 = 14.0;
+
+/// Renders the world as an SVG snapshot: cell colours as fills, visit
+/// counts as a heat overlay, obstacles hatched dark, and each agent as a
+/// triangle pointing along its moving direction (labelled by ID).
+///
+/// ```
+/// use a2a_sim::{InitialConfig, World, WorldConfig};
+/// use a2a_fsm::best_t_agent;
+/// use a2a_grid::{Dir, GridKind, Pos};
+///
+/// # fn main() -> Result<(), a2a_sim::SimError> {
+/// let cfg = WorldConfig::paper(GridKind::Triangulate, 8);
+/// let init = InitialConfig::new(vec![(Pos::new(2, 2), Dir::new(0))]);
+/// let world = World::new(&cfg, best_t_agent(), &init)?;
+/// let svg = a2a_viz::render_field(&world, &a2a_viz::Theme::default());
+/// assert!(svg.starts_with("<svg"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn render_field(world: &World, theme: &Theme) -> String {
+    let lattice = world.lattice();
+    let (w, h) = (f64::from(lattice.width()), f64::from(lattice.height()));
+    let mut doc = SvgDoc::new(w * CELL + 2.0 * MARGIN, h * CELL + 2.0 * MARGIN + 16.0);
+
+    doc.rect(0.0, 0.0, doc.width(), doc.height(), &theme.background, 1.0);
+    doc.group(&format!("translate({MARGIN} {MARGIN})"));
+
+    let max_visits = world.visited().iter().copied().max().unwrap_or(0).max(1);
+    for y in 0..lattice.height() {
+        for x in 0..lattice.width() {
+            let pos = Pos::new(x, y);
+            let (px, py) = (f64::from(x) * CELL, f64::from(y) * CELL);
+            // Base cell with grid line.
+            doc.rect(px, py, CELL, CELL, &theme.cell, 1.0);
+            doc.rect(px, py, CELL, 0.5, &theme.grid_line, 1.0);
+            doc.rect(px, py, 0.5, CELL, &theme.grid_line, 1.0);
+            if world.is_obstacle(pos) {
+                doc.rect(px, py, CELL, CELL, &theme.obstacle, 1.0);
+                continue;
+            }
+            // Visited heat (under the colour dot).
+            let visits = world.visited()[lattice.index_of(pos)];
+            if visits > 0 {
+                let intensity = f64::from(visits) / f64::from(max_visits);
+                doc.rect(px, py, CELL, CELL, &theme.heat, 0.15 + 0.45 * intensity);
+            }
+            // Colour flag as a centred dot.
+            if world.color_at(pos) > 0 {
+                doc.circle(px + CELL / 2.0, py + CELL / 2.0, CELL * 0.16, &theme.color_flag);
+            }
+        }
+    }
+
+    // Agents as direction triangles.
+    for agent in world.agents() {
+        let (cx, cy) = (
+            f64::from(agent.pos().x) * CELL + CELL / 2.0,
+            f64::from(agent.pos().y) * CELL + CELL / 2.0,
+        );
+        let offset = world.kind().offset(agent.dir());
+        let (dx, dy) = (f64::from(offset.dx), f64::from(offset.dy));
+        let norm = (dx * dx + dy * dy).sqrt().max(1.0);
+        let (ux, uy) = (dx / norm, dy / norm);
+        let tip = (cx + ux * CELL * 0.38, cy + uy * CELL * 0.38);
+        let left = (cx - ux * CELL * 0.25 - uy * CELL * 0.22, cy - uy * CELL * 0.25 + ux * CELL * 0.22);
+        let right = (cx - ux * CELL * 0.25 + uy * CELL * 0.22, cy - uy * CELL * 0.25 - ux * CELL * 0.22);
+        let fill = if agent.is_informed() { &theme.agent_informed } else { &theme.agent };
+        doc.triangle([tip, left, right], fill);
+        doc.text(cx + CELL * 0.22, cy - CELL * 0.22, CELL * 0.38, &theme.label, &agent.id().to_string());
+    }
+    doc.end_group();
+
+    doc.text(
+        MARGIN,
+        h * CELL + 2.0 * MARGIN + 10.0,
+        11.0,
+        &theme.label,
+        &format!(
+            "{}-grid t={} informed {}/{}",
+            world.kind().label(),
+            world.time(),
+            world.informed_count(),
+            world.agents().len(),
+        ),
+    );
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_fsm::best_agent;
+    use a2a_grid::GridKind;
+    use a2a_grid::Dir;
+    use a2a_sim::{InitialConfig, WorldConfig};
+
+    fn world(kind: GridKind) -> World {
+        let cfg = WorldConfig::paper(kind, 8);
+        let init = InitialConfig::new(vec![
+            (Pos::new(1, 1), Dir::new(0)),
+            (Pos::new(5, 6), Dir::new(2)),
+        ]);
+        World::new(&cfg, best_agent(kind), &init).unwrap()
+    }
+
+    #[test]
+    fn snapshot_contains_agents_and_caption() {
+        let svg = render_field(&world(GridKind::Triangulate), &Theme::default());
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<polygon").count(), 2, "one triangle per agent");
+        assert!(svg.contains("T-grid t=0 informed"));
+        // 64 cells rendered.
+        assert!(svg.matches("<rect").count() > 64);
+    }
+
+    #[test]
+    fn colours_appear_after_stepping() {
+        let mut w = world(GridKind::Square);
+        for _ in 0..10 {
+            w.step();
+        }
+        let svg = render_field(&w, &Theme::default());
+        assert!(svg.contains("<circle"), "colour dots drawn once flags are set");
+    }
+
+    #[test]
+    fn obstacles_render_distinctly() {
+        let mut cfg = WorldConfig::paper(GridKind::Square, 8);
+        cfg.obstacles = vec![Pos::new(4, 4)];
+        let init = InitialConfig::new(vec![(Pos::new(0, 0), Dir::new(0))]);
+        let w = World::new(&cfg, best_agent(GridKind::Square), &init).unwrap();
+        let theme = Theme::default();
+        let svg = render_field(&w, &theme);
+        assert!(svg.contains(&theme.obstacle));
+    }
+}

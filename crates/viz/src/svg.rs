@@ -1,0 +1,193 @@
+//! A minimal, dependency-free SVG document builder — just enough for
+//! field snapshots, trajectory plots and line charts.
+
+use std::fmt::Write;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+    open_groups: usize,
+}
+
+impl SvgDoc {
+    /// Creates a document with the given pixel extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extent is not positive and finite.
+    #[must_use]
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "SVG extent must be positive and finite"
+        );
+        Self { width, height, body: String::new(), open_groups: 0 }
+    }
+
+    /// Document width in pixels.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height in pixels.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Adds an axis-aligned rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, opacity: f64) {
+        writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}" fill-opacity="{opacity:.3}"/>"#,
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Adds a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}"/>"#,
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Adds a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}"/>"#,
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Adds a polyline through the given points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        assert!(points.len() >= 2, "a polyline needs at least two points");
+        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width:.2}"/>"#,
+            pts.join(" "),
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Adds a filled triangle (used for agent direction markers).
+    pub fn triangle(&mut self, points: [(f64, f64); 3], fill: &str) {
+        writeln!(
+            self.body,
+            r#"<polygon points="{:.2},{:.2} {:.2},{:.2} {:.2},{:.2}" fill="{fill}"/>"#,
+            points[0].0, points[0].1, points[1].0, points[1].1, points[2].0, points[2].1,
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Adds left-anchored text.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, fill: &str, content: &str) {
+        writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="monospace" fill="{fill}">{}</text>"#,
+            escape(content),
+        )
+        .expect("writing to String cannot fail");
+    }
+
+    /// Opens a `<g>` group with a transform (must be matched by
+    /// [`SvgDoc::end_group`] before finishing).
+    pub fn group(&mut self, transform: &str) {
+        writeln!(self.body, r#"<g transform="{transform}">"#)
+            .expect("writing to String cannot fail");
+        self.open_groups += 1;
+    }
+
+    /// Closes the innermost group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no group is open.
+    pub fn end_group(&mut self) {
+        assert!(self.open_groups > 0, "no open group to close");
+        self.body.push_str("</g>\n");
+        self.open_groups -= 1;
+    }
+
+    /// Finishes the document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group is still open.
+    #[must_use]
+    pub fn finish(self) -> String {
+        assert_eq!(self.open_groups, 0, "unclosed <g> group");
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body,
+        )
+    }
+}
+
+/// Escapes the XML special characters of text content.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure_is_wellformed() {
+        let mut doc = SvgDoc::new(100.0, 50.0);
+        doc.rect(0.0, 0.0, 10.0, 10.0, "#ff0000", 1.0);
+        doc.circle(5.0, 5.0, 2.0, "blue");
+        doc.line(0.0, 0.0, 9.0, 9.0, "black", 1.0);
+        doc.text(1.0, 1.0, 8.0, "black", "a < b & c");
+        let svg = doc.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("&lt;") && svg.contains("&amp;"), "{svg}");
+        assert_eq!(svg.matches("<rect").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn groups_balance() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.group("translate(1 2)");
+        doc.circle(0.0, 0.0, 1.0, "red");
+        doc.end_group();
+        let svg = doc.finish();
+        assert_eq!(svg.matches("<g ").count(), svg.matches("</g>").count());
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_group_panics() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.group("scale(2)");
+        let _ = doc.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn degenerate_polyline_panics() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.polyline(&[(0.0, 0.0)], "red", 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn invalid_extent_panics() {
+        let _ = SvgDoc::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Colour themes for the SVG renderers.
+
+/// Colours used by the field and trajectory renderers (any CSS colour
+/// syntax).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Theme {
+    /// Document background.
+    pub background: String,
+    /// Empty cell fill.
+    pub cell: String,
+    /// Grid lines.
+    pub grid_line: String,
+    /// Obstacle cells.
+    pub obstacle: String,
+    /// Visited-cell heat overlay.
+    pub heat: String,
+    /// Colour-flag dot (the paper's "pheromone").
+    pub color_flag: String,
+    /// Agent marker.
+    pub agent: String,
+    /// Informed-agent marker.
+    pub agent_informed: String,
+    /// Caption/ID text.
+    pub label: String,
+    /// Per-agent trajectory palette (cycled).
+    pub trajectory_palette: Vec<String>,
+}
+
+impl Default for Theme {
+    fn default() -> Self {
+        Self {
+            background: "#ffffff".into(),
+            cell: "#f7f7f2".into(),
+            grid_line: "#dcdcd2".into(),
+            obstacle: "#3b3b3b".into(),
+            heat: "#e8a33d".into(),
+            color_flag: "#2a6f97".into(),
+            agent: "#c1121f".into(),
+            agent_informed: "#2d6a4f".into(),
+            label: "#333333".into(),
+            trajectory_palette: vec![
+                "#c1121f".into(),
+                "#2a6f97".into(),
+                "#2d6a4f".into(),
+                "#7b2d8b".into(),
+                "#b5651d".into(),
+                "#00799c".into(),
+            ],
+        }
+    }
+}
+
+impl Theme {
+    /// The trajectory colour of agent `id` (palette cycled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the palette is empty.
+    #[must_use]
+    pub fn trajectory_color(&self, id: usize) -> &str {
+        assert!(!self.trajectory_palette.is_empty(), "palette must not be empty");
+        &self.trajectory_palette[id % self.trajectory_palette.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palette_cycles() {
+        let t = Theme::default();
+        let n = t.trajectory_palette.len();
+        assert_eq!(t.trajectory_color(0), t.trajectory_color(n));
+        assert_ne!(t.trajectory_color(0), t.trajectory_color(1));
+    }
+}

@@ -1,0 +1,140 @@
+//! SVG plots of recorded agent trajectories: one wrap-aware polyline per
+//! agent over the field, showing the "streets" (S) and "honeycombs" (T)
+//! of Fig. 6/7 as actual paths rather than visit counts.
+
+use crate::svg::SvgDoc;
+use crate::theme::Theme;
+use a2a_grid::{Lattice, Pos};
+use a2a_sim::Trajectory;
+
+const CELL: f64 = 18.0;
+const MARGIN: f64 = 14.0;
+
+/// Renders the paths of every agent in `trajectory` over a `lattice`.
+///
+/// Torus wrap-arounds are detected (a hop longer than one cell in raw
+/// coordinates) and split into separate polyline segments so paths do not
+/// streak across the whole image.
+///
+/// # Panics
+///
+/// Panics if the trajectory is empty of agents.
+#[must_use]
+pub fn render_trajectory(lattice: Lattice, trajectory: &Trajectory, theme: &Theme) -> String {
+    let (w, h) = (f64::from(lattice.width()), f64::from(lattice.height()));
+    let mut doc = SvgDoc::new(w * CELL + 2.0 * MARGIN, h * CELL + 2.0 * MARGIN + 16.0);
+    doc.rect(0.0, 0.0, doc.width(), doc.height(), &theme.background, 1.0);
+    doc.group(&format!("translate({MARGIN} {MARGIN})"));
+
+    // Field background and grid.
+    doc.rect(0.0, 0.0, w * CELL, h * CELL, &theme.cell, 1.0);
+    for x in 0..=lattice.width() {
+        doc.line(f64::from(x) * CELL, 0.0, f64::from(x) * CELL, h * CELL, &theme.grid_line, 0.5);
+    }
+    for y in 0..=lattice.height() {
+        doc.line(0.0, f64::from(y) * CELL, w * CELL, f64::from(y) * CELL, &theme.grid_line, 0.5);
+    }
+
+    let k = trajectory.frames()[0].agents.len();
+    assert!(k > 0, "trajectory must contain agents");
+    let center = |p: Pos| -> (f64, f64) {
+        (
+            f64::from(p.x) * CELL + CELL / 2.0,
+            f64::from(p.y) * CELL + CELL / 2.0,
+        )
+    };
+    for id in 0..k {
+        let path = trajectory.path_of(id);
+        let color = theme.trajectory_color(id);
+        // Split at wrap-arounds: consecutive cells further than 1 apart
+        // in raw (unwrapped) coordinates.
+        let mut segment: Vec<(f64, f64)> = Vec::new();
+        for w2 in path.windows(2) {
+            let (a, b) = (w2[0], w2[1]);
+            if segment.is_empty() {
+                segment.push(center(a));
+            }
+            let wraps = a.x.abs_diff(b.x) > 1 || a.y.abs_diff(b.y) > 1;
+            if wraps {
+                if segment.len() >= 2 {
+                    doc.polyline(&segment, color, 1.6);
+                }
+                segment = vec![center(b)];
+            } else {
+                segment.push(center(b));
+            }
+        }
+        if segment.len() >= 2 {
+            doc.polyline(&segment, color, 1.6);
+        }
+        // Start and end markers.
+        if let (Some(&first), Some(&last)) = (path.first(), path.last()) {
+            let (sx, sy) = center(first);
+            doc.circle(sx, sy, CELL * 0.18, color);
+            let (ex, ey) = center(last);
+            doc.rect(ex - CELL * 0.16, ey - CELL * 0.16, CELL * 0.32, CELL * 0.32, color, 1.0);
+        }
+    }
+    doc.end_group();
+    doc.text(
+        MARGIN,
+        h * CELL + 2.0 * MARGIN + 10.0,
+        11.0,
+        &theme.label,
+        &format!("{k} agents, {} steps (dot = start, square = end)", trajectory.len() - 1),
+    );
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_fsm::best_agent;
+    use a2a_grid::{Dir, GridKind};
+    use a2a_sim::{record_trajectory, InitialConfig, World, WorldConfig};
+
+    fn trajectory(kind: GridKind) -> (Lattice, Trajectory) {
+        let cfg = WorldConfig::paper(kind, 8);
+        let init = InitialConfig::new(vec![
+            (Pos::new(0, 0), Dir::new(0)),
+            (Pos::new(4, 4), Dir::new(1)),
+        ]);
+        let mut world = World::new(&cfg, best_agent(kind), &init).unwrap();
+        let (_, traj) = record_trajectory(&mut world, 300);
+        (cfg.lattice, traj)
+    }
+
+    #[test]
+    fn paths_render_with_markers() {
+        let (lattice, traj) = trajectory(GridKind::Triangulate);
+        let svg = render_trajectory(lattice, &traj, &Theme::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("<polyline"), "paths drawn");
+        assert_eq!(svg.matches("<circle").count(), 2, "one start dot per agent");
+        assert!(svg.contains("2 agents"));
+    }
+
+    #[test]
+    fn wrapping_paths_split_into_segments() {
+        // Two parallel straight-line walkers crossing the seam: each
+        // path must split into (at least) two polyline segments instead
+        // of streaking across the image. (Two agents on distinct rows
+        // never meet, so the run uses the full horizon.)
+        use a2a_fsm::ballistic;
+        let cfg = WorldConfig::paper(GridKind::Square, 8);
+        let init = InitialConfig::new(vec![
+            (Pos::new(6, 1), Dir::new(0)),
+            (Pos::new(6, 5), Dir::new(0)),
+        ]);
+        let mut world = World::new(&cfg, ballistic(GridKind::Square), &init).unwrap();
+        let (outcome, rec) = record_trajectory(&mut world, 5);
+        assert!(!outcome.is_successful(), "parallel walkers never meet");
+        assert!(rec.path_of(0).contains(&Pos::new(0, 1)), "walker wrapped");
+        let svg = render_trajectory(cfg.lattice, &rec, &Theme::default());
+        assert!(
+            svg.matches("<polyline").count() >= 4,
+            "each wrapped path splits: {}",
+            svg.matches("<polyline").count()
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests: the SVG renderers accept any reachable world
+//! state and always produce well-formed documents.
+
+use a2a_fsm::{FsmSpec, Genome};
+use a2a_grid::GridKind;
+use a2a_sim::{record_trajectory, InitialConfig, World, WorldConfig};
+use a2a_viz::{render_chart, render_field, render_trajectory, ChartScale, ChartSeries, Theme};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_world_and_steps() -> impl Strategy<Value = (World, u32)> {
+    (
+        prop_oneof![Just(GridKind::Square), Just(GridKind::Triangulate)],
+        4u16..=10,
+        1usize..=6,
+        any::<u64>(),
+        0u32..40,
+    )
+        .prop_map(|(kind, m, k, seed, steps)| {
+            let cfg = WorldConfig::paper(kind, m);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let genome = Genome::random(FsmSpec::paper(kind), &mut rng);
+            let init = InitialConfig::random(cfg.lattice, kind, k, &[], &mut rng)
+                .expect("k fits the field");
+            (World::new(&cfg, genome, &init).expect("valid world"), steps)
+        })
+}
+
+/// Rough XML well-formedness: every opened tag kind is balanced or
+/// self-closed, and the document has exactly one root.
+fn check_wellformed(svg: &str) {
+    assert!(svg.starts_with("<svg"), "root element");
+    assert!(svg.trim_end().ends_with("</svg>"));
+    for tag in ["g", "svg", "text"] {
+        let opens = svg.matches(&format!("<{tag}")).count();
+        let closes = svg.matches(&format!("</{tag}>")).count();
+        assert_eq!(opens, closes, "balanced <{tag}>");
+    }
+    // All drawing primitives are self-closing.
+    for tag in ["rect", "circle", "line", "polyline", "polygon"] {
+        for occurrence in svg.split(&format!("<{tag}")).skip(1) {
+            let end = occurrence.find('>').expect("closed tag");
+            assert!(occurrence[..=end].ends_with("/>"), "<{tag}> self-closes");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Field snapshots of arbitrary evolved states are well-formed and
+    /// draw one direction marker per agent.
+    #[test]
+    fn field_rendering_is_total((mut world, steps) in arb_world_and_steps()) {
+        for _ in 0..steps {
+            world.step();
+        }
+        let svg = render_field(&world, &Theme::default());
+        check_wellformed(&svg);
+        prop_assert_eq!(svg.matches("<polygon").count(), world.agents().len());
+    }
+
+    /// Trajectory plots of arbitrary runs are well-formed and mark every
+    /// agent's start.
+    #[test]
+    fn trajectory_rendering_is_total((mut world, steps) in arb_world_and_steps()) {
+        let lattice = world.lattice();
+        let k = world.agents().len();
+        let (_, traj) = record_trajectory(&mut world, steps);
+        let svg = render_trajectory(lattice, &traj, &Theme::default());
+        check_wellformed(&svg);
+        prop_assert_eq!(svg.matches("<circle").count(), k, "one start marker per agent");
+    }
+
+    /// Charts accept arbitrary positive series.
+    #[test]
+    fn chart_rendering_is_total(
+        points in prop::collection::vec((1f64..500.0, 0f64..200.0), 1..20),
+    ) {
+        let svg = render_chart(
+            "series",
+            "x",
+            "y",
+            ChartScale::Log2,
+            &[ChartSeries { label: "p".into(), color: "#123456".into(), points }],
+        );
+        check_wellformed(&svg);
+    }
+}

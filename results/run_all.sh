@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerates every experiment output recorded in EXPERIMENTS.md.
+set -x
+cd /root/repo
+R=results
+cargo run --release -p a2a-bench --bin fig2_distances              > $R/fig2_distances.txt 2>&1
+cargo run --release -p a2a-bench --bin table1_fig5 -- --full       > $R/table1_fig5.txt 2>&1
+cargo run --release -p a2a-bench --bin grid33 -- --full            > $R/grid33.txt 2>&1
+cargo run --release -p a2a-bench --bin fig6_fig7_traces            > $R/fig6_fig7.txt 2>&1
+cargo run --release -p a2a-bench --bin ablation_colors     -- --configs 150 > $R/ablation_colors.txt 2>&1
+cargo run --release -p a2a-bench --bin ablation_init_states -- --configs 150 > $R/ablation_init_states.txt 2>&1
+cargo run --release -p a2a-bench --bin ablation_design     -- --configs 150 > $R/ablation_design.txt 2>&1
+cargo run --release -p a2a-bench --bin ext_borders_obstacles -- --configs 100 > $R/ext_borders_obstacles.txt 2>&1
+cargo run --release -p a2a-bench --bin baselines_bounds    -- --configs 150 > $R/baselines_bounds.txt 2>&1
+cargo run --release -p a2a-bench --bin evolve_run -- --configs 100 --generations 150 --runs 4 > $R/evolve_run.txt 2>&1
+cargo run --release -p a2a-bench --bin ext_time_shuffle    -- --configs 60 > $R/ext_time_shuffle.txt 2>&1
+cargo run --release -p a2a-bench --bin ext_future_work     -- --configs 40 > $R/ext_future_work.txt 2>&1
+echo ALL-DONE

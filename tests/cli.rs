@@ -1,0 +1,110 @@
+//! Integration tests of the `a2a` command-line binary.
+
+use std::process::Command;
+
+fn a2a(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_a2a"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = a2a(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["simulate", "table1", "distances", "trace", "grid33", "evolve"] {
+        assert!(text.contains(cmd), "missing {cmd} in help:\n{text}");
+    }
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let out = a2a(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = a2a(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn simulate_solves_and_reports() {
+    let out = a2a(&["simulate", "--grid", "t", "--agents", "8", "--seed", "5"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("solved"), "{text}");
+    assert!(text.contains("8 agents"), "{text}");
+}
+
+#[test]
+fn simulate_snapshots_render_layers() {
+    let out = a2a(&["simulate", "--agents", "4", "--snapshots"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("colors"), "{text}");
+    assert!(text.contains("visited"), "{text}");
+}
+
+#[test]
+fn distances_prints_fig2_values() {
+    let out = a2a(&["distances"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("D = 8"), "{text}");
+    assert!(text.contains("D = 5"), "{text}");
+    assert!(text.contains("D_T/S"), "{text}");
+}
+
+#[test]
+fn table1_quick_run_prints_ratio_row() {
+    let out = a2a(&["table1", "--configs", "3", "--seed", "1"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("T-grid"), "{text}");
+    assert!(text.contains("T/S"), "{text}");
+    assert!(text.contains("paper reference"), "{text}");
+}
+
+#[test]
+fn evolve_tiny_run_prints_genome() {
+    let out = a2a(&[
+        "evolve", "--grid", "s", "--generations", "3", "--configs", "4", "--agents", "4",
+        "--threads", "1",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("best evolved FSM"), "{text}");
+    assert!(text.contains("genome digits"), "{text}");
+}
+
+#[test]
+fn render_writes_svg_artifacts() {
+    let dir = std::env::temp_dir().join("a2a_cli_render_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = a2a(&[
+        "render", "--grid", "t", "--agents", "3", "--seed", "4", "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert_eq!(entries.len(), 2, "field + paths SVGs");
+    for e in entries {
+        let content = std::fs::read_to_string(e.unwrap().path()).unwrap();
+        assert!(content.starts_with("<svg"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn decide_proves_solvability() {
+    let out = a2a(&["decide", "--grid", "t", "--agents", "4", "--seed", "8"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("PROVEN solvable"), "{text}");
+}
