@@ -7,7 +7,7 @@ use crate::table::{f2, f3, TextTable};
 use a2a_fsm::{best_agent, Genome};
 use a2a_ga::parallel_map;
 use a2a_grid::GridKind;
-use a2a_sim::{paper_config_set, simulate, SimError, WorldConfig};
+use a2a_sim::{paper_config_set, BatchRunner, SimError, WorldConfig};
 use serde::{Deserialize, Serialize};
 
 /// The agent counts of Table 1.
@@ -177,11 +177,14 @@ pub fn run_series_in(
     genome: &Genome,
     exp: &DensityExperiment,
 ) -> Result<GridSeries, SimError> {
+    // One compiled kernel environment serves every density and thread.
+    let runner = BatchRunner::from_genome(cfg, genome.clone(), exp.t_max)?;
     let mut points = Vec::with_capacity(exp.agent_counts.len());
     for &k in &exp.agent_counts {
         let configs = paper_config_set(cfg.lattice, cfg.kind, k, exp.n_random, exp.seed)?;
         let outcomes = parallel_map(&configs, exp.threads, |init| {
-            simulate(cfg, genome.clone(), init, exp.t_max)
+            runner
+                .outcome_for(init)
                 .expect("configuration sets are generated to match the environment")
         });
         let times: Vec<u32> = outcomes.iter().filter_map(|o| o.t_comm).collect();

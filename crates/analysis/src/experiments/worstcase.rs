@@ -10,7 +10,7 @@
 
 use a2a_fsm::best_agent;
 use a2a_grid::{Dir, GridKind, Pos};
-use a2a_sim::{simulate, InitialConfig, SimError, WorldConfig};
+use a2a_sim::{BatchRunner, InitialConfig, SimError, WorldConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -52,11 +52,13 @@ pub fn adversarial_search(
     t_max: u32,
 ) -> Result<WorstCase, SimError> {
     let cfg = WorldConfig::paper(kind, 16);
-    let genome = best_agent(kind);
+    // The search re-simulates thousands of candidates against one genome:
+    // compile it once and reuse the kernel environment throughout.
+    let runner = BatchRunner::from_genome(&cfg, best_agent(kind), t_max)?;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut current = InitialConfig::random(cfg.lattice, kind, k, &[], &mut rng)?;
     let run = |c: &InitialConfig| -> Result<Option<u32>, SimError> {
-        Ok(simulate(&cfg, genome.clone(), c, t_max)?.t_comm)
+        Ok(runner.outcome_for(c)?.t_comm)
     };
     let Some(initial_time) = run(&current)? else {
         return Ok(WorstCase {

@@ -209,7 +209,7 @@ impl Genome {
                 && e.action.set_color < spec.n_colors
                 && e.action.turn < spec.turn_set.cardinality()
         });
-        ok.then(|| Self { spec, entries })
+        ok.then_some(Self { spec, entries })
     }
 }
 

@@ -3,9 +3,9 @@
 //! evaluated by simulating the agent system over a set of initial
 //! configurations.
 
-use crate::parallel::parallel_map;
+use crate::parallel::{default_threads_for, parallel_map};
 use a2a_fsm::Genome;
-use a2a_sim::{simulate, simulate_behaviour, Behaviour, InitialConfig, RunOutcome, WorldConfig};
+use a2a_sim::{BatchRunner, Behaviour, InitialConfig, RunOutcome, WorldConfig};
 use serde::{Deserialize, Serialize};
 
 /// The paper's dominance weight `W = 10⁴`.
@@ -75,10 +75,10 @@ impl Evaluator {
         assert!(!configs.is_empty(), "fitness needs at least one configuration");
         Self {
             config,
+            threads: default_threads_for(configs.len()),
             configs,
             t_max: PAPER_T_MAX,
             weight: PAPER_WEIGHT,
-            threads: crate::parallel::default_threads(),
         }
     }
 
@@ -124,11 +124,7 @@ impl Evaluator {
     /// genomes from the evaluator's own spec.
     #[must_use]
     pub fn evaluate(&self, genome: &Genome) -> FitnessReport {
-        let outcomes = parallel_map(&self.configs, self.threads, |init| {
-            simulate(&self.config, genome.clone(), init, self.t_max)
-                .expect("genome and configuration set must match the environment")
-        });
-        FitnessReport::from_outcomes(&outcomes, self.weight)
+        self.evaluate_behaviour(&Behaviour::Single(genome.clone()))
     }
 
     /// Runs a full [`Behaviour`] (e.g. a time-shuffled FSM pair) over the
@@ -139,8 +135,13 @@ impl Evaluator {
     /// Panics if the behaviour is incompatible with the environment.
     #[must_use]
     pub fn evaluate_behaviour(&self, behaviour: &Behaviour) -> FitnessReport {
+        // Compile the behaviour once; the runner is Sync, so the
+        // per-configuration runs fan out over the worker threads.
+        let runner = BatchRunner::new(&self.config, behaviour, self.t_max)
+            .expect("behaviour and configuration set must match the environment");
         let outcomes = parallel_map(&self.configs, self.threads, |init| {
-            simulate_behaviour(&self.config, behaviour.clone(), init, self.t_max)
+            runner
+                .outcome_for(init)
                 .expect("behaviour and configuration set must match the environment")
         });
         FitnessReport::from_outcomes(&outcomes, self.weight)
@@ -152,14 +153,11 @@ impl Evaluator {
     #[must_use]
     pub fn evaluate_all(&self, genomes: &[Genome]) -> Vec<FitnessReport> {
         parallel_map(genomes, self.threads, |g| {
-            let outcomes: Vec<RunOutcome> = self
-                .configs
-                .iter()
-                .map(|init| {
-                    simulate(&self.config, g.clone(), init, self.t_max)
-                        .expect("genome and configuration set must match the environment")
-                })
-                .collect();
+            let runner = BatchRunner::from_genome(&self.config, g.clone(), self.t_max)
+                .expect("genome and configuration set must match the environment");
+            let outcomes: Vec<RunOutcome> = runner
+                .run_all(&self.configs)
+                .expect("genome and configuration set must match the environment");
             FitnessReport::from_outcomes(&outcomes, self.weight)
         })
     }

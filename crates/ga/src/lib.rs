@@ -53,5 +53,5 @@ pub use crossover::{one_point, uniform, ReproductionStrategy};
 pub use evolve::{Evolution, EvolutionOutcome, GaConfig, GenerationStats, Individual};
 pub use fitness::{Evaluator, FitnessReport, PAPER_T_MAX, PAPER_WEIGHT};
 pub use islands::{run_islands, IslandConfig, IslandOutcome};
-pub use parallel::{default_threads, parallel_map};
+pub use parallel::{default_threads, default_threads_for, parallel_map};
 pub use reliability::{screen, DensityReport, ReliabilityReport};

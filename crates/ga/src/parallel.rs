@@ -1,12 +1,13 @@
-//! Work-stealing parallel map on scoped threads (crossbeam), used to
-//! evaluate fitness over hundreds of initial configurations and whole
-//! populations without `unsafe` or a heavyweight thread-pool dependency.
+//! Work-stealing parallel map on `std::thread::scope`, used to evaluate
+//! fitness over hundreds of initial configurations and whole populations
+//! without `unsafe` or any thread-pool dependency.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use by default: the machine's available
-/// parallelism, capped at the item count.
+/// parallelism. Callers that know their workload size should clamp with
+/// [`default_threads_for`] so short batches don't spawn idle workers.
 #[must_use]
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -14,13 +15,21 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// [`default_threads`] capped at `item_count` (minimum 1), for sizing a
+/// worker pool to a known batch: spawning more threads than items only
+/// adds startup cost.
+#[must_use]
+pub fn default_threads_for(item_count: usize) -> usize {
+    default_threads().min(item_count.max(1))
+}
+
 /// Applies `f` to every item on `threads` scoped worker threads and
 /// returns the results in input order.
 ///
 /// Workers pull indices from a shared atomic counter, so heterogeneous
 /// per-item costs (fast vs. slow simulations) balance automatically.
-/// With `threads <= 1` the map runs inline, which keeps call sites
-/// deterministic to profile.
+/// `threads` is clamped to `1..=items.len()`; with one effective thread
+/// the map runs inline, which keeps call sites deterministic to profile.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -32,10 +41,10 @@ where
         return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = crossbeam::scope(|scope| {
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -52,8 +61,7 @@ where
             .into_iter()
             .flat_map(|h| h.join().expect("worker must not panic"))
             .collect()
-    })
-    .expect("scoped threads must not panic");
+    });
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()
 }
@@ -85,6 +93,14 @@ mod tests {
     }
 
     #[test]
+    fn more_threads_than_items_is_clamped() {
+        // Far more threads than items: must still produce every result in
+        // order without panicking or deadlocking.
+        let items: Vec<u32> = (0..3).collect();
+        assert_eq!(parallel_map(&items, 64, |&x| x + 10), vec![10, 11, 12]);
+    }
+
+    #[test]
     fn balances_heterogeneous_work() {
         // Items with wildly different costs still come back in order.
         let items: Vec<u64> = (0..64).collect();
@@ -101,5 +117,13 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn default_threads_for_caps_at_item_count() {
+        assert_eq!(default_threads_for(1), 1);
+        assert!(default_threads_for(0) >= 1);
+        assert!(default_threads_for(usize::MAX) <= default_threads());
+        assert!(default_threads_for(2) <= 2);
     }
 }

@@ -13,10 +13,6 @@ fn arb_torus() -> impl Strategy<Value = Lattice> {
     (2u16..=12, 2u16..=12).prop_map(|(w, h)| Lattice::torus(w, h))
 }
 
-fn arb_pos_in(l: Lattice) -> impl Strategy<Value = Pos> {
-    (0..l.width(), 0..l.height()).prop_map(|(x, y)| Pos::new(x, y))
-}
-
 proptest! {
     /// Stepping along a direction and then its reverse returns to the start.
     #[test]

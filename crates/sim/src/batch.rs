@@ -1,0 +1,172 @@
+//! Batch evaluation: one compiled environment, many initial
+//! configurations.
+//!
+//! The GA fitness workload evaluates a single genome on dozens to hundreds
+//! of initial configurations. [`BatchRunner`] compiles the genome and the
+//! environment once (neighbour tables, obstacle bitset, colour planes,
+//! per-phase FSM tables) and shares them across every run through an
+//! [`Arc`], so per-configuration cost is placement + simulation only.
+//! `BatchRunner` is `Sync`: `outcome_for` takes `&self`, which lets
+//! callers fan configurations out over threads (e.g. with
+//! `a2a_ga::parallel_map`).
+
+use crate::behaviour::Behaviour;
+use crate::config::WorldConfig;
+use crate::error::SimError;
+use crate::init::InitialConfig;
+use crate::kernel::{FastWorld, KernelEnv};
+use crate::run::RunOutcome;
+use a2a_fsm::Genome;
+use std::sync::Arc;
+
+/// Evaluates one behaviour over many initial configurations using the
+/// bit-packed [`FastWorld`] kernel.
+///
+/// # Examples
+///
+/// ```
+/// use a2a_sim::{BatchRunner, InitialConfig, WorldConfig};
+/// use a2a_fsm::best_t_agent;
+/// use a2a_grid::GridKind;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// # fn main() -> Result<(), a2a_sim::SimError> {
+/// let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+/// let runner = BatchRunner::from_genome(&cfg, best_t_agent(), 200)?;
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let init = InitialConfig::random(cfg.lattice, cfg.kind, 16, &[], &mut rng)?;
+/// assert!(runner.outcome_for(&init)?.is_successful());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    env: Arc<KernelEnv>,
+    t_max: u32,
+}
+
+impl BatchRunner {
+    /// Compiles `behaviour` against `config` for runs capped at `t_max`
+    /// counted steps.
+    ///
+    /// # Errors
+    ///
+    /// The environment checks of [`crate::World::with_behaviour`]:
+    /// inconsistent behaviours, grid-kind mismatch, invalid obstacles or
+    /// colour patterns.
+    pub fn new(
+        config: &WorldConfig,
+        behaviour: &Behaviour,
+        t_max: u32,
+    ) -> Result<Self, SimError> {
+        Ok(Self { env: Arc::new(KernelEnv::new(config, behaviour)?), t_max })
+    }
+
+    /// [`BatchRunner::new`] for the paper's single-FSM behaviour.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchRunner::new`].
+    pub fn from_genome(config: &WorldConfig, genome: Genome, t_max: u32) -> Result<Self, SimError> {
+        Self::new(config, &Behaviour::Single(genome), t_max)
+    }
+
+    /// The run horizon in counted steps.
+    #[must_use]
+    pub fn t_max(&self) -> u32 {
+        self.t_max
+    }
+
+    /// Runs one initial configuration to completion (or the horizon).
+    ///
+    /// # Errors
+    ///
+    /// The placement checks of [`crate::World::with_behaviour`]: invalid
+    /// positions or directions, duplicates, agents on obstacles.
+    pub fn outcome_for(&self, init: &InitialConfig) -> Result<RunOutcome, SimError> {
+        let mut world = FastWorld::from_env(Arc::clone(&self.env), init)?;
+        Ok(world.run(self.t_max))
+    }
+
+    /// Runs every configuration in order on the calling thread. For
+    /// parallel evaluation, map [`BatchRunner::outcome_for`] over the
+    /// configurations with a thread pool — the runner is `Sync`.
+    ///
+    /// # Errors
+    ///
+    /// The first placement error encountered, as [`BatchRunner::outcome_for`].
+    pub fn run_all(&self, inits: &[InitialConfig]) -> Result<Vec<RunOutcome>, SimError> {
+        inits.iter().map(|init| self.outcome_for(init)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::simulate;
+    use a2a_fsm::best_agent;
+    use a2a_grid::GridKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_outcomes_equal_oracle_simulate() {
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let cfg = WorldConfig::paper(kind, 16);
+            let genome = best_agent(kind);
+            let runner = BatchRunner::from_genome(&cfg, genome.clone(), 200).unwrap();
+            let mut rng = SmallRng::seed_from_u64(77);
+            for _ in 0..10 {
+                let init =
+                    InitialConfig::random(cfg.lattice, kind, 12, &[], &mut rng).unwrap();
+                let fast = runner.outcome_for(&init).unwrap();
+                let slow = simulate(&cfg, genome.clone(), &init, 200).unwrap();
+                assert_eq!(fast, slow, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn runner_is_shareable_across_threads() {
+        let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+        let runner = BatchRunner::from_genome(&cfg, best_agent(cfg.kind), 200).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let inits: Vec<InitialConfig> = (0..8)
+            .map(|_| InitialConfig::random(cfg.lattice, cfg.kind, 8, &[], &mut rng).unwrap())
+            .collect();
+        let serial = runner.run_all(&inits).unwrap();
+        let parallel: Vec<RunOutcome> = std::thread::scope(|scope| {
+            inits
+                .iter()
+                .map(|init| scope.spawn(|| runner.outcome_for(init).unwrap()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn environment_errors_surface_at_construction() {
+        let cfg = WorldConfig::paper(GridKind::Square, 16);
+        assert!(matches!(
+            BatchRunner::from_genome(&cfg, best_agent(GridKind::Triangulate), 200),
+            Err(SimError::SpecMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn placement_errors_surface_per_configuration() {
+        let cfg = WorldConfig::paper(GridKind::Square, 16);
+        let runner = BatchRunner::from_genome(&cfg, best_agent(cfg.kind), 200).unwrap();
+        let dup = InitialConfig::new(vec![
+            (a2a_grid::Pos::new(1, 1), a2a_grid::Dir::new(0)),
+            (a2a_grid::Pos::new(1, 1), a2a_grid::Dir::new(0)),
+        ]);
+        assert!(matches!(
+            runner.outcome_for(&dup),
+            Err(SimError::DuplicatePosition(_))
+        ));
+    }
+}

@@ -20,20 +20,15 @@ pub enum ConflictPolicy {
 /// The paper could not find reliable uniform agents starting all in state
 /// 0 or 3, and settled on "initial state = 0/1 for agents with even/odd
 /// ID" (Sect. 4, reliability option 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum InitStatePolicy {
     /// Every agent starts in the same control state.
     Uniform(u8),
     /// Agent `i` starts in state `i mod 2` — the paper's reliable setting.
+    #[default]
     IdParity,
     /// Agent `i` starts in state `i mod n` (generalised symmetry breaking).
     IdModulo(u8),
-}
-
-impl Default for InitStatePolicy {
-    fn default() -> Self {
-        InitStatePolicy::IdParity
-    }
 }
 
 impl InitStatePolicy {

@@ -1,0 +1,708 @@
+//! A bit-packed batch kernel for the CA system: the same step semantics as
+//! [`World`](crate::World), specialised for throughput.
+//!
+//! [`FastWorld`] keeps agent state as structure-of-arrays, occupancy and
+//! obstacles as one `u64` bitset (`solid`), cell colours as bit-planes,
+//! neighbour cells in a flat per-lattice offset table, the FSM rows as a
+//! pre-resolved per-phase table (turn codes already mapped to direction
+//! deltas), and the communication vectors as flat `u64` words merged
+//! word-wise with an incremental informed counter for early exit.
+//!
+//! The engine is differentially tested against `World` (the oracle) in
+//! `tests/differential.rs`: both are driven in lockstep and must agree on
+//! every agent position, direction, state, colour plane, infoset and on
+//! `t_comm` at every step.
+
+use crate::behaviour::Behaviour;
+use crate::config::{ColorInit, ConflictPolicy, InitStatePolicy, WorldConfig};
+use crate::error::SimError;
+use crate::infoset::InfoSet;
+use crate::init::InitialConfig;
+use crate::run::RunOutcome;
+use a2a_fsm::Genome;
+use a2a_grid::{Dir, GridKind, Lattice, Pos};
+use std::sync::Arc;
+
+/// Sentinel for "no cell" / "no agent" in the flat index tables.
+const NONE: u32 = u32::MAX;
+
+/// One FSM row with the turn code already resolved to a direction delta.
+#[derive(Debug, Clone, Copy)]
+struct CompiledEntry {
+    next_state: u8,
+    set_color: u8,
+    /// Rotational steps, `turn_set.delta(turn)` precomputed.
+    delta: u8,
+    mv: bool,
+}
+
+/// Everything about a simulation that does not depend on the initial
+/// configuration: lattice geometry, obstacles, initial colouring and the
+/// compiled behaviour. Immutable and `Sync`, so one environment is shared
+/// (via [`Arc`]) by every run of a batch.
+#[derive(Debug)]
+pub(crate) struct KernelEnv {
+    kind: GridKind,
+    lattice: Lattice,
+    conflict: ConflictPolicy,
+    init_states: InitStatePolicy,
+    n_states: u8,
+    n_colors: u8,
+    n_dirs: usize,
+    /// `u64` words per field-sized bitset.
+    cell_words: usize,
+    /// Bit-planes needed to store a colour in `0..n_colors`.
+    n_color_planes: u32,
+    /// Flat neighbour table: `fwd[cell * n_dirs + d]` is the cell one step
+    /// along direction `d`, or [`NONE`] off a bordered field.
+    fwd: Vec<u32>,
+    /// Obstacle cells as a bitset.
+    obstacle_words: Vec<u64>,
+    /// Validated initial colouring, packed as bit-planes (plane-major).
+    color_planes_init: Vec<u64>,
+    /// Compiled FSM rows, one table per behaviour phase.
+    phases: Vec<Vec<CompiledEntry>>,
+}
+
+impl KernelEnv {
+    /// Validates the environment exactly as [`crate::World::with_behaviour`]
+    /// does and precomputes the flat tables.
+    pub(crate) fn new(config: &WorldConfig, behaviour: &Behaviour) -> Result<Self, SimError> {
+        if !behaviour.is_consistent() {
+            return Err(SimError::SpecMismatch(
+                "time-shuffled behaviours need at least one FSM and a common spec".into(),
+            ));
+        }
+        let spec = behaviour.spec();
+        if spec.kind() != config.kind {
+            return Err(SimError::SpecMismatch(format!(
+                "genome drives {} agents but the world is {}",
+                spec.kind(),
+                config.kind
+            )));
+        }
+        let lattice = config.lattice;
+        let n_cells = lattice.len();
+        let cell_words = n_cells.div_ceil(64);
+
+        let mut obstacle_words = vec![0u64; cell_words];
+        for &p in &config.obstacles {
+            if !lattice.contains(p) {
+                return Err(SimError::OutsideField(p));
+            }
+            bit_set(&mut obstacle_words, lattice.index_of(p));
+        }
+
+        let colors = match &config.colors {
+            ColorInit::AllZero => vec![0u8; n_cells],
+            ColorInit::Pattern(pattern) => {
+                if pattern.len() != n_cells {
+                    return Err(SimError::SpecMismatch(format!(
+                        "colour pattern has {} cells, field has {}",
+                        pattern.len(),
+                        n_cells
+                    )));
+                }
+                pattern.clone()
+            }
+        };
+        if let Some(&c) = colors.iter().find(|&&c| c >= spec.n_colors) {
+            return Err(SimError::SpecMismatch(format!(
+                "initial colour {c} exceeds the FSM's {} colours",
+                spec.n_colors
+            )));
+        }
+        let n_color_planes = planes_for(spec.n_colors);
+        let mut color_planes_init = vec![0u64; cell_words * n_color_planes as usize];
+        for (c, &color) in colors.iter().enumerate() {
+            write_color(&mut color_planes_init, cell_words, n_color_planes, c, color);
+        }
+
+        let n_dirs = usize::from(config.kind.dir_count());
+        let mut fwd = vec![NONE; n_cells * n_dirs];
+        for c in 0..n_cells {
+            let p = lattice.pos_at(c);
+            for d in 0..n_dirs {
+                if let Some(n) = lattice.neighbor(p, config.kind, Dir::new(d as u8)) {
+                    fwd[c * n_dirs + d] = lattice.index_of(n) as u32;
+                }
+            }
+        }
+
+        let phases = (0..behaviour.phase_count())
+            .map(|t| compile_genome(behaviour.genome_at(t as u32)))
+            .collect();
+
+        Ok(Self {
+            kind: config.kind,
+            lattice,
+            conflict: config.conflict,
+            init_states: config.init_states,
+            n_states: spec.n_states,
+            n_colors: spec.n_colors,
+            n_dirs,
+            cell_words,
+            n_color_planes,
+            fwd,
+            obstacle_words,
+            color_planes_init,
+            phases,
+        })
+    }
+}
+
+/// Resolves every genome row to a [`CompiledEntry`].
+fn compile_genome(genome: &Genome) -> Vec<CompiledEntry> {
+    let spec = genome.spec();
+    (0..spec.entry_count())
+        .map(|i| {
+            let e = genome.entry(i);
+            CompiledEntry {
+                next_state: e.next_state,
+                set_color: e.action.set_color,
+                delta: spec.turn_set.delta(e.action.turn),
+                mv: e.action.mv,
+            }
+        })
+        .collect()
+}
+
+/// Bit-planes needed for colours in `0..n_colors` (0 when only colour 0
+/// exists).
+fn planes_for(n_colors: u8) -> u32 {
+    32 - u32::from(n_colors - 1).leading_zeros()
+}
+
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1u64 << (i % 64);
+}
+
+fn bit_clear(words: &mut [u64], i: usize) {
+    words[i / 64] &= !(1u64 << (i % 64));
+}
+
+fn read_color(planes: &[u64], cell_words: usize, n_planes: u32, c: usize) -> u8 {
+    let mut color = 0u8;
+    for p in 0..n_planes as usize {
+        let bit = (planes[p * cell_words + c / 64] >> (c % 64)) & 1;
+        color |= (bit as u8) << p;
+    }
+    color
+}
+
+fn write_color(planes: &mut [u64], cell_words: usize, n_planes: u32, c: usize, color: u8) {
+    for p in 0..n_planes as usize {
+        let w = &mut planes[p * cell_words + c / 64];
+        let mask = 1u64 << (c % 64);
+        if (color >> p) & 1 == 1 {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+}
+
+/// All `k`-bit vector words full, honouring the tail mask of the last word.
+fn words_complete(words: &[u64], tail_mask: u64) -> bool {
+    let n = words.len();
+    words[..n - 1].iter().all(|&w| w == u64::MAX) && words[n - 1] == tail_mask
+}
+
+/// The bit-packed simulation engine: same dynamics as
+/// [`World`](crate::World), structure-of-arrays layout.
+///
+/// # Examples
+///
+/// ```
+/// use a2a_sim::{FastWorld, InitialConfig, WorldConfig};
+/// use a2a_fsm::best_t_agent;
+/// use a2a_grid::GridKind;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// # fn main() -> Result<(), a2a_sim::SimError> {
+/// let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let init = InitialConfig::random(cfg.lattice, cfg.kind, 16, &[], &mut rng)?;
+/// let mut fast = FastWorld::new(&cfg, best_t_agent(), &init)?;
+/// let outcome = fast.run(200);
+/// assert!(outcome.is_successful());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FastWorld {
+    env: Arc<KernelEnv>,
+    /// Cell index per agent.
+    pos: Vec<u32>,
+    /// Direction index per agent.
+    dir: Vec<u8>,
+    /// Control state per agent.
+    state: Vec<u8>,
+    /// Agent on each cell ([`NONE`] when empty).
+    occupant: Vec<u32>,
+    /// Occupancy ∪ obstacles as a bitset — one load answers "hard blocked".
+    solid: Vec<u64>,
+    /// Current cell colours, bit-plane packed.
+    color_planes: Vec<u64>,
+    /// Communication vectors, `stride` words per agent.
+    info: Vec<u64>,
+    info_next: Vec<u64>,
+    /// Words per agent vector: `k.div_ceil(64)`.
+    stride: usize,
+    /// Mask of valid bits in each vector's last word.
+    tail_mask: u64,
+    /// Which agents are informed; drives the incremental counter.
+    complete: Vec<bool>,
+    informed: usize,
+    time: u32,
+    // Scratch reused across steps.
+    claims: Vec<u32>,
+    requests: Vec<(u32, u32)>,
+    /// Per agent: (flat compiled-row index, move target or [`NONE`]).
+    decisions: Vec<(u32, u32)>,
+}
+
+impl FastWorld {
+    /// Assembles a fast world for a single-FSM behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`crate::World::new`].
+    pub fn new(
+        config: &WorldConfig,
+        genome: Genome,
+        init: &InitialConfig,
+    ) -> Result<Self, SimError> {
+        Self::with_behaviour(config, Behaviour::Single(genome), init)
+    }
+
+    /// Like [`FastWorld::new`] with a full [`Behaviour`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`crate::World::with_behaviour`].
+    pub fn with_behaviour(
+        config: &WorldConfig,
+        behaviour: Behaviour,
+        init: &InitialConfig,
+    ) -> Result<Self, SimError> {
+        Self::from_env(Arc::new(KernelEnv::new(config, &behaviour)?), init)
+    }
+
+    /// Places one initial configuration into a shared environment and
+    /// performs the uncounted `t = 0` exchange.
+    pub(crate) fn from_env(env: Arc<KernelEnv>, init: &InitialConfig) -> Result<Self, SimError> {
+        init.validate(env.lattice, env.kind)?;
+        let k = init.agent_count();
+        if k > usize::from(u16::MAX) {
+            return Err(SimError::TooManyAgents { requested: k, limit: usize::from(u16::MAX) });
+        }
+
+        let n_cells = env.lattice.len();
+        let mut occupant = vec![NONE; n_cells];
+        let mut solid = env.obstacle_words.clone();
+        let mut pos = Vec::with_capacity(k);
+        let mut dir = Vec::with_capacity(k);
+        let mut state = Vec::with_capacity(k);
+        for (i, &(p, d)) in init.placements().iter().enumerate() {
+            let idx = env.lattice.index_of(p);
+            if bit_get(&env.obstacle_words, idx) {
+                return Err(SimError::OnObstacle(p));
+            }
+            occupant[idx] = i as u32;
+            bit_set(&mut solid, idx);
+            pos.push(idx as u32);
+            dir.push(d.index());
+            state.push(env.init_states.state_for(i as u16, env.n_states));
+        }
+
+        let stride = k.div_ceil(64);
+        let mut info = vec![0u64; k * stride];
+        for i in 0..k {
+            info[i * stride + i / 64] |= 1u64 << (i % 64);
+        }
+        let tail = k % 64;
+        let tail_mask = if tail == 0 { u64::MAX } else { (1u64 << tail) - 1 };
+
+        let mut world = Self {
+            color_planes: env.color_planes_init.clone(),
+            info_next: info.clone(),
+            env,
+            pos,
+            dir,
+            state,
+            occupant,
+            solid,
+            info,
+            stride,
+            tail_mask,
+            complete: vec![false; k],
+            informed: 0,
+            time: 0,
+            claims: vec![NONE; n_cells],
+            requests: Vec::with_capacity(k),
+            decisions: Vec::with_capacity(k),
+        };
+        // The uncounted exchange right after placement.
+        world.exchange();
+        Ok(world)
+    }
+
+    /// Advances the system by one counted time step (act, then exchange).
+    pub fn step(&mut self) {
+        self.act();
+        self.exchange();
+        self.time += 1;
+    }
+
+    /// Runs until every agent is informed or `t_max` counted steps passed.
+    pub fn run(&mut self, t_max: u32) -> RunOutcome {
+        while !self.all_informed() && self.time < t_max {
+            self.step();
+        }
+        RunOutcome {
+            t_comm: self.all_informed().then_some(self.time),
+            informed: self.informed,
+            agents: self.pos.len(),
+            steps: self.time,
+        }
+    }
+
+    /// The act phase: table-driven perception, two-round arbitration,
+    /// colour writes and moves — mirroring `World::act` decision for
+    /// decision.
+    fn act(&mut self) {
+        let env = &*self.env;
+        let phase = &env.phases[self.time as usize % env.phases.len()];
+        let n_states = usize::from(env.n_states);
+        let n_colors = usize::from(env.n_colors);
+        self.decisions.clear();
+        self.requests.clear();
+
+        // Round 1: perceive the pre-step configuration; collect and
+        // arbitrate move requests while scanning.
+        for i in 0..self.pos.len() {
+            let here = self.pos[i] as usize;
+            let front = env.fwd[here * env.n_dirs + usize::from(self.dir[i])];
+            let hard_blocked = front == NONE || bit_get(&self.solid, front as usize);
+            let color = read_color(&self.color_planes, env.cell_words, env.n_color_planes, here);
+            let front_color = if front == NONE {
+                0
+            } else {
+                read_color(&self.color_planes, env.cell_words, env.n_color_planes, front as usize)
+            };
+            let x = usize::from(hard_blocked)
+                + 2 * (usize::from(color) + n_colors * usize::from(front_color));
+            let e = x * n_states + usize::from(self.state[i]);
+            let entry = phase[e];
+            let mut target = NONE;
+            if !hard_blocked && entry.mv {
+                target = front;
+                self.requests.push((i as u32, front));
+                let cur = self.claims[front as usize];
+                let winner = match (cur, env.conflict) {
+                    (NONE, _) => i as u32,
+                    (c, ConflictPolicy::LowestId) => c.min(i as u32),
+                    (c, ConflictPolicy::HighestId) => c.max(i as u32),
+                };
+                self.claims[front as usize] = winner;
+            }
+            self.decisions.push((e as u32, target));
+        }
+
+        // Round 2: losers re-perceive with blocked = 1 and stay put.
+        for r in 0..self.requests.len() {
+            let (i, target) = self.requests[r];
+            if self.claims[target as usize] != i {
+                let here = self.pos[i as usize] as usize;
+                let color =
+                    read_color(&self.color_planes, env.cell_words, env.n_color_planes, here);
+                let front_color = read_color(
+                    &self.color_planes,
+                    env.cell_words,
+                    env.n_color_planes,
+                    target as usize,
+                );
+                let x = 1 + 2 * (usize::from(color) + n_colors * usize::from(front_color));
+                let e = x * n_states + usize::from(self.state[i as usize]);
+                self.decisions[i as usize] = (e as u32, NONE);
+            }
+        }
+        for &(_, target) in &self.requests {
+            self.claims[target as usize] = NONE;
+        }
+
+        // Apply: colour writes, state/direction updates, moves. Targets
+        // were empty at step start and claimed by one winner each, so
+        // sequential application is safe (as in the oracle).
+        for i in 0..self.pos.len() {
+            let (e, target) = self.decisions[i];
+            let entry = phase[e as usize];
+            let here = self.pos[i] as usize;
+            write_color(
+                &mut self.color_planes,
+                env.cell_words,
+                env.n_color_planes,
+                here,
+                entry.set_color,
+            );
+            self.state[i] = entry.next_state;
+            self.dir[i] = (self.dir[i] + entry.delta) % env.n_dirs as u8;
+            if target != NONE {
+                let t = target as usize;
+                bit_clear(&mut self.solid, here);
+                bit_set(&mut self.solid, t);
+                self.occupant[here] = NONE;
+                self.occupant[t] = i as u32;
+                self.pos[i] = target;
+            }
+        }
+    }
+
+    /// The synchronous exchange: word-wise ORs of the pre-phase vectors.
+    /// Already-informed agents skip the neighbour gather — their all-ones
+    /// vector cannot grow, and information is monotone.
+    fn exchange(&mut self) {
+        let env = &*self.env;
+        let stride = self.stride;
+        for i in 0..self.pos.len() {
+            let base = i * stride;
+            self.info_next[base..base + stride]
+                .copy_from_slice(&self.info[base..base + stride]);
+            if self.complete[i] {
+                continue;
+            }
+            let here = self.pos[i] as usize;
+            for d in 0..env.n_dirs {
+                let nc = env.fwd[here * env.n_dirs + d];
+                if nc == NONE {
+                    continue;
+                }
+                let occ = self.occupant[nc as usize];
+                if occ != NONE && occ as usize != i {
+                    let ob = occ as usize * stride;
+                    for w in 0..stride {
+                        self.info_next[base + w] |= self.info[ob + w];
+                    }
+                }
+            }
+            if words_complete(&self.info_next[base..base + stride], self.tail_mask) {
+                self.complete[i] = true;
+                self.informed += 1;
+            }
+        }
+        std::mem::swap(&mut self.info, &mut self.info_next);
+    }
+
+    /// Steps executed so far.
+    #[must_use]
+    pub fn time(&self) -> u32 {
+        self.time
+    }
+
+    /// Grid family.
+    #[must_use]
+    pub fn kind(&self) -> GridKind {
+        self.env.kind
+    }
+
+    /// The cell field.
+    #[must_use]
+    pub fn lattice(&self) -> Lattice {
+        self.env.lattice
+    }
+
+    /// Number of agents.
+    #[must_use]
+    pub fn agent_count(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Number of informed agents.
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.informed
+    }
+
+    /// Whether the all-to-all task is solved.
+    #[must_use]
+    pub fn all_informed(&self) -> bool {
+        self.informed == self.pos.len()
+    }
+
+    /// Agent positions in ID order (differential-test snapshot).
+    #[must_use]
+    pub fn positions(&self) -> Vec<Pos> {
+        self.pos.iter().map(|&c| self.env.lattice.pos_at(c as usize)).collect()
+    }
+
+    /// Agent directions in ID order.
+    #[must_use]
+    pub fn dirs(&self) -> Vec<Dir> {
+        self.dir.iter().map(|&d| Dir::new(d)).collect()
+    }
+
+    /// Agent control states in ID order.
+    #[must_use]
+    pub fn states(&self) -> Vec<u8> {
+        self.state.clone()
+    }
+
+    /// Row-major cell colours, unpacked from the bit-planes.
+    #[must_use]
+    pub fn colors(&self) -> Vec<u8> {
+        let env = &*self.env;
+        (0..env.lattice.len())
+            .map(|c| read_color(&self.color_planes, env.cell_words, env.n_color_planes, c))
+            .collect()
+    }
+
+    /// Agent `i`'s communication vector as an [`InfoSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.agent_count()`.
+    #[must_use]
+    pub fn agent_info(&self, i: usize) -> InfoSet {
+        let k = self.pos.len();
+        assert!(i < k, "agent {i} out of range for {k} agents");
+        let mut set = InfoSet::empty(k);
+        let base = i * self.stride;
+        for b in 0..k {
+            if self.info[base + b / 64] & (1u64 << (b % 64)) != 0 {
+                set.insert(b);
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use a2a_fsm::{best_s_agent, best_t_agent};
+
+    fn cfg(kind: GridKind) -> WorldConfig {
+        WorldConfig::paper(kind, 16)
+    }
+
+    fn assert_lockstep(cfg: &WorldConfig, genome: Genome, init: &InitialConfig, steps: u32) {
+        let mut slow = World::new(cfg, genome.clone(), init).unwrap();
+        let mut fast = FastWorld::new(cfg, genome, init).unwrap();
+        for t in 0..=steps {
+            assert_eq!(
+                fast.positions(),
+                slow.agents().iter().map(|a| a.pos()).collect::<Vec<_>>(),
+                "positions diverge at t={t}"
+            );
+            assert_eq!(fast.colors(), slow.colors().to_vec(), "colours diverge at t={t}");
+            assert_eq!(fast.informed_count(), slow.informed_count(), "informed at t={t}");
+            slow.step();
+            fast.step();
+        }
+    }
+
+    #[test]
+    fn matches_world_on_random_fields() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        for (kind, genome) in [
+            (GridKind::Square, best_s_agent()),
+            (GridKind::Triangulate, best_t_agent()),
+        ] {
+            let config = cfg(kind);
+            let mut rng = SmallRng::seed_from_u64(5);
+            let init =
+                InitialConfig::random(config.lattice, kind, 16, &[], &mut rng).unwrap();
+            assert_lockstep(&config, genome, &init, 60);
+        }
+    }
+
+    #[test]
+    fn fully_packed_takes_diameter_steps() {
+        for (kind, expected) in [(GridKind::Square, 15), (GridKind::Triangulate, 9)] {
+            let lattice = Lattice::torus(16, 16);
+            let placements: Vec<(Pos, Dir)> =
+                lattice.positions().map(|p| (p, Dir::new(0))).collect();
+            let mut fast = FastWorld::new(
+                &cfg(kind),
+                a2a_fsm::best_agent(kind),
+                &InitialConfig::new(placements),
+            )
+            .unwrap();
+            let outcome = fast.run(100);
+            assert_eq!(outcome.t_comm, Some(expected), "{kind}");
+        }
+    }
+
+    #[test]
+    fn single_agent_is_informed_immediately() {
+        let init = InitialConfig::new(vec![(Pos::new(4, 4), Dir::new(0))]);
+        let mut w = FastWorld::new(&cfg(GridKind::Square), best_s_agent(), &init).unwrap();
+        assert!(w.all_informed());
+        assert_eq!(w.run(100).t_comm, Some(0));
+    }
+
+    #[test]
+    fn rejects_kind_mismatch_and_bad_pattern() {
+        let init = InitialConfig::new(vec![(Pos::new(0, 0), Dir::new(0))]);
+        assert!(matches!(
+            FastWorld::new(&cfg(GridKind::Square), best_t_agent(), &init),
+            Err(SimError::SpecMismatch(_))
+        ));
+        let mut config = cfg(GridKind::Square);
+        config.colors = ColorInit::Pattern(vec![7u8; 256]);
+        assert!(matches!(
+            FastWorld::new(&config, best_s_agent(), &init),
+            Err(SimError::SpecMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn obstacle_placement_rejected() {
+        let mut config = cfg(GridKind::Square);
+        config.obstacles = vec![Pos::new(3, 3)];
+        let init = InitialConfig::new(vec![(Pos::new(3, 3), Dir::new(0))]);
+        assert!(matches!(
+            FastWorld::new(&config, best_s_agent(), &init),
+            Err(SimError::OnObstacle(_))
+        ));
+    }
+
+    #[test]
+    fn agent_info_reconstructs_infosets() {
+        let init = InitialConfig::new(vec![
+            (Pos::new(0, 0), Dir::new(0)),
+            (Pos::new(1, 0), Dir::new(0)),
+            (Pos::new(8, 8), Dir::new(0)),
+        ]);
+        let w = FastWorld::new(&cfg(GridKind::Square), best_s_agent(), &init).unwrap();
+        assert!(w.agent_info(0).contains(1), "adjacent pair exchanged at t=0");
+        assert!(!w.agent_info(0).contains(2), "distant agent unknown");
+        assert_eq!(w.agent_info(2).count(), 1);
+    }
+
+    #[test]
+    fn color_planes_round_trip() {
+        for n_colors in [1u8, 2, 3, 4, 5, 8] {
+            let n_planes = planes_for(n_colors);
+            let mut planes = vec![0u64; 3 * n_planes as usize];
+            for c in 0..100 {
+                let color = (c % usize::from(n_colors)) as u8;
+                write_color(&mut planes, 3, n_planes, c, color);
+            }
+            for c in 0..100 {
+                assert_eq!(
+                    read_color(&planes, 3, n_planes, c),
+                    (c % usize::from(n_colors)) as u8,
+                    "n_colors={n_colors} cell={c}"
+                );
+            }
+        }
+    }
+}

@@ -45,24 +45,28 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod agent;
+mod batch;
 mod behaviour;
 mod config;
 mod decide;
 mod error;
 mod infoset;
 mod init;
+mod kernel;
 mod recorder;
 mod render;
 mod run;
 mod world;
 
 pub use agent::Agent;
+pub use batch::BatchRunner;
 pub use behaviour::Behaviour;
 pub use config::{ColorInit, ConflictPolicy, InitStatePolicy, WorldConfig};
 pub use decide::{decide, Decision};
 pub use error::SimError;
 pub use infoset::InfoSet;
 pub use init::{paper_config_set, InitialConfig};
+pub use kernel::FastWorld;
 pub use recorder::{record_trajectory, AgentSnapshot, Frame, Trajectory};
 pub use render::{render_agents, render_colors, render_snapshot, render_visited};
 pub use run::{run_to_completion, run_with_profile, simulate, simulate_behaviour, RunOutcome};

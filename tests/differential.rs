@@ -1,0 +1,194 @@
+//! Differential harness: the bit-packed [`FastWorld`] kernel against the
+//! reference [`World`] oracle, driven in lockstep on randomized scenarios.
+//!
+//! Every scenario steps both engines together and asserts identical
+//! positions, directions, control states, colour fields, infosets,
+//! informed counts and, at the end, the same `t_comm`. The scenario pool
+//! (>200 randomized cases across the two grid families) covers bordered
+//! fields, obstacles, highest-ID arbitration, colour patterns,
+//! time-shuffled behaviours and full-density packings.
+
+use a2a_fsm::{best_agent, FsmSpec, Genome, TurnSet};
+use a2a_grid::{GridKind, Lattice, Pos};
+use a2a_sim::{
+    Behaviour, ColorInit, ConflictPolicy, FastWorld, InitStatePolicy, InitialConfig, World,
+    WorldConfig,
+};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Asserts that both engines expose byte-identical observable state.
+fn assert_same_state(world: &World, fast: &FastWorld, ctx: &str) {
+    assert_eq!(world.time(), fast.time(), "{ctx}: time diverged");
+    let positions = fast.positions();
+    let dirs = fast.dirs();
+    let states = fast.states();
+    assert_eq!(world.agents().len(), fast.agent_count(), "{ctx}: agent count");
+    for (i, agent) in world.agents().iter().enumerate() {
+        assert_eq!(agent.pos(), positions[i], "{ctx}: agent {i} position");
+        assert_eq!(agent.dir(), dirs[i], "{ctx}: agent {i} direction");
+        assert_eq!(agent.state(), states[i], "{ctx}: agent {i} state");
+        assert_eq!(*agent.info(), fast.agent_info(i), "{ctx}: agent {i} infoset");
+    }
+    assert_eq!(world.colors(), &fast.colors()[..], "{ctx}: colour field");
+    assert_eq!(world.informed_count(), fast.informed_count(), "{ctx}: informed count");
+    assert_eq!(world.all_informed(), fast.all_informed(), "{ctx}: completion flag");
+}
+
+/// Runs both engines in lockstep for up to `t_max` counted steps,
+/// comparing the full state after every step and the resulting `t_comm`.
+fn lockstep(cfg: &WorldConfig, behaviour: &Behaviour, init: &InitialConfig, t_max: u32, ctx: &str) {
+    let mut world = World::with_behaviour(cfg, behaviour.clone(), init)
+        .unwrap_or_else(|e| panic!("{ctx}: oracle rejected scenario: {e}"));
+    let mut fast = FastWorld::with_behaviour(cfg, behaviour.clone(), init)
+        .unwrap_or_else(|e| panic!("{ctx}: kernel rejected scenario: {e}"));
+    assert_same_state(&world, &fast, &format!("{ctx} @t=0"));
+    let mut t_slow = world.all_informed().then_some(0u32);
+    let mut t_fast = fast.all_informed().then_some(0u32);
+    for t in 1..=t_max {
+        world.step();
+        fast.step();
+        assert_same_state(&world, &fast, &format!("{ctx} @t={t}"));
+        if t_slow.is_none() && world.all_informed() {
+            t_slow = Some(t);
+        }
+        if t_fast.is_none() && fast.all_informed() {
+            t_fast = Some(t);
+        }
+        if t_slow.is_some() && t_fast.is_some() {
+            break;
+        }
+    }
+    assert_eq!(t_slow, t_fast, "{ctx}: t_comm diverged");
+}
+
+/// One fully randomized scenario: lattice shape and edge rule, policies,
+/// colour pattern, obstacles, FSM spec, behaviour and placement all drawn
+/// from `seed`.
+fn random_scenario(kind: GridKind, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let width = rng.random_range(3u16..10);
+    let height = rng.random_range(3u16..10);
+    let lattice = if rng.random_bool(0.25) {
+        Lattice::bordered(width, height)
+    } else {
+        Lattice::torus(width, height)
+    };
+    let mut cfg = WorldConfig::with_lattice(kind, lattice);
+    if rng.random_bool(0.5) {
+        cfg.conflict = ConflictPolicy::HighestId;
+    }
+
+    let turn_set = match kind {
+        GridKind::Square => TurnSet::Square,
+        GridKind::Triangulate => {
+            if rng.random_bool(0.3) {
+                TurnSet::TriangulateFull
+            } else {
+                TurnSet::TriangulateRestricted
+            }
+        }
+    };
+    let n_states = rng.random_range(2u8..=6);
+    let n_colors = rng.random_range(2u8..=4);
+    let spec = FsmSpec::new(n_states, n_colors, turn_set);
+
+    cfg.init_states = match rng.random_range(0u8..3) {
+        0 => InitStatePolicy::Uniform(rng.random_range(0..n_states)),
+        1 => InitStatePolicy::IdParity,
+        _ => InitStatePolicy::IdModulo(rng.random_range(2..=n_states)),
+    };
+    if rng.random_bool(0.4) {
+        let pattern = (0..lattice.len()).map(|_| rng.random_range(0..n_colors)).collect();
+        cfg.colors = ColorInit::Pattern(pattern);
+    }
+
+    let mut obstacles: Vec<Pos> = Vec::new();
+    if rng.random_bool(0.3) {
+        while obstacles.len() < 3 {
+            let pos = lattice.pos_at(rng.random_range(0..lattice.len()));
+            if !obstacles.contains(&pos) {
+                obstacles.push(pos);
+            }
+        }
+    }
+    cfg.obstacles.clone_from(&obstacles);
+
+    let free = lattice.len() - obstacles.len();
+    let k = rng.random_range(1..=free.min(12));
+    let init = InitialConfig::random(lattice, kind, k, &obstacles, &mut rng)
+        .expect("k is clamped to the free-cell count");
+
+    let behaviour = if rng.random_bool(0.25) {
+        Behaviour::shuffled_pair(Genome::random(spec, &mut rng), Genome::random(spec, &mut rng))
+    } else {
+        Behaviour::Single(Genome::random(spec, &mut rng))
+    };
+    lockstep(&cfg, &behaviour, &init, 60, &format!("{kind} seed {seed}"));
+}
+
+#[test]
+fn random_scenarios_square() {
+    for seed in 0..70 {
+        random_scenario(GridKind::Square, seed);
+    }
+}
+
+#[test]
+fn random_scenarios_triangulate() {
+    for seed in 0..70 {
+        random_scenario(GridKind::Triangulate, 1_000 + seed);
+    }
+}
+
+#[test]
+fn full_density_scenarios() {
+    // Every cell occupied: maximal conflict pressure on the arbitration
+    // path, and the paper's D − 1 lower-bound regime.
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        for seed in 0..20 {
+            let mut rng = SmallRng::seed_from_u64(40_000 + seed);
+            let m = rng.random_range(3u16..8);
+            let cfg = WorldConfig::paper(kind, m);
+            let k = cfg.lattice.len();
+            let init = InitialConfig::random(cfg.lattice, kind, k, &[], &mut rng).unwrap();
+            let behaviour = Behaviour::Single(best_agent(kind));
+            lockstep(&cfg, &behaviour, &init, 80, &format!("{kind} packed seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn published_agent_scenarios() {
+    // The paper's own evaluation setting: 16×16 torus, published best
+    // agents, random placements at several densities.
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        for seed in 0..20 {
+            let mut rng = SmallRng::seed_from_u64(90_000 + seed);
+            let cfg = WorldConfig::paper(kind, 16);
+            let k = rng.random_range(2usize..=32);
+            let init = InitialConfig::random(cfg.lattice, kind, k, &[], &mut rng).unwrap();
+            let behaviour = Behaviour::Single(best_agent(kind));
+            lockstep(&cfg, &behaviour, &init, 250, &format!("{kind} paper seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn degenerate_fields_match() {
+    // Tiny tori exercise the self-neighbour check (a 1×1 torus wraps an
+    // agent onto itself) and single-row wrap-arounds.
+    let mut rng = SmallRng::seed_from_u64(7);
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        for (w, h) in [(1u16, 1u16), (1, 4), (4, 1), (2, 2)] {
+            let lattice = Lattice::torus(w, h);
+            let cfg = WorldConfig::with_lattice(kind, lattice);
+            let spec = FsmSpec::paper(kind);
+            for k in 1..=lattice.len().min(3) {
+                let init = InitialConfig::random(lattice, kind, k, &[], &mut rng).unwrap();
+                let behaviour = Behaviour::Single(Genome::random(spec, &mut rng));
+                lockstep(&cfg, &behaviour, &init, 40, &format!("{kind} {w}x{h} k={k}"));
+            }
+        }
+    }
+}

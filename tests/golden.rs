@@ -1,0 +1,171 @@
+//! Golden-fixture regression for the published agents' exact `t_comm`
+//! values on the paper's 16×16 torus.
+//!
+//! `tests/fixtures/golden_tcomm.json` stores, for each grid family and
+//! `k ∈ {4, 16, 64}`, the communication times of 32 fixed seeded
+//! placements. Both engines — the bit-packed kernel and the reference
+//! `World` — must reproduce every value exactly, so any change to
+//! perception, arbitration, movement or exchange order shows up as a
+//! diff against the fixture. The fixture also pins the paper's density
+//! observation that `k = 4` is the slowest of the sampled densities.
+//!
+//! Regenerate after an *intended* semantics change with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p a2a --test golden
+//! ```
+
+use a2a_fsm::best_agent;
+use a2a_grid::GridKind;
+use a2a_sim::{simulate, BatchRunner, InitialConfig, WorldConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+const FIXTURE: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures/golden_tcomm.json");
+const FIELD: u16 = 16;
+const AGENT_COUNTS: [usize; 3] = [4, 16, 64];
+const SEEDS: u64 = 32;
+const T_MAX: u32 = 5000;
+const KINDS: [GridKind; 2] = [GridKind::Square, GridKind::Triangulate];
+
+fn kind_label(kind: GridKind) -> &'static str {
+    match kind {
+        GridKind::Square => "S",
+        GridKind::Triangulate => "T",
+    }
+}
+
+/// The fixed placement stream: one fresh rng per (kind-independent) seed.
+fn placement(kind: GridKind, k: usize, seed: u64) -> InitialConfig {
+    let cfg = WorldConfig::paper(kind, FIELD);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    InitialConfig::random(cfg.lattice, kind, k, &[], &mut rng).unwrap()
+}
+
+/// Kernel-side times for one (kind, k) cell of the fixture.
+fn kernel_times(kind: GridKind, k: usize) -> Vec<u32> {
+    let cfg = WorldConfig::paper(kind, FIELD);
+    let runner = BatchRunner::from_genome(&cfg, best_agent(kind), T_MAX).unwrap();
+    (0..SEEDS)
+        .map(|seed| {
+            runner
+                .outcome_for(&placement(kind, k, seed))
+                .unwrap()
+                .t_comm
+                .expect("published agents solve every golden scenario")
+        })
+        .collect()
+}
+
+fn compute_all() -> Vec<(GridKind, usize, Vec<u32>)> {
+    KINDS
+        .iter()
+        .flat_map(|&kind| AGENT_COUNTS.iter().map(move |&k| (kind, k, kernel_times(kind, k))))
+        .collect()
+}
+
+fn render_fixture(all: &[(GridKind, usize, Vec<u32>)]) -> String {
+    let mut out = String::from("{\n");
+    writeln!(out, "  \"field\": {FIELD},").unwrap();
+    writeln!(out, "  \"seeds\": {SEEDS},").unwrap();
+    writeln!(out, "  \"t_max\": {T_MAX},").unwrap();
+    out.push_str("  \"entries\": [\n");
+    for (i, (kind, k, times)) in all.iter().enumerate() {
+        let list = times.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+        let comma = if i + 1 == all.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"kind\": \"{}\", \"k\": {k}, \"t_comm\": [{list}]}}{comma}",
+            kind_label(*kind)
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal scanning parser for the fixture's fixed shape (the workspace
+/// deliberately has no JSON dependency).
+fn parse_fixture(text: &str) -> Vec<(String, usize, Vec<u32>)> {
+    let mut entries = Vec::new();
+    let mut cursor = 0;
+    while let Some(at) = text[cursor..].find("\"kind\":") {
+        let rest = &text[cursor + at..];
+        let q1 = "\"kind\": \"".len();
+        let q2 = q1 + rest[q1..].find('"').expect("unterminated kind string");
+        let kind = rest[q1..q2].to_string();
+        let kpos = rest.find("\"k\":").expect("entry without k") + "\"k\":".len();
+        let kend = kpos + rest[kpos..].find(',').expect("unterminated k");
+        let k: usize = rest[kpos..kend].trim().parse().expect("k is a number");
+        let tpos = rest.find("\"t_comm\": [").expect("entry without t_comm") + "\"t_comm\": [".len();
+        let tend = tpos + rest[tpos..].find(']').expect("unterminated t_comm list");
+        let times = rest[tpos..tend]
+            .split(',')
+            .map(|s| s.trim().parse().expect("t_comm values are numbers"))
+            .collect();
+        entries.push((kind, k, times));
+        cursor += at + tend;
+    }
+    entries
+}
+
+fn load_fixture() -> Vec<(String, usize, Vec<u32>)> {
+    let text = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — regenerate with GOLDEN_REGEN=1 cargo test -p a2a --test golden");
+    parse_fixture(&text)
+}
+
+#[test]
+fn golden_fixture_matches_both_engines() {
+    let computed = compute_all();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(FIXTURE, render_fixture(&computed)).unwrap();
+    }
+    let golden = load_fixture();
+    assert_eq!(golden.len(), KINDS.len() * AGENT_COUNTS.len(), "fixture shape changed");
+    for ((kind, k, fast), (gkind, gk, gtimes)) in computed.iter().zip(&golden) {
+        assert_eq!(kind_label(*kind), gkind, "fixture entry order changed");
+        assert_eq!(k, gk, "fixture entry order changed");
+        assert_eq!(gtimes.len(), SEEDS as usize, "{gkind} k={gk}: seed count changed");
+        assert_eq!(fast, gtimes, "{gkind} k={gk}: kernel diverged from golden times");
+    }
+    // The reference oracle reproduces the fixture independently.
+    for (kind, k, gtimes) in KINDS
+        .iter()
+        .flat_map(|&kind| AGENT_COUNTS.iter().map(move |&k| (kind, k)))
+        .zip(&golden)
+        .map(|((kind, k), g)| (kind, k, &g.2))
+    {
+        let cfg = WorldConfig::paper(kind, FIELD);
+        for (seed, &expect) in gtimes.iter().enumerate() {
+            let init = placement(kind, k, seed as u64);
+            let got = simulate(&cfg, best_agent(kind), &init, T_MAX).unwrap().t_comm;
+            assert_eq!(
+                got,
+                Some(expect),
+                "oracle diverged from golden at {} k={k} seed={seed}",
+                kind_label(kind)
+            );
+        }
+    }
+}
+
+#[test]
+fn low_density_is_slowest_in_fixture() {
+    // Table 1's non-monotone density curve: the sparse k = 4 row is the
+    // slowest sampled density in both grids.
+    let golden = load_fixture();
+    for kind in ["S", "T"] {
+        let mean = |k: usize| -> f64 {
+            let (_, _, times) = golden
+                .iter()
+                .find(|(g, gk, _)| g == kind && *gk == k)
+                .unwrap_or_else(|| panic!("fixture misses {kind} k={k}"));
+            f64::from(times.iter().sum::<u32>()) / times.len() as f64
+        };
+        assert!(mean(4) > mean(16), "{kind}: k=4 not slower than k=16");
+        assert!(mean(4) > mean(64), "{kind}: k=4 not slower than k=64");
+    }
+}

@@ -1,0 +1,278 @@
+//! A minimal, offline stand-in for the `criterion` benchmarking crate.
+//!
+//! This subset keeps the structural API the workspace's benches use
+//! (`Criterion`, `benchmark_group`, `Bencher::iter` /
+//! `iter_batched_ref`, `criterion_group!` / `criterion_main!`) and
+//! reports wall-clock per-iteration times measured with
+//! `std::time::Instant`. There are no statistics, plots, or baselines —
+//! each benchmark is calibrated to a target measurement time and its
+//! mean iteration time is printed.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How setup output is passed between batches in `iter_batched*`.
+/// Only a hint in real criterion; ignored here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Iterations to run in the measured phase.
+    iters: u64,
+    /// Total measured time, accumulated by the `iter*` methods.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup` value per iteration; only the
+    /// routine (given `&mut` access to the value) is measured.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            total += start.elapsed();
+            drop(input);
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched_ref`] but passing the value by move.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level benchmark harness state.
+pub struct Criterion {
+    measurement_time: Duration,
+    /// Nominal sample count; scales the measurement budget slightly so
+    /// `sample_size(10)` runs shorter than the default 100.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(500),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the nominal sample count (scales the measurement budget).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&id.into(), self.budget(), f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed `group/label`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Prints the closing line (upstream prints a summary; here it only
+    /// marks the end of the run).
+    pub fn final_summary(&mut self) {
+        println!("\nbenchmarks complete");
+    }
+
+    fn budget(&self) -> Duration {
+        // Scale the budget with sample_size relative to the default 100,
+        // clamped so tiny groups still measure something meaningful.
+        let scaled = self.measurement_time.as_secs_f64() * (self.sample_size as f64 / 100.0);
+        Duration::from_secs_f64(scaled.max(0.05))
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the target measurement time for this group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement_time = time;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut budget = self.criterion.budget();
+        if let Some(n) = self.sample_size {
+            let scaled = self.criterion.measurement_time.as_secs_f64() * (n as f64 / 100.0);
+            budget = Duration::from_secs_f64(scaled.max(0.05));
+        }
+        run_benchmark(&full, budget, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Calibrates an iteration count to roughly fill `budget`, measures, and
+/// prints the mean per-iteration time.
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, budget: Duration, mut f: F) {
+    // Warm-up / calibration pass: single iteration to estimate cost.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+
+    let iters = (budget.as_secs_f64() / per_iter.as_secs_f64())
+        .clamp(1.0, 1_000_000.0) as u64;
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+
+    let mean = bencher.elapsed.as_secs_f64() / iters as f64;
+    println!("{id:<50} {:>14}  ({iters} iters)", format_time(mean));
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns/iter", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} \u{00b5}s/iter", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms/iter", secs * 1e3)
+    } else {
+        format!("{secs:.3} s/iter")
+    }
+}
+
+/// Re-export for benches written against older criterion idiom
+/// (`criterion::black_box`); prefer `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench` (and possibly filters); this
+            // subset runs everything and ignores the arguments.
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("counter", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_prefix_and_batch() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut sum = 0u64;
+        group.bench_function("inner", |b| {
+            b.iter_batched_ref(|| vec![1u64, 2, 3], |v| sum += v.iter().sum::<u64>(), BatchSize::SmallInput);
+        });
+        group.finish();
+        assert!(sum > 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! `any::<T>()` for the primitive types the workspace generates.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The full-domain strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<u8>()`, `any::<bool>()`, ...).
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain generator for one primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct FullDomain<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T> Default for FullDomain<T> {
+    fn default() -> Self {
+        Self {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),+) => {$(
+        impl Strategy for FullDomain<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = FullDomain<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FullDomain::default()
+            }
+        }
+    )+};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for FullDomain<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullDomain<bool>;
+    fn arbitrary() -> Self::Strategy {
+        FullDomain::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_small_domain() {
+        let s = any::<bool>();
+        let mut rng = TestRng::for_case("any_bool", 0);
+        let (mut t, mut f) = (false, false);
+        for _ in 0..100 {
+            if s.generate(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+    }
+
+    #[test]
+    fn any_u8_reaches_extremes_eventually() {
+        let s = any::<u8>();
+        let mut rng = TestRng::for_case("any_u8", 0);
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&b| b).count() > 250);
+    }
+}

@@ -1,0 +1,98 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A range of collection sizes, converted from the usual range types
+/// or a fixed `usize`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let span = (self.max - self.min) as u64 + 1;
+        self.min + rng.below(span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_size_vec() {
+        let s = vec(0u8..4, 7);
+        let mut rng = TestRng::for_case("fixed", 0);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng).len(), 7);
+        }
+    }
+
+    #[test]
+    fn ranged_size_vec_hits_all_lengths() {
+        let s = vec(0u8..4, 1..=3);
+        let mut rng = TestRng::for_case("ranged", 0);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            seen[v.len()] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

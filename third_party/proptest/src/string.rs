@@ -1,0 +1,112 @@
+//! Tiny regex-flavoured string generation: `&'static str` strategies.
+//!
+//! Supported shapes, matching what upstream proptest accepts for the
+//! patterns this workspace actually writes:
+//!
+//! * `"[abc]{m,n}"` — a character class repeated between `m` and `n` times
+//!   (also `{n}` for exactly `n`, and `a-z` ranges inside the class);
+//! * `"[abc]*"` / `"[abc]+"` — 0..=8 / 1..=8 repetitions;
+//! * anything else — treated as a literal and returned verbatim.
+
+use crate::test_runner::TestRng;
+
+/// Generates a string for `pattern` (see module docs for the subset).
+#[must_use]
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    match parse(pattern) {
+        Some((chars, min, max)) => {
+            let len = min + rng.below((max - min) as u64 + 1) as usize;
+            (0..len)
+                .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                .collect()
+        }
+        None => pattern.to_string(),
+    }
+}
+
+/// `[class]{m,n}` → (expanded class, min, max); `None` for literals.
+fn parse(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = expand_class(&rest[..close]);
+    if class.is_empty() {
+        return None;
+    }
+    let reps = &rest[close + 1..];
+    let (min, max) = match reps {
+        "*" => (0, 8),
+        "+" => (1, 8),
+        _ => {
+            let inner = reps.strip_prefix('{')?.strip_suffix('}')?;
+            match inner.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                None => {
+                    let n = inner.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((class, min, max))
+}
+
+/// Expands `a-z` ranges; other characters stand for themselves.
+fn expand_class(class: &str) -> Vec<char> {
+    let chars: Vec<char> = class.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo <= hi {
+                out.extend((lo..=hi).filter(|c| c.is_ascii()));
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_counted_reps() {
+        let mut rng = TestRng::for_case("class", 0);
+        for _ in 0..100 {
+            let s = generate_pattern("[abc]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| "abc".contains(c)));
+        }
+    }
+
+    #[test]
+    fn ranged_class() {
+        let mut rng = TestRng::for_case("range", 0);
+        let s = generate_pattern("[a-z]{10}", &mut rng);
+        assert_eq!(s.len(), 10);
+        assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn star_and_plus() {
+        let mut rng = TestRng::for_case("star", 0);
+        for _ in 0..50 {
+            assert!(!generate_pattern("[x]+", &mut rng).is_empty());
+            assert!(generate_pattern("[x]*", &mut rng).len() <= 8);
+        }
+    }
+
+    #[test]
+    fn literal_fallback() {
+        let mut rng = TestRng::for_case("lit", 0);
+        assert_eq!(generate_pattern("hello", &mut rng), "hello");
+    }
+}

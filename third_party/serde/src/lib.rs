@@ -1,0 +1,20 @@
+//! A minimal offline stand-in for the `serde` facade.
+//!
+//! The workspace only ever writes `use serde::{Deserialize, Serialize}`
+//! plus `#[derive(Serialize, Deserialize)]`; no serialisation format crate
+//! exists in the graph, so nothing is ever actually serialised. The
+//! derives (re-exported from the vendored `serde_derive`) expand to
+//! nothing, and the traits here are empty markers with blanket
+//! implementations so bounds like `T: Serialize` would still be met.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::ser::Serialize`.
+pub trait SerializeMarker {}
+impl<T: ?Sized> SerializeMarker for T {}
+
+/// Marker stand-in for `serde::de::Deserialize`.
+pub trait DeserializeMarker {}
+impl<T: ?Sized> DeserializeMarker for T {}

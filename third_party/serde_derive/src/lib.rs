@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize, Deserialize)]` implementations.
+//!
+//! The workspace derives the serde traits on most public types as forward
+//! API surface, but never serialises anything (no `serde_json` or other
+//! format crate is in the dependency graph). These derives therefore only
+//! need to accept the syntax; they expand to nothing, and the marker
+//! traits in the vendored `serde` crate are blanket-implemented.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
