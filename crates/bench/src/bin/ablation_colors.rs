@@ -14,7 +14,9 @@ use a2a_bench::RunScale;
 
 fn main() {
     let scale = RunScale::from_args(100);
-    println!("{}\n", scale.banner("E12: colour ablation"));
+    let _sink = scale.init_obs("ablation_colors");
+    scale.outln(scale.banner("E12: colour ablation"));
+    scale.outln("");
 
     let exp = DensityExperiment {
         m: 16,
@@ -44,7 +46,7 @@ fn main() {
         cells.push(format!("{solved}/{total}"));
         table.add_row(cells);
     }
-    println!("{table}");
+    scale.outln(format!("{table}"));
 
     // Speed-up factors where both variants solve.
     for pair in variants.chunks(2) {
@@ -59,15 +61,15 @@ fn main() {
                 format!("k={}: {:.2}x", with.agents, without.times.mean / with.times.mean)
             })
             .collect();
-        println!(
+        scale.outln(format!(
             "{label}-grid colour speed-up (colourless/coloured): {}",
             if factors.is_empty() { "colourless never solves".to_string() } else { factors.join(", ") },
-        );
+        ));
     }
     // Paired comparison on the configurations both variants solve — the
     // raw means above under-count the colourless agent's weakness (it
     // only solves the easy fields).
-    println!("\npaired comparison (configs solved by BOTH variants):");
+    scale.outln("\npaired comparison (configs solved by BOTH variants):");
     let mut paired = TextTable::new(vec![
         "grid", "k", "both solved", "with colors", "without", "speed-up",
     ]);
@@ -90,6 +92,6 @@ fn main() {
             ]);
         }
     }
-    println!("{paired}");
-    println!("paper context: colours acted as pheromones worth ~2x in earlier S-grid work");
+    scale.outln(format!("{paired}"));
+    scale.outln("paper context: colours acted as pheromones worth ~2x in earlier S-grid work");
 }

@@ -13,7 +13,7 @@ use a2a_analysis::{f2, TextTable};
 use a2a_bench::RunScale;
 use a2a_grid::GridKind;
 
-fn print_variants(title: &str, agent_counts: &[usize], variants: &[Variant]) {
+fn print_variants(scale: &RunScale, title: &str, agent_counts: &[usize], variants: &[Variant]) {
     let mut header = vec!["variant".to_string()];
     header.extend(agent_counts.iter().map(|k| format!("k={k}")));
     header.push("solved".to_string());
@@ -28,12 +28,14 @@ fn print_variants(title: &str, agent_counts: &[usize], variants: &[Variant]) {
         cells.push(format!("{solved}/{total}"));
         table.add_row(cells);
     }
-    println!("{title}\n{table}");
+    scale.outln(format!("{title}\n{table}"));
 }
 
 fn main() {
     let scale = RunScale::from_args(100);
-    println!("{}\n", scale.banner("E14: conflict priority & turn set"));
+    let _sink = scale.init_obs("ablation_design");
+    scale.outln(scale.banner("E14: conflict priority & turn set"));
+    scale.outln("");
 
     let exp = DensityExperiment {
         m: 16,
@@ -47,22 +49,23 @@ fn main() {
     for kind in [GridKind::Triangulate, GridKind::Square] {
         let variants = conflict_ablation(kind, &exp).expect("densities fit the field");
         print_variants(
+            &scale,
             &format!("E14a: conflict arbitration, {}-grid", kind.label()),
             &exp.agent_counts,
             &variants,
         );
     }
-    println!(
+    scale.outln(
         "expectation: arbitration priority is a symmetry-breaking detail; \
-         swapping it should barely move the means.\n"
+         swapping it should barely move the means.\n",
     );
 
     let variants = turn_set_ablation(&exp).expect("densities fit the field");
-    print_variants("E14b: T-agent turn-set interpretation", &exp.agent_counts, &variants);
-    println!(
+    print_variants(&scale, "E14b: T-agent turn-set interpretation", &exp.agent_counts, &variants);
+    scale.outln(
         "expectation: the full-set remap row is IDENTICAL to the paper row \
          (same behaviour, different encoding); the naive reinterpretation \
          (codes 2/3 become +120°/180°) perturbs the evolved strategy and \
-         degrades time and/or reliability."
+         degrades time and/or reliability.",
     );
 }

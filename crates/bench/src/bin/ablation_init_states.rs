@@ -13,7 +13,9 @@ use a2a_grid::GridKind;
 
 fn main() {
     let scale = RunScale::from_args(100);
-    println!("{}\n", scale.banner("E13: initial control states"));
+    let _sink = scale.init_obs("ablation_init_states");
+    scale.outln(scale.banner("E13: initial control states"));
+    scale.outln("");
 
     for kind in [GridKind::Square, GridKind::Triangulate] {
         for k in [4usize, 8, 16] {
@@ -36,14 +38,14 @@ fn main() {
                     format!("{}/{}", o.random_successes, o.random_total),
                 ]);
             }
-            println!("{}-grid, k = {k}:\n{table}", kind.label());
+            scale.outln(format!("{}-grid, k = {k}:\n{table}", kind.label()));
         }
     }
-    println!(
+    scale.outln(
         "paper context (Sect. 4): no reliable uniform agents were found starting \
          all in state 0 or 3; starting half in state 0, half in state 1 \
          (ID mod 2) made the agents reliable. The manual configurations are the \
          symmetric queues/diagonal designed so synchronous identical agents \
-         may never meet."
+         may never meet.",
     );
 }

@@ -1,9 +1,13 @@
 //! Runs the complete experiment suite at reduced (one-sitting) scale and
 //! prints a combined markdown report — a smoke-regeneration of every
-//! claim in EXPERIMENTS.md with one command.
+//! claim in EXPERIMENTS.md with one command — then measures a perf
+//! snapshot (kernel throughput, fitness throughput, t_comm histograms,
+//! a GA fitness series) and writes it to `BENCH_obs.json`
+//! (schema `a2a-obs/bench-snapshot/v1`, validated before writing).
 //!
 //! ```text
-//! cargo run --release -p a2a-bench --bin all_experiments [--configs N]
+//! cargo run --release -p a2a-bench --bin all_experiments [--configs N] \
+//!     [--quiet] [--json-out events.jsonl]
 //! ```
 //!
 //! For the paper-scale numbers run the individual binaries with `--full`.
@@ -14,29 +18,137 @@ use a2a_analysis::experiments::{
 };
 use a2a_analysis::{f2, f3};
 use a2a_bench::RunScale;
+use a2a_fsm::{best_t_agent, FsmSpec, Genome};
+use a2a_ga::{Evaluator, Evolution, GaConfig};
 use a2a_grid::GridKind;
+use a2a_obs::schema::{validate_bench_snapshot, BENCH_SNAPSHOT_SCHEMA, REQUIRED_T_COMM_KS};
+use a2a_obs::json::Json;
+use a2a_obs::HistogramSnapshot;
+use a2a_sim::{paper_config_set, BatchRunner, WorldConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Output path of the consolidated perf snapshot.
+const SNAPSHOT_PATH: &str = "BENCH_obs.json";
+
+/// Measures the perf snapshot on the T-grid: kernel steps/s and per-k
+/// `t_comm` histograms from one batch pass, fitness evals/s, and a small
+/// GA run for the per-generation best/median series.
+fn perf_snapshot(scale: &RunScale) -> Json {
+    // The snapshot embeds the global registry, so make sure the layers
+    // actually record (A2A_LOG may be unset).
+    a2a_obs::set_metrics(true);
+    let kind = GridKind::Triangulate;
+    let env = WorldConfig::paper(kind, 16);
+
+    // Kernel throughput + t_comm histograms, one batch per required k.
+    let runner = BatchRunner::from_genome(&env, best_t_agent(), 5000)
+        .expect("published T-agent matches the paper environment");
+    let mut t_comm_entries: Vec<Json> = Vec::new();
+    let mut total_steps: u64 = 0;
+    let started = Instant::now();
+    for k in REQUIRED_T_COMM_KS {
+        let configs =
+            paper_config_set(env.lattice, kind, k as usize, scale.configs.max(30), scale.seed)
+                .expect("k agents fit 16x16");
+        let outcomes = runner.run_all(&configs).expect("configs match the environment");
+        let mut hist = HistogramSnapshot::default();
+        for o in &outcomes {
+            total_steps += u64::from(o.steps) * o.agents as u64;
+            if let Some(t) = o.t_comm {
+                hist.record(u64::from(t));
+            }
+        }
+        t_comm_entries.push(
+            Json::object()
+                .with("grid", "T")
+                .with("k", k)
+                .with("configs", outcomes.len())
+                .with("histogram", hist.to_json()),
+        );
+    }
+    let kernel_us = started.elapsed().as_micros().max(1) as f64;
+    let steps_per_sec = total_steps as f64 / (kernel_us / 1e6);
+
+    // Fitness throughput: whole-population evaluation of random genomes.
+    let train = paper_config_set(env.lattice, kind, 8, scale.configs.max(30), scale.seed)
+        .expect("8 agents fit 16x16");
+    let evaluator = Evaluator::new(env.clone(), train).with_threads(scale.threads);
+    let mut rng = SmallRng::seed_from_u64(scale.seed);
+    let genomes: Vec<Genome> = (0..8)
+        .map(|_| Genome::random(FsmSpec::paper(kind), &mut rng))
+        .collect();
+    let started = Instant::now();
+    let _ = evaluator.evaluate_all(&genomes);
+    let fitness_us = started.elapsed().as_micros().max(1) as f64;
+    let evals_per_sec = genomes.len() as f64 / (fitness_us / 1e6);
+
+    // GA fitness series: a short real run (10 generations is enough for
+    // a non-trivial best/median trajectory without dominating runtime).
+    let generations = if scale.full { 50 } else { 10 };
+    let mut series: Vec<Json> = Vec::new();
+    let ga = Evolution::new(
+        FsmSpec::paper(kind),
+        evaluator,
+        GaConfig::paper(generations, scale.seed),
+    );
+    let _ = ga.run(|s| {
+        series.push(
+            Json::object()
+                .with("generation", s.generation as u64)
+                .with("best", s.best_fitness)
+                .with("median", s.median_fitness),
+        );
+    });
+
+    Json::object()
+        .with("schema", BENCH_SNAPSHOT_SCHEMA)
+        .with(
+            "kernel",
+            Json::object()
+                .with("grid", "T")
+                .with("steps_per_sec", steps_per_sec)
+                .with("agent_steps", total_steps)
+                .with("elapsed_us", kernel_us),
+        )
+        .with(
+            "fitness",
+            Json::object()
+                .with("evals_per_sec", evals_per_sec)
+                .with("evals", genomes.len())
+                .with("configs", scale.configs.max(30)),
+        )
+        .with("t_comm", Json::Arr(t_comm_entries))
+        .with("ga", Json::object().with("series", Json::Arr(series)))
+        .with("metrics", a2a_obs::global().snapshot().to_json())
+}
 
 fn main() {
     let scale = RunScale::from_args(60);
-    println!("# Combined reduced-scale regeneration\n");
-    println!(
+    let obs = scale.init_obs("all_experiments");
+    scale.outln("# Combined reduced-scale regeneration\n");
+    scale.outln(format!(
         "configs per point: {}, seed {}, threads {}\n",
         scale.configs, scale.seed, scale.threads
-    );
+    ));
 
     // E1–E3: topology & distances.
-    println!("## Topology & distances (Fig. 1, Fig. 2, Eq. 1–3)\n");
+    scale.outln("## Topology & distances (Fig. 1, Fig. 2, Eq. 1–3)\n");
     let s = distances::survey(GridKind::Square, 3);
     let t = distances::survey(GridKind::Triangulate, 3);
-    println!("- size-3 torus: D_S = {} (paper 8), D_T = {} (paper 5)", s.diameter, t.diameter);
-    println!(
+    scale.outln(format!(
+        "- size-3 torus: D_S = {} (paper 8), D_T = {} (paper 5)",
+        s.diameter, t.diameter
+    ));
+    scale.outln(format!(
         "- mean distances: S {} (paper 4), T {} (paper ≈3.09)\n",
         f2(s.mean),
         f2(t.mean)
-    );
+    ));
 
     // E6: Table 1.
-    println!("## Table 1 / Fig. 5 (reduced)\n");
+    scale.outln("## Table 1 / Fig. 5 (reduced)\n");
     let exp = DensityExperiment {
         m: 16,
         agent_counts: TABLE1_AGENT_COUNTS.to_vec(),
@@ -46,7 +158,7 @@ fn main() {
         threads: scale.threads,
     };
     let cmp = run_density_comparison(&exp).expect("valid experiment");
-    println!("{}", cmp.to_table().to_markdown());
+    scale.outln(cmp.to_table().to_markdown());
     let solved: usize = cmp
         .t_grid
         .points
@@ -61,31 +173,57 @@ fn main() {
         .chain(&cmp.s_grid.points)
         .map(|p| p.total)
         .sum();
-    println!("solved {solved}/{total}; ratios {:?}\n", cmp.ratios().iter().map(|r| f3(*r)).collect::<Vec<_>>());
+    scale.outln(format!(
+        "solved {solved}/{total}; ratios {:?}\n",
+        cmp.ratios().iter().map(|r| f3(*r)).collect::<Vec<_>>()
+    ));
 
     // E9: 33×33.
-    println!("## 33×33 comparison (reduced)\n");
+    scale.outln("## 33×33 comparison (reduced)\n");
     let g33 = grid33::run_grid33(scale.configs.min(60), scale.seed, scale.threads)
         .expect("valid run");
-    println!(
+    scale.outln(format!(
         "- T {} (paper 181), S {} (paper 229), reliable: {}\n",
         f2(g33.t_mean()),
         f2(g33.s_mean()),
         g33.both_reliable()
-    );
+    ));
 
     // E22 (small field): exhaustive proof.
-    println!("## Exhaustive 2-agent decision (8×8)\n");
+    scale.outln("## Exhaustive 2-agent decision (8×8)\n");
     for kind in [GridKind::Triangulate, GridKind::Square] {
         let r = exhaustive::exhaustive_two_agents(kind, 8, usize::MAX, scale.threads);
-        println!(
+        scale.outln(format!(
             "- {}-grid: {}/{} solved, {} cycles -> proof: {}",
             kind.label(),
             r.solved,
             r.total,
             r.never_solves,
             r.is_proof()
-        );
+        ));
     }
-    println!("\nAll headline claims regenerate at reduced scale; see EXPERIMENTS.md for the full protocol numbers.");
+
+    // Perf snapshot → BENCH_obs.json (+ a copy into the JSONL stream).
+    scale.outln("\n## Perf snapshot\n");
+    let snapshot = perf_snapshot(&scale);
+    validate_bench_snapshot(&snapshot).expect("snapshot satisfies its own schema");
+    std::fs::write(SNAPSHOT_PATH, format!("{snapshot}\n")).expect("cwd is writable");
+    if let Some(sink) = obs.sink() {
+        sink.write_json(&snapshot);
+    }
+    let num = |path: &[&str]| {
+        path.iter()
+            .try_fold(&snapshot, |d, k| d.get(k))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN)
+    };
+    scale.outln(format!(
+        "- kernel: {:.2e} agent-steps/s; fitness: {:.1} evals/s; wrote {SNAPSHOT_PATH} (schema-valid)",
+        num(&["kernel", "steps_per_sec"]),
+        num(&["fitness", "evals_per_sec"]),
+    ));
+
+    scale.outln(
+        "\nAll headline claims regenerate at reduced scale; see EXPERIMENTS.md for the full protocol numbers.",
+    );
 }

@@ -14,7 +14,9 @@ use a2a_grid::GridKind;
 
 fn main() {
     let scale = RunScale::from_args(100);
-    println!("{}\n", scale.banner("E16: baselines & lower bounds"));
+    let _sink = scale.init_obs("baselines_bounds");
+    scale.outln(scale.banner("E16: baselines & lower bounds"));
+    scale.outln("");
 
     let exp = DensityExperiment {
         m: 16,
@@ -25,7 +27,7 @@ fn main() {
         threads: scale.threads,
     };
 
-    println!("--- hand-coded baselines vs the evolved agents ---");
+    scale.outln("--- hand-coded baselines vs the evolved agents ---");
     for kind in [GridKind::Triangulate, GridKind::Square] {
         let variants = baseline_comparison(kind, &exp).expect("densities fit the field");
         let mut header = vec!["behaviour".to_string()];
@@ -42,14 +44,14 @@ fn main() {
             cells.push(format!("{solved}/{total}"));
             table.add_row(cells);
         }
-        println!("{}-grid:\n{table}", kind.label());
+        scale.outln(format!("{}-grid:\n{table}", kind.label()));
     }
-    println!(
+    scale.outln(
         "reading: ballistic agents ride parallel orbits and often never meet; \
-         even the hand-written colour-trail heuristic trails the evolved FSM.\n"
+         even the hand-written colour-trail heuristic trails the evolved FSM.\n",
     );
 
-    println!("--- measured time vs the diffusion lower bound (⌈(d_max−1)/3⌉) ---");
+    scale.outln("--- measured time vs the diffusion lower bound (⌈(d_max−1)/3⌉) ---");
     let mut table = TextTable::new(vec![
         "grid", "k", "bound mean", "measured mean", "slowdown", "solved",
     ]);
@@ -67,10 +69,10 @@ fn main() {
             ]);
         }
     }
-    println!("{table}");
-    println!(
+    scale.outln(format!("{table}"));
+    scale.outln(
         "reading: the bound assumes perfectly aimed movement and relaying; \
          the gap (one order of magnitude at low density) is the price of \
-         *searching* for partners with local information only."
+         *searching* for partners with local information only.",
     );
 }

@@ -9,30 +9,30 @@
 //!     [--configs N] [--generations G] [--runs R]
 //! ```
 
+use a2a_bench::RunScale;
 use a2a_fsm::{best_agent, FsmSpec, Genome};
-use a2a_ga::{default_threads, screen, Evaluator, Evolution, GaConfig};
+use a2a_ga::{screen, Evaluator, Evolution, GaConfig};
 use a2a_grid::GridKind;
 use a2a_sim::{paper_config_set, WorldConfig};
 
 struct Args {
+    scale: RunScale,
     kind: GridKind,
-    configs: usize,
     generations: usize,
     runs: usize,
-    seed: u64,
-    threads: usize,
 }
 
 fn parse_args() -> Args {
+    // Shared flags first (--configs/--seed/--threads/--full/--quiet/
+    // --json-out), then this binary's own on what remains.
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let scale = RunScale::extract(&mut argv, 100);
     let mut args = Args {
+        generations: if scale.full { 600 } else { 150 },
+        scale,
         kind: GridKind::Triangulate,
-        configs: 100,
-        generations: 150,
         runs: 4,
-        seed: 2013,
-        threads: default_threads(),
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -48,15 +48,8 @@ fn parse_args() -> Args {
                     g => panic!("unknown grid `{g}`"),
                 }
             }
-            "--configs" => args.configs = value("--configs").parse().expect("numeric"),
             "--generations" => args.generations = value("--generations").parse().expect("numeric"),
             "--runs" => args.runs = value("--runs").parse().expect("numeric"),
-            "--seed" => args.seed = value("--seed").parse().expect("numeric"),
-            "--threads" => args.threads = value("--threads").parse().expect("numeric"),
-            "--full" => {
-                args.configs = 1000;
-                args.generations = 600;
-            }
             other => panic!("unknown flag `{other}`"),
         }
     }
@@ -65,58 +58,69 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    let scale = &args.scale;
     let kind = args.kind;
-    println!(
+    let _sink = scale.init_obs("evolve_run");
+    scale.outln(format!(
         "=== E11: genetic procedure — {} grid, {} runs x {} generations, {} configs, seed {} ===\n",
-        kind, args.runs, args.generations, args.configs, args.seed,
-    );
-    println!("search space: 10^{:.1} FSMs\n", FsmSpec::paper(kind).search_space_log10());
+        kind, args.runs, args.generations, scale.configs, scale.seed,
+    ));
+    scale.outln(format!(
+        "search space: 10^{:.1} FSMs\n",
+        FsmSpec::paper(kind).search_space_log10()
+    ));
 
     let env = WorldConfig::paper(kind, 16);
     // "Four independent optimization runs on 1003 initial configurations
     //  were performed, with field size 16x16 and N_agents = 8."
     let mut candidates: Vec<(usize, Genome, f64)> = Vec::new();
     for run in 0..args.runs {
-        let run_seed = args.seed.wrapping_add(run as u64 * 0x0123_4567);
-        let train = paper_config_set(env.lattice, kind, 8, args.configs, run_seed)
+        let run_seed = scale.seed.wrapping_add(run as u64 * 0x0123_4567);
+        let train = paper_config_set(env.lattice, kind, 8, scale.configs, run_seed)
             .expect("8 agents fit 16x16");
         let ga = Evolution::new(
             FsmSpec::paper(kind),
-            Evaluator::new(env.clone(), train).with_threads(args.threads),
+            Evaluator::new(env.clone(), train).with_threads(scale.threads),
             GaConfig::paper(args.generations, run_seed),
         );
         let outcome = ga.run(|s| {
             if s.generation % 25 == 0 {
-                println!(
-                    "  run {run}, gen {:4}: best F {:10.2}{}",
-                    s.generation,
-                    s.best_fitness,
-                    if s.best_complete { " complete" } else { "" },
+                scale.progress(
+                    "bench.progress",
+                    format!(
+                        "  run {run}, gen {:4}: best F {:10.2}{}",
+                        s.generation,
+                        s.best_fitness,
+                        if s.best_complete { " complete" } else { "" },
+                    ),
                 );
             }
         });
         // "Then the top 3 completely successful FSMs of each run
         //  (altogether 12) were also tested …"
         let top = outcome.top_completely_successful(3);
-        println!(
+        scale.outln(format!(
             "run {run}: {} completely successful individuals in the final pool",
             top.len()
-        );
+        ));
         for ind in top {
             candidates.push((run, ind.genome.clone(), ind.report.fitness));
         }
     }
 
     if candidates.is_empty() {
-        println!(
+        scale.outln(
             "\nno completely successful FSM evolved at this scale; \
-             re-run with more --generations/--configs"
+             re-run with more --generations/--configs",
         );
         return;
     }
 
     // Reliability screening across densities, then rank.
-    println!("\nscreening {} candidates across densities…", candidates.len());
+    scale.progress(
+        "bench.progress",
+        format!("\nscreening {} candidates across densities…", candidates.len()),
+    );
     let screen_ks = [2usize, 4, 8, 16, 32, 256];
     let mut ranked: Vec<(usize, Genome, f64, bool)> = Vec::new();
     for (run, genome, _) in candidates {
@@ -124,10 +128,10 @@ fn main() {
             &genome,
             &env,
             &screen_ks,
-            (args.configs / 4).max(10),
-            args.seed ^ 0xBEEF,
+            (scale.configs / 4).max(10),
+            scale.seed ^ 0xBEEF,
             2000,
-            args.threads,
+            scale.threads,
         )
         .expect("screen densities fit the field");
         let mean_fitness: f64 = report
@@ -144,22 +148,22 @@ fn main() {
     });
 
     let (run, best, fitness, reliable) = &ranked[0];
-    println!(
+    scale.outln(format!(
         "\nbest evolved candidate (from run {run}): screen fitness {fitness:.2}, reliable: {reliable}"
-    );
-    println!("{best}");
-    println!("genome digits: {}\n", best.to_digits());
+    ));
+    scale.outln(format!("{best}"));
+    scale.outln(format!("genome digits: {}\n", best.to_digits()));
 
     // Compare against the published FSM on a fresh set.
-    let fresh = paper_config_set(env.lattice, kind, 8, args.configs.max(100), 0xACE)
+    let fresh = paper_config_set(env.lattice, kind, 8, scale.configs.max(100), 0xACE)
         .expect("8 agents fit 16x16");
-    let eval = Evaluator::new(env, fresh).with_t_max(2000).with_threads(args.threads);
+    let eval = Evaluator::new(env, fresh).with_t_max(2000).with_threads(scale.threads);
     let ours = eval.evaluate(best);
     let published = eval.evaluate(&best_agent(kind));
-    println!(
+    scale.outln(format!(
         "fresh-set comparison  (k = 8): evolved mean t_comm {:.2} ({}/{} solved) \
          vs published {:.2} ({}/{})",
         ours.mean_t_comm, ours.successes, ours.total,
         published.mean_t_comm, published.successes, published.total,
-    );
+    ));
 }

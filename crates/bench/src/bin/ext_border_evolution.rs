@@ -13,14 +13,19 @@ use a2a_grid::GridKind;
 
 fn main() {
     let scale = RunScale::from_args(50);
-    println!("{}\n", scale.banner("E25: border-native evolution"));
+    let _sink = scale.init_obs("ext_border_evolution");
+    scale.outln(scale.banner("E25: border-native evolution"));
+    scale.outln("");
 
     let generations = if scale.full { 400 } else { 120 };
     for kind in [GridKind::Triangulate, GridKind::Square] {
-        println!(
-            "{}-grid: evolving torus + border specialists ({} configs, {generations} gens, k = 8)…",
-            kind.label(),
-            scale.configs,
+        scale.progress(
+            "bench.progress",
+            format!(
+                "{}-grid: evolving torus + border specialists ({} configs, {generations} gens, k = 8)…",
+                kind.label(),
+                scale.configs,
+            ),
         );
         let r = border_evolution(kind, 8, scale.configs, generations, scale.seed, scale.threads)
             .expect("8 agents fit 16x16");
@@ -42,16 +47,16 @@ fn main() {
             cell(&r.border_on_torus),
             cell(&r.border_home),
         ]);
-        println!("{table}");
-        println!(
+        scale.outln(format!("{table}"));
+        scale.outln(format!(
             "border easier for its own specialist: {}\n",
             if r.border_is_easier() { "YES (matches the earlier paper)" } else { "no (budget-limited)" },
-        );
+        ));
     }
-    println!(
+    scale.outln(
         "paper context: 'environments with border are easier (faster) to \
          solve' held for border-evolved agents in the authors' earlier \
          S-grid studies; the torus (used in this paper) removes the \
-         orientation cue and is the harder, more general setting."
+         orientation cue and is the harder, more general setting.",
     );
 }

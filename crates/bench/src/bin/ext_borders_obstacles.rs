@@ -13,7 +13,9 @@ use a2a_grid::GridKind;
 
 fn main() {
     let scale = RunScale::from_args(100);
-    println!("{}\n", scale.banner("E15: borders & obstacles"));
+    let _sink = scale.init_obs("ext_borders_obstacles");
+    scale.outln(scale.banner("E15: borders & obstacles"));
+    scale.outln("");
 
     let exp = DensityExperiment {
         m: 16,
@@ -24,7 +26,7 @@ fn main() {
         threads: scale.threads,
     };
 
-    println!("--- bordered field vs torus ---");
+    scale.outln("--- bordered field vs torus ---");
     for kind in [GridKind::Triangulate, GridKind::Square] {
         let cmp = border_comparison(kind, &exp).expect("densities fit the field");
         let mut table = TextTable::new(vec!["environment", "k=4", "k=8", "k=16", "solved"]);
@@ -38,15 +40,15 @@ fn main() {
             cells.push(format!("{solved}/{total}"));
             table.add_row(cells);
         }
-        println!("{}-grid:\n{table}", kind.label());
+        scale.outln(format!("{}-grid:\n{table}", kind.label()));
     }
-    println!(
+    scale.outln(
         "paper context: earlier work found bordered environments *easier* — but \
          those agents were evolved for borders; ours are torus specialists, so \
-         degradation here measures out-of-distribution robustness.\n"
+         degradation here measures out-of-distribution robustness.\n",
     );
 
-    println!("--- obstacle fields (torus + random obstacle cells) ---");
+    scale.outln("--- obstacle fields (torus + random obstacle cells) ---");
     for kind in [GridKind::Triangulate, GridKind::Square] {
         let reports = obstacle_sweep(kind, &[0, 8, 24, 48], &exp, scale.seed ^ 0x0B57)
             .expect("densities fit the field");
@@ -61,10 +63,10 @@ fn main() {
             cells.push(format!("{solved}/{total}"));
             table.add_row(cells);
         }
-        println!("{}-grid:\n{table}", kind.label());
+        scale.outln(format!("{}-grid:\n{table}", kind.label()));
     }
-    println!(
+    scale.outln(
         "paper context: obstacles are reliability option 5 (symmetry breakers); \
-         a few help little, many fragment the field and can strand agents."
+         a few help little, many fragment the field and can strand agents.",
     );
 }

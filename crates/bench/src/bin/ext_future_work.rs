@@ -12,15 +12,20 @@ use a2a_grid::GridKind;
 
 fn main() {
     let scale = RunScale::from_args(40);
-    println!("{}\n", scale.banner("E18: more states / more colors"));
+    let _sink = scale.init_obs("ext_future_work");
+    scale.outln(scale.banner("E18: more states / more colors"));
+    scale.outln("");
 
     for kind in [GridKind::Triangulate, GridKind::Square] {
         let generations = if scale.full { 400 } else { 100 };
         let specs = default_specs(kind);
-        println!(
-            "{}-grid ({} configs, {generations} generations per spec):",
-            kind.label(),
-            scale.configs,
+        scale.progress(
+            "bench.progress",
+            format!(
+                "{}-grid ({} configs, {generations} generations per spec):",
+                kind.label(),
+                scale.configs,
+            ),
         );
         let results = spec_sweep(kind, &specs, scale.configs, generations, scale.seed, scale.threads)
             .expect("8 agents fit 16x16");
@@ -36,12 +41,12 @@ fn main() {
                 f2(r.held_out.mean_t_comm),
             ]);
         }
-        println!("{table}");
+        scale.outln(format!("{table}"));
     }
-    println!(
+    scale.outln(
         "reading: richer specs (log10(K) grows from ~58 to ~90+) are more \
          expressive but need a larger search budget — under a fixed budget \
          the paper's small spec is competitive, which is why the authors \
-         'restrict the number of states and actions to a certain limit'."
+         'restrict the number of states and actions to a certain limit'.",
     );
 }

@@ -12,35 +12,40 @@ use a2a_grid::GridKind;
 
 fn main() {
     let scale = RunScale::from_args(60);
-    println!("{}\n", scale.banner("E17: time-shuffled FSM pairs"));
+    let _sink = scale.init_obs("ext_time_shuffle");
+    scale.outln(scale.banner("E17: time-shuffled FSM pairs"));
+    scale.outln("");
 
     for kind in [GridKind::Triangulate, GridKind::Square] {
         let generations = if scale.full { 400 } else { 120 };
-        println!(
-            "{}-grid: evolving a pool ({} configs, {generations} generations), \
-             then pairing the top 4…",
-            kind.label(),
-            scale.configs,
+        scale.progress(
+            "bench.progress",
+            format!(
+                "{}-grid: evolving a pool ({} configs, {generations} generations), \
+                 then pairing the top 4…",
+                kind.label(),
+                scale.configs,
+            ),
         );
         let cmp = shuffle_comparison(kind, scale.configs, generations, 4, scale.seed, scale.threads)
             .expect("8 agents fit 16x16");
-        println!(
+        scale.outln(format!(
             "  best single   : fitness {:10.2}, {}/{} solved, mean t_comm {:.2}",
             cmp.single.fitness, cmp.single.successes, cmp.single.total, cmp.single.mean_t_comm,
-        );
-        println!(
+        ));
+        scale.outln(format!(
             "  best pair {:?}: fitness {:10.2}, {}/{} solved, mean t_comm {:.2}",
             cmp.pair, cmp.shuffled.fitness, cmp.shuffled.successes, cmp.shuffled.total,
             cmp.shuffled.mean_t_comm,
-        );
-        println!(
+        ));
+        scale.outln(format!(
             "  time-shuffling {} at this budget\n",
             if cmp.shuffle_wins() { "WINS" } else { "does not win" },
-        );
+        ));
     }
-    println!(
+    scale.outln(
         "paper context: [8] evolved the two FSMs *jointly* for shuffling; \
          pairing independently evolved FSMs is the cheap variant, so a win \
-         here is a strong signal and a loss is inconclusive."
+         here is a strong signal and a loss is inconclusive.",
     );
 }

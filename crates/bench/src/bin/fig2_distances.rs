@@ -6,37 +6,43 @@
 //! ```
 
 use a2a_analysis::experiments::distances;
+use a2a_bench::RunScale;
 use a2a_grid::{GridKind, Lattice};
 
 fn main() {
+    // Deterministic/analytic experiment: the scale flags only matter for
+    // the shared --quiet/--json-out observability plumbing.
+    let scale = RunScale::from_args(0);
+    let _sink = scale.init_obs("fig2_distances");
+
     // E1 — Fig. 1: the size-2 tori have 2N (S) and 3N (T) links.
-    println!("=== E1: Fig. 1 topology (size n = 2, N = 16) ===");
+    scale.outln("=== E1: Fig. 1 topology (size n = 2, N = 16) ===");
     let l2 = Lattice::torus_of_size(2);
     for kind in [GridKind::Square, GridKind::Triangulate] {
-        println!(
+        scale.outln(format!(
             "{} torus: {} nodes, {} links ({}N), valence {}",
             kind,
             l2.len(),
             l2.link_count(kind),
             l2.link_count(kind) / l2.len(),
             kind.dir_count(),
-        );
+        ));
     }
 
     // E2 — Fig. 2: distance maps from a centre cell at n = 3.
-    println!("\n=== E2: Fig. 2 distance maps (n = 3, 8x8) ===");
+    scale.outln("\n=== E2: Fig. 2 distance maps (n = 3, 8x8) ===");
     for kind in [GridKind::Square, GridKind::Triangulate] {
         let r = distances::survey(kind, 3);
-        println!(
+        scale.outln(format!(
             "\n{} torus: D = {} (formula {}), mean = {:.2} (formula {:.2}), {} antipodal(s)",
             kind, r.diameter, r.diameter_formula, r.mean, r.mean_formula, r.antipodal_count,
-        );
-        println!("{}", r.map);
+        ));
+        scale.outln(&r.map);
     }
-    println!("paper, Fig. 2: D_S = 8, mean_S = 4; D_T = 5, mean_T ≈ 3.09");
+    scale.outln("paper, Fig. 2: D_S = 8, mean_S = 4; D_T = 5, mean_T ≈ 3.09");
 
     // E3 — Eq. (1)-(3): formulas and ratios over sizes.
-    println!("\n=== E3: Eq. (1)-(3) over sizes n = 1..8 ===");
-    println!("{}", distances::formula_table(1..=8));
-    println!("paper, Eq. (3): D^T/S ≈ 0.666, mean^T/S ≈ 0.775 (asymptotically)");
+    scale.outln("\n=== E3: Eq. (1)-(3) over sizes n = 1..8 ===");
+    scale.outln(format!("{}", distances::formula_table(1..=8)));
+    scale.outln("paper, Eq. (3): D^T/S ≈ 0.666, mean^T/S ≈ 0.775 (asymptotically)");
 }

@@ -1,6 +1,7 @@
 //! E7/E8 — regenerates the **Fig. 6** (S-grid streets) and **Fig. 7**
 //! (T-grid honeycombs) two-agent traces, including the colour and visited
-//! layers.
+//! layers, and exports the full trajectories (frames + informed-count
+//! event channel) as JSONL under `results/`.
 //!
 //! ```text
 //! cargo run --release -p a2a-bench --bin fig6_fig7_traces [--seed S]
@@ -8,28 +9,58 @@
 
 use a2a_analysis::experiments::traces;
 use a2a_bench::RunScale;
+use a2a_fsm::best_agent;
+use a2a_grid::GridKind;
+use a2a_sim::{record_trajectory, World, WorldConfig};
+use std::fs;
+use std::path::Path;
+
+/// Replays the traced configuration with the frame recorder and writes
+/// the trajectory (schema `a2a-sim/trajectory/v1`) next to the report.
+fn export_trajectory(scale: &RunScale, kind: GridKind, trace: &traces::TraceResult, stem: &str) {
+    let cfg = WorldConfig::paper(kind, 16);
+    let mut world = World::new(&cfg, best_agent(kind), &trace.init).expect("traced config replays");
+    let (_, traj) = record_trajectory(&mut world, 2000);
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("results directory is creatable");
+    let path = out_dir.join(format!("{stem}_trajectory.jsonl"));
+    fs::write(&path, traj.to_jsonl()).expect("results/ is writable");
+    scale.progress(
+        "bench.artifact",
+        format!(
+            "wrote {} ({} frames, {} events)",
+            path.display(),
+            traj.len(),
+            traj.events().len(),
+        ),
+    );
+}
 
 fn main() {
     let scale = RunScale::from_args(500);
-    println!("{}\n", scale.banner("E7/E8: Fig. 6 and Fig. 7 traces"));
+    let _sink = scale.init_obs("fig6_fig7_traces");
+    scale.outln(scale.banner("E7/E8: Fig. 6 and Fig. 7 traces"));
+    scale.outln("");
 
-    println!("--- E7: Fig. 6, S-grid, target 114 steps ---\n");
+    scale.outln("--- E7: Fig. 6, S-grid, target 114 steps ---\n");
     let fig6 = traces::fig6(scale.seed, scale.configs).expect("trace construction");
     for snap in &fig6.snapshots {
-        println!("{snap}\n");
+        scale.outln(format!("{snap}\n"));
     }
-    println!(
+    scale.outln(format!(
         "S-pair solved in {} steps (paper's special configuration: 114)\n",
         fig6.outcome.t_comm.expect("searched configurations are successful"),
-    );
+    ));
+    export_trajectory(&scale, GridKind::Square, &fig6, "fig6_s");
 
-    println!("--- E8: Fig. 7, T-grid, target 44 steps ---\n");
+    scale.outln("--- E8: Fig. 7, T-grid, target 44 steps ---\n");
     let fig7 = traces::fig7(scale.seed, scale.configs).expect("trace construction");
     for snap in &fig7.snapshots {
-        println!("{snap}\n");
+        scale.outln(format!("{snap}\n"));
     }
-    println!(
+    scale.outln(format!(
         "T-pair solved in {} steps (paper's special configuration: 44)",
         fig7.outcome.t_comm.expect("searched configurations are successful"),
-    );
+    ));
+    export_trajectory(&scale, GridKind::Triangulate, &fig7, "fig7_t");
 }

@@ -15,7 +15,9 @@ use a2a_sim::{paper_config_set, WorldConfig};
 
 fn main() {
     let scale = RunScale::from_args(40);
-    println!("{}\n", scale.banner("E20: GA heuristics & genome usage"));
+    let _sink = scale.init_obs("ga_convergence");
+    scale.outln(scale.banner("E20: GA heuristics & genome usage"));
+    scale.outln("");
 
     let strategies = [
         ReproductionStrategy::MutationOnly,
@@ -24,10 +26,13 @@ fn main() {
     ];
     let (runs, generations) = if scale.full { (8, 300) } else { (4, 80) };
     for kind in [GridKind::Triangulate, GridKind::Square] {
-        println!(
-            "{}-grid: {runs} runs x {generations} generations, {} configs each",
-            kind.label(),
-            scale.configs,
+        scale.progress(
+            "bench.progress",
+            format!(
+                "{}-grid: {runs} runs x {generations} generations, {} configs each",
+                kind.label(),
+                scale.configs,
+            ),
         );
         let reports = compare_strategies(
             kind,
@@ -56,17 +61,17 @@ fn main() {
                     .map_or("-".to_string(), |s| f2(s.mean)),
             ]);
         }
-        println!("{table}");
+        scale.outln(format!("{table}"));
     }
-    println!(
+    scale.outln(
         "paper context: the authors found mutation-only 'similar good' to \
          crossover/mutation and used mutation only; which heuristic is best \
-         is explicitly left open.\n"
+         is explicitly left open.\n",
     );
 
     // Island model ("parallel populations" of the authors' prior work):
     // same total generation budget, 4 pools with ring migration.
-    println!("--- island model vs single pool (same generation budget) ---");
+    scale.outln("--- island model vs single pool (same generation budget) ---");
     {
         use a2a_fsm::FsmSpec;
         use a2a_ga::{run_islands, Evaluator, Evolution, GaConfig, IslandConfig};
@@ -89,32 +94,32 @@ fn main() {
             IslandConfig::default_ring(),
             |_, _| {},
         );
-        println!(
+        scale.outln(format!(
             "single pool ({budget} gens)      : best F {:.2}",
             single.best().report.fitness
-        );
-        println!(
+        ));
+        scale.outln(format!(
             "4 islands ({} gens each + ring): best F {:.2}",
             budget / 4,
             islands.best().report.fitness
-        );
+        ));
     }
-    println!();
+    scale.outln("");
 
     // Entry-usage of the published agents: how much of the 32-row genome
     // actually executes.
-    println!("--- genome entry usage of the published agents ---");
+    scale.outln("--- genome entry usage of the published agents ---");
     for kind in [GridKind::Triangulate, GridKind::Square] {
         let env = WorldConfig::paper(kind, 16);
         let configs =
             paper_config_set(env.lattice, kind, 8, scale.configs.max(50), scale.seed)
                 .expect("8 agents fit 16x16");
         let p = profile_usage(&env, &best_agent(kind), &configs, 1000, scale.threads);
-        println!(
+        scale.outln(format!(
             "{}-agent: {} dead rows of 32; top-8 rows take {:.0}% of all decisions",
             kind.label(),
             p.dead_entries().len(),
             p.concentration(8) * 100.0,
-        );
+        ));
     }
 }

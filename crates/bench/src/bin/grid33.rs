@@ -12,24 +12,30 @@ use a2a_bench::RunScale;
 
 fn main() {
     let scale = RunScale::from_args(200);
-    println!("{}\n", scale.banner("E9: 33x33 field, 16 agents"));
+    let _sink = scale.init_obs("grid33");
+    scale.outln(scale.banner("E9: 33x33 field, 16 agents"));
+    scale.outln("");
 
     let r = run_grid33(scale.configs, scale.seed, scale.threads)
         .expect("16 agents fit a 33x33 field");
     let t = &r.t_grid.points[0];
     let s = &r.s_grid.points[0];
-    println!(
+    scale.outln(format!(
         "T-agent: mean {:.2} (paper {PAPER_GRID33_T}), sd {:.1}, max {:.0}, {} / {} solved",
         t.times.mean, t.times.std_dev, t.times.max, t.successes, t.total,
-    );
-    println!(
+    ));
+    scale.outln(format!(
         "S-agent: mean {:.2} (paper {PAPER_GRID33_S}), sd {:.1}, max {:.0}, {} / {} solved",
         s.times.mean, s.times.std_dev, s.times.max, s.successes, s.total,
-    );
-    println!("T/S ratio: {:.3} (paper {:.3})", r.t_mean() / r.s_mean(), PAPER_GRID33_T / PAPER_GRID33_S);
-    println!("both reliable: {}", r.both_reliable());
-    println!(
+    ));
+    scale.outln(format!(
+        "T/S ratio: {:.3} (paper {:.3})",
+        r.t_mean() / r.s_mean(),
+        PAPER_GRID33_T / PAPER_GRID33_S
+    ));
+    scale.outln(format!("both reliable: {}", r.both_reliable()));
+    scale.outln(
         "\npaper context: agents evolved on 16x16 generalise to 33x33 and \
-         T stays faster; their [9]-agents (two 8-state FSMs) reached 195 on S."
+         T stays faster; their [9]-agents (two 8-state FSMs) reached 195 on S.",
     );
 }

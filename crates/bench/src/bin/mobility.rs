@@ -12,7 +12,9 @@ use a2a_grid::GridKind;
 
 fn main() {
     let scale = RunScale::from_args(100);
-    println!("{}\n", scale.banner("E21: agent mobility vs density"));
+    let _sink = scale.init_obs("mobility");
+    scale.outln(scale.banner("E21: agent mobility vs density"));
+    scale.outln("");
 
     let ks = [2usize, 4, 8, 16, 32, 64, 256];
     let mut table = TextTable::new(vec![
@@ -31,12 +33,12 @@ fn main() {
             ]);
         }
     }
-    println!("{table}");
-    println!(
+    scale.outln(format!("{table}"));
+    scale.outln(
         "reading: mobility stays near 1 up to k≈32 (collisions are rare) and \
          collapses towards 0 at full packing, where pure diffusion takes \
          over. The k = 4 slowdown is therefore *not* a congestion effect — \
          it is a search effect: more agents than 2 dilute the pairwise \
-         meeting problem without yet providing relay coverage."
+         meeting problem without yet providing relay coverage.",
     );
 }

@@ -1,0 +1,76 @@
+//! Validates observability artifacts: an events JSONL stream (written
+//! via `--json-out`) and/or a `BENCH_obs.json` perf snapshot. Exits
+//! non-zero on the first schema violation, so CI can gate on it.
+//!
+//! ```text
+//! cargo run --release -p a2a-bench --bin obs_validate -- \
+//!     [--events events.jsonl] [--snapshot BENCH_obs.json]
+//! ```
+
+use a2a_obs::json::parse;
+use a2a_obs::schema::{validate_bench_snapshot, validate_events};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut events: Vec<String> = Vec::new();
+    let mut snapshots: Vec<String> = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--events" | "--snapshot" => {
+                let Some(path) = it.next() else {
+                    eprintln!("missing value for {flag}");
+                    return ExitCode::FAILURE;
+                };
+                if flag == "--events" {
+                    events.push(path);
+                } else {
+                    snapshots.push(path);
+                }
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (use --events FILE / --snapshot FILE)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if events.is_empty() && snapshots.is_empty() {
+        eprintln!("nothing to validate: pass --events FILE and/or --snapshot FILE");
+        return ExitCode::FAILURE;
+    }
+
+    let mut ok = true;
+    for path in &events {
+        match std::fs::read_to_string(path) {
+            Ok(content) => match validate_events(&content) {
+                Ok(n) => println!(
+                    "{path}: OK ({n} event lines, {} total)",
+                    content.lines().filter(|l| !l.trim().is_empty()).count()
+                ),
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                ok = false;
+            }
+        }
+    }
+    for path in &snapshots {
+        let result = std::fs::read_to_string(path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|content| parse(content.trim()))
+            .and_then(|doc| validate_bench_snapshot(&doc));
+        match result {
+            Ok(()) => println!("{path}: OK (bench snapshot)"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+}

@@ -18,7 +18,9 @@ use std::path::Path;
 
 fn main() {
     let scale = RunScale::from_args(100);
-    println!("{}\n", scale.banner("SVG renderings of Fig. 5/6/7"));
+    let _sink = scale.init_obs("render_svg");
+    scale.outln(scale.banner("SVG renderings of Fig. 5/6/7"));
+    scale.outln("");
     let out_dir = Path::new("results");
     fs::create_dir_all(out_dir).expect("results directory is creatable");
     let theme = Theme::default();
@@ -39,7 +41,10 @@ fn main() {
         &[series(&cmp.t_grid, "#c1121f"), series(&cmp.s_grid, "#2a6f97")],
     );
     fs::write(out_dir.join("fig5_chart.svg"), &chart).expect("results/ is writable");
-    println!("wrote results/fig5_chart.svg ({} bytes)", chart.len());
+    scale.progress(
+        "bench.artifact",
+        format!("wrote results/fig5_chart.svg ({} bytes)", chart.len()),
+    );
 
     // Fig. 6/7: final field snapshots + trajectory plots.
     for (kind, target, stem) in [
@@ -56,10 +61,13 @@ fn main() {
             .expect("results/ is writable");
         fs::write(out_dir.join(format!("{stem}_paths.svg")), &traj_svg)
             .expect("results/ is writable");
-        println!(
-            "wrote results/{stem}_field.svg + results/{stem}_paths.svg \
-             (config with t_comm = {t}, replay took {:?})",
-            outcome.t_comm,
+        scale.progress(
+            "bench.artifact",
+            format!(
+                "wrote results/{stem}_field.svg + results/{stem}_paths.svg \
+                 (config with t_comm = {t}, replay took {:?})",
+                outcome.t_comm,
+            ),
         );
     }
 }

@@ -11,7 +11,9 @@ use a2a_bench::RunScale;
 
 fn main() {
     let scale = RunScale::from_args(100);
-    println!("{}\n", scale.banner("E23: field-size scaling at density 1/16"));
+    let _sink = scale.init_obs("scaling");
+    scale.outln(scale.banner("E23: field-size scaling at density 1/16"));
+    scale.outln("");
 
     let extents = [8u16, 12, 16, 24, 32];
     let points = scaling_sweep(&extents, 1.0 / 16.0, scale.configs, scale.seed, 20_000, scale.threads)
@@ -34,11 +36,11 @@ fn main() {
             ),
         ]);
     }
-    println!("{table}");
-    println!(
+    scale.outln(format!("{table}"));
+    scale.outln(
         "reading: the measured T/S ratio tracks the diameter ratio at every \
          size — the paper's Eq. (3) explanation is scale-stable, not a \
          16x16 artefact. (Agents were evolved on 16x16; far larger fields \
-         are out-of-distribution yet the ordering persists.)"
+         are out-of-distribution yet the ordering persists.)",
     );
 }

@@ -14,7 +14,9 @@ use a2a_bench::RunScale;
 
 fn main() {
     let scale = RunScale::from_args(200);
-    println!("{}\n", scale.banner("E6: Table 1 / Fig. 5"));
+    let _sink = scale.init_obs("table1_fig5");
+    scale.outln(scale.banner("E6: Table 1 / Fig. 5"));
+    scale.outln("");
 
     let exp = DensityExperiment {
         m: 16,
@@ -26,7 +28,7 @@ fn main() {
     };
     let cmp = run_density_comparison(&exp).expect("16x16 densities are all representable");
 
-    println!("measured:\n{}", cmp.to_table());
+    scale.outln(format!("measured:\n{}", cmp.to_table()));
 
     // Side-by-side with the published Table 1.
     let mut table = TextTable::new(vec![
@@ -48,17 +50,17 @@ fn main() {
             f3(to / so),
         ]);
     }
-    println!("paper vs measured:\n{table}");
+    scale.outln(format!("paper vs measured:\n{table}"));
 
     // Success accounting (the reliability claim behind the averages).
     for series in [&cmp.t_grid, &cmp.s_grid] {
         let solved: usize = series.points.iter().map(|p| p.successes).sum();
         let total: usize = series.points.iter().map(|p| p.total).sum();
-        println!(
+        scale.outln(format!(
             "{}-grid: {solved}/{total} configurations solved{}",
             series.kind.label(),
             if solved == total { " (completely successful)" } else { "" },
-        );
+        ));
     }
 
     // Fig. 5 as an ASCII chart (log2 x-axis over the agent counts).
@@ -72,7 +74,7 @@ fn main() {
     let chart = AsciiChart::new(64, 16, XScale::Log2)
         .series(Series::new("T-grid", 'T', to_points(&cmp.t_grid)))
         .series(Series::new("S-grid", 'S', to_points(&cmp.s_grid)));
-    println!("\nFig. 5 (communication time vs N_agents):\n{chart}");
+    scale.outln(format!("\nFig. 5 (communication time vs N_agents):\n{chart}"));
 
-    println!("\nFig. 5 CSV:\n{}", cmp.to_csv());
+    scale.outln(format!("\nFig. 5 CSV:\n{}", cmp.to_csv()));
 }

@@ -13,58 +13,60 @@ use a2a_grid::GridKind;
 
 fn main() {
     let scale = RunScale::from_args(0);
-    println!("{}\n", scale.banner("E22: exhaustive 2-agent sweep (16x16)"));
+    let _sink = scale.init_obs("two_agent_exhaustive");
+    scale.outln(scale.banner("E22: exhaustive 2-agent sweep (16x16)"));
+    scale.outln("");
 
     for kind in [GridKind::Triangulate, GridKind::Square] {
         let r = exhaustive_two_agents(kind, 16, usize::MAX, scale.threads);
-        println!(
+        scale.outln(format!(
             "{}-grid: {} configurations (255 relative positions x {}^2 direction pairs)",
             kind.label(),
             r.total,
             kind.dir_count(),
-        );
-        println!(
+        ));
+        scale.outln(format!(
             "  decided: {} solved, {} never-solve cycles -> 2-agent reliability {}",
             r.solved,
             r.never_solves,
             if r.is_proof() { "PROVEN (decision procedure, up to translation)" } else { "REFUTED" },
-        );
+        ));
         let h = &r.histogram;
-        println!(
+        scale.outln(format!(
             "  exact t_comm distribution: min {} | median {} | p95 {} | max {}",
             h.min().unwrap_or(0),
             h.quantile(0.5).unwrap_or(0),
             h.quantile(0.95).unwrap_or(0),
             h.max().unwrap_or(0),
-        );
+        ));
         if let Some((pos, d0, d1, t)) = r.worst {
-            println!("  worst case: agent1 at {pos}, dirs ({d0}, {d1}) -> {t} steps");
+            scale.outln(format!("  worst case: agent1 at {pos}, dirs ({d0}, {d1}) -> {t} steps"));
         }
-        println!("{}", h.render(16, 46));
+        scale.outln(h.render(16, 46));
     }
-    println!(
+    scale.outln(
         "reading: the paper could not prove reliability 'for any arbitrary \
-         initial configuration'; for k = 2 this sweep settles it exactly."
+         initial configuration'; for k = 2 this sweep settles it exactly.",
     );
 
     // k = 3 on the 8×8 torus (complete; larger fields grow cubically).
-    println!("\n--- k = 3, 8x8 torus (complete decision) ---");
+    scale.outln("\n--- k = 3, 8x8 torus (complete decision) ---");
     for kind in [GridKind::Square, GridKind::Triangulate] {
         let r = exhaustive_three_agents(kind, 8, usize::MAX, scale.threads);
-        println!(
+        scale.outln(format!(
             "{}-grid: {} cases, {} solved, {} never-solve cycles -> 3-agent reliability on 8x8 {}",
             kind.label(),
             r.total,
             r.solved,
             r.never_solves,
             if r.is_proof() { "PROVEN" } else { "REFUTED" },
-        );
+        ));
         let h = &r.histogram;
-        println!(
+        scale.outln(format!(
             "  exact distribution: median {} | p95 {} | max {}",
             h.quantile(0.5).unwrap_or(0),
             h.quantile(0.95).unwrap_or(0),
             h.max().unwrap_or(0),
-        );
+        ));
     }
 }

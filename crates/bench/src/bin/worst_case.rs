@@ -13,8 +13,10 @@ use a2a_grid::GridKind;
 
 fn main() {
     let scale = RunScale::from_args(400);
-    println!("{}\n", scale.banner("E24: adversarial worst-case search"));
-    println!("(--configs is the hill-climbing iteration budget here)\n");
+    let _sink = scale.init_obs("worst_case");
+    scale.outln(scale.banner("E24: adversarial worst-case search"));
+    scale.outln("");
+    scale.outln("(--configs is the hill-climbing iteration budget here)\n");
 
     let mut table = TextTable::new(vec![
         "grid", "k", "random start", "worst found", "blow-up", "accepted moves",
@@ -27,7 +29,10 @@ fn main() {
                 let w = adversarial_search(kind, k, scale.configs, scale.seed ^ restart, 20_000)
                     .expect("valid environment");
                 if w.time.is_none() {
-                    println!("!!! reliability REFUTED: unsolved configuration found: {w:?}");
+                    scale.progress(
+                        "bench.refuted",
+                        format!("!!! reliability REFUTED: unsolved configuration found: {w:?}"),
+                    );
                     return;
                 }
                 if best.as_ref().is_none_or(|b| w.time > b.time) {
@@ -46,11 +51,11 @@ fn main() {
             ]);
         }
     }
-    println!("{table}");
-    println!(
+    scale.outln(format!("{table}"));
+    scale.outln(
         "reading: adversarial search finds configurations several times slower \
          than typical random fields (cf. the exact k=2 worst cases of E22: \
          499 T / 663 S), yet never an unsolved one — the reliability claim \
-         survives active attack at every density tried."
+         survives active attack at every density tried.",
     );
 }

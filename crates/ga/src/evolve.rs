@@ -65,6 +65,8 @@ pub struct GenerationStats {
     pub generation: usize,
     /// Best (lowest) fitness in the pool.
     pub best_fitness: f64,
+    /// Median fitness over the pool.
+    pub median_fitness: f64,
     /// Mean fitness over the pool.
     pub mean_fitness: f64,
     /// Successes of the best individual.
@@ -74,6 +76,12 @@ pub struct GenerationStats {
     /// Mean pairwise Hamming distance of the pool (the diversity the
     /// b=3 exchange is designed to preserve).
     pub pool_diversity: f64,
+    /// Duplicate individuals eliminated from the parent/child union
+    /// this generation (0 for the initial pool).
+    pub duplicates_removed: usize,
+    /// Offspring of this generation that made it into the new pool
+    /// (mutation acceptance; 0 for the initial pool).
+    pub offspring_accepted: usize,
 }
 
 /// Result of an evolution run.
@@ -168,13 +176,16 @@ impl Evolution {
         while genomes.len() < n {
             genomes.push(Genome::random(self.spec, &mut rng));
         }
+        let timer = a2a_obs::metrics_enabled().then(std::time::Instant::now);
         let mut pool = self.rank(genomes);
         let mut history = Vec::with_capacity(self.config.generations + 1);
-        let stats = Self::stats(0, &pool);
+        let stats = Self::stats(0, &pool, 0, 0);
+        Self::observe(&stats, timer.map(|t| t.elapsed()));
         on_generation(&stats);
         history.push(stats);
 
         for generation in 1..=self.config.generations {
+            let timer = a2a_obs::metrics_enabled().then(std::time::Instant::now);
             // N/2 offspring from the top N/2 individuals.
             let parents = &pool[..(n / 2).min(pool.len())];
             let children: Vec<Genome> = match self.config.strategy {
@@ -206,6 +217,8 @@ impl Evolution {
                     })
                     .collect(),
             };
+            let child_digits: std::collections::HashSet<String> =
+                children.iter().map(Genome::to_digits).collect();
             let mut union: Vec<Individual> = pool;
             union.extend(self.rank(children));
 
@@ -216,8 +229,10 @@ impl Evolution {
                     .partial_cmp(&b.report.fitness)
                     .expect("fitness is never NaN")
             });
+            let before = union.len();
             let mut seen = std::collections::HashSet::new();
             union.retain(|ind| seen.insert(ind.genome.to_digits()));
+            let duplicates_removed = before - union.len();
             union.truncate(n);
 
             // Diversity exchange: the first b individuals of the second
@@ -232,7 +247,12 @@ impl Evolution {
             }
 
             pool = union;
-            let stats = Self::stats(generation, &pool);
+            let offspring_accepted = pool
+                .iter()
+                .filter(|i| child_digits.contains(&i.genome.to_digits()))
+                .count();
+            let stats = Self::stats(generation, &pool, duplicates_removed, offspring_accepted);
+            Self::observe(&stats, timer.map(|t| t.elapsed()));
             on_generation(&stats);
             history.push(stats);
         }
@@ -256,7 +276,12 @@ impl Evolution {
             .collect()
     }
 
-    fn stats(generation: usize, pool: &[Individual]) -> GenerationStats {
+    fn stats(
+        generation: usize,
+        pool: &[Individual],
+        duplicates_removed: usize,
+        offspring_accepted: usize,
+    ) -> GenerationStats {
         let best = pool
             .iter()
             .min_by(|a, b| {
@@ -266,15 +291,38 @@ impl Evolution {
                     .expect("fitness is never NaN")
             })
             .expect("pool is never empty");
+        let mut fitnesses: Vec<f64> = pool.iter().map(|i| i.report.fitness).collect();
+        fitnesses.sort_by(|a, b| a.partial_cmp(b).expect("fitness is never NaN"));
         let genomes: Vec<&Genome> = pool.iter().map(|i| &i.genome).collect();
         GenerationStats {
             generation,
             best_fitness: best.report.fitness,
-            mean_fitness: pool.iter().map(|i| i.report.fitness).sum::<f64>() / pool.len() as f64,
+            median_fitness: fitnesses[fitnesses.len() / 2],
+            mean_fitness: fitnesses.iter().sum::<f64>() / fitnesses.len() as f64,
             best_successes: best.report.successes,
             best_complete: best.report.is_completely_successful(),
             pool_diversity: a2a_fsm::pool_diversity(&genomes),
+            duplicates_removed,
+            offspring_accepted,
         }
+    }
+
+    /// Publishes one generation to the observability layer: an
+    /// `ga.generation` event at `Info`, plus the per-generation
+    /// wall-clock histogram while metrics are on.
+    fn observe(stats: &GenerationStats, elapsed: Option<std::time::Duration>) {
+        if let Some(d) = elapsed {
+            a2a_obs::global().histogram("ga.generation.us").record_duration_us(d);
+        }
+        a2a_obs::event!(a2a_obs::Level::Info, "ga.generation",
+            "generation" => stats.generation,
+            "best" => stats.best_fitness,
+            "median" => stats.median_fitness,
+            "mean" => stats.mean_fitness,
+            "best_successes" => stats.best_successes,
+            "diversity" => stats.pool_diversity,
+            "duplicates_removed" => stats.duplicates_removed,
+            "offspring_accepted" => stats.offspring_accepted);
     }
 }
 
@@ -330,6 +378,24 @@ mod tests {
         assert_eq!(dedup.len(), digits.len(), "duplicates must be deleted");
         for w in out.pool.windows(2) {
             assert!(w[0].report.fitness <= w[1].report.fitness);
+        }
+    }
+
+    #[test]
+    fn stats_carry_median_and_acceptance() {
+        let out = tiny_evolution(GridKind::Square, 10, 21);
+        for s in &out.history {
+            assert!(s.best_fitness <= s.median_fitness, "gen {}", s.generation);
+            assert!(s.median_fitness.is_finite());
+        }
+        let first = &out.history[0];
+        assert_eq!((first.duplicates_removed, first.offspring_accepted), (0, 0));
+        assert!(
+            out.history.iter().skip(1).any(|s| s.offspring_accepted > 0),
+            "some offspring must be accepted across 10 generations"
+        );
+        for s in out.history.iter().skip(1) {
+            assert!(s.offspring_accepted <= 10, "at most N/2 children per generation");
         }
     }
 

@@ -53,6 +53,31 @@ impl FitnessReport {
     }
 }
 
+/// Times one evaluation batch into the `ga.eval.us` histogram and the
+/// `ga.evals` counter — armed only while metrics are on, so the
+/// disabled path costs a single relaxed atomic load.
+#[derive(Debug)]
+struct EvalTimer(Option<std::time::Instant>);
+
+impl EvalTimer {
+    fn start() -> Self {
+        Self(a2a_obs::metrics_enabled().then(std::time::Instant::now))
+    }
+
+    /// Records the batch: per-genome wall-clock (total / `evals`) into
+    /// the histogram, `evals` onto the counter.
+    fn finish(self, evals: u64) {
+        if let Some(started) = self.0 {
+            let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            if let Some(per_eval) = us.checked_div(evals) {
+                let reg = a2a_obs::global();
+                reg.histogram("ga.eval.us").record(per_eval);
+                reg.counter("ga.evals").add(evals);
+            }
+        }
+    }
+}
+
 /// A reusable fitness evaluator: an environment, a configuration set and
 /// the horizon/weight parameters.
 #[derive(Debug, Clone)]
@@ -135,6 +160,7 @@ impl Evaluator {
     /// Panics if the behaviour is incompatible with the environment.
     #[must_use]
     pub fn evaluate_behaviour(&self, behaviour: &Behaviour) -> FitnessReport {
+        let timer = EvalTimer::start();
         // Compile the behaviour once; the runner is Sync, so the
         // per-configuration runs fan out over the worker threads.
         let runner = BatchRunner::new(&self.config, behaviour, self.t_max)
@@ -144,6 +170,7 @@ impl Evaluator {
                 .outcome_for(init)
                 .expect("behaviour and configuration set must match the environment")
         });
+        timer.finish(1);
         FitnessReport::from_outcomes(&outcomes, self.weight)
     }
 
@@ -152,14 +179,17 @@ impl Evaluator {
     /// parallelism).
     #[must_use]
     pub fn evaluate_all(&self, genomes: &[Genome]) -> Vec<FitnessReport> {
-        parallel_map(genomes, self.threads, |g| {
+        let timer = EvalTimer::start();
+        let reports = parallel_map(genomes, self.threads, |g| {
             let runner = BatchRunner::from_genome(&self.config, g.clone(), self.t_max)
                 .expect("genome and configuration set must match the environment");
             let outcomes: Vec<RunOutcome> = runner
                 .run_all(&self.configs)
                 .expect("genome and configuration set must match the environment");
             FitnessReport::from_outcomes(&outcomes, self.weight)
-        })
+        });
+        timer.finish(genomes.len() as u64);
+        reports
     }
 }
 

@@ -40,11 +40,19 @@ where
     if threads == 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
+    // Each worker tags itself in the observability layer, so events
+    // emitted from inside `f` carry the worker id; at `Debug` every
+    // worker reports its own throughput when it drains.
+    let debug = a2a_obs::enabled(a2a_obs::Level::Debug);
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let next = &next;
+        let f = &f;
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                scope.spawn(move || {
+                    a2a_obs::set_worker_id(Some(w));
+                    let started = debug.then(std::time::Instant::now);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -53,6 +61,12 @@ where
                         }
                         local.push((i, f(&items[i])));
                     }
+                    if let Some(started) = started {
+                        a2a_obs::event!(a2a_obs::Level::Debug, "parallel.worker",
+                            "items" => local.len(),
+                            "elapsed_us" => started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                    }
+                    a2a_obs::set_worker_id(None);
                     local
                 })
             })

@@ -1,0 +1,147 @@
+//! Verbosity levels and the `A2A_LOG` grammar.
+
+use std::fmt;
+
+/// Event severity / verbosity, ordered from silent to chattiest.
+///
+/// The numeric repr is the dispatch ceiling: an event passes when its
+/// level is `<=` the ceiling, so `Error` events survive any non-`Off`
+/// setting while `Trace` needs the full firehose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is dispatched.
+    Off = 0,
+    /// Unrecoverable or wrong: the run's results are suspect.
+    Error = 1,
+    /// Surprising but survivable (e.g. a run hit the horizon).
+    Warn = 2,
+    /// Per-run / per-generation progress — the default sink verbosity.
+    Info = 3,
+    /// Per-run internals: conflict counts, informed-count curve points.
+    Debug = 4,
+    /// Per-step internals: phase timings. Expect firehose volume.
+    Trace = 5,
+}
+
+impl Level {
+    /// Inverse of `self as u8`, clamping unknown values to [`Level::Trace`].
+    #[must_use]
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Self::Off,
+            1 => Self::Error,
+            2 => Self::Warn,
+            3 => Self::Info,
+            4 => Self::Debug,
+            _ => Self::Trace,
+        }
+    }
+
+    /// Parses a level name (case-insensitive); `None` for unknown names.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(Self::Off),
+            "error" => Some(Self::Error),
+            "warn" | "warning" => Some(Self::Warn),
+            "info" => Some(Self::Info),
+            "debug" => Some(Self::Debug),
+            "trace" | "all" => Some(Self::Trace),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name used in JSONL records.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::Error => "error",
+            Self::Warn => "warn",
+            Self::Info => "info",
+            Self::Debug => "debug",
+            Self::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parses an `A2A_LOG` spec: comma-separated `level` or `prefix=level`
+/// items. Returns the default level (last bare level wins, `Off` if
+/// none) and the prefix overrides in order. Unknown level names are
+/// skipped.
+pub(crate) fn parse_spec(spec: &str) -> (Level, Vec<(String, Level)>) {
+    let mut default = Level::Off;
+    let mut filters = Vec::new();
+    for item in spec.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        match item.split_once('=') {
+            Some((prefix, level)) => {
+                if let Some(l) = Level::parse(level) {
+                    filters.push((prefix.trim().to_string(), l));
+                }
+            }
+            None => {
+                if let Some(l) = Level::parse(item) {
+                    default = l;
+                }
+            }
+        }
+    }
+    if !filters.is_empty() {
+        // The bare default participates in prefix matching as the
+        // empty-prefix (matches-everything) entry.
+        filters.insert(0, (String::new(), default));
+    }
+    (default, filters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_verbosity() {
+        assert!(Level::Error < Level::Info);
+        assert!(Level::Trace > Level::Debug);
+        assert_eq!(Level::from_u8(Level::Debug as u8), Level::Debug);
+    }
+
+    #[test]
+    fn parse_accepts_names_and_rejects_noise() {
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse(" warn "), Some(Level::Warn));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn spec_grammar() {
+        let (d, f) = parse_spec("info");
+        assert_eq!(d, Level::Info);
+        assert!(f.is_empty());
+
+        let (d, f) = parse_spec("warn,ga=debug, kernel=trace,bogus=xyz");
+        assert_eq!(d, Level::Warn);
+        assert_eq!(
+            f,
+            vec![
+                (String::new(), Level::Warn),
+                ("ga".to_string(), Level::Debug),
+                ("kernel".to_string(), Level::Trace),
+            ]
+        );
+
+        let (d, f) = parse_spec("");
+        assert_eq!(d, Level::Off);
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! The JSONL and `BENCH_obs.json` schemas, with validators.
+//!
+//! # Event-line schema (`a2a-obs/events/v1`)
+//!
+//! Every line a [`crate::JsonlSink`] writes is one JSON object. Event
+//! lines carry:
+//!
+//! | member   | type    | notes                                          |
+//! |----------|---------|------------------------------------------------|
+//! | `t_ms`   | number  | ms since the process's first observability call |
+//! | `level`  | string  | `error`/`warn`/`info`/`debug`/`trace`          |
+//! | `event`  | string  | dot-separated name, e.g. `kernel.run`          |
+//! | `worker` | number  | optional; pool-thread id                       |
+//! | `fields` | object  | string → number \| string \| bool              |
+//!
+//! Lines without a `level` member are auxiliary documents (registry
+//! snapshots, bench summaries) and are validated only as JSON.
+//!
+//! # Bench-snapshot schema (`a2a-obs/bench-snapshot/v1`)
+//!
+//! The consolidated perf snapshot `all_experiments` writes to
+//! `BENCH_obs.json`:
+//!
+//! ```json
+//! {
+//!   "schema": "a2a-obs/bench-snapshot/v1",
+//!   "kernel": {"grid": "T", "steps_per_sec": 1.2e8, ...},
+//!   "fitness": {"evals_per_sec": 1234.5, ...},
+//!   "t_comm": [{"grid": "T", "k": 16, "histogram": {...}}, ...],
+//!   "ga": {"series": [{"generation": 0, "best": 1e4, "median": 2e4}, ...]},
+//!   "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
+//! }
+//! ```
+//!
+//! `t_comm` must cover `k ∈ {4, 16, 64}` and `ga.series` must be
+//! non-empty — the acceptance gate of the observability PR.
+
+use crate::json::{parse, Json};
+use crate::registry::HistogramSnapshot;
+use crate::Level;
+
+/// Schema identifier written into `BENCH_obs.json`.
+pub const BENCH_SNAPSHOT_SCHEMA: &str = "a2a-obs/bench-snapshot/v1";
+
+/// The agent counts every bench snapshot must histogram `t_comm` for.
+pub const REQUIRED_T_COMM_KS: [u64; 3] = [4, 16, 64];
+
+/// Validates one JSONL line: any valid JSON object is accepted, and
+/// objects carrying a `level` member must satisfy the event schema.
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn validate_event_line(line: &str) -> Result<(), String> {
+    let doc = parse(line)?;
+    if doc.as_obj().is_none() {
+        return Err("line is not a JSON object".to_string());
+    }
+    let Some(level) = doc.get("level") else {
+        return Ok(()); // auxiliary document (snapshot, summary)
+    };
+    let level = level.as_str().ok_or("`level` must be a string")?;
+    if Level::parse(level).is_none_or(|l| l == Level::Off) {
+        return Err(format!("unknown level `{level}`"));
+    }
+    doc.get("t_ms").and_then(Json::as_f64).ok_or("event missing numeric `t_ms`")?;
+    let name = doc.get("event").and_then(Json::as_str).ok_or("event missing string `event`")?;
+    if name.is_empty() {
+        return Err("`event` must be non-empty".to_string());
+    }
+    if let Some(worker) = doc.get("worker") {
+        worker.as_f64().ok_or("`worker` must be a number")?;
+    }
+    let fields = doc.get("fields").ok_or("event missing `fields`")?;
+    let entries = fields.as_obj().ok_or("`fields` must be an object")?;
+    for (key, value) in entries {
+        match value {
+            Json::Num(_) | Json::Str(_) | Json::Bool(_) => {}
+            _ => return Err(format!("field `{key}` must be a scalar")),
+        }
+    }
+    Ok(())
+}
+
+/// Validates a whole JSONL stream (one document per non-empty line).
+/// Returns the number of validated event lines.
+///
+/// # Errors
+///
+/// The first offending line number and its problem.
+pub fn validate_events(content: &str) -> Result<usize, String> {
+    let mut events = 0;
+    for (i, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_event_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if parse(line).is_ok_and(|d| d.get("level").is_some()) {
+            events += 1;
+        }
+    }
+    Ok(events)
+}
+
+fn require_num(doc: &Json, path: &str, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("`{path}.{key}` must be a number"))
+}
+
+/// Validates a parsed `BENCH_obs.json` document against
+/// `a2a-obs/bench-snapshot/v1`.
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn validate_bench_snapshot(doc: &Json) -> Result<(), String> {
+    let schema = doc.get("schema").and_then(Json::as_str).ok_or("missing `schema`")?;
+    if schema != BENCH_SNAPSHOT_SCHEMA {
+        return Err(format!("schema `{schema}` is not `{BENCH_SNAPSHOT_SCHEMA}`"));
+    }
+
+    let kernel = doc.get("kernel").ok_or("missing `kernel`")?;
+    let sps = require_num(kernel, "kernel", "steps_per_sec")?;
+    if !sps.is_finite() || sps <= 0.0 {
+        return Err("`kernel.steps_per_sec` must be positive".to_string());
+    }
+    let fitness = doc.get("fitness").ok_or("missing `fitness`")?;
+    let eps = require_num(fitness, "fitness", "evals_per_sec")?;
+    if !eps.is_finite() || eps <= 0.0 {
+        return Err("`fitness.evals_per_sec` must be positive".to_string());
+    }
+
+    let t_comm = doc.get("t_comm").and_then(Json::as_arr).ok_or("missing `t_comm` array")?;
+    for required_k in REQUIRED_T_COMM_KS {
+        let entry = t_comm
+            .iter()
+            .find(|e| e.get("k").and_then(Json::as_f64) == Some(required_k as f64))
+            .ok_or_else(|| format!("`t_comm` missing an entry for k = {required_k}"))?;
+        entry.get("grid").and_then(Json::as_str).ok_or("t_comm entry missing `grid`")?;
+        let hist = entry.get("histogram").ok_or("t_comm entry missing `histogram`")?;
+        let snap = HistogramSnapshot::from_json(hist)?;
+        if snap.count == 0 {
+            return Err(format!("t_comm histogram for k = {required_k} is empty"));
+        }
+    }
+
+    let ga = doc.get("ga").ok_or("missing `ga`")?;
+    let series = ga.get("series").and_then(Json::as_arr).ok_or("missing `ga.series`")?;
+    if series.is_empty() {
+        return Err("`ga.series` must be non-empty".to_string());
+    }
+    for point in series {
+        require_num(point, "ga.series[]", "generation")?;
+        require_num(point, "ga.series[]", "best")?;
+        require_num(point, "ga.series[]", "median")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Value};
+
+    #[test]
+    fn real_event_lines_validate() {
+        let mut e = Event::new(Level::Info, "ga.generation");
+        e.fields.push(("best", Value::F64(123.5)));
+        e.worker = Some(3);
+        validate_event_line(&e.to_json().to_string()).unwrap();
+    }
+
+    #[test]
+    fn auxiliary_lines_pass_and_noise_fails() {
+        validate_event_line(r#"{"counters":{"a":1}}"#).unwrap();
+        assert!(validate_event_line("not json").is_err());
+        assert!(validate_event_line("[1,2]").is_err());
+        assert!(validate_event_line(r#"{"level":"loud","t_ms":1,"event":"x","fields":{}}"#)
+            .is_err());
+        assert!(validate_event_line(r#"{"level":"info","event":"x","fields":{}}"#).is_err());
+        assert!(
+            validate_event_line(r#"{"level":"info","t_ms":1,"event":"x","fields":{"a":[1]}}"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn stream_validation_counts_events() {
+        let stream = format!(
+            "{}\n\n{}\n",
+            Event::new(Level::Debug, "a.b").to_json(),
+            r#"{"snapshot":true}"#
+        );
+        assert_eq!(validate_events(&stream).unwrap(), 1);
+    }
+
+    fn minimal_snapshot() -> Json {
+        let mut hist = HistogramSnapshot::default();
+        hist.record(42);
+        let t_comm: Vec<Json> = REQUIRED_T_COMM_KS
+            .iter()
+            .map(|&k| {
+                Json::object()
+                    .with("grid", "T")
+                    .with("k", k)
+                    .with("histogram", hist.to_json())
+            })
+            .collect();
+        Json::object()
+            .with("schema", BENCH_SNAPSHOT_SCHEMA)
+            .with("kernel", Json::object().with("steps_per_sec", 1e6))
+            .with("fitness", Json::object().with("evals_per_sec", 100.0))
+            .with("t_comm", Json::Arr(t_comm))
+            .with(
+                "ga",
+                Json::object().with(
+                    "series",
+                    vec![Json::object()
+                        .with("generation", 0u64)
+                        .with("best", 1e4)
+                        .with("median", 2e4)],
+                ),
+            )
+    }
+
+    #[test]
+    fn bench_snapshot_validates_and_catches_gaps() {
+        validate_bench_snapshot(&minimal_snapshot()).unwrap();
+
+        let mut wrong_schema = minimal_snapshot();
+        wrong_schema.set("schema", "other/v0");
+        assert!(validate_bench_snapshot(&wrong_schema).is_err());
+
+        let mut missing_k = minimal_snapshot();
+        let Json::Arr(entries) = missing_k.get("t_comm").unwrap().clone() else { unreachable!() };
+        missing_k.set("t_comm", Json::Arr(entries[..2].to_vec()));
+        assert!(validate_bench_snapshot(&missing_k).is_err());
+
+        let mut empty_series = minimal_snapshot();
+        empty_series.set("ga", Json::object().with("series", Json::Arr(Vec::new())));
+        assert!(validate_bench_snapshot(&empty_series).is_err());
+    }
+}

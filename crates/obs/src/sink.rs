@@ -1,0 +1,209 @@
+//! Pluggable event sinks: human-readable stderr and JSONL files.
+
+use crate::event::Event;
+use crate::json::Json;
+use crate::Level;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// An event backend. Implementations must be cheap per record and
+/// internally synchronised — `record` is called from arbitrary threads.
+pub trait Sink: Send + Sync + fmt::Debug {
+    /// Handles one event (already filtered by level).
+    fn record(&self, event: &Event);
+    /// The chattiest level this sink wants.
+    fn verbosity(&self) -> Level;
+    /// Forces buffered output out (end of run).
+    fn flush(&self) {}
+}
+
+static SINKS: OnceLock<RwLock<Vec<Arc<dyn Sink>>>> = OnceLock::new();
+
+fn sinks() -> &'static RwLock<Vec<Arc<dyn Sink>>> {
+    SINKS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Attaches a sink for the rest of the process lifetime and raises the
+/// dispatch ceiling to its verbosity (also enabling metrics when the
+/// sink wants info or chattier).
+pub fn attach_sink(sink: Arc<dyn Sink>) {
+    crate::raise_level(sink.verbosity());
+    sinks().write().expect("sink lock never poisoned").push(sink);
+}
+
+/// Number of currently attached sinks.
+#[must_use]
+pub fn attached_sinks() -> usize {
+    sinks().read().expect("sink lock never poisoned").len()
+}
+
+/// Runs `f` over every attached sink.
+pub(crate) fn for_each_sink(mut f: impl FnMut(&dyn Sink)) {
+    for sink in sinks().read().expect("sink lock never poisoned").iter() {
+        f(sink.as_ref());
+    }
+}
+
+/// Human-readable sink: one line per event on stderr, written with a
+/// single locked `write_all` so concurrent workers never interleave
+/// partial lines (the fix for the garbled `println!` progress output).
+#[derive(Debug)]
+pub struct StderrSink {
+    verbosity: Level,
+}
+
+impl StderrSink {
+    /// A stderr sink admitting events up to `verbosity`.
+    #[must_use]
+    pub fn new(verbosity: Level) -> Self {
+        Self { verbosity }
+    }
+}
+
+impl Sink for StderrSink {
+    fn record(&self, event: &Event) {
+        let line = format!("{event}\n");
+        let mut err = std::io::stderr().lock();
+        let _ = err.write_all(line.as_bytes());
+    }
+
+    fn verbosity(&self) -> Level {
+        self.verbosity
+    }
+
+    fn flush(&self) {
+        let _ = std::io::stderr().flush();
+    }
+}
+
+/// JSONL sink: one [`Event::to_json`] object per line, buffered. The
+/// schema is documented in [`crate::schema`] and validated by
+/// `schema::validate_event_line`. Extra non-event lines (registry
+/// snapshots) can be appended with [`JsonlSink::write_json`].
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+    verbosity: Level,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and admits events up to `verbosity`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>, verbosity: Level) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self { out: Mutex::new(BufWriter::new(file)), verbosity })
+    }
+
+    /// Appends an arbitrary JSON document as one line (registry
+    /// snapshots, bench summaries).
+    pub fn write_json(&self, doc: &Json) {
+        let mut out = self.out.lock().expect("jsonl lock never poisoned");
+        let _ = writeln!(out, "{doc}");
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        self.write_json(&event.to_json());
+    }
+
+    fn verbosity(&self) -> Level {
+        self.verbosity
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl lock never poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// A sink that counts records and keeps the last few events in memory —
+/// for tests and the overhead bench (measures dispatch cost without
+/// I/O).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty memory sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events recorded so far (cloned).
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.records.lock().expect("memory sink lock never poisoned").clone()
+    }
+
+    /// Number of records seen.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("memory sink lock never poisoned").len()
+    }
+
+    /// Whether nothing was recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.records.lock().expect("memory sink lock never poisoned").push(event.clone());
+    }
+
+    fn verbosity(&self) -> Level {
+        Level::Trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("a2a_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        {
+            let sink = JsonlSink::create(&path, Level::Debug).unwrap();
+            sink.record(&Event::new(Level::Info, "t.one").field("v", 1u64));
+            sink.write_json(&Json::object().with("snapshot", true));
+            sink.flush();
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            crate::json::parse(line).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(&Event::new(Level::Debug, "m.e"));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events()[0].name, "m.e");
+    }
+}

@@ -1,0 +1,86 @@
+//! Spans: scoped timers that feed histograms and emit close events.
+
+use crate::{global, Level};
+use std::time::Instant;
+
+/// A timed region. [`Span::enter`] captures the clock; dropping the
+/// guard records the elapsed microseconds into the global histogram
+/// `<name>.us` (when metrics are enabled) and emits a `Debug`-level
+/// event carrying `elapsed_us`.
+///
+/// Construction is gated the same way as events: when the observability
+/// layer is fully disabled the guard holds no timestamp and the drop is
+/// a no-op, so spans can stay in hot(ish) paths.
+///
+/// ```
+/// {
+///     let _span = a2a_obs::Span::enter("ga.rank");
+///     // ... evaluate the population ...
+/// } // records ga.rank.us and emits the close event here
+/// ```
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; binding to _ drops it immediately"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Starts a span named `name` (dot-separated, like events).
+    pub fn enter(name: &'static str) -> Self {
+        let armed = crate::metrics_enabled() || crate::enabled(Level::Debug);
+        Self { name, start: armed.then(Instant::now) }
+    }
+
+    /// Elapsed microseconds so far (0 when the span is disarmed).
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.map_or(0, |s| s.elapsed().as_micros().min(u128::from(u64::MAX)) as u64)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed();
+        if crate::metrics_enabled() {
+            // One allocation per close for the histogram name; spans sit
+            // at run/generation granularity, never inside step loops.
+            let hist = global().histogram(&format!("{}.us", self.name));
+            hist.record_duration_us(elapsed);
+        }
+        if crate::enabled(Level::Debug) {
+            crate::emit(
+                crate::Event::new(Level::Debug, self.name)
+                    .field("elapsed_us", elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_span_is_inert() {
+        // If nothing raised the level in this test process, the span
+        // holds no timestamp at all.
+        let span = Span::enter("test.span");
+        if !crate::metrics_enabled() && !crate::enabled(Level::Debug) {
+            assert_eq!(span.elapsed_us(), 0);
+        }
+    }
+
+    #[test]
+    fn armed_span_records_histogram() {
+        crate::set_metrics(true);
+        {
+            let _span = Span::enter("test.armed");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = global().histogram("test.armed.us").snapshot();
+        assert!(snap.count >= 1);
+        assert!(snap.max >= 500, "slept ≥1ms, recorded {}", snap.max);
+    }
+}

@@ -1,0 +1,114 @@
+//! Typed field values carried by events.
+
+use crate::json::Json;
+use std::fmt;
+
+/// A typed event-field value. Small by design: everything the
+/// simulation and GA layers report is a scalar or a short string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, times in steps).
+    U64(u64),
+    /// Signed integer (deltas).
+    I64(i64),
+    /// Floating point (fitness, milliseconds).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short free-form text (labels, genome digits).
+    Str(String),
+}
+
+impl Value {
+    /// The JSON form used by [`crate::JsonlSink`].
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Self::U64(v) => Json::from(*v),
+            Self::I64(v) => Json::from(*v),
+            Self::F64(v) => Json::from(*v),
+            Self::Bool(v) => Json::Bool(*v),
+            Self::Str(v) => Json::Str(v.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::U64(v) => write!(f, "{v}"),
+            Self::I64(v) => write!(f, "{v}"),
+            Self::F64(v) => write!(f, "{v:.3}"),
+            Self::Bool(v) => write!(f, "{v}"),
+            Self::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Self::I64(i64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_kind() {
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(-3i32), Value::I64(-3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn json_round_trips_scalars() {
+        for v in [Value::U64(7), Value::F64(1.5), Value::Bool(false)] {
+            let j = v.to_json();
+            let back = crate::json::parse(&j.to_string()).unwrap();
+            assert_eq!(j, back);
+        }
+    }
+}

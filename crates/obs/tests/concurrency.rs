@@ -1,0 +1,123 @@
+//! Concurrency tests: the registry's lock-free metrics must be exact
+//! under contention from `std::thread::scope` workers, and the JSONL
+//! sink must never interleave lines.
+
+use a2a_obs::{Event, JsonlSink, Level, Registry, Sink};
+
+const WORKERS: usize = 8;
+const PER_WORKER: u64 = 10_000;
+
+#[test]
+fn concurrent_counter_updates_are_exact() {
+    let reg = Registry::new();
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let c = reg.counter("hits");
+            let per_worker = reg.counter(&format!("worker.{w}.hits"));
+            scope.spawn(move || {
+                for _ in 0..PER_WORKER {
+                    c.incr();
+                    per_worker.incr();
+                }
+            });
+        }
+    });
+    assert_eq!(reg.counter("hits").get(), WORKERS as u64 * PER_WORKER);
+    for w in 0..WORKERS {
+        assert_eq!(reg.counter(&format!("worker.{w}.hits")).get(), PER_WORKER);
+    }
+}
+
+#[test]
+fn concurrent_histogram_updates_lose_nothing() {
+    let reg = Registry::new();
+    let expected_sum: u64 = (0..WORKERS as u64)
+        .map(|w| (0..PER_WORKER).map(|i| (w * PER_WORKER + i) % 1000).sum::<u64>())
+        .sum();
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS as u64 {
+            let h = reg.histogram("latency");
+            scope.spawn(move || {
+                for i in 0..PER_WORKER {
+                    h.record((w * PER_WORKER + i) % 1000);
+                }
+            });
+        }
+    });
+    let snap = reg.histogram("latency").snapshot();
+    assert_eq!(snap.count, WORKERS as u64 * PER_WORKER);
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.min, 0);
+    assert_eq!(snap.max, 999);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+}
+
+#[test]
+fn concurrent_gauge_last_writer_wins_some_writer() {
+    let reg = Registry::new();
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS as i64 {
+            let g = reg.gauge("depth");
+            scope.spawn(move || g.set(w));
+        }
+    });
+    let v = reg.gauge("depth").get();
+    assert!((0..WORKERS as i64).contains(&v), "gauge holds one writer's value, got {v}");
+}
+
+#[test]
+fn parallel_merge_equals_serial_aggregate() {
+    // Per-worker local histograms merged at the end must equal one
+    // shared histogram fed the same samples.
+    let reg = Registry::new();
+    let shared = reg.histogram("shared");
+    let merged = reg.histogram("merged");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS as u64)
+            .map(|w| {
+                let shared = std::sync::Arc::clone(&shared);
+                scope.spawn(move || {
+                    let local = a2a_obs::Histogram::default();
+                    for i in 0..PER_WORKER {
+                        let v = (w * 31 + i * 7) % 5000;
+                        local.record(v);
+                        shared.record(v);
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.merge_from(&h.join().expect("worker must not panic"));
+        }
+    });
+    assert_eq!(merged.snapshot(), shared.snapshot());
+}
+
+#[test]
+fn jsonl_lines_never_interleave_under_contention() {
+    let dir = std::env::temp_dir().join("a2a_obs_concurrency");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("contended.jsonl");
+    {
+        let sink = JsonlSink::create(&path, Level::Trace).unwrap();
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let sink = &sink;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let e = Event::new(Level::Info, "contend.tick")
+                            .field("w", w)
+                            .field("i", i);
+                        sink.record(&e);
+                    }
+                });
+            }
+        });
+        sink.flush();
+    }
+    let content = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(content.lines().count(), WORKERS * 200);
+    assert_eq!(a2a_obs::schema::validate_events(&content).unwrap(), WORKERS * 200);
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,115 @@
+//! Property tests: histogram merge algebra and JSONL round-trips.
+
+use a2a_obs::json::{parse, Json};
+use a2a_obs::{Event, HistogramSnapshot, Level, Value};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Samples spanning the first 32 log buckets (the realistic range of
+/// step counts and microsecond timings; JSON numbers are `f64`, so
+/// sums must stay inside the exactly-representable 2⁵³ range).
+fn samples(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let magnitude = rng.random_range(32..64u32);
+            rng.random_range(0..=u64::MAX) >> magnitude
+        })
+        .collect()
+}
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c): merging is associative, so
+    /// per-worker partial histograms can be combined in any join order.
+    #[test]
+    fn histogram_merge_is_associative(sa in any::<u64>(), sb in any::<u64>(), sc in any::<u64>(),
+                                      na in 0usize..50, nb in 0usize..50, nc in 0usize..50) {
+        let (a, b, c) = (hist_of(&samples(sa, na)), hist_of(&samples(sb, nb)), hist_of(&samples(sc, nc)));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// a ⊔ b == b ⊔ a and the empty snapshot is the identity.
+    #[test]
+    fn histogram_merge_is_commutative_with_identity(sa in any::<u64>(), sb in any::<u64>(),
+                                                    na in 0usize..50, nb in 0usize..50) {
+        let (a, b) = (hist_of(&samples(sa, na)), hist_of(&samples(sb, nb)));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut with_identity = a.clone();
+        with_identity.merge(&HistogramSnapshot::default());
+        prop_assert_eq!(with_identity, a);
+    }
+
+    /// Merging equals recording the concatenated sample stream.
+    #[test]
+    fn merge_equals_concatenation(sa in any::<u64>(), sb in any::<u64>(),
+                                  na in 0usize..50, nb in 0usize..50) {
+        let (va, vb) = (samples(sa, na), samples(sb, nb));
+        let mut merged = hist_of(&va);
+        merged.merge(&hist_of(&vb));
+        let mut concat = va.clone();
+        concat.extend(&vb);
+        prop_assert_eq!(merged, hist_of(&concat));
+    }
+
+    /// Histogram JSON export parses back to the identical snapshot.
+    #[test]
+    fn histogram_json_round_trips(seed in any::<u64>(), n in 0usize..80) {
+        let h = hist_of(&samples(seed, n));
+        let parsed = parse(&h.to_json().to_string()).unwrap();
+        prop_assert_eq!(HistogramSnapshot::from_json(&parsed).unwrap(), h);
+    }
+
+    /// Every event the sink would write validates against the schema
+    /// and round-trips through the JSON parser.
+    #[test]
+    fn event_lines_round_trip(seed in any::<u64>(), n_fields in 0usize..6) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut e = Event::new(Level::Info, "prop.event");
+        if rng.random_range(0..2u8) == 1 {
+            e.worker = Some(rng.random_range(0..64usize));
+        }
+        const KEYS: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+        for (i, key) in KEYS.iter().enumerate().take(n_fields) {
+            let v = match i % 4 {
+                0 => Value::U64(rng.random_range(0..=u64::MAX)),
+                1 => Value::F64(f64::from(rng.random_range(0..1000u32)) / 8.0),
+                2 => Value::Bool(rng.random_range(0..2u8) == 1),
+                _ => Value::Str(format!("s{}\n\"quoted\"", rng.random_range(0..100u32))),
+            };
+            e.fields.push((key, v));
+        }
+        let line = e.to_json().to_string();
+        prop_assert!(a2a_obs::schema::validate_event_line(&line).is_ok(), "{}", line);
+        let doc = parse(&line).unwrap();
+        prop_assert_eq!(doc.get("event").and_then(Json::as_str), Some("prop.event"));
+        let fields = doc.get("fields").unwrap().as_obj().unwrap();
+        prop_assert_eq!(fields.len(), n_fields);
+    }
+}

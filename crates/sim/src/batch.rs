@@ -96,7 +96,16 @@ impl BatchRunner {
     ///
     /// The first placement error encountered, as [`BatchRunner::outcome_for`].
     pub fn run_all(&self, inits: &[InitialConfig]) -> Result<Vec<RunOutcome>, SimError> {
-        inits.iter().map(|init| self.outcome_for(init)).collect()
+        let _span = a2a_obs::Span::enter("batch.run_all");
+        let outcomes: Result<Vec<RunOutcome>, SimError> =
+            inits.iter().map(|init| self.outcome_for(init)).collect();
+        if let Ok(outcomes) = &outcomes {
+            a2a_obs::event!(a2a_obs::Level::Debug, "batch.run_all",
+                "configs" => outcomes.len(),
+                "successful" => outcomes.iter().filter(|o| o.is_successful()).count(),
+                "t_max" => self.t_max);
+        }
+        outcomes
     }
 }
 

@@ -259,6 +259,8 @@ pub struct FastWorld {
     complete: Vec<bool>,
     informed: usize,
     time: u32,
+    /// Movement conflicts lost so far (round-2 re-perceptions).
+    conflicts: u64,
     // Scratch reused across steps.
     claims: Vec<u32>,
     requests: Vec<(u32, u32)>,
@@ -343,6 +345,7 @@ impl FastWorld {
             complete: vec![false; k],
             informed: 0,
             time: 0,
+            conflicts: 0,
             claims: vec![NONE; n_cells],
             requests: Vec::with_capacity(k),
             decisions: Vec::with_capacity(k),
@@ -360,16 +363,96 @@ impl FastWorld {
     }
 
     /// Runs until every agent is informed or `t_max` counted steps passed.
+    ///
+    /// When observability is on (see [`a2a_obs`]) the run feeds the
+    /// global registry (`kernel.t_comm`, `kernel.run.conflicts`,
+    /// `kernel.runs`/`kernel.steps`/`kernel.conflicts` counters) and, at
+    /// `Debug`, emits a `kernel.run` summary event plus the
+    /// informed-count curve (`kernel.informed`, one event per counted
+    /// step on which the count grew). At `Trace` every step's act and
+    /// exchange phases are timed into `kernel.act.ns` /
+    /// `kernel.exchange.ns`. With observability off the only cost over
+    /// the bare loop is two relaxed atomic loads per run.
     pub fn run(&mut self, t_max: u32) -> RunOutcome {
-        while !self.all_informed() && self.time < t_max {
-            self.step();
+        let t_start = self.time;
+        let conflicts_start = self.conflicts;
+        let debug = a2a_obs::enabled(a2a_obs::Level::Debug);
+        if a2a_obs::enabled(a2a_obs::Level::Trace) {
+            self.run_traced(t_max);
+        } else if debug {
+            let mut last = self.informed;
+            while !self.all_informed() && self.time < t_max {
+                self.step();
+                if self.informed != last {
+                    last = self.informed;
+                    a2a_obs::event!(a2a_obs::Level::Debug, "kernel.informed",
+                        "t" => self.time, "informed" => self.informed, "k" => self.pos.len());
+                }
+            }
+        } else {
+            while !self.all_informed() && self.time < t_max {
+                self.step();
+            }
         }
-        RunOutcome {
+        let outcome = RunOutcome {
             t_comm: self.all_informed().then_some(self.time),
             informed: self.informed,
             agents: self.pos.len(),
             steps: self.time,
+        };
+        if a2a_obs::metrics_enabled() {
+            self.record_run_metrics(outcome, t_start, conflicts_start);
         }
+        outcome
+    }
+
+    /// `Trace`-level run loop: per-step phase timing on top of the
+    /// `Debug` informed-curve events.
+    fn run_traced(&mut self, t_max: u32) {
+        let reg = a2a_obs::global();
+        let act_ns = reg.histogram("kernel.act.ns");
+        let exchange_ns = reg.histogram("kernel.exchange.ns");
+        let mut last = self.informed;
+        while !self.all_informed() && self.time < t_max {
+            let t0 = std::time::Instant::now();
+            self.act();
+            let t1 = std::time::Instant::now();
+            self.exchange();
+            exchange_ns.record(t1.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            act_ns.record(t1.duration_since(t0).as_nanos().min(u128::from(u64::MAX)) as u64);
+            self.time += 1;
+            if self.informed != last {
+                last = self.informed;
+                a2a_obs::event!(a2a_obs::Level::Debug, "kernel.informed",
+                    "t" => self.time, "informed" => self.informed, "k" => self.pos.len());
+            }
+        }
+    }
+
+    /// Feeds one finished run's deltas into the global registry and, at
+    /// `Debug`, emits the `kernel.run` summary (field-compatible with
+    /// the reference engine's `world.run`, so differential runs line up
+    /// in one event stream).
+    fn record_run_metrics(&self, outcome: RunOutcome, t_start: u32, conflicts_start: u64) {
+        let reg = a2a_obs::global();
+        let steps = outcome.steps - t_start;
+        let conflicts = self.conflicts - conflicts_start;
+        reg.counter("kernel.runs").incr();
+        reg.counter("kernel.steps").add(u64::from(steps));
+        reg.counter("kernel.conflicts").add(conflicts);
+        reg.histogram("kernel.run.conflicts").record(conflicts);
+        match outcome.t_comm {
+            Some(t) => reg.histogram("kernel.t_comm").record(u64::from(t)),
+            None => reg.counter("kernel.unsuccessful").incr(),
+        }
+        a2a_obs::event!(a2a_obs::Level::Debug, "kernel.run",
+            "engine" => "fast",
+            "grid" => self.env.kind.to_string(),
+            "k" => outcome.agents,
+            "steps" => steps,
+            "t_comm" => outcome.t_comm.map_or(-1i64, i64::from),
+            "informed" => outcome.informed,
+            "conflicts" => conflicts);
     }
 
     /// The act phase: table-driven perception, two-round arbitration,
@@ -418,6 +501,7 @@ impl FastWorld {
         for r in 0..self.requests.len() {
             let (i, target) = self.requests[r];
             if self.claims[target as usize] != i {
+                self.conflicts += 1;
                 let here = self.pos[i as usize] as usize;
                 let color =
                     read_color(&self.color_planes, env.cell_words, env.n_color_planes, here);
@@ -526,6 +610,13 @@ impl FastWorld {
     #[must_use]
     pub fn informed_count(&self) -> usize {
         self.informed
+    }
+
+    /// Movement conflicts lost so far: agents that requested a cell,
+    /// lost the arbitration and re-perceived with `blocked = 1`.
+    #[must_use]
+    pub fn conflict_losses(&self) -> u64 {
+        self.conflicts
     }
 
     /// Whether the all-to-all task is solved.
@@ -685,6 +776,26 @@ mod tests {
         assert!(w.agent_info(0).contains(1), "adjacent pair exchanged at t=0");
         assert!(!w.agent_info(0).contains(2), "distant agent unknown");
         assert_eq!(w.agent_info(2).count(), 1);
+    }
+
+    #[test]
+    fn conflict_losses_count_round_two_reperceptions() {
+        use a2a_fsm::{FsmSpec, TableRow};
+        // Two agents converging on (5,5): exactly one loser on step 1.
+        let spec = FsmSpec::paper(GridKind::Square);
+        let rows: Vec<TableRow> = (0..8)
+            .map(|_| TableRow::from_digits("0000", "0000", "1111", "0000"))
+            .collect();
+        let straight = Genome::from_rows(spec, &rows);
+        let init = InitialConfig::new(vec![
+            (Pos::new(5, 4), Dir::new(1)),
+            (Pos::new(5, 6), Dir::new(3)),
+        ]);
+        let mut w = FastWorld::new(&cfg(GridKind::Square), straight, &init).unwrap();
+        assert_eq!(w.conflict_losses(), 0);
+        w.step();
+        assert_eq!(w.conflict_losses(), 1, "id 1 lost the arbitration for (5,5)");
+        assert_eq!(w.positions()[0], Pos::new(5, 5));
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub use error::SimError;
 pub use infoset::InfoSet;
 pub use init::{paper_config_set, InitialConfig};
 pub use kernel::FastWorld;
-pub use recorder::{record_trajectory, AgentSnapshot, Frame, Trajectory};
+pub use recorder::{record_trajectory, AgentSnapshot, Frame, TimedEvent, Trajectory};
 pub use render::{render_agents, render_colors, render_snapshot, render_visited};
 pub use run::{run_to_completion, run_with_profile, simulate, simulate_behaviour, RunOutcome};
 pub use world::World;

@@ -30,10 +30,26 @@ pub struct Frame {
     pub informed: usize,
 }
 
-/// A recorded run: one [`Frame`] per instant from placement to the end.
+/// A named marker on a [`Trajectory`]'s frame time axis — e.g. the
+/// counted step on which the informed count grew. Markers share the
+/// `time` values of the frames they annotate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Counted time of the frame this marker belongs to.
+    pub time: u32,
+    /// Dot-separated marker name (the [`a2a_obs`] naming convention).
+    pub name: String,
+    /// Scalar payload; its meaning depends on `name`.
+    pub value: i64,
+}
+
+/// A recorded run: one [`Frame`] per instant from placement to the end,
+/// plus an optional channel of [`TimedEvent`] markers on the same time
+/// axis.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Trajectory {
     frames: Vec<Frame>,
+    events: Vec<TimedEvent>,
 }
 
 impl Trajectory {
@@ -41,6 +57,76 @@ impl Trajectory {
     #[must_use]
     pub fn frames(&self) -> &[Frame] {
         &self.frames
+    }
+
+    /// Appends a marker to the event channel. Markers keep insertion
+    /// order; `time` should name a recorded frame.
+    pub fn push_event(&mut self, time: u32, name: impl Into<String>, value: i64) {
+        self.events.push(TimedEvent { time, name: name.into(), value });
+    }
+
+    /// The event channel, in insertion order.
+    #[must_use]
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// The markers attached to frame `time`.
+    pub fn events_at(&self, time: u32) -> impl Iterator<Item = &TimedEvent> {
+        self.events.iter().filter(move |e| e.time == time)
+    }
+
+    /// Serialises the trajectory as JSONL: a header line
+    /// (`schema = "a2a-sim/trajectory/v1"`), one line per frame
+    /// (`{"time", "informed", "agents": [{"x","y","dir","state","info"}]}`)
+    /// and one line per event-channel marker
+    /// (`{"time", "mark", "value"}`). Every line is an auxiliary
+    /// document under the [`a2a_obs::schema`] rules, so a trajectory
+    /// file passes `validate_events` as-is.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        use a2a_obs::json::Json;
+        let mut out = String::new();
+        let mut push = |line: Json| {
+            out.push_str(&line.to_string());
+            out.push('\n');
+        };
+        push(
+            Json::object()
+                .with("schema", "a2a-sim/trajectory/v1")
+                .with("frames", self.frames.len())
+                .with("events", self.events.len())
+                .with("agents", self.frames[0].agents.len()),
+        );
+        for f in &self.frames {
+            let agents: Vec<Json> = f
+                .agents
+                .iter()
+                .map(|a| {
+                    Json::object()
+                        .with("x", u64::from(a.pos.x))
+                        .with("y", u64::from(a.pos.y))
+                        .with("dir", u64::from(a.dir.index()))
+                        .with("state", u64::from(a.state))
+                        .with("info", a.info_count)
+                })
+                .collect();
+            push(
+                Json::object()
+                    .with("time", f.time)
+                    .with("informed", f.informed)
+                    .with("agents", Json::Arr(agents)),
+            );
+        }
+        for e in &self.events {
+            push(
+                Json::object()
+                    .with("time", e.time)
+                    .with("mark", e.name.as_str())
+                    .with("value", e.value),
+            );
+        }
+        out
     }
 
     /// Number of recorded instants (`steps + 1`).
@@ -92,6 +178,8 @@ impl Trajectory {
 }
 
 /// Runs `world` to completion (or `t_max`), recording every instant.
+/// The event channel receives an `informed` marker on every counted
+/// step where the informed count grew (value = new count).
 pub fn record_trajectory(world: &mut World, t_max: u32) -> (RunOutcome, Trajectory) {
     let snapshot = |w: &World| Frame {
         time: w.time(),
@@ -108,9 +196,18 @@ pub fn record_trajectory(world: &mut World, t_max: u32) -> (RunOutcome, Trajecto
         informed: w.informed_count(),
     };
     let mut frames = vec![snapshot(world)];
+    let mut events = Vec::new();
     while !world.all_informed() && world.time() < t_max {
+        let before = world.informed_count();
         world.step();
         frames.push(snapshot(world));
+        if world.informed_count() > before {
+            events.push(TimedEvent {
+                time: world.time(),
+                name: "informed".to_string(),
+                value: world.informed_count() as i64,
+            });
+        }
     }
     let outcome = RunOutcome {
         t_comm: world.all_informed().then(|| world.time()),
@@ -118,7 +215,7 @@ pub fn record_trajectory(world: &mut World, t_max: u32) -> (RunOutcome, Trajecto
         agents: world.agents().len(),
         steps: world.time(),
     };
-    (outcome, Trajectory { frames })
+    (outcome, Trajectory { frames, events })
 }
 
 #[cfg(test)]
@@ -183,5 +280,53 @@ mod tests {
         let (_, traj) = recorded(GridKind::Triangulate, 2, 5);
         assert!(traj.mobility() > 0.5, "mobility {}", traj.mobility());
         assert!(traj.moves_of(0) + traj.moves_of(1) > 0);
+    }
+
+    #[test]
+    fn event_channel_tracks_informed_growth() {
+        let (outcome, mut traj) = recorded(GridKind::Triangulate, 8, 3);
+        let marks: Vec<&TimedEvent> =
+            traj.events().iter().filter(|e| e.name == "informed").collect();
+        assert!(!marks.is_empty(), "a successful multi-agent run has informed growth");
+        for w in marks.windows(2) {
+            assert!(w[1].time > w[0].time, "markers follow the frame time axis");
+            assert!(w[1].value > w[0].value, "informed count is monotone");
+        }
+        let last = marks.last().unwrap();
+        assert_eq!(last.time, outcome.t_comm.unwrap());
+        assert_eq!(last.value, 8);
+        assert_eq!(traj.events_at(last.time).count(), 1);
+
+        traj.push_event(0, "custom.mark", 42);
+        assert_eq!(traj.events().last().unwrap().value, 42);
+        assert_eq!(traj.events_at(0).count(), 1);
+    }
+
+    #[test]
+    fn jsonl_export_is_schema_valid_and_complete() {
+        let (outcome, traj) = recorded(GridKind::Square, 4, 9);
+        let text = traj.to_jsonl();
+        // Every line is an auxiliary document under the obs schema.
+        assert_eq!(a2a_obs::schema::validate_events(&text).unwrap(), 0);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + traj.len() + traj.events().len());
+        let header = a2a_obs::json::parse(lines[0]).unwrap();
+        assert_eq!(
+            header.get("schema").and_then(a2a_obs::json::Json::as_str),
+            Some("a2a-sim/trajectory/v1")
+        );
+        assert_eq!(
+            header.get("frames").and_then(a2a_obs::json::Json::as_f64),
+            Some(traj.len() as f64)
+        );
+        let last_frame = a2a_obs::json::parse(lines[traj.len()]).unwrap();
+        assert_eq!(
+            last_frame.get("informed").and_then(a2a_obs::json::Json::as_f64),
+            Some(outcome.informed as f64)
+        );
+        assert_eq!(
+            last_frame.get("agents").and_then(a2a_obs::json::Json::as_arr).unwrap().len(),
+            4
+        );
     }
 }

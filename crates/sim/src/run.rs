@@ -45,16 +45,47 @@ impl RunOutcome {
 ///
 /// The world may already be complete at `t = 0` (e.g. two adjacent
 /// agents); the outcome then reports `t_comm = Some(0)` without stepping.
+///
+/// When observability is on, the run feeds `world.*` metrics and a
+/// `world.run` event carrying the same fields as the fast kernel's
+/// `kernel.run`, so differential runs of both engines line up in one
+/// event stream.
 pub fn run_to_completion(world: &mut World, t_max: u32) -> RunOutcome {
+    let t_start = world.time();
     while !world.all_informed() && world.time() < t_max {
         world.step();
     }
-    RunOutcome {
+    let outcome = RunOutcome {
         t_comm: world.all_informed().then(|| world.time()),
         informed: world.informed_count(),
         agents: world.agents().len(),
         steps: world.time(),
+    };
+    record_world_run(world, outcome, t_start);
+    outcome
+}
+
+/// Feeds one reference-engine run into the global registry and, at
+/// `Debug`, the event stream (engine-comparable with
+/// `FastWorld::run`'s `kernel.run`).
+fn record_world_run(world: &World, outcome: RunOutcome, t_start: u32) {
+    let steps = outcome.steps - t_start;
+    if a2a_obs::metrics_enabled() {
+        let reg = a2a_obs::global();
+        reg.counter("world.runs").incr();
+        reg.counter("world.steps").add(u64::from(steps));
+        match outcome.t_comm {
+            Some(t) => reg.histogram("world.t_comm").record(u64::from(t)),
+            None => reg.counter("world.unsuccessful").incr(),
+        }
     }
+    a2a_obs::event!(a2a_obs::Level::Debug, "world.run",
+        "engine" => "world",
+        "grid" => world.kind().to_string(),
+        "k" => outcome.agents,
+        "steps" => steps,
+        "t_comm" => outcome.t_comm.map_or(-1i64, i64::from),
+        "informed" => outcome.informed);
 }
 
 /// Runs `world` like [`run_to_completion`] while recording the informed
@@ -65,6 +96,7 @@ pub fn run_to_completion(world: &mut World, t_max: u32) -> RunOutcome {
 /// after counted step `t`. The profile of a successful run ends at the
 /// agent count.
 pub fn run_with_profile(world: &mut World, t_max: u32) -> (RunOutcome, Vec<usize>) {
+    let t_start = world.time();
     let mut profile = vec![world.informed_count()];
     while !world.all_informed() && world.time() < t_max {
         world.step();
@@ -76,6 +108,7 @@ pub fn run_with_profile(world: &mut World, t_max: u32) -> (RunOutcome, Vec<usize
         agents: world.agents().len(),
         steps: world.time(),
     };
+    record_world_run(world, outcome, t_start);
     (outcome, profile)
 }
 
