@@ -9,10 +9,11 @@
 
 use crate::stats::Summary;
 use a2a_fsm::FsmSpec;
-use a2a_ga::{Evaluator, Evolution, GaConfig, ReproductionStrategy};
+use a2a_ga::{Evaluator, Evolution, GaConfig, ReproductionStrategy, WorkerPool};
 use a2a_grid::GridKind;
 use a2a_sim::{paper_config_set, SimError, WorldConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Aggregated convergence behaviour of one strategy over several seeds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,6 +50,10 @@ pub fn compare_strategies(
     threads: usize,
 ) -> Result<Vec<StrategyReport>, SimError> {
     let env = WorldConfig::paper(kind, 16);
+    // One persistent worker pool across every (strategy × run) cell;
+    // fitness caches stay per-run because each run has its own training
+    // set (a cache is only valid for the set it was filled against).
+    let workers = Arc::new(WorkerPool::new(threads));
     let mut reports = Vec::with_capacity(strategies.len());
     for &strategy in strategies {
         let mut finals = Vec::with_capacity(runs);
@@ -59,7 +64,7 @@ pub fn compare_strategies(
             let train = paper_config_set(env.lattice, kind, 8, train_configs, run_seed)?;
             let ga = Evolution::new(
                 FsmSpec::paper(kind),
-                Evaluator::new(env.clone(), train).with_threads(threads),
+                Evaluator::new(env.clone(), train).with_pool(Arc::clone(&workers)),
                 GaConfig::with_strategy(generations, run_seed, strategy),
             );
             let outcome = ga.run(|_| ());

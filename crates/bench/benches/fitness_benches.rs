@@ -1,0 +1,88 @@
+//! Adaptive fitness pipeline vs. the PR-1 baseline: whole-population
+//! evaluation (the acceptance workload at reduced config count for
+//! iteration speed), the cold/warm cache split, and the pruned
+//! selection step. The recorded full-scale numbers land in
+//! `BENCH_fitness.json` via `all_experiments`; this harness is for
+//! relative comparison and CI's `--test` smoke.
+
+use a2a_bench::fitness::{baseline_population_eval, standard_workload, STANDARD_POPULATION};
+use a2a_fsm::Genome;
+use a2a_ga::Evaluator;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::time::Duration;
+
+const BENCH_CONFIGS: usize = 30;
+const THREADS: usize = 2;
+
+fn bench_population_eval(c: &mut Criterion) {
+    let w = standard_workload(BENCH_CONFIGS, 2013);
+    let mut group = c.benchmark_group("fitness_pop20");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    group.bench_function("baseline_fresh_worlds", |b| {
+        b.iter(|| black_box(baseline_population_eval(&w, THREADS)));
+    });
+
+    // Cold: every iteration starts with an empty cache (the first epoch
+    // of a run) but keeps the persistent pool + world arenas.
+    group.bench_function("adaptive_cold", |b| {
+        b.iter_batched(
+            || Evaluator::new(w.config.clone(), w.configs.clone()).with_threads(THREADS),
+            |evaluator| black_box(evaluator.evaluate_all(&w.population)),
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Warm: the island-epoch case — the pool was already evaluated.
+    let prewarmed =
+        Evaluator::new(w.config.clone(), w.configs.clone()).with_threads(THREADS);
+    let _ = prewarmed.evaluate_all(&w.population);
+    group.bench_function("adaptive_warm_cache", |b| {
+        b.iter(|| black_box(prewarmed.evaluate_all(&w.population)));
+    });
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let w = standard_workload(BENCH_CONFIGS, 2013);
+    let evaluator = Evaluator::new(w.config.clone(), w.configs.clone()).with_threads(THREADS);
+    let incumbents: Vec<f64> =
+        evaluator.evaluate_all(&w.population).iter().map(|r| r.fitness).collect();
+    let pool_digits: HashSet<String> =
+        w.population.iter().map(Genome::to_digits).collect();
+    let fresh: Vec<Genome> =
+        w.children.iter().filter(|g| !pool_digits.contains(&g.to_digits())).cloned().collect();
+
+    let mut group = c.benchmark_group("fitness_selection");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    // Exhaustive: every child runs the full configuration set.
+    group.bench_function("children_exhaustive", |b| {
+        b.iter_batched(
+            || Evaluator::new(w.config.clone(), w.configs.clone()).with_threads(THREADS),
+            |cold| black_box(cold.evaluate_all(&fresh)),
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Pruned: hopeless children stop after a provably sufficient prefix.
+    group.bench_function("children_pruned", |b| {
+        b.iter_batched(
+            || {
+                let cold =
+                    Evaluator::new(w.config.clone(), w.configs.clone()).with_threads(THREADS);
+                // Prime only the incumbents (as in a real generation).
+                let _ = cold.evaluate_all(&w.population);
+                cold
+            },
+            |cold| black_box(cold.evaluate_selection(&fresh, STANDARD_POPULATION, &incumbents)),
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_population_eval, bench_selection);
+criterion_main!(benches);

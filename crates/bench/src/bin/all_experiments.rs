@@ -21,7 +21,9 @@ use a2a_bench::RunScale;
 use a2a_fsm::{best_t_agent, FsmSpec, Genome};
 use a2a_ga::{Evaluator, Evolution, GaConfig};
 use a2a_grid::GridKind;
-use a2a_obs::schema::{validate_bench_snapshot, BENCH_SNAPSHOT_SCHEMA, REQUIRED_T_COMM_KS};
+use a2a_obs::schema::{
+    validate_bench_snapshot, validate_fitness_snapshot, BENCH_SNAPSHOT_SCHEMA, REQUIRED_T_COMM_KS,
+};
 use a2a_obs::json::Json;
 use a2a_obs::HistogramSnapshot;
 use a2a_sim::{paper_config_set, BatchRunner, WorldConfig};
@@ -31,6 +33,9 @@ use std::time::Instant;
 
 /// Output path of the consolidated perf snapshot.
 const SNAPSHOT_PATH: &str = "BENCH_obs.json";
+
+/// Output path of the fitness-pipeline before/after snapshot.
+const FITNESS_PATH: &str = "BENCH_fitness.json";
 
 /// Measures the perf snapshot on the T-grid: kernel steps/s and per-k
 /// `t_comm` histograms from one batch pass, fitness evals/s, and a small
@@ -221,6 +226,31 @@ fn main() {
         "- kernel: {:.2e} agent-steps/s; fitness: {:.1} evals/s; wrote {SNAPSHOT_PATH} (schema-valid)",
         num(&["kernel", "steps_per_sec"]),
         num(&["fitness", "evals_per_sec"]),
+    ));
+
+    // Adaptive fitness pipeline before/after → BENCH_fitness.json.
+    let fitness = a2a_bench::fitness::fitness_snapshot(
+        a2a_bench::fitness::STANDARD_CONFIGS,
+        scale.threads,
+        scale.seed,
+    );
+    validate_fitness_snapshot(&fitness).expect("adaptive pipeline beats the baseline exactly");
+    std::fs::write(FITNESS_PATH, format!("{fitness}\n")).expect("cwd is writable");
+    if let Some(sink) = obs.sink() {
+        sink.write_json(&fitness);
+    }
+    let fnum = |path: &[&str]| {
+        path.iter()
+            .try_fold(&fitness, |d, k| d.get(k))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN)
+    };
+    scale.outln(format!(
+        "- adaptive fitness: {:.2}x vs baseline over {} epochs ({} cache hits, {} configs pruned); wrote {FITNESS_PATH} (schema-valid)",
+        fnum(&["speedup"]),
+        a2a_bench::fitness::SNAPSHOT_EPOCHS,
+        fnum(&["adaptive", "cache_hits"]),
+        fnum(&["selection", "pruned_configs"]),
     ));
 
     scale.outln(

@@ -11,9 +11,10 @@
 
 use a2a_bench::RunScale;
 use a2a_fsm::{best_agent, FsmSpec, Genome};
-use a2a_ga::{screen, Evaluator, Evolution, GaConfig};
+use a2a_ga::{screen, Evaluator, Evolution, GaConfig, WorkerPool};
 use a2a_grid::GridKind;
 use a2a_sim::{paper_config_set, WorldConfig};
+use std::sync::Arc;
 
 struct Args {
     scale: RunScale,
@@ -71,6 +72,10 @@ fn main() {
     ));
 
     let env = WorldConfig::paper(kind, 16);
+    // One worker pool for every run in this process. The fitness caches
+    // stay per-run: each run trains on its own configuration set, and a
+    // cache is only valid for the set it was filled against.
+    let workers = Arc::new(WorkerPool::new(scale.threads));
     // "Four independent optimization runs on 1003 initial configurations
     //  were performed, with field size 16x16 and N_agents = 8."
     let mut candidates: Vec<(usize, Genome, f64)> = Vec::new();
@@ -78,9 +83,11 @@ fn main() {
         let run_seed = scale.seed.wrapping_add(run as u64 * 0x0123_4567);
         let train = paper_config_set(env.lattice, kind, 8, scale.configs, run_seed)
             .expect("8 agents fit 16x16");
+        let evaluator = Evaluator::new(env.clone(), train).with_pool(Arc::clone(&workers));
+        let cache_probe = evaluator.clone();
         let ga = Evolution::new(
             FsmSpec::paper(kind),
-            Evaluator::new(env.clone(), train).with_threads(scale.threads),
+            evaluator,
             GaConfig::paper(args.generations, run_seed),
         );
         let outcome = ga.run(|s| {
@@ -99,8 +106,10 @@ fn main() {
         // "Then the top 3 completely successful FSMs of each run
         //  (altogether 12) were also tested …"
         let top = outcome.top_completely_successful(3);
+        let (hits, misses) = (cache_probe.cache().hits(), cache_probe.cache().misses());
         scale.outln(format!(
-            "run {run}: {} completely successful individuals in the final pool",
+            "run {run}: {} completely successful individuals in the final pool \
+             (fitness cache: {hits} hits / {misses} misses)",
             top.len()
         ));
         for ind in top {
@@ -163,7 +172,11 @@ fn main() {
     scale.outln(format!(
         "fresh-set comparison  (k = 8): evolved mean t_comm {:.2} ({}/{} solved) \
          vs published {:.2} ({}/{})",
-        ours.mean_t_comm, ours.successes, ours.total,
-        published.mean_t_comm, published.successes, published.total,
+        ours.mean_t_comm.unwrap_or(f64::NAN),
+        ours.successes,
+        ours.total,
+        published.mean_t_comm.unwrap_or(f64::NAN),
+        published.successes,
+        published.total,
     ));
 }

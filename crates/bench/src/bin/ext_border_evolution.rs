@@ -32,7 +32,7 @@ fn main() {
         let mut table = TextTable::new(vec!["specialist", "on torus", "on bordered"]);
         let cell = |rep: &a2a_ga::FitnessReport| {
             if rep.successes == rep.total {
-                f2(rep.mean_t_comm)
+                f2(rep.mean_t_comm.unwrap_or(f64::NAN))
             } else {
                 format!("{}/{} solved", rep.successes, rep.total)
             }

@@ -38,7 +38,7 @@ fn main() {
                 format!("{:.1}", r.search_space_log10),
                 f2(r.held_out.fitness),
                 format!("{}/{}", r.held_out.successes, r.held_out.total),
-                f2(r.held_out.mean_t_comm),
+                f2(r.held_out.mean_t_comm.unwrap_or(f64::NAN)),
             ]);
         }
         scale.outln(format!("{table}"));

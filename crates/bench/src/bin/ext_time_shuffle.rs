@@ -31,12 +31,15 @@ fn main() {
             .expect("8 agents fit 16x16");
         scale.outln(format!(
             "  best single   : fitness {:10.2}, {}/{} solved, mean t_comm {:.2}",
-            cmp.single.fitness, cmp.single.successes, cmp.single.total, cmp.single.mean_t_comm,
+            cmp.single.fitness,
+            cmp.single.successes,
+            cmp.single.total,
+            cmp.single.mean_t_comm.unwrap_or(f64::NAN),
         ));
         scale.outln(format!(
             "  best pair {:?}: fitness {:10.2}, {}/{} solved, mean t_comm {:.2}",
             cmp.pair, cmp.shuffled.fitness, cmp.shuffled.successes, cmp.shuffled.total,
-            cmp.shuffled.mean_t_comm,
+            cmp.shuffled.mean_t_comm.unwrap_or(f64::NAN),
         ));
         scale.outln(format!(
             "  time-shuffling {} at this budget\n",

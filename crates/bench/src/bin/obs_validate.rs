@@ -4,39 +4,48 @@
 //!
 //! ```text
 //! cargo run --release -p a2a-bench --bin obs_validate -- \
-//!     [--events events.jsonl] [--snapshot BENCH_obs.json]
+//!     [--events events.jsonl] [--snapshot BENCH_obs.json] \
+//!     [--fitness BENCH_fitness.json]
 //! ```
+//!
+//! `--fitness` additionally gates on the snapshot's own acceptance
+//! terms: `identical_reports` must be true and `speedup ≥ 1`.
 
 use a2a_obs::json::parse;
-use a2a_obs::schema::{validate_bench_snapshot, validate_events};
+use a2a_obs::schema::{validate_bench_snapshot, validate_events, validate_fitness_snapshot};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut events: Vec<String> = Vec::new();
     let mut snapshots: Vec<String> = Vec::new();
+    let mut fitness: Vec<String> = Vec::new();
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--events" | "--snapshot" => {
+            "--events" | "--snapshot" | "--fitness" => {
                 let Some(path) = it.next() else {
                     eprintln!("missing value for {flag}");
                     return ExitCode::FAILURE;
                 };
-                if flag == "--events" {
-                    events.push(path);
-                } else {
-                    snapshots.push(path);
+                match flag.as_str() {
+                    "--events" => events.push(path),
+                    "--snapshot" => snapshots.push(path),
+                    _ => fitness.push(path),
                 }
             }
             other => {
-                eprintln!("unknown flag `{other}` (use --events FILE / --snapshot FILE)");
+                eprintln!(
+                    "unknown flag `{other}` (use --events FILE / --snapshot FILE / --fitness FILE)"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
-    if events.is_empty() && snapshots.is_empty() {
-        eprintln!("nothing to validate: pass --events FILE and/or --snapshot FILE");
+    if events.is_empty() && snapshots.is_empty() && fitness.is_empty() {
+        eprintln!(
+            "nothing to validate: pass --events FILE, --snapshot FILE and/or --fitness FILE"
+        );
         return ExitCode::FAILURE;
     }
 
@@ -66,6 +75,19 @@ fn main() -> ExitCode {
             .and_then(|doc| validate_bench_snapshot(&doc));
         match result {
             Ok(()) => println!("{path}: OK (bench snapshot)"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+        }
+    }
+    for path in &fitness {
+        let result = std::fs::read_to_string(path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|content| parse(content.trim()))
+            .and_then(|doc| validate_fitness_snapshot(&doc));
+        match result {
+            Ok(()) => println!("{path}: OK (fitness snapshot, adaptive ≥ baseline, identical reports)"),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
                 ok = false;

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod fitness;
+
 use a2a_ga::default_threads;
 use a2a_obs::{JsonlSink, Level, Sink};
 use std::sync::Arc;

@@ -3,7 +3,7 @@
 //! diversity exchange between pool halves.
 
 use crate::crossover::{one_point, uniform, ReproductionStrategy};
-use crate::fitness::{Evaluator, FitnessReport};
+use crate::fitness::{Evaluator, FitnessReport, GenomeEval};
 use a2a_fsm::{offspring, FsmSpec, Genome, MutationRates};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -220,7 +220,40 @@ impl Evolution {
             let child_digits: std::collections::HashSet<String> =
                 children.iter().map(Genome::to_digits).collect();
             let mut union: Vec<Individual> = pool;
-            union.extend(self.rank(children));
+
+            // Adaptive selection (DESIGN.md §8). Children whose digits
+            // already occur in the pool would lose duplicate deletion to
+            // the pool occurrence (same fitness, earlier position), so
+            // they skip evaluation outright; the rest compete for the N
+            // slots with bound-based pruning against the pool's distinct
+            // exact fitnesses. Selection is provably identical to
+            // evaluating every child in full.
+            let pool_digits: std::collections::HashSet<String> =
+                union.iter().map(|ind| ind.genome.to_digits()).collect();
+            let mut incumbent_seen = std::collections::HashSet::new();
+            let incumbents: Vec<f64> = union
+                .iter()
+                .filter(|ind| incumbent_seen.insert(ind.genome.to_digits()))
+                .map(|ind| ind.report.fitness)
+                .collect();
+            let total_entries = union.len() + children.len();
+            let fresh: Vec<Genome> = children
+                .into_iter()
+                .filter(|c| !pool_digits.contains(&c.to_digits()))
+                .collect();
+            let verdicts = self.evaluator.evaluate_selection(&fresh, n, &incumbents);
+            for (genome, verdict) in fresh.into_iter().zip(verdicts) {
+                if let GenomeEval::Exact(report) = verdict {
+                    union.push(Individual { genome, report });
+                }
+            }
+
+            // `before − after` of the exhaustive path, computed without
+            // materialising the pruned entries: every deleted duplicate
+            // is an entry whose digits already occurred.
+            let mut all_digits = pool_digits;
+            all_digits.extend(child_digits.iter().cloned());
+            let duplicates_removed = total_entries - all_digits.len();
 
             // Sort by fitness, delete duplicates, truncate to N.
             union.sort_by(|a, b| {
@@ -229,10 +262,8 @@ impl Evolution {
                     .partial_cmp(&b.report.fitness)
                     .expect("fitness is never NaN")
             });
-            let before = union.len();
             let mut seen = std::collections::HashSet::new();
             union.retain(|ind| seen.insert(ind.genome.to_digits()));
-            let duplicates_removed = before - union.len();
             union.truncate(n);
 
             // Diversity exchange: the first b individuals of the second

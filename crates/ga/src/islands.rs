@@ -64,6 +64,11 @@ impl IslandOutcome {
 /// Implementation note: migration is realised by restarting each island's
 /// procedure from a seeded pool that includes the migrants; the paper
 /// gives no protocol details, so the simplest faithful scheme is used.
+/// Each restart re-ranks a pool that was already evaluated in the
+/// previous epoch — because every island clones the same [`Evaluator`],
+/// they share one worker pool and one fitness cache, so those
+/// re-evaluations (and migrants arriving with known fitness) resolve
+/// from the cache instead of re-simulating.
 ///
 /// # Panics
 ///
@@ -193,6 +198,25 @@ mod tests {
             .fold(f64::NEG_INFINITY, f64::max)
             - bests.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread.is_finite());
+    }
+
+    #[test]
+    fn islands_share_the_fitness_cache() {
+        let (spec, evaluator) = setup();
+        // A clone observes the same cache the islands use.
+        let probe = evaluator.clone();
+        assert_eq!(probe.cache().hits(), 0);
+        let _ = run_islands(
+            spec,
+            &evaluator,
+            GaConfig::paper(10, 5),
+            IslandConfig { islands: 2, epoch: 5, migrants: 2 },
+            |_, _| {},
+        );
+        // Epoch restarts re-rank already-evaluated pools: with a shared
+        // cache those lookups must hit.
+        assert!(probe.cache().hits() > 0, "epoch restarts should be cache hits");
+        assert!(!probe.cache().is_empty());
     }
 
     #[test]

@@ -8,11 +8,14 @@
 //! are deleted, the pool is truncated to `N = 20`, and individuals 7,8,9
 //! are exchanged with 10,11,12 to preserve diversity.
 //!
-//! * [`Evaluator`] — parallel fitness evaluation over a configuration set;
+//! * [`Evaluator`] — adaptive fitness evaluation over a configuration
+//!   set: persistent [`WorkerPool`], genome memoization
+//!   ([`FitnessCache`]) and exact bound-based pruning
+//!   ([`Evaluator::evaluate_selection`]) — see DESIGN.md §8;
 //! * [`Evolution`] / [`GaConfig`] — the generational loop;
 //! * [`screen`] — reliability screening across agent densities (Sect. 5);
-//! * [`parallel_map`] — the scoped-thread work-stealing map used
-//!   throughout.
+//! * [`parallel_map`] — the scoped-thread work-stealing map kept for
+//!   one-shot batches.
 //!
 //! # Examples
 //!
@@ -42,16 +45,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod cache;
 mod crossover;
 mod evolve;
 mod fitness;
 mod islands;
 mod parallel;
+mod pool;
 mod reliability;
 
+pub use cache::{FitnessCache, DEFAULT_CACHE_CAPACITY};
 pub use crossover::{one_point, uniform, ReproductionStrategy};
 pub use evolve::{Evolution, EvolutionOutcome, GaConfig, GenerationStats, Individual};
-pub use fitness::{Evaluator, FitnessReport, PAPER_T_MAX, PAPER_WEIGHT};
+pub use fitness::{
+    Evaluator, FitnessReport, GenomeEval, PruneBound, PAPER_T_MAX, PAPER_WEIGHT,
+};
 pub use islands::{run_islands, IslandConfig, IslandOutcome};
 pub use parallel::{default_threads, default_threads_for, parallel_map};
+pub use pool::WorkerPool;
 pub use reliability::{screen, DensityReport, ReliabilityReport};

@@ -15,6 +15,17 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Clears the observability worker-id tag when the worker unwinds or
+/// returns — without it, a panicking closure would leak the tag onto
+/// whatever thread the scope hands back to the caller.
+struct WorkerIdGuard;
+
+impl Drop for WorkerIdGuard {
+    fn drop(&mut self) {
+        a2a_obs::set_worker_id(None);
+    }
+}
+
 /// [`default_threads`] capped at `item_count` (minimum 1), for sizing a
 /// worker pool to a known batch: spawning more threads than items only
 /// adds startup cost.
@@ -52,6 +63,7 @@ where
             .map(|w| {
                 scope.spawn(move || {
                     a2a_obs::set_worker_id(Some(w));
+                    let _guard = WorkerIdGuard;
                     let started = debug.then(std::time::Instant::now);
                     let mut local = Vec::new();
                     loop {
@@ -66,7 +78,6 @@ where
                             "items" => local.len(),
                             "elapsed_us" => started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
                     }
-                    a2a_obs::set_worker_id(None);
                     local
                 })
             })
@@ -126,6 +137,20 @@ mod tests {
             (x, acc).0
         });
         assert_eq!(results, items);
+    }
+
+    #[test]
+    fn worker_id_guard_clears_tag_on_panic() {
+        // Simulate a worker whose closure panics: the guard must clear
+        // the thread-local tag during unwinding, so a thread reused
+        // afterwards does not report a stale worker id.
+        let unwound = std::panic::catch_unwind(|| {
+            a2a_obs::set_worker_id(Some(7));
+            let _guard = WorkerIdGuard;
+            panic!("worker died");
+        });
+        assert!(unwound.is_err());
+        assert_eq!(a2a_obs::worker_id(), None, "tag must not leak past the panic");
     }
 
     #[test]

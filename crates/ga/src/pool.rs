@@ -1,0 +1,286 @@
+//! A persistent worker pool on `std::thread`: a condvar-guarded job
+//! queue shared by long-lived workers, replacing the per-call scoped
+//! threads of [`crate::parallel_map`] on the GA hot path.
+//!
+//! The GA calls `evaluate_all` once per generation; spawning and joining
+//! OS threads each time costs tens of microseconds per worker and shows
+//! up on short generations. A [`WorkerPool`] spawns its workers once,
+//! parks them on a [`Condvar`], and hands them `'static` jobs — the
+//! crate forbids `unsafe`, so instead of lifetime-erased borrows the
+//! [`WorkerPool::map`] primitive shares its input through an [`Arc`].
+//!
+//! Workers tag themselves in the observability layer exactly like
+//! `parallel_map` workers do (`a2a_obs::set_worker_id`), so events
+//! emitted from inside jobs carry a stable worker id, and every executed
+//! task bumps the `ga.pool.tasks` counter while metrics are on.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state behind the pool's mutex.
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The mutex + condvar pair shared between the handle and the workers.
+struct PoolShared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+/// A persistent pool of worker threads executing boxed jobs.
+///
+/// Dropping the pool shuts it down: the queue is closed and every worker
+/// is joined. Jobs that panic are caught per-job ([`catch_unwind`]) so a
+/// poisoned genome cannot take a long-lived worker down with it; callers
+/// of [`WorkerPool::map`] detect the missing result and panic on their
+/// own thread with a diagnosable message.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("threads", &self.threads).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (clamped to at least 1).
+    ///
+    /// A single-threaded pool spawns no OS threads at all: every
+    /// [`WorkerPool::map`] runs inline on the caller, which keeps
+    /// `threads = 1` call sites deterministic to profile — the same
+    /// contract as [`crate::parallel_map`].
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+        });
+        let handles = if threads == 1 {
+            Vec::new()
+        } else {
+            (0..threads)
+                .map(|w| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("a2a-pool-{w}"))
+                        .spawn(move || worker_loop(&shared, w))
+                        .expect("worker threads must spawn")
+                })
+                .collect()
+        };
+        Self { shared, threads, handles }
+    }
+
+    /// Worker count the pool was built with.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enqueues one job and wakes a worker.
+    fn submit(&self, job: Job) {
+        let mut state = self.shared.state.lock().expect("pool workers do not poison the lock");
+        state.queue.push_back(job);
+        drop(state);
+        self.shared.available.notify_one();
+    }
+
+    /// Applies `f` to every item of `items` across the pool and returns
+    /// the results in input order. `f` receives `(index, &item)`.
+    ///
+    /// The input is shared by [`Arc`] because jobs outlive the call's
+    /// stack frame on the worker side; the caller participates in the
+    /// drain (work-stealing over a shared index), so the pool threads
+    /// are pure extra bandwidth and `threads = 1` degenerates to a plain
+    /// inline map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any application of `f` panicked on a worker (the
+    /// worker itself survives).
+    pub fn map<T, R, F>(&self, items: &Arc<Vec<T>>, f: F) -> Vec<R>
+    where
+        T: Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn(usize, &T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let started = a2a_obs::metrics_enabled().then(std::time::Instant::now);
+        let f = Arc::new(f);
+        let next = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel::<Vec<(usize, R)>>();
+        // One task per worker; each drains the shared index until empty.
+        // The caller keeps one share for itself.
+        let helper_tasks = (self.threads - 1).min(n);
+        for _ in 0..helper_tasks {
+            let items = Arc::clone(items);
+            let f = Arc::clone(&f);
+            let next = Arc::clone(&next);
+            let tx = tx.clone();
+            self.submit(Box::new(move || {
+                let _ = tx.send(drain(&items, &f, &next));
+            }));
+        }
+        drop(tx);
+        let mut tagged = drain(items, &f, &next);
+        for _ in 0..helper_tasks {
+            // A worker that panicked drops its sender without sending;
+            // `recv` then errors and the items it claimed are missing.
+            if let Ok(batch) = rx.recv() {
+                tagged.extend(batch);
+            }
+        }
+        assert!(
+            tagged.len() == n,
+            "a pool worker panicked while evaluating ({}/{n} results)",
+            tagged.len()
+        );
+        if let Some(t0) = started {
+            let reg = a2a_obs::global();
+            reg.counter("ga.pool.items").add(n as u64);
+            reg.histogram("ga.pool.map.us").record_duration_us(t0.elapsed());
+        }
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Pulls indices from `next` and applies `f` until the input is drained.
+fn drain<T, R>(
+    items: &Arc<Vec<T>>,
+    f: &Arc<impl Fn(usize, &T) -> R>,
+    next: &Arc<AtomicUsize>,
+) -> Vec<(usize, R)> {
+    let mut local = Vec::new();
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= items.len() {
+            return local;
+        }
+        local.push((i, f(i, &items[i])));
+    }
+}
+
+/// The long-lived worker body: tag, then pop-run until shutdown.
+fn worker_loop(shared: &PoolShared, w: usize) {
+    a2a_obs::set_worker_id(Some(w));
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock is never poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared
+                    .available
+                    .wait(state)
+                    .expect("pool lock is never poisoned");
+            }
+        };
+        let Some(job) = job else { return };
+        // Contain panics to the job: its channel sender is dropped
+        // unsent, which the `map` caller turns into a clean panic.
+        let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
+        if a2a_obs::metrics_enabled() {
+            let reg = a2a_obs::global();
+            reg.counter("ga.pool.tasks").incr();
+            if panicked {
+                reg.counter("ga.pool.panics").incr();
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.shared.state.lock() {
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let items: Arc<Vec<u64>> = Arc::new((0..1000).collect());
+        let doubled = pool.map(&items, |_, &x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_maps() {
+        let pool = WorkerPool::new(3);
+        for round in 0..20u64 {
+            let items: Arc<Vec<u64>> = Arc::new((0..50).collect());
+            let got = pool.map(&items, move |_, &x| x + round);
+            assert_eq!(got, (round..50 + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_without_workers() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.handles.is_empty(), "threads = 1 must not spawn");
+        let items: Arc<Vec<u32>> = Arc::new((0..10).collect());
+        assert_eq!(pool.map(&items, |i, &x| i as u32 + x), (0..20).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        let pool = WorkerPool::new(4);
+        let empty: Arc<Vec<u32>> = Arc::new(Vec::new());
+        assert!(pool.map(&empty, |_, &x| x).is_empty());
+        let one: Arc<Vec<u32>> = Arc::new(vec![5]);
+        assert_eq!(pool.map(&one, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn worker_panics_are_contained_and_reported() {
+        let pool = WorkerPool::new(2);
+        let items: Arc<Vec<u32>> = Arc::new((0..8).collect());
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |_, &x| {
+                assert!(x != 3, "poisoned item");
+                x
+            })
+        }));
+        assert!(result.is_err(), "the caller must observe the panic");
+        // The pool survives the panicking job and keeps serving.
+        let items: Arc<Vec<u32>> = Arc::new((0..8).collect());
+        assert_eq!(pool.map(&items, |_, &x| x), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

@@ -34,6 +34,29 @@
 //!
 //! `t_comm` must cover `k ∈ {4, 16, 64}` and `ga.series` must be
 //! non-empty — the acceptance gate of the observability PR.
+//!
+//! # Fitness-bench schema (`a2a-obs/fitness-bench/v1`)
+//!
+//! The before/after throughput snapshot the adaptive fitness pipeline
+//! writes to `BENCH_fitness.json` (see DESIGN.md §8):
+//!
+//! ```json
+//! {
+//!   "schema": "a2a-obs/fitness-bench/v1",
+//!   "workload": {"population": 20, "children": 10, "configs": 100, "k": 16, "grid": "T"},
+//!   "baseline": {"elapsed_us": 1.0e6, "epochs": 2},
+//!   "adaptive": {"elapsed_us": 4.0e5, "cold_us": 3.9e5, "warm_us": 1.0e4,
+//!                "cache_hits": 20, "cache_misses": 20},
+//!   "selection": {"elapsed_us": 1.0e5, "pruned_genomes": 6, "pruned_configs": 540, "exact": 4},
+//!   "speedup": 2.5,
+//!   "identical_reports": true
+//! }
+//! ```
+//!
+//! `identical_reports` asserts the adaptive path reproduced the
+//! baseline's `FitnessReport`s bit-for-bit; `speedup` must be ≥ 1 (the
+//! adaptive path must never be slower), which CI gates on via
+//! `obs_validate --fitness`.
 
 use crate::json::{parse, Json};
 use crate::registry::HistogramSnapshot;
@@ -41,6 +64,9 @@ use crate::Level;
 
 /// Schema identifier written into `BENCH_obs.json`.
 pub const BENCH_SNAPSHOT_SCHEMA: &str = "a2a-obs/bench-snapshot/v1";
+
+/// Schema identifier written into `BENCH_fitness.json`.
+pub const FITNESS_BENCH_SCHEMA: &str = "a2a-obs/fitness-bench/v1";
 
 /// The agent counts every bench snapshot must histogram `t_comm` for.
 pub const REQUIRED_T_COMM_KS: [u64; 3] = [4, 16, 64];
@@ -158,6 +184,59 @@ pub fn validate_bench_snapshot(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a parsed `BENCH_fitness.json` document against
+/// `a2a-obs/fitness-bench/v1`: structural members present, the adaptive
+/// path not slower than the baseline, and reports bit-identical.
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn validate_fitness_snapshot(doc: &Json) -> Result<(), String> {
+    let schema = doc.get("schema").and_then(Json::as_str).ok_or("missing `schema`")?;
+    if schema != FITNESS_BENCH_SCHEMA {
+        return Err(format!("schema `{schema}` is not `{FITNESS_BENCH_SCHEMA}`"));
+    }
+
+    let workload = doc.get("workload").ok_or("missing `workload`")?;
+    for key in ["population", "children", "configs", "k"] {
+        let v = require_num(workload, "workload", key)?;
+        if v <= 0.0 {
+            return Err(format!("`workload.{key}` must be positive"));
+        }
+    }
+    workload.get("grid").and_then(Json::as_str).ok_or("`workload.grid` must be a string")?;
+
+    let baseline = doc.get("baseline").ok_or("missing `baseline`")?;
+    let baseline_us = require_num(baseline, "baseline", "elapsed_us")?;
+    let adaptive = doc.get("adaptive").ok_or("missing `adaptive`")?;
+    let adaptive_us = require_num(adaptive, "adaptive", "elapsed_us")?;
+    for key in ["cache_hits", "cache_misses"] {
+        require_num(adaptive, "adaptive", key)?;
+    }
+    if baseline_us <= 0.0 || adaptive_us <= 0.0 {
+        return Err("elapsed times must be positive".to_string());
+    }
+
+    let selection = doc.get("selection").ok_or("missing `selection`")?;
+    for key in ["pruned_genomes", "pruned_configs", "exact"] {
+        require_num(selection, "selection", key)?;
+    }
+
+    let speedup = doc.get("speedup").and_then(Json::as_f64).ok_or("missing `speedup`")?;
+    if !speedup.is_finite() || speedup < 1.0 {
+        return Err(format!(
+            "`speedup` is {speedup:.3}: the adaptive pipeline must not be slower than the baseline"
+        ));
+    }
+    match doc.get("identical_reports") {
+        Some(Json::Bool(true)) => Ok(()),
+        Some(Json::Bool(false)) => {
+            Err("`identical_reports` is false: the adaptive path changed results".to_string())
+        }
+        _ => Err("missing boolean `identical_reports`".to_string()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +301,59 @@ mod tests {
                         .with("median", 2e4)],
                 ),
             )
+    }
+
+    fn minimal_fitness_snapshot() -> Json {
+        Json::object()
+            .with("schema", FITNESS_BENCH_SCHEMA)
+            .with(
+                "workload",
+                Json::object()
+                    .with("population", 20u64)
+                    .with("children", 10u64)
+                    .with("configs", 100u64)
+                    .with("k", 16u64)
+                    .with("grid", "T"),
+            )
+            .with("baseline", Json::object().with("elapsed_us", 1e6).with("epochs", 2u64))
+            .with(
+                "adaptive",
+                Json::object()
+                    .with("elapsed_us", 4e5)
+                    .with("cache_hits", 20u64)
+                    .with("cache_misses", 20u64),
+            )
+            .with(
+                "selection",
+                Json::object()
+                    .with("elapsed_us", 1e5)
+                    .with("pruned_genomes", 6u64)
+                    .with("pruned_configs", 540u64)
+                    .with("exact", 4u64),
+            )
+            .with("speedup", 2.5)
+            .with("identical_reports", true)
+    }
+
+    #[test]
+    fn fitness_snapshot_validates_and_gates() {
+        validate_fitness_snapshot(&minimal_fitness_snapshot()).unwrap();
+
+        let mut slower = minimal_fitness_snapshot();
+        slower.set("speedup", 0.8);
+        assert!(validate_fitness_snapshot(&slower).is_err(), "slower-than-baseline must fail");
+
+        let mut drifted = minimal_fitness_snapshot();
+        drifted.set("identical_reports", false);
+        assert!(validate_fitness_snapshot(&drifted).is_err(), "changed results must fail");
+
+        let mut wrong = minimal_fitness_snapshot();
+        wrong.set("schema", "other/v0");
+        assert!(validate_fitness_snapshot(&wrong).is_err());
+
+        let mut gap = minimal_fitness_snapshot();
+        gap.set("selection", Json::object().with("elapsed_us", 1e5));
+        assert!(validate_fitness_snapshot(&gap).is_err());
     }
 
     #[test]

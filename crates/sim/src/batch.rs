@@ -17,7 +17,41 @@ use crate::init::InitialConfig;
 use crate::kernel::{FastWorld, KernelEnv};
 use crate::run::RunOutcome;
 use a2a_fsm::Genome;
+use std::cell::RefCell;
 use std::sync::Arc;
+
+/// Worlds kept warm per thread. GA workers interleave at most a handful
+/// of runners (one per genome being pruned in a block), so a small pool
+/// already gives near-perfect reuse; anything colder is rebuilt.
+const WORLD_POOL_LIMIT: usize = 4;
+
+thread_local! {
+    /// Per-thread pool of compiled worlds, most recently used last.
+    /// Each pooled world pins its own `Arc<KernelEnv>`, so matching by
+    /// pointer identity ([`FastWorld::shares_env`]) cannot alias a
+    /// recycled allocation.
+    static WORLD_POOL: RefCell<Vec<FastWorld>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes the most recent pooled world compiled from `env`, if any.
+fn take_pooled(env: &Arc<KernelEnv>) -> Option<FastWorld> {
+    WORLD_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        pool.iter().rposition(|w| w.shares_env(env)).map(|i| pool.remove(i))
+    })
+}
+
+/// Returns a world to this thread's pool, evicting the coldest entry
+/// when full.
+fn return_pooled(world: FastWorld) {
+    WORLD_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() >= WORLD_POOL_LIMIT {
+            pool.remove(0);
+        }
+        pool.push(world);
+    });
+}
 
 /// Evaluates one behaviour over many initial configurations using the
 /// bit-packed [`FastWorld`] kernel.
@@ -77,13 +111,47 @@ impl BatchRunner {
         self.t_max
     }
 
-    /// Runs one initial configuration to completion (or the horizon).
+    /// Runs one initial configuration to completion (or the horizon),
+    /// reusing a pooled per-thread [`FastWorld`] when one matches this
+    /// runner's environment — the steady state of a batch performs no
+    /// per-run heap allocation (see [`FastWorld::allocation_count`]).
+    /// Outcomes are identical to [`BatchRunner::fresh_outcome_for`].
     ///
     /// # Errors
     ///
     /// The placement checks of [`crate::World::with_behaviour`]: invalid
     /// positions or directions, duplicates, agents on obstacles.
     pub fn outcome_for(&self, init: &InitialConfig) -> Result<RunOutcome, SimError> {
+        let mut world = match take_pooled(&self.env) {
+            Some(mut world) => {
+                // A placement error may leave the world half-rebuilt;
+                // drop it rather than pooling an inconsistent arena.
+                world.reset_from(init)?;
+                if a2a_obs::metrics_enabled() {
+                    a2a_obs::global().counter("kernel.pool.reuse").incr();
+                }
+                world
+            }
+            None => {
+                if a2a_obs::metrics_enabled() {
+                    a2a_obs::global().counter("kernel.pool.fresh").incr();
+                }
+                FastWorld::from_env(Arc::clone(&self.env), init)?
+            }
+        };
+        let outcome = world.run(self.t_max);
+        return_pooled(world);
+        Ok(outcome)
+    }
+
+    /// [`BatchRunner::outcome_for`] without the per-thread world pool: a
+    /// fresh [`FastWorld`] per call. The pre-reuse baseline, kept for
+    /// benchmarks and differential tests against the pooled path.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchRunner::outcome_for`].
+    pub fn fresh_outcome_for(&self, init: &InitialConfig) -> Result<RunOutcome, SimError> {
         let mut world = FastWorld::from_env(Arc::clone(&self.env), init)?;
         Ok(world.run(self.t_max))
     }
@@ -163,6 +231,65 @@ mod tests {
             BatchRunner::from_genome(&cfg, best_agent(GridKind::Triangulate), 200),
             Err(SimError::SpecMismatch(_))
         ));
+    }
+
+    #[test]
+    fn pooled_outcomes_equal_fresh_outcomes() {
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let cfg = WorldConfig::paper(kind, 16);
+            let runner = BatchRunner::from_genome(&cfg, best_agent(kind), 200).unwrap();
+            let mut rng = SmallRng::seed_from_u64(123);
+            for k in [4usize, 16, 9, 16] {
+                let init = InitialConfig::random(cfg.lattice, kind, k, &[], &mut rng).unwrap();
+                assert_eq!(
+                    runner.outcome_for(&init).unwrap(),
+                    runner.fresh_outcome_for(&init).unwrap(),
+                    "{kind} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_keeps_interleaved_runners_separate() {
+        // Two different genomes alternating on one thread: each reuse
+        // must pick the world compiled for *its* environment.
+        let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+        let a = BatchRunner::from_genome(&cfg, best_agent(cfg.kind), 200).unwrap();
+        let mut wanderer = best_agent(cfg.kind);
+        {
+            use rand::rngs::SmallRng as R;
+            use rand::SeedableRng;
+            let mut rng = R::seed_from_u64(5);
+            wanderer = a2a_fsm::offspring(&wanderer, a2a_fsm::MutationRates::paper(), &mut rng);
+        }
+        let b = BatchRunner::from_genome(&cfg, wanderer, 200).unwrap();
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..6 {
+            let init = InitialConfig::random(cfg.lattice, cfg.kind, 12, &[], &mut rng).unwrap();
+            assert_eq!(a.outcome_for(&init).unwrap(), a.fresh_outcome_for(&init).unwrap());
+            assert_eq!(b.outcome_for(&init).unwrap(), b.fresh_outcome_for(&init).unwrap());
+        }
+    }
+
+    #[test]
+    fn failed_reset_does_not_poison_the_pool() {
+        let cfg = WorldConfig::paper(GridKind::Square, 16);
+        let runner = BatchRunner::from_genome(&cfg, best_agent(cfg.kind), 200).unwrap();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let good = InitialConfig::random(cfg.lattice, cfg.kind, 8, &[], &mut rng).unwrap();
+        let _ = runner.outcome_for(&good).unwrap();
+        let dup = InitialConfig::new(vec![
+            (a2a_grid::Pos::new(1, 1), a2a_grid::Dir::new(0)),
+            (a2a_grid::Pos::new(1, 1), a2a_grid::Dir::new(0)),
+        ]);
+        assert!(runner.outcome_for(&dup).is_err());
+        // Subsequent pooled runs still match the fresh path.
+        let next = InitialConfig::random(cfg.lattice, cfg.kind, 8, &[], &mut rng).unwrap();
+        assert_eq!(
+            runner.outcome_for(&next).unwrap(),
+            runner.fresh_outcome_for(&next).unwrap()
+        );
     }
 
     #[test]

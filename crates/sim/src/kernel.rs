@@ -21,10 +21,18 @@ use crate::init::InitialConfig;
 use crate::run::RunOutcome;
 use a2a_fsm::Genome;
 use a2a_grid::{Dir, GridKind, Lattice, Pos};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Sentinel for "no cell" / "no agent" in the flat index tables.
 const NONE: u32 = u32::MAX;
+
+/// Process-wide count of buffer-allocating world constructions: one per
+/// [`FastWorld::from_env`] plus one per [`FastWorld::reset_from`] that
+/// had to grow a buffer. The batch layer's steady state (world reuse
+/// with a stable agent count) must not move this counter — asserted by
+/// the allocation tests in `batch.rs`.
+static BUFFER_ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 /// One FSM row with the turn code already resolved to a direction delta.
 #[derive(Debug, Clone, Copy)]
@@ -352,7 +360,135 @@ impl FastWorld {
         };
         // The uncounted exchange right after placement.
         world.exchange();
+        BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
         Ok(world)
+    }
+
+    /// Rebuilds this world in place for a new initial configuration of
+    /// the *same* environment, reusing every buffer: the steady state of
+    /// a batch (constant agent count) performs zero heap allocation.
+    /// Semantically identical to a fresh [`FastWorld::from_env`] on
+    /// `self`'s environment — validation order, placement, identity
+    /// info bits and the uncounted `t = 0` exchange all match.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`FastWorld::from_env`]. On error the world may be
+    /// partially rebuilt and must be discarded, except for validation
+    /// errors (the first pass), which leave it untouched.
+    pub fn reset_from(&mut self, init: &InitialConfig) -> Result<(), SimError> {
+        let env = Arc::clone(&self.env);
+
+        // Pass 1 — validate without allocating, replicating
+        // `InitialConfig::validate` check for check (error order
+        // matters to callers). `claims` doubles as the duplicate
+        // scratch: it is all-NONE between steps by invariant.
+        if init.placements().is_empty() {
+            return Err(SimError::NoAgents);
+        }
+        let mut marked = 0usize;
+        let mut invalid = None;
+        for &(pos, dir) in init.placements() {
+            if !env.lattice.contains(pos) {
+                invalid = Some(SimError::OutsideField(pos));
+                break;
+            }
+            if !dir.is_valid_for(env.kind) {
+                invalid = Some(SimError::InvalidDirection {
+                    index: dir.index(),
+                    available: env.kind.dir_count(),
+                });
+                break;
+            }
+            let idx = env.lattice.index_of(pos);
+            if self.claims[idx] != NONE {
+                invalid = Some(SimError::DuplicatePosition(pos));
+                break;
+            }
+            self.claims[idx] = 0;
+            marked += 1;
+        }
+        for &(pos, _) in &init.placements()[..marked] {
+            self.claims[env.lattice.index_of(pos)] = NONE;
+        }
+        if let Some(e) = invalid {
+            return Err(e);
+        }
+        let k = init.agent_count();
+        if k > usize::from(u16::MAX) {
+            return Err(SimError::TooManyAgents { requested: k, limit: usize::from(u16::MAX) });
+        }
+
+        // Pass 2 — rebuild in place. Clear old occupancy through the old
+        // positions (cheaper than wiping the whole field), restore the
+        // environment's obstacle/colour baselines, then place.
+        let stride = k.div_ceil(64);
+        if k > self.pos.capacity()
+            || k > self.dir.capacity()
+            || k > self.state.capacity()
+            || k > self.complete.capacity()
+            || k * stride > self.info.capacity()
+            || k * stride > self.info_next.capacity()
+        {
+            BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        for &c in &self.pos {
+            self.occupant[c as usize] = NONE;
+        }
+        self.solid.copy_from_slice(&env.obstacle_words);
+        self.color_planes.copy_from_slice(&env.color_planes_init);
+        self.pos.clear();
+        self.dir.clear();
+        self.state.clear();
+        for (i, &(p, d)) in init.placements().iter().enumerate() {
+            let idx = env.lattice.index_of(p);
+            if bit_get(&env.obstacle_words, idx) {
+                // Partially placed: the caller must discard this world.
+                return Err(SimError::OnObstacle(p));
+            }
+            self.occupant[idx] = i as u32;
+            bit_set(&mut self.solid, idx);
+            self.pos.push(idx as u32);
+            self.dir.push(d.index());
+            self.state.push(env.init_states.state_for(i as u16, env.n_states));
+        }
+
+        self.stride = stride;
+        let tail = k % 64;
+        self.tail_mask = if tail == 0 { u64::MAX } else { (1u64 << tail) - 1 };
+        self.info.clear();
+        self.info.resize(k * stride, 0);
+        for i in 0..k {
+            self.info[i * stride + i / 64] |= 1u64 << (i % 64);
+        }
+        self.info_next.clear();
+        self.info_next.extend_from_slice(&self.info);
+        self.complete.clear();
+        self.complete.resize(k, false);
+        self.informed = 0;
+        self.time = 0;
+        self.conflicts = 0;
+        self.requests.clear();
+        self.decisions.clear();
+        // The uncounted exchange right after placement.
+        self.exchange();
+        Ok(())
+    }
+
+    /// Whether this world was compiled from exactly `env` (pointer
+    /// identity) — the reuse precondition of [`FastWorld::reset_from`].
+    pub(crate) fn shares_env(&self, env: &Arc<KernelEnv>) -> bool {
+        Arc::ptr_eq(&self.env, env)
+    }
+
+    /// Process-wide count of buffer-allocating constructions
+    /// ([`FastWorld::from_env`] calls plus [`FastWorld::reset_from`]
+    /// calls that grew a buffer). A reuse-only steady state keeps this
+    /// constant — the zero-allocation acceptance check of the batch
+    /// layer.
+    #[must_use]
+    pub fn allocation_count() -> u64 {
+        BUFFER_ALLOCS.load(Ordering::Relaxed)
     }
 
     /// Advances the system by one counted time step (act, then exchange).
@@ -796,6 +932,64 @@ mod tests {
         w.step();
         assert_eq!(w.conflict_losses(), 1, "id 1 lost the arbitration for (5,5)");
         assert_eq!(w.positions()[0], Pos::new(5, 5));
+    }
+
+    #[test]
+    fn reset_from_matches_fresh_construction() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        for (kind, genome) in [
+            (GridKind::Square, best_s_agent()),
+            (GridKind::Triangulate, best_t_agent()),
+        ] {
+            let config = cfg(kind);
+            let env = Arc::new(KernelEnv::new(&config, &Behaviour::Single(genome)).unwrap());
+            let mut rng = SmallRng::seed_from_u64(41);
+            let first = InitialConfig::random(config.lattice, kind, 8, &[], &mut rng).unwrap();
+            let mut reused = FastWorld::from_env(Arc::clone(&env), &first).unwrap();
+            let _ = reused.run(200);
+            // Varying k across resets exercises the stride/tail rebuild.
+            for k in [8usize, 12, 3, 12, 64] {
+                let init = InitialConfig::random(config.lattice, kind, k, &[], &mut rng).unwrap();
+                reused.reset_from(&init).unwrap();
+                let mut fresh = FastWorld::from_env(Arc::clone(&env), &init).unwrap();
+                assert_eq!(reused.positions(), fresh.positions(), "{kind} k={k}");
+                assert_eq!(reused.states(), fresh.states(), "{kind} k={k}");
+                assert_eq!(reused.colors(), fresh.colors(), "{kind} k={k}");
+                assert_eq!(reused.informed_count(), fresh.informed_count(), "{kind} k={k}");
+                assert_eq!(reused.run(200), fresh.run(200), "{kind} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_from_replicates_validation_error_order() {
+        let config = cfg(GridKind::Square);
+        let env = Arc::new(
+            KernelEnv::new(&config, &Behaviour::Single(best_s_agent())).unwrap(),
+        );
+        let ok = InitialConfig::new(vec![(Pos::new(1, 1), Dir::new(0))]);
+        let mut world = FastWorld::from_env(Arc::clone(&env), &ok).unwrap();
+        let dup = InitialConfig::new(vec![
+            (Pos::new(2, 2), Dir::new(0)),
+            (Pos::new(2, 2), Dir::new(1)),
+        ]);
+        assert!(matches!(world.reset_from(&dup), Err(SimError::DuplicatePosition(_))));
+        assert!(matches!(
+            world.reset_from(&InitialConfig::new(Vec::new())),
+            Err(SimError::NoAgents)
+        ));
+        assert!(matches!(
+            world.reset_from(&InitialConfig::new(vec![(Pos::new(99, 0), Dir::new(0))])),
+            Err(SimError::OutsideField(_))
+        ));
+        assert!(matches!(
+            world.reset_from(&InitialConfig::new(vec![(Pos::new(0, 0), Dir::new(7))])),
+            Err(SimError::InvalidDirection { index: 7, available: 4 })
+        ));
+        // Validation failures leave the world reusable.
+        world.reset_from(&ok).unwrap();
+        assert_eq!(world.run(50).t_comm, Some(0));
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Steady-state allocation accounting for the batch layer.
+//!
+//! `FastWorld::allocation_count()` is a process-global counter of
+//! buffer-allocating world constructions, so this file holds exactly one
+//! test: any sibling test constructing worlds concurrently would move
+//! the counter and turn the assertion into noise. A dedicated
+//! integration binary gives the test its own process.
+
+use a2a_fsm::best_agent;
+use a2a_grid::GridKind;
+use a2a_sim::{BatchRunner, FastWorld, InitialConfig, WorldConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn steady_state_batch_runs_perform_no_world_allocation() {
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        let cfg = WorldConfig::paper(kind, 16);
+        let runner = BatchRunner::from_genome(&cfg, best_agent(kind), 200).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2013);
+        let configs: Vec<InitialConfig> = (0..40)
+            .map(|_| InitialConfig::random(cfg.lattice, kind, 16, &[], &mut rng).unwrap())
+            .collect();
+
+        // Warm-up: the first pooled run builds the arena (one count).
+        let _ = runner.outcome_for(&configs[0]).unwrap();
+        let before = FastWorld::allocation_count();
+        for init in &configs {
+            let _ = runner.outcome_for(init).unwrap();
+        }
+        assert_eq!(
+            FastWorld::allocation_count(),
+            before,
+            "{kind}: steady-state outcome_for must not allocate a world"
+        );
+
+        // The baseline path allocates every run, by contrast.
+        let _ = runner.fresh_outcome_for(&configs[0]).unwrap();
+        assert_eq!(FastWorld::allocation_count(), before + 1);
+    }
+}

@@ -46,11 +46,15 @@ fn main() -> Result<(), SimError> {
     println!("held-out validation (200 configs, 8 agents):");
     println!(
         "  evolved   : {:4}/{} solved, mean t_comm {:.2}",
-        evolved.successes, evolved.total, evolved.mean_t_comm
+        evolved.successes,
+        evolved.total,
+        evolved.mean_t_comm.unwrap_or(f64::NAN)
     );
     println!(
         "  published : {:4}/{} solved, mean t_comm {:.2}",
-        published.successes, published.total, published.mean_t_comm
+        published.successes,
+        published.total,
+        published.mean_t_comm.unwrap_or(f64::NAN)
     );
     println!(
         "\nThe paper's FSM was evolved on 1003 configs across 4 independent runs,\n\
