@@ -7,8 +7,15 @@
 //!
 //! ```text
 //! cargo run --release -p a2a-bench --bin all_experiments [--configs N] \
-//!     [--quiet] [--json-out events.jsonl]
+//!     [--quiet] [--json-out events.jsonl] \
+//!     [--checkpoint-dir DIR] [--resume]
 //! ```
+//!
+//! `BENCH_obs.json` / `BENCH_fitness.json` are sealed (embedded FNV-1a
+//! checksum) and written atomically, so a crash mid-write can never
+//! leave a torn artifact. `--checkpoint-dir` persists the GA-series run
+//! as a rolling `a2a-run/checkpoint/v1` snapshot; `--resume` continues
+//! it after an interruption.
 //!
 //! For the paper-scale numbers run the individual binaries with `--full`.
 
@@ -19,8 +26,9 @@ use a2a_analysis::experiments::{
 use a2a_analysis::{f2, f3};
 use a2a_bench::RunScale;
 use a2a_fsm::{best_t_agent, FsmSpec, Genome};
-use a2a_ga::{Evaluator, Evolution, GaConfig};
+use a2a_ga::{Evaluator, GaConfig};
 use a2a_grid::GridKind;
+use a2a_run::{run_evolution, CheckpointStore, RunOptions};
 use a2a_obs::schema::{
     validate_bench_snapshot, validate_fitness_snapshot, BENCH_SNAPSHOT_SCHEMA, REQUIRED_T_COMM_KS,
 };
@@ -39,8 +47,9 @@ const FITNESS_PATH: &str = "BENCH_fitness.json";
 
 /// Measures the perf snapshot on the T-grid: kernel steps/s and per-k
 /// `t_comm` histograms from one batch pass, fitness evals/s, and a small
-/// GA run for the per-generation best/median series.
-fn perf_snapshot(scale: &RunScale) -> Json {
+/// GA run for the per-generation best/median series (checkpointed and
+/// resumable when `ga_opts` carries a store).
+fn perf_snapshot(scale: &RunScale, ga_opts: &RunOptions) -> Json {
     // The snapshot embeds the global registry, so make sure the layers
     // actually record (A2A_LOG may be unset).
     a2a_obs::set_metrics(true);
@@ -93,21 +102,40 @@ fn perf_snapshot(scale: &RunScale) -> Json {
     // a non-trivial best/median trajectory without dominating runtime).
     let generations = if scale.full { 50 } else { 10 };
     let mut series: Vec<Json> = Vec::new();
-    let ga = Evolution::new(
+    let report = run_evolution(
         FsmSpec::paper(kind),
-        evaluator,
+        &evaluator,
         GaConfig::paper(generations, scale.seed),
-    );
-    let _ = ga.run(|s| {
-        series.push(
-            Json::object()
-                .with("generation", s.generation as u64)
-                .with("best", s.best_fitness)
-                .with("median", s.median_fitness),
-        );
-    });
+        Vec::new(),
+        ga_opts,
+        |s| {
+            series.push(
+                Json::object()
+                    .with("generation", s.generation as u64)
+                    .with("best", s.best_fitness)
+                    .with("median", s.median_fitness),
+            );
+        },
+    )
+    .unwrap_or_else(|e| panic!("GA series cannot start: {e}"));
+    if let Some(from) = report.resumed_from {
+        // A resumed series only observed the freshly-run generations;
+        // rebuild the full trajectory from the restored history.
+        series = report
+            .outcome
+            .history
+            .iter()
+            .map(|s| {
+                Json::object()
+                    .with("generation", s.generation as u64)
+                    .with("best", s.best_fitness)
+                    .with("median", s.median_fitness)
+            })
+            .collect();
+        a2a_obs::event!(a2a_obs::Level::Info, "bench.ga.resumed", "generation" => from as u64);
+    }
 
-    Json::object()
+    a2a_obs::schema::seal(Json::object()
         .with("schema", BENCH_SNAPSHOT_SCHEMA)
         .with(
             "kernel",
@@ -126,11 +154,35 @@ fn perf_snapshot(scale: &RunScale) -> Json {
         )
         .with("t_comm", Json::Arr(t_comm_entries))
         .with("ga", Json::object().with("series", Json::Arr(series)))
-        .with("metrics", a2a_obs::global().snapshot().to_json())
+        .with("metrics", a2a_obs::global().snapshot().to_json()))
 }
 
 fn main() {
-    let scale = RunScale::from_args(60);
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let scale = RunScale::extract(&mut argv, 60);
+    let mut checkpoint_dir: Option<String> = None;
+    let mut resume = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(
+                    it.next().unwrap_or_else(|| panic!("missing value for --checkpoint-dir")).clone(),
+                );
+            }
+            "--resume" => resume = true,
+            other => panic!(
+                "unknown flag `{other}` (use --configs/--seed/--threads/--full/--quiet/\
+                 --json-out/--checkpoint-dir/--resume)"
+            ),
+        }
+    }
+    assert!(!resume || checkpoint_dir.is_some(), "--resume requires --checkpoint-dir");
+    let ga_opts = RunOptions {
+        store: checkpoint_dir.as_deref().map(CheckpointStore::new),
+        cadence: 1,
+        resume,
+    };
     let obs = scale.init_obs("all_experiments");
     scale.outln("# Combined reduced-scale regeneration\n");
     scale.outln(format!(
@@ -210,9 +262,10 @@ fn main() {
 
     // Perf snapshot → BENCH_obs.json (+ a copy into the JSONL stream).
     scale.outln("\n## Perf snapshot\n");
-    let snapshot = perf_snapshot(&scale);
+    let snapshot = perf_snapshot(&scale, &ga_opts);
     validate_bench_snapshot(&snapshot).expect("snapshot satisfies its own schema");
-    std::fs::write(SNAPSHOT_PATH, format!("{snapshot}\n")).expect("cwd is writable");
+    a2a_obs::atomic_write(SNAPSHOT_PATH, format!("{snapshot}\n").as_bytes())
+        .expect("cwd is writable");
     if let Some(sink) = obs.sink() {
         sink.write_json(&snapshot);
     }
@@ -235,7 +288,8 @@ fn main() {
         scale.seed,
     );
     validate_fitness_snapshot(&fitness).expect("adaptive pipeline beats the baseline exactly");
-    std::fs::write(FITNESS_PATH, format!("{fitness}\n")).expect("cwd is writable");
+    a2a_obs::atomic_write(FITNESS_PATH, format!("{fitness}\n").as_bytes())
+        .expect("cwd is writable");
     if let Some(sink) = obs.sink() {
         sink.write_json(&fitness);
     }

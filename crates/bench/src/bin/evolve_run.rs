@@ -6,13 +6,20 @@
 //!
 //! ```text
 //! cargo run --release -p a2a-bench --bin evolve_run -- --grid t \
-//!     [--configs N] [--generations G] [--runs R]
+//!     [--configs N] [--generations G] [--runs R] \
+//!     [--checkpoint-dir DIR] [--resume]
 //! ```
+//!
+//! With `--checkpoint-dir` every optimisation run persists a rolling
+//! `a2a-run/checkpoint/v1` snapshot (one subdirectory per run) at every
+//! generation boundary; `--resume` restores a killed run from there and
+//! continues bit-identically.
 
 use a2a_bench::RunScale;
 use a2a_fsm::{best_agent, FsmSpec, Genome};
-use a2a_ga::{screen, Evaluator, Evolution, GaConfig, WorkerPool};
+use a2a_ga::{screen, Evaluator, GaConfig, WorkerPool};
 use a2a_grid::GridKind;
+use a2a_run::{run_evolution, CheckpointStore, RunOptions};
 use a2a_sim::{paper_config_set, WorldConfig};
 use std::sync::Arc;
 
@@ -21,6 +28,8 @@ struct Args {
     kind: GridKind,
     generations: usize,
     runs: usize,
+    checkpoint_dir: Option<String>,
+    resume: bool,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +42,8 @@ fn parse_args() -> Args {
         scale,
         kind: GridKind::Triangulate,
         runs: 4,
+        checkpoint_dir: None,
+        resume: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -51,9 +62,15 @@ fn parse_args() -> Args {
             }
             "--generations" => args.generations = value("--generations").parse().expect("numeric"),
             "--runs" => args.runs = value("--runs").parse().expect("numeric"),
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")),
+            "--resume" => args.resume = true,
             other => panic!("unknown flag `{other}`"),
         }
     }
+    assert!(
+        !args.resume || args.checkpoint_dir.is_some(),
+        "--resume requires --checkpoint-dir"
+    );
     args
 }
 
@@ -85,24 +102,59 @@ fn main() {
             .expect("8 agents fit 16x16");
         let evaluator = Evaluator::new(env.clone(), train).with_pool(Arc::clone(&workers));
         let cache_probe = evaluator.clone();
-        let ga = Evolution::new(
+        // Each optimisation run checkpoints into its own subdirectory:
+        // runs are independent experiments with distinct context digests.
+        let opts = RunOptions {
+            store: args
+                .checkpoint_dir
+                .as_ref()
+                .map(|dir| CheckpointStore::new(format!("{dir}/run{run}"))),
+            cadence: 1,
+            resume: args.resume,
+        };
+        let report = run_evolution(
             FsmSpec::paper(kind),
-            evaluator,
+            &evaluator,
             GaConfig::paper(args.generations, run_seed),
-        );
-        let outcome = ga.run(|s| {
-            if s.generation % 25 == 0 {
-                scale.progress(
-                    "bench.progress",
-                    format!(
-                        "  run {run}, gen {:4}: best F {:10.2}{}",
-                        s.generation,
-                        s.best_fitness,
-                        if s.best_complete { " complete" } else { "" },
-                    ),
-                );
-            }
-        });
+            Vec::new(),
+            &opts,
+            |s| {
+                if s.generation % 25 == 0 {
+                    scale.progress(
+                        "bench.progress",
+                        format!(
+                            "  run {run}, gen {:4}: best F {:10.2}{}",
+                            s.generation,
+                            s.best_fitness,
+                            if s.best_complete { " complete" } else { "" },
+                        ),
+                    );
+                }
+            },
+        )
+        .unwrap_or_else(|e| panic!("run {run} cannot start: {e}"));
+        if let Some(from) = report.resumed_from {
+            scale.progress(
+                "bench.progress",
+                format!("  run {run}: resumed from checkpoint at generation {from}"),
+            );
+        }
+        if report.killed {
+            // A scheduled fault-injection kill: die like a real crash
+            // (checkpoint is already durable; `--resume` continues it).
+            scale.progress(
+                "bench.progress",
+                format!("  run {run}: simulated kill — rerun with --resume to continue"),
+            );
+            std::process::exit(137);
+        }
+        if report.checkpoint_errors > 0 {
+            scale.progress(
+                "bench.progress",
+                format!("  run {run}: {} checkpoint writes failed", report.checkpoint_errors),
+            );
+        }
+        let outcome = report.outcome;
         // "Then the top 3 completely successful FSMs of each run
         //  (altogether 12) were also tested …"
         let top = outcome.top_completely_successful(3);

@@ -195,42 +195,46 @@ pub fn fitness_snapshot(configs: usize, threads: usize, seed: u64) -> Json {
         })
         .sum();
 
-    Json::object()
-        .with("schema", FITNESS_BENCH_SCHEMA)
-        .with(
-            "workload",
+    // Sealed so consumers (obs_validate, CI) can detect torn or edited
+    // artifacts before trusting any number in them.
+    a2a_obs::schema::seal(
             Json::object()
-                .with("population", w.population.len())
-                .with("children", fresh.len())
-                .with("configs", n_cfg)
-                .with("k", STANDARD_K)
-                .with("grid", "T"),
-        )
-        .with(
-            "baseline",
-            Json::object()
-                .with("elapsed_us", baseline_us)
-                .with("epochs", SNAPSHOT_EPOCHS as u64),
-        )
-        .with(
-            "adaptive",
-            Json::object()
-                .with("elapsed_us", adaptive_us)
-                .with("cold_us", cold_us)
-                .with("warm_us", adaptive_us - cold_us)
-                .with("cache_hits", evaluator.cache().hits())
-                .with("cache_misses", evaluator.cache().misses()),
-        )
-        .with(
-            "selection",
-            Json::object()
-                .with("elapsed_us", selection_us)
-                .with("pruned_genomes", pruned_genomes)
-                .with("pruned_configs", pruned_configs)
-                .with("exact", fresh.len() - pruned_genomes),
-        )
-        .with("speedup", baseline_us / adaptive_us)
-        .with("identical_reports", identical)
+                .with("schema", FITNESS_BENCH_SCHEMA)
+            .with(
+                "workload",
+                Json::object()
+                    .with("population", w.population.len())
+                    .with("children", fresh.len())
+                    .with("configs", n_cfg)
+                    .with("k", STANDARD_K)
+                    .with("grid", "T"),
+            )
+            .with(
+                "baseline",
+                Json::object()
+                    .with("elapsed_us", baseline_us)
+                    .with("epochs", SNAPSHOT_EPOCHS as u64),
+            )
+            .with(
+                "adaptive",
+                Json::object()
+                    .with("elapsed_us", adaptive_us)
+                    .with("cold_us", cold_us)
+                    .with("warm_us", adaptive_us - cold_us)
+                    .with("cache_hits", evaluator.cache().hits())
+                    .with("cache_misses", evaluator.cache().misses()),
+            )
+            .with(
+                "selection",
+                Json::object()
+                    .with("elapsed_us", selection_us)
+                    .with("pruned_genomes", pruned_genomes)
+                    .with("pruned_configs", pruned_configs)
+                    .with("exact", fresh.len() - pruned_genomes),
+            )
+            .with("speedup", baseline_us / adaptive_us)
+            .with("identical_reports", identical),
+    )
 }
 
 #[cfg(test)]

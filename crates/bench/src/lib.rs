@@ -107,9 +107,10 @@ impl RunScale {
     /// Initialises observability for an experiment binary: the level
     /// comes from `A2A_LOG` (stderr sink), and `--json-out` attaches a
     /// `Debug`-verbosity [`JsonlSink`] on top. Returns a guard that
-    /// flushes every sink when dropped — keep it alive for the whole
+    /// finalizes every sink when dropped — keep it alive for the whole
     /// `main` (sinks are process-global and never dropped themselves,
-    /// so without the guard the buffered JSONL tail is lost at exit).
+    /// so without the guard the JSONL stream is never published from
+    /// its `.partial` sibling and the buffered tail is lost at exit).
     ///
     /// Emits a `bench.start` event carrying the experiment name and
     /// scale, so every sink's stream is self-describing.
@@ -192,7 +193,11 @@ impl ObsGuard {
 
 impl Drop for ObsGuard {
     fn drop(&mut self) {
-        a2a_obs::flush_all();
+        // Finalize (not just flush): a JSONL sink publishes its
+        // `.partial` stream into the requested path here, marking the
+        // run as cleanly shut down. A crash skips this drop and leaves
+        // the `.partial` behind as the recoverable artifact.
+        a2a_obs::finalize_all();
     }
 }
 

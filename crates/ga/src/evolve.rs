@@ -84,6 +84,53 @@ pub struct GenerationStats {
     pub offspring_accepted: usize,
 }
 
+impl GenerationStats {
+    /// The JSON form used in checkpoints and the `ga.series` artifact.
+    #[must_use]
+    pub fn to_json(&self) -> a2a_obs::json::Json {
+        a2a_obs::json::Json::object()
+            .with("generation", self.generation as u64)
+            .with("best_fitness", self.best_fitness)
+            .with("median_fitness", self.median_fitness)
+            .with("mean_fitness", self.mean_fitness)
+            .with("best_successes", self.best_successes as u64)
+            .with("best_complete", self.best_complete)
+            .with("pool_diversity", self.pool_diversity)
+            .with("duplicates_removed", self.duplicates_removed as u64)
+            .with("offspring_accepted", self.offspring_accepted as u64)
+    }
+
+    /// Parses the [`GenerationStats::to_json`] form. Floats round-trip
+    /// exactly (the JSON layer prints shortest-round-trip reprs), so a
+    /// decoded history is bit-identical to the encoded one.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first missing or mistyped member.
+    pub fn from_json(doc: &a2a_obs::json::Json) -> Result<Self, String> {
+        use a2a_obs::json::Json;
+        let num = |key: &str| {
+            doc.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing numeric `{key}`"))
+        };
+        let int = |key: &str| num(key).map(|v| v as usize);
+        let best_complete = match doc.get("best_complete") {
+            Some(&Json::Bool(b)) => b,
+            _ => return Err("missing boolean `best_complete`".to_string()),
+        };
+        Ok(Self {
+            generation: int("generation")?,
+            best_fitness: num("best_fitness")?,
+            median_fitness: num("median_fitness")?,
+            mean_fitness: num("mean_fitness")?,
+            best_successes: int("best_successes")?,
+            best_complete,
+            pool_diversity: num("pool_diversity")?,
+            duplicates_removed: int("duplicates_removed")?,
+            offspring_accepted: int("offspring_accepted")?,
+        })
+    }
+}
+
 /// Result of an evolution run.
 #[derive(Debug, Clone)]
 pub struct EvolutionOutcome {
@@ -115,6 +162,49 @@ impl EvolutionOutcome {
             .take(n)
             .collect()
     }
+}
+
+/// A snapshot of the procedure at a generation boundary — everything
+/// needed to continue the run bit-identically. The loop is driven
+/// solely by its [`SmallRng`] and deterministic evaluation, so the RNG
+/// state plus the pool in its exact post-exchange order (order is
+/// load-bearing: parent selection and duplicate deletion are positional)
+/// plus the history so far reproduce the remainder of the run exactly.
+///
+/// The `a2a-run` crate persists these to disk; see its checkpoint
+/// format (`a2a-run/checkpoint/v1`).
+#[derive(Debug, Clone)]
+pub struct RunState {
+    /// RNG state at the boundary ([`SmallRng::state`]).
+    pub rng_state: [u64; 4],
+    /// The pool exactly as the generation loop left it (post-exchange
+    /// order, NOT sorted best-first).
+    pub pool: Vec<Individual>,
+    /// History up to and including the last completed generation.
+    pub history: Vec<GenerationStats>,
+    /// The next generation index the loop would run (`generations + 1`
+    /// when the run is complete).
+    pub next_generation: usize,
+}
+
+/// What a boundary observer tells [`Evolution::run_resumable`] to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunControl {
+    /// Keep evolving.
+    Continue,
+    /// Stop at this boundary (simulated kill, external shutdown). The
+    /// partial outcome is returned with `completed = false`.
+    Stop,
+}
+
+/// What [`Evolution::run_resumable`] produced.
+#[derive(Debug, Clone)]
+pub struct ResumableRun {
+    /// The (possibly partial) outcome, pool sorted best-first.
+    pub outcome: EvolutionOutcome,
+    /// `false` iff the observer stopped the run before the configured
+    /// generation budget.
+    pub completed: bool,
 }
 
 /// The genetic procedure. Owns the evaluator (environment + training
@@ -163,28 +253,79 @@ impl Evolution {
         seeds: Vec<Genome>,
         mut on_generation: impl FnMut(&GenerationStats),
     ) -> EvolutionOutcome {
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        self.run_resumable(None, seeds, |stats, _| {
+            on_generation(stats);
+            RunControl::Continue
+        })
+        .outcome
+    }
+
+    /// The checkpointable core of the procedure: runs from scratch or
+    /// from a captured [`RunState`], reporting every generation boundary
+    /// (including generation 0, the ranked initial pool) to
+    /// `on_boundary` together with the state that would resume there.
+    /// The observer can persist the state and/or return
+    /// [`RunControl::Stop`] to end the run at that boundary.
+    ///
+    /// A run resumed from a boundary state continues the interrupted
+    /// run bit-identically: same history, same pool, same best genome
+    /// (the fitness cache starting cold does not change results — only
+    /// speed). When `resume` is `Some`, `seeds` is ignored and the
+    /// already-completed boundaries are not re-reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed genome's spec differs from the procedure's.
+    #[must_use]
+    pub fn run_resumable(
+        &self,
+        resume: Option<RunState>,
+        seeds: Vec<Genome>,
+        mut on_boundary: impl FnMut(&GenerationStats, &RunState) -> RunControl,
+    ) -> ResumableRun {
         let n = self.config.population;
+        let mut stopped = false;
+        let (mut rng, mut pool, mut history, start_generation) = match resume {
+            Some(state) => (
+                SmallRng::from_state(state.rng_state),
+                state.pool,
+                state.history,
+                state.next_generation,
+            ),
+            None => {
+                let mut rng = SmallRng::seed_from_u64(self.config.seed);
+                // Initial pool: the seeds plus random FSMs up to N
+                // ("usually there is no FSM in the initial population
+                // that is successful").
+                for g in &seeds {
+                    assert_eq!(g.spec(), self.spec, "seed genome spec mismatch");
+                }
+                let mut genomes = seeds;
+                genomes.truncate(n);
+                while genomes.len() < n {
+                    genomes.push(Genome::random(self.spec, &mut rng));
+                }
+                let timer = a2a_obs::metrics_enabled().then(std::time::Instant::now);
+                let pool = self.rank(genomes);
+                let mut history = Vec::with_capacity(self.config.generations + 1);
+                let stats = Self::stats(0, &pool, 0, 0);
+                Self::observe(&stats, timer.map(|t| t.elapsed()));
+                history.push(stats);
+                let state = RunState {
+                    rng_state: rng.state(),
+                    pool: pool.clone(),
+                    history: history.clone(),
+                    next_generation: 1,
+                };
+                stopped = on_boundary(&stats, &state) == RunControl::Stop;
+                (rng, pool, history, 1)
+            }
+        };
 
-        // Initial pool: the seeds plus random FSMs up to N ("usually
-        // there is no FSM in the initial population that is successful").
-        for g in &seeds {
-            assert_eq!(g.spec(), self.spec, "seed genome spec mismatch");
-        }
-        let mut genomes = seeds;
-        genomes.truncate(n);
-        while genomes.len() < n {
-            genomes.push(Genome::random(self.spec, &mut rng));
-        }
-        let timer = a2a_obs::metrics_enabled().then(std::time::Instant::now);
-        let mut pool = self.rank(genomes);
-        let mut history = Vec::with_capacity(self.config.generations + 1);
-        let stats = Self::stats(0, &pool, 0, 0);
-        Self::observe(&stats, timer.map(|t| t.elapsed()));
-        on_generation(&stats);
-        history.push(stats);
-
-        for generation in 1..=self.config.generations {
+        for generation in start_generation..=self.config.generations {
+            if stopped {
+                break;
+            }
             let timer = a2a_obs::metrics_enabled().then(std::time::Instant::now);
             // N/2 offspring from the top N/2 individuals.
             let parents = &pool[..(n / 2).min(pool.len())];
@@ -284,8 +425,14 @@ impl Evolution {
                 .count();
             let stats = Self::stats(generation, &pool, duplicates_removed, offspring_accepted);
             Self::observe(&stats, timer.map(|t| t.elapsed()));
-            on_generation(&stats);
             history.push(stats);
+            let state = RunState {
+                rng_state: rng.state(),
+                pool: pool.clone(),
+                history: history.clone(),
+                next_generation: generation + 1,
+            };
+            stopped = on_boundary(&stats, &state) == RunControl::Stop;
         }
 
         // Report the pool best-first regardless of the final exchange.
@@ -295,7 +442,7 @@ impl Evolution {
                 .partial_cmp(&b.report.fitness)
                 .expect("fitness is never NaN")
         });
-        EvolutionOutcome { pool, history }
+        ResumableRun { outcome: EvolutionOutcome { pool, history }, completed: !stopped }
     }
 
     fn rank(&self, genomes: Vec<Genome>) -> Vec<Individual> {
@@ -428,6 +575,50 @@ mod tests {
         for s in out.history.iter().skip(1) {
             assert!(s.offspring_accepted <= 10, "at most N/2 children per generation");
         }
+    }
+
+    fn tiny_ga(kind: GridKind, generations: usize, seed: u64) -> Evolution {
+        let cfg = WorldConfig::paper(kind, 8);
+        let configs = paper_config_set(cfg.lattice, kind, 4, 12, 5).unwrap();
+        let evaluator = Evaluator::new(cfg, configs).with_threads(2);
+        Evolution::new(FsmSpec::paper(kind), evaluator, GaConfig::paper(generations, seed))
+    }
+
+    #[test]
+    fn interrupted_then_resumed_matches_uninterrupted() {
+        let ga = tiny_ga(GridKind::Square, 12, 31);
+        let full = ga.run(|_| ());
+
+        // Stop at the generation-5 boundary, carrying the state out.
+        let mut captured = None;
+        let partial = ga.run_resumable(None, Vec::new(), |stats, state| {
+            if stats.generation == 5 {
+                captured = Some(state.clone());
+                RunControl::Stop
+            } else {
+                RunControl::Continue
+            }
+        });
+        assert!(!partial.completed);
+        assert_eq!(partial.outcome.history.len(), 6, "generations 0..=5 ran");
+
+        // Resume: the continuation must be bit-identical to the
+        // uninterrupted run — history, pool, best genome.
+        let resumed = ga.run_resumable(captured, Vec::new(), |_, _| RunControl::Continue);
+        assert!(resumed.completed);
+        assert_eq!(resumed.outcome.history, full.history);
+        assert_eq!(resumed.outcome.pool, full.pool);
+        assert_eq!(resumed.outcome.best().genome, full.best().genome);
+    }
+
+    #[test]
+    fn generation_stats_json_round_trips_exactly() {
+        let out = tiny_evolution(GridKind::Square, 6, 13);
+        for stats in &out.history {
+            let back = GenerationStats::from_json(&stats.to_json()).unwrap();
+            assert_eq!(&back, stats, "floats must round-trip bit-exactly");
+        }
+        assert!(GenerationStats::from_json(&a2a_obs::json::Json::object()).is_err());
     }
 
     #[test]

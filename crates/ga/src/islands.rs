@@ -3,7 +3,7 @@
 //! migration of the best individuals. Compared against the single-pool
 //! procedure in the `ga_convergence` experiment.
 
-use crate::evolve::{Evolution, EvolutionOutcome, GaConfig, Individual};
+use crate::evolve::{Evolution, EvolutionOutcome, GaConfig, Individual, RunControl};
 use crate::fitness::Evaluator;
 use a2a_fsm::FsmSpec;
 use serde::{Deserialize, Serialize};
@@ -56,6 +56,29 @@ impl IslandOutcome {
     }
 }
 
+/// A snapshot of the island model at an epoch boundary — everything
+/// needed to continue bit-identically. Each epoch is a pure function of
+/// the previous epoch's outcomes and derived per-island seeds, so the
+/// completed outcomes plus the next epoch index suffice (much coarser
+/// than the per-generation [`crate::RunState`], matching the island
+/// model's coarser unit of work).
+#[derive(Debug, Clone)]
+pub struct IslandsState {
+    /// The next epoch index the loop would run.
+    pub next_epoch: usize,
+    /// Per-island outcomes of the last completed epoch.
+    pub outcomes: Vec<EvolutionOutcome>,
+}
+
+/// What [`run_islands_resumable`] produced.
+#[derive(Debug, Clone)]
+pub struct ResumableIslands {
+    /// The (possibly partial) outcome.
+    pub outcome: IslandOutcome,
+    /// `false` iff the observer stopped the run before the epoch budget.
+    pub completed: bool,
+}
+
 /// Runs the island model: each island executes the single-pool procedure
 /// for `epoch` generations, then its best `migrants` individuals replace
 /// the worst of the next island (ring topology), repeating until the
@@ -81,28 +104,66 @@ pub fn run_islands(
     island_config: IslandConfig,
     mut on_epoch: impl FnMut(usize, &[EvolutionOutcome]),
 ) -> IslandOutcome {
+    run_islands_resumable(spec, evaluator, config, island_config, None, |epoch, state| {
+        on_epoch(epoch, &state.outcomes);
+        RunControl::Continue
+    })
+    .outcome
+}
+
+/// The checkpointable core of the island model: runs from scratch or
+/// from a captured [`IslandsState`], reporting every epoch boundary to
+/// `on_epoch` with the state that would resume there; the observer can
+/// persist it and/or return [`RunControl::Stop`]. A resumed run
+/// continues bit-identically (see [`Evolution::run_resumable`]). When
+/// `resume` is `Some`, already-completed epochs are not re-reported —
+/// and not re-run.
+///
+/// # Panics
+///
+/// Panics if `island_config.islands == 0` or `migrants` exceeds the pool.
+#[must_use]
+pub fn run_islands_resumable(
+    spec: FsmSpec,
+    evaluator: &Evaluator,
+    config: GaConfig,
+    island_config: IslandConfig,
+    resume: Option<IslandsState>,
+    mut on_epoch: impl FnMut(usize, &IslandsState) -> RunControl,
+) -> ResumableIslands {
     assert!(island_config.islands > 0, "need at least one island");
     assert!(
         island_config.migrants < config.population,
         "migrants must leave room in the pool"
     );
     let epochs = config.generations.div_ceil(island_config.epoch.max(1));
+    let mut stopped = false;
 
     // Each island evolves with its own seed; between epochs, migrant
     // genomes are injected by boosting the next island's seed pool.
-    let mut outcomes: Vec<EvolutionOutcome> = (0..island_config.islands)
-        .map(|i| {
-            let island_cfg = GaConfig {
-                generations: island_config.epoch,
-                seed: config.seed.wrapping_add(i as u64 * 0xA5A5_A5A5),
-                ..config
-            };
-            Evolution::new(spec, evaluator.clone(), island_cfg).run(|_| ())
-        })
-        .collect();
-    on_epoch(0, &outcomes);
+    let (mut outcomes, start_epoch) = match resume {
+        Some(state) => (state.outcomes, state.next_epoch),
+        None => {
+            let outcomes: Vec<EvolutionOutcome> = (0..island_config.islands)
+                .map(|i| {
+                    let island_cfg = GaConfig {
+                        generations: island_config.epoch,
+                        seed: config.seed.wrapping_add(i as u64 * 0xA5A5_A5A5),
+                        ..config
+                    };
+                    Evolution::new(spec, evaluator.clone(), island_cfg).run(|_| ())
+                })
+                .collect();
+            let state = IslandsState { next_epoch: 1, outcomes: outcomes.clone() };
+            stopped = on_epoch(0, &state) == RunControl::Stop;
+            (outcomes, 1)
+        }
+    };
 
-    for epoch in 1..epochs {
+    for epoch in start_epoch..epochs {
+        if stopped {
+            break;
+        }
         let mut next = Vec::with_capacity(island_config.islands);
         for (i, outcome) in outcomes.iter().enumerate() {
             // Receive migrants from the ring predecessor.
@@ -133,9 +194,10 @@ pub fn run_islands(
             );
         }
         outcomes = next;
-        on_epoch(epoch, &outcomes);
+        let state = IslandsState { next_epoch: epoch + 1, outcomes: outcomes.clone() };
+        stopped = on_epoch(epoch, &state) == RunControl::Stop;
     }
-    IslandOutcome { islands: outcomes }
+    ResumableIslands { outcome: IslandOutcome { islands: outcomes }, completed: !stopped }
 }
 
 #[cfg(test)]
@@ -217,6 +279,40 @@ mod tests {
         // cache those lookups must hit.
         assert!(probe.cache().hits() > 0, "epoch restarts should be cache hits");
         assert!(!probe.cache().is_empty());
+    }
+
+    #[test]
+    fn interrupted_then_resumed_islands_match_uninterrupted() {
+        let (spec, evaluator) = setup();
+        let config = GaConfig::paper(15, 9);
+        let islands = IslandConfig { islands: 2, epoch: 5, migrants: 1 };
+        let full = run_islands(spec, &evaluator, config, islands, |_, _| {});
+
+        let mut captured = None;
+        let partial = run_islands_resumable(spec, &evaluator, config, islands, None, |e, state| {
+            if e == 1 {
+                captured = Some(state.clone());
+                RunControl::Stop
+            } else {
+                RunControl::Continue
+            }
+        });
+        assert!(!partial.completed);
+
+        let resumed = run_islands_resumable(
+            spec,
+            &evaluator,
+            config,
+            islands,
+            captured,
+            |_, _| RunControl::Continue,
+        );
+        assert!(resumed.completed);
+        assert_eq!(resumed.outcome.islands.len(), full.islands.len());
+        for (a, b) in resumed.outcome.islands.iter().zip(&full.islands) {
+            assert_eq!(a.pool, b.pool, "resumed island pools must be bit-identical");
+            assert_eq!(a.history, b.history);
+        }
     }
 
     #[test]

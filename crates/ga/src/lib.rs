@@ -56,11 +56,17 @@ mod reliability;
 
 pub use cache::{FitnessCache, DEFAULT_CACHE_CAPACITY};
 pub use crossover::{one_point, uniform, ReproductionStrategy};
-pub use evolve::{Evolution, EvolutionOutcome, GaConfig, GenerationStats, Individual};
+pub use evolve::{
+    Evolution, EvolutionOutcome, GaConfig, GenerationStats, Individual, ResumableRun, RunControl,
+    RunState,
+};
 pub use fitness::{
     Evaluator, FitnessReport, GenomeEval, PruneBound, PAPER_T_MAX, PAPER_WEIGHT,
 };
-pub use islands::{run_islands, IslandConfig, IslandOutcome};
+pub use islands::{
+    run_islands, run_islands_resumable, IslandConfig, IslandOutcome, IslandsState,
+    ResumableIslands,
+};
 pub use parallel::{default_threads, default_threads_for, parallel_map};
-pub use pool::WorkerPool;
+pub use pool::{WorkerPool, DEFAULT_TASK_DEADLINE, MAX_STRIKES};
 pub use reliability::{screen, DensityReport, ReliabilityReport};

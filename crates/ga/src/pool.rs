@@ -13,15 +13,56 @@
 //! `parallel_map` workers do (`a2a_obs::set_worker_id`), so events
 //! emitted from inside jobs carry a stable worker id, and every executed
 //! task bumps the `ga.pool.tasks` counter while metrics are on.
+//!
+//! # Watchdog
+//!
+//! Long evolution runs must survive a poisoned genome or a wedged
+//! worker, so [`WorkerPool::map`] is defended in depth:
+//!
+//! * **Per-item containment** — each item application is wrapped in
+//!   [`catch_unwind`]; a panic reports the item as failed (instead of
+//!   silently losing every item the job had claimed) and the panic then
+//!   propagates to the worker loop as a *strike*.
+//! * **Quarantine** — a worker accumulating [`MAX_STRIKES`] strikes
+//!   retires itself: the pool's live width shrinks (`ga.pool.poisoned`
+//!   counter), later maps schedule fewer helper jobs, and with every
+//!   helper quarantined the map degrades to a clean inline loop on the
+//!   caller.
+//! * **Deadline** — the caller waits at most
+//!   [`WorkerPool::with_task_deadline`] (default [`DEFAULT_TASK_DEADLINE`])
+//!   for helper results; items a hung or dead worker never delivered
+//!   are reclaimed.
+//! * **Bounded retry** — every failed or undelivered item is retried
+//!   exactly once, inline on the caller (`ga.pool.retries` counter). A
+//!   second failure propagates as a panic: deterministic poison must
+//!   surface, not loop.
+//!
+//! A single-threaded pool keeps the old contract — a plain inline map
+//! with no containment, no probes and no allocation, so `threads = 1`
+//! runs stay deterministic to profile.
+//!
+//! Under the chaos suite, `a2a_obs::fault::panic_point("ga.pool.item")`
+//! is probed before every multi-threaded item application, letting a
+//! seeded `FaultPlan` simulate worker crashes; disarmed, the probe is
+//! one relaxed atomic load per item.
 
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A queued unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Strikes (panicked jobs) after which a worker quarantines itself.
+pub const MAX_STRIKES: usize = 3;
+
+/// Default per-map deadline for helper results; items not delivered in
+/// time are retried inline. Far above any sane generation time — the
+/// deadline exists to unwedge a hung worker, not to pace healthy ones.
+pub const DEFAULT_TASK_DEADLINE: Duration = Duration::from_secs(120);
 
 /// Queue state behind the pool's mutex.
 struct PoolState {
@@ -33,24 +74,30 @@ struct PoolState {
 struct PoolShared {
     state: Mutex<PoolState>,
     available: Condvar,
+    /// Workers still serving (spawned minus quarantined).
+    live: AtomicUsize,
 }
 
 /// A persistent pool of worker threads executing boxed jobs.
 ///
 /// Dropping the pool shuts it down: the queue is closed and every worker
-/// is joined. Jobs that panic are caught per-job ([`catch_unwind`]) so a
-/// poisoned genome cannot take a long-lived worker down with it; callers
-/// of [`WorkerPool::map`] detect the missing result and panic on their
-/// own thread with a diagnosable message.
+/// is joined. Jobs that panic are caught per-item ([`catch_unwind`]) so
+/// a poisoned genome cannot take a long-lived worker down with it; see
+/// the module docs for the full watchdog (quarantine, deadline, retry).
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     threads: usize,
+    deadline: Duration,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkerPool").field("threads", &self.threads).finish()
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("live", &self.live_workers())
+            .field("deadline", &self.deadline)
+            .finish()
     }
 }
 
@@ -67,6 +114,7 @@ impl WorkerPool {
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState { queue: VecDeque::new(), shutdown: false }),
             available: Condvar::new(),
+            live: AtomicUsize::new(0),
         });
         let handles = if threads == 1 {
             Vec::new()
@@ -79,15 +127,30 @@ impl WorkerPool {
                         .spawn(move || worker_loop(&shared, w))
                         .expect("worker threads must spawn")
                 })
-                .collect()
+                .collect::<Vec<_>>()
         };
-        Self { shared, threads, handles }
+        shared.live.store(handles.len(), Ordering::Relaxed);
+        Self { shared, threads, deadline: DEFAULT_TASK_DEADLINE, handles }
+    }
+
+    /// Replaces the per-map helper deadline (see [`DEFAULT_TASK_DEADLINE`]).
+    #[must_use]
+    pub fn with_task_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// Worker count the pool was built with.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Workers still serving (spawned minus quarantined). Zero once
+    /// every helper retired — maps then run inline on the caller.
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.shared.live.load(Ordering::Relaxed)
     }
 
     /// Enqueues one job and wakes a worker.
@@ -105,12 +168,13 @@ impl WorkerPool {
     /// stack frame on the worker side; the caller participates in the
     /// drain (work-stealing over a shared index), so the pool threads
     /// are pure extra bandwidth and `threads = 1` degenerates to a plain
-    /// inline map.
+    /// inline map. Failed or undelivered items are retried once inline
+    /// (see the module docs).
     ///
     /// # Panics
     ///
-    /// Panics if any application of `f` panicked on a worker (the
-    /// worker itself survives).
+    /// Panics if any item fails twice (its first failure already
+    /// consumed the bounded retry) — deterministic poison must surface.
     pub fn map<T, R, F>(&self, items: &Arc<Vec<T>>, f: F) -> Vec<R>
     where
         T: Send + Sync + 'static,
@@ -121,65 +185,122 @@ impl WorkerPool {
         if self.threads == 1 || n <= 1 {
             return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
         }
-        let started = a2a_obs::metrics_enabled().then(std::time::Instant::now);
+        let started = a2a_obs::metrics_enabled().then(Instant::now);
         let f = Arc::new(f);
         let next = Arc::new(AtomicUsize::new(0));
-        let (tx, rx) = mpsc::channel::<Vec<(usize, R)>>();
-        // One task per worker; each drains the shared index until empty.
-        // The caller keeps one share for itself.
-        let helper_tasks = (self.threads - 1).min(n);
+        let (tx, rx) = mpsc::channel::<(usize, Option<R>)>();
+        // One task per live worker; each drains the shared index until
+        // empty. The caller keeps one share for itself, so a fully
+        // quarantined pool degrades to a clean inline map.
+        let helper_tasks = (self.threads - 1).min(n).min(self.live_workers());
         for _ in 0..helper_tasks {
             let items = Arc::clone(items);
             let f = Arc::clone(&f);
             let next = Arc::clone(&next);
             let tx = tx.clone();
-            self.submit(Box::new(move || {
-                let _ = tx.send(drain(&items, &f, &next));
-            }));
+            self.submit(Box::new(move || drain_to(&items, &f, &next, &tx)));
         }
         drop(tx);
-        let mut tagged = drain(items, &f, &next);
-        for _ in 0..helper_tasks {
-            // A worker that panicked drops its sender without sending;
-            // `recv` then errors and the items it claimed are missing.
-            if let Ok(batch) = rx.recv() {
-                tagged.extend(batch);
+
+        let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut attempted = vec![false; n];
+        let mut pending = n;
+        // Caller participation: claim and run items like a worker, but
+        // contain per-item panics locally (the caller has no strike
+        // budget to spend — its failures go straight to the retry pass).
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_item(f.as_ref(), i, &items[i])));
+            attempted[i] = true;
+            pending -= 1;
+            if let Ok(r) = outcome {
+                results[i] = Some(r);
             }
         }
-        assert!(
-            tagged.len() == n,
-            "a pool worker panicked while evaluating ({}/{n} results)",
-            tagged.len()
-        );
-        if let Some(t0) = started {
+        // Collect helper deliveries until every item was attempted, the
+        // helpers all hung up, or the deadline passed (hung worker).
+        let deadline = Instant::now() + self.deadline;
+        while pending > 0 {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(timeout) {
+                Ok((i, r)) => {
+                    if !attempted[i] {
+                        attempted[i] = true;
+                        pending -= 1;
+                    }
+                    results[i] = r;
+                }
+                Err(_) => break, // disconnected or deadline — retry pass reclaims
+            }
+        }
+
+        // Bounded retry: every failed or undelivered item gets exactly
+        // one more attempt, inline. A second panic propagates.
+        let mut retries = 0u64;
+        for i in 0..n {
+            if results[i].is_none() {
+                retries += 1;
+                results[i] = Some(run_item(f.as_ref(), i, &items[i]));
+            }
+        }
+        if a2a_obs::metrics_enabled() {
             let reg = a2a_obs::global();
             reg.counter("ga.pool.items").add(n as u64);
-            reg.histogram("ga.pool.map.us").record_duration_us(t0.elapsed());
+            if retries > 0 {
+                reg.counter("ga.pool.retries").add(retries);
+            }
+            if let Some(t0) = started {
+                reg.histogram("ga.pool.map.us").record_duration_us(t0.elapsed());
+            }
         }
-        tagged.sort_unstable_by_key(|&(i, _)| i);
-        tagged.into_iter().map(|(_, r)| r).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("the retry pass attempted every item"))
+            .collect()
     }
 }
 
-/// Pulls indices from `next` and applies `f` until the input is drained.
-fn drain<T, R>(
+/// One item application, behind the chaos probe.
+fn run_item<T, R>(f: &impl Fn(usize, &T) -> R, i: usize, item: &T) -> R {
+    a2a_obs::fault::panic_point("ga.pool.item");
+    f(i, item)
+}
+
+/// Worker-side drain: pulls indices from `next` and applies `f`,
+/// delivering each result individually. A panicking item is delivered
+/// as failed *before* the panic resumes — the caller learns which item
+/// to retry, and the worker loop above records the strike.
+fn drain_to<T, R>(
     items: &Arc<Vec<T>>,
     f: &Arc<impl Fn(usize, &T) -> R>,
     next: &Arc<AtomicUsize>,
-) -> Vec<(usize, R)> {
-    let mut local = Vec::new();
+    tx: &mpsc::Sender<(usize, Option<R>)>,
+) {
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= items.len() {
-            return local;
+            return;
         }
-        local.push((i, f(i, &items[i])));
+        match catch_unwind(AssertUnwindSafe(|| run_item(f.as_ref(), i, &items[i]))) {
+            Ok(r) => {
+                let _ = tx.send((i, Some(r)));
+            }
+            Err(payload) => {
+                let _ = tx.send((i, None));
+                resume_unwind(payload);
+            }
+        }
     }
 }
 
-/// The long-lived worker body: tag, then pop-run until shutdown.
+/// The long-lived worker body: tag, then pop-run until shutdown or
+/// quarantine.
 fn worker_loop(shared: &PoolShared, w: usize) {
     a2a_obs::set_worker_id(Some(w));
+    let mut strikes = 0usize;
     loop {
         let job = {
             let mut state = shared.state.lock().expect("pool lock is never poisoned");
@@ -197,14 +318,29 @@ fn worker_loop(shared: &PoolShared, w: usize) {
             }
         };
         let Some(job) = job else { return };
-        // Contain panics to the job: its channel sender is dropped
-        // unsent, which the `map` caller turns into a clean panic.
+        // Contain panics to the job; the per-item delivery inside
+        // `drain_to` already told the caller which item failed.
         let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
         if a2a_obs::metrics_enabled() {
             let reg = a2a_obs::global();
             reg.counter("ga.pool.tasks").incr();
             if panicked {
                 reg.counter("ga.pool.panics").incr();
+            }
+        }
+        if panicked {
+            strikes += 1;
+            if strikes >= MAX_STRIKES {
+                // Quarantine: this worker has proven unreliable (or the
+                // workload deterministically poisonous); retire it and
+                // let the pool degrade gracefully.
+                shared.live.fetch_sub(1, Ordering::Relaxed);
+                if a2a_obs::metrics_enabled() {
+                    a2a_obs::global().counter("ga.pool.poisoned").incr();
+                }
+                a2a_obs::event!(a2a_obs::Level::Warn, "ga.pool.quarantine",
+                    "worker" => w as u64, "strikes" => strikes as u64);
+                return;
             }
         }
     }
@@ -225,6 +361,7 @@ impl Drop for WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn map_preserves_order() {
@@ -254,6 +391,22 @@ mod tests {
     }
 
     #[test]
+    fn single_thread_panics_propagate_directly() {
+        // The inline path has no containment or retry: a panicking item
+        // surfaces immediately, exactly like a plain iterator map.
+        let pool = WorkerPool::new(1);
+        let items: Arc<Vec<u32>> = Arc::new((0..4).collect());
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |_, &x| {
+                assert!(x != 2, "poisoned item");
+                x
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.map(&items, |_, &x| x), (0..4).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn empty_and_tiny_inputs_work() {
         let pool = WorkerPool::new(4);
         let empty: Arc<Vec<u32>> = Arc::new(Vec::new());
@@ -272,10 +425,62 @@ mod tests {
                 x
             })
         }));
-        assert!(result.is_err(), "the caller must observe the panic");
+        assert!(result.is_err(), "deterministic poison fails the retry and reaches the caller");
         // The pool survives the panicking job and keeps serving.
         let items: Arc<Vec<u32>> = Arc::new((0..8).collect());
         assert_eq!(pool.map(&items, |_, &x| x), (0..8).collect::<Vec<_>>());
+    }
+
+    /// An `f` that panics exactly once per item (first attempt), then
+    /// succeeds — the transient-failure shape the bounded retry exists
+    /// for.
+    fn flaky_once() -> impl Fn(usize, &u64) -> u64 + Send + Sync + 'static {
+        let failed: Mutex<HashSet<usize>> = Mutex::new(HashSet::new());
+        move |i, &x| {
+            let fresh = failed.lock().expect("test lock").insert(i);
+            assert!(!fresh, "transient failure on first attempt of item {i}");
+            x * 10
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_completion() {
+        // Every item fails its first attempt, wherever it runs — worker
+        // drains and the caller's own participation alike — and the
+        // bounded retry completes the map. Multiple panics in a single
+        // drain are therefore exercised on every run.
+        let pool = WorkerPool::new(3).with_task_deadline(Duration::from_secs(10));
+        let items: Arc<Vec<u64>> = Arc::new((0..40).collect());
+        let got = pool.map(&items, flaky_once());
+        assert_eq!(got, (0..40).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn repeated_poison_quarantines_workers_and_pool_degrades() {
+        let pool = WorkerPool::new(3).with_task_deadline(Duration::from_millis(500));
+        assert_eq!(pool.live_workers(), 3);
+        // Every map poisons whatever worker claims an odd item; each
+        // panicking job is one strike, so workers retire after
+        // MAX_STRIKES poisoned maps. The caller observes each map's
+        // failure (the retry also hits deterministic poison).
+        for _ in 0..12 {
+            let items: Arc<Vec<u32>> = Arc::new((0..64).collect());
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.map(&items, |_, &x| {
+                    assert!(x % 2 == 0, "poison");
+                    x
+                })
+            }));
+            assert!(result.is_err());
+            if pool.live_workers() == 0 {
+                break;
+            }
+        }
+        assert!(pool.live_workers() < 3, "repeatedly poisoned workers must quarantine");
+        // Degraded (possibly to zero helpers), the pool still completes
+        // clean maps — inline on the caller if need be.
+        let items: Arc<Vec<u32>> = Arc::new((0..100).collect());
+        assert_eq!(pool.map(&items, |_, &x| x), (0..100).collect::<Vec<_>>());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod event;
+pub mod fault;
 pub mod json;
 mod level;
 mod registry;
@@ -57,7 +58,10 @@ pub use level::Level;
 pub use registry::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot,
 };
-pub use sink::{attach_sink, attached_sinks, JsonlSink, MemorySink, Sink, StderrSink};
+pub use sink::{
+    atomic_write, attach_sink, attached_sinks, finalize_all, JsonlSink, MemorySink, Sink,
+    StderrSink,
+};
 pub use span::Span;
 pub use value::Value;
 
@@ -163,6 +167,15 @@ pub fn init_from_env() {
     static DONE: AtomicBool = AtomicBool::new(false);
     if DONE.swap(true, Ordering::SeqCst) {
         return;
+    }
+    // Chaos builds may arm fault injection from the environment;
+    // production builds compile the probe sites but ignore A2A_FAULT.
+    #[cfg(feature = "fault-inject")]
+    if let Ok(spec) = std::env::var("A2A_FAULT") {
+        let plan = fault::FaultPlan::parse(&spec);
+        if !plan.rules.is_empty() {
+            fault::arm(plan);
+        }
     }
     let Ok(spec) = std::env::var("A2A_LOG") else { return };
     let (default_level, filters) = level::parse_spec(&spec);

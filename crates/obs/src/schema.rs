@@ -57,6 +57,15 @@
 //! baseline's `FitnessReport`s bit-for-bit; `speedup` must be ≥ 1 (the
 //! adaptive path must never be slower), which CI gates on via
 //! `obs_validate --fitness`.
+//!
+//! # Checksums
+//!
+//! Both snapshot payloads carry a `checksum` member: the FNV-1a 64-bit
+//! hash (as 16 lowercase hex digits) of the document serialized
+//! *without* its `checksum` member. Producers add it with [`seal`];
+//! validators recompute and compare, so a torn or hand-edited artifact
+//! fails `obs_validate` loudly instead of feeding corrupt numbers into
+//! a report. The same hash seals `a2a-run/checkpoint/v1` documents.
 
 use crate::json::{parse, Json};
 use crate::registry::HistogramSnapshot;
@@ -70,6 +79,61 @@ pub const FITNESS_BENCH_SCHEMA: &str = "a2a-obs/fitness-bench/v1";
 
 /// The agent counts every bench snapshot must histogram `t_comm` for.
 pub const REQUIRED_T_COMM_KS: [u64; 3] = [4, 16, 64];
+
+/// FNV-1a 64-bit hash — the workspace's checksum primitive (no crypto
+/// needed: the adversary is a torn write, not an attacker).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+    hash
+}
+
+/// The checksum of `doc`: FNV-1a 64 over the document serialized with
+/// its top-level `checksum` member (if any) removed, as 16 lowercase
+/// hex digits.
+#[must_use]
+pub fn document_checksum(doc: &Json) -> String {
+    let body = match doc.as_obj() {
+        Some(entries) => Json::Obj(
+            entries.iter().filter(|(k, _)| k != "checksum").cloned().collect(),
+        ),
+        None => doc.clone(),
+    };
+    format!("{:016x}", fnv1a64(body.to_string().as_bytes()))
+}
+
+/// Adds (or replaces) the `checksum` member of `doc` so that
+/// [`verify_checksum`] accepts it.
+#[must_use]
+pub fn seal(doc: Json) -> Json {
+    let sum = document_checksum(&doc);
+    doc.with("checksum", sum)
+}
+
+/// Verifies the `checksum` member of `doc` against the recomputed
+/// value.
+///
+/// # Errors
+///
+/// A message naming the problem: missing/non-string member, or a
+/// mismatch (both digests included).
+pub fn verify_checksum(doc: &Json) -> Result<(), String> {
+    let claimed = doc
+        .get("checksum")
+        .ok_or("missing `checksum`")?
+        .as_str()
+        .ok_or("`checksum` must be a string")?;
+    let actual = document_checksum(doc);
+    if claimed == actual {
+        Ok(())
+    } else {
+        Err(format!("checksum mismatch: document says {claimed}, content hashes to {actual}"))
+    }
+}
 
 /// Validates one JSONL line: any valid JSON object is accepted, and
 /// objects carrying a `level` member must satisfy the event schema.
@@ -108,24 +172,49 @@ pub fn validate_event_line(line: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// What [`validate_events`] found in a JSONL stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventsSummary {
+    /// Number of validated event lines (lines with a `level` member).
+    pub events: usize,
+    /// `Some(problem)` when the final non-empty line was not valid JSON
+    /// — the signature a crashed writer leaves (a line torn mid-write).
+    /// Tolerated so one truncated tail never invalidates the thousands
+    /// of good lines before it, but reported so the reader knows the
+    /// stream is from an unclean shutdown.
+    pub truncated_tail: Option<String>,
+}
+
 /// Validates a whole JSONL stream (one document per non-empty line).
-/// Returns the number of validated event lines.
+/// Returns the number of validated event lines, tolerating (and
+/// reporting) an unparseable *final* line as a truncated tail.
 ///
 /// # Errors
 ///
-/// The first offending line number and its problem.
-pub fn validate_events(content: &str) -> Result<usize, String> {
-    let mut events = 0;
+/// The first offending line number and its problem — for any line
+/// other than a torn final one.
+pub fn validate_events(content: &str) -> Result<EventsSummary, String> {
+    let mut summary = EventsSummary::default();
+    let last_line = content.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).last();
     for (i, line) in content.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        validate_event_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if let Err(e) = validate_event_line(line) {
+            // Only an unparseable final line can be a torn tail; a line
+            // that parses but violates the event schema is a producer
+            // bug wherever it sits.
+            if last_line.map(|(j, _)| j) == Some(i) && parse(line).is_err() {
+                summary.truncated_tail = Some(format!("line {}: {e}", i + 1));
+                break;
+            }
+            return Err(format!("line {}: {e}", i + 1));
+        }
         if parse(line).is_ok_and(|d| d.get("level").is_some()) {
-            events += 1;
+            summary.events += 1;
         }
     }
-    Ok(events)
+    Ok(summary)
 }
 
 fn require_num(doc: &Json, path: &str, key: &str) -> Result<f64, String> {
@@ -145,6 +234,7 @@ pub fn validate_bench_snapshot(doc: &Json) -> Result<(), String> {
     if schema != BENCH_SNAPSHOT_SCHEMA {
         return Err(format!("schema `{schema}` is not `{BENCH_SNAPSHOT_SCHEMA}`"));
     }
+    verify_checksum(doc)?;
 
     let kernel = doc.get("kernel").ok_or("missing `kernel`")?;
     let sps = require_num(kernel, "kernel", "steps_per_sec")?;
@@ -196,6 +286,7 @@ pub fn validate_fitness_snapshot(doc: &Json) -> Result<(), String> {
     if schema != FITNESS_BENCH_SCHEMA {
         return Err(format!("schema `{schema}` is not `{FITNESS_BENCH_SCHEMA}`"));
     }
+    verify_checksum(doc)?;
 
     let workload = doc.get("workload").ok_or("missing `workload`")?;
     for key in ["population", "children", "configs", "k"] {
@@ -271,7 +362,39 @@ mod tests {
             Event::new(Level::Debug, "a.b").to_json(),
             r#"{"snapshot":true}"#
         );
-        assert_eq!(validate_events(&stream).unwrap(), 1);
+        let summary = validate_events(&stream).unwrap();
+        assert_eq!(summary.events, 1);
+        assert_eq!(summary.truncated_tail, None);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_and_reported() {
+        let good = Event::new(Level::Debug, "a.b").to_json().to_string();
+        let torn = format!("{good}\n{good}\n{{\"level\":\"info\",\"t_ms\":12.5,\"ev");
+        let summary = validate_events(&torn).unwrap();
+        assert_eq!(summary.events, 2, "lines before the tear all count");
+        assert!(summary.truncated_tail.is_some());
+
+        // The same garbage anywhere but the tail is a hard error...
+        let mid = format!("{good}\nnot json\n{good}\n");
+        assert!(validate_events(&mid).is_err());
+        // ...and a final line that parses but violates the schema is
+        // a producer bug, not a tear.
+        let bad_schema = format!("{good}\n{{\"level\":\"loud\",\"t_ms\":1,\"event\":\"x\",\"fields\":{{}}}}");
+        assert!(validate_events(&bad_schema).is_err());
+    }
+
+    #[test]
+    fn checksums_seal_and_verify() {
+        let doc = Json::object().with("schema", "x/v1").with("value", 7u64);
+        assert!(verify_checksum(&doc).is_err(), "unsealed documents fail");
+        let sealed = seal(doc);
+        verify_checksum(&sealed).unwrap();
+        // Sealing is idempotent w.r.t. the existing checksum member.
+        verify_checksum(&seal(sealed.clone())).unwrap();
+        let mut tampered = sealed;
+        tampered.set("value", 8u64);
+        assert!(verify_checksum(&tampered).is_err(), "edits invalidate the seal");
     }
 
     fn minimal_snapshot() -> Json {
@@ -286,25 +409,27 @@ mod tests {
                     .with("histogram", hist.to_json())
             })
             .collect();
-        Json::object()
-            .with("schema", BENCH_SNAPSHOT_SCHEMA)
-            .with("kernel", Json::object().with("steps_per_sec", 1e6))
-            .with("fitness", Json::object().with("evals_per_sec", 100.0))
-            .with("t_comm", Json::Arr(t_comm))
-            .with(
-                "ga",
-                Json::object().with(
-                    "series",
-                    vec![Json::object()
-                        .with("generation", 0u64)
-                        .with("best", 1e4)
-                        .with("median", 2e4)],
+        seal(
+            Json::object()
+                .with("schema", BENCH_SNAPSHOT_SCHEMA)
+                .with("kernel", Json::object().with("steps_per_sec", 1e6))
+                .with("fitness", Json::object().with("evals_per_sec", 100.0))
+                .with("t_comm", Json::Arr(t_comm))
+                .with(
+                    "ga",
+                    Json::object().with(
+                        "series",
+                        vec![Json::object()
+                            .with("generation", 0u64)
+                            .with("best", 1e4)
+                            .with("median", 2e4)],
+                    ),
                 ),
-            )
+        )
     }
 
     fn minimal_fitness_snapshot() -> Json {
-        Json::object()
+        seal(Json::object()
             .with("schema", FITNESS_BENCH_SCHEMA)
             .with(
                 "workload",
@@ -332,45 +457,68 @@ mod tests {
                     .with("exact", 4u64),
             )
             .with("speedup", 2.5)
-            .with("identical_reports", true)
+            .with("identical_reports", true))
+    }
+
+    /// Mutates a sealed fixture and re-seals, so the intended gate (not
+    /// the checksum) is what the validator trips on.
+    fn resealed(mut doc: Json, key: &str, value: Json) -> Json {
+        doc.set(key, value);
+        seal(doc)
     }
 
     #[test]
     fn fitness_snapshot_validates_and_gates() {
         validate_fitness_snapshot(&minimal_fitness_snapshot()).unwrap();
 
-        let mut slower = minimal_fitness_snapshot();
-        slower.set("speedup", 0.8);
+        let slower = resealed(minimal_fitness_snapshot(), "speedup", Json::Num(0.8));
         assert!(validate_fitness_snapshot(&slower).is_err(), "slower-than-baseline must fail");
 
-        let mut drifted = minimal_fitness_snapshot();
-        drifted.set("identical_reports", false);
+        let drifted = resealed(minimal_fitness_snapshot(), "identical_reports", Json::Bool(false));
         assert!(validate_fitness_snapshot(&drifted).is_err(), "changed results must fail");
 
-        let mut wrong = minimal_fitness_snapshot();
-        wrong.set("schema", "other/v0");
+        let wrong = resealed(minimal_fitness_snapshot(), "schema", "other/v0".into());
         assert!(validate_fitness_snapshot(&wrong).is_err());
 
-        let mut gap = minimal_fitness_snapshot();
-        gap.set("selection", Json::object().with("elapsed_us", 1e5));
+        let gap = resealed(
+            minimal_fitness_snapshot(),
+            "selection",
+            Json::object().with("elapsed_us", 1e5),
+        );
         assert!(validate_fitness_snapshot(&gap).is_err());
+
+        let mut tampered = minimal_fitness_snapshot();
+        tampered.set("speedup", 99.0); // edited without re-sealing
+        assert!(
+            validate_fitness_snapshot(&tampered).unwrap_err().contains("checksum"),
+            "unsealed edits trip the checksum gate"
+        );
     }
 
     #[test]
     fn bench_snapshot_validates_and_catches_gaps() {
         validate_bench_snapshot(&minimal_snapshot()).unwrap();
 
-        let mut wrong_schema = minimal_snapshot();
-        wrong_schema.set("schema", "other/v0");
+        let wrong_schema = resealed(minimal_snapshot(), "schema", "other/v0".into());
         assert!(validate_bench_snapshot(&wrong_schema).is_err());
 
-        let mut missing_k = minimal_snapshot();
-        let Json::Arr(entries) = missing_k.get("t_comm").unwrap().clone() else { unreachable!() };
-        missing_k.set("t_comm", Json::Arr(entries[..2].to_vec()));
+        let base = minimal_snapshot();
+        let Json::Arr(entries) = base.get("t_comm").unwrap().clone() else { unreachable!() };
+        let missing_k = resealed(base, "t_comm", Json::Arr(entries[..2].to_vec()));
         assert!(validate_bench_snapshot(&missing_k).is_err());
 
-        let mut empty_series = minimal_snapshot();
-        empty_series.set("ga", Json::object().with("series", Json::Arr(Vec::new())));
+        let empty_series = resealed(
+            minimal_snapshot(),
+            "ga",
+            Json::object().with("series", Json::Arr(Vec::new())),
+        );
         assert!(validate_bench_snapshot(&empty_series).is_err());
+
+        let mut tampered = minimal_snapshot();
+        tampered.set("fitness", Json::object().with("evals_per_sec", 1e9));
+        assert!(
+            validate_bench_snapshot(&tampered).unwrap_err().contains("checksum"),
+            "unsealed edits trip the checksum gate"
+        );
     }
 }

@@ -6,7 +6,8 @@ use crate::Level;
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// An event backend. Implementations must be cheap per record and
@@ -18,6 +19,49 @@ pub trait Sink: Send + Sync + fmt::Debug {
     fn verbosity(&self) -> Level;
     /// Forces buffered output out (end of run).
     fn flush(&self) {}
+    /// Marks the run complete: flush plus any publish step (e.g. a
+    /// [`JsonlSink`] renames its `.partial` file into place). Called by
+    /// [`finalize_all`] at clean shutdown; a crashed process never gets
+    /// here, which is exactly what distinguishes its artifacts.
+    fn finalize(&self) {
+        self.flush();
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a `.tmp` sibling is written and
+/// fsynced, then renamed over `path`, and the containing directory is
+/// fsynced so the rename itself is durable. Readers therefore see
+/// either the previous complete file or the new complete file, never a
+/// truncated mix — the invariant every `BENCH_*.json` artifact and
+/// checkpoint write in this workspace relies on.
+///
+/// # Errors
+///
+/// Propagates IO errors from any step; on error the target file is
+/// untouched (a stale `.tmp` sibling may remain).
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let tmp = sibling_with_suffix(path, ".tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// `path` with `suffix` appended to the full file name (keeping any
+/// existing extension: `events.jsonl` → `events.jsonl.partial`).
+fn sibling_with_suffix(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(suffix);
+    path.with_file_name(name)
 }
 
 static SINKS: OnceLock<RwLock<Vec<Arc<dyn Sink>>>> = OnceLock::new();
@@ -38,6 +82,13 @@ pub fn attach_sink(sink: Arc<dyn Sink>) {
 #[must_use]
 pub fn attached_sinks() -> usize {
     sinks().read().expect("sink lock never poisoned").len()
+}
+
+/// Finalizes every attached sink (flush + publish). Binaries call this
+/// once at clean exit — attached sinks live for the process lifetime,
+/// so their `Drop` never runs.
+pub fn finalize_all() {
+    for_each_sink(|sink| sink.finalize());
 }
 
 /// Runs `f` over every attached sink.
@@ -83,21 +134,48 @@ impl Sink for StderrSink {
 /// schema is documented in [`crate::schema`] and validated by
 /// `schema::validate_event_line`. Extra non-event lines (registry
 /// snapshots) can be appended with [`JsonlSink::write_json`].
+///
+/// # Crash safety
+///
+/// The stream is written to a `.partial` sibling of the requested path
+/// and renamed into place by [`JsonlSink::finalize`] (or `Drop`). A
+/// finished file at the requested path is therefore always one a clean
+/// shutdown produced; a `.partial` left behind marks a crashed run —
+/// still readable line by line, with at most the final line truncated
+/// (which `obs_validate` tolerates and reports). The rename keeps the
+/// open descriptor valid, so events recorded after finalization still
+/// land in the published file.
 #[derive(Debug)]
 pub struct JsonlSink {
     out: Mutex<BufWriter<File>>,
     verbosity: Level,
+    /// Requested (published) path; the stream starts at `.partial`.
+    path: PathBuf,
+    finalized: AtomicBool,
 }
 
 impl JsonlSink {
-    /// Creates (truncates) `path` and admits events up to `verbosity`.
+    /// Opens the `.partial` sibling of `path` (truncating it) and admits
+    /// events up to `verbosity`; `path` itself appears at finalization.
     ///
     /// # Errors
     ///
     /// Propagates file-creation errors.
     pub fn create(path: impl AsRef<Path>, verbosity: Level) -> std::io::Result<Self> {
-        let file = File::create(path)?;
-        Ok(Self { out: Mutex::new(BufWriter::new(file)), verbosity })
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(sibling_with_suffix(&path, ".partial"))?;
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(file)),
+            verbosity,
+            path,
+            finalized: AtomicBool::new(false),
+        })
+    }
+
+    /// The published path (where the stream lands after finalization).
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 
     /// Appends an arbitrary JSON document as one line (registry
@@ -105,6 +183,19 @@ impl JsonlSink {
     pub fn write_json(&self, doc: &Json) {
         let mut out = self.out.lock().expect("jsonl lock never poisoned");
         let _ = writeln!(out, "{doc}");
+    }
+
+    /// Flush + fsync + rename `.partial` into the requested path.
+    /// Idempotent; errors are swallowed (observability must never take
+    /// the run down), leaving the `.partial` behind as the artifact.
+    fn publish(&self) {
+        let mut out = self.out.lock().expect("jsonl lock never poisoned");
+        let _ = out.flush();
+        if self.finalized.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = out.get_ref().sync_all();
+        let _ = std::fs::rename(sibling_with_suffix(&self.path, ".partial"), &self.path);
     }
 }
 
@@ -120,13 +211,15 @@ impl Sink for JsonlSink {
     fn flush(&self) {
         let _ = self.out.lock().expect("jsonl lock never poisoned").flush();
     }
+
+    fn finalize(&self) {
+        self.publish();
+    }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        if let Ok(mut out) = self.out.lock() {
-            let _ = out.flush();
-        }
+        self.publish();
     }
 }
 
@@ -195,6 +288,42 @@ mod tests {
         for line in lines {
             crate::json::parse(line).unwrap();
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_sink_publishes_on_finalize_and_keeps_writing() {
+        let dir = std::env::temp_dir().join("a2a_obs_sink_finalize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let partial = dir.join("events.jsonl.partial");
+        let _ = std::fs::remove_file(&path);
+        let sink = JsonlSink::create(&path, Level::Debug).unwrap();
+        sink.record(&Event::new(Level::Info, "t.before"));
+        sink.flush();
+        assert!(partial.exists(), "stream starts at .partial");
+        assert!(!path.exists(), "published path only appears at finalize");
+        sink.finalize();
+        assert!(path.exists() && !partial.exists(), "finalize renames into place");
+        // The open descriptor survives the rename: later records land in
+        // the published file.
+        sink.record(&Event::new(Level::Info, "t.after"));
+        sink.finalize(); // idempotent; flushes the late record
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_files() {
+        let dir = std::env::temp_dir().join("a2a_obs_atomic_write_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        atomic_write(&path, b"{\"v\": 1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\": 1}\n");
+        atomic_write(&path, b"{\"v\": 2}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\": 2}\n");
+        assert!(!dir.join("artifact.json.tmp").exists(), "no stale temp on success");
         let _ = std::fs::remove_file(&path);
     }
 

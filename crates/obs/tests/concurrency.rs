@@ -118,6 +118,6 @@ fn jsonl_lines_never_interleave_under_contention() {
     }
     let content = std::fs::read_to_string(&path).unwrap();
     assert_eq!(content.lines().count(), WORKERS * 200);
-    assert_eq!(a2a_obs::schema::validate_events(&content).unwrap(), WORKERS * 200);
+    assert_eq!(a2a_obs::schema::validate_events(&content).unwrap().events, WORKERS * 200);
     let _ = std::fs::remove_file(&path);
 }

@@ -1,0 +1,302 @@
+//! The crash-safe run harness: wires [`Evolution::run_resumable`] /
+//! [`run_islands_resumable`] to a [`CheckpointStore`], persisting the
+//! resumable state on a configurable cadence and restoring it under
+//! `--resume`.
+//!
+//! Failure policy:
+//!
+//! * A checkpoint **save** failure is a warning, not a run failure — the
+//!   run continues, the previous checkpoint file survives (atomic
+//!   write), and the error count is reported so callers/CI can notice.
+//! * A checkpoint **load** failure under `resume: true` is a hard error:
+//!   silently restarting from scratch (or from someone else's
+//!   experiment — digest mismatch) would fabricate results.
+//! * The `run.generation` fault site is probed at every boundary; when
+//!   it fires the run stops as if the process had been killed, which is
+//!   exactly how the chaos suite simulates kills without losing the
+//!   test harness itself.
+//!
+//! [`Evolution::run_resumable`]: a2a_ga::Evolution::run_resumable
+//! [`run_islands_resumable`]: a2a_ga::run_islands_resumable
+
+use crate::checkpoint::{context_digest, Checkpoint, Counters, Payload};
+use crate::store::CheckpointStore;
+use a2a_fsm::{FsmSpec, Genome};
+use a2a_ga::{
+    run_islands_resumable, Evaluator, Evolution, EvolutionOutcome, GaConfig, GenerationStats,
+    IslandConfig, IslandOutcome, IslandsState, RunControl,
+};
+use a2a_obs::fault;
+
+/// How a harnessed run persists and restores checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Where checkpoints go; `None` disables persistence entirely.
+    pub store: Option<CheckpointStore>,
+    /// Checkpoint every `cadence` generation boundaries (0 is treated as
+    /// 1). The final boundary is always checkpointed when a store is
+    /// configured.
+    pub cadence: usize,
+    /// Restore from the store's checkpoint before running. Requires a
+    /// store; a missing checkpoint file just starts fresh, but a corrupt
+    /// one or a context-digest mismatch is a hard error.
+    pub resume: bool,
+}
+
+impl RunOptions {
+    /// Persistence into `store` at every boundary, no resume.
+    #[must_use]
+    pub fn persisting(store: CheckpointStore) -> Self {
+        Self { store: Some(store), cadence: 1, resume: false }
+    }
+
+    /// Builder-style cadence override.
+    #[must_use]
+    pub fn every(mut self, cadence: usize) -> Self {
+        self.cadence = cadence;
+        self
+    }
+
+    /// Builder-style resume flag.
+    #[must_use]
+    pub fn resuming(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+}
+
+/// What a harnessed single-pool run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The (possibly partial) outcome, pool sorted best-first.
+    pub outcome: EvolutionOutcome,
+    /// `false` iff the run stopped before its generation budget.
+    pub completed: bool,
+    /// The generation index the run resumed at (`None` for a fresh
+    /// start).
+    pub resumed_from: Option<usize>,
+    /// Checkpoints successfully persisted during this run.
+    pub checkpoints_written: usize,
+    /// Checkpoint saves that failed (run continued).
+    pub checkpoint_errors: usize,
+    /// Whether the `run.generation` fault site stopped the run
+    /// (simulated kill).
+    pub killed: bool,
+}
+
+/// What a harnessed island-model run produced.
+#[derive(Debug, Clone)]
+pub struct IslandsReport {
+    /// The (possibly partial) outcome.
+    pub outcome: IslandOutcome,
+    /// `false` iff the run stopped before its epoch budget.
+    pub completed: bool,
+    /// The epoch index the run resumed at (`None` for a fresh start).
+    pub resumed_from: Option<usize>,
+    /// Checkpoints successfully persisted during this run.
+    pub checkpoints_written: usize,
+    /// Checkpoint saves that failed (run continued).
+    pub checkpoint_errors: usize,
+    /// Whether the `run.generation` fault site stopped the run.
+    pub killed: bool,
+}
+
+/// Book-keeping shared by both harness flavours.
+#[derive(Debug, Default)]
+struct Progress {
+    written: usize,
+    errors: usize,
+    killed: bool,
+}
+
+impl Progress {
+    /// Persists `checkpoint` if due at boundary `index`, then probes the
+    /// kill site. Returns the control verdict for the boundary.
+    fn boundary(
+        &mut self,
+        store: Option<&CheckpointStore>,
+        due: bool,
+        checkpoint: impl FnOnce() -> Checkpoint,
+    ) -> RunControl {
+        if let Some(store) = store {
+            if due {
+                match store.save(&checkpoint()) {
+                    Ok(()) => {
+                        self.written += 1;
+                        if a2a_obs::metrics_enabled() {
+                            a2a_obs::global().counter("run.checkpoint.writes").incr();
+                        }
+                    }
+                    Err(e) => {
+                        self.errors += 1;
+                        if a2a_obs::metrics_enabled() {
+                            a2a_obs::global().counter("run.checkpoint.errors").incr();
+                        }
+                        a2a_obs::event!(
+                            a2a_obs::Level::Warn,
+                            "run.checkpoint.failed",
+                            "error" => e.to_string()
+                        );
+                    }
+                }
+            }
+        }
+        if fault::should_kill("run.generation") {
+            self.killed = true;
+            RunControl::Stop
+        } else {
+            RunControl::Continue
+        }
+    }
+}
+
+fn counters(evaluator: &Evaluator) -> Counters {
+    Counters {
+        cache_entries: evaluator.cache().len() as u64,
+        cache_hits: evaluator.cache().hits(),
+    }
+}
+
+/// Restores the checkpoint for `digest`/`spec` if `opts` asks for it.
+///
+/// # Errors
+///
+/// `resume: true` without a store, an unreadable/corrupt checkpoint, a
+/// digest mismatch, or a spec mismatch.
+fn restore(opts: &RunOptions, digest: &str, spec: FsmSpec) -> Result<Option<Payload>, String> {
+    if !opts.resume {
+        return Ok(None);
+    }
+    let store = opts
+        .store
+        .as_ref()
+        .ok_or("resume requested but no checkpoint store configured")?;
+    let Some(ckpt) = store.load()? else {
+        return Ok(None); // Fresh directory: nothing to resume, start clean.
+    };
+    if ckpt.digest != digest {
+        return Err(format!(
+            "checkpoint digest {} does not match this experiment ({digest}); \
+             refusing to resume across different configurations",
+            ckpt.digest
+        ));
+    }
+    if ckpt.spec != spec {
+        return Err("checkpoint spec does not match this experiment".to_string());
+    }
+    Ok(Some(ckpt.payload))
+}
+
+/// Runs the single-pool procedure with checkpoint persistence and
+/// optional resume. A resumed run's `outcome` is bit-identical to the
+/// uninterrupted run's (see the `equivalence` integration test).
+///
+/// # Errors
+///
+/// Resume failures only (see [`RunOptions::resume`]); checkpoint save
+/// failures are counted, not raised.
+///
+/// # Panics
+///
+/// As [`Evolution::new`] (invalid GA parameters).
+pub fn run_evolution(
+    spec: FsmSpec,
+    evaluator: &Evaluator,
+    config: GaConfig,
+    seeds: Vec<Genome>,
+    opts: &RunOptions,
+    mut on_generation: impl FnMut(&GenerationStats),
+) -> Result<RunReport, String> {
+    let digest = context_digest(&config, evaluator.config(), evaluator.t_max(), evaluator.configs());
+    let resume_state = match restore(opts, &digest, spec)? {
+        None => None,
+        Some(Payload::Single(state)) => Some(state),
+        Some(Payload::Islands(_)) => {
+            return Err("checkpoint is an island-model snapshot, not a single run".to_string())
+        }
+    };
+    let resumed_from = resume_state.as_ref().map(|s| s.next_generation);
+    let cadence = opts.cadence.max(1);
+    let last = config.generations;
+    let mut progress = Progress::default();
+    let run = Evolution::new(spec, evaluator.clone(), config).run_resumable(
+        resume_state,
+        seeds,
+        |stats, state| {
+            on_generation(stats);
+            let boundary_index = state.next_generation - 1;
+            let due = boundary_index % cadence == 0 || boundary_index == last;
+            progress.boundary(opts.store.as_ref(), due, || Checkpoint {
+                digest: digest.clone(),
+                spec,
+                counters: counters(evaluator),
+                payload: Payload::Single(state.clone()),
+            })
+        },
+    );
+    Ok(RunReport {
+        outcome: run.outcome,
+        completed: run.completed && !progress.killed,
+        resumed_from,
+        checkpoints_written: progress.written,
+        checkpoint_errors: progress.errors,
+        killed: progress.killed,
+    })
+}
+
+/// Island-model counterpart of [`run_evolution`]: checkpoints at epoch
+/// boundaries (the island model's native unit of resumable work).
+///
+/// # Errors
+///
+/// Resume failures only; checkpoint save failures are counted.
+///
+/// # Panics
+///
+/// As [`run_islands_resumable`] (zero islands, oversized migration).
+pub fn run_islands_checkpointed(
+    spec: FsmSpec,
+    evaluator: &Evaluator,
+    config: GaConfig,
+    island_config: IslandConfig,
+    opts: &RunOptions,
+    mut on_epoch: impl FnMut(usize, &[EvolutionOutcome]),
+) -> Result<IslandsReport, String> {
+    let digest = context_digest(&config, evaluator.config(), evaluator.t_max(), evaluator.configs());
+    let resume_state = match restore(opts, &digest, spec)? {
+        None => None,
+        Some(Payload::Islands(state)) => Some(state),
+        Some(Payload::Single(_)) => {
+            return Err("checkpoint is a single-run snapshot, not an island model".to_string())
+        }
+    };
+    let resumed_from = resume_state.as_ref().map(|s| s.next_epoch);
+    let cadence = opts.cadence.max(1);
+    let epochs = config.generations.div_ceil(island_config.epoch.max(1));
+    let mut progress = Progress::default();
+    let run = run_islands_resumable(
+        spec,
+        evaluator,
+        config,
+        island_config,
+        resume_state,
+        |epoch, state: &IslandsState| {
+            on_epoch(epoch, &state.outcomes);
+            let due = epoch % cadence == 0 || state.next_epoch >= epochs;
+            progress.boundary(opts.store.as_ref(), due, || Checkpoint {
+                digest: digest.clone(),
+                spec,
+                counters: counters(evaluator),
+                payload: Payload::Islands(state.clone()),
+            })
+        },
+    );
+    Ok(IslandsReport {
+        outcome: run.outcome,
+        completed: run.completed && !progress.killed,
+        resumed_from,
+        checkpoints_written: progress.written,
+        checkpoint_errors: progress.errors,
+        killed: progress.killed,
+    })
+}

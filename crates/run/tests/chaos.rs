@@ -1,0 +1,199 @@
+//! Chaos suite: seeded, deterministic fault schedules driving the three
+//! fault sites end to end.
+//!
+//! * `ga.pool.item` — worker panics inside the evaluation pool: the
+//!   watchdog retries the genome and the run's results are unaffected;
+//! * `run.checkpoint.write` — IO errors while persisting: the run
+//!   continues, errors are counted, the previous checkpoint survives;
+//! * `run.generation` — simulated kills between generations: a
+//!   kill/resume crash loop converges to the exact uninterrupted result.
+//!
+//! Every schedule is a pure function of the plan seed, so failures
+//! reproduce exactly. Fault arming is process-global; the suite
+//! serialises through one mutex.
+
+use a2a_fsm::FsmSpec;
+use a2a_ga::{Evaluator, GaConfig, IslandConfig};
+use a2a_grid::GridKind;
+use a2a_obs::fault::{self, FaultPlan};
+use a2a_run::{
+    run_evolution, run_islands_checkpointed, CheckpointStore, Payload, RunOptions,
+};
+use a2a_sim::{paper_config_set, WorldConfig};
+use std::sync::Mutex;
+
+static FAULT_GUARD: Mutex<()> = Mutex::new(());
+
+fn evaluator(kind: GridKind) -> Evaluator {
+    let cfg = WorldConfig::paper(kind, 8);
+    let configs = paper_config_set(cfg.lattice, kind, 4, 6, 23).unwrap();
+    Evaluator::new(cfg, configs).with_threads(3).with_t_max(100)
+}
+
+#[test]
+fn worker_panics_do_not_change_results() {
+    let _guard = FAULT_GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::disarm();
+    let kind = GridKind::Triangulate;
+    let spec = FsmSpec::paper(kind);
+    let config = GaConfig::paper(4, 77);
+
+    let clean =
+        run_evolution(spec, &evaluator(kind), config, Vec::new(), &RunOptions::default(), |_| ())
+            .unwrap();
+
+    // A low-rate panic schedule: a handful of evaluation items blow up,
+    // each is retried inline by the watchdog.
+    fault::arm(FaultPlan::seeded(99).with("ga.pool.item", 0.02, 5));
+    let faulty =
+        run_evolution(spec, &evaluator(kind), config, Vec::new(), &RunOptions::default(), |_| ())
+            .unwrap();
+    let panics = fault::fired("ga.pool.item");
+    fault::disarm();
+
+    assert!(panics > 0, "the schedule must actually inject panics");
+    assert!(faulty.completed);
+    assert_eq!(
+        faulty.outcome.history, clean.outcome.history,
+        "retried evaluations must not change the evolution trajectory"
+    );
+    assert_eq!(faulty.outcome.pool, clean.outcome.pool);
+}
+
+#[test]
+fn checkpoint_write_errors_are_survived_and_counted() {
+    let _guard = FAULT_GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::disarm();
+    let kind = GridKind::Square;
+    let spec = FsmSpec::paper(kind);
+    let config = GaConfig::paper(5, 13);
+    let dir = std::env::temp_dir().join("a2a_run_chaos_io");
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = RunOptions::persisting(CheckpointStore::new(&dir));
+
+    // The first two saves fail with injected IO errors; the rest land.
+    fault::arm(FaultPlan::seeded(7).with("run.checkpoint.write", 1.0, 2));
+    let report =
+        run_evolution(spec, &evaluator(kind), config, Vec::new(), &opts, |_| ()).unwrap();
+    fault::disarm();
+
+    assert!(report.completed);
+    assert_eq!(report.checkpoint_errors, 2);
+    // Boundaries 0..=5 are all due at cadence 1; two saves were eaten.
+    assert_eq!(report.checkpoints_written, config.generations + 1 - 2);
+    // The surviving rolling checkpoint is the final state, intact.
+    let ckpt = CheckpointStore::new(&dir).load().unwrap().expect("final checkpoint persisted");
+    let Payload::Single(state) = ckpt.payload else { panic!("wrong mode") };
+    assert_eq!(state.next_generation, config.generations + 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_resume_crash_loop_converges_to_the_uninterrupted_result() {
+    let _guard = FAULT_GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::disarm();
+    let kind = GridKind::Square;
+    let spec = FsmSpec::paper(kind);
+    let config = GaConfig::paper(8, 5150);
+
+    let full =
+        run_evolution(spec, &evaluator(kind), config, Vec::new(), &RunOptions::default(), |_| ())
+            .unwrap();
+
+    let dir = std::env::temp_dir().join("a2a_run_chaos_killloop");
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = RunOptions::persisting(CheckpointStore::new(&dir));
+
+    // Three certain kills: the first three boundary probes stop the
+    // process image; occurrence bookkeeping persists across the loop's
+    // re-invocations (same armed plan), so each restart gets further.
+    fault::arm(FaultPlan::seeded(3).with("run.generation", 1.0, 3));
+    let mut attempts = 0;
+    let final_report = loop {
+        attempts += 1;
+        assert!(attempts <= 10, "crash loop must converge");
+        let opts = base.clone().resuming(attempts > 1);
+        let report =
+            run_evolution(spec, &evaluator(kind), config, Vec::new(), &opts, |_| ()).unwrap();
+        if report.completed {
+            break report;
+        }
+        assert!(report.killed, "incomplete runs in this loop are killed runs");
+    };
+    let kills = fault::fired("run.generation");
+    fault::disarm();
+
+    assert_eq!(kills, 3, "the schedule allows exactly three kills");
+    assert_eq!(attempts, 4, "three kills then a clean completion");
+    assert_eq!(
+        final_report.outcome.history, full.outcome.history,
+        "crash-looped history must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(final_report.outcome.pool, full.outcome.pool);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn islands_kill_resume_matches_uninterrupted() {
+    let _guard = FAULT_GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::disarm();
+    let kind = GridKind::Square;
+    let spec = FsmSpec::paper(kind);
+    let config = GaConfig::paper(10, 31);
+    let islands = IslandConfig { islands: 2, epoch: 5, migrants: 1 };
+
+    let full = run_islands_checkpointed(
+        spec,
+        &evaluator(kind),
+        config,
+        islands,
+        &RunOptions::default(),
+        |_, _| (),
+    )
+    .unwrap();
+
+    let dir = std::env::temp_dir().join("a2a_run_chaos_islands");
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = RunOptions::persisting(CheckpointStore::new(&dir));
+    fault::arm(FaultPlan::seeded(8).with("run.generation", 1.0, 1));
+    let killed = run_islands_checkpointed(
+        spec,
+        &evaluator(kind),
+        config,
+        islands,
+        &base,
+        |_, _| (),
+    )
+    .unwrap();
+    fault::disarm();
+    assert!(killed.killed && !killed.completed);
+
+    let resumed = run_islands_checkpointed(
+        spec,
+        &evaluator(kind),
+        config,
+        islands,
+        &base.clone().resuming(true),
+        |_, _| (),
+    )
+    .unwrap();
+    assert!(resumed.completed);
+    assert_eq!(resumed.resumed_from, Some(1));
+    assert_eq!(resumed.outcome.islands.len(), full.outcome.islands.len());
+    for (a, b) in resumed.outcome.islands.iter().zip(&full.outcome.islands) {
+        assert_eq!(a.pool, b.pool, "resumed island pools must be bit-identical");
+        assert_eq!(a.history, b.history);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(feature = "fault-inject")]
+#[test]
+fn env_spec_grammar_parses_the_ci_schedule() {
+    // The CI chaos job arms via A2A_FAULT; keep its grammar honest here
+    // (parsing is pure — no env mutation, safe under parallel tests).
+    let plan = FaultPlan::parse("seed=7,ga.pool.item:0.02:5,run.generation:1.0:3");
+    assert_eq!(plan.seed, 7);
+    assert_eq!(plan.rules.len(), 2);
+    assert!(plan.fires("run.generation", 0));
+}

@@ -307,7 +307,7 @@ mod tests {
         let (outcome, traj) = recorded(GridKind::Square, 4, 9);
         let text = traj.to_jsonl();
         // Every line is an auxiliary document under the obs schema.
-        assert_eq!(a2a_obs::schema::validate_events(&text).unwrap(), 0);
+        assert_eq!(a2a_obs::schema::validate_events(&text).unwrap().events, 0);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 1 + traj.len() + traj.events().len());
         let header = a2a_obs::json::parse(lines[0]).unwrap();

@@ -146,6 +146,27 @@ pub mod rngs {
     }
 
     impl SmallRng {
+        /// The generator's full internal state, for checkpointing. A
+        /// generator rebuilt with [`SmallRng::from_state`] continues the
+        /// exact same stream.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Restores a generator from a state captured by
+        /// [`SmallRng::state`].
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which is not reachable from any
+        /// seed and would make xoshiro256++ emit zeros forever.
+        #[must_use]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0; 4], "the all-zero state is not a valid xoshiro256++ state");
+            Self { s }
+        }
+
         fn splitmix64(state: &mut u64) -> u64 {
             *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = *state;
@@ -232,6 +253,24 @@ mod tests {
         assert!((2000..3000).contains(&hits), "{hits}");
         assert!(!rng.random_bool(0.0));
         assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..17 {
+            let _ = rng.next_u64();
+        }
+        let mut resumed = SmallRng::from_state(rng.state());
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), resumed.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero state")]
+    fn zero_state_rejected() {
+        let _ = SmallRng::from_state([0; 4]);
     }
 
     #[test]
