@@ -56,6 +56,14 @@ fn bench_fitness_workload(c: &mut Criterion) {
             });
         });
 
+        group.bench_function("multiworld", |b| {
+            let runner = BatchRunner::from_genome(&cfg, genome.clone(), T_MAX)
+                .expect("valid environment");
+            b.iter(|| {
+                black_box(runner.run_all(black_box(&configs)).expect("valid placement"));
+            });
+        });
+
         group.finish();
     }
 }

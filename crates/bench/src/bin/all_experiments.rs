@@ -11,9 +11,9 @@
 //!     [--checkpoint-dir DIR] [--resume]
 //! ```
 //!
-//! `BENCH_obs.json` / `BENCH_fitness.json` are sealed (embedded FNV-1a
-//! checksum) and written atomically, so a crash mid-write can never
-//! leave a torn artifact. `--checkpoint-dir` persists the GA-series run
+//! `BENCH_obs.json` / `BENCH_fitness.json` / `BENCH_kernel.json` are
+//! sealed (embedded FNV-1a checksum) and written atomically, so a crash
+//! mid-write can never leave a torn artifact. `--checkpoint-dir` persists the GA-series run
 //! as a rolling `a2a-run/checkpoint/v1` snapshot; `--resume` continues
 //! it after an interruption.
 //!
@@ -30,7 +30,8 @@ use a2a_ga::{Evaluator, GaConfig};
 use a2a_grid::GridKind;
 use a2a_run::{run_evolution, CheckpointStore, RunOptions};
 use a2a_obs::schema::{
-    validate_bench_snapshot, validate_fitness_snapshot, BENCH_SNAPSHOT_SCHEMA, REQUIRED_T_COMM_KS,
+    validate_bench_snapshot, validate_fitness_snapshot, validate_kernel_snapshot,
+    BENCH_SNAPSHOT_SCHEMA, REQUIRED_T_COMM_KS,
 };
 use a2a_obs::json::Json;
 use a2a_obs::HistogramSnapshot;
@@ -44,6 +45,9 @@ const SNAPSHOT_PATH: &str = "BENCH_obs.json";
 
 /// Output path of the fitness-pipeline before/after snapshot.
 const FITNESS_PATH: &str = "BENCH_fitness.json";
+
+/// Output path of the single-run vs multi-run kernel snapshot.
+const KERNEL_PATH: &str = "BENCH_kernel.json";
 
 /// Measures the perf snapshot on the T-grid: kernel steps/s and per-k
 /// `t_comm` histograms from one batch pass, fitness evals/s, and a small
@@ -305,6 +309,31 @@ fn main() {
         a2a_bench::fitness::SNAPSHOT_EPOCHS,
         fnum(&["adaptive", "cache_hits"]),
         fnum(&["selection", "pruned_configs"]),
+    ));
+
+    // Single-run vs multi-run kernel throughput → BENCH_kernel.json.
+    let kernel = a2a_bench::kernel::kernel_snapshot(
+        a2a_bench::kernel::KERNEL_CONFIGS.min(scale.configs.max(10)),
+        scale.seed,
+    );
+    validate_kernel_snapshot(&kernel).expect("multi-run kernel beats the single-run path exactly");
+    a2a_obs::atomic_write(KERNEL_PATH, format!("{kernel}\n").as_bytes())
+        .expect("cwd is writable");
+    if let Some(sink) = obs.sink() {
+        sink.write_json(&kernel);
+    }
+    let knum = |path: &[&str]| {
+        path.iter()
+            .try_fold(&kernel, |d, k| d.get(k))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN)
+    };
+    scale.outln(format!(
+        "- multi-run kernel: {:.2}x vs single-run ({:.2e} vs {:.2e} steps/s, chunk {}); wrote {KERNEL_PATH} (schema-valid)",
+        knum(&["speedup"]),
+        knum(&["multi", "steps_per_sec"]),
+        knum(&["single", "steps_per_sec"]),
+        knum(&["multi", "chunk"]),
     ));
 
     scale.outln(

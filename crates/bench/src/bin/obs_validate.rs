@@ -1,24 +1,32 @@
 //! Validates observability artifacts: an events JSONL stream (written
 //! via `--json-out`), a `BENCH_obs.json` perf snapshot, a
-//! `BENCH_fitness.json` pipeline snapshot, and/or an `a2a-run`
-//! checkpoint. Exits non-zero on the first schema violation, so CI can
-//! gate on it.
+//! `BENCH_fitness.json` pipeline snapshot, a `BENCH_kernel.json`
+//! multi-run kernel snapshot, and/or an `a2a-run` checkpoint. Exits
+//! non-zero on the first schema violation, so CI can gate on it.
 //!
 //! ```text
 //! cargo run --release -p a2a-bench --bin obs_validate -- \
 //!     [--events events.jsonl] [--snapshot BENCH_obs.json] \
-//!     [--fitness BENCH_fitness.json] [--run CHECKPOINT_DIR_OR_FILE]
+//!     [--fitness BENCH_fitness.json] [--kernel BENCH_kernel.json] \
+//!     [--kernel-baseline BASELINE.json] [--run CHECKPOINT_DIR_OR_FILE]
 //! ```
 //!
 //! `--fitness` additionally gates on the snapshot's own acceptance
-//! terms: `identical_reports` must be true and `speedup ≥ 1`. Snapshot
-//! and checkpoint documents are sealed; their embedded checksum is
-//! verified before any field is trusted. A crashed run's events stream
-//! (a `.partial` file) may end in one torn line — that is tolerated and
-//! reported, while any other malformed line still fails.
+//! terms: `identical_reports` must be true and `speedup ≥ 1`; `--kernel`
+//! gates the same way on `identical_outcomes` and the multi-kernel
+//! speedup. `--kernel-baseline BASELINE` pairs with the `--kernel` files
+//! and additionally fails when a fresh snapshot's speedup regressed more
+//! than 30 % below the baseline's. Snapshot and checkpoint documents
+//! are sealed; their embedded checksum is verified before any field is
+//! trusted. A crashed run's events stream (a `.partial` file) may end
+//! in one torn line — that is tolerated and reported, while any other
+//! malformed line still fails.
 
 use a2a_obs::json::parse;
-use a2a_obs::schema::{validate_bench_snapshot, validate_events, validate_fitness_snapshot};
+use a2a_obs::schema::{
+    validate_bench_snapshot, validate_events, validate_fitness_snapshot,
+    validate_kernel_regression, validate_kernel_snapshot,
+};
 use a2a_run::{CheckpointStore, Payload, CHECKPOINT_FILE};
 use std::path::Path;
 use std::process::ExitCode;
@@ -60,11 +68,14 @@ fn main() -> ExitCode {
     let mut events: Vec<String> = Vec::new();
     let mut snapshots: Vec<String> = Vec::new();
     let mut fitness: Vec<String> = Vec::new();
+    let mut kernels: Vec<String> = Vec::new();
+    let mut kernel_baseline: Option<String> = None;
     let mut runs: Vec<String> = Vec::new();
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--events" | "--snapshot" | "--fitness" | "--run" => {
+            "--events" | "--snapshot" | "--fitness" | "--kernel" | "--kernel-baseline"
+            | "--run" => {
                 let Some(path) = it.next() else {
                     eprintln!("missing value for {flag}");
                     return ExitCode::FAILURE;
@@ -73,22 +84,30 @@ fn main() -> ExitCode {
                     "--events" => events.push(path),
                     "--snapshot" => snapshots.push(path),
                     "--fitness" => fitness.push(path),
+                    "--kernel" => kernels.push(path),
+                    "--kernel-baseline" => kernel_baseline = Some(path),
                     _ => runs.push(path),
                 }
             }
             other => {
                 eprintln!(
                     "unknown flag `{other}` (use --events FILE / --snapshot FILE / \
-                     --fitness FILE / --run DIR)"
+                     --fitness FILE / --kernel FILE / --kernel-baseline FILE / --run DIR)"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
-    if events.is_empty() && snapshots.is_empty() && fitness.is_empty() && runs.is_empty() {
+    if kernel_baseline.is_some() && kernels.is_empty() {
+        eprintln!("--kernel-baseline needs at least one --kernel FILE to compare against");
+        return ExitCode::FAILURE;
+    }
+    if events.is_empty() && snapshots.is_empty() && fitness.is_empty() && kernels.is_empty()
+        && runs.is_empty()
+    {
         eprintln!(
-            "nothing to validate: pass --events FILE, --snapshot FILE, --fitness FILE \
-             and/or --run DIR"
+            "nothing to validate: pass --events FILE, --snapshot FILE, --fitness FILE, \
+             --kernel FILE and/or --run DIR"
         );
         return ExitCode::FAILURE;
     }
@@ -146,6 +165,45 @@ fn main() -> ExitCode {
                 "{path}: OK (fitness snapshot, checksum verified, adaptive ≥ baseline, \
                  identical reports)"
             ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+        }
+    }
+    let baseline_doc = kernel_baseline.as_ref().and_then(|path| {
+        match std::fs::read_to_string(path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|content| parse(content.trim()))
+        {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+                None
+            }
+        }
+    });
+    for path in &kernels {
+        let result = std::fs::read_to_string(path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|content| parse(content.trim()))
+            .and_then(|doc| match &baseline_doc {
+                // The regression check validates both documents itself.
+                Some(base) => validate_kernel_regression(base, &doc),
+                None => validate_kernel_snapshot(&doc),
+            });
+        match result {
+            Ok(()) => match (&kernel_baseline, &baseline_doc) {
+                (Some(base), Some(_)) => println!(
+                    "{path}: OK (kernel snapshot, checksum verified, multi ≥ single, \
+                     identical outcomes, within 30 % of {base})"
+                ),
+                _ => println!(
+                    "{path}: OK (kernel snapshot, checksum verified, multi ≥ single, \
+                     identical outcomes)"
+                ),
+            },
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
                 ok = false;

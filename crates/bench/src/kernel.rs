@@ -1,0 +1,220 @@
+//! The multi-run-kernel benchmark: the single-run `FastWorld` path
+//! against the fused lockstep `MultiWorld` path on the
+//! whole-population fitness workload, and the `BENCH_kernel.json`
+//! snapshot (schema `a2a-obs/kernel-bench/v1`) that records both
+//! throughputs — with a built-in differential check that the two
+//! engines produce bit-identical [`RunOutcome`]s.
+//!
+//! Timing is *interleaved and paired*: each repetition times one
+//! whole-population pass through the single-run path immediately
+//! followed by one through the multi-run path, and the snapshot keeps
+//! the minimum per path. Alternating the paths inside one process
+//! cancels slow machine-level drift (thermal throttling, noisy
+//! neighbours) that would otherwise dominate back-to-back block
+//! measurements, and the minimum discards interruption spikes — the
+//! speedup ratio is stable where two separately-measured means are
+//! not.
+
+use a2a_fsm::{best_t_agent, offspring, Genome, MutationRates};
+use a2a_ga::Evaluator;
+use a2a_grid::GridKind;
+use a2a_obs::json::Json;
+use a2a_obs::schema::KERNEL_BENCH_SCHEMA;
+use a2a_sim::{paper_config_set, BatchRunner, InitialConfig, RunOutcome, WorldConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Genomes in the measured population: the published T-agent plus
+/// light mutants — the shape of one generation's evaluation.
+pub const KERNEL_POPULATION: usize = 8;
+
+/// Configurations in the standard kernel workload (matches the fitness
+/// pipeline's training-set size).
+pub const KERNEL_CONFIGS: usize = 100;
+
+/// Agents per configuration.
+pub const KERNEL_K: usize = 16;
+
+/// Paired repetitions per snapshot; each path's time is the minimum.
+pub const KERNEL_REPS: usize = 5;
+
+/// Step horizon of the workload. Mutants are unscreened, so a few runs
+/// are unsuccessful; a tight horizon keeps the snapshot fast while the
+/// differential check still covers the horizon-retirement path.
+const T_MAX: u32 = 200;
+
+/// One kernel-bench workload: environment, training set and genome
+/// population.
+#[derive(Debug, Clone)]
+pub struct KernelWorkload {
+    /// The evaluation environment (16×16 T-grid torus).
+    pub config: WorldConfig,
+    /// The training configuration set.
+    pub configs: Vec<InitialConfig>,
+    /// The measured population: elite plus screened light mutants (a
+    /// converged pool, like the fitness pipeline's standard workload).
+    pub population: Vec<Genome>,
+}
+
+/// Builds the standard kernel workload deterministically from `seed`.
+/// `configs` scales the training set for quick runs; pass
+/// [`KERNEL_CONFIGS`] for the recorded snapshot.
+///
+/// # Panics
+///
+/// Panics if the configuration set cannot be generated (cannot happen
+/// for the fixed 16×16/k=16 geometry).
+#[must_use]
+pub fn kernel_workload(configs: usize, seed: u64) -> KernelWorkload {
+    let kind = GridKind::Triangulate;
+    let config = WorldConfig::paper(kind, 16);
+    let configs = paper_config_set(config.lattice, kind, KERNEL_K, configs.max(4), seed)
+        .expect("16 agents fit 16x16");
+    let elite = best_t_agent();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6E55);
+
+    // Screened near-elite mutants: a converged pool, the population
+    // shape the fitness pipeline evaluates every generation (weak
+    // mutants there are pruned away early by selection, so solving
+    // genomes dominate the simulated work). After many failed attempts
+    // accept weaker mutants rather than loop forever.
+    let screen = Evaluator::new(config.clone(), configs.clone());
+    let mut population = vec![elite.clone()];
+    let mut attempts = 0;
+    while population.len() < KERNEL_POPULATION {
+        let m = offspring(&elite, MutationRates::uniform(0.06), &mut rng);
+        attempts += 1;
+        if attempts > 200 || screen.evaluate(&m).is_completely_successful() {
+            population.push(m);
+        }
+    }
+    KernelWorkload { config, configs, population }
+}
+
+/// One whole-population pass through the single-run path (the PR-3
+/// `BatchRunner` inner loop: pooled `FastWorld`, one config at a time).
+fn single_pass(runners: &[BatchRunner], configs: &[InitialConfig]) -> Vec<RunOutcome> {
+    let mut outcomes = Vec::with_capacity(runners.len() * configs.len());
+    for runner in runners {
+        for init in configs {
+            outcomes.push(runner.outcome_for(init).expect("workload configs are valid"));
+        }
+    }
+    outcomes
+}
+
+/// One whole-population pass through the fused multi-run path.
+fn multi_pass(runners: &[BatchRunner], configs: &[InitialConfig]) -> Vec<RunOutcome> {
+    let mut outcomes = Vec::with_capacity(runners.len() * configs.len());
+    for runner in runners {
+        outcomes.extend(runner.run_all(configs).expect("workload configs are valid"));
+    }
+    outcomes
+}
+
+/// Measures the workload through both kernel paths and assembles the
+/// `BENCH_kernel.json` document (see the module docs for the timing
+/// protocol).
+///
+/// # Panics
+///
+/// Panics if the workload cannot be simulated (invalid geometry — not
+/// reachable from the fixed workload).
+#[must_use]
+pub fn kernel_snapshot(configs: usize, seed: u64) -> Json {
+    let w = kernel_workload(configs, seed);
+    let runners: Vec<BatchRunner> = w
+        .population
+        .iter()
+        .map(|g| {
+            BatchRunner::from_genome(&w.config, g.clone(), T_MAX)
+                .expect("workload genomes match the environment")
+        })
+        .collect();
+
+    let mut single_us = f64::INFINITY;
+    let mut multi_us = f64::INFINITY;
+    let mut single_outcomes = Vec::new();
+    let mut multi_outcomes = Vec::new();
+    for _ in 0..KERNEL_REPS {
+        let started = Instant::now();
+        single_outcomes = single_pass(&runners, &w.configs);
+        single_us = single_us.min(started.elapsed().as_micros().max(1) as f64);
+
+        let started = Instant::now();
+        multi_outcomes = multi_pass(&runners, &w.configs);
+        multi_us = multi_us.min(started.elapsed().as_micros().max(1) as f64);
+    }
+    let identical = single_outcomes == multi_outcomes;
+
+    // Both paths simulate the identical step count (retirement in the
+    // fused kernel ≡ per-run early exit in the single-run loop), so one
+    // total serves both rates.
+    let total_steps: u64 = multi_outcomes.iter().map(|o| u64::from(o.steps)).sum();
+    let evals = (w.population.len() * w.configs.len()) as f64;
+    let chunk = runners[0].chunk_size(KERNEL_K);
+
+    a2a_obs::schema::seal(
+        Json::object()
+            .with("schema", KERNEL_BENCH_SCHEMA)
+            .with(
+                "workload",
+                Json::object()
+                    .with("population", w.population.len())
+                    .with("configs", w.configs.len())
+                    .with("k", KERNEL_K)
+                    .with("grid", "T"),
+            )
+            .with(
+                "single",
+                Json::object()
+                    .with("elapsed_us", single_us)
+                    .with("steps_per_sec", total_steps as f64 / (single_us / 1e6))
+                    .with("evals_per_sec", evals / (single_us / 1e6)),
+            )
+            .with(
+                "multi",
+                Json::object()
+                    .with("elapsed_us", multi_us)
+                    .with("steps_per_sec", total_steps as f64 / (multi_us / 1e6))
+                    .with("evals_per_sec", evals / (multi_us / 1e6))
+                    .with("chunk", chunk as u64),
+            )
+            .with("speedup", single_us / multi_us)
+            .with("identical_outcomes", identical),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_obs::schema::validate_kernel_snapshot;
+
+    #[test]
+    fn reduced_snapshot_validates_and_is_identical() {
+        // A reduced-scale run of the full snapshot path: must satisfy
+        // its own schema (including the not-slower gate) and reproduce
+        // the single-run outcomes exactly.
+        let snapshot = kernel_snapshot(24, 99);
+        validate_kernel_snapshot(&snapshot).unwrap();
+        assert_eq!(snapshot.get("identical_outcomes"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    #[ignore = "manual perf probe: prints the full-scale snapshot"]
+    fn full_snapshot_report() {
+        let snapshot = kernel_snapshot(KERNEL_CONFIGS, 2013);
+        println!("{snapshot}");
+        validate_kernel_snapshot(&snapshot).unwrap();
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = kernel_workload(6, 5);
+        let b = kernel_workload(6, 5);
+        assert_eq!(a.population, b.population);
+        assert_eq!(a.configs, b.configs);
+        assert_eq!(a.population.len(), KERNEL_POPULATION);
+    }
+}

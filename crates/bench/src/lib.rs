@@ -10,6 +10,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod fitness;
+pub mod kernel;
 
 use a2a_ga::default_threads;
 use a2a_obs::{JsonlSink, Level, Sink};

@@ -306,15 +306,30 @@ impl Evaluator {
     #[must_use]
     pub fn evaluate_behaviour(&self, behaviour: &Behaviour) -> FitnessReport {
         let started = a2a_obs::metrics_enabled().then(std::time::Instant::now);
-        // Compile the behaviour once; the runner is Sync, so the
-        // per-configuration runs fan out over the worker pool.
+        // Compile the behaviour once; the runner is Sync. The
+        // configuration set fans out over the worker pool in
+        // lockstep-kernel chunks (not per configuration): each task
+        // feeds one MultiWorld batch, split small enough to keep every
+        // worker busy.
         let runner = BatchRunner::new(&self.config, behaviour, self.t_max)
             .expect("behaviour and configuration set must match the environment");
-        let outcomes = self.pool().map(&self.configs, move |_, init| {
+        let n_cfg = self.configs.len();
+        let chunk = runner
+            .chunk_size(self.configs[0].agent_count())
+            .min(n_cfg.div_ceil(self.threads.max(1)))
+            .max(1);
+        let ranges: Arc<Vec<(usize, usize)>> = Arc::new(
+            (0..n_cfg.div_ceil(chunk))
+                .map(|b| (b * chunk, ((b + 1) * chunk).min(n_cfg)))
+                .collect(),
+        );
+        let configs = Arc::clone(&self.configs);
+        let chunks = self.pool().map(&ranges, move |_, &(from, to)| {
             runner
-                .outcome_for(init)
+                .run_all(&configs[from..to])
                 .expect("behaviour and configuration set must match the environment")
         });
+        let outcomes: Vec<RunOutcome> = chunks.into_iter().flatten().collect();
         record_genome_eval(started);
         FitnessReport::from_outcomes(&outcomes, self.weight)
     }
@@ -472,14 +487,12 @@ impl Evaluator {
                         BatchRunner::from_genome(&config, task.genome.clone(), t_max)
                             .expect("genome and configuration set must match the environment")
                     });
-                    let outcomes: Vec<RunOutcome> = configs[task.from..task.to]
-                        .iter()
-                        .map(|init| {
-                            runner
-                                .outcome_for(init)
-                                .expect("genome and configuration set must match the environment")
-                        })
-                        .collect();
+                    // One lockstep batch per block: bit-identical to
+                    // per-config runs, so the bounds (and therefore
+                    // selection) are unchanged.
+                    let outcomes: Vec<RunOutcome> = runner
+                        .run_all(&configs[task.from..task.to])
+                        .expect("genome and configuration set must match the environment");
                     (runner, outcomes)
                 });
             for (a, (runner, outcomes)) in active.iter_mut().zip(results) {

@@ -58,6 +58,16 @@
 //! adaptive path must never be slower), which CI gates on via
 //! `obs_validate --fitness`.
 //!
+//! # Kernel-bench schema (`a2a-obs/kernel-bench/v1`)
+//!
+//! The single-run vs. multi-run kernel throughput snapshot written to
+//! `BENCH_kernel.json` (see [`validate_kernel_snapshot`] for the
+//! shape). `identical_outcomes` asserts the fused lockstep kernel
+//! reproduced the single-run outcomes bit-for-bit and `speedup` must be
+//! ≥ 1; CI additionally gates the speedup against a checked-in baseline
+//! via [`validate_kernel_regression`] (`obs_validate --kernel` /
+//! `--kernel-baseline`).
+//!
 //! # Checksums
 //!
 //! Both snapshot payloads carry a `checksum` member: the FNV-1a 64-bit
@@ -76,6 +86,14 @@ pub const BENCH_SNAPSHOT_SCHEMA: &str = "a2a-obs/bench-snapshot/v1";
 
 /// Schema identifier written into `BENCH_fitness.json`.
 pub const FITNESS_BENCH_SCHEMA: &str = "a2a-obs/fitness-bench/v1";
+
+/// Schema identifier written into `BENCH_kernel.json`.
+pub const KERNEL_BENCH_SCHEMA: &str = "a2a-obs/kernel-bench/v1";
+
+/// The largest fraction of a baseline's kernel speedup a fresh snapshot
+/// may lose before [`validate_kernel_regression`] rejects it (the CI
+/// perf-smoke gate: > 30 % regression fails).
+pub const KERNEL_REGRESSION_FLOOR: f64 = 0.7;
 
 /// The agent counts every bench snapshot must histogram `t_comm` for.
 pub const REQUIRED_T_COMM_KS: [u64; 3] = [4, 16, 64];
@@ -328,6 +346,94 @@ pub fn validate_fitness_snapshot(doc: &Json) -> Result<(), String> {
     }
 }
 
+/// Validates a parsed `BENCH_kernel.json` document against
+/// `a2a-obs/kernel-bench/v1`: structural members present, both engines'
+/// throughputs positive, the multi-run path not slower than the
+/// single-run path, and outcomes bit-identical.
+///
+/// ```json
+/// {
+///   "schema": "a2a-obs/kernel-bench/v1",
+///   "workload": {"population": 8, "configs": 100, "k": 16, "grid": "T"},
+///   "single": {"elapsed_us": 9.0e5, "steps_per_sec": 1.1e6, "evals_per_sec": 890.0},
+///   "multi": {"elapsed_us": 5.2e5, "steps_per_sec": 1.9e6, "evals_per_sec": 1530.0,
+///             "chunk": 51},
+///   "speedup": 1.72,
+///   "identical_outcomes": true
+/// }
+/// ```
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn validate_kernel_snapshot(doc: &Json) -> Result<(), String> {
+    let schema = doc.get("schema").and_then(Json::as_str).ok_or("missing `schema`")?;
+    if schema != KERNEL_BENCH_SCHEMA {
+        return Err(format!("schema `{schema}` is not `{KERNEL_BENCH_SCHEMA}`"));
+    }
+    verify_checksum(doc)?;
+
+    let workload = doc.get("workload").ok_or("missing `workload`")?;
+    for key in ["population", "configs", "k"] {
+        let v = require_num(workload, "workload", key)?;
+        if v <= 0.0 {
+            return Err(format!("`workload.{key}` must be positive"));
+        }
+    }
+    workload.get("grid").and_then(Json::as_str).ok_or("`workload.grid` must be a string")?;
+
+    for engine in ["single", "multi"] {
+        let section = doc.get(engine).ok_or_else(|| format!("missing `{engine}`"))?;
+        for key in ["elapsed_us", "steps_per_sec", "evals_per_sec"] {
+            let v = require_num(section, engine, key)?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("`{engine}.{key}` must be positive"));
+            }
+        }
+    }
+    require_num(doc.get("multi").expect("checked above"), "multi", "chunk")?;
+
+    let speedup = doc.get("speedup").and_then(Json::as_f64).ok_or("missing `speedup`")?;
+    if !speedup.is_finite() || speedup < 1.0 {
+        return Err(format!(
+            "`speedup` is {speedup:.3}: the multi-run kernel must not be slower than the \
+             single-run path"
+        ));
+    }
+    match doc.get("identical_outcomes") {
+        Some(Json::Bool(true)) => Ok(()),
+        Some(Json::Bool(false)) => {
+            Err("`identical_outcomes` is false: the multi-run kernel changed results".to_string())
+        }
+        _ => Err("missing boolean `identical_outcomes`".to_string()),
+    }
+}
+
+/// Gates a fresh `BENCH_kernel.json` against a checked-in baseline
+/// snapshot: both must validate, and the fresh *speedup ratio* must be
+/// at least [`KERNEL_REGRESSION_FLOOR`] of the baseline's. The ratio is
+/// dimensionless, so the gate is meaningful across machines of
+/// different absolute throughput (CI runners vs. the machine that
+/// recorded the baseline).
+///
+/// # Errors
+///
+/// A message naming the first violated constraint, including the two
+/// speedups when the regression gate trips.
+pub fn validate_kernel_regression(baseline: &Json, fresh: &Json) -> Result<(), String> {
+    validate_kernel_snapshot(baseline).map_err(|e| format!("baseline: {e}"))?;
+    validate_kernel_snapshot(fresh).map_err(|e| format!("fresh: {e}"))?;
+    let base = baseline.get("speedup").and_then(Json::as_f64).expect("validated above");
+    let now = fresh.get("speedup").and_then(Json::as_f64).expect("validated above");
+    if now < KERNEL_REGRESSION_FLOOR * base {
+        return Err(format!(
+            "kernel speedup regressed more than {:.0} %: baseline {base:.3}x, fresh {now:.3}x",
+            (1.0 - KERNEL_REGRESSION_FLOOR) * 100.0
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +571,90 @@ mod tests {
     fn resealed(mut doc: Json, key: &str, value: Json) -> Json {
         doc.set(key, value);
         seal(doc)
+    }
+
+    fn minimal_kernel_snapshot() -> Json {
+        seal(Json::object()
+            .with("schema", KERNEL_BENCH_SCHEMA)
+            .with(
+                "workload",
+                Json::object()
+                    .with("population", 8u64)
+                    .with("configs", 100u64)
+                    .with("k", 16u64)
+                    .with("grid", "T"),
+            )
+            .with(
+                "single",
+                Json::object()
+                    .with("elapsed_us", 9e5)
+                    .with("steps_per_sec", 1.1e6)
+                    .with("evals_per_sec", 890.0),
+            )
+            .with(
+                "multi",
+                Json::object()
+                    .with("elapsed_us", 5.2e5)
+                    .with("steps_per_sec", 1.9e6)
+                    .with("evals_per_sec", 1530.0)
+                    .with("chunk", 51u64),
+            )
+            .with("speedup", 1.72)
+            .with("identical_outcomes", true))
+    }
+
+    #[test]
+    fn kernel_snapshot_validates_and_gates() {
+        validate_kernel_snapshot(&minimal_kernel_snapshot()).unwrap();
+
+        let slower = resealed(minimal_kernel_snapshot(), "speedup", Json::Num(0.9));
+        assert!(validate_kernel_snapshot(&slower).is_err(), "slower-than-single must fail");
+
+        let drifted =
+            resealed(minimal_kernel_snapshot(), "identical_outcomes", Json::Bool(false));
+        assert!(validate_kernel_snapshot(&drifted).is_err(), "changed results must fail");
+
+        let wrong = resealed(minimal_kernel_snapshot(), "schema", "other/v0".into());
+        assert!(validate_kernel_snapshot(&wrong).is_err());
+
+        let gap = resealed(
+            minimal_kernel_snapshot(),
+            "multi",
+            Json::object()
+                .with("elapsed_us", 5.2e5)
+                .with("steps_per_sec", 1.9e6)
+                .with("evals_per_sec", 1530.0),
+        );
+        assert!(validate_kernel_snapshot(&gap).is_err(), "missing chunk must fail");
+
+        let mut tampered = minimal_kernel_snapshot();
+        tampered.set("speedup", 99.0); // edited without re-sealing
+        assert!(
+            validate_kernel_snapshot(&tampered).unwrap_err().contains("checksum"),
+            "unsealed edits trip the checksum gate"
+        );
+    }
+
+    #[test]
+    fn kernel_regression_gate_compares_speedups() {
+        let baseline = minimal_kernel_snapshot();
+        validate_kernel_regression(&baseline, &minimal_kernel_snapshot()).unwrap();
+
+        // Better or mildly worse speedups pass...
+        let better = resealed(minimal_kernel_snapshot(), "speedup", Json::Num(2.5));
+        validate_kernel_regression(&baseline, &better).unwrap();
+        let mild = resealed(minimal_kernel_snapshot(), "speedup", Json::Num(1.72 * 0.75));
+        validate_kernel_regression(&baseline, &mild).unwrap();
+
+        // ...a > 30 % loss of the ratio fails.
+        let regressed = resealed(minimal_kernel_snapshot(), "speedup", Json::Num(1.72 * 0.6));
+        let err = validate_kernel_regression(&baseline, &regressed).unwrap_err();
+        assert!(err.contains("regressed"), "got: {err}");
+
+        // An invalid party is named in the error.
+        let broken = resealed(minimal_kernel_snapshot(), "schema", "other/v0".into());
+        assert!(validate_kernel_regression(&broken, &baseline).unwrap_err().starts_with("baseline"));
+        assert!(validate_kernel_regression(&baseline, &broken).unwrap_err().starts_with("fresh"));
     }
 
     #[test]

@@ -15,29 +15,44 @@ use crate::config::WorldConfig;
 use crate::error::SimError;
 use crate::init::InitialConfig;
 use crate::kernel::{FastWorld, KernelEnv};
+use crate::multi::{preferred_chunk, MultiWorld};
 use crate::run::RunOutcome;
 use a2a_fsm::Genome;
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// Worlds kept warm per thread. GA workers interleave at most a handful
-/// of runners (one per genome being pruned in a block), so a small pool
-/// already gives near-perfect reuse; anything colder is rebuilt.
+/// Worlds kept warm per thread (single-run and multi-run pools each).
+/// GA workers interleave at most a handful of runners (one per genome
+/// being pruned in a block), so a small pool already gives near-perfect
+/// reuse; anything colder is rebuilt.
 const WORLD_POOL_LIMIT: usize = 4;
 
 thread_local! {
-    /// Per-thread pool of compiled worlds, most recently used last.
-    /// Each pooled world pins its own `Arc<KernelEnv>`, so matching by
-    /// pointer identity ([`FastWorld::shares_env`]) cannot alias a
-    /// recycled allocation.
-    static WORLD_POOL: RefCell<Vec<FastWorld>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread pool of compiled single-run worlds, most recently
+    /// used at the back. Each pooled world pins its own
+    /// `Arc<KernelEnv>`, so matching by pointer identity
+    /// ([`FastWorld::shares_env`]) cannot alias a recycled allocation.
+    /// A `VecDeque` makes the cold-end eviction O(1) — with a `Vec`,
+    /// every eviction shifted the whole pool.
+    static WORLD_POOL: RefCell<VecDeque<FastWorld>> = const { RefCell::new(VecDeque::new()) };
+
+    /// Per-thread pool of multi-run worlds, same discipline.
+    static MULTI_POOL: RefCell<VecDeque<MultiWorld>> = const { RefCell::new(VecDeque::new()) };
+}
+
+/// Counts one cold-entry eviction in the registry (when metrics are on).
+fn count_eviction() {
+    if a2a_obs::metrics_enabled() {
+        a2a_obs::global().counter("kernel.pool.evictions").incr();
+    }
 }
 
 /// Takes the most recent pooled world compiled from `env`, if any.
 fn take_pooled(env: &Arc<KernelEnv>) -> Option<FastWorld> {
     WORLD_POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
-        pool.iter().rposition(|w| w.shares_env(env)).map(|i| pool.remove(i))
+        pool.iter().rposition(|w| w.shares_env(env)).and_then(|i| pool.remove(i))
     })
 }
 
@@ -47,9 +62,31 @@ fn return_pooled(world: FastWorld) {
     WORLD_POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
         if pool.len() >= WORLD_POOL_LIMIT {
-            pool.remove(0);
+            pool.pop_front();
+            count_eviction();
         }
-        pool.push(world);
+        pool.push_back(world);
+    });
+}
+
+/// Takes the most recent pooled multi-world compiled from `env`, if any.
+fn take_pooled_multi(env: &Arc<KernelEnv>) -> Option<MultiWorld> {
+    MULTI_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        pool.iter().rposition(|w| w.shares_env(env)).and_then(|i| pool.remove(i))
+    })
+}
+
+/// Returns a multi-world to this thread's pool, evicting the coldest
+/// entry when full.
+fn return_pooled_multi(world: MultiWorld) {
+    MULTI_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() >= WORLD_POOL_LIMIT {
+            pool.pop_front();
+            count_eviction();
+        }
+        pool.push_back(world);
     });
 }
 
@@ -156,24 +193,57 @@ impl BatchRunner {
         Ok(world.run(self.t_max))
     }
 
-    /// Runs every configuration in order on the calling thread. For
-    /// parallel evaluation, map [`BatchRunner::outcome_for`] over the
-    /// configurations with a thread pool — the runner is `Sync`.
+    /// Runs per lockstep chunk this runner prefers for configurations
+    /// of roughly `k` agents: as many as keep a [`MultiWorld`] chunk's
+    /// working set cache-resident. Callers that fan
+    /// [`BatchRunner::run_all`] out over threads should split the
+    /// configuration set at this granularity.
+    #[must_use]
+    pub fn chunk_size(&self, k: usize) -> usize {
+        preferred_chunk(&self.env, k)
+    }
+
+    /// Runs every configuration in order on the calling thread through
+    /// the lockstep [`MultiWorld`] kernel, in chunks of
+    /// [`BatchRunner::chunk_size`] runs, reusing a pooled per-thread
+    /// multi-world per chunk. Outcomes are bit-identical to mapping
+    /// [`BatchRunner::outcome_for`] over the configurations. For
+    /// parallel evaluation, fan chunk-sized sub-slices of the
+    /// configuration set out over a thread pool — the runner is `Sync`.
     ///
     /// # Errors
     ///
     /// The first placement error encountered, as [`BatchRunner::outcome_for`].
     pub fn run_all(&self, inits: &[InitialConfig]) -> Result<Vec<RunOutcome>, SimError> {
         let _span = a2a_obs::Span::enter("batch.run_all");
-        let outcomes: Result<Vec<RunOutcome>, SimError> =
-            inits.iter().map(|init| self.outcome_for(init)).collect();
-        if let Ok(outcomes) = &outcomes {
-            a2a_obs::event!(a2a_obs::Level::Debug, "batch.run_all",
-                "configs" => outcomes.len(),
-                "successful" => outcomes.iter().filter(|o| o.is_successful()).count(),
-                "t_max" => self.t_max);
+        let chunk = self.chunk_size(inits.first().map_or(1, InitialConfig::agent_count));
+        let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(inits.len());
+        for block in inits.chunks(chunk) {
+            let mut world = match take_pooled_multi(&self.env) {
+                Some(world) => {
+                    if a2a_obs::metrics_enabled() {
+                        a2a_obs::global().counter("kernel.pool.reuse").incr();
+                    }
+                    world
+                }
+                None => {
+                    if a2a_obs::metrics_enabled() {
+                        a2a_obs::global().counter("kernel.pool.fresh").incr();
+                    }
+                    MultiWorld::from_env(Arc::clone(&self.env))
+                }
+            };
+            // A load error may leave the world half-loaded; drop it
+            // rather than pooling an inconsistent arena.
+            world.load(block)?;
+            outcomes.extend(world.run(self.t_max));
+            return_pooled_multi(world);
         }
-        outcomes
+        a2a_obs::event!(a2a_obs::Level::Debug, "batch.run_all",
+            "configs" => outcomes.len(),
+            "successful" => outcomes.iter().filter(|o| o.is_successful()).count(),
+            "t_max" => self.t_max);
+        Ok(outcomes)
     }
 }
 
@@ -304,5 +374,31 @@ mod tests {
             runner.outcome_for(&dup),
             Err(SimError::DuplicatePosition(_))
         ));
+        // run_all reports the first failing configuration's error, just
+        // like the serial per-config loop did.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let good = InitialConfig::random(cfg.lattice, cfg.kind, 4, &[], &mut rng).unwrap();
+        assert!(matches!(
+            runner.run_all(&[good, dup]),
+            Err(SimError::DuplicatePosition(_))
+        ));
+    }
+
+    #[test]
+    fn run_all_matches_per_config_outcomes() {
+        // The chunked lockstep path must be bit-identical to mapping
+        // outcome_for over the set — ragged agent counts included.
+        for kind in [GridKind::Square, GridKind::Triangulate] {
+            let cfg = WorldConfig::paper(kind, 16);
+            let runner = BatchRunner::from_genome(&cfg, best_agent(kind), 200).unwrap();
+            let mut rng = SmallRng::seed_from_u64(55);
+            let inits: Vec<InitialConfig> = [16usize, 1, 8, 70, 16, 16, 2, 33]
+                .iter()
+                .map(|&k| InitialConfig::random(cfg.lattice, kind, k, &[], &mut rng).unwrap())
+                .collect();
+            let singles: Vec<RunOutcome> =
+                inits.iter().map(|i| runner.outcome_for(i).unwrap()).collect();
+            assert_eq!(runner.run_all(&inits).unwrap(), singles, "{kind}");
+        }
     }
 }

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Sentinel for "no cell" / "no agent" in the flat index tables.
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 /// Process-wide count of buffer-allocating world constructions: one per
 /// [`FastWorld::from_env`] plus one per [`FastWorld::reset_from`] that
@@ -36,12 +36,12 @@ static BUFFER_ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 /// One FSM row with the turn code already resolved to a direction delta.
 #[derive(Debug, Clone, Copy)]
-struct CompiledEntry {
-    next_state: u8,
-    set_color: u8,
+pub(crate) struct CompiledEntry {
+    pub(crate) next_state: u8,
+    pub(crate) set_color: u8,
     /// Rotational steps, `turn_set.delta(turn)` precomputed.
-    delta: u8,
-    mv: bool,
+    pub(crate) delta: u8,
+    pub(crate) mv: bool,
 }
 
 /// Everything about a simulation that does not depend on the initial
@@ -50,26 +50,26 @@ struct CompiledEntry {
 /// (via [`Arc`]) by every run of a batch.
 #[derive(Debug)]
 pub(crate) struct KernelEnv {
-    kind: GridKind,
-    lattice: Lattice,
-    conflict: ConflictPolicy,
-    init_states: InitStatePolicy,
-    n_states: u8,
-    n_colors: u8,
-    n_dirs: usize,
+    pub(crate) kind: GridKind,
+    pub(crate) lattice: Lattice,
+    pub(crate) conflict: ConflictPolicy,
+    pub(crate) init_states: InitStatePolicy,
+    pub(crate) n_states: u8,
+    pub(crate) n_colors: u8,
+    pub(crate) n_dirs: usize,
     /// `u64` words per field-sized bitset.
-    cell_words: usize,
+    pub(crate) cell_words: usize,
     /// Bit-planes needed to store a colour in `0..n_colors`.
-    n_color_planes: u32,
+    pub(crate) n_color_planes: u32,
     /// Flat neighbour table: `fwd[cell * n_dirs + d]` is the cell one step
     /// along direction `d`, or [`NONE`] off a bordered field.
-    fwd: Vec<u32>,
+    pub(crate) fwd: Vec<u32>,
     /// Obstacle cells as a bitset.
-    obstacle_words: Vec<u64>,
+    pub(crate) obstacle_words: Vec<u64>,
     /// Validated initial colouring, packed as bit-planes (plane-major).
-    color_planes_init: Vec<u64>,
+    pub(crate) color_planes_init: Vec<u64>,
     /// Compiled FSM rows, one table per behaviour phase.
-    phases: Vec<Vec<CompiledEntry>>,
+    pub(crate) phases: Vec<Vec<CompiledEntry>>,
 }
 
 impl KernelEnv {
@@ -181,19 +181,19 @@ fn planes_for(n_colors: u8) -> u32 {
     32 - u32::from(n_colors - 1).leading_zeros()
 }
 
-fn bit_get(words: &[u64], i: usize) -> bool {
+pub(crate) fn bit_get(words: &[u64], i: usize) -> bool {
     words[i / 64] & (1u64 << (i % 64)) != 0
 }
 
-fn bit_set(words: &mut [u64], i: usize) {
+pub(crate) fn bit_set(words: &mut [u64], i: usize) {
     words[i / 64] |= 1u64 << (i % 64);
 }
 
-fn bit_clear(words: &mut [u64], i: usize) {
+pub(crate) fn bit_clear(words: &mut [u64], i: usize) {
     words[i / 64] &= !(1u64 << (i % 64));
 }
 
-fn read_color(planes: &[u64], cell_words: usize, n_planes: u32, c: usize) -> u8 {
+pub(crate) fn read_color(planes: &[u64], cell_words: usize, n_planes: u32, c: usize) -> u8 {
     let mut color = 0u8;
     for p in 0..n_planes as usize {
         let bit = (planes[p * cell_words + c / 64] >> (c % 64)) & 1;
@@ -202,7 +202,7 @@ fn read_color(planes: &[u64], cell_words: usize, n_planes: u32, c: usize) -> u8 
     color
 }
 
-fn write_color(planes: &mut [u64], cell_words: usize, n_planes: u32, c: usize, color: u8) {
+pub(crate) fn write_color(planes: &mut [u64], cell_words: usize, n_planes: u32, c: usize, color: u8) {
     for p in 0..n_planes as usize {
         let w = &mut planes[p * cell_words + c / 64];
         let mask = 1u64 << (c % 64);
@@ -215,7 +215,7 @@ fn write_color(planes: &mut [u64], cell_words: usize, n_planes: u32, c: usize, c
 }
 
 /// All `k`-bit vector words full, honouring the tail mask of the last word.
-fn words_complete(words: &[u64], tail_mask: u64) -> bool {
+pub(crate) fn words_complete(words: &[u64], tail_mask: u64) -> bool {
     let n = words.len();
     words[..n - 1].iter().all(|&w| w == u64::MAX) && words[n - 1] == tail_mask
 }
@@ -274,6 +274,10 @@ pub struct FastWorld {
     requests: Vec<(u32, u32)>,
     /// Per agent: (flat compiled-row index, move target or [`NONE`]).
     decisions: Vec<(u32, u32)>,
+    /// Agents that completed during the current exchange sweep; their
+    /// stale buffer is back-filled to all-ones after the swap so both
+    /// buffers stay frozen and later sweeps can skip them entirely.
+    newly: Vec<u32>,
 }
 
 impl FastWorld {
@@ -357,6 +361,7 @@ impl FastWorld {
             claims: vec![NONE; n_cells],
             requests: Vec::with_capacity(k),
             decisions: Vec::with_capacity(k),
+            newly: Vec::with_capacity(k),
         };
         // The uncounted exchange right after placement.
         world.exchange();
@@ -427,6 +432,7 @@ impl FastWorld {
             || k > self.dir.capacity()
             || k > self.state.capacity()
             || k > self.complete.capacity()
+            || k > self.newly.capacity()
             || k * stride > self.info.capacity()
             || k * stride > self.info_next.capacity()
         {
@@ -470,6 +476,7 @@ impl FastWorld {
         self.conflicts = 0;
         self.requests.clear();
         self.decisions.clear();
+        self.newly.clear();
         // The uncounted exchange right after placement.
         self.exchange();
         Ok(())
@@ -684,18 +691,22 @@ impl FastWorld {
     }
 
     /// The synchronous exchange: word-wise ORs of the pre-phase vectors.
-    /// Already-informed agents skip the neighbour gather — their all-ones
-    /// vector cannot grow, and information is monotone.
+    /// Complete agents are skipped outright — copy, gather and the
+    /// completeness check: once an agent completes, *both* buffers are
+    /// frozen at all-ones (the stale buffer is back-filled after the
+    /// swap below), so there is nothing left to maintain. Peers still
+    /// read the correct pre-phase words either way, because the
+    /// back-fill value equals the value a copy would have produced.
     fn exchange(&mut self) {
         let env = &*self.env;
         let stride = self.stride;
         for i in 0..self.pos.len() {
-            let base = i * stride;
-            self.info_next[base..base + stride]
-                .copy_from_slice(&self.info[base..base + stride]);
             if self.complete[i] {
                 continue;
             }
+            let base = i * stride;
+            self.info_next[base..base + stride]
+                .copy_from_slice(&self.info[base..base + stride]);
             let here = self.pos[i] as usize;
             for d in 0..env.n_dirs {
                 let nc = env.fwd[here * env.n_dirs + d];
@@ -713,9 +724,21 @@ impl FastWorld {
             if words_complete(&self.info_next[base..base + stride], self.tail_mask) {
                 self.complete[i] = true;
                 self.informed += 1;
+                self.newly.push(i as u32);
             }
         }
         std::mem::swap(&mut self.info, &mut self.info_next);
+        // Freeze the stale buffer of agents that completed this sweep:
+        // from the next step on, both buffers hold their all-ones vector
+        // and the loop above can skip them without any copying.
+        for &i in &self.newly {
+            let base = i as usize * stride;
+            for w in &mut self.info_next[base..base + stride - 1] {
+                *w = u64::MAX;
+            }
+            self.info_next[base + stride - 1] = self.tail_mask;
+        }
+        self.newly.clear();
     }
 
     /// Steps executed so far.

@@ -53,6 +53,7 @@ mod error;
 mod infoset;
 mod init;
 mod kernel;
+mod multi;
 mod recorder;
 mod render;
 mod run;
@@ -67,6 +68,7 @@ pub use error::SimError;
 pub use infoset::InfoSet;
 pub use init::{paper_config_set, InitialConfig};
 pub use kernel::FastWorld;
+pub use multi::MultiWorld;
 pub use recorder::{record_trajectory, AgentSnapshot, Frame, TimedEvent, Trajectory};
 pub use render::{render_agents, render_colors, render_snapshot, render_visited};
 pub use run::{run_to_completion, run_with_profile, simulate, simulate_behaviour, RunOutcome};

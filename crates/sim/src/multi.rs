@@ -1,0 +1,1095 @@
+//! The lockstep multi-run kernel: R configurations of one compiled
+//! environment simulated simultaneously in a single fused
+//! structure-of-arrays object.
+//!
+//! [`MultiWorld`] lays every run's state out run-major in contiguous
+//! arrays (agent fields behind per-run base offsets, field-sized
+//! buffers at fixed per-run strides) and advances all live runs with
+//! one `act`/`exchange` sweep per global step. A run that solves the
+//! task or exhausts the horizon is *retired*: its slot is swap-removed
+//! from the live list (`active`), so the tail of slow configurations
+//! never drags dead iterations through the sweeps. The long fused
+//! loops amortise phase-table and neighbour-table loads across runs
+//! and keep branch predictors warm; the common `k ≤ 64` case gets a
+//! specialised one-word exchange.
+//!
+//! Outcomes are **bit-identical per configuration** to running each
+//! one through [`FastWorld`](crate::FastWorld): runs are fully
+//! independent (no state is shared between them except the immutable
+//! environment), and the per-run `act`/`exchange` bodies replicate the
+//! single-run kernel decision for decision. The differential suite in
+//! `tests/differential.rs` drives all three engines in lockstep.
+
+use crate::behaviour::Behaviour;
+use crate::config::{ConflictPolicy, WorldConfig};
+use crate::error::SimError;
+use crate::infoset::InfoSet;
+use crate::init::InitialConfig;
+use crate::kernel::{bit_get, read_color, words_complete, CompiledEntry, KernelEnv, NONE};
+use crate::run::RunOutcome;
+use a2a_fsm::Genome;
+use a2a_grid::{Dir, Pos};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide count of buffer-allocating multi-world constructions:
+/// one per [`MultiWorld::from_env`] plus one per [`MultiWorld::load`]
+/// that had to grow a buffer. The batch layer's steady state (chunked
+/// reuse with a stable workload shape) must not move this counter —
+/// asserted by `crates/sim/tests/allocation.rs`.
+static MULTI_BUFFER_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Working-set budget per lockstep chunk. Small enough that one
+/// chunk's mutable state stays cache-resident across consecutive
+/// global steps, large enough that the fused sweeps amortise their
+/// per-step overhead over many runs.
+const CHUNK_BUDGET_BYTES: usize = 256 * 1024;
+
+/// Runs per lockstep chunk for `env` with configurations of roughly
+/// `k` agents: as many as fit [`CHUNK_BUDGET_BYTES`], clamped to
+/// `[4, 64]`.
+pub(crate) fn preferred_chunk(env: &KernelEnv, k: usize) -> usize {
+    let k = k.max(1);
+    let stride = k.div_ceil(64);
+    let per_run = 17 * env.lattice.len()                                 // occupant + claims + cell_info + meta
+        + 8 * k                                                          // pos/dir/state/complete
+        + 16 * k * stride;                                               // info + info_next
+    (CHUNK_BUDGET_BYTES / per_run).clamp(4, 64)
+}
+
+/// The fused multi-run engine: same dynamics as
+/// [`FastWorld`](crate::FastWorld), one object simulating a whole
+/// batch of initial configurations in lockstep.
+///
+/// # Examples
+///
+/// ```
+/// use a2a_sim::{InitialConfig, MultiWorld, WorldConfig};
+/// use a2a_fsm::best_t_agent;
+/// use a2a_grid::GridKind;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// # fn main() -> Result<(), a2a_sim::SimError> {
+/// let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let inits: Vec<InitialConfig> = (0..8)
+///     .map(|_| InitialConfig::random(cfg.lattice, cfg.kind, 16, &[], &mut rng))
+///     .collect::<Result<_, _>>()?;
+/// let mut multi = MultiWorld::new(&cfg, best_t_agent())?;
+/// multi.load(&inits)?;
+/// assert!(multi.run(200).iter().all(|o| o.is_successful()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MultiWorld {
+    env: Arc<KernelEnv>,
+
+    // Per-run metadata, indexed by run slot `0..run_count()`.
+    /// Start of each run's block in the agent arrays.
+    agent_base: Vec<usize>,
+    /// Start of each run's block in the info word arrays.
+    info_base: Vec<usize>,
+    /// Agents per run.
+    k: Vec<u32>,
+    /// Info words per agent per run: `k.div_ceil(64)`.
+    stride: Vec<u32>,
+    /// Mask of valid bits in each run's last info word.
+    tail_mask: Vec<u64>,
+    /// Informed agents per run (incremental counter).
+    informed: Vec<u32>,
+    /// Movement conflicts lost per run.
+    conflicts: Vec<u64>,
+    /// Recorded outcome per run slot, filled at retirement.
+    outcomes: Vec<Option<RunOutcome>>,
+
+    // Field state, run-major at fixed per-run strides.
+    /// `run_count() * n_cells`; agent on each cell (local id) or `NONE`.
+    /// Read only by the multi-word (`k > 64`) exchange gather; runs with
+    /// one-word infosets skip its maintenance during `act`, so their
+    /// regions go stale after the first move (rebuilt by every `load`).
+    occupant: Vec<u32>,
+    /// `run_count() * n_cells`; arbitration scratch, all-`NONE` between steps.
+    claims: Vec<u32>,
+    /// `run_count() * n_cells`; one byte of cell state per cell — bit 0
+    /// is the solid bit (occupancy ∪ obstacles), bits 1.. the cell's
+    /// colour. One byte load serves a neighbour's whole perception
+    /// (blocked test and front colour) where the single-run engine's
+    /// separate bitsets take two word-gathers, and colour writes and
+    /// moves become plain byte stores instead of masked word
+    /// read-modify-writes.
+    meta: Vec<u8>,
+    /// `n_cells`; the empty-field `meta` image (obstacles + initial
+    /// colours), copied per run at every [`MultiWorld::load`].
+    meta_init: Vec<u8>,
+    /// `run_count() * n_cells`; used by runs with one-word infosets
+    /// (`k ≤ 64`) only: each occupied cell holds its agent's info word,
+    /// empty cells hold 0. Cell-indexing makes the exchange gather a
+    /// plain `w |= cell_info[neighbour]` — no occupant indirection, no
+    /// branches, and empty neighbours OR in a no-op 0 — at the price of
+    /// moving one word per agent move in the apply pass.
+    cell_info: Vec<u64>,
+
+    // Agent state, flat behind `agent_base` / `info_base` offsets.
+    pos: Vec<u32>,
+    dir: Vec<u8>,
+    state: Vec<u8>,
+    /// Colour of each agent's own cell, mirrored out of `color_planes`
+    /// (the invariant: `own_color[i] == read_color(.., pos[i])` between
+    /// phases). Perception reads it directly, saving one bit-plane
+    /// gather per agent per round.
+    own_color: Vec<u8>,
+    complete: Vec<bool>,
+    info: Vec<u64>,
+    info_next: Vec<u64>,
+
+    /// Live run slots; retirement swap-removes (order is irrelevant —
+    /// runs are independent, outcomes are reported by slot).
+    active: Vec<u32>,
+    /// Global lockstep time: every live run has taken exactly this
+    /// many counted steps.
+    time: u32,
+
+    // Scratch reused across steps.
+    requests: Vec<(u32, u32)>,
+    decisions: Vec<(CompiledEntry, u32)>,
+    /// `(info word base, stride, tail mask)` of agents that completed
+    /// during the current exchange sweep; back-filled after the swap.
+    /// Multi-word (`k > 64`) runs only — the one-word path needs no
+    /// double buffer.
+    newly: Vec<(usize, usize, u64)>,
+    /// Per-run staging of gathered one-word infosets: the whole run is
+    /// gathered from [`MultiWorld::cell_info`] into here, then committed
+    /// back, so same-sweep peers read pre-exchange values.
+    wbuf: Vec<u64>,
+}
+
+impl MultiWorld {
+    /// An empty multi-world for a single-FSM behaviour; call
+    /// [`MultiWorld::load`] to place a batch.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`crate::World::new`] for the environment checks.
+    pub fn new(config: &WorldConfig, genome: Genome) -> Result<Self, SimError> {
+        Self::with_behaviour(config, Behaviour::Single(genome))
+    }
+
+    /// Like [`MultiWorld::new`] with a full [`Behaviour`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`crate::World::with_behaviour`].
+    pub fn with_behaviour(config: &WorldConfig, behaviour: Behaviour) -> Result<Self, SimError> {
+        Ok(Self::from_env(Arc::new(KernelEnv::new(config, &behaviour)?)))
+    }
+
+    /// An empty multi-world over a shared environment.
+    pub(crate) fn from_env(env: Arc<KernelEnv>) -> Self {
+        MULTI_BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // The empty-field byte image every load stamps per run:
+        // obstacle bit plus the initial colour of each cell.
+        let meta_init = (0..env.lattice.len())
+            .map(|c| {
+                let color =
+                    read_color(&env.color_planes_init, env.cell_words, env.n_color_planes, c);
+                u8::from(bit_get(&env.obstacle_words, c)) | (color << 1)
+            })
+            .collect();
+        Self {
+            env,
+            agent_base: Vec::new(),
+            info_base: Vec::new(),
+            k: Vec::new(),
+            stride: Vec::new(),
+            tail_mask: Vec::new(),
+            informed: Vec::new(),
+            conflicts: Vec::new(),
+            outcomes: Vec::new(),
+            occupant: Vec::new(),
+            claims: Vec::new(),
+            meta: Vec::new(),
+            meta_init,
+            cell_info: Vec::new(),
+            pos: Vec::new(),
+            dir: Vec::new(),
+            state: Vec::new(),
+            own_color: Vec::new(),
+            complete: Vec::new(),
+            info: Vec::new(),
+            info_next: Vec::new(),
+            active: Vec::new(),
+            time: 0,
+            requests: Vec::new(),
+            decisions: Vec::new(),
+            newly: Vec::new(),
+            wbuf: Vec::new(),
+        }
+    }
+
+    /// Whether this world was compiled from exactly `env` (pointer
+    /// identity) — the reuse precondition of [`MultiWorld::load`].
+    pub(crate) fn shares_env(&self, env: &Arc<KernelEnv>) -> bool {
+        Arc::ptr_eq(&self.env, env)
+    }
+
+    /// Process-wide count of buffer-allocating constructions
+    /// ([`MultiWorld::from_env`] calls plus [`MultiWorld::load`] calls
+    /// that grew a buffer). A reuse-only steady state keeps this
+    /// constant — the zero-allocation acceptance check of the chunked
+    /// batch layer.
+    #[must_use]
+    pub fn allocation_count() -> u64 {
+        MULTI_BUFFER_ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Places a batch of initial configurations, one run slot each, and
+    /// performs every run's uncounted `t = 0` exchange. Reuses every
+    /// buffer: reloading a workload of the same shape performs zero
+    /// heap allocation. Each configuration is validated and placed
+    /// exactly as [`FastWorld::from_env`](crate::FastWorld) does, in
+    /// batch order, so the first error matches a serial engine's.
+    ///
+    /// # Errors
+    ///
+    /// The first per-configuration error, exactly as a serial
+    /// [`FastWorld`](crate::FastWorld) construction loop would report
+    /// it. On error the world is partially loaded and must be
+    /// discarded or re-loaded before use.
+    pub fn load(&mut self, inits: &[InitialConfig]) -> Result<(), SimError> {
+        let env = Arc::clone(&self.env);
+        let n_cells = env.lattice.len();
+        let runs = inits.len();
+
+        // Sizing pass (agent counts only; validation happens per run
+        // below, in batch order).
+        let mut agent_total = 0usize;
+        let mut info_total = 0usize;
+        let mut max_k = 0usize;
+        for init in inits {
+            let k = init.agent_count();
+            agent_total += k;
+            info_total += k * k.div_ceil(64);
+            max_k = max_k.max(k);
+        }
+        if runs > self.agent_base.capacity()
+            || runs > self.info_base.capacity()
+            || runs > self.k.capacity()
+            || runs > self.stride.capacity()
+            || runs > self.tail_mask.capacity()
+            || runs > self.informed.capacity()
+            || runs > self.conflicts.capacity()
+            || runs > self.outcomes.capacity()
+            || runs > self.active.capacity()
+            || runs * n_cells > self.occupant.capacity()
+            || runs * n_cells > self.claims.capacity()
+            || runs * n_cells > self.cell_info.capacity()
+            || max_k > self.wbuf.capacity()
+            || runs * n_cells > self.meta.capacity()
+            || agent_total > self.pos.capacity()
+            || agent_total > self.dir.capacity()
+            || agent_total > self.state.capacity()
+            || agent_total > self.own_color.capacity()
+            || agent_total > self.complete.capacity()
+            || agent_total > self.newly.capacity()
+            || info_total > self.info.capacity()
+            || info_total > self.info_next.capacity()
+            || max_k > self.requests.capacity()
+            || max_k > self.decisions.capacity()
+        {
+            MULTI_BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+
+        self.agent_base.clear();
+        self.info_base.clear();
+        self.k.clear();
+        self.stride.clear();
+        self.tail_mask.clear();
+        self.informed.clear();
+        self.conflicts.clear();
+        self.outcomes.clear();
+        self.active.clear();
+        self.pos.clear();
+        self.dir.clear();
+        self.state.clear();
+        self.own_color.clear();
+        self.complete.clear();
+        self.info.clear();
+        self.requests.clear();
+        self.requests.reserve(max_k);
+        self.decisions.clear();
+        self.decisions.reserve(max_k);
+        self.newly.clear();
+        self.newly.reserve(agent_total);
+        self.time = 0;
+        self.occupant.clear();
+        self.occupant.resize(runs * n_cells, NONE);
+        self.claims.clear();
+        self.claims.resize(runs * n_cells, NONE);
+        self.cell_info.clear();
+        self.cell_info.resize(runs * n_cells, 0);
+        self.wbuf.clear();
+        self.wbuf.reserve(max_k);
+        self.meta.clear();
+        for _ in 0..runs {
+            self.meta.extend_from_slice(&self.meta_init);
+        }
+
+        for (r, init) in inits.iter().enumerate() {
+            // Pass 1 — validate without allocating, replicating
+            // `InitialConfig::validate` check for check (error order
+            // matters to callers). The run's claims region doubles as
+            // the duplicate scratch: it is all-NONE between steps.
+            if init.placements().is_empty() {
+                return Err(SimError::NoAgents);
+            }
+            let f0 = r * n_cells;
+            let mut marked = 0usize;
+            let mut invalid = None;
+            for &(pos, dir) in init.placements() {
+                if !env.lattice.contains(pos) {
+                    invalid = Some(SimError::OutsideField(pos));
+                    break;
+                }
+                if !dir.is_valid_for(env.kind) {
+                    invalid = Some(SimError::InvalidDirection {
+                        index: dir.index(),
+                        available: env.kind.dir_count(),
+                    });
+                    break;
+                }
+                let idx = env.lattice.index_of(pos);
+                if self.claims[f0 + idx] != NONE {
+                    invalid = Some(SimError::DuplicatePosition(pos));
+                    break;
+                }
+                self.claims[f0 + idx] = 0;
+                marked += 1;
+            }
+            for &(pos, _) in &init.placements()[..marked] {
+                self.claims[f0 + env.lattice.index_of(pos)] = NONE;
+            }
+            if let Some(e) = invalid {
+                return Err(e);
+            }
+            let k = init.agent_count();
+            if k > usize::from(u16::MAX) {
+                return Err(SimError::TooManyAgents {
+                    requested: k,
+                    limit: usize::from(u16::MAX),
+                });
+            }
+
+            // Pass 2 — place into the run's slot.
+            let a0 = self.pos.len();
+            let i0 = self.info.len();
+            for (i, &(p, d)) in init.placements().iter().enumerate() {
+                let idx = env.lattice.index_of(p);
+                if bit_get(&env.obstacle_words, idx) {
+                    return Err(SimError::OnObstacle(p));
+                }
+                self.occupant[f0 + idx] = i as u32;
+                self.meta[f0 + idx] |= 1;
+                self.pos.push(idx as u32);
+                self.dir.push(d.index());
+                self.state.push(env.init_states.state_for(i as u16, env.n_states));
+                self.own_color.push(self.meta[f0 + idx] >> 1);
+            }
+            let stride = k.div_ceil(64);
+            self.complete.resize(a0 + k, false);
+            self.info.resize(i0 + k * stride, 0);
+            for i in 0..k {
+                self.info[i0 + i * stride + i / 64] |= 1u64 << (i % 64);
+            }
+            if stride == 1 {
+                // One-word runs keep their live vectors cell-indexed;
+                // the `info` copy above only seeds `info_next`'s layout.
+                for (i, &(p, _)) in init.placements().iter().enumerate() {
+                    self.cell_info[f0 + env.lattice.index_of(p)] = 1u64 << i;
+                }
+            }
+            let tail = k % 64;
+            self.agent_base.push(a0);
+            self.info_base.push(i0);
+            self.k.push(k as u32);
+            self.stride.push(stride as u32);
+            self.tail_mask.push(if tail == 0 { u64::MAX } else { (1u64 << tail) - 1 });
+            self.informed.push(0);
+            self.conflicts.push(0);
+            self.outcomes.push(None);
+            self.active.push(r as u32);
+        }
+        self.info_next.clear();
+        self.info_next.extend_from_slice(&self.info);
+
+        // The uncounted exchange right after placement, every run in
+        // one sweep.
+        let active = std::mem::take(&mut self.active);
+        for &r in &active {
+            self.exchange_one(&env, r as usize);
+        }
+        self.active = active;
+        self.finish_exchange();
+        Ok(())
+    }
+
+    /// Runs every loaded configuration until it is solved or `t_max`
+    /// counted steps have passed, retiring finished runs from the live
+    /// list as they complete. Returns one [`RunOutcome`] per loaded
+    /// configuration, in load order — each bit-identical to what
+    /// [`FastWorld::run`](crate::FastWorld::run) reports for that
+    /// configuration.
+    ///
+    /// With metrics on, feeds the same per-run `kernel.*` series as
+    /// the single-run engine plus the multi-kernel extras
+    /// (`kernel.multi.runs` / `.steps` / `.compactions` counters and
+    /// the `kernel.multi.in_flight` gauge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is loaded (zero configurations).
+    pub fn run(&mut self, t_max: u32) -> Vec<RunOutcome> {
+        assert!(!self.outcomes.is_empty(), "load a batch before running");
+        let metrics = a2a_obs::metrics_enabled();
+        let debug = a2a_obs::enabled(a2a_obs::Level::Debug);
+        let env = Arc::clone(&self.env);
+        let mut run_steps: u64 = 0;
+        let mut compactions: u64 = 0;
+        self.retire_solved(metrics, debug, &mut compactions);
+        while !self.active.is_empty() && self.time < t_max {
+            let phase = &env.phases[self.time as usize % env.phases.len()];
+            let active = std::mem::take(&mut self.active);
+            // Act and exchange back-to-back per run while its state is
+            // cache-hot; runs are independent, so fusing the sweeps
+            // changes nothing observable.
+            for &r in &active {
+                self.act_one(&env, phase, r as usize);
+                self.exchange_one(&env, r as usize);
+            }
+            run_steps += active.len() as u64;
+            self.active = active;
+            self.finish_exchange();
+            self.time += 1;
+            self.retire_solved(metrics, debug, &mut compactions);
+        }
+        // Horizon: whatever is still live is out of time.
+        let horizon = std::mem::take(&mut self.active);
+        for &r in &horizon {
+            let r = r as usize;
+            let outcome = RunOutcome {
+                t_comm: None,
+                informed: self.informed[r] as usize,
+                agents: self.k[r] as usize,
+                steps: self.time,
+            };
+            self.outcomes[r] = Some(outcome);
+            if metrics {
+                self.record_run(outcome, r, debug);
+            }
+        }
+        // Hand the buffer back (emptied) so reloading a same-shape
+        // batch stays allocation-free.
+        self.active = horizon;
+        self.active.clear();
+        if metrics {
+            let reg = a2a_obs::global();
+            reg.counter("kernel.multi.runs").add(self.outcomes.len() as u64);
+            reg.counter("kernel.multi.steps").add(run_steps);
+            reg.counter("kernel.multi.compactions").add(compactions);
+            reg.gauge("kernel.multi.in_flight").set(0);
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.expect("every run slot is retired by the loop above"))
+            .collect()
+    }
+
+    /// Advances **every** loaded run by one counted time step — solved
+    /// runs included, exactly like stepping each world individually
+    /// (agents keep acting after completion). This is the lockstep
+    /// differential-test path; the retiring throughput path is
+    /// [`MultiWorld::run`].
+    pub fn step(&mut self) {
+        let env = Arc::clone(&self.env);
+        let phase = &env.phases[self.time as usize % env.phases.len()];
+        for r in 0..self.k.len() {
+            self.act_one(&env, phase, r);
+            self.exchange_one(&env, r);
+        }
+        self.finish_exchange();
+        self.time += 1;
+    }
+
+    /// Retires every live run whose agents are all informed, recording
+    /// `t_comm = time`. Swap-remove keeps the live list dense.
+    fn retire_solved(&mut self, metrics: bool, debug: bool, compactions: &mut u64) {
+        let mut retired = false;
+        let mut idx = 0;
+        while idx < self.active.len() {
+            let r = self.active[idx] as usize;
+            if self.informed[r] == self.k[r] {
+                let k = self.k[r] as usize;
+                let outcome = RunOutcome {
+                    t_comm: Some(self.time),
+                    informed: k,
+                    agents: k,
+                    steps: self.time,
+                };
+                self.outcomes[r] = Some(outcome);
+                self.active.swap_remove(idx);
+                *compactions += 1;
+                retired = true;
+                if metrics {
+                    self.record_run(outcome, r, debug);
+                }
+            } else {
+                idx += 1;
+            }
+        }
+        if retired && metrics {
+            a2a_obs::global().gauge("kernel.multi.in_flight").set(self.active.len() as i64);
+        }
+    }
+
+    /// Feeds one retired run's numbers into the global registry —
+    /// the same series [`FastWorld::run`](crate::FastWorld::run)
+    /// records, so downstream consumers are engine-agnostic — and, at
+    /// `Debug`, emits the `kernel.run` summary with `engine: "multi"`.
+    fn record_run(&self, outcome: RunOutcome, r: usize, debug: bool) {
+        let reg = a2a_obs::global();
+        let conflicts = self.conflicts[r];
+        reg.counter("kernel.runs").incr();
+        reg.counter("kernel.steps").add(u64::from(outcome.steps));
+        reg.counter("kernel.conflicts").add(conflicts);
+        reg.histogram("kernel.run.conflicts").record(conflicts);
+        match outcome.t_comm {
+            Some(t) => reg.histogram("kernel.t_comm").record(u64::from(t)),
+            None => reg.counter("kernel.unsuccessful").incr(),
+        }
+        if debug {
+            a2a_obs::event!(a2a_obs::Level::Debug, "kernel.run",
+                "engine" => "multi",
+                "grid" => self.env.kind.to_string(),
+                "k" => outcome.agents,
+                "steps" => outcome.steps,
+                "t_comm" => outcome.t_comm.map_or(-1i64, i64::from),
+                "informed" => outcome.informed,
+                "conflicts" => conflicts);
+        }
+    }
+
+    /// One run's act phase — [`FastWorld`](crate::FastWorld)'s
+    /// table-driven perception, two-round arbitration, colour writes
+    /// and moves, decision for decision, on the run's slices.
+    fn act_one(&mut self, env: &KernelEnv, phase: &[CompiledEntry], r: usize) {
+        let n_states = usize::from(env.n_states);
+        let n_colors = usize::from(env.n_colors);
+        let n_dirs = env.n_dirs;
+        let n_cells = env.lattice.len();
+        let f0 = r * n_cells;
+        let a0 = self.agent_base[r];
+        let k = self.k[r] as usize;
+
+        let pos = &mut self.pos[a0..a0 + k];
+        let dir = &mut self.dir[a0..a0 + k];
+        let state = &mut self.state[a0..a0 + k];
+        let own_color = &mut self.own_color[a0..a0 + k];
+        let occupant = &mut self.occupant[f0..f0 + n_cells];
+        let claims = &mut self.claims[f0..f0 + n_cells];
+        let cell_info = &mut self.cell_info[f0..f0 + n_cells];
+        let one_word = self.stride[r] == 1;
+        let meta = &mut self.meta[f0..f0 + n_cells];
+        let conflicts = &mut self.conflicts[r];
+        let requests = &mut self.requests;
+        let decisions = &mut self.decisions;
+        requests.clear();
+        decisions.clear();
+
+        // Round 1: perceive the pre-step configuration; collect and
+        // arbitrate move requests while scanning.
+        for i in 0..k {
+            let here = pos[i] as usize;
+            let front = env.fwd[here * n_dirs + usize::from(dir[i])];
+            // One byte read covers the whole front perception: solid
+            // bit and colour.
+            let front_meta = if front == NONE { 1 } else { meta[front as usize] };
+            let hard_blocked = front_meta & 1 != 0;
+            let color = own_color[i];
+            let front_color = if front == NONE { 0 } else { front_meta >> 1 };
+            let x = usize::from(hard_blocked)
+                + 2 * (usize::from(color) + n_colors * usize::from(front_color));
+            let e = x * n_states + usize::from(state[i]);
+            let entry = phase[e];
+            let mut target = NONE;
+            if !hard_blocked && entry.mv {
+                target = front;
+                requests.push((i as u32, front));
+                let cur = claims[front as usize];
+                let winner = match (cur, env.conflict) {
+                    (NONE, _) => i as u32,
+                    (c, ConflictPolicy::LowestId) => c.min(i as u32),
+                    (c, ConflictPolicy::HighestId) => c.max(i as u32),
+                };
+                claims[front as usize] = winner;
+            }
+            decisions.push((entry, target));
+        }
+
+        // Round 2: losers re-perceive with blocked = 1 and stay put.
+        for &(i, target) in requests.iter() {
+            if claims[target as usize] != i {
+                *conflicts += 1;
+                let color = own_color[i as usize];
+                let front_color = meta[target as usize] >> 1;
+                let x = 1 + 2 * (usize::from(color) + n_colors * usize::from(front_color));
+                let e = x * n_states + usize::from(state[i as usize]);
+                decisions[i as usize] = (phase[e], NONE);
+            }
+        }
+        for &(_, target) in requests.iter() {
+            claims[target as usize] = NONE;
+        }
+
+        // Apply: colour writes, state/direction updates, moves.
+        let nd = n_dirs as u8;
+        for i in 0..k {
+            let (entry, target) = decisions[i];
+            let here = pos[i] as usize;
+            state[i] = entry.next_state;
+            // `delta < n_dirs`, so one conditional subtract replaces the
+            // hardware division of a `%` reduction.
+            let d = dir[i] + entry.delta;
+            dir[i] = if d >= nd { d - nd } else { d };
+            if target == NONE {
+                // Still occupied: solid bit stays set, colour is the
+                // FSM's write.
+                meta[here] = 1 | (entry.set_color << 1);
+                own_color[i] = entry.set_color;
+            } else {
+                let t = target as usize;
+                // Vacated: colour written, solid bit dropped.
+                meta[here] = entry.set_color << 1;
+                // The target cell keeps its own colour; nobody else
+                // writes it this step (it was free, so no agent's
+                // `here` is `t`), so reading it back here is
+                // pre-step-exact.
+                let mt = meta[t] | 1;
+                meta[t] = mt;
+                own_color[i] = mt >> 1;
+                if one_word {
+                    // Move targets are distinct pre-step-free cells and
+                    // sources are occupied ones, so the word moves never
+                    // alias each other within a step. One-word runs
+                    // never read `occupant`, so its stores are skipped.
+                    cell_info[t] = cell_info[here];
+                    cell_info[here] = 0;
+                } else {
+                    occupant[here] = NONE;
+                    occupant[t] = i as u32;
+                }
+                pos[i] = target;
+            }
+        }
+    }
+
+    /// One run's exchange sweep: word-wise ORs of the pre-phase
+    /// vectors into `info_next`, with a one-word fast path for
+    /// `k ≤ 64`. Complete agents are skipped outright — both their
+    /// buffers are frozen at all-ones by the post-swap back-fill in
+    /// [`MultiWorld::finish_exchange`].
+    fn exchange_one(&mut self, env: &KernelEnv, r: usize) {
+        let n_dirs = env.n_dirs;
+        let n_cells = env.lattice.len();
+        let f0 = r * n_cells;
+        let a0 = self.agent_base[r];
+        let k = self.k[r] as usize;
+        let i0 = self.info_base[r];
+        let stride = self.stride[r] as usize;
+        let tail = self.tail_mask[r];
+        let pos = &self.pos[a0..a0 + k];
+        let occupant = &self.occupant[f0..f0 + n_cells];
+        let complete = &mut self.complete[a0..a0 + k];
+        let informed = &mut self.informed[r];
+        let newly = &mut self.newly;
+
+        if stride == 1 {
+            // k ≤ 64: vectors live cell-indexed in `cell_info`, so the
+            // gather is a branch-free `w |= cell_info[neighbour]` — an
+            // empty neighbour ORs in 0, an occupied one its agent's
+            // word, with no occupant lookup at all. The whole run is
+            // staged in `wbuf` and committed afterwards, so same-sweep
+            // peers read pre-exchange values (the double-buffer role).
+            let cell_info = &mut self.cell_info[f0..f0 + n_cells];
+            let wbuf = &mut self.wbuf;
+            wbuf.clear();
+            // Dispatch on the two real neighbourhood sizes so the
+            // per-neighbour loop fully unrolls.
+            *informed += match n_dirs {
+                6 => gather_one_word::<6>(&env.fwd, cell_info, pos, complete, wbuf, tail),
+                4 => gather_one_word::<4>(&env.fwd, cell_info, pos, complete, wbuf, tail),
+                _ => gather_one_word_any(n_dirs, &env.fwd, cell_info, pos, complete, wbuf, tail),
+            };
+            for (&p, &w) in pos.iter().zip(wbuf.iter()) {
+                cell_info[p as usize] = w;
+            }
+        } else {
+            let info = &self.info[i0..i0 + k * stride];
+            let info_next = &mut self.info_next[i0..i0 + k * stride];
+            for i in 0..k {
+                if complete[i] {
+                    continue;
+                }
+                let base = i * stride;
+                info_next[base..base + stride].copy_from_slice(&info[base..base + stride]);
+                let here = pos[i] as usize;
+                let row = &env.fwd[here * n_dirs..here * n_dirs + n_dirs];
+                for &nc in row {
+                    if nc == NONE {
+                        continue;
+                    }
+                    let occ = occupant[nc as usize];
+                    if occ != NONE && occ as usize != i {
+                        let ob = occ as usize * stride;
+                        for w in 0..stride {
+                            info_next[base + w] |= info[ob + w];
+                        }
+                    }
+                }
+                if words_complete(&info_next[base..base + stride], tail) {
+                    complete[i] = true;
+                    *informed += 1;
+                    newly.push((i0 + base, stride, tail));
+                }
+            }
+        }
+    }
+
+    /// Ends a global exchange: swaps the double buffers and freezes the
+    /// stale buffer of agents that completed this sweep at all-ones,
+    /// so both buffers agree and later sweeps skip those agents. The
+    /// back-fill value equals what a copy would have produced, so
+    /// same-sweep peers saw the correct pre-phase words.
+    fn finish_exchange(&mut self) {
+        std::mem::swap(&mut self.info, &mut self.info_next);
+        for &(base, stride, tail) in &self.newly {
+            for w in &mut self.info_next[base..base + stride - 1] {
+                *w = u64::MAX;
+            }
+            self.info_next[base + stride - 1] = tail;
+        }
+        self.newly.clear();
+    }
+
+    /// Loaded configurations (including retired ones).
+    #[must_use]
+    pub fn run_count(&self) -> usize {
+        self.k.len()
+    }
+
+    /// Global lockstep steps executed so far.
+    #[must_use]
+    pub fn time(&self) -> u32 {
+        self.time
+    }
+
+    /// Agents in run `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.run_count()` (here and in every per-run
+    /// accessor below).
+    #[must_use]
+    pub fn agent_count(&self, r: usize) -> usize {
+        self.k[r] as usize
+    }
+
+    /// Informed agents in run `r`.
+    #[must_use]
+    pub fn informed_count(&self, r: usize) -> usize {
+        self.informed[r] as usize
+    }
+
+    /// Movement conflicts lost so far in run `r`.
+    #[must_use]
+    pub fn conflict_losses(&self, r: usize) -> u64 {
+        self.conflicts[r]
+    }
+
+    /// Run `r`'s agent positions in ID order.
+    #[must_use]
+    pub fn positions(&self, r: usize) -> Vec<Pos> {
+        let a0 = self.agent_base[r];
+        let k = self.k[r] as usize;
+        self.pos[a0..a0 + k]
+            .iter()
+            .map(|&c| self.env.lattice.pos_at(c as usize))
+            .collect()
+    }
+
+    /// Run `r`'s agent directions in ID order.
+    #[must_use]
+    pub fn dirs(&self, r: usize) -> Vec<Dir> {
+        let a0 = self.agent_base[r];
+        let k = self.k[r] as usize;
+        self.dir[a0..a0 + k].iter().map(|&d| Dir::new(d)).collect()
+    }
+
+    /// Run `r`'s agent control states in ID order.
+    #[must_use]
+    pub fn states(&self, r: usize) -> Vec<u8> {
+        let a0 = self.agent_base[r];
+        let k = self.k[r] as usize;
+        self.state[a0..a0 + k].to_vec()
+    }
+
+    /// Run `r`'s row-major cell colours, unpacked from its cell bytes.
+    #[must_use]
+    pub fn colors(&self, r: usize) -> Vec<u8> {
+        let n_cells = self.env.lattice.len();
+        assert!(r < self.k.len(), "run {r} out of range for {} runs", self.k.len());
+        self.meta[r * n_cells..(r + 1) * n_cells].iter().map(|m| m >> 1).collect()
+    }
+
+    /// Agent `i` of run `r`'s communication vector as an [`InfoSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `i` is out of range.
+    #[must_use]
+    pub fn agent_info(&self, r: usize, i: usize) -> InfoSet {
+        let k = self.k[r] as usize;
+        assert!(i < k, "agent {i} out of range for {k} agents in run {r}");
+        let stride = self.stride[r] as usize;
+        let mut set = InfoSet::empty(k);
+        if stride == 1 {
+            // One-word runs keep their live vectors cell-indexed.
+            let cell = self.pos[self.agent_base[r] + i] as usize;
+            let word = self.cell_info[r * self.env.lattice.len() + cell];
+            for b in 0..k {
+                if word & (1u64 << b) != 0 {
+                    set.insert(b);
+                }
+            }
+            return set;
+        }
+        let base = self.info_base[r] + i * stride;
+        for b in 0..k {
+            if self.info[base + b / 64] & (1u64 << (b % 64)) != 0 {
+                set.insert(b);
+            }
+        }
+        set
+    }
+}
+
+/// The one-word gather sweep with the neighbourhood size `D` fixed at
+/// compile time, so the per-neighbour OR loop fully unrolls (the `fwd`
+/// row is copied into a `[u32; D]` to make the trip count a constant).
+/// Pushes one gathered word per agent into `wbuf` and returns how many
+/// agents became complete.
+fn gather_one_word<const D: usize>(
+    fwd: &[u32],
+    cell_info: &[u64],
+    pos: &[u32],
+    complete: &mut [bool],
+    wbuf: &mut Vec<u64>,
+    tail: u64,
+) -> u32 {
+    let mut newly = 0;
+    for i in 0..pos.len() {
+        let here = pos[i] as usize;
+        if complete[i] {
+            // Identity re-commit: the cell word is already the frozen
+            // all-ones vector.
+            wbuf.push(cell_info[here]);
+            continue;
+        }
+        let mut w = cell_info[here];
+        let row: [u32; D] = fwd[here * D..here * D + D].try_into().expect("row length is D");
+        for nc in row {
+            if nc != NONE {
+                w |= cell_info[nc as usize];
+            }
+        }
+        wbuf.push(w);
+        if w == tail {
+            complete[i] = true;
+            newly += 1;
+        }
+    }
+    newly
+}
+
+/// Runtime-`n_dirs` fallback of [`gather_one_word`], for neighbourhood
+/// sizes without a dedicated instantiation.
+fn gather_one_word_any(
+    n_dirs: usize,
+    fwd: &[u32],
+    cell_info: &[u64],
+    pos: &[u32],
+    complete: &mut [bool],
+    wbuf: &mut Vec<u64>,
+    tail: u64,
+) -> u32 {
+    let mut newly = 0;
+    for i in 0..pos.len() {
+        let here = pos[i] as usize;
+        if complete[i] {
+            wbuf.push(cell_info[here]);
+            continue;
+        }
+        let mut w = cell_info[here];
+        for &nc in &fwd[here * n_dirs..here * n_dirs + n_dirs] {
+            if nc != NONE {
+                w |= cell_info[nc as usize];
+            }
+        }
+        wbuf.push(w);
+        if w == tail {
+            complete[i] = true;
+            newly += 1;
+        }
+    }
+    newly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchRunner;
+    use a2a_fsm::{best_s_agent, best_t_agent};
+    use a2a_grid::GridKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn cfg(kind: GridKind) -> WorldConfig {
+        WorldConfig::paper(kind, 16)
+    }
+
+    fn random_batch(config: &WorldConfig, ks: &[usize], seed: u64) -> Vec<InitialConfig> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        ks.iter()
+            .map(|&k| {
+                InitialConfig::random(config.lattice, config.kind, k, &[], &mut rng).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_match_single_run_kernel_exactly() {
+        for (kind, genome) in
+            [(GridKind::Square, best_s_agent()), (GridKind::Triangulate, best_t_agent())]
+        {
+            let config = cfg(kind);
+            // Ragged agent counts in one batch, including a k > 64 run
+            // (multi-word infosets) and a k = 1 run (solved at t = 0).
+            let inits = random_batch(&config, &[16, 1, 70, 4, 16, 33], 7);
+            let runner = BatchRunner::from_genome(&config, genome.clone(), 300).unwrap();
+            let expected: Vec<RunOutcome> =
+                inits.iter().map(|i| runner.outcome_for(i).unwrap()).collect();
+            let mut multi = MultiWorld::new(&config, genome).unwrap();
+            multi.load(&inits).unwrap();
+            assert_eq!(multi.run(300), expected, "{kind}");
+        }
+    }
+
+    #[test]
+    fn lockstep_step_matches_fast_world_per_run() {
+        let config = cfg(GridKind::Triangulate);
+        let inits = random_batch(&config, &[12, 5, 12], 11);
+        let mut fasts: Vec<crate::FastWorld> = inits
+            .iter()
+            .map(|i| crate::FastWorld::new(&config, best_t_agent(), i).unwrap())
+            .collect();
+        let mut multi = MultiWorld::new(&config, best_t_agent()).unwrap();
+        multi.load(&inits).unwrap();
+        for t in 0..40 {
+            for (r, fast) in fasts.iter().enumerate() {
+                assert_eq!(multi.positions(r), fast.positions(), "run {r} t={t}");
+                assert_eq!(multi.states(r), fast.states(), "run {r} t={t}");
+                assert_eq!(multi.colors(r), fast.colors(), "run {r} t={t}");
+                assert_eq!(multi.informed_count(r), fast.informed_count(), "run {r} t={t}");
+                assert_eq!(multi.conflict_losses(r), fast.conflict_losses(), "run {r} t={t}");
+                for i in 0..fast.agent_count() {
+                    assert_eq!(multi.agent_info(r, i), fast.agent_info(i), "run {r} t={t}");
+                }
+            }
+            multi.step();
+            for fast in &mut fasts {
+                fast.step();
+            }
+        }
+    }
+
+    #[test]
+    fn reload_reuses_buffers_and_matches_fresh() {
+        let config = cfg(GridKind::Triangulate);
+        let mut multi = MultiWorld::new(&config, best_t_agent()).unwrap();
+        multi.load(&random_batch(&config, &[16; 8], 1)).unwrap();
+        let _ = multi.run(200);
+        for seed in 2..6 {
+            let inits = random_batch(&config, &[16; 8], seed);
+            multi.load(&inits).unwrap();
+            let got = multi.run(200);
+            let mut fresh = MultiWorld::new(&config, best_t_agent()).unwrap();
+            fresh.load(&inits).unwrap();
+            assert_eq!(got, fresh.run(200), "seed {seed}");
+        }
+        // The zero-allocation guarantee of reuse is asserted in
+        // tests/allocation.rs — the process-global counter cannot be
+        // compared exactly here, where tests run concurrently.
+    }
+
+    #[test]
+    fn load_replicates_serial_error_order() {
+        let config = cfg(GridKind::Square);
+        let good = InitialConfig::new(vec![(Pos::new(1, 1), Dir::new(0))]);
+        let dup = InitialConfig::new(vec![
+            (Pos::new(2, 2), Dir::new(0)),
+            (Pos::new(2, 2), Dir::new(1)),
+        ]);
+        let outside = InitialConfig::new(vec![(Pos::new(99, 0), Dir::new(0))]);
+        let mut multi = MultiWorld::new(&config, best_s_agent()).unwrap();
+        // First failing configuration wins, later ones are not reached.
+        assert!(matches!(
+            multi.load(&[good.clone(), dup.clone(), outside.clone()]),
+            Err(SimError::DuplicatePosition(_))
+        ));
+        assert!(matches!(multi.load(&[outside, dup]), Err(SimError::OutsideField(_))));
+        // An empty batch loads fine (and holds zero runs).
+        multi.load(&[]).unwrap();
+        assert_eq!(multi.run_count(), 0);
+        assert!(matches!(
+            multi.load(&[InitialConfig::new(Vec::new())]),
+            Err(SimError::NoAgents)
+        ));
+        // A failed load leaves the world reloadable.
+        multi.load(&[good]).unwrap();
+        assert_eq!(multi.run(50)[0].t_comm, Some(0));
+    }
+
+    #[test]
+    fn obstacle_placement_rejected_per_run() {
+        let mut config = cfg(GridKind::Square);
+        config.obstacles = vec![Pos::new(3, 3)];
+        let on_obstacle = InitialConfig::new(vec![(Pos::new(3, 3), Dir::new(0))]);
+        let good = InitialConfig::new(vec![(Pos::new(1, 1), Dir::new(0))]);
+        let mut multi = MultiWorld::new(&config, best_s_agent()).unwrap();
+        assert!(matches!(
+            multi.load(&[good, on_obstacle]),
+            Err(SimError::OnObstacle(_))
+        ));
+    }
+
+    #[test]
+    fn preferred_chunk_is_clamped_and_shrinks_with_footprint() {
+        let small = cfg(GridKind::Triangulate);
+        let env = Arc::new(
+            KernelEnv::new(&small, &Behaviour::Single(best_t_agent())).unwrap(),
+        );
+        let c16 = preferred_chunk(&env, 16);
+        assert!((4..=64).contains(&c16));
+        assert!(preferred_chunk(&env, 1000) <= c16);
+        assert!(preferred_chunk(&env, 0) >= 4);
+    }
+}

@@ -1,7 +1,8 @@
-//! Differential harness: the bit-packed [`FastWorld`] kernel against the
-//! reference [`World`] oracle, driven in lockstep on randomized scenarios.
+//! Differential harness: the bit-packed [`FastWorld`] kernel and the
+//! fused lockstep [`MultiWorld`] kernel against the reference [`World`]
+//! oracle, all three driven in lockstep on randomized scenarios.
 //!
-//! Every scenario steps both engines together and asserts identical
+//! Every scenario steps the engines together and asserts identical
 //! positions, directions, control states, colour fields, infosets,
 //! informed counts and, at the end, the same `t_comm`. The scenario pool
 //! (>200 randomized cases across the two grid families) covers bordered
@@ -11,55 +12,80 @@
 use a2a_fsm::{best_agent, FsmSpec, Genome, TurnSet};
 use a2a_grid::{GridKind, Lattice, Pos};
 use a2a_sim::{
-    Behaviour, ColorInit, ConflictPolicy, FastWorld, InitStatePolicy, InitialConfig, World,
-    WorldConfig,
+    Behaviour, ColorInit, ConflictPolicy, FastWorld, InitStatePolicy, InitialConfig, MultiWorld,
+    World, WorldConfig,
 };
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
-/// Asserts that both engines expose byte-identical observable state.
-fn assert_same_state(world: &World, fast: &FastWorld, ctx: &str) {
+/// Asserts that all three engines expose byte-identical observable
+/// state. The multi-run engine carries the scenario in run slot 0.
+fn assert_same_state(world: &World, fast: &FastWorld, multi: &MultiWorld, ctx: &str) {
     assert_eq!(world.time(), fast.time(), "{ctx}: time diverged");
+    assert_eq!(world.time(), multi.time(), "{ctx}: multi time diverged");
     let positions = fast.positions();
     let dirs = fast.dirs();
     let states = fast.states();
+    let m_positions = multi.positions(0);
+    let m_dirs = multi.dirs(0);
+    let m_states = multi.states(0);
     assert_eq!(world.agents().len(), fast.agent_count(), "{ctx}: agent count");
+    assert_eq!(world.agents().len(), multi.agent_count(0), "{ctx}: multi agent count");
     for (i, agent) in world.agents().iter().enumerate() {
         assert_eq!(agent.pos(), positions[i], "{ctx}: agent {i} position");
         assert_eq!(agent.dir(), dirs[i], "{ctx}: agent {i} direction");
         assert_eq!(agent.state(), states[i], "{ctx}: agent {i} state");
         assert_eq!(*agent.info(), fast.agent_info(i), "{ctx}: agent {i} infoset");
+        assert_eq!(agent.pos(), m_positions[i], "{ctx}: agent {i} multi position");
+        assert_eq!(agent.dir(), m_dirs[i], "{ctx}: agent {i} multi direction");
+        assert_eq!(agent.state(), m_states[i], "{ctx}: agent {i} multi state");
+        assert_eq!(*agent.info(), multi.agent_info(0, i), "{ctx}: agent {i} multi infoset");
     }
     assert_eq!(world.colors(), &fast.colors()[..], "{ctx}: colour field");
+    assert_eq!(world.colors(), &multi.colors(0)[..], "{ctx}: multi colour field");
     assert_eq!(world.informed_count(), fast.informed_count(), "{ctx}: informed count");
+    assert_eq!(world.informed_count(), multi.informed_count(0), "{ctx}: multi informed count");
     assert_eq!(world.all_informed(), fast.all_informed(), "{ctx}: completion flag");
+    let m_done = multi.informed_count(0) == multi.agent_count(0);
+    assert_eq!(world.all_informed(), m_done, "{ctx}: multi completion flag");
 }
 
-/// Runs both engines in lockstep for up to `t_max` counted steps,
+/// Runs all three engines in lockstep for up to `t_max` counted steps,
 /// comparing the full state after every step and the resulting `t_comm`.
 fn lockstep(cfg: &WorldConfig, behaviour: &Behaviour, init: &InitialConfig, t_max: u32, ctx: &str) {
     let mut world = World::with_behaviour(cfg, behaviour.clone(), init)
         .unwrap_or_else(|e| panic!("{ctx}: oracle rejected scenario: {e}"));
     let mut fast = FastWorld::with_behaviour(cfg, behaviour.clone(), init)
         .unwrap_or_else(|e| panic!("{ctx}: kernel rejected scenario: {e}"));
-    assert_same_state(&world, &fast, &format!("{ctx} @t=0"));
+    let mut multi = MultiWorld::with_behaviour(cfg, behaviour.clone())
+        .unwrap_or_else(|e| panic!("{ctx}: multi kernel rejected scenario: {e}"));
+    multi
+        .load(std::slice::from_ref(init))
+        .unwrap_or_else(|e| panic!("{ctx}: multi kernel rejected placement: {e}"));
+    assert_same_state(&world, &fast, &multi, &format!("{ctx} @t=0"));
     let mut t_slow = world.all_informed().then_some(0u32);
     let mut t_fast = fast.all_informed().then_some(0u32);
+    let mut t_multi = (multi.informed_count(0) == multi.agent_count(0)).then_some(0u32);
     for t in 1..=t_max {
         world.step();
         fast.step();
-        assert_same_state(&world, &fast, &format!("{ctx} @t={t}"));
+        multi.step();
+        assert_same_state(&world, &fast, &multi, &format!("{ctx} @t={t}"));
         if t_slow.is_none() && world.all_informed() {
             t_slow = Some(t);
         }
         if t_fast.is_none() && fast.all_informed() {
             t_fast = Some(t);
         }
-        if t_slow.is_some() && t_fast.is_some() {
+        if t_multi.is_none() && multi.informed_count(0) == multi.agent_count(0) {
+            t_multi = Some(t);
+        }
+        if t_slow.is_some() && t_fast.is_some() && t_multi.is_some() {
             break;
         }
     }
     assert_eq!(t_slow, t_fast, "{ctx}: t_comm diverged");
+    assert_eq!(t_slow, t_multi, "{ctx}: multi t_comm diverged");
 }
 
 /// One fully randomized scenario: lattice shape and edge rule, policies,

@@ -153,6 +153,33 @@ fn golden_fixture_matches_both_engines() {
 }
 
 #[test]
+fn golden_fixture_matches_multi_engine() {
+    // The fused lockstep kernel reproduces every golden time through its
+    // chunked whole-batch path (all 32 placements of a cell in one
+    // `run_all`), pinning the third engine to the same semantics.
+    let golden = load_fixture();
+    for ((kind, k), (gkind, gk, gtimes)) in KINDS
+        .iter()
+        .flat_map(|&kind| AGENT_COUNTS.iter().map(move |&k| (kind, k)))
+        .zip(&golden)
+    {
+        assert_eq!(kind_label(kind), gkind, "fixture entry order changed");
+        assert_eq!(k, *gk, "fixture entry order changed");
+        let cfg = WorldConfig::paper(kind, FIELD);
+        let runner = BatchRunner::from_genome(&cfg, best_agent(kind), T_MAX).unwrap();
+        let inits: Vec<InitialConfig> =
+            (0..SEEDS).map(|seed| placement(kind, k, seed)).collect();
+        let times: Vec<u32> = runner
+            .run_all(&inits)
+            .unwrap()
+            .into_iter()
+            .map(|o| o.t_comm.expect("published agents solve every golden scenario"))
+            .collect();
+        assert_eq!(&times, gtimes, "{gkind} k={gk}: multi kernel diverged from golden times");
+    }
+}
+
+#[test]
 fn low_density_is_slowest_in_fixture() {
     // Table 1's non-monotone density curve: the sparse k = 4 row is the
     // slowest sampled density in both grids.
