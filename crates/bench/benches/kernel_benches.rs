@@ -1,7 +1,9 @@
 //! World vs. FastWorld: the reference engine against the bit-packed batch
 //! kernel on the two workloads that dominate wall-clock time — the GA
 //! fitness evaluation (16×16, 16 agents, many configurations) and the
-//! full-density 33×33 step (E9's field, maximal exchange pressure).
+//! full-density 33×33 step (E9's field, maximal exchange pressure) —
+//! plus the run-major vs. run-transposed engines on a full 64-run lane
+//! (the pairing behind the DESIGN.md §11 engine-selection matrix).
 
 use a2a_fsm::best_agent;
 use a2a_grid::{Dir, GridKind, Lattice};
@@ -68,6 +70,35 @@ fn bench_fitness_workload(c: &mut Criterion) {
     }
 }
 
+/// Run-major vs. run-transposed on a full 64-run lane: the head-to-head
+/// that keeps the DESIGN.md §11 engine-selection matrix honest. The
+/// sliced engine is expected to trail here — that measurement is why
+/// `run_all` routes every batch to `MultiWorld`.
+fn bench_engine_lane(c: &mut Criterion) {
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        let (cfg, configs) = fitness_configs(kind, 16, 64);
+        let genome = best_agent(kind);
+        let runner = BatchRunner::from_genome(&cfg, genome, T_MAX)
+            .expect("valid environment");
+        assert!(runner.sliced_eligible(&configs), "64 uniform runs fill a lane");
+        let mut group = c.benchmark_group(format!("lane_64runs_k16_{}", kind.label()));
+
+        group.bench_function("multiworld", |b| {
+            b.iter(|| {
+                black_box(runner.run_all_multi(black_box(&configs)).expect("valid placement"));
+            });
+        });
+
+        group.bench_function("slicedworld", |b| {
+            b.iter(|| {
+                black_box(runner.run_all_sliced(black_box(&configs)).expect("valid placement"));
+            });
+        });
+
+        group.finish();
+    }
+}
+
 fn packed_init(m: u16) -> InitialConfig {
     let lattice = Lattice::torus(m, m);
     InitialConfig::new(lattice.positions().map(|p| (p, Dir::new(0))).collect())
@@ -106,5 +137,5 @@ fn bench_packed_33_step(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_fitness_workload, bench_packed_33_step);
+criterion_group!(benches, bench_fitness_workload, bench_engine_lane, bench_packed_33_step);
 criterion_main!(benches);

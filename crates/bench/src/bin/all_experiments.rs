@@ -316,7 +316,8 @@ fn main() {
         a2a_bench::kernel::KERNEL_CONFIGS.min(scale.configs.max(10)),
         scale.seed,
     );
-    validate_kernel_snapshot(&kernel).expect("multi-run kernel beats the single-run path exactly");
+    validate_kernel_snapshot(&kernel)
+        .expect("multi-run kernel beats the single-run path and all four engines agree");
     a2a_obs::atomic_write(KERNEL_PATH, format!("{kernel}\n").as_bytes())
         .expect("cwd is writable");
     if let Some(sink) = obs.sink() {
@@ -329,11 +330,13 @@ fn main() {
             .unwrap_or(f64::NAN)
     };
     scale.outln(format!(
-        "- multi-run kernel: {:.2}x vs single-run ({:.2e} vs {:.2e} steps/s, chunk {}); wrote {KERNEL_PATH} (schema-valid)",
+        "- multi-run kernel: {:.2}x vs single-run ({:.2e} vs {:.2e} steps/s, chunk {}); \
+         bit-sliced ratio {:.2}x vs multi; wrote {KERNEL_PATH} (schema-valid)",
         knum(&["speedup"]),
         knum(&["multi", "steps_per_sec"]),
         knum(&["single", "steps_per_sec"]),
         knum(&["multi", "chunk"]),
+        knum(&["sliced_speedup"]),
     ));
 
     scale.outln(

@@ -1,26 +1,28 @@
-//! The multi-run-kernel benchmark: the single-run `FastWorld` path
-//! against the fused lockstep `MultiWorld` path on the
-//! whole-population fitness workload, and the `BENCH_kernel.json`
-//! snapshot (schema `a2a-obs/kernel-bench/v1`) that records both
-//! throughputs — with a built-in differential check that the two
-//! engines produce bit-identical [`RunOutcome`]s.
+//! The batch-kernel benchmark: the single-run `FastWorld` path, the
+//! fused lockstep `MultiWorld` path and the bit-sliced `SlicedWorld`
+//! path on the whole-population fitness workload, and the
+//! `BENCH_kernel.json` snapshot (schema `a2a-obs/kernel-bench/v2`)
+//! that records all three throughputs — with a built-in differential
+//! check that every engine (including the untimed reference `World`)
+//! produces bit-identical [`RunOutcome`]s.
 //!
 //! Timing is *interleaved and paired*: each repetition times one
-//! whole-population pass through the single-run path immediately
-//! followed by one through the multi-run path, and the snapshot keeps
-//! the minimum per path. Alternating the paths inside one process
-//! cancels slow machine-level drift (thermal throttling, noisy
-//! neighbours) that would otherwise dominate back-to-back block
-//! measurements, and the minimum discards interruption spikes — the
-//! speedup ratio is stable where two separately-measured means are
-//! not.
+//! whole-population pass through each path in turn (single, multi,
+//! sliced), and the snapshot keeps the minimum per path. Alternating
+//! the paths inside one process cancels slow machine-level drift
+//! (thermal throttling, noisy neighbours) that would otherwise
+//! dominate back-to-back block measurements, and the minimum discards
+//! interruption spikes — the speedup ratios are stable where
+//! separately-measured means are not. The reference-`World` oracle
+//! pass runs once, outside the timed repetitions, so the four-engine
+//! identity check never perturbs the measurement.
 
 use a2a_fsm::{best_t_agent, offspring, Genome, MutationRates};
 use a2a_ga::Evaluator;
 use a2a_grid::GridKind;
 use a2a_obs::json::Json;
 use a2a_obs::schema::KERNEL_BENCH_SCHEMA;
-use a2a_sim::{paper_config_set, BatchRunner, InitialConfig, RunOutcome, WorldConfig};
+use a2a_sim::{paper_config_set, simulate, BatchRunner, InitialConfig, RunOutcome, WorldConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -104,18 +106,47 @@ fn single_pass(runners: &[BatchRunner], configs: &[InitialConfig]) -> Vec<RunOut
     outcomes
 }
 
-/// One whole-population pass through the fused multi-run path.
+/// One whole-population pass through the fused multi-run path
+/// (engine forced: routing must not fold the two batch series into
+/// one measurement).
 fn multi_pass(runners: &[BatchRunner], configs: &[InitialConfig]) -> Vec<RunOutcome> {
     let mut outcomes = Vec::with_capacity(runners.len() * configs.len());
     for runner in runners {
-        outcomes.extend(runner.run_all(configs).expect("workload configs are valid"));
+        outcomes.extend(runner.run_all_multi(configs).expect("workload configs are valid"));
     }
     outcomes
 }
 
-/// Measures the workload through both kernel paths and assembles the
-/// `BENCH_kernel.json` document (see the module docs for the timing
-/// protocol).
+/// One whole-population pass through the bit-sliced run-transposed
+/// path (engine forced, like [`multi_pass`]).
+fn sliced_pass(runners: &[BatchRunner], configs: &[InitialConfig]) -> Vec<RunOutcome> {
+    let mut outcomes = Vec::with_capacity(runners.len() * configs.len());
+    for runner in runners {
+        outcomes.extend(runner.run_all_sliced(configs).expect("workload configs are valid"));
+    }
+    outcomes
+}
+
+/// One whole-population pass through the reference `World` oracle —
+/// run once outside the timed repetitions to extend the identity check
+/// to all four engines.
+fn oracle_pass(w: &KernelWorkload) -> Vec<RunOutcome> {
+    let mut outcomes = Vec::with_capacity(w.population.len() * w.configs.len());
+    for genome in &w.population {
+        for init in &w.configs {
+            outcomes.push(
+                simulate(&w.config, genome.clone(), init, T_MAX)
+                    .expect("workload configs are valid"),
+            );
+        }
+    }
+    outcomes
+}
+
+/// Measures the workload through the three batch-kernel paths and
+/// assembles the `BENCH_kernel.json` document (see the module docs for
+/// the timing protocol). The reference `World` oracle runs once,
+/// untimed, and its outcomes join the `identical_outcomes` check.
 ///
 /// # Panics
 ///
@@ -135,8 +166,10 @@ pub fn kernel_snapshot(configs: usize, seed: u64) -> Json {
 
     let mut single_us = f64::INFINITY;
     let mut multi_us = f64::INFINITY;
+    let mut sliced_us = f64::INFINITY;
     let mut single_outcomes = Vec::new();
     let mut multi_outcomes = Vec::new();
+    let mut sliced_outcomes = Vec::new();
     for _ in 0..KERNEL_REPS {
         let started = Instant::now();
         single_outcomes = single_pass(&runners, &w.configs);
@@ -145,15 +178,29 @@ pub fn kernel_snapshot(configs: usize, seed: u64) -> Json {
         let started = Instant::now();
         multi_outcomes = multi_pass(&runners, &w.configs);
         multi_us = multi_us.min(started.elapsed().as_micros().max(1) as f64);
-    }
-    let identical = single_outcomes == multi_outcomes;
 
-    // Both paths simulate the identical step count (retirement in the
-    // fused kernel ≡ per-run early exit in the single-run loop), so one
-    // total serves both rates.
+        let started = Instant::now();
+        sliced_outcomes = sliced_pass(&runners, &w.configs);
+        sliced_us = sliced_us.min(started.elapsed().as_micros().max(1) as f64);
+    }
+    let oracle_outcomes = oracle_pass(&w);
+    let identical = single_outcomes == multi_outcomes
+        && single_outcomes == sliced_outcomes
+        && single_outcomes == oracle_outcomes;
+
+    // All paths simulate the identical step count (retirement in the
+    // batch kernels ≡ per-run early exit in the single-run loop), so
+    // one total serves every rate.
     let total_steps: u64 = multi_outcomes.iter().map(|o| u64::from(o.steps)).sum();
     let evals = (w.population.len() * w.configs.len()) as f64;
     let chunk = runners[0].chunk_size(KERNEL_K);
+    let sliced_chunk = runners[0].sliced_chunk_size(KERNEL_K);
+    let rates = |us: f64| {
+        Json::object()
+            .with("elapsed_us", us)
+            .with("steps_per_sec", total_steps as f64 / (us / 1e6))
+            .with("evals_per_sec", evals / (us / 1e6))
+    };
 
     a2a_obs::schema::seal(
         Json::object()
@@ -166,22 +213,11 @@ pub fn kernel_snapshot(configs: usize, seed: u64) -> Json {
                     .with("k", KERNEL_K)
                     .with("grid", "T"),
             )
-            .with(
-                "single",
-                Json::object()
-                    .with("elapsed_us", single_us)
-                    .with("steps_per_sec", total_steps as f64 / (single_us / 1e6))
-                    .with("evals_per_sec", evals / (single_us / 1e6)),
-            )
-            .with(
-                "multi",
-                Json::object()
-                    .with("elapsed_us", multi_us)
-                    .with("steps_per_sec", total_steps as f64 / (multi_us / 1e6))
-                    .with("evals_per_sec", evals / (multi_us / 1e6))
-                    .with("chunk", chunk as u64),
-            )
+            .with("single", rates(single_us))
+            .with("multi", rates(multi_us).with("chunk", chunk as u64))
+            .with("sliced", rates(sliced_us).with("chunk", sliced_chunk as u64))
             .with("speedup", single_us / multi_us)
+            .with("sliced_speedup", multi_us / sliced_us)
             .with("identical_outcomes", identical),
     )
 }
@@ -194,8 +230,8 @@ mod tests {
     #[test]
     fn reduced_snapshot_validates_and_is_identical() {
         // A reduced-scale run of the full snapshot path: must satisfy
-        // its own schema (including the not-slower gate) and reproduce
-        // the single-run outcomes exactly.
+        // its own schema (multi ≥ single; the sliced ratio is recorded,
+        // not gated) and all four engines must agree exactly.
         let snapshot = kernel_snapshot(24, 99);
         validate_kernel_snapshot(&snapshot).unwrap();
         assert_eq!(snapshot.get("identical_outcomes"), Some(&Json::Bool(true)));

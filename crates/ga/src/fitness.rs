@@ -314,10 +314,13 @@ impl Evaluator {
         let runner = BatchRunner::new(&self.config, behaviour, self.t_max)
             .expect("behaviour and configuration set must match the environment");
         let n_cfg = self.configs.len();
-        let chunk = runner
-            .chunk_size(self.configs[0].agent_count())
-            .min(n_cfg.div_ceil(self.threads.max(1)))
-            .max(1);
+        let k = self.configs[0].agent_count();
+        let per_worker = n_cfg.div_ceil(self.threads.max(1));
+        // Run-major chunks: run_all keeps every batch on MultiWorld
+        // (the bit-sliced engine measures slower on fitness-shaped
+        // workloads — see DESIGN.md §11), so size tasks for its
+        // cache-resident chunk.
+        let chunk = runner.chunk_size(k).min(per_worker).max(1);
         let ranges: Arc<Vec<(usize, usize)>> = Arc::new(
             (0..n_cfg.div_ceil(chunk))
                 .map(|b| (b * chunk, ((b + 1) * chunk).min(n_cfg)))

@@ -17,6 +17,7 @@ use crate::init::InitialConfig;
 use crate::kernel::{FastWorld, KernelEnv};
 use crate::multi::{preferred_chunk, MultiWorld};
 use crate::run::RunOutcome;
+use crate::sliced::{preferred_sliced_chunk, SlicedWorld};
 use a2a_fsm::Genome;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -39,6 +40,9 @@ thread_local! {
 
     /// Per-thread pool of multi-run worlds, same discipline.
     static MULTI_POOL: RefCell<VecDeque<MultiWorld>> = const { RefCell::new(VecDeque::new()) };
+
+    /// Per-thread pool of bit-sliced worlds, same discipline.
+    static SLICED_POOL: RefCell<VecDeque<SlicedWorld>> = const { RefCell::new(VecDeque::new()) };
 }
 
 /// Counts one cold-entry eviction in the registry (when metrics are on).
@@ -60,6 +64,27 @@ fn take_pooled(env: &Arc<KernelEnv>) -> Option<FastWorld> {
 /// when full.
 fn return_pooled(world: FastWorld) {
     WORLD_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() >= WORLD_POOL_LIMIT {
+            pool.pop_front();
+            count_eviction();
+        }
+        pool.push_back(world);
+    });
+}
+
+/// Takes the most recent pooled sliced world compiled from `env`, if any.
+fn take_pooled_sliced(env: &Arc<KernelEnv>) -> Option<SlicedWorld> {
+    SLICED_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        pool.iter().rposition(|w| w.shares_env(env)).and_then(|i| pool.remove(i))
+    })
+}
+
+/// Returns a sliced world to this thread's pool, evicting the coldest
+/// entry when full.
+fn return_pooled_sliced(world: SlicedWorld) {
+    SLICED_POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
         if pool.len() >= WORLD_POOL_LIMIT {
             pool.pop_front();
@@ -203,18 +228,62 @@ impl BatchRunner {
         preferred_chunk(&self.env, k)
     }
 
+    /// Runs per bit-sliced chunk this runner prefers for uniform
+    /// batches of `k`-agent configurations — whole lanes of 64 runs,
+    /// as many as keep a [`SlicedWorld`] chunk's working set
+    /// cache-resident.
+    #[must_use]
+    pub fn sliced_chunk_size(&self, k: usize) -> usize {
+        preferred_sliced_chunk(&self.env, k)
+    }
+
+    /// Whether `inits` is a batch shape the bit-sliced engine
+    /// *accepts*: a uniform agent count `1 ≤ k ≤ 1024` across 64 or
+    /// more configurations (at least one full lane).
+    ///
+    /// Eligibility, not preference: paired benchmarks show the
+    /// run-transposed engine trailing the run-major one on every
+    /// measured workload (divergent runs defeat its word-parallel
+    /// merges — see DESIGN.md §11), so [`BatchRunner::run_all`] keeps
+    /// every batch on [`MultiWorld`] and the sliced path stays an
+    /// explicit opt-in via [`BatchRunner::run_all_sliced`].
+    #[must_use]
+    pub fn sliced_eligible(&self, inits: &[InitialConfig]) -> bool {
+        let Some(k) = inits.first().map(InitialConfig::agent_count) else {
+            return false;
+        };
+        inits.len() >= 64
+            && (1..=1024).contains(&k)
+            && inits.iter().all(|i| i.agent_count() == k)
+    }
+
     /// Runs every configuration in order on the calling thread through
-    /// the lockstep [`MultiWorld`] kernel, in chunks of
-    /// [`BatchRunner::chunk_size`] runs, reusing a pooled per-thread
-    /// multi-world per chunk. Outcomes are bit-identical to mapping
+    /// the fastest measured lockstep engine — the run-major
+    /// [`MultiWorld`] for every batch shape (see
+    /// [`BatchRunner::sliced_eligible`] for why the bit-sliced engine
+    /// is opt-in only). Outcomes are bit-identical to mapping
     /// [`BatchRunner::outcome_for`] over the configurations. For
     /// parallel evaluation, fan chunk-sized sub-slices of the
-    /// configuration set out over a thread pool — the runner is `Sync`.
+    /// configuration set out over a thread pool — the runner is
+    /// `Sync`.
     ///
     /// # Errors
     ///
     /// The first placement error encountered, as [`BatchRunner::outcome_for`].
     pub fn run_all(&self, inits: &[InitialConfig]) -> Result<Vec<RunOutcome>, SimError> {
+        self.run_all_multi(inits)
+    }
+
+    /// [`BatchRunner::run_all`] pinned to the run-major [`MultiWorld`]
+    /// engine, in chunks of [`BatchRunner::chunk_size`] runs with a
+    /// pooled per-thread world per chunk. The engine-forcing seam for
+    /// benchmarks and differential suites; [`BatchRunner::run_all`] is
+    /// the right call everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchRunner::run_all`].
+    pub fn run_all_multi(&self, inits: &[InitialConfig]) -> Result<Vec<RunOutcome>, SimError> {
         let _span = a2a_obs::Span::enter("batch.run_all");
         let chunk = self.chunk_size(inits.first().map_or(1, InitialConfig::agent_count));
         let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(inits.len());
@@ -239,11 +308,56 @@ impl BatchRunner {
             outcomes.extend(world.run(self.t_max));
             return_pooled_multi(world);
         }
+        self.log_run_all(&outcomes);
+        Ok(outcomes)
+    }
+
+    /// [`BatchRunner::run_all`] pinned to the bit-sliced
+    /// [`SlicedWorld`] engine, in chunks of
+    /// [`BatchRunner::sliced_chunk_size`] runs (whole lanes of 64)
+    /// with a pooled per-thread world per chunk. Requires a uniform
+    /// agent count across the batch; like `run_all_multi`, this is an
+    /// engine-forcing seam — prefer [`BatchRunner::run_all`].
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchRunner::run_all`], plus [`SimError::SpecMismatch`]
+    /// for a batch whose configurations disagree on the agent count.
+    pub fn run_all_sliced(&self, inits: &[InitialConfig]) -> Result<Vec<RunOutcome>, SimError> {
+        let _span = a2a_obs::Span::enter("batch.run_all");
+        let chunk = self.sliced_chunk_size(inits.first().map_or(1, InitialConfig::agent_count));
+        let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(inits.len());
+        for block in inits.chunks(chunk) {
+            let mut world = match take_pooled_sliced(&self.env) {
+                Some(world) => {
+                    if a2a_obs::metrics_enabled() {
+                        a2a_obs::global().counter("kernel.pool.reuse").incr();
+                    }
+                    world
+                }
+                None => {
+                    if a2a_obs::metrics_enabled() {
+                        a2a_obs::global().counter("kernel.pool.fresh").incr();
+                    }
+                    SlicedWorld::from_env(Arc::clone(&self.env))
+                }
+            };
+            // A load error may leave the world half-loaded; drop it
+            // rather than pooling an inconsistent arena.
+            world.load(block)?;
+            outcomes.extend(world.run(self.t_max));
+            return_pooled_sliced(world);
+        }
+        self.log_run_all(&outcomes);
+        Ok(outcomes)
+    }
+
+    /// The shared `batch.run_all` debug summary.
+    fn log_run_all(&self, outcomes: &[RunOutcome]) {
         a2a_obs::event!(a2a_obs::Level::Debug, "batch.run_all",
             "configs" => outcomes.len(),
             "successful" => outcomes.iter().filter(|o| o.is_successful()).count(),
             "t_max" => self.t_max);
-        Ok(outcomes)
     }
 }
 
@@ -382,6 +496,35 @@ mod tests {
             runner.run_all(&[good, dup]),
             Err(SimError::DuplicatePosition(_))
         ));
+    }
+
+    #[test]
+    fn run_all_routes_uniform_batches_and_engines_agree() {
+        // 70 uniform configurations are sliced-eligible (and leave a
+        // partial lane); the dispatcher, the forced multi path and the
+        // forced sliced path must all report the same outcomes — and
+        // run_all must stay on the run-major engine (the sliced path
+        // is an explicit opt-in, never the routed default).
+        let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+        let runner = BatchRunner::from_genome(&cfg, best_agent(cfg.kind), 200).unwrap();
+        let mut rng = SmallRng::seed_from_u64(404);
+        let inits: Vec<InitialConfig> = (0..70)
+            .map(|_| InitialConfig::random(cfg.lattice, cfg.kind, 16, &[], &mut rng).unwrap())
+            .collect();
+        assert!(runner.sliced_eligible(&inits));
+        let routed = runner.run_all(&inits).unwrap();
+        assert_eq!(routed, runner.run_all_multi(&inits).unwrap());
+        assert_eq!(routed, runner.run_all_sliced(&inits).unwrap());
+        // Small or ragged batches are not even sliced-eligible.
+        assert!(!runner.sliced_eligible(&inits[..63]));
+        let mut ragged = inits[..64].to_vec();
+        ragged[40] =
+            InitialConfig::random(cfg.lattice, cfg.kind, 15, &[], &mut rng).unwrap();
+        assert!(!runner.sliced_eligible(&ragged));
+        assert_eq!(
+            runner.run_all(&ragged).unwrap(),
+            runner.run_all_multi(&ragged).unwrap()
+        );
     }
 
     #[test]

@@ -57,6 +57,7 @@ mod multi;
 mod recorder;
 mod render;
 mod run;
+mod sliced;
 mod world;
 
 pub use agent::Agent;
@@ -72,4 +73,5 @@ pub use multi::MultiWorld;
 pub use recorder::{record_trajectory, AgentSnapshot, Frame, TimedEvent, Trajectory};
 pub use render::{render_agents, render_colors, render_snapshot, render_visited};
 pub use run::{run_to_completion, run_with_profile, simulate, simulate_behaviour, RunOutcome};
+pub use sliced::SlicedWorld;
 pub use world::World;

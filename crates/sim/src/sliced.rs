@@ -1,0 +1,1143 @@
+//! The bit-sliced multi-run kernel: up to 64 runs per `u64` word.
+//!
+//! [`SlicedWorld`] transposes the batch axis of
+//! [`MultiWorld`](crate::MultiWorld): instead of laying each run's field
+//! out run-major, every *boolean* of the simulation lives in a bit
+//! plane whose words hold the same bit across a **lane** of 64 runs —
+//! bit `j` of a word belongs to run `lane * 64 + j`. Occupancy ∪
+//! obstacles (`solid`), movement claims (`claimed`), cell colours
+//! (`color_planes`) and per-agent completion (`complete`) are all
+//! sliced this way, so a blocked test, a claim, a colour write or a
+//! completion check is a single masked word op no matter how many runs
+//! share the lane.
+//!
+//! The payoff is the exchange. Communication vectors are stored
+//! *token-transposed*: `info[(lane * k + i) * k + o]` is the word whose
+//! bit `j` says "agent `i` knows agent `o`'s token in run
+//! `lane * 64 + j`". One adjacency sweep over the lane's live runs
+//! builds per-pair run masks (`adj[i * k + o]`: the runs in which `o`
+//! currently neighbours `i`), and then every infoset merge is
+//! `info_next[i][o'] |= info[o][o'] & adj` — one OR serves all 64 runs
+//! at once, streamed in tiles over the token axis so `k > 64` vectors
+//! stay cache-resident. Because vectors only ever gain bits, completed
+//! (run, agent) pairs need no freezing: their all-ones words absorb
+//! further ORs unchanged.
+//!
+//! Retirement is **lane-masked**: a run that solves the task or
+//! exhausts the horizon has its bit cleared from the lane's `active`
+//! mask, and every sweep iterates set bits only — no swap-remove, no
+//! state motion, and outcome slots never move. Batches must share one
+//! agent count `k` (the token axis is common to the whole world).
+//!
+//! The word-parallel merges do not make this the fast path: divergent
+//! runs leave most per-pair adjacency masks single-bit, so the lane
+//! amortisation never materialises and paired benchmarks put this
+//! engine behind the run-major `MultiWorld` on every measured workload
+//! (DESIGN.md §11 has the matrix).
+//! [`BatchRunner::run_all`](crate::BatchRunner::run_all) therefore
+//! keeps every batch on `MultiWorld`; this engine stays an explicit
+//! opt-in via
+//! [`BatchRunner::run_all_sliced`](crate::BatchRunner::run_all_sliced).
+//!
+//! Outcomes are **bit-identical per configuration** to
+//! [`FastWorld`](crate::FastWorld): the per-run act replicates the
+//! single-run kernel decision for decision (first-claimant arbitration
+//! in ID-priority order selects exactly the min/max-ID winner), and the
+//! masked merges reproduce the synchronous OR. The differential suite
+//! in `tests/differential.rs` drives all four engines in lockstep.
+
+use crate::behaviour::Behaviour;
+use crate::config::{ConflictPolicy, WorldConfig};
+use crate::error::SimError;
+use crate::infoset::InfoSet;
+use crate::init::InitialConfig;
+use crate::kernel::{bit_get, read_color, KernelEnv, NONE};
+use crate::run::RunOutcome;
+use a2a_fsm::Genome;
+use a2a_grid::{Dir, Pos};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide count of buffer-allocating sliced-world constructions:
+/// one per [`SlicedWorld::from_env`] plus one per [`SlicedWorld::load`]
+/// that had to grow a buffer. The batch layer's steady state (chunked
+/// reuse with a stable workload shape) must not move this counter —
+/// asserted by `crates/sim/tests/allocation_sliced.rs`.
+static SLICED_BUFFER_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Sentinel for "no agent" in the per-run occupant map (`u16`: agent
+/// ids are bounded by the engines' shared `u16::MAX` limit).
+const NO_AGENT: u16 = u16::MAX;
+
+/// Words per streamed merge tile along the token axis: 512 B spans
+/// keep the per-pair source and destination rows of very wide infosets
+/// (`k` up to ~1024) inside L1 while the pair list is re-walked.
+const TILE_WORDS: usize = 64;
+
+/// Working-set budget per sliced chunk, matching the run-major
+/// engine's [`CHUNK_BUDGET_BYTES`](crate::multi) discipline.
+const SLICED_CHUNK_BUDGET_BYTES: usize = 256 * 1024;
+
+/// Runs per sliced chunk for `env` with configurations of `k` agents:
+/// whole lanes of 64, as many as fit [`SLICED_CHUNK_BUDGET_BYTES`],
+/// clamped to `[1, 16]` lanes (64–1024 runs).
+pub(crate) fn preferred_sliced_chunk(env: &KernelEnv, k: usize) -> usize {
+    let k = k.max(1);
+    let n_cells = env.lattice.len();
+    let per_lane = 128 * n_cells                                  // occupant maps (64 × u16)
+        + 16 * n_cells                                            // solid + claimed planes
+        + 8 * n_cells * env.n_color_planes as usize               // colour planes
+        + 16 * k * k                                              // info + info_next
+        + 512 * k;                                                // scalar agent state (64 runs)
+    (SLICED_CHUNK_BUDGET_BYTES / per_lane).clamp(1, 16) * 64
+}
+
+/// The bit-sliced multi-run engine: same dynamics as
+/// [`FastWorld`](crate::FastWorld), one word of state per 64 runs.
+///
+/// # Examples
+///
+/// ```
+/// use a2a_sim::{InitialConfig, SlicedWorld, WorldConfig};
+/// use a2a_fsm::best_t_agent;
+/// use a2a_grid::GridKind;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// # fn main() -> Result<(), a2a_sim::SimError> {
+/// let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let inits: Vec<InitialConfig> = (0..70)
+///     .map(|_| InitialConfig::random(cfg.lattice, cfg.kind, 8, &[], &mut rng))
+///     .collect::<Result<_, _>>()?;
+/// let mut sliced = SlicedWorld::new(&cfg, best_t_agent())?;
+/// sliced.load(&inits)?;
+/// assert!(sliced.run(200).iter().all(|o| o.is_successful()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SlicedWorld {
+    env: Arc<KernelEnv>,
+
+    /// Uniform agents per run (the shared token-axis width).
+    k: usize,
+    /// Loaded runs (including retired ones).
+    runs: usize,
+    /// Lanes of 64 runs: `runs.div_ceil(64)`.
+    lanes: usize,
+    /// Valid-run bits per lane (partial last lane).
+    lane_mask: Vec<u64>,
+    /// Live (un-retired) run bits per lane.
+    active: Vec<u64>,
+    /// Informed agents per run (incremental counter).
+    informed: Vec<u32>,
+    /// Movement conflicts lost per run.
+    conflicts: Vec<u64>,
+    /// Recorded outcome per run slot, filled at retirement.
+    outcomes: Vec<Option<RunOutcome>>,
+
+    // Bit-sliced field planes, cell-major: word `[c * lanes + l]`,
+    // bit `j` of a word belongs to run `l * 64 + j`.
+    /// Occupancy ∪ obstacles per cell per run.
+    solid: Vec<u64>,
+    /// Arbitration scratch per cell per run; all-zero between steps
+    /// (also the duplicate-placement scratch of [`SlicedWorld::load`]).
+    claimed: Vec<u64>,
+    /// Cell colours, plane-major then cell-major:
+    /// `[(p * n_cells + c) * lanes + l]`.
+    color_planes: Vec<u64>,
+    /// Per-agent completion plane: word `[l * k + i]`.
+    complete: Vec<u64>,
+
+    // Scalar agent state, run-major `[r * k + i]`.
+    pos: Vec<u32>,
+    dir: Vec<u8>,
+    state: Vec<u8>,
+    /// Colour of each agent's own cell, mirrored out of
+    /// `color_planes` (saves one plane gather per perception).
+    own_color: Vec<u8>,
+    /// Agent on each cell per run, `[r * n_cells + c]`
+    /// ([`NO_AGENT`] when free) — the exchange's adjacency source.
+    occ: Vec<u16>,
+
+    /// Token-transposed communication vectors:
+    /// `[(l * k + i) * k + o]`, bit `j` = "agent `i` knows token `o`
+    /// in run `l * 64 + j`".
+    info: Vec<u64>,
+    info_next: Vec<u64>,
+
+    /// Global lockstep time: every live run has taken exactly this
+    /// many counted steps.
+    time: u32,
+
+    // Scratch reused across steps.
+    /// Per-pair run masks for the current lane's merge: `adj[i * k + o]`
+    /// holds the runs in which `o` neighbours `i`. All-zero between
+    /// lanes (cleared through `touched`).
+    adj: Vec<u64>,
+    /// Pair indices with a non-zero `adj` entry this lane.
+    touched: Vec<u32>,
+    /// Cells claimed during the current run's act, for mask clearing.
+    requests: Vec<u32>,
+    /// Per agent: (flat compiled-row index, move target or [`NONE`]).
+    decisions: Vec<(u32, u32)>,
+}
+
+impl SlicedWorld {
+    /// An empty sliced world for a single-FSM behaviour; call
+    /// [`SlicedWorld::load`] to place a batch.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`crate::World::new`] for the environment checks.
+    pub fn new(config: &WorldConfig, genome: Genome) -> Result<Self, SimError> {
+        Self::with_behaviour(config, Behaviour::Single(genome))
+    }
+
+    /// Like [`SlicedWorld::new`] with a full [`Behaviour`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`crate::World::with_behaviour`].
+    pub fn with_behaviour(config: &WorldConfig, behaviour: Behaviour) -> Result<Self, SimError> {
+        Ok(Self::from_env(Arc::new(KernelEnv::new(config, &behaviour)?)))
+    }
+
+    /// An empty sliced world over a shared environment.
+    pub(crate) fn from_env(env: Arc<KernelEnv>) -> Self {
+        SLICED_BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        Self {
+            env,
+            k: 0,
+            runs: 0,
+            lanes: 0,
+            lane_mask: Vec::new(),
+            active: Vec::new(),
+            informed: Vec::new(),
+            conflicts: Vec::new(),
+            outcomes: Vec::new(),
+            solid: Vec::new(),
+            claimed: Vec::new(),
+            color_planes: Vec::new(),
+            complete: Vec::new(),
+            pos: Vec::new(),
+            dir: Vec::new(),
+            state: Vec::new(),
+            own_color: Vec::new(),
+            occ: Vec::new(),
+            info: Vec::new(),
+            info_next: Vec::new(),
+            time: 0,
+            adj: Vec::new(),
+            touched: Vec::new(),
+            requests: Vec::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Whether this world was compiled from exactly `env` (pointer
+    /// identity) — the reuse precondition of [`SlicedWorld::load`].
+    pub(crate) fn shares_env(&self, env: &Arc<KernelEnv>) -> bool {
+        Arc::ptr_eq(&self.env, env)
+    }
+
+    /// Process-wide count of buffer-allocating constructions
+    /// ([`SlicedWorld::from_env`] calls plus [`SlicedWorld::load`]
+    /// calls that grew a buffer). A reuse-only steady state keeps this
+    /// constant — the zero-allocation acceptance check of the chunked
+    /// batch layer.
+    #[must_use]
+    pub fn allocation_count() -> u64 {
+        SLICED_BUFFER_ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Places a batch of initial configurations, one run slot each, and
+    /// performs every run's uncounted `t = 0` exchange. All
+    /// configurations must share one agent count (the bit-sliced token
+    /// axis is common to the whole world). Reuses every buffer:
+    /// reloading a workload of the same shape performs zero heap
+    /// allocation. Each configuration is validated exactly as
+    /// [`FastWorld::from_env`](crate::FastWorld) does, in batch order,
+    /// so the first error matches a serial engine's — except that a
+    /// non-uniform agent count surfaces as
+    /// [`SimError::SpecMismatch`] before that run's obstacle check.
+    ///
+    /// # Errors
+    ///
+    /// The first per-configuration error, as above. On error the world
+    /// is partially loaded and must be discarded or re-loaded before
+    /// use.
+    pub fn load(&mut self, inits: &[InitialConfig]) -> Result<(), SimError> {
+        let env = Arc::clone(&self.env);
+        let n_cells = env.lattice.len();
+        let runs = inits.len();
+        let lanes = runs.div_ceil(64);
+        let k = inits.first().map_or(0, InitialConfig::agent_count);
+        // Distinct neighbours of one agent across a lane are bounded by
+        // both the other agents and 64 runs × n_dirs fronts.
+        let touched_cap = k * (k.saturating_sub(1)).min(64 * env.n_dirs);
+
+        if lanes > self.lane_mask.capacity()
+            || lanes > self.active.capacity()
+            || runs > self.informed.capacity()
+            || runs > self.conflicts.capacity()
+            || runs > self.outcomes.capacity()
+            || n_cells * lanes > self.solid.capacity()
+            || n_cells * lanes > self.claimed.capacity()
+            || n_cells * lanes * env.n_color_planes as usize > self.color_planes.capacity()
+            || lanes * k > self.complete.capacity()
+            || runs * k > self.pos.capacity()
+            || runs * k > self.dir.capacity()
+            || runs * k > self.state.capacity()
+            || runs * k > self.own_color.capacity()
+            || runs * n_cells > self.occ.capacity()
+            || lanes * k * k > self.info.capacity()
+            || lanes * k * k > self.info_next.capacity()
+            || k * k > self.adj.capacity()
+            || touched_cap > self.touched.capacity()
+            || k > self.requests.capacity()
+            || k > self.decisions.capacity()
+        {
+            SLICED_BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+
+        self.k = k;
+        self.runs = runs;
+        self.lanes = lanes;
+        self.time = 0;
+        self.lane_mask.clear();
+        self.lane_mask.resize(lanes, 0);
+        self.active.clear();
+        self.active.resize(lanes, 0);
+        self.informed.clear();
+        self.informed.resize(runs, 0);
+        self.conflicts.clear();
+        self.conflicts.resize(runs, 0);
+        self.outcomes.clear();
+        self.outcomes.resize(runs, None);
+        self.claimed.clear();
+        self.claimed.resize(n_cells * lanes, 0);
+        self.complete.clear();
+        self.complete.resize(lanes * k, 0);
+        self.pos.clear();
+        self.pos.resize(runs * k, 0);
+        self.dir.clear();
+        self.dir.resize(runs * k, 0);
+        self.state.clear();
+        self.state.resize(runs * k, 0);
+        self.own_color.clear();
+        self.own_color.resize(runs * k, 0);
+        self.occ.clear();
+        self.occ.resize(runs * n_cells, NO_AGENT);
+        self.adj.clear();
+        self.adj.resize(k * k, 0);
+        self.touched.clear();
+        self.touched.reserve(touched_cap);
+        self.requests.clear();
+        self.requests.reserve(k);
+        self.decisions.clear();
+        self.decisions.resize(k, (0, NONE));
+
+        // Environment baselines, broadcast across the lane words:
+        // obstacles and initial colours are run-independent, so a set
+        // bit becomes an all-ones word.
+        self.solid.clear();
+        self.solid.resize(n_cells * lanes, 0);
+        for c in 0..n_cells {
+            if bit_get(&env.obstacle_words, c) {
+                self.solid[c * lanes..(c + 1) * lanes].fill(u64::MAX);
+            }
+        }
+        self.color_planes.clear();
+        self.color_planes.resize(n_cells * lanes * env.n_color_planes as usize, 0);
+        for p in 0..env.n_color_planes as usize {
+            for c in 0..n_cells {
+                if bit_get(&env.color_planes_init[p * env.cell_words..], c) {
+                    let w0 = (p * n_cells + c) * lanes;
+                    self.color_planes[w0..w0 + lanes].fill(u64::MAX);
+                }
+            }
+        }
+        self.info.clear();
+        self.info.resize(lanes * k * k, 0);
+        self.info_next.clear();
+        self.info_next.resize(lanes * k * k, 0);
+
+        for (r, init) in inits.iter().enumerate() {
+            // Pass 1 — validate without allocating, replicating
+            // `InitialConfig::validate` check for check (error order
+            // matters to callers). The run's bit of the claimed plane
+            // doubles as the duplicate scratch: it is all-zero between
+            // steps.
+            if init.placements().is_empty() {
+                return Err(SimError::NoAgents);
+            }
+            let l = r / 64;
+            let bit = 1u64 << (r % 64);
+            let mut marked = 0usize;
+            let mut invalid = None;
+            for &(pos, dir) in init.placements() {
+                if !env.lattice.contains(pos) {
+                    invalid = Some(SimError::OutsideField(pos));
+                    break;
+                }
+                if !dir.is_valid_for(env.kind) {
+                    invalid = Some(SimError::InvalidDirection {
+                        index: dir.index(),
+                        available: env.kind.dir_count(),
+                    });
+                    break;
+                }
+                let w = &mut self.claimed[env.lattice.index_of(pos) * lanes + l];
+                if *w & bit != 0 {
+                    invalid = Some(SimError::DuplicatePosition(pos));
+                    break;
+                }
+                *w |= bit;
+                marked += 1;
+            }
+            for &(pos, _) in &init.placements()[..marked] {
+                self.claimed[env.lattice.index_of(pos) * lanes + l] &= !bit;
+            }
+            if let Some(e) = invalid {
+                return Err(e);
+            }
+            let rk = init.agent_count();
+            if rk > usize::from(u16::MAX) {
+                return Err(SimError::TooManyAgents {
+                    requested: rk,
+                    limit: usize::from(u16::MAX),
+                });
+            }
+            if rk != k {
+                return Err(SimError::SpecMismatch(format!(
+                    "sliced batches need one uniform agent count: run 0 has {k}, run {r} has {rk}"
+                )));
+            }
+
+            // Pass 2 — place into the run's slot.
+            let base = r * k;
+            let f0 = r * n_cells;
+            for (i, &(p, d)) in init.placements().iter().enumerate() {
+                let idx = env.lattice.index_of(p);
+                if bit_get(&env.obstacle_words, idx) {
+                    return Err(SimError::OnObstacle(p));
+                }
+                self.occ[f0 + idx] = i as u16;
+                self.solid[idx * lanes + l] |= bit;
+                self.pos[base + i] = idx as u32;
+                self.dir[base + i] = d.index();
+                self.state[base + i] = env.init_states.state_for(i as u16, env.n_states);
+                self.own_color[base + i] =
+                    read_color(&env.color_planes_init, env.cell_words, env.n_color_planes, idx);
+            }
+            self.lane_mask[l] |= bit;
+            self.active[l] |= bit;
+        }
+
+        // Identity bits: agent `i` knows its own token in every run.
+        for l in 0..lanes {
+            let m = self.lane_mask[l];
+            for i in 0..k {
+                self.info[(l * k + i) * k + i] = m;
+            }
+        }
+
+        // The uncounted exchange right after placement, lane by lane.
+        for l in 0..lanes {
+            self.exchange_lane(&env, l, self.lane_mask[l]);
+        }
+        Ok(())
+    }
+
+    /// Runs every loaded configuration until it is solved or `t_max`
+    /// counted steps have passed, clearing finished runs from the live
+    /// lane masks as they complete. Returns one [`RunOutcome`] per
+    /// loaded configuration, in load order — each bit-identical to
+    /// what [`FastWorld::run`](crate::FastWorld::run) reports for that
+    /// configuration.
+    ///
+    /// With metrics on, feeds the same per-run `kernel.*` series as
+    /// the single-run engine plus the sliced-kernel extras
+    /// (`kernel.sliced.runs` / `.steps` / `.retirements` counters and
+    /// the `kernel.sliced.in_flight` gauge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is loaded (zero configurations).
+    pub fn run(&mut self, t_max: u32) -> Vec<RunOutcome> {
+        assert!(!self.outcomes.is_empty(), "load a batch before running");
+        let metrics = a2a_obs::metrics_enabled();
+        let debug = a2a_obs::enabled(a2a_obs::Level::Debug);
+        let env = Arc::clone(&self.env);
+        let mut run_steps: u64 = 0;
+        let mut retired: u64 = 0;
+        self.retire_solved(metrics, debug, &mut retired);
+        while self.active.iter().any(|&m| m != 0) && self.time < t_max {
+            let phase = &env.phases[self.time as usize % env.phases.len()];
+            for l in 0..self.lanes {
+                let m = self.active[l];
+                if m == 0 {
+                    continue;
+                }
+                // Act every live run of the lane scalar-wise while its
+                // planes are cache-hot, then merge the whole lane's
+                // infosets word-parallel.
+                let mut mm = m;
+                while mm != 0 {
+                    self.act_run(&env, phase, l, mm.trailing_zeros() as usize);
+                    mm &= mm - 1;
+                }
+                self.exchange_lane(&env, l, m);
+                run_steps += u64::from(m.count_ones());
+            }
+            self.time += 1;
+            self.retire_solved(metrics, debug, &mut retired);
+        }
+        // Horizon: whatever is still live is out of time.
+        for l in 0..self.lanes {
+            let mut mm = self.active[l];
+            self.active[l] = 0;
+            while mm != 0 {
+                let r = l * 64 + mm.trailing_zeros() as usize;
+                mm &= mm - 1;
+                let outcome = RunOutcome {
+                    t_comm: None,
+                    informed: self.informed[r] as usize,
+                    agents: self.k,
+                    steps: self.time,
+                };
+                self.outcomes[r] = Some(outcome);
+                if metrics {
+                    self.record_run(outcome, r, debug);
+                }
+            }
+        }
+        if metrics {
+            let reg = a2a_obs::global();
+            reg.counter("kernel.sliced.runs").add(self.outcomes.len() as u64);
+            reg.counter("kernel.sliced.steps").add(run_steps);
+            reg.counter("kernel.sliced.retirements").add(retired);
+            reg.gauge("kernel.sliced.in_flight").set(0);
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.expect("every run slot is retired by the loop above"))
+            .collect()
+    }
+
+    /// Advances **every** loaded run by one counted time step — solved
+    /// runs included, exactly like stepping each world individually
+    /// (agents keep acting after completion). This is the lockstep
+    /// differential-test path; the retiring throughput path is
+    /// [`SlicedWorld::run`].
+    pub fn step(&mut self) {
+        let env = Arc::clone(&self.env);
+        let phase = &env.phases[self.time as usize % env.phases.len()];
+        for l in 0..self.lanes {
+            let m = self.lane_mask[l];
+            if m == 0 {
+                continue;
+            }
+            let mut mm = m;
+            while mm != 0 {
+                self.act_run(&env, phase, l, mm.trailing_zeros() as usize);
+                mm &= mm - 1;
+            }
+            self.exchange_lane(&env, l, m);
+        }
+        self.time += 1;
+    }
+
+    /// Retires every live run whose agents are all informed, recording
+    /// `t_comm = time`. Clearing the run's `active` bit is the whole
+    /// retirement — no state moves, outcome slots stay put.
+    fn retire_solved(&mut self, metrics: bool, debug: bool, retired: &mut u64) {
+        let mut changed = false;
+        for l in 0..self.lanes {
+            let mut mm = self.active[l];
+            while mm != 0 {
+                let j = mm.trailing_zeros() as usize;
+                mm &= mm - 1;
+                let r = l * 64 + j;
+                if self.informed[r] as usize == self.k {
+                    let outcome = RunOutcome {
+                        t_comm: Some(self.time),
+                        informed: self.k,
+                        agents: self.k,
+                        steps: self.time,
+                    };
+                    self.outcomes[r] = Some(outcome);
+                    self.active[l] &= !(1u64 << j);
+                    *retired += 1;
+                    changed = true;
+                    if metrics {
+                        self.record_run(outcome, r, debug);
+                    }
+                }
+            }
+        }
+        if changed && metrics {
+            let live: u64 = self.active.iter().map(|m| u64::from(m.count_ones())).sum();
+            a2a_obs::global().gauge("kernel.sliced.in_flight").set(live as i64);
+        }
+    }
+
+    /// Feeds one retired run's numbers into the global registry — the
+    /// same series [`FastWorld::run`](crate::FastWorld::run) records,
+    /// so downstream consumers are engine-agnostic — and, at `Debug`,
+    /// emits the `kernel.run` summary with `engine: "sliced"`.
+    fn record_run(&self, outcome: RunOutcome, r: usize, debug: bool) {
+        let reg = a2a_obs::global();
+        let conflicts = self.conflicts[r];
+        reg.counter("kernel.runs").incr();
+        reg.counter("kernel.steps").add(u64::from(outcome.steps));
+        reg.counter("kernel.conflicts").add(conflicts);
+        reg.histogram("kernel.run.conflicts").record(conflicts);
+        match outcome.t_comm {
+            Some(t) => reg.histogram("kernel.t_comm").record(u64::from(t)),
+            None => reg.counter("kernel.unsuccessful").incr(),
+        }
+        if debug {
+            a2a_obs::event!(a2a_obs::Level::Debug, "kernel.run",
+                "engine" => "sliced",
+                "grid" => self.env.kind.to_string(),
+                "k" => outcome.agents,
+                "steps" => outcome.steps,
+                "t_comm" => outcome.t_comm.map_or(-1i64, i64::from),
+                "informed" => outcome.informed,
+                "conflicts" => conflicts);
+        }
+    }
+
+    /// One run's act phase on the bit-sliced planes —
+    /// [`FastWorld`](crate::FastWorld)'s table-driven perception,
+    /// arbitration, colour writes and moves, decision for decision.
+    /// Arbitration is first-claimant-wins on the run's bit of the
+    /// `claimed` plane, with agents visited in ID-priority order
+    /// (ascending for [`ConflictPolicy::LowestId`], descending for
+    /// `HighestId`), which selects exactly the single-run kernel's
+    /// min/max-ID winner; losers re-perceive with `blocked = 1`
+    /// immediately (colours are untouched until the apply pass, so the
+    /// re-perception still reads the pre-step field).
+    fn act_run(&mut self, env: &KernelEnv, phase: &[crate::kernel::CompiledEntry], l: usize, j: usize) {
+        let k = self.k;
+        let lanes = self.lanes;
+        let n_states = usize::from(env.n_states);
+        let n_colors = usize::from(env.n_colors);
+        let n_dirs = env.n_dirs;
+        let n_cells = env.lattice.len();
+        let plane_stride = n_cells * lanes;
+        let n_planes = env.n_color_planes;
+        let r = l * 64 + j;
+        let bit = 1u64 << j;
+        let base = r * k;
+        let f0 = r * n_cells;
+
+        let pos = &mut self.pos[base..base + k];
+        let dir = &mut self.dir[base..base + k];
+        let state = &mut self.state[base..base + k];
+        let own_color = &mut self.own_color[base..base + k];
+        let occ = &mut self.occ[f0..f0 + n_cells];
+        let solid = &mut self.solid;
+        let claimed = &mut self.claimed;
+        let planes = &mut self.color_planes;
+        let decisions = &mut self.decisions;
+        let requests = &mut self.requests;
+        let conflicts = &mut self.conflicts[r];
+        requests.clear();
+
+        // Perceive the pre-step configuration in ID-priority order and
+        // arbitrate while scanning: the first claimant of a cell is the
+        // winner the two-round engines would pick.
+        let ascending = matches!(env.conflict, ConflictPolicy::LowestId);
+        for n in 0..k {
+            let i = if ascending { n } else { k - 1 - n };
+            let here = pos[i] as usize;
+            let front = env.fwd[here * n_dirs + usize::from(dir[i])];
+            let hard_blocked = front == NONE || solid[front as usize * lanes + l] & bit != 0;
+            let color = own_color[i];
+            let front_color = if front == NONE {
+                0
+            } else {
+                read_plane_color(planes, plane_stride, front as usize * lanes + l, n_planes, bit)
+            };
+            let x = usize::from(hard_blocked)
+                + 2 * (usize::from(color) + n_colors * usize::from(front_color));
+            let mut e = x * n_states + usize::from(state[i]);
+            let mut target = NONE;
+            if !hard_blocked && phase[e].mv {
+                let w = &mut claimed[front as usize * lanes + l];
+                if *w & bit == 0 {
+                    *w |= bit;
+                    requests.push(front);
+                    target = front;
+                } else {
+                    // Lost the arbitration: re-perceive with
+                    // blocked = 1 and stay put.
+                    *conflicts += 1;
+                    let x = 1 + 2 * (usize::from(color) + n_colors * usize::from(front_color));
+                    e = x * n_states + usize::from(state[i]);
+                }
+            }
+            decisions[i] = (e as u32, target);
+        }
+        for &cell in requests.iter() {
+            claimed[cell as usize * lanes + l] &= !bit;
+        }
+
+        // Apply: colour writes, state/direction updates, moves. Move
+        // targets are distinct pre-step-free cells, so nothing aliases
+        // within the run; other runs live on other bits of the shared
+        // words, untouched by the masked updates.
+        let nd = n_dirs as u8;
+        for i in 0..k {
+            let (e, target) = decisions[i];
+            let entry = phase[e as usize];
+            let here = pos[i] as usize;
+            state[i] = entry.next_state;
+            // `delta < n_dirs`, so one conditional subtract replaces
+            // the hardware division of a `%` reduction.
+            let d = dir[i] + entry.delta;
+            dir[i] = if d >= nd { d - nd } else { d };
+            // `own_color[i]` is still the pre-step colour of `here`, so
+            // an unchanged colour needs no plane read-modify-write.
+            if entry.set_color != own_color[i] {
+                write_plane_color(planes, plane_stride, here * lanes + l, n_planes, bit, entry.set_color);
+            }
+            if target == NONE {
+                own_color[i] = entry.set_color;
+            } else {
+                let t = target as usize;
+                // The target keeps its own colour; it was free at step
+                // start, so no agent writes it this step.
+                own_color[i] = read_plane_color(planes, plane_stride, t * lanes + l, n_planes, bit);
+                solid[here * lanes + l] &= !bit;
+                solid[t * lanes + l] |= bit;
+                occ[here] = NO_AGENT;
+                occ[t] = i as u16;
+                pos[i] = target;
+            }
+        }
+    }
+
+    /// One lane's exchange: an adjacency sweep over the runs in `m`
+    /// builds per-pair run masks, then every pair's infoset merge is a
+    /// masked word-wise OR serving all 64 runs at once, streamed in
+    /// [`TILE_WORDS`] tiles over the token axis. Completion is a
+    /// word-parallel AND over each agent's token words with early
+    /// exit. Vectors are monotone, so completed (run, agent) pairs
+    /// need no freezing — their all-ones words absorb further ORs.
+    fn exchange_lane(&mut self, env: &KernelEnv, l: usize, m: u64) {
+        let k = self.k;
+        if k == 0 || m == 0 {
+            return;
+        }
+        let n_cells = env.lattice.len();
+        let n_dirs = env.n_dirs;
+        let blk = l * k * k;
+        // Snapshot the lane block: merges read sources from here so the
+        // exchange stays a single round (no transitive propagation
+        // within one step), while destinations update in place — no
+        // copy-back pass.
+        self.info_next[blk..blk + k * k].copy_from_slice(&self.info[blk..blk + k * k]);
+
+        // Adjacency: which agent pairs see each other, in which runs.
+        // `touched` packs (i, o) as i<<16|o so the merge loop needs no
+        // divisions to unpack pair indices.
+        let adj = &mut self.adj;
+        let touched = &mut self.touched;
+        let mut mm = m;
+        while mm != 0 {
+            let j = mm.trailing_zeros() as usize;
+            mm &= mm - 1;
+            let bit = 1u64 << j;
+            let r = l * 64 + j;
+            let base = r * k;
+            let f0 = r * n_cells;
+            for i in 0..k {
+                // A complete agent has nothing left to gather: its
+                // merge would be masked to zero anyway, so skip the
+                // neighbourhood scan (it still serves as a *source*
+                // through its neighbours' own scans).
+                if self.complete[l * k + i] & bit != 0 {
+                    continue;
+                }
+                let here = self.pos[base + i] as usize;
+                for &nc in &env.fwd[here * n_dirs..here * n_dirs + n_dirs] {
+                    if nc == NONE {
+                        continue;
+                    }
+                    let o = self.occ[f0 + nc as usize];
+                    if o != NO_AGENT && usize::from(o) != i {
+                        let pair = i * k + usize::from(o);
+                        if adj[pair] == 0 {
+                            touched.push(((i as u32) << 16) | o as u32);
+                        }
+                        adj[pair] |= bit;
+                    }
+                }
+            }
+        }
+
+        // Merge: one masked OR per (pair, token word) covers the whole
+        // lane. Runs whose destination agent is already complete are
+        // masked out (their token words are all ones — the OR cannot
+        // add anything), which retires whole pairs as a run converges;
+        // zero source words skip the destination write entirely, which
+        // is most words while infosets are still sparse. Tiling the
+        // token axis keeps wide vectors (k > 64) streaming through L1
+        // instead of thrashing whole rows.
+        let mut b0 = 0;
+        while b0 < k {
+            let b1 = (b0 + TILE_WORDS).min(k);
+            for &pair in touched.iter() {
+                let (i, o) = ((pair >> 16) as usize, (pair & 0xFFFF) as usize);
+                let mask = adj[i * k + o] & !self.complete[l * k + i];
+                if mask == 0 {
+                    continue;
+                }
+                let dst = blk + i * k;
+                let src = blk + o * k;
+                for b in b0..b1 {
+                    let s = self.info_next[src + b] & mask;
+                    if s != 0 {
+                        self.info[dst + b] |= s;
+                    }
+                }
+            }
+            b0 = b1;
+        }
+        for &pair in touched.iter() {
+            adj[((pair >> 16) as usize) * k + (pair & 0xFFFF) as usize] = 0;
+        }
+        touched.clear();
+
+        // Completion: the AND over an agent's token words leaves
+        // exactly the runs whose vector is full; early exit kills the
+        // scan as soon as no candidate run survives.
+        for i in 0..k {
+            let mut all = m & !self.complete[l * k + i];
+            if all == 0 {
+                continue;
+            }
+            for &w in &self.info[blk + i * k..blk + i * k + k] {
+                all &= w;
+                if all == 0 {
+                    break;
+                }
+            }
+            if all != 0 {
+                self.complete[l * k + i] |= all;
+                let mut nn = all;
+                while nn != 0 {
+                    self.informed[l * 64 + nn.trailing_zeros() as usize] += 1;
+                    nn &= nn - 1;
+                }
+            }
+        }
+    }
+
+    /// Loaded configurations (including retired ones).
+    #[must_use]
+    pub fn run_count(&self) -> usize {
+        self.runs
+    }
+
+    /// Global lockstep steps executed so far.
+    #[must_use]
+    pub fn time(&self) -> u32 {
+        self.time
+    }
+
+    /// Agents in run `r` (uniform across the batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.run_count()` (here and in every per-run
+    /// accessor below).
+    #[must_use]
+    pub fn agent_count(&self, r: usize) -> usize {
+        assert!(r < self.runs, "run {r} out of range for {} runs", self.runs);
+        self.k
+    }
+
+    /// Informed agents in run `r`.
+    #[must_use]
+    pub fn informed_count(&self, r: usize) -> usize {
+        self.informed[r] as usize
+    }
+
+    /// Movement conflicts lost so far in run `r`.
+    #[must_use]
+    pub fn conflict_losses(&self, r: usize) -> u64 {
+        self.conflicts[r]
+    }
+
+    /// Run `r`'s agent positions in ID order.
+    #[must_use]
+    pub fn positions(&self, r: usize) -> Vec<Pos> {
+        assert!(r < self.runs, "run {r} out of range for {} runs", self.runs);
+        self.pos[r * self.k..(r + 1) * self.k]
+            .iter()
+            .map(|&c| self.env.lattice.pos_at(c as usize))
+            .collect()
+    }
+
+    /// Run `r`'s agent directions in ID order.
+    #[must_use]
+    pub fn dirs(&self, r: usize) -> Vec<Dir> {
+        assert!(r < self.runs, "run {r} out of range for {} runs", self.runs);
+        self.dir[r * self.k..(r + 1) * self.k].iter().map(|&d| Dir::new(d)).collect()
+    }
+
+    /// Run `r`'s agent control states in ID order.
+    #[must_use]
+    pub fn states(&self, r: usize) -> Vec<u8> {
+        assert!(r < self.runs, "run {r} out of range for {} runs", self.runs);
+        self.state[r * self.k..(r + 1) * self.k].to_vec()
+    }
+
+    /// Run `r`'s row-major cell colours, gathered from the bit-sliced
+    /// planes.
+    #[must_use]
+    pub fn colors(&self, r: usize) -> Vec<u8> {
+        assert!(r < self.runs, "run {r} out of range for {} runs", self.runs);
+        let n_cells = self.env.lattice.len();
+        let (l, bit) = (r / 64, 1u64 << (r % 64));
+        (0..n_cells)
+            .map(|c| {
+                read_plane_color(
+                    &self.color_planes,
+                    n_cells * self.lanes,
+                    c * self.lanes + l,
+                    self.env.n_color_planes,
+                    bit,
+                )
+            })
+            .collect()
+    }
+
+    /// Agent `i` of run `r`'s communication vector as an [`InfoSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `i` is out of range.
+    #[must_use]
+    pub fn agent_info(&self, r: usize, i: usize) -> InfoSet {
+        assert!(r < self.runs, "run {r} out of range for {} runs", self.runs);
+        assert!(i < self.k, "agent {i} out of range for {} agents in run {r}", self.k);
+        let (l, bit) = (r / 64, 1u64 << (r % 64));
+        let base = (l * self.k + i) * self.k;
+        let mut set = InfoSet::empty(self.k);
+        for o in 0..self.k {
+            if self.info[base + o] & bit != 0 {
+                set.insert(o);
+            }
+        }
+        set
+    }
+}
+
+/// Gathers one run's colour at a cell from the bit-sliced planes:
+/// `planes[p * plane_stride + cw]`, the run selected by `bit`.
+fn read_plane_color(planes: &[u64], plane_stride: usize, cw: usize, n_planes: u32, bit: u64) -> u8 {
+    let mut color = 0u8;
+    for p in 0..n_planes as usize {
+        if planes[p * plane_stride + cw] & bit != 0 {
+            color |= 1 << p;
+        }
+    }
+    color
+}
+
+/// Writes one run's colour at a cell into the bit-sliced planes — a
+/// masked read-modify-write per plane, other runs' bits untouched.
+fn write_plane_color(
+    planes: &mut [u64],
+    plane_stride: usize,
+    cw: usize,
+    n_planes: u32,
+    bit: u64,
+    color: u8,
+) {
+    for p in 0..n_planes as usize {
+        let w = &mut planes[p * plane_stride + cw];
+        if (color >> p) & 1 == 1 {
+            *w |= bit;
+        } else {
+            *w &= !bit;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchRunner;
+    use a2a_fsm::{best_s_agent, best_t_agent};
+    use a2a_grid::GridKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn cfg(kind: GridKind) -> WorldConfig {
+        WorldConfig::paper(kind, 16)
+    }
+
+    fn random_batch(config: &WorldConfig, k: usize, runs: usize, seed: u64) -> Vec<InitialConfig> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..runs)
+            .map(|_| {
+                InitialConfig::random(config.lattice, config.kind, k, &[], &mut rng).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_match_single_run_kernel_exactly() {
+        for (kind, genome) in
+            [(GridKind::Square, best_s_agent()), (GridKind::Triangulate, best_t_agent())]
+        {
+            let config = cfg(kind);
+            // 70 runs span two lanes with a partial second lane (6 of
+            // 64 bits valid), exercising the lane masks.
+            let inits = random_batch(&config, 16, 70, 7);
+            let runner = BatchRunner::from_genome(&config, genome.clone(), 300).unwrap();
+            let expected: Vec<RunOutcome> =
+                inits.iter().map(|i| runner.outcome_for(i).unwrap()).collect();
+            let mut sliced = SlicedWorld::new(&config, genome).unwrap();
+            sliced.load(&inits).unwrap();
+            assert_eq!(sliced.run(300), expected, "{kind}");
+        }
+    }
+
+    #[test]
+    fn wide_infosets_match_single_run_kernel() {
+        // k = 70 token words per agent: the tiled merge runs over more
+        // than one [`TILE_WORDS`]-free span and the completion AND
+        // covers 70 words.
+        let config = cfg(GridKind::Triangulate);
+        let inits = random_batch(&config, 70, 12, 9);
+        let runner = BatchRunner::from_genome(&config, best_t_agent(), 300).unwrap();
+        let expected: Vec<RunOutcome> =
+            inits.iter().map(|i| runner.outcome_for(i).unwrap()).collect();
+        let mut sliced = SlicedWorld::new(&config, best_t_agent()).unwrap();
+        sliced.load(&inits).unwrap();
+        assert_eq!(sliced.run(300), expected);
+    }
+
+    #[test]
+    fn lockstep_step_matches_fast_world_per_run() {
+        let config = cfg(GridKind::Triangulate);
+        let inits = random_batch(&config, 12, 70, 11);
+        let mut fasts: Vec<crate::FastWorld> = inits
+            .iter()
+            .map(|i| crate::FastWorld::new(&config, best_t_agent(), i).unwrap())
+            .collect();
+        let mut sliced = SlicedWorld::new(&config, best_t_agent()).unwrap();
+        sliced.load(&inits).unwrap();
+        for t in 0..30 {
+            for (r, fast) in fasts.iter().enumerate() {
+                assert_eq!(sliced.positions(r), fast.positions(), "run {r} t={t}");
+                assert_eq!(sliced.dirs(r), fast.dirs(), "run {r} t={t}");
+                assert_eq!(sliced.states(r), fast.states(), "run {r} t={t}");
+                assert_eq!(sliced.colors(r), fast.colors(), "run {r} t={t}");
+                assert_eq!(sliced.informed_count(r), fast.informed_count(), "run {r} t={t}");
+                assert_eq!(sliced.conflict_losses(r), fast.conflict_losses(), "run {r} t={t}");
+                for i in 0..fast.agent_count() {
+                    assert_eq!(sliced.agent_info(r, i), fast.agent_info(i), "run {r} t={t}");
+                }
+            }
+            sliced.step();
+            for fast in &mut fasts {
+                fast.step();
+            }
+        }
+    }
+
+    #[test]
+    fn reload_reuses_buffers_and_matches_fresh() {
+        let config = cfg(GridKind::Triangulate);
+        let mut sliced = SlicedWorld::new(&config, best_t_agent()).unwrap();
+        sliced.load(&random_batch(&config, 16, 70, 1)).unwrap();
+        let _ = sliced.run(200);
+        for seed in 2..6 {
+            let inits = random_batch(&config, 16, 70, seed);
+            sliced.load(&inits).unwrap();
+            let got = sliced.run(200);
+            let mut fresh = SlicedWorld::new(&config, best_t_agent()).unwrap();
+            fresh.load(&inits).unwrap();
+            assert_eq!(got, fresh.run(200), "seed {seed}");
+        }
+        // The zero-allocation guarantee of reuse is asserted in
+        // crates/sim/tests/allocation_sliced.rs — the process-global
+        // counter cannot be compared exactly here, where tests run
+        // concurrently.
+    }
+
+    #[test]
+    fn load_replicates_serial_error_order() {
+        let config = cfg(GridKind::Square);
+        let good = InitialConfig::new(vec![(Pos::new(1, 1), Dir::new(0))]);
+        let dup = InitialConfig::new(vec![
+            (Pos::new(2, 2), Dir::new(0)),
+            (Pos::new(2, 2), Dir::new(1)),
+        ]);
+        let outside = InitialConfig::new(vec![(Pos::new(99, 0), Dir::new(0))]);
+        let mut sliced = SlicedWorld::new(&config, best_s_agent()).unwrap();
+        // First failing configuration wins, later ones are not reached
+        // (the duplicate in run 1 fires before its agent-count check).
+        assert!(matches!(
+            sliced.load(&[good.clone(), dup.clone(), outside.clone()]),
+            Err(SimError::DuplicatePosition(_))
+        ));
+        assert!(matches!(sliced.load(&[outside, dup]), Err(SimError::OutsideField(_))));
+        // An empty batch loads fine (and holds zero runs).
+        sliced.load(&[]).unwrap();
+        assert_eq!(sliced.run_count(), 0);
+        assert!(matches!(
+            sliced.load(&[InitialConfig::new(Vec::new())]),
+            Err(SimError::NoAgents)
+        ));
+        // A failed load leaves the world reloadable.
+        sliced.load(std::slice::from_ref(&good)).unwrap();
+        assert_eq!(sliced.run(50)[0].t_comm, Some(0));
+    }
+
+    #[test]
+    fn ragged_batches_are_rejected() {
+        let config = cfg(GridKind::Square);
+        let one = InitialConfig::new(vec![(Pos::new(1, 1), Dir::new(0))]);
+        let two = InitialConfig::new(vec![
+            (Pos::new(2, 2), Dir::new(0)),
+            (Pos::new(3, 3), Dir::new(1)),
+        ]);
+        let mut sliced = SlicedWorld::new(&config, best_s_agent()).unwrap();
+        assert!(matches!(sliced.load(&[one, two]), Err(SimError::SpecMismatch(_))));
+    }
+
+    #[test]
+    fn obstacle_placement_rejected_per_run() {
+        let mut config = cfg(GridKind::Square);
+        config.obstacles = vec![Pos::new(3, 3)];
+        let on_obstacle = InitialConfig::new(vec![(Pos::new(3, 3), Dir::new(0))]);
+        let good = InitialConfig::new(vec![(Pos::new(1, 1), Dir::new(0))]);
+        let mut sliced = SlicedWorld::new(&config, best_s_agent()).unwrap();
+        assert!(matches!(
+            sliced.load(&[good, on_obstacle]),
+            Err(SimError::OnObstacle(_))
+        ));
+    }
+
+    #[test]
+    fn preferred_sliced_chunk_is_whole_lanes_and_shrinks_with_footprint() {
+        let small = cfg(GridKind::Triangulate);
+        let env =
+            Arc::new(KernelEnv::new(&small, &Behaviour::Single(best_t_agent())).unwrap());
+        let c16 = preferred_sliced_chunk(&env, 16);
+        assert_eq!(c16 % 64, 0, "chunks are whole lanes");
+        assert!((64..=1024).contains(&c16));
+        assert!(preferred_sliced_chunk(&env, 500) <= c16);
+        assert!(preferred_sliced_chunk(&env, 0) >= 64);
+    }
+}

@@ -1,0 +1,42 @@
+//! Steady-state allocation accounting for the bit-sliced kernel.
+//!
+//! `SlicedWorld::allocation_count()` is a process-global counter of
+//! buffer-allocating constructions and grows, so this file holds exactly
+//! one test (same discipline as `allocation.rs` and
+//! `allocation_multi.rs`): a sibling test constructing sliced worlds
+//! concurrently would move the counter and turn the assertion into
+//! noise.
+
+use a2a_fsm::best_agent;
+use a2a_grid::GridKind;
+use a2a_sim::{BatchRunner, InitialConfig, SlicedWorld, WorldConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn steady_state_sliced_batches_perform_no_world_allocation() {
+    for kind in [GridKind::Square, GridKind::Triangulate] {
+        let cfg = WorldConfig::paper(kind, 16);
+        let runner = BatchRunner::from_genome(&cfg, best_agent(kind), 200).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2013);
+        // 70 uniform configurations: over the routing threshold, with a
+        // partial last lane so the lane masks are exercised too.
+        let configs: Vec<InitialConfig> = (0..70)
+            .map(|_| InitialConfig::random(cfg.lattice, kind, 16, &[], &mut rng).unwrap())
+            .collect();
+        assert!(runner.sliced_eligible(&configs), "{kind}: batch must fit the sliced engine");
+
+        // Warm-up: the first batch builds the pooled arena and grows its
+        // buffers to the workload shape.
+        let warm = runner.run_all_sliced(&configs).unwrap();
+        let before = SlicedWorld::allocation_count();
+        for _ in 0..5 {
+            assert_eq!(runner.run_all_sliced(&configs).unwrap(), warm, "{kind}: outcomes drifted");
+        }
+        assert_eq!(
+            SlicedWorld::allocation_count(),
+            before,
+            "{kind}: steady-state batches must not grow any sliced-world buffer"
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Property-based differential tests of the bit-sliced [`SlicedWorld`]
+//! engine: random FSMs × grids × seeds, checked step-for-step against
+//! per-run [`FastWorld`] kernels and for exact `t_comm` agreement
+//! through the batch API.
+//!
+//! The vendored proptest subset has no shrinking, so the harness ships
+//! its own minimal-counterexample reporter: a failing batch is first
+//! pinned to the earliest diverging (run, step, cell), then re-tested
+//! as a single-run batch — if the divergence survives alone, the
+//! report names that one-run scenario (the minimal counterexample);
+//! otherwise it flags the divergence as a cross-run interference bug,
+//! which is the sliced engine's own failure class (runs sharing lane
+//! words must not see each other).
+
+use a2a_fsm::{FsmSpec, Genome};
+use a2a_grid::GridKind;
+use a2a_sim::{BatchRunner, FastWorld, InitialConfig, SlicedWorld, WorldConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// The earliest observed disagreement between the sliced engine and a
+/// per-run reference kernel.
+struct Divergence {
+    run: usize,
+    step: u32,
+    /// Lattice cell index of the disagreement, when the field has one
+    /// (an agent's cell, or the first differing colour cell).
+    cell: Option<usize>,
+    field: &'static str,
+    detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run {} step {} ", self.run, self.step)?;
+        match self.cell {
+            Some(c) => write!(f, "cell {c} ")?,
+            None => write!(f, "(no single cell) ")?,
+        }
+        write!(f, "{}: {}", self.field, self.detail)
+    }
+}
+
+/// One random uniform-k batch scenario, with everything derived from a
+/// single reproducible seed.
+#[derive(Clone)]
+struct Scenario {
+    cfg: WorldConfig,
+    genome: Genome,
+    inits: Vec<InitialConfig>,
+    seed: u64,
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Scenario {{ kind: {}, cells: {}, k: {}, runs: {}, seed: {} }}",
+            self.cfg.kind,
+            self.cfg.lattice.len(),
+            self.inits.first().map_or(0, InitialConfig::agent_count),
+            self.inits.len(),
+            self.seed
+        )
+    }
+}
+
+fn arb_kind() -> impl Strategy<Value = GridKind> {
+    prop_oneof![Just(GridKind::Square), Just(GridKind::Triangulate)]
+}
+
+/// Random FSM × grid × seed × batch shape. Run counts up to 80 cross
+/// the 64-bit lane boundary, so partial last lanes are routine.
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (arb_kind(), 4u16..=8, 1usize..=8, 1usize..=80, any::<u64>()).prop_map(
+        |(kind, m, k, runs, seed)| {
+            let cfg = WorldConfig::paper(kind, m);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let genome = Genome::random(FsmSpec::paper(kind), &mut rng);
+            let k = k.min(cfg.lattice.len());
+            let inits = (0..runs)
+                .map(|_| {
+                    InitialConfig::random(cfg.lattice, kind, k, &[], &mut rng)
+                        .expect("k clamped to the cell count")
+                })
+                .collect();
+            Scenario { cfg, genome, inits, seed }
+        },
+    )
+}
+
+/// Drives the sliced batch and per-run reference kernels in lockstep
+/// for `steps` counted steps, returning the earliest divergence.
+fn first_divergence(s: &Scenario, steps: u32) -> Option<Divergence> {
+    let mut fasts: Vec<FastWorld> = s
+        .inits
+        .iter()
+        .map(|init| FastWorld::new(&s.cfg, s.genome.clone(), init).expect("valid placement"))
+        .collect();
+    let mut sliced = SlicedWorld::new(&s.cfg, s.genome.clone()).expect("valid environment");
+    sliced.load(&s.inits).expect("valid placements");
+    for step in 0..=steps {
+        for (r, fast) in fasts.iter().enumerate() {
+            if let Some(d) = compare_run(&sliced, fast, r, step, &s.cfg) {
+                return Some(d);
+            }
+        }
+        if step < steps {
+            sliced.step();
+            for fast in &mut fasts {
+                fast.step();
+            }
+        }
+    }
+    None
+}
+
+/// Field-by-field comparison of one run against its reference kernel.
+fn compare_run(
+    sliced: &SlicedWorld,
+    fast: &FastWorld,
+    r: usize,
+    step: u32,
+    cfg: &WorldConfig,
+) -> Option<Divergence> {
+    let at = |cell, field, detail| Some(Divergence { run: r, step, cell, field, detail });
+    let positions = fast.positions();
+    let s_positions = sliced.positions(r);
+    for (i, (&want, &got)) in positions.iter().zip(&s_positions).enumerate() {
+        if want != got {
+            let cell = cfg.lattice.index_of(want);
+            return at(Some(cell), "position", format!("agent {i}: {got:?} != {want:?}"));
+        }
+    }
+    for (i, (want, got)) in fast.dirs().iter().zip(sliced.dirs(r)).enumerate() {
+        if *want != got {
+            let cell = cfg.lattice.index_of(positions[i]);
+            return at(Some(cell), "direction", format!("agent {i}: {got:?} != {want:?}"));
+        }
+    }
+    for (i, (want, got)) in fast.states().iter().zip(sliced.states(r)).enumerate() {
+        if *want != got {
+            let cell = cfg.lattice.index_of(positions[i]);
+            return at(Some(cell), "state", format!("agent {i}: {got} != {want}"));
+        }
+    }
+    for (c, (want, got)) in fast.colors().iter().zip(sliced.colors(r)).enumerate() {
+        if *want != got {
+            return at(Some(c), "colour", format!("{got} != {want}"));
+        }
+    }
+    for (i, pos) in positions.iter().enumerate().take(fast.agent_count()) {
+        let want = fast.agent_info(i);
+        let got = sliced.agent_info(r, i);
+        if want != got {
+            let cell = cfg.lattice.index_of(*pos);
+            return at(Some(cell), "infoset", format!("agent {i}: {got:?} != {want:?}"));
+        }
+    }
+    if fast.informed_count() != sliced.informed_count(r) {
+        return at(
+            None,
+            "informed count",
+            format!("{} != {}", sliced.informed_count(r), fast.informed_count()),
+        );
+    }
+    if fast.conflict_losses() != sliced.conflict_losses(r) {
+        return at(
+            None,
+            "conflict losses",
+            format!("{} != {}", sliced.conflict_losses(r), fast.conflict_losses()),
+        );
+    }
+    None
+}
+
+/// The minimal-counterexample report: pins the divergence, then
+/// re-tests the diverging run as a single-run batch to tell a
+/// per-run kernel bug from cross-run lane interference.
+fn minimal_report(s: &Scenario, steps: u32, d: &Divergence) -> String {
+    let solo = Scenario {
+        cfg: s.cfg.clone(),
+        genome: s.genome.clone(),
+        inits: vec![s.inits[d.run].clone()],
+        seed: s.seed,
+    };
+    match first_divergence(&solo, steps) {
+        Some(solo_d) => format!(
+            "sliced engine diverged at {d} in {s:?}; minimal counterexample: the run \
+             alone still diverges at {solo_d} ({solo:?} reduced to run {})",
+            d.run
+        ),
+        None => format!(
+            "sliced engine diverged at {d} in {s:?}; the run passes in isolation, so \
+             this is cross-run lane interference (runs sharing a word must not \
+             affect each other)"
+        ),
+    }
+}
+
+proptest! {
+    /// Per-step state equality: every run of a sliced batch evolves
+    /// bit-identically to its own single-run kernel — positions,
+    /// directions, states, colour field, infosets, informed count and
+    /// conflict tally, after every step including the uncounted t = 0
+    /// exchange.
+    #[test]
+    fn batches_match_per_run_kernels_stepwise(s in arb_scenario(), steps in 1u32..40) {
+        if let Some(d) = first_divergence(&s, steps) {
+            let report = minimal_report(&s, steps, &d);
+            prop_assert!(false, "{}", report);
+        }
+    }
+
+    /// Exact `t_comm` agreement through the public batch API: the
+    /// forced sliced path reports the same outcome vector as running
+    /// each configuration on the single-run kernel.
+    #[test]
+    fn t_comm_agrees_exactly(s in arb_scenario(), t_max in 0u32..150) {
+        let runner = BatchRunner::from_genome(&s.cfg, s.genome.clone(), t_max).unwrap();
+        let singles: Vec<_> =
+            s.inits.iter().map(|i| runner.outcome_for(i).unwrap()).collect();
+        let batched = runner.run_all_sliced(&s.inits).unwrap();
+        for (r, (got, want)) in batched.iter().zip(&singles).enumerate() {
+            prop_assert_eq!(
+                got, want,
+                "run {} of {:?}: sliced outcome {:?} != single-run outcome {:?}",
+                r, &s, got, want
+            );
+        }
+    }
+}

@@ -1,36 +1,51 @@
-//! Differential harness: the bit-packed [`FastWorld`] kernel and the
-//! fused lockstep [`MultiWorld`] kernel against the reference [`World`]
-//! oracle, all three driven in lockstep on randomized scenarios.
+//! Differential harness: all four engines in lockstep — the reference
+//! [`World`] oracle, the bit-packed [`FastWorld`] kernel, the fused
+//! run-major [`MultiWorld`] and the bit-sliced [`SlicedWorld`] — on
+//! randomized scenarios.
 //!
 //! Every scenario steps the engines together and asserts identical
 //! positions, directions, control states, colour fields, infosets,
 //! informed counts and, at the end, the same `t_comm`. The scenario pool
 //! (>200 randomized cases across the two grid families) covers bordered
 //! fields, obstacles, highest-ID arbitration, colour patterns,
-//! time-shuffled behaviours and full-density packings.
+//! time-shuffled behaviours and full-density packings; dedicated batch
+//! cases pin the sliced engine's partial last lane (run counts that are
+//! not multiples of 64) and its mid-batch lane-masked retirement
+//! ordering.
 
 use a2a_fsm::{best_agent, FsmSpec, Genome, TurnSet};
 use a2a_grid::{GridKind, Lattice, Pos};
 use a2a_sim::{
-    Behaviour, ColorInit, ConflictPolicy, FastWorld, InitStatePolicy, InitialConfig, MultiWorld,
-    World, WorldConfig,
+    BatchRunner, Behaviour, ColorInit, ConflictPolicy, FastWorld, InitStatePolicy, InitialConfig,
+    MultiWorld, SlicedWorld, World, WorldConfig,
 };
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
-/// Asserts that all three engines expose byte-identical observable
-/// state. The multi-run engine carries the scenario in run slot 0.
-fn assert_same_state(world: &World, fast: &FastWorld, multi: &MultiWorld, ctx: &str) {
+/// Asserts that all four engines expose byte-identical observable
+/// state. The batch engines carry the scenario in run slot 0.
+fn assert_same_state(
+    world: &World,
+    fast: &FastWorld,
+    multi: &MultiWorld,
+    sliced: &SlicedWorld,
+    ctx: &str,
+) {
     assert_eq!(world.time(), fast.time(), "{ctx}: time diverged");
     assert_eq!(world.time(), multi.time(), "{ctx}: multi time diverged");
+    assert_eq!(world.time(), sliced.time(), "{ctx}: sliced time diverged");
     let positions = fast.positions();
     let dirs = fast.dirs();
     let states = fast.states();
     let m_positions = multi.positions(0);
     let m_dirs = multi.dirs(0);
     let m_states = multi.states(0);
+    let s_positions = sliced.positions(0);
+    let s_dirs = sliced.dirs(0);
+    let s_states = sliced.states(0);
     assert_eq!(world.agents().len(), fast.agent_count(), "{ctx}: agent count");
     assert_eq!(world.agents().len(), multi.agent_count(0), "{ctx}: multi agent count");
+    assert_eq!(world.agents().len(), sliced.agent_count(0), "{ctx}: sliced agent count");
     for (i, agent) in world.agents().iter().enumerate() {
         assert_eq!(agent.pos(), positions[i], "{ctx}: agent {i} position");
         assert_eq!(agent.dir(), dirs[i], "{ctx}: agent {i} direction");
@@ -40,17 +55,25 @@ fn assert_same_state(world: &World, fast: &FastWorld, multi: &MultiWorld, ctx: &
         assert_eq!(agent.dir(), m_dirs[i], "{ctx}: agent {i} multi direction");
         assert_eq!(agent.state(), m_states[i], "{ctx}: agent {i} multi state");
         assert_eq!(*agent.info(), multi.agent_info(0, i), "{ctx}: agent {i} multi infoset");
+        assert_eq!(agent.pos(), s_positions[i], "{ctx}: agent {i} sliced position");
+        assert_eq!(agent.dir(), s_dirs[i], "{ctx}: agent {i} sliced direction");
+        assert_eq!(agent.state(), s_states[i], "{ctx}: agent {i} sliced state");
+        assert_eq!(*agent.info(), sliced.agent_info(0, i), "{ctx}: agent {i} sliced infoset");
     }
     assert_eq!(world.colors(), &fast.colors()[..], "{ctx}: colour field");
     assert_eq!(world.colors(), &multi.colors(0)[..], "{ctx}: multi colour field");
+    assert_eq!(world.colors(), &sliced.colors(0)[..], "{ctx}: sliced colour field");
     assert_eq!(world.informed_count(), fast.informed_count(), "{ctx}: informed count");
     assert_eq!(world.informed_count(), multi.informed_count(0), "{ctx}: multi informed count");
+    assert_eq!(world.informed_count(), sliced.informed_count(0), "{ctx}: sliced informed count");
     assert_eq!(world.all_informed(), fast.all_informed(), "{ctx}: completion flag");
     let m_done = multi.informed_count(0) == multi.agent_count(0);
     assert_eq!(world.all_informed(), m_done, "{ctx}: multi completion flag");
+    let s_done = sliced.informed_count(0) == sliced.agent_count(0);
+    assert_eq!(world.all_informed(), s_done, "{ctx}: sliced completion flag");
 }
 
-/// Runs all three engines in lockstep for up to `t_max` counted steps,
+/// Runs all four engines in lockstep for up to `t_max` counted steps,
 /// comparing the full state after every step and the resulting `t_comm`.
 fn lockstep(cfg: &WorldConfig, behaviour: &Behaviour, init: &InitialConfig, t_max: u32, ctx: &str) {
     let mut world = World::with_behaviour(cfg, behaviour.clone(), init)
@@ -62,15 +85,22 @@ fn lockstep(cfg: &WorldConfig, behaviour: &Behaviour, init: &InitialConfig, t_ma
     multi
         .load(std::slice::from_ref(init))
         .unwrap_or_else(|e| panic!("{ctx}: multi kernel rejected placement: {e}"));
-    assert_same_state(&world, &fast, &multi, &format!("{ctx} @t=0"));
+    let mut sliced = SlicedWorld::with_behaviour(cfg, behaviour.clone())
+        .unwrap_or_else(|e| panic!("{ctx}: sliced kernel rejected scenario: {e}"));
+    sliced
+        .load(std::slice::from_ref(init))
+        .unwrap_or_else(|e| panic!("{ctx}: sliced kernel rejected placement: {e}"));
+    assert_same_state(&world, &fast, &multi, &sliced, &format!("{ctx} @t=0"));
     let mut t_slow = world.all_informed().then_some(0u32);
     let mut t_fast = fast.all_informed().then_some(0u32);
     let mut t_multi = (multi.informed_count(0) == multi.agent_count(0)).then_some(0u32);
+    let mut t_sliced = (sliced.informed_count(0) == sliced.agent_count(0)).then_some(0u32);
     for t in 1..=t_max {
         world.step();
         fast.step();
         multi.step();
-        assert_same_state(&world, &fast, &multi, &format!("{ctx} @t={t}"));
+        sliced.step();
+        assert_same_state(&world, &fast, &multi, &sliced, &format!("{ctx} @t={t}"));
         if t_slow.is_none() && world.all_informed() {
             t_slow = Some(t);
         }
@@ -80,12 +110,16 @@ fn lockstep(cfg: &WorldConfig, behaviour: &Behaviour, init: &InitialConfig, t_ma
         if t_multi.is_none() && multi.informed_count(0) == multi.agent_count(0) {
             t_multi = Some(t);
         }
-        if t_slow.is_some() && t_fast.is_some() && t_multi.is_some() {
+        if t_sliced.is_none() && sliced.informed_count(0) == sliced.agent_count(0) {
+            t_sliced = Some(t);
+        }
+        if t_slow.is_some() && t_fast.is_some() && t_multi.is_some() && t_sliced.is_some() {
             break;
         }
     }
     assert_eq!(t_slow, t_fast, "{ctx}: t_comm diverged");
     assert_eq!(t_slow, t_multi, "{ctx}: multi t_comm diverged");
+    assert_eq!(t_slow, t_sliced, "{ctx}: sliced t_comm diverged");
 }
 
 /// One fully randomized scenario: lattice shape and edge rule, policies,
@@ -217,4 +251,47 @@ fn degenerate_fields_match() {
             }
         }
     }
+}
+
+#[test]
+fn partial_lane_batches_match_per_config_outcomes() {
+    // Run counts straddling the 64-run lane width: a lone run, a lane
+    // one short, exactly one lane, one over, and a two-lane batch with
+    // a partial second lane. Every shape must report the same outcomes
+    // through the forced sliced path, the forced run-major path and the
+    // per-configuration kernel.
+    let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+    let runner = BatchRunner::from_genome(&cfg, best_agent(cfg.kind), 300).unwrap();
+    let mut rng = SmallRng::seed_from_u64(64_001);
+    for runs in [1usize, 63, 64, 65, 130] {
+        let inits: Vec<InitialConfig> = (0..runs)
+            .map(|_| InitialConfig::random(cfg.lattice, cfg.kind, 16, &[], &mut rng).unwrap())
+            .collect();
+        let singles: Vec<_> = inits.iter().map(|i| runner.outcome_for(i).unwrap()).collect();
+        assert_eq!(runner.run_all_sliced(&inits).unwrap(), singles, "sliced, {runs} runs");
+        assert_eq!(runner.run_all_multi(&inits).unwrap(), singles, "multi, {runs} runs");
+        assert_eq!(runner.run_all(&inits).unwrap(), singles, "routed, {runs} runs");
+    }
+}
+
+#[test]
+fn mid_batch_retirement_preserves_outcome_order() {
+    // Random placements finish at scattered times, so lane bits retire
+    // out of slot order while later runs keep stepping. Outcome slots
+    // must stay aligned with load order in both batch engines, and the
+    // batch must actually exercise staggered retirement (many distinct
+    // communication times) rather than one synchronized finish.
+    let cfg = WorldConfig::paper(GridKind::Square, 16);
+    let runner = BatchRunner::from_genome(&cfg, best_agent(cfg.kind), 2_000).unwrap();
+    let mut rng = SmallRng::seed_from_u64(64_002);
+    let inits: Vec<InitialConfig> = (0..96)
+        .map(|_| InitialConfig::random(cfg.lattice, cfg.kind, 8, &[], &mut rng).unwrap())
+        .collect();
+    let singles: Vec<_> = inits.iter().map(|i| runner.outcome_for(i).unwrap()).collect();
+    let mut times: Vec<_> = singles.iter().map(|o| o.t_comm).collect();
+    times.sort_unstable();
+    times.dedup();
+    assert!(times.len() > 10, "scenario pool no longer staggers retirements");
+    assert_eq!(runner.run_all_sliced(&inits).unwrap(), singles, "sliced retirement order");
+    assert_eq!(runner.run_all_multi(&inits).unwrap(), singles, "multi retirement order");
 }
