@@ -63,6 +63,55 @@ fn bench_event_macro(c: &mut Criterion) {
     group.finish();
 }
 
+/// Flight-recorder cost, both sides of the gate: `flight::record` with
+/// the recorder disabled must stay branch-free-cheap (the acceptance
+/// bound is ≤ 1 ns/event — one relaxed load and a predictable branch),
+/// and the enabled path must stay in the tens of nanoseconds (interning
+/// lookup + four relaxed stores + one release store into the ring).
+fn bench_flight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_flight");
+
+    a2a_obs::flight::disable();
+    group.bench_function("record_disabled", |b| {
+        b.iter(|| {
+            a2a_obs::flight::record(
+                a2a_obs::flight::Kind::Event,
+                "bench.flight",
+                black_box(1),
+                black_box(2),
+            );
+        });
+    });
+
+    a2a_obs::flight::set_capacity(1024);
+    a2a_obs::flight::enable();
+    group.bench_function("record_enabled", |b| {
+        b.iter(|| {
+            a2a_obs::flight::record(
+                a2a_obs::flight::Kind::Event,
+                "bench.flight",
+                black_box(1),
+                black_box(2),
+            );
+        });
+    });
+    a2a_obs::flight::disable();
+
+    // The `event!` macro with the level off but the flight recorder on:
+    // events keep flowing into the black box with no sink attached.
+    a2a_obs::set_level(Level::Off);
+    a2a_obs::flight::enable();
+    group.bench_function("event_macro_flight_only", |b| {
+        b.iter(|| {
+            a2a_obs::event!(Level::Info, "bench.noop",
+                "i" => black_box(42u64), "label" => "payload");
+        });
+    });
+    a2a_obs::flight::disable();
+
+    group.finish();
+}
+
 fn bench_registry(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_registry");
     a2a_obs::set_metrics(true);
@@ -112,6 +161,7 @@ fn bench_instrumented_fitness(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_macro,
+    bench_flight,
     bench_registry,
     bench_instrumented_fitness
 );

@@ -30,8 +30,8 @@ use a2a_ga::{Evaluator, GaConfig};
 use a2a_grid::GridKind;
 use a2a_run::{run_evolution, CheckpointStore, RunOptions};
 use a2a_obs::schema::{
-    validate_bench_snapshot, validate_fitness_snapshot, validate_kernel_snapshot,
-    BENCH_SNAPSHOT_SCHEMA, REQUIRED_T_COMM_KS,
+    validate_bench_snapshot, validate_fitness_snapshot, validate_history_line,
+    validate_kernel_snapshot, BENCH_HISTORY_SCHEMA, BENCH_SNAPSHOT_SCHEMA, REQUIRED_T_COMM_KS,
 };
 use a2a_obs::json::Json;
 use a2a_obs::HistogramSnapshot;
@@ -48,6 +48,61 @@ const FITNESS_PATH: &str = "BENCH_fitness.json";
 
 /// Output path of the single-run vs multi-run kernel snapshot.
 const KERNEL_PATH: &str = "BENCH_kernel.json";
+
+/// Append-only trend file the perf observatory (`obs_report`) plots:
+/// one sealed `a2a-obs/bench-history/v1` line per suite run.
+const HISTORY_PATH: &str = "results/bench_history.jsonl";
+
+/// Appends one sealed trend point distilled from the three snapshots to
+/// [`HISTORY_PATH`]. Each line is self-validated before it is written;
+/// append is a single `write_all` of one `\n`-terminated line, so a
+/// concurrent reader sees at worst one torn *final* line — exactly what
+/// `validate_history` tolerates.
+fn append_history_line(
+    scale: &RunScale,
+    snapshot: &Json,
+    fitness: &Json,
+    kernel: &Json,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let num = |doc: &Json, path: &[&str]| {
+        path.iter().try_fold(doc, |d, k| d.get(k)).and_then(Json::as_f64).unwrap_or(f64::NAN)
+    };
+    let t_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0);
+    let line = a2a_obs::schema::seal(
+        Json::object()
+            .with("schema", BENCH_HISTORY_SCHEMA)
+            .with("t_ms", t_ms)
+            .with(
+                "run",
+                Json::object().with("configs", scale.configs as u64).with("seed", scale.seed),
+            )
+            .with(
+                "kernel",
+                Json::object()
+                    .with("speedup", num(kernel, &["speedup"]))
+                    .with("sliced_speedup", num(kernel, &["sliced_speedup"]))
+                    .with("multi_steps_per_sec", num(kernel, &["multi", "steps_per_sec"])),
+            )
+            .with(
+                "fitness",
+                Json::object()
+                    .with("speedup", num(fitness, &["speedup"]))
+                    .with("evals_per_sec", num(snapshot, &["fitness", "evals_per_sec"])),
+            ),
+    )
+    .to_string();
+    validate_history_line(&line).expect("freshly sealed trend point satisfies its own schema");
+    if let Some(parent) = std::path::Path::new(HISTORY_PATH).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(HISTORY_PATH)?;
+    file.write_all(format!("{line}\n").as_bytes())?;
+    file.sync_all()
+}
 
 /// Measures the perf snapshot on the T-grid: kernel steps/s and per-k
 /// `t_comm` histograms from one batch pass, fitness evals/s, and a small
@@ -338,6 +393,12 @@ fn main() {
         knum(&["multi", "chunk"]),
         knum(&["sliced_speedup"]),
     ));
+
+    // One sealed trend point for the perf observatory.
+    match append_history_line(&scale, &snapshot, &fitness, &kernel) {
+        Ok(()) => scale.outln(format!("- appended trend point to {HISTORY_PATH}")),
+        Err(e) => scale.outln(format!("- could not append to {HISTORY_PATH}: {e}")),
+    }
 
     scale.outln(
         "\nAll headline claims regenerate at reduced scale; see EXPERIMENTS.md for the full protocol numbers.",

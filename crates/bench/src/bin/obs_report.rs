@@ -1,0 +1,172 @@
+//! Perf-trend observatory CLI: validates sealed bench artifacts and the
+//! append-only `results/bench_history.jsonl` trend file, then renders
+//! the markdown + sparkline report of [`a2a_analysis::report`]. With
+//! `--check`, exits non-zero when any regression is flagged (headline
+//! ratio below 1, kernel ratio below 70 % of the `--baseline` fixture,
+//! or history drift below 70 % of the prior median) — the trend
+//! counterpart of `obs_validate`'s schema gate.
+//!
+//! ```text
+//! cargo run --release -p a2a-bench --bin obs_report -- \
+//!     [--kernel BENCH_kernel.json] [--fitness BENCH_fitness.json] \
+//!     [--snapshot BENCH_obs.json] [--history results/bench_history.jsonl] \
+//!     [--baseline BASELINE.json] [--out DIR] [--check]
+//! ```
+//!
+//! Every document is checksum-verified before any number in it is
+//! trusted; a missing `--history` file is an empty trend (the first run
+//! of a fresh checkout), but an unreadable *named* artifact is an
+//! error. The report lands in `--out` (default `obs_report/`) as
+//! `OBS_REPORT.md` plus one `spark_*.svg` per tracked series.
+
+use a2a_analysis::report::{perf_report, ReportInputs};
+use a2a_obs::json::{parse, Json};
+use a2a_obs::schema::{
+    validate_bench_snapshot, validate_fitness_snapshot, validate_history,
+    validate_kernel_snapshot,
+};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Reads, parses and checksum-validates one sealed artifact.
+fn load(path: &str, validate: impl Fn(&Json) -> Result<(), String>) -> Result<Json, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("{path}: unreadable: {e}"))?;
+    let doc = parse(content.trim()).map_err(|e| format!("{path}: {e}"))?;
+    validate(&doc).map_err(|e| format!("{path}: INVALID: {e}"))?;
+    Ok(doc)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut kernel: Option<String> = None;
+    let mut fitness: Option<String> = None;
+    let mut snapshot: Option<String> = None;
+    let mut history: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut out = String::from("obs_report");
+    let mut check = false;
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--check" => check = true,
+            "--kernel" | "--fitness" | "--snapshot" | "--history" | "--baseline" | "--out" => {
+                let Some(value) = it.next() else {
+                    eprintln!("missing value for {flag}");
+                    return ExitCode::FAILURE;
+                };
+                match flag.as_str() {
+                    "--kernel" => kernel = Some(value),
+                    "--fitness" => fitness = Some(value),
+                    "--snapshot" => snapshot = Some(value),
+                    "--history" => history = Some(value),
+                    "--baseline" => baseline = Some(value),
+                    _ => out = value,
+                }
+            }
+            other => {
+                eprintln!(
+                    "unknown flag `{other}` (use --kernel/--fitness/--snapshot/--history/\
+                     --baseline FILE, --out DIR, --check)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if kernel.is_none() && fitness.is_none() && snapshot.is_none() && history.is_none() {
+        eprintln!(
+            "nothing to report on: pass --kernel/--fitness/--snapshot/--history FILE \
+             (see --help text in the module docs)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    let mut opt_load =
+        |path: &Option<String>, validate: &dyn Fn(&Json) -> Result<(), String>| match path {
+            Some(p) => match load(p, validate) {
+                Ok(doc) => Some(doc),
+                Err(e) => {
+                    eprintln!("{e}");
+                    failed = true;
+                    None
+                }
+            },
+            None => None,
+        };
+    let kernel_doc = opt_load(&kernel, &validate_kernel_snapshot);
+    let fitness_doc = opt_load(&fitness, &validate_fitness_snapshot);
+    let snapshot_doc = opt_load(&snapshot, &validate_bench_snapshot);
+    // The baseline fixture is a sealed kernel snapshot too.
+    let baseline_doc = opt_load(&baseline, &validate_kernel_snapshot);
+    let history_entries: Vec<Json> = match &history {
+        Some(path) if Path::new(path).exists() => {
+            match std::fs::read_to_string(path)
+                .map_err(|e| format!("unreadable: {e}"))
+                .and_then(|content| validate_history(&content))
+            {
+                Ok(entries) => {
+                    println!("{path}: OK ({} trend points)", entries.len());
+                    entries
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    failed = true;
+                    Vec::new()
+                }
+            }
+        }
+        Some(path) => {
+            println!("{path}: absent (empty trend — first run of a fresh checkout)");
+            Vec::new()
+        }
+        None => Vec::new(),
+    };
+    if failed {
+        return ExitCode::FAILURE;
+    }
+
+    let report = perf_report(&ReportInputs {
+        kernel: kernel_doc.as_ref(),
+        fitness: fitness_doc.as_ref(),
+        snapshot: snapshot_doc.as_ref(),
+        history: &history_entries,
+        baseline: baseline_doc.as_ref(),
+    });
+
+    let out_dir = Path::new(&out);
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("{out}: cannot create output directory: {e}");
+        return ExitCode::FAILURE;
+    }
+    let md_path = out_dir.join("OBS_REPORT.md");
+    if let Err(e) = a2a_obs::atomic_write(&md_path, report.markdown.as_bytes()) {
+        eprintln!("{}: write failed: {e}", md_path.display());
+        return ExitCode::FAILURE;
+    }
+    for (name, svg) in &report.sparklines {
+        if let Err(e) = a2a_obs::atomic_write(out_dir.join(name), svg.as_bytes()) {
+            eprintln!("{name}: write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "wrote {} (+{} sparklines)",
+        md_path.display(),
+        report.sparklines.len()
+    );
+
+    if report.regressions.is_empty() {
+        println!("no regressions detected");
+        ExitCode::SUCCESS
+    } else {
+        for r in &report.regressions {
+            eprintln!("REGRESSION: {r}");
+        }
+        if check {
+            eprintln!("--check: failing on {} regression(s)", report.regressions.len());
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

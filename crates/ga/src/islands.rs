@@ -164,6 +164,9 @@ pub fn run_islands_resumable(
         if stopped {
             break;
         }
+        // Epoch span: the per-island `ga.generation` spans opened by
+        // `run_seeded` below nest under it in a captured trace.
+        let _epoch_span = a2a_obs::Span::enter("ga.epoch");
         let mut next = Vec::with_capacity(island_config.islands);
         for (i, outcome) in outcomes.iter().enumerate() {
             // Receive migrants from the ring predecessor.

@@ -51,6 +51,12 @@ where
     if threads == 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
+    // The map itself is a span, and each worker adopts it as causal
+    // parent before opening its own — a captured trace therefore shows
+    // the logical fan-out (map → worker → whatever `f` opens) rather
+    // than disconnected per-thread roots.
+    let map_span = a2a_obs::Span::enter("parallel.map");
+    let parent = a2a_obs::trace::current();
     // Each worker tags itself in the observability layer, so events
     // emitted from inside `f` carry the worker id; at `Debug` every
     // worker reports its own throughput when it drains.
@@ -64,6 +70,8 @@ where
                 scope.spawn(move || {
                     a2a_obs::set_worker_id(Some(w));
                     let _guard = WorkerIdGuard;
+                    let _adopted = a2a_obs::trace::adopt(parent);
+                    let _worker_span = a2a_obs::Span::enter("parallel.worker");
                     let started = debug.then(std::time::Instant::now);
                     let mut local = Vec::new();
                     loop {
@@ -87,6 +95,7 @@ where
             .flat_map(|h| h.join().expect("worker must not panic"))
             .collect()
     });
+    drop(map_span);
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()
 }

@@ -185,6 +185,14 @@ impl WorkerPool {
         if self.threads == 1 || n <= 1 {
             return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
         }
+        // The map is a span and every helper drain adopts it as causal
+        // parent before opening its own — the captured trace shows one
+        // `ga.pool.map` fanning out into `ga.pool.drain` children no
+        // matter which OS threads the jobs land on (and the adopt/span
+        // guards unwind with a panicking item, so quarantined strikes
+        // still close their span under the right parent).
+        let _map_span = a2a_obs::Span::enter("ga.pool.map");
+        let parent = a2a_obs::trace::current();
         let started = a2a_obs::metrics_enabled().then(Instant::now);
         let f = Arc::new(f);
         let next = Arc::new(AtomicUsize::new(0));
@@ -198,7 +206,11 @@ impl WorkerPool {
             let f = Arc::clone(&f);
             let next = Arc::clone(&next);
             let tx = tx.clone();
-            self.submit(Box::new(move || drain_to(&items, &f, &next, &tx)));
+            self.submit(Box::new(move || {
+                let _adopted = a2a_obs::trace::adopt(parent);
+                let _drain_span = a2a_obs::Span::enter("ga.pool.drain");
+                drain_to(&items, &f, &next, &tx);
+            }));
         }
         drop(tx);
 

@@ -91,8 +91,11 @@ impl fmt::Display for Event {
 }
 
 /// Dispatches `event` to every attached sink whose verbosity admits it,
-/// honouring the `A2A_LOG` prefix filters.
+/// honouring the `A2A_LOG` prefix filters. The flight recorder, when
+/// on, sees every emitted event first — *before* the sink filters, so
+/// the black box keeps records no sink wanted.
 pub fn emit(event: Event) {
+    crate::flight::note_event(&event);
     if !crate::enabled_for(event.level, event.name) {
         return;
     }

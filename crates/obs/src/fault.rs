@@ -206,6 +206,7 @@ fn check(site: &str) -> bool {
 pub fn panic_point(site: &str) {
     if check(site) {
         crate::event!(crate::Level::Warn, "fault.panic", "site" => site);
+        crate::flight::on_fault(site, "fault.panic");
         panic!("injected fault: {site}");
     }
 }
@@ -219,6 +220,7 @@ pub fn panic_point(site: &str) {
 pub fn io_error(site: &str) -> std::io::Result<()> {
     if check(site) {
         crate::event!(crate::Level::Warn, "fault.io", "site" => site);
+        crate::flight::on_fault(site, "fault.io");
         return Err(std::io::Error::other(format!("injected IO fault: {site}")));
     }
     Ok(())
@@ -232,6 +234,7 @@ pub fn should_kill(site: &str) -> bool {
     let kill = check(site);
     if kill {
         crate::event!(crate::Level::Warn, "fault.kill", "site" => site);
+        crate::flight::on_fault(site, "fault.kill");
     }
     kill
 }

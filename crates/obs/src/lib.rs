@@ -45,12 +45,14 @@
 
 mod event;
 pub mod fault;
+pub mod flight;
 pub mod json;
 mod level;
 mod registry;
 pub mod schema;
 mod sink;
 mod span;
+pub mod trace;
 mod value;
 
 pub use event::{emit, flush_all, set_worker_id, worker_id, Event};
@@ -59,8 +61,8 @@ pub use registry::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot,
 };
 pub use sink::{
-    atomic_write, attach_sink, attached_sinks, finalize_all, JsonlSink, MemorySink, Sink,
-    StderrSink,
+    atomic_write, attach_sink, attached_sinks, finalize_all, publish_via_partial, JsonlSink,
+    MemorySink, Sink, StderrSink,
 };
 pub use span::Span;
 pub use value::Value;
@@ -86,6 +88,35 @@ static CLOCK: OnceLock<Instant> = OnceLock::new();
 pub fn clock_ms() -> f64 {
     let origin = CLOCK.get_or_init(Instant::now);
     origin.elapsed().as_secs_f64() * 1e3
+}
+
+/// Nanoseconds since the first observability call of the process
+/// (saturating after ~584 years) — the flight recorder's timestamp.
+#[must_use]
+pub fn clock_ns() -> u64 {
+    let origin = CLOCK.get_or_init(Instant::now);
+    origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// A small dense ordinal identifying the calling thread (assigned on
+/// first use, never reused). Flight-recorder records and captured
+/// spans carry it so per-thread interleavings stay attributable
+/// without OS thread ids.
+#[must_use]
+pub fn thread_ordinal() -> u64 {
+    use std::cell::Cell;
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: Cell<Option<u64>> = const { Cell::new(None) };
+    }
+    ORDINAL.with(|cell| match cell.get() {
+        Some(o) => o,
+        None => {
+            let o = NEXT.fetch_add(1, Ordering::Relaxed);
+            cell.set(Some(o));
+            o
+        }
+    })
 }
 
 /// The fast path: would an event at `level` be dispatched at all?
@@ -177,6 +208,11 @@ pub fn init_from_env() {
             fault::arm(plan);
         }
     }
+    // A2A_FLIGHT=DIR[:capacity] (or `1`/`on`) enables the flight
+    // recorder, points dumps at DIR and installs the panic hook.
+    if let Ok(spec) = std::env::var("A2A_FLIGHT") {
+        flight::init_from_spec(&spec);
+    }
     let Ok(spec) = std::env::var("A2A_LOG") else { return };
     let (default_level, filters) = level::parse_spec(&spec);
     if !filters.is_empty() {
@@ -194,8 +230,10 @@ pub fn init_from_env() {
     }
 }
 
-/// Emits an [`Event`] if its level is enabled, constructing nothing
-/// otherwise.
+/// Emits an [`Event`] if its level is enabled — or if the
+/// [`flight`] recorder is on, so the black box sees events even when
+/// no sink wants them — constructing nothing otherwise (two relaxed
+/// loads on the fully-disabled path).
 ///
 /// ```
 /// a2a_obs::event!(a2a_obs::Level::Debug, "kernel.run",
@@ -204,7 +242,7 @@ pub fn init_from_env() {
 #[macro_export]
 macro_rules! event {
     ($level:expr, $name:expr $(, $k:expr => $v:expr)* $(,)?) => {
-        if $crate::enabled($level) {
+        if $crate::enabled($level) || $crate::flight::enabled() {
             #[allow(unused_mut)]
             let mut __e = $crate::Event::new($level, $name);
             $( __e = __e.field($k, $v); )*

@@ -233,6 +233,27 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Median estimate — `quantile(0.50)`. Like all quantiles on a
+    /// log-scale histogram the estimate is bucket-resolution: within a
+    /// factor of 2 of some true sample in rank order (the property
+    /// suite pins the exact bound).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate — `quantile(0.90)`.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate — `quantile(0.99)`.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// JSON form: `{count, sum, min, max, mean, p50, p90, p99,
     /// buckets: [[lo, hi, n], …]}` with only non-empty buckets listed.
     #[must_use]
@@ -253,9 +274,9 @@ impl HistogramSnapshot {
             .with("min", self.min)
             .with("max", self.max)
             .with("mean", if self.count == 0 { 0.0 } else { self.mean() })
-            .with("p50", self.quantile(0.50))
-            .with("p90", self.quantile(0.90))
-            .with("p99", self.quantile(0.99))
+            .with("p50", self.p50())
+            .with("p90", self.p90())
+            .with("p99", self.p99())
             .with("buckets", Json::Arr(buckets))
     }
 

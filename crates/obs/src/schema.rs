@@ -98,6 +98,14 @@ pub const FITNESS_BENCH_SCHEMA: &str = "a2a-obs/fitness-bench/v1";
 /// Schema identifier written into `BENCH_kernel.json`.
 pub const KERNEL_BENCH_SCHEMA: &str = "a2a-obs/kernel-bench/v2";
 
+/// Schema identifier of a flight-recorder dump's sealed header line
+/// (see [`crate::flight`] for the stream layout).
+pub const FLIGHT_SCHEMA: &str = "a2a-obs/flight/v1";
+
+/// Schema identifier of one sealed `results/bench_history.jsonl` line
+/// (appended by `all_experiments`, consumed by `obs_report`).
+pub const BENCH_HISTORY_SCHEMA: &str = "a2a-obs/bench-history/v1";
+
 /// The largest fraction of a baseline's kernel speedup a fresh snapshot
 /// may lose before [`validate_kernel_regression`] rejects it (the CI
 /// perf-smoke gate: > 30 % regression fails).
@@ -241,6 +249,133 @@ pub fn validate_events(content: &str) -> Result<EventsSummary, String> {
         }
     }
     Ok(summary)
+}
+
+/// What [`validate_flight`] found in a flight-recorder dump.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlightSummary {
+    /// The dump's `reason` (why the black box was written).
+    pub reason: String,
+    /// Record count the sealed header declares.
+    pub declared: usize,
+    /// Record lines actually validated.
+    pub records: usize,
+    /// As [`EventsSummary::truncated_tail`]: a torn final line, only
+    /// possible on a `.partial` dump a crash interrupted.
+    pub truncated_tail: Option<String>,
+}
+
+/// Validates an `a2a-obs/flight/v1` dump stream: the first non-empty
+/// line must be the sealed header (schema, verified checksum, reason
+/// and counts), every following line must satisfy the `events/v1` line
+/// schema, and — unless the stream ends in a torn final line — the
+/// validated record count must equal the header's declaration. A torn
+/// tail is tolerated and reported, exactly as in [`validate_events`].
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn validate_flight(content: &str) -> Result<FlightSummary, String> {
+    let lines: Vec<&str> = content.lines().collect();
+    let header_idx = lines
+        .iter()
+        .position(|l| !l.trim().is_empty())
+        .ok_or("empty flight dump")?;
+    let header = parse(lines[header_idx]).map_err(|e| format!("header: {e}"))?;
+    let schema = header.get("schema").and_then(Json::as_str).ok_or("header missing `schema`")?;
+    if schema != FLIGHT_SCHEMA {
+        return Err(format!("schema `{schema}` is not `{FLIGHT_SCHEMA}`"));
+    }
+    verify_checksum(&header).map_err(|e| format!("header: {e}"))?;
+    let reason = header
+        .get("reason")
+        .and_then(Json::as_str)
+        .ok_or("header missing string `reason`")?
+        .to_string();
+    let declared = require_num(&header, "header", "records")? as usize;
+    require_num(&header, "header", "threads")?;
+    require_num(&header, "header", "dropped")?;
+
+    let body = lines[header_idx + 1..].join("\n");
+    let events = validate_events(&body)?;
+    let summary = FlightSummary {
+        reason,
+        declared,
+        records: events.events,
+        truncated_tail: events.truncated_tail,
+    };
+    match summary.truncated_tail {
+        None if summary.records != declared => Err(format!(
+            "header declares {declared} records but the stream holds {}",
+            summary.records
+        )),
+        Some(_) if summary.records >= declared => Err(format!(
+            "torn stream holds {} records yet the header declares only {declared}",
+            summary.records
+        )),
+        _ => Ok(summary),
+    }
+}
+
+/// Validates one sealed `results/bench_history.jsonl` line
+/// (`a2a-obs/bench-history/v1`) and returns the parsed document: the
+/// per-run trend point `obs_report` plots. Requires positive
+/// `kernel.speedup` / `kernel.sliced_speedup` / `fitness.speedup`
+/// ratios plus a numeric `t_ms` stamp; everything else is advisory.
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn validate_history_line(line: &str) -> Result<Json, String> {
+    let doc = parse(line)?;
+    let schema = doc.get("schema").and_then(Json::as_str).ok_or("missing `schema`")?;
+    if schema != BENCH_HISTORY_SCHEMA {
+        return Err(format!("schema `{schema}` is not `{BENCH_HISTORY_SCHEMA}`"));
+    }
+    verify_checksum(&doc)?;
+    require_num(&doc, "history", "t_ms")?;
+    let kernel = doc.get("kernel").ok_or("missing `kernel`")?;
+    for key in ["speedup", "sliced_speedup"] {
+        let v = require_num(kernel, "kernel", key)?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("`kernel.{key}` must be a positive ratio"));
+        }
+    }
+    let fitness = doc.get("fitness").ok_or("missing `fitness`")?;
+    let v = require_num(fitness, "fitness", "speedup")?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err("`fitness.speedup` must be a positive ratio".to_string());
+    }
+    Ok(doc)
+}
+
+/// Validates a whole `bench_history.jsonl` stream and returns the
+/// parsed entries in file order, tolerating (and dropping) an
+/// unparseable *final* line — the append-only file may be mid-write
+/// when read.
+///
+/// # Errors
+///
+/// The first offending line number and its problem — for any line
+/// other than a torn final one.
+pub fn validate_history(content: &str) -> Result<Vec<Json>, String> {
+    let mut entries = Vec::new();
+    let last_line = content.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).last();
+    for (i, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match validate_history_line(line) {
+            Ok(doc) => entries.push(doc),
+            Err(e) => {
+                if last_line.map(|(j, _)| j) == Some(i) && parse(line).is_err() {
+                    break; // torn tail of an in-flight append
+                }
+                return Err(format!("line {}: {e}", i + 1));
+            }
+        }
+    }
+    Ok(entries)
 }
 
 fn require_num(doc: &Json, path: &str, key: &str) -> Result<f64, String> {
@@ -513,6 +648,117 @@ mod tests {
         // a producer bug, not a tear.
         let bad_schema = format!("{good}\n{{\"level\":\"loud\",\"t_ms\":1,\"event\":\"x\",\"fields\":{{}}}}");
         assert!(validate_events(&bad_schema).is_err());
+    }
+
+    fn flight_dump(records: usize) -> String {
+        let header = seal(
+            Json::object()
+                .with("schema", FLIGHT_SCHEMA)
+                .with("reason", "test")
+                .with("t_ms", 1.5)
+                .with("threads", 1u64)
+                .with("records", records as u64)
+                .with("dropped", 0u64),
+        );
+        let mut out = format!("{header}\n");
+        for i in 0..records {
+            out.push_str(&format!(
+                "{{\"t_ms\":{i}.5,\"level\":\"trace\",\"event\":\"t.r\",\
+                 \"fields\":{{\"kind\":\"mark\",\"seq\":{i},\"thread\":0,\"a\":1,\"b\":2}}}}\n"
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn flight_dumps_validate() {
+        let summary = validate_flight(&flight_dump(3)).unwrap();
+        assert_eq!((summary.declared, summary.records), (3, 3));
+        assert_eq!(summary.reason, "test");
+        assert_eq!(summary.truncated_tail, None);
+    }
+
+    #[test]
+    fn flight_header_gates() {
+        assert!(validate_flight("").is_err());
+        assert!(validate_flight("{\"schema\":\"other/v0\"}\n").is_err());
+        // Unsealed header fails even with the right schema.
+        let unsealed = format!(
+            "{}\n",
+            Json::object()
+                .with("schema", FLIGHT_SCHEMA)
+                .with("reason", "x")
+                .with("threads", 0u64)
+                .with("records", 0u64)
+                .with("dropped", 0u64)
+        );
+        assert!(validate_flight(&unsealed).unwrap_err().contains("checksum"));
+        // A record-count mismatch on an untorn stream is truncation.
+        let mut short = flight_dump(3);
+        short = short.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(validate_flight(&short).unwrap_err().contains("declares 3"));
+    }
+
+    #[test]
+    fn flight_stream_tolerates_exactly_one_torn_final_line() {
+        // The `validate_events` torn-tail discipline extends to the
+        // flight stream: a crash mid-append tears at most the last line.
+        let mut torn = flight_dump(3);
+        torn.truncate(torn.len() - 20); // tear the final record line
+        let summary = validate_flight(&torn).unwrap();
+        assert_eq!(summary.records, 2, "lines before the tear count");
+        assert!(summary.truncated_tail.is_some());
+
+        // Mid-stream garbage is a hard error even in a flight dump.
+        let mid = flight_dump(2).replace(
+            "\"seq\":0",
+            "\"seq\":0}GARBAGE{",
+        );
+        assert!(validate_flight(&mid).is_err());
+    }
+
+    fn history_line() -> String {
+        seal(Json::object()
+            .with("schema", BENCH_HISTORY_SCHEMA)
+            .with("t_ms", 10.0)
+            .with("run", Json::object().with("configs", 20u64).with("seed", 2013u64))
+            .with(
+                "kernel",
+                Json::object()
+                    .with("speedup", 1.7)
+                    .with("sliced_speedup", 0.4)
+                    .with("multi_steps_per_sec", 1.9e6),
+            )
+            .with(
+                "fitness",
+                Json::object().with("speedup", 2.5).with("evals_per_sec", 1530.0),
+            ))
+        .to_string()
+    }
+
+    #[test]
+    fn history_lines_validate_and_gate() {
+        validate_history_line(&history_line()).unwrap();
+        let entries = validate_history(&format!("{}\n{}\n", history_line(), history_line()))
+            .unwrap();
+        assert_eq!(entries.len(), 2);
+
+        // A torn final append is dropped, mid-stream garbage is fatal.
+        let torn = format!("{}\n{}", history_line(), &history_line()[..30]);
+        assert_eq!(validate_history(&torn).unwrap().len(), 1);
+        let mid = format!("not json\n{}\n", history_line());
+        assert!(validate_history(&mid).is_err());
+
+        // Tampered ratios trip the seal; a zero ratio trips the gate.
+        let mut doc = parse(&history_line()).unwrap();
+        doc.set("t_ms", 99.0);
+        assert!(validate_history_line(&doc.to_string()).unwrap_err().contains("checksum"));
+        let zeroed = resealed(
+            parse(&history_line()).unwrap(),
+            "kernel",
+            Json::object().with("speedup", 0.0).with("sliced_speedup", 0.4),
+        );
+        assert!(validate_history_line(&zeroed.to_string()).is_err());
     }
 
     #[test]

@@ -56,6 +56,34 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()>
     Ok(())
 }
 
+/// Writes `bytes` to the `.partial` sibling of `path` (fsynced), then
+/// renames it into place — the publication discipline [`JsonlSink`]
+/// uses for event streams, shared here so flight-recorder dumps get
+/// the same guarantee: the final path only ever holds a complete
+/// document, and a crash mid-write leaves a diagnosable `.partial`.
+///
+/// # Errors
+///
+/// Propagates IO errors from any step; on error the target path is
+/// untouched (a `.partial` sibling may remain — deliberately, as the
+/// crash artifact).
+pub fn publish_via_partial(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let partial = sibling_with_suffix(path, ".partial");
+    {
+        let mut file = File::create(&partial)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&partial, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 /// `path` with `suffix` appended to the full file name (keeping any
 /// existing extension: `events.jsonl` → `events.jsonl.partial`).
 fn sibling_with_suffix(path: &Path, suffix: &str) -> PathBuf {

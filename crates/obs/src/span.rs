@@ -1,6 +1,9 @@
-//! Spans: scoped timers that feed histograms and emit close events.
+//! Spans: scoped timers that feed histograms, emit close events, carry
+//! causal parent/child identity (see [`crate::trace`]) and leave
+//! enter/exit records in the flight recorder.
 
-use crate::{global, Level};
+use crate::flight::{self, Kind};
+use crate::{global, trace, Level};
 use std::time::Instant;
 
 /// A timed region. [`Span::enter`] captures the clock; dropping the
@@ -8,9 +11,16 @@ use std::time::Instant;
 /// `<name>.us` (when metrics are enabled) and emits a `Debug`-level
 /// event carrying `elapsed_us`.
 ///
+/// An armed span also has *identity*: a process-unique id and the id of
+/// the span that was current on its thread when it opened (its causal
+/// parent — possibly [`trace::adopt`]ed from another thread). Captured
+/// traces ([`trace::start_capture`]) reconstruct the task tree from
+/// exactly these two numbers.
+///
 /// Construction is gated the same way as events: when the observability
 /// layer is fully disabled the guard holds no timestamp and the drop is
-/// a no-op, so spans can stay in hot(ish) paths.
+/// a no-op, so spans can stay in hot(ish) paths. Trace capture and the
+/// flight recorder arm spans too, independent of the log level.
 ///
 /// ```
 /// {
@@ -23,13 +33,24 @@ use std::time::Instant;
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    start_ms: f64,
+    id: u64,
+    parent: u64,
 }
 
 impl Span {
     /// Starts a span named `name` (dot-separated, like events).
     pub fn enter(name: &'static str) -> Self {
-        let armed = crate::metrics_enabled() || crate::enabled(Level::Debug);
-        Self { name, start: armed.then(Instant::now) }
+        let armed = crate::metrics_enabled()
+            || crate::enabled(Level::Debug)
+            || trace::capturing()
+            || flight::enabled();
+        if !armed {
+            return Self { name, start: None, start_ms: 0.0, id: 0, parent: 0 };
+        }
+        let (id, parent) = trace::begin();
+        flight::record(Kind::SpanEnter, name, id, parent);
+        Self { name, start: Some(Instant::now()), start_ms: crate::clock_ms(), id, parent }
     }
 
     /// Elapsed microseconds so far (0 when the span is disarmed).
@@ -37,12 +58,35 @@ impl Span {
     pub fn elapsed_us(&self) -> u64 {
         self.start.map_or(0, |s| s.elapsed().as_micros().min(u128::from(u64::MAX)) as u64)
     }
+
+    /// This span's process-unique id (0 when disarmed).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The id of this span's causal parent (0 = root or disarmed).
+    #[must_use]
+    pub fn parent(&self) -> u64 {
+        self.parent
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let elapsed = start.elapsed();
+        let elapsed_us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        trace::finish(trace::SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_ms: self.start_ms,
+            elapsed_us,
+            thread: crate::thread_ordinal(),
+            worker: crate::worker_id(),
+        });
+        flight::record(Kind::SpanExit, self.name, self.id, elapsed_us);
         if crate::metrics_enabled() {
             // One allocation per close for the histogram name; spans sit
             // at run/generation granularity, never inside step loops.
@@ -52,7 +96,9 @@ impl Drop for Span {
         if crate::enabled(Level::Debug) {
             crate::emit(
                 crate::Event::new(Level::Debug, self.name)
-                    .field("elapsed_us", elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+                    .field("elapsed_us", elapsed_us)
+                    .field("span", self.id)
+                    .field("parent", self.parent),
             );
         }
     }
@@ -67,8 +113,13 @@ mod tests {
         // If nothing raised the level in this test process, the span
         // holds no timestamp at all.
         let span = Span::enter("test.span");
-        if !crate::metrics_enabled() && !crate::enabled(Level::Debug) {
+        if !crate::metrics_enabled()
+            && !crate::enabled(Level::Debug)
+            && !trace::capturing()
+            && !flight::enabled()
+        {
             assert_eq!(span.elapsed_us(), 0);
+            assert_eq!(span.id(), 0);
         }
     }
 
@@ -82,5 +133,17 @@ mod tests {
         let snap = global().histogram("test.armed.us").snapshot();
         assert!(snap.count >= 1);
         assert!(snap.max >= 500, "slept ≥1ms, recorded {}", snap.max);
+    }
+
+    #[test]
+    fn nested_spans_link_parent_to_child() {
+        crate::set_metrics(true);
+        let outer = Span::enter("test.outer");
+        let inner = Span::enter("test.inner");
+        assert_ne!(outer.id(), 0);
+        assert_eq!(inner.parent(), outer.id());
+        drop(inner);
+        let sibling = Span::enter("test.sibling");
+        assert_eq!(sibling.parent(), outer.id(), "closing a child restores the parent");
     }
 }

@@ -86,6 +86,40 @@ proptest! {
         prop_assert_eq!(HistogramSnapshot::from_json(&parsed).unwrap(), h);
     }
 
+    /// The `p50`/`p90`/`p99` accessors land within a factor of two of
+    /// a true sample at that rank — the bucket-resolution error bound
+    /// of a power-of-two histogram. The rank-`r` sample sits in bucket
+    /// `[lo, 2·lo)`; the estimate is the bucket's geometric midpoint
+    /// (off by ≤ √2) truncated to an integer and clamped into
+    /// `[min, max]`, both of which only move it *toward* the sample —
+    /// so `est ∈ [s/2, 2·s]` with `s = 0` estimated exactly.
+    #[test]
+    fn quantile_accessors_bound_relative_error(seed in any::<u64>(), n in 1usize..200) {
+        let values = samples(seed, n);
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (q, est) in [(0.50, h.p50()), (0.90, h.p90()), (0.99, h.p99())] {
+            // Same rank arithmetic as `quantile`: buckets partition the
+            // value axis in order, so the first bucket whose cumulative
+            // count reaches `rank` is the bucket of the rank-th
+            // smallest sample.
+            let rank = ((q * n as f64).ceil() as usize).max(1);
+            let s = sorted[rank - 1];
+            if s == 0 {
+                prop_assert_eq!(est, 0, "q={} of {:?}", q, sorted);
+            } else {
+                prop_assert!(
+                    est >= s / 2 && est <= s.saturating_mul(2),
+                    "q={}: estimate {} outside [{}, {}] around sample {}",
+                    q, est, s / 2, s.saturating_mul(2), s
+                );
+            }
+        }
+        // Quantiles are monotone in q.
+        prop_assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+    }
+
     /// Every event the sink would write validates against the schema
     /// and round-trips through the JSON parser.
     #[test]

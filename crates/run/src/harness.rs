@@ -137,6 +137,11 @@ impl Progress {
                             "run.checkpoint.failed",
                             "error" => e.to_string()
                         );
+                        // A failed checkpoint write is exactly the
+                        // moment the recent event history matters —
+                        // dump the flight recorder while the evidence
+                        // is still in the rings.
+                        a2a_obs::flight::dump("checkpoint-write-failed");
                     }
                 }
             }

@@ -187,6 +187,75 @@ fn islands_kill_resume_matches_uninterrupted() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn injected_kill_leaves_a_sealed_flight_dump_replaying_recent_events() {
+    let _guard = FAULT_GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::disarm();
+    let dir = std::env::temp_dir().join("a2a_run_chaos_flight");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Arm the black box: small rings so the run overwrites them many
+    // times over, dumps landing in the scratch dir.
+    a2a_obs::flight::set_capacity(64);
+    a2a_obs::flight::set_dump_dir(&dir);
+    a2a_obs::flight::enable();
+
+    let kind = GridKind::Square;
+    let spec = FsmSpec::paper(kind);
+    let config = GaConfig::paper(6, 4242);
+    fault::arm(FaultPlan::seeded(11).with("run.generation", 1.0, 1));
+    let report =
+        run_evolution(spec, &evaluator(kind), config, Vec::new(), &RunOptions::default(), |_| ())
+            .unwrap();
+    fault::disarm();
+    a2a_obs::flight::disable();
+    assert!(report.killed, "the schedule kills the first boundary");
+
+    // Exactly one dump, triggered by the kill site, sealed and valid.
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+        .collect();
+    assert_eq!(dumps.len(), 1, "one kill, one flight dump: {dumps:?}");
+    let content = std::fs::read_to_string(&dumps[0]).unwrap();
+    let summary = a2a_obs::schema::validate_flight(&content)
+        .expect("dump is a sealed, checksum-valid a2a-obs/flight/v1 stream");
+    assert!(summary.reason.contains("run.generation"), "reason names the site");
+    assert!(summary.truncated_tail.is_none(), "atomic publish never tears");
+
+    // The dump replays the recent history: the kill fault record itself
+    // is the newest thing the rings saw, preceded by the span traffic
+    // of the generations that ran — within each thread, at most the
+    // ring capacity of retained records, in sequence order.
+    let (_, records) = a2a_obs::flight::parse_dump(&content).unwrap();
+    assert!(!records.is_empty());
+    assert!(
+        records.iter().any(|r| r.kind == "fault" && r.name == "fault.kill"),
+        "the injected kill is on the record"
+    );
+    assert!(
+        records.iter().any(|r| r.kind == "span_enter"),
+        "pre-kill span traffic is replayed"
+    );
+    let mut per_thread: std::collections::HashMap<u64, Vec<u64>> = std::collections::HashMap::new();
+    for r in &records {
+        per_thread.entry(r.thread).or_default().push(r.seq);
+    }
+    for (thread, seqs) in per_thread {
+        assert!(seqs.len() <= 64, "thread {thread} kept more than one ring of records");
+        let max = *seqs.iter().max().unwrap();
+        let min = *seqs.iter().min().unwrap();
+        assert_eq!(
+            max - min + 1,
+            seqs.len() as u64,
+            "thread {thread}'s replay is a contiguous window of its newest records"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[cfg(feature = "fault-inject")]
 #[test]
 fn env_spec_grammar_parses_the_ci_schedule() {

@@ -550,15 +550,23 @@ impl FastWorld {
     }
 
     /// `Trace`-level run loop: per-step phase timing on top of the
-    /// `Debug` informed-curve events.
+    /// `Debug` informed-curve events. Arbitration (round 2 of the act
+    /// phase) is timed into its own histogram so the causal profiler's
+    /// phase table can attribute act time between scanning and
+    /// conflict resolution.
     fn run_traced(&mut self, t_max: u32) {
         let reg = a2a_obs::global();
         let act_ns = reg.histogram("kernel.act.ns");
+        let arbitrate_ns = reg.histogram("kernel.arbitrate.ns");
         let exchange_ns = reg.histogram("kernel.exchange.ns");
         let mut last = self.informed;
         while !self.all_informed() && self.time < t_max {
             let t0 = std::time::Instant::now();
-            self.act();
+            self.act_scan();
+            let ta = std::time::Instant::now();
+            self.act_arbitrate();
+            arbitrate_ns.record(ta.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            self.act_apply();
             let t1 = std::time::Instant::now();
             self.exchange();
             exchange_ns.record(t1.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
@@ -600,8 +608,18 @@ impl FastWorld {
 
     /// The act phase: table-driven perception, two-round arbitration,
     /// colour writes and moves — mirroring `World::act` decision for
-    /// decision.
+    /// decision. Split into three inlined sub-phases so the traced run
+    /// loop can attribute time to each without touching the hot path.
     fn act(&mut self) {
+        self.act_scan();
+        self.act_arbitrate();
+        self.act_apply();
+    }
+
+    /// Round 1: perceive the pre-step configuration; collect and
+    /// arbitrate move requests while scanning.
+    #[inline]
+    fn act_scan(&mut self) {
         let env = &*self.env;
         let phase = &env.phases[self.time as usize % env.phases.len()];
         let n_states = usize::from(env.n_states);
@@ -609,8 +627,6 @@ impl FastWorld {
         self.decisions.clear();
         self.requests.clear();
 
-        // Round 1: perceive the pre-step configuration; collect and
-        // arbitrate move requests while scanning.
         for i in 0..self.pos.len() {
             let here = self.pos[i] as usize;
             let front = env.fwd[here * env.n_dirs + usize::from(self.dir[i])];
@@ -639,8 +655,14 @@ impl FastWorld {
             }
             self.decisions.push((e as u32, target));
         }
+    }
 
-        // Round 2: losers re-perceive with blocked = 1 and stay put.
+    /// Round 2: losers re-perceive with blocked = 1 and stay put.
+    #[inline]
+    fn act_arbitrate(&mut self) {
+        let env = &*self.env;
+        let n_states = usize::from(env.n_states);
+        let n_colors = usize::from(env.n_colors);
         for r in 0..self.requests.len() {
             let (i, target) = self.requests[r];
             if self.claims[target as usize] != i {
@@ -662,10 +684,15 @@ impl FastWorld {
         for &(_, target) in &self.requests {
             self.claims[target as usize] = NONE;
         }
+    }
 
-        // Apply: colour writes, state/direction updates, moves. Targets
-        // were empty at step start and claimed by one winner each, so
-        // sequential application is safe (as in the oracle).
+    /// Apply: colour writes, state/direction updates, moves. Targets
+    /// were empty at step start and claimed by one winner each, so
+    /// sequential application is safe (as in the oracle).
+    #[inline]
+    fn act_apply(&mut self) {
+        let env = &*self.env;
+        let phase = &env.phases[self.time as usize % env.phases.len()];
         for i in 0..self.pos.len() {
             let (e, target) = self.decisions[i];
             let entry = phase[e as usize];

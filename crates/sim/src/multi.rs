@@ -452,6 +452,16 @@ impl MultiWorld {
         assert!(!self.outcomes.is_empty(), "load a batch before running");
         let metrics = a2a_obs::metrics_enabled();
         let debug = a2a_obs::enabled(a2a_obs::Level::Debug);
+        // At `Trace`, per-step phase timing goes into
+        // `kernel.multi.act.ns` / `kernel.multi.exchange.ns` for the
+        // profiler's phase table. Timing forces the sweeps apart (act
+        // over all runs, then exchange over all runs) — runs are
+        // independent, so the split changes nothing observable, only
+        // the cache behaviour of the traced run itself.
+        let phase_hists = a2a_obs::enabled(a2a_obs::Level::Trace).then(|| {
+            let reg = a2a_obs::global();
+            (reg.histogram("kernel.multi.act.ns"), reg.histogram("kernel.multi.exchange.ns"))
+        });
         let env = Arc::clone(&self.env);
         let mut run_steps: u64 = 0;
         let mut compactions: u64 = 0;
@@ -459,12 +469,26 @@ impl MultiWorld {
         while !self.active.is_empty() && self.time < t_max {
             let phase = &env.phases[self.time as usize % env.phases.len()];
             let active = std::mem::take(&mut self.active);
-            // Act and exchange back-to-back per run while its state is
-            // cache-hot; runs are independent, so fusing the sweeps
-            // changes nothing observable.
-            for &r in &active {
-                self.act_one(&env, phase, r as usize);
-                self.exchange_one(&env, r as usize);
+            if let Some((act_ns, exchange_ns)) = &phase_hists {
+                let t0 = std::time::Instant::now();
+                for &r in &active {
+                    self.act_one(&env, phase, r as usize);
+                }
+                let t1 = std::time::Instant::now();
+                for &r in &active {
+                    self.exchange_one(&env, r as usize);
+                }
+                exchange_ns.record(t1.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                act_ns
+                    .record(t1.duration_since(t0).as_nanos().min(u128::from(u64::MAX)) as u64);
+            } else {
+                // Act and exchange back-to-back per run while its state
+                // is cache-hot; runs are independent, so fusing the
+                // sweeps changes nothing observable.
+                for &r in &active {
+                    self.act_one(&env, phase, r as usize);
+                    self.exchange_one(&env, r as usize);
+                }
             }
             run_steps += active.len() as u64;
             self.active = active;

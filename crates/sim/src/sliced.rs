@@ -469,12 +469,22 @@ impl SlicedWorld {
         assert!(!self.outcomes.is_empty(), "load a batch before running");
         let metrics = a2a_obs::metrics_enabled();
         let debug = a2a_obs::enabled(a2a_obs::Level::Debug);
+        // At `Trace`, per-step phase attribution: act and exchange time
+        // are accumulated across lanes within a step and recorded into
+        // `kernel.sliced.act.ns` / `kernel.sliced.exchange.ns` once per
+        // counted step, mirroring the single-run and multi kernels.
+        let phase_hists = a2a_obs::enabled(a2a_obs::Level::Trace).then(|| {
+            let reg = a2a_obs::global();
+            (reg.histogram("kernel.sliced.act.ns"), reg.histogram("kernel.sliced.exchange.ns"))
+        });
         let env = Arc::clone(&self.env);
         let mut run_steps: u64 = 0;
         let mut retired: u64 = 0;
         self.retire_solved(metrics, debug, &mut retired);
         while self.active.iter().any(|&m| m != 0) && self.time < t_max {
             let phase = &env.phases[self.time as usize % env.phases.len()];
+            let mut act_ns: u64 = 0;
+            let mut exchange_ns: u64 = 0;
             for l in 0..self.lanes {
                 let m = self.active[l];
                 if m == 0 {
@@ -483,13 +493,26 @@ impl SlicedWorld {
                 // Act every live run of the lane scalar-wise while its
                 // planes are cache-hot, then merge the whole lane's
                 // infosets word-parallel.
+                let t0 = phase_hists.is_some().then(std::time::Instant::now);
                 let mut mm = m;
                 while mm != 0 {
                     self.act_run(&env, phase, l, mm.trailing_zeros() as usize);
                     mm &= mm - 1;
                 }
+                let t1 = phase_hists.is_some().then(std::time::Instant::now);
                 self.exchange_lane(&env, l, m);
+                if let (Some(t0), Some(t1)) = (t0, t1) {
+                    act_ns = act_ns.saturating_add(
+                        t1.duration_since(t0).as_nanos().min(u128::from(u64::MAX)) as u64,
+                    );
+                    exchange_ns = exchange_ns
+                        .saturating_add(t1.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                }
                 run_steps += u64::from(m.count_ones());
+            }
+            if let Some((act_hist, exchange_hist)) = &phase_hists {
+                act_hist.record(act_ns);
+                exchange_hist.record(exchange_ns);
             }
             self.time += 1;
             self.retire_solved(metrics, debug, &mut retired);
