@@ -5,10 +5,11 @@
 use crate::stats::Summary;
 use crate::table::{f2, f3, TextTable};
 use a2a_fsm::{best_agent, Genome};
-use a2a_ga::parallel_map;
+use a2a_ga::WorkerPool;
 use a2a_grid::GridKind;
-use a2a_sim::{paper_config_set, BatchRunner, SimError, WorldConfig};
+use a2a_sim::{paper_config_set, BatchRunner, Dispatch, SimError, WorldConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The agent counts of Table 1.
 pub const TABLE1_AGENT_COUNTS: [usize; 6] = [2, 4, 8, 16, 32, 256];
@@ -177,16 +178,19 @@ pub fn run_series_in(
     genome: &Genome,
     exp: &DensityExperiment,
 ) -> Result<GridSeries, SimError> {
-    // One compiled kernel environment serves every density and thread.
-    let runner = BatchRunner::from_genome(cfg, genome.clone(), exp.t_max)?;
+    // One compiled kernel environment serves every density and thread;
+    // the worker pool rides inside `run_all` through the dispatch seam,
+    // so every density level runs the lockstep multi-run engine across
+    // all cores with outcomes bit-identical to the serial path.
+    let pool: Arc<dyn Dispatch> = Arc::new(WorkerPool::new(exp.threads));
+    let runner =
+        BatchRunner::from_genome(cfg, genome.clone(), exp.t_max)?.with_dispatch(pool);
     let mut points = Vec::with_capacity(exp.agent_counts.len());
     for &k in &exp.agent_counts {
         let configs = paper_config_set(cfg.lattice, cfg.kind, k, exp.n_random, exp.seed)?;
-        let outcomes = parallel_map(&configs, exp.threads, |init| {
-            runner
-                .outcome_for(init)
-                .expect("configuration sets are generated to match the environment")
-        });
+        let outcomes = runner
+            .run_all(&configs)
+            .expect("configuration sets are generated to match the environment");
         let times: Vec<u32> = outcomes.iter().filter_map(|o| o.t_comm).collect();
         points.push(DensityPoint {
             agents: k,

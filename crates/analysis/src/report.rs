@@ -7,10 +7,12 @@
 //!
 //! The regression rules mirror the validators' acceptance terms:
 //!
-//! * any headline ratio (`kernel.speedup`, `kernel.sliced_speedup`,
-//!   `fitness.speedup`) below 1 is flagged — the optimisation the ratio
-//!   measures has become a pessimisation (this is how the bit-sliced
-//!   kernel's `sliced_speedup < 1` shows up from the artifacts alone).
+//! * any headline ratio (`kernel.speedup`, `kernel.frontier_speedup`,
+//!   `kernel.sliced_speedup`, `fitness.speedup`) below 1 is flagged —
+//!   the optimisation the ratio measures has become a pessimisation
+//!   (this is how the bit-sliced kernel's `sliced_speedup < 1` shows up
+//!   from the artifacts alone, and how a frontier kernel losing to its
+//!   own dense scan would).
 //!   Exception: when the sealed baseline *also* records that ratio
 //!   below 1, the pessimisation is a known, documented negative result
 //!   (DESIGN.md §11) — it is reported in the verdict but does not gate,
@@ -37,7 +39,7 @@ use a2a_obs::HistogramSnapshot;
 /// building; library callers are trusted).
 #[derive(Debug, Default)]
 pub struct ReportInputs<'a> {
-    /// `BENCH_kernel.json` (`a2a-obs/kernel-bench/v2`).
+    /// `BENCH_kernel.json` (`a2a-obs/kernel-bench/v3`).
     pub kernel: Option<&'a Json>,
     /// `BENCH_fitness.json` (`a2a-obs/fitness-bench/v1`).
     pub fitness: Option<&'a Json>,
@@ -70,6 +72,7 @@ pub struct PerfReport {
 /// would false-positive — those series are charted, not gated.
 const TREND_METRICS: &[(&str, &[&str], bool)] = &[
     ("kernel speedup (multi/single)", &["kernel", "speedup"], true),
+    ("frontier speedup (dense/multi)", &["kernel", "frontier_speedup"], true),
     ("sliced speedup (sliced/multi)", &["kernel", "sliced_speedup"], true),
     ("multi kernel steps/s", &["kernel", "multi_steps_per_sec"], false),
     ("fitness speedup (adaptive/baseline)", &["fitness", "speedup"], true),
@@ -148,7 +151,12 @@ pub fn perf_report(inputs: &ReportInputs<'_>) -> PerfReport {
     };
     let kernel_rows = [
         (["speedup"].as_slice(), "kernel speedup (multi/single)", true),
+        (&["frontier_speedup"], "frontier speedup (dense/multi)", true),
         (&["sliced_speedup"], "sliced speedup (sliced/multi)", true),
+        // The parallel ratio is charted, not gated here: on a 1-worker
+        // machine it carries no dispatch win by construction, and the
+        // schema validator arms its 3x gate from `parallel.workers`.
+        (&["parallel_speedup"], "parallel speedup (dense/parallel)", false),
         (&["multi", "steps_per_sec"], "multi kernel steps/s", false),
         (&["single", "steps_per_sec"], "single kernel steps/s", false),
     ];
@@ -199,7 +207,7 @@ pub fn perf_report(inputs: &ReportInputs<'_>) -> PerfReport {
     // enforces, but reported as a delta table either way.
     if let (Some(fresh), Some(base)) = (inputs.kernel, inputs.baseline) {
         let mut diff = TextTable::new(vec!["ratio", "baseline", "current", "delta"]);
-        for key in ["speedup", "sliced_speedup"] {
+        for key in ["speedup", "frontier_speedup", "sliced_speedup"] {
             let (b, c) = (num(base, &[key]), num(fresh, &[key]));
             let delta = match (b, c) {
                 (Some(b), Some(c)) if b > 0.0 => {
@@ -341,6 +349,7 @@ mod tests {
                 Json::object()
                     .with("speedup", speedup)
                     .with("sliced_speedup", sliced)
+                    .with("frontier_speedup", 1.6)
                     .with("multi_steps_per_sec", 2.0e6),
             )
             .with(
@@ -357,6 +366,23 @@ mod tests {
         assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
         assert!(report.regressions[0].contains("sliced speedup"));
         assert!(report.markdown.contains("REGRESSION"));
+    }
+
+    #[test]
+    fn frontier_regression_is_flagged_from_the_kernel_artifact_alone() {
+        // A frontier kernel slower than its own dense scan is a
+        // pessimisation wherever it ran — flagged without any baseline.
+        let kernel = kernel_doc(1.8, 1.2).with("frontier_speedup", 0.9);
+        let report =
+            perf_report(&ReportInputs { kernel: Some(&kernel), ..ReportInputs::default() });
+        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
+        assert!(report.regressions[0].contains("frontier speedup"));
+        // The parallel ratio is charted but never gated here (the
+        // schema validator owns its worker-conditioned gate).
+        let parallel = kernel_doc(1.8, 1.2).with("parallel_speedup", 0.8);
+        let report =
+            perf_report(&ReportInputs { kernel: Some(&parallel), ..ReportInputs::default() });
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
     }
 
     #[test]

@@ -84,8 +84,11 @@ fn append_history_line(
                 "kernel",
                 Json::object()
                     .with("speedup", num(kernel, &["speedup"]))
+                    .with("frontier_speedup", num(kernel, &["frontier_speedup"]))
                     .with("sliced_speedup", num(kernel, &["sliced_speedup"]))
-                    .with("multi_steps_per_sec", num(kernel, &["multi", "steps_per_sec"])),
+                    .with("multi_steps_per_sec", num(kernel, &["multi", "steps_per_sec"]))
+                    .with("frontier_active", num(kernel, &["frontier", "active_agent_steps"]))
+                    .with("dispatch_workers", num(kernel, &["parallel", "workers"])),
             )
             .with(
                 "fitness",
@@ -372,7 +375,7 @@ fn main() {
         scale.seed,
     );
     validate_kernel_snapshot(&kernel)
-        .expect("multi-run kernel beats the single-run path and all four engines agree");
+        .expect("frontier kernel beats the single-run path and dense scan, all engines agree");
     a2a_obs::atomic_write(KERNEL_PATH, format!("{kernel}\n").as_bytes())
         .expect("cwd is writable");
     if let Some(sink) = obs.sink() {
@@ -386,11 +389,15 @@ fn main() {
     };
     scale.outln(format!(
         "- multi-run kernel: {:.2}x vs single-run ({:.2e} vs {:.2e} steps/s, chunk {}); \
+         frontier {:.2}x vs dense scan; parallel {:.2}x over dense ({} worker(s)); \
          bit-sliced ratio {:.2}x vs multi; wrote {KERNEL_PATH} (schema-valid)",
         knum(&["speedup"]),
         knum(&["multi", "steps_per_sec"]),
         knum(&["single", "steps_per_sec"]),
         knum(&["multi", "chunk"]),
+        knum(&["frontier_speedup"]),
+        knum(&["parallel_speedup"]),
+        knum(&["parallel", "workers"]),
         knum(&["sliced_speedup"]),
     ));
 

@@ -199,11 +199,11 @@ fn main() -> ExitCode {
             Ok(()) => match (&kernel_baseline, &baseline_doc) {
                 (Some(base), Some(_)) => println!(
                     "{path}: OK (kernel snapshot, checksum verified, multi ≥ single, \
-                     four engines agree, within 30 % of {base})"
+                     frontier ≥ dense, all engines agree, within 30 % of {base})"
                 ),
                 _ => println!(
                     "{path}: OK (kernel snapshot, checksum verified, multi ≥ single, \
-                     four engines agree)"
+                     frontier ≥ dense, all engines agree)"
                 ),
             },
             Err(e) => {

@@ -1,30 +1,40 @@
 //! The batch-kernel benchmark: the single-run `FastWorld` path, the
-//! fused lockstep `MultiWorld` path and the bit-sliced `SlicedWorld`
-//! path on the whole-population fitness workload, and the
-//! `BENCH_kernel.json` snapshot (schema `a2a-obs/kernel-bench/v2`)
-//! that records all three throughputs — with a built-in differential
-//! check that every engine (including the untimed reference `World`)
-//! produces bit-identical [`RunOutcome`]s.
+//! dense full-scan `MultiWorld` path (the pre-frontier engine, kept as
+//! the in-process baseline), the frontier `MultiWorld` path, the same
+//! frontier kernel behind the parallel dispatch seam, and the
+//! bit-sliced `SlicedWorld` path on the whole-population fitness
+//! workload — sealed as `BENCH_kernel.json` (schema
+//! `a2a-obs/kernel-bench/v3`) with a built-in differential check that
+//! every engine (including the untimed reference `World`) produces
+//! bit-identical [`RunOutcome`]s.
 //!
 //! Timing is *interleaved and paired*: each repetition times one
-//! whole-population pass through each path in turn (single, multi,
-//! sliced), and the snapshot keeps the minimum per path. Alternating
-//! the paths inside one process cancels slow machine-level drift
-//! (thermal throttling, noisy neighbours) that would otherwise
-//! dominate back-to-back block measurements, and the minimum discards
-//! interruption spikes — the speedup ratios are stable where
-//! separately-measured means are not. The reference-`World` oracle
-//! pass runs once, outside the timed repetitions, so the four-engine
-//! identity check never perturbs the measurement.
+//! whole-population pass through each path in turn, and the snapshot
+//! keeps the minimum per path. Alternating the paths inside one
+//! process cancels slow machine-level drift (thermal throttling, noisy
+//! neighbours) that would otherwise dominate back-to-back block
+//! measurements, and the minimum discards interruption spikes — the
+//! speedup ratios are stable where separately-measured means are not.
+//! Because the dense scan runs in the same process on the same
+//! workload, `frontier_speedup = dense / multi` is an honest
+//! same-machine ratio wherever the snapshot is taken. The
+//! reference-`World` oracle pass and the metrics-instrumented
+//! active-fraction pass run once each, outside the timed repetitions,
+//! so neither the identity check nor the histogram capture perturbs
+//! the measurement.
 
 use a2a_fsm::{best_t_agent, offspring, Genome, MutationRates};
-use a2a_ga::Evaluator;
+use a2a_ga::{Evaluator, WorkerPool};
 use a2a_grid::GridKind;
 use a2a_obs::json::Json;
 use a2a_obs::schema::KERNEL_BENCH_SCHEMA;
-use a2a_sim::{paper_config_set, simulate, BatchRunner, InitialConfig, RunOutcome, WorldConfig};
+use a2a_obs::HistogramSnapshot;
+use a2a_sim::{
+    paper_config_set, simulate, BatchRunner, Dispatch, InitialConfig, RunOutcome, WorldConfig,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Genomes in the measured population: the published T-agent plus
@@ -117,6 +127,18 @@ fn multi_pass(runners: &[BatchRunner], configs: &[InitialConfig]) -> Vec<RunOutc
     outcomes
 }
 
+/// One whole-population pass through the dense full-scan multi path —
+/// the pre-frontier kernel, replayed verbatim so `frontier_speedup` is
+/// measured in-process on the same machine and workload.
+fn dense_pass(runners: &[BatchRunner], configs: &[InitialConfig]) -> Vec<RunOutcome> {
+    let mut outcomes = Vec::with_capacity(runners.len() * configs.len());
+    for runner in runners {
+        outcomes
+            .extend(runner.run_all_multi_dense(configs).expect("workload configs are valid"));
+    }
+    outcomes
+}
+
 /// One whole-population pass through the bit-sliced run-transposed
 /// path (engine forced, like [`multi_pass`]).
 fn sliced_pass(runners: &[BatchRunner], configs: &[InitialConfig]) -> Vec<RunOutcome> {
@@ -143,10 +165,52 @@ fn oracle_pass(w: &KernelWorkload) -> Vec<RunOutcome> {
     outcomes
 }
 
-/// Measures the workload through the three batch-kernel paths and
-/// assembles the `BENCH_kernel.json` document (see the module docs for
-/// the timing protocol). The reference `World` oracle runs once,
-/// untimed, and its outcomes join the `identical_outcomes` check.
+/// The sample-wise difference `after − before` of two snapshots of the
+/// same growing histogram — the samples recorded between the two
+/// captures. `min`/`max` are taken from `after` (the underlying
+/// histogram only widens its range), which is exact whenever `before`
+/// is empty — the bench's case, since the instrumented pass is the
+/// only metrics-enabled work in the process.
+fn histogram_delta(before: &HistogramSnapshot, after: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut delta = HistogramSnapshot {
+        count: after.count.saturating_sub(before.count),
+        sum: after.sum.saturating_sub(before.sum),
+        min: after.min,
+        max: after.max,
+        ..HistogramSnapshot::default()
+    };
+    for (d, (a, b)) in delta.buckets.iter_mut().zip(after.buckets.iter().zip(&before.buckets)) {
+        *d = a.saturating_sub(*b);
+    }
+    delta
+}
+
+/// One untimed metrics-instrumented multi pass: returns the
+/// `kernel.frontier.active` counter delta (active agent-steps) and the
+/// `kernel.frontier.active_pct` histogram delta (per-step active
+/// fraction, in percent) the pass recorded.
+fn instrumented_pass(
+    runners: &[BatchRunner],
+    configs: &[InitialConfig],
+) -> (u64, HistogramSnapshot) {
+    let reg = a2a_obs::global();
+    let active = reg.counter("kernel.frontier.active");
+    let active_pct = reg.histogram("kernel.frontier.active_pct");
+    let was_on = a2a_obs::metrics_enabled();
+    let count_before = active.get();
+    let hist_before = active_pct.snapshot();
+    a2a_obs::set_metrics(true);
+    let _ = multi_pass(runners, configs);
+    a2a_obs::set_metrics(was_on);
+    (active.get() - count_before, histogram_delta(&hist_before, &active_pct.snapshot()))
+}
+
+/// Measures the workload through the four batch-kernel paths plus the
+/// parallel dispatch seam and assembles the `BENCH_kernel.json`
+/// document (see the module docs for the timing protocol). The
+/// reference `World` oracle and the instrumented active-fraction pass
+/// run once each, untimed; the oracle's outcomes join the
+/// `identical_outcomes` check.
 ///
 /// # Panics
 ///
@@ -163,12 +227,26 @@ pub fn kernel_snapshot(configs: usize, seed: u64) -> Json {
                 .expect("workload genomes match the environment")
         })
         .collect();
+    // The parallel series: the same frontier kernel, sharded across the
+    // persistent worker pool through the dispatch seam. Outcomes are
+    // committed in submission order, so this path joins the identity
+    // check like any other engine.
+    let pool: Arc<dyn Dispatch> = Arc::new(WorkerPool::new(
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    ));
+    let par_runners: Vec<BatchRunner> =
+        runners.iter().map(|r| r.clone().with_dispatch(Arc::clone(&pool))).collect();
+    let workers = par_runners[0].dispatch_workers();
 
     let mut single_us = f64::INFINITY;
+    let mut dense_us = f64::INFINITY;
     let mut multi_us = f64::INFINITY;
+    let mut parallel_us = f64::INFINITY;
     let mut sliced_us = f64::INFINITY;
     let mut single_outcomes = Vec::new();
+    let mut dense_outcomes = Vec::new();
     let mut multi_outcomes = Vec::new();
+    let mut parallel_outcomes = Vec::new();
     let mut sliced_outcomes = Vec::new();
     for _ in 0..KERNEL_REPS {
         let started = Instant::now();
@@ -176,17 +254,28 @@ pub fn kernel_snapshot(configs: usize, seed: u64) -> Json {
         single_us = single_us.min(started.elapsed().as_micros().max(1) as f64);
 
         let started = Instant::now();
+        dense_outcomes = dense_pass(&runners, &w.configs);
+        dense_us = dense_us.min(started.elapsed().as_micros().max(1) as f64);
+
+        let started = Instant::now();
         multi_outcomes = multi_pass(&runners, &w.configs);
         multi_us = multi_us.min(started.elapsed().as_micros().max(1) as f64);
+
+        let started = Instant::now();
+        parallel_outcomes = multi_pass(&par_runners, &w.configs);
+        parallel_us = parallel_us.min(started.elapsed().as_micros().max(1) as f64);
 
         let started = Instant::now();
         sliced_outcomes = sliced_pass(&runners, &w.configs);
         sliced_us = sliced_us.min(started.elapsed().as_micros().max(1) as f64);
     }
     let oracle_outcomes = oracle_pass(&w);
-    let identical = single_outcomes == multi_outcomes
+    let identical = single_outcomes == dense_outcomes
+        && single_outcomes == multi_outcomes
+        && single_outcomes == parallel_outcomes
         && single_outcomes == sliced_outcomes
         && single_outcomes == oracle_outcomes;
+    let (active_steps, active_pct) = instrumented_pass(&runners, &w.configs);
 
     // All paths simulate the identical step count (retirement in the
     // batch kernels ≡ per-run early exit in the single-run loop), so
@@ -214,10 +303,23 @@ pub fn kernel_snapshot(configs: usize, seed: u64) -> Json {
                     .with("grid", "T"),
             )
             .with("single", rates(single_us))
+            .with("dense", rates(dense_us).with("chunk", chunk as u64))
             .with("multi", rates(multi_us).with("chunk", chunk as u64))
+            .with(
+                "parallel",
+                rates(parallel_us).with("chunk", chunk as u64).with("workers", workers as u64),
+            )
             .with("sliced", rates(sliced_us).with("chunk", sliced_chunk as u64))
             .with("speedup", single_us / multi_us)
+            .with("frontier_speedup", dense_us / multi_us)
+            .with("parallel_speedup", dense_us / parallel_us)
             .with("sliced_speedup", multi_us / sliced_us)
+            .with(
+                "frontier",
+                Json::object()
+                    .with("active_agent_steps", active_steps)
+                    .with("active_pct", active_pct.to_json()),
+            )
             .with("identical_outcomes", identical),
     )
 }

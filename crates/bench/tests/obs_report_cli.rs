@@ -6,6 +6,7 @@
 
 use a2a_obs::json::Json;
 use a2a_obs::schema::{seal, BENCH_HISTORY_SCHEMA, KERNEL_BENCH_SCHEMA};
+use a2a_obs::HistogramSnapshot;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -24,6 +25,8 @@ fn kernel_snapshot(sliced_speedup: f64) -> Json {
             .with("steps_per_sec", 1e9 / us)
             .with("evals_per_sec", 1e6 / us)
     };
+    let mut active = HistogramSnapshot::default();
+    active.record(55);
     seal(Json::object()
         .with("schema", KERNEL_BENCH_SCHEMA)
         .with(
@@ -31,10 +34,20 @@ fn kernel_snapshot(sliced_speedup: f64) -> Json {
             Json::object().with("population", 8u64).with("configs", 24u64).with("k", 8u64).with("grid", "T"),
         )
         .with("single", rates(200.0))
+        .with("dense", rates(160.0).with("chunk", 64u64))
         .with("multi", rates(100.0).with("chunk", 64u64))
+        .with("parallel", rates(102.0).with("chunk", 64u64).with("workers", 1u64))
         .with("sliced", rates(100.0 / sliced_speedup).with("chunk", 64u64))
         .with("speedup", 2.0)
+        .with("frontier_speedup", 1.6)
+        .with("parallel_speedup", 1.57)
         .with("sliced_speedup", sliced_speedup)
+        .with(
+            "frontier",
+            Json::object()
+                .with("active_agent_steps", 12_345u64)
+                .with("active_pct", active.to_json()),
+        )
         .with("identical_outcomes", true))
 }
 

@@ -306,33 +306,18 @@ impl Evaluator {
     #[must_use]
     pub fn evaluate_behaviour(&self, behaviour: &Behaviour) -> FitnessReport {
         let started = a2a_obs::metrics_enabled().then(std::time::Instant::now);
-        // Compile the behaviour once; the runner is Sync. The
-        // configuration set fans out over the worker pool in
-        // lockstep-kernel chunks (not per configuration): each task
-        // feeds one MultiWorld batch, split small enough to keep every
-        // worker busy.
+        // Compile the behaviour once and ride the in-kernel parallel
+        // dispatcher: `run_all` itself shards chunk-blocks across the
+        // shared worker pool (through the sim-visible `Dispatch` seam)
+        // and commits block results in submission order, so the
+        // outcome vector — and the fitness — is bit-identical to a
+        // serial `run_all`, whatever the thread count.
         let runner = BatchRunner::new(&self.config, behaviour, self.t_max)
+            .expect("behaviour and configuration set must match the environment")
+            .with_dispatch(Arc::clone(self.pool()) as Arc<dyn a2a_sim::Dispatch>);
+        let outcomes = runner
+            .run_all(&self.configs)
             .expect("behaviour and configuration set must match the environment");
-        let n_cfg = self.configs.len();
-        let k = self.configs[0].agent_count();
-        let per_worker = n_cfg.div_ceil(self.threads.max(1));
-        // Run-major chunks: run_all keeps every batch on MultiWorld
-        // (the bit-sliced engine measures slower on fitness-shaped
-        // workloads — see DESIGN.md §11), so size tasks for its
-        // cache-resident chunk.
-        let chunk = runner.chunk_size(k).min(per_worker).max(1);
-        let ranges: Arc<Vec<(usize, usize)>> = Arc::new(
-            (0..n_cfg.div_ceil(chunk))
-                .map(|b| (b * chunk, ((b + 1) * chunk).min(n_cfg)))
-                .collect(),
-        );
-        let configs = Arc::clone(&self.configs);
-        let chunks = self.pool().map(&ranges, move |_, &(from, to)| {
-            runner
-                .run_all(&configs[from..to])
-                .expect("behaviour and configuration set must match the environment")
-        });
-        let outcomes: Vec<RunOutcome> = chunks.into_iter().flatten().collect();
         record_genome_eval(started);
         FitnessReport::from_outcomes(&outcomes, self.weight)
     }

@@ -275,6 +275,33 @@ impl WorkerPool {
     }
 }
 
+/// The sim-facing executor seam: `a2a-sim`'s batch layer cannot name
+/// this crate (it would cycle the dependency graph), so it shards work
+/// through the [`a2a_sim::Dispatch`] trait and the pool plugs in here.
+/// Jobs ride the full [`WorkerPool::map`] watchdog — deadline,
+/// panic containment, quarantine — by parking each boxed job in a
+/// taken-once slot; a job the pool fails to run leaves its slot's
+/// result hole for the batch layer's deterministic inline repair.
+impl a2a_sim::Dispatch for WorkerPool {
+    fn run_jobs(&self, jobs: Vec<a2a_sim::DispatchJob>) {
+        let slots: Arc<Vec<Mutex<Option<a2a_sim::DispatchJob>>>> =
+            Arc::new(jobs.into_iter().map(|job| Mutex::new(Some(job))).collect());
+        self.map(&slots, |_, slot| {
+            // `take` makes the bounded retry a no-op for a job whose
+            // first attempt panicked mid-run: dispatch jobs are not
+            // idempotent from the pool's point of view, so the hole is
+            // left for the caller to repair instead of re-executed.
+            if let Some(job) = slot.lock().expect("dispatch slot lock").take() {
+                job();
+            }
+        });
+    }
+
+    fn workers(&self) -> usize {
+        self.threads().max(1)
+    }
+}
+
 /// One item application, behind the chaos probe.
 fn run_item<T, R>(f: &impl Fn(usize, &T) -> R, i: usize, item: &T) -> R {
     a2a_obs::fault::panic_point("ga.pool.item");
@@ -499,5 +526,44 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn dispatch_runs_every_job_across_threads() {
+        use a2a_sim::Dispatch;
+        for threads in [1, 3] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.workers(), threads);
+            let hits = Arc::new(AtomicUsize::new(0));
+            let jobs: Vec<a2a_sim::DispatchJob> = (0..17)
+                .map(|_| {
+                    let hits = Arc::clone(&hits);
+                    Box::new(move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }) as a2a_sim::DispatchJob
+                })
+                .collect();
+            pool.run_jobs(jobs);
+            assert_eq!(hits.load(Ordering::Relaxed), 17, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dispatched_batch_runner_matches_serial() {
+        use a2a_grid::GridKind;
+        use a2a_sim::{BatchRunner, InitialConfig, WorldConfig};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+        let runner =
+            BatchRunner::from_genome(&cfg, a2a_fsm::best_t_agent(), 200).unwrap();
+        let mut rng = SmallRng::seed_from_u64(99);
+        let inits: Vec<InitialConfig> = (0..2 * runner.chunk_size(16) + 5)
+            .map(|_| InitialConfig::random(cfg.lattice, cfg.kind, 16, &[], &mut rng).unwrap())
+            .collect();
+        let serial = runner.run_all(&inits).unwrap();
+        let pool: Arc<dyn a2a_sim::Dispatch> = Arc::new(WorkerPool::new(3));
+        let dispatched = runner.with_dispatch(pool).run_all(&inits).unwrap();
+        assert_eq!(serial, dispatched);
     }
 }

@@ -58,23 +58,35 @@
 //! adaptive path must never be slower), which CI gates on via
 //! `obs_validate --fitness`.
 //!
-//! # Kernel-bench schema (`a2a-obs/kernel-bench/v2`)
+//! # Kernel-bench schema (`a2a-obs/kernel-bench/v3`)
 //!
-//! The three-path kernel throughput snapshot written to
+//! The five-path kernel throughput snapshot written to
 //! `BENCH_kernel.json` (see [`validate_kernel_snapshot`] for the
-//! shape): the single-run path, the fused run-major `multi` path and
-//! the bit-sliced `sliced` path over one whole-population workload.
-//! `identical_outcomes` asserts every path reproduced the single-run
-//! outcomes bit-for-bit (the harness itself cross-checks against the
-//! reference `World`, making the guarantee four-engine). `speedup`
-//! (multi vs. single) gates ≥ 1 — it is the path `run_all` ships.
+//! shape): the single-run path, the `dense` full-scan multi path (the
+//! pre-frontier engine, replayed in-process as the honest same-machine
+//! baseline), the frontier `multi` path `run_all` ships, the `parallel`
+//! path (the same multi kernel sharded across a [`crate`]-external
+//! dispatcher), and the bit-sliced `sliced` path — all over one
+//! whole-population workload. `identical_outcomes` asserts every path
+//! reproduced the single-run outcomes bit-for-bit (the harness itself
+//! cross-checks against the reference `World`, making the guarantee
+//! span all engines). `speedup` (multi vs. single) and
+//! `frontier_speedup` (dense vs. frontier multi — the sparse kernel's
+//! own win) gate ≥ 1. `parallel_speedup` (dense vs. parallel) is
+//! recorded always and gated ≥ 3 only when `parallel.workers` ≥ 4 — a
+//! single-core runner cannot honestly bind a multi-core target, so the
+//! gate arms exactly where the hardware can meet it.
 //! `sliced_speedup` (sliced vs. multi) is *recorded, not gated ≥ 1*:
 //! the run-transposed engine measures slower than the run-major one on
 //! these workloads (divergent runs defeat word-parallel merging — see
 //! DESIGN.md §11), and the honest series is pinned against rot by the
-//! baseline regression gate instead. CI gates both ratios against a
-//! checked-in baseline via [`validate_kernel_regression`]
-//! (`obs_validate --kernel` / `--kernel-baseline`).
+//! baseline regression gate instead. The `frontier` section carries the
+//! measured per-step active-fraction histogram
+//! (`kernel.frontier.active_pct`, captured on an untimed instrumented
+//! pass) — the empirical shape that justifies sparse stepping. CI gates
+//! the ratios against a checked-in baseline via
+//! [`validate_kernel_regression`] (`obs_validate --kernel` /
+//! `--kernel-baseline`).
 //!
 //! # Checksums
 //!
@@ -96,7 +108,18 @@ pub const BENCH_SNAPSHOT_SCHEMA: &str = "a2a-obs/bench-snapshot/v1";
 pub const FITNESS_BENCH_SCHEMA: &str = "a2a-obs/fitness-bench/v1";
 
 /// Schema identifier written into `BENCH_kernel.json`.
-pub const KERNEL_BENCH_SCHEMA: &str = "a2a-obs/kernel-bench/v2";
+pub const KERNEL_BENCH_SCHEMA: &str = "a2a-obs/kernel-bench/v3";
+
+/// The minimum worker count at which [`validate_kernel_snapshot`]
+/// arms the ≥ [`PARALLEL_SPEEDUP_GATE`] gate on `parallel_speedup`.
+/// Below it (CI single-core runners included) the ratio is recorded
+/// but not floored — one core cannot honestly bind a multi-core
+/// target.
+pub const PARALLEL_GATE_MIN_WORKERS: f64 = 4.0;
+
+/// The `parallel_speedup` floor enforced once the dispatcher has at
+/// least [`PARALLEL_GATE_MIN_WORKERS`] workers.
+pub const PARALLEL_SPEEDUP_GATE: f64 = 3.0;
 
 /// Schema identifier of a flight-recorder dump's sealed header line
 /// (see [`crate::flight`] for the stream layout).
@@ -321,7 +344,12 @@ pub fn validate_flight(content: &str) -> Result<FlightSummary, String> {
 /// (`a2a-obs/bench-history/v1`) and returns the parsed document: the
 /// per-run trend point `obs_report` plots. Requires positive
 /// `kernel.speedup` / `kernel.sliced_speedup` / `fitness.speedup`
-/// ratios plus a numeric `t_ms` stamp; everything else is advisory.
+/// ratios plus a numeric `t_ms` stamp. Newer lines also carry
+/// `kernel.frontier_speedup`, `kernel.frontier_active` and
+/// `kernel.dispatch_workers`; those are optional (pre-v3 lines stay
+/// valid) but type- and sign-checked when present, and
+/// `frontier_speedup < 1` is rejected — a frontier kernel slower than
+/// its own dense scan is a regression whatever machine ran it.
 ///
 /// # Errors
 ///
@@ -339,6 +367,23 @@ pub fn validate_history_line(line: &str) -> Result<Json, String> {
         let v = require_num(kernel, "kernel", key)?;
         if !v.is_finite() || v <= 0.0 {
             return Err(format!("`kernel.{key}` must be a positive ratio"));
+        }
+    }
+    if let Some(v) = kernel.get("frontier_speedup") {
+        let v = v.as_f64().ok_or("`kernel.frontier_speedup` must be a number")?;
+        if !v.is_finite() || v < 1.0 {
+            return Err(format!(
+                "`kernel.frontier_speedup` is {v}: the frontier kernel must not be slower \
+                 than its own dense scan"
+            ));
+        }
+    }
+    for key in ["frontier_active", "dispatch_workers"] {
+        if let Some(v) = kernel.get(key) {
+            let v = v.as_f64().ok_or_else(|| format!("`kernel.{key}` must be a number"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("`kernel.{key}` must be non-negative"));
+            }
         }
     }
     let fitness = doc.get("fitness").ok_or("missing `fitness`")?;
@@ -490,23 +535,35 @@ pub fn validate_fitness_snapshot(doc: &Json) -> Result<(), String> {
 }
 
 /// Validates a parsed `BENCH_kernel.json` document against
-/// `a2a-obs/kernel-bench/v2`: structural members present, all three
+/// `a2a-obs/kernel-bench/v3`: structural members present, all five
 /// paths' throughputs positive, the multi-run path not slower than the
-/// single-run path, the bit-sliced series present with a positive
-/// ratio (its value is regression-gated, not floored at 1 — see the
-/// module docs), and outcomes bit-identical across every engine.
+/// single-run path, the frontier kernel not slower than its own dense
+/// scan, the parallel path gated ≥ [`PARALLEL_SPEEDUP_GATE`] once the
+/// dispatcher has ≥ [`PARALLEL_GATE_MIN_WORKERS`] workers, the
+/// bit-sliced series present with a positive ratio (its value is
+/// regression-gated, not floored at 1 — see the module docs), a
+/// non-empty active-fraction histogram, and outcomes bit-identical
+/// across every engine.
 ///
 /// ```json
 /// {
-///   "schema": "a2a-obs/kernel-bench/v2",
+///   "schema": "a2a-obs/kernel-bench/v3",
 ///   "workload": {"population": 8, "configs": 100, "k": 16, "grid": "T"},
 ///   "single": {"elapsed_us": 9.0e5, "steps_per_sec": 1.1e6, "evals_per_sec": 890.0},
-///   "multi": {"elapsed_us": 5.2e5, "steps_per_sec": 1.9e6, "evals_per_sec": 1530.0,
+///   "dense": {"elapsed_us": 6.9e5, "steps_per_sec": 1.5e6, "evals_per_sec": 1160.0,
 ///             "chunk": 51},
-///   "sliced": {"elapsed_us": 7.1e5, "steps_per_sec": 1.4e6, "evals_per_sec": 1120.0,
+///   "multi": {"elapsed_us": 4.3e5, "steps_per_sec": 2.3e6, "evals_per_sec": 1860.0,
+///             "chunk": 51},
+///   "parallel": {"elapsed_us": 4.4e5, "steps_per_sec": 2.2e6, "evals_per_sec": 1820.0,
+///                "chunk": 51, "workers": 1},
+///   "sliced": {"elapsed_us": 9.5e5, "steps_per_sec": 1.0e6, "evals_per_sec": 840.0,
 ///              "chunk": 320},
-///   "speedup": 1.72,
-///   "sliced_speedup": 0.73,
+///   "speedup": 1.52,
+///   "frontier_speedup": 1.61,
+///   "parallel_speedup": 1.57,
+///   "sliced_speedup": 0.45,
+///   "frontier": {"active_agent_steps": 123456,
+///                "active_pct": {"count": 800, "sum": 31000, ...}},
 ///   "identical_outcomes": true
 /// }
 /// ```
@@ -530,7 +587,7 @@ pub fn validate_kernel_snapshot(doc: &Json) -> Result<(), String> {
     }
     workload.get("grid").and_then(Json::as_str).ok_or("`workload.grid` must be a string")?;
 
-    for engine in ["single", "multi", "sliced"] {
+    for engine in ["single", "dense", "multi", "parallel", "sliced"] {
         let section = doc.get(engine).ok_or_else(|| format!("missing `{engine}`"))?;
         for key in ["elapsed_us", "steps_per_sec", "evals_per_sec"] {
             let v = require_num(section, engine, key)?;
@@ -542,6 +599,10 @@ pub fn validate_kernel_snapshot(doc: &Json) -> Result<(), String> {
             require_num(section, engine, "chunk")?;
         }
     }
+    let workers = require_num(doc.get("parallel").expect("checked above"), "parallel", "workers")?;
+    if workers < 1.0 {
+        return Err(format!("`parallel.workers` is {workers}: must be at least 1"));
+    }
 
     let speedup = doc.get("speedup").and_then(Json::as_f64).ok_or("missing `speedup`")?;
     if !speedup.is_finite() || speedup < 1.0 {
@@ -550,11 +611,47 @@ pub fn validate_kernel_snapshot(doc: &Json) -> Result<(), String> {
              single-run path"
         ));
     }
+    let frontier_speedup = doc
+        .get("frontier_speedup")
+        .and_then(Json::as_f64)
+        .ok_or("missing `frontier_speedup`")?;
+    if !frontier_speedup.is_finite() || frontier_speedup < 1.0 {
+        return Err(format!(
+            "`frontier_speedup` is {frontier_speedup:.3}: the frontier kernel must not be \
+             slower than its own dense scan"
+        ));
+    }
+    let parallel_speedup = doc
+        .get("parallel_speedup")
+        .and_then(Json::as_f64)
+        .ok_or("missing `parallel_speedup`")?;
+    if !parallel_speedup.is_finite() || parallel_speedup <= 0.0 {
+        return Err(format!("`parallel_speedup` is {parallel_speedup}: must be a positive ratio"));
+    }
+    if workers >= PARALLEL_GATE_MIN_WORKERS && parallel_speedup < PARALLEL_SPEEDUP_GATE {
+        return Err(format!(
+            "`parallel_speedup` is {parallel_speedup:.3} with {workers} workers: the \
+             dispatcher must reach {PARALLEL_SPEEDUP_GATE}x over the dense single-thread \
+             baseline once {PARALLEL_GATE_MIN_WORKERS}+ cores are available"
+        ));
+    }
     let sliced =
         doc.get("sliced_speedup").and_then(Json::as_f64).ok_or("missing `sliced_speedup`")?;
     if !sliced.is_finite() || sliced <= 0.0 {
         return Err(format!("`sliced_speedup` is {sliced}: must be a positive ratio"));
     }
+
+    let frontier = doc.get("frontier").ok_or("missing `frontier`")?;
+    let steps = require_num(frontier, "frontier", "active_agent_steps")?;
+    if steps <= 0.0 {
+        return Err("`frontier.active_agent_steps` must be positive".to_string());
+    }
+    let hist = frontier.get("active_pct").ok_or("`frontier` missing `active_pct` histogram")?;
+    let snap = HistogramSnapshot::from_json(hist)?;
+    if snap.count == 0 {
+        return Err("`frontier.active_pct` histogram is empty".to_string());
+    }
+
     match doc.get("identical_outcomes") {
         Some(Json::Bool(true)) => Ok(()),
         Some(Json::Bool(false)) => {
@@ -566,7 +663,7 @@ pub fn validate_kernel_snapshot(doc: &Json) -> Result<(), String> {
 
 /// Gates a fresh `BENCH_kernel.json` against a checked-in baseline
 /// snapshot: both must validate, and each fresh *speedup ratio*
-/// (`speedup` and `sliced_speedup`) must be at least
+/// (`speedup`, `frontier_speedup` and `sliced_speedup`) must be at least
 /// [`KERNEL_REGRESSION_FLOOR`] of the baseline's. The ratios are
 /// dimensionless, so the gate is meaningful across machines of
 /// different absolute throughput (CI runners vs. the machine that
@@ -581,7 +678,7 @@ pub fn validate_kernel_snapshot(doc: &Json) -> Result<(), String> {
 pub fn validate_kernel_regression(baseline: &Json, fresh: &Json) -> Result<(), String> {
     validate_kernel_snapshot(baseline).map_err(|e| format!("baseline: {e}"))?;
     validate_kernel_snapshot(fresh).map_err(|e| format!("fresh: {e}"))?;
-    for key in ["speedup", "sliced_speedup"] {
+    for key in ["speedup", "frontier_speedup", "sliced_speedup"] {
         let base = baseline.get(key).and_then(Json::as_f64).expect("validated above");
         let now = fresh.get(key).and_then(Json::as_f64).expect("validated above");
         if now < KERNEL_REGRESSION_FLOOR * base {
@@ -762,6 +859,45 @@ mod tests {
     }
 
     #[test]
+    fn history_frontier_fields_are_optional_but_gated() {
+        // Pre-v3 lines (no frontier fields) stay valid — that's the
+        // fixture. Lines carrying them are sign-checked.
+        let with_frontier = resealed(
+            parse(&history_line()).unwrap(),
+            "kernel",
+            Json::object()
+                .with("speedup", 1.7)
+                .with("sliced_speedup", 0.4)
+                .with("frontier_speedup", 1.6)
+                .with("frontier_active", 123_456u64)
+                .with("dispatch_workers", 1u64),
+        );
+        validate_history_line(&with_frontier.to_string()).unwrap();
+
+        // `frontier_speedup < 1` is a regression wherever it ran.
+        let slow = resealed(
+            parse(&history_line()).unwrap(),
+            "kernel",
+            Json::object()
+                .with("speedup", 1.7)
+                .with("sliced_speedup", 0.4)
+                .with("frontier_speedup", 0.9),
+        );
+        let err = validate_history_line(&slow.to_string()).unwrap_err();
+        assert!(err.contains("frontier_speedup"), "got: {err}");
+
+        let bad_workers = resealed(
+            parse(&history_line()).unwrap(),
+            "kernel",
+            Json::object()
+                .with("speedup", 1.7)
+                .with("sliced_speedup", 0.4)
+                .with("dispatch_workers", -1i64),
+        );
+        assert!(validate_history_line(&bad_workers.to_string()).is_err());
+    }
+
+    #[test]
     fn checksums_seal_and_verify() {
         let doc = Json::object().with("schema", "x/v1").with("value", 7u64);
         assert!(verify_checksum(&doc).is_err(), "unsealed documents fail");
@@ -844,7 +980,21 @@ mod tests {
         seal(doc)
     }
 
+    fn kernel_engine(us: f64, chunk: Option<u64>) -> Json {
+        let mut section = Json::object()
+            .with("elapsed_us", us)
+            .with("steps_per_sec", 1e8 / us)
+            .with("evals_per_sec", 8e8 / us);
+        if let Some(c) = chunk {
+            section = section.with("chunk", c);
+        }
+        section
+    }
+
     fn minimal_kernel_snapshot() -> Json {
+        let mut active = HistogramSnapshot::default();
+        active.record(62);
+        active.record(31);
         seal(Json::object()
             .with("schema", KERNEL_BENCH_SCHEMA)
             .with(
@@ -855,31 +1005,21 @@ mod tests {
                     .with("k", 16u64)
                     .with("grid", "T"),
             )
+            .with("single", kernel_engine(9e5, None))
+            .with("dense", kernel_engine(6.9e5, Some(51)))
+            .with("multi", kernel_engine(4.3e5, Some(51)))
+            .with("parallel", kernel_engine(4.4e5, Some(51)).with("workers", 1u64))
+            .with("sliced", kernel_engine(9.5e5, Some(320)))
+            .with("speedup", 2.09)
+            .with("frontier_speedup", 1.60)
+            .with("parallel_speedup", 1.57)
+            .with("sliced_speedup", 0.45)
             .with(
-                "single",
+                "frontier",
                 Json::object()
-                    .with("elapsed_us", 9e5)
-                    .with("steps_per_sec", 1.1e6)
-                    .with("evals_per_sec", 890.0),
+                    .with("active_agent_steps", 123_456u64)
+                    .with("active_pct", active.to_json()),
             )
-            .with(
-                "multi",
-                Json::object()
-                    .with("elapsed_us", 5.2e5)
-                    .with("steps_per_sec", 1.9e6)
-                    .with("evals_per_sec", 1530.0)
-                    .with("chunk", 51u64),
-            )
-            .with(
-                "sliced",
-                Json::object()
-                    .with("elapsed_us", 7.1e5)
-                    .with("steps_per_sec", 1.4e6)
-                    .with("evals_per_sec", 1120.0)
-                    .with("chunk", 320u64),
-            )
-            .with("speedup", 1.72)
-            .with("sliced_speedup", 0.73)
             .with("identical_outcomes", true))
     }
 
@@ -897,14 +1037,7 @@ mod tests {
         let wrong = resealed(minimal_kernel_snapshot(), "schema", "other/v0".into());
         assert!(validate_kernel_snapshot(&wrong).is_err());
 
-        let gap = resealed(
-            minimal_kernel_snapshot(),
-            "multi",
-            Json::object()
-                .with("elapsed_us", 5.2e5)
-                .with("steps_per_sec", 1.9e6)
-                .with("evals_per_sec", 1530.0),
-        );
+        let gap = resealed(minimal_kernel_snapshot(), "multi", kernel_engine(4.3e5, None));
         assert!(validate_kernel_snapshot(&gap).is_err(), "missing chunk must fail");
 
         // The sliced series is informational: a ratio below 1 passes,
@@ -923,6 +1056,64 @@ mod tests {
     }
 
     #[test]
+    fn kernel_v3_frontier_and_parallel_gates() {
+        // A frontier kernel slower than its own dense scan must fail —
+        // this ratio is in-run on one machine, so it is always binding.
+        let slow = resealed(minimal_kernel_snapshot(), "frontier_speedup", Json::Num(0.97));
+        assert!(
+            validate_kernel_snapshot(&slow).unwrap_err().contains("frontier_speedup"),
+            "sub-1 frontier ratio must fail"
+        );
+        let gone = resealed(minimal_kernel_snapshot(), "frontier_speedup", Json::Null);
+        assert!(validate_kernel_snapshot(&gone).is_err(), "missing frontier ratio must fail");
+
+        // With < 4 workers the parallel ratio is recorded, not floored:
+        // the fixture (1 worker, 1.57x) passes. With >= 4 workers the
+        // 3x gate arms.
+        validate_kernel_snapshot(&minimal_kernel_snapshot()).unwrap();
+        let wide = resealed(
+            minimal_kernel_snapshot(),
+            "parallel",
+            kernel_engine(4.4e5, Some(51)).with("workers", 8u64),
+        );
+        assert!(
+            validate_kernel_snapshot(&wide).unwrap_err().contains("parallel_speedup"),
+            "8 workers at 1.57x must trip the 3x gate"
+        );
+        let wide_fast = resealed(
+            resealed(
+                minimal_kernel_snapshot(),
+                "parallel",
+                kernel_engine(1.5e5, Some(51)).with("workers", 8u64),
+            ),
+            "parallel_speedup",
+            Json::Num(4.6),
+        );
+        validate_kernel_snapshot(&wide_fast).unwrap();
+        let zero_workers = resealed(
+            minimal_kernel_snapshot(),
+            "parallel",
+            kernel_engine(4.4e5, Some(51)).with("workers", 0u64),
+        );
+        assert!(validate_kernel_snapshot(&zero_workers).is_err(), "workers must be >= 1");
+
+        // The active-fraction evidence must exist and be non-empty.
+        let no_frontier = resealed(minimal_kernel_snapshot(), "frontier", Json::Null);
+        assert!(validate_kernel_snapshot(&no_frontier).is_err());
+        let empty_hist = resealed(
+            minimal_kernel_snapshot(),
+            "frontier",
+            Json::object()
+                .with("active_agent_steps", 123u64)
+                .with("active_pct", HistogramSnapshot::default().to_json()),
+        );
+        assert!(
+            validate_kernel_snapshot(&empty_hist).unwrap_err().contains("active_pct"),
+            "empty histogram must fail"
+        );
+    }
+
+    #[test]
     fn kernel_regression_gate_compares_speedups() {
         let baseline = minimal_kernel_snapshot();
         validate_kernel_regression(&baseline, &minimal_kernel_snapshot()).unwrap();
@@ -930,18 +1121,26 @@ mod tests {
         // Better or mildly worse speedups pass...
         let better = resealed(minimal_kernel_snapshot(), "speedup", Json::Num(2.5));
         validate_kernel_regression(&baseline, &better).unwrap();
-        let mild = resealed(minimal_kernel_snapshot(), "speedup", Json::Num(1.72 * 0.75));
+        let mild = resealed(minimal_kernel_snapshot(), "speedup", Json::Num(2.09 * 0.75));
         validate_kernel_regression(&baseline, &mild).unwrap();
 
         // ...a > 30 % loss of the ratio fails.
-        let regressed = resealed(minimal_kernel_snapshot(), "speedup", Json::Num(1.72 * 0.6));
+        let regressed = resealed(minimal_kernel_snapshot(), "speedup", Json::Num(2.09 * 0.6));
         let err = validate_kernel_regression(&baseline, &regressed).unwrap_err();
         assert!(err.contains("regressed"), "got: {err}");
+
+        // The frontier ratio is pinned by the same relative floor (a
+        // fresh 1.05x still clears the absolute >= 1 gate, but loses
+        // more than 30 % of the baseline's 1.60x).
+        let frontier_rot =
+            resealed(minimal_kernel_snapshot(), "frontier_speedup", Json::Num(1.05));
+        let err = validate_kernel_regression(&baseline, &frontier_rot).unwrap_err();
+        assert!(err.contains("frontier_speedup"), "got: {err}");
 
         // The sliced series is pinned by the same relative floor even
         // though its absolute ratio sits below 1.
         let sliced_rot =
-            resealed(minimal_kernel_snapshot(), "sliced_speedup", Json::Num(0.73 * 0.6));
+            resealed(minimal_kernel_snapshot(), "sliced_speedup", Json::Num(0.45 * 0.6));
         let err = validate_kernel_regression(&baseline, &sliced_rot).unwrap_err();
         assert!(err.contains("sliced_speedup"), "got: {err}");
 

@@ -12,6 +12,7 @@
 
 use crate::behaviour::Behaviour;
 use crate::config::WorldConfig;
+use crate::dispatch::{Dispatch, DispatchJob};
 use crate::error::SimError;
 use crate::init::InitialConfig;
 use crate::kernel::{FastWorld, KernelEnv};
@@ -21,7 +22,7 @@ use crate::sliced::{preferred_sliced_chunk, SlicedWorld};
 use a2a_fsm::Genome;
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Worlds kept warm per thread (single-run and multi-run pools each).
 /// GA workers interleave at most a handful of runners (one per genome
@@ -139,6 +140,11 @@ fn return_pooled_multi(world: MultiWorld) {
 pub struct BatchRunner {
     env: Arc<KernelEnv>,
     t_max: u32,
+    /// The executor [`BatchRunner::run_all`] shards chunk-blocks
+    /// across; `None` (the default) runs everything on the calling
+    /// thread. Results are committed in submission order either way,
+    /// so outcomes are bit-identical across executors.
+    dispatch: Option<Arc<dyn Dispatch>>,
 }
 
 impl BatchRunner {
@@ -155,7 +161,33 @@ impl BatchRunner {
         behaviour: &Behaviour,
         t_max: u32,
     ) -> Result<Self, SimError> {
-        Ok(Self { env: Arc::new(KernelEnv::new(config, behaviour)?), t_max })
+        Ok(Self { env: Arc::new(KernelEnv::new(config, behaviour)?), t_max, dispatch: None })
+    }
+
+    /// Attaches a parallel executor: [`BatchRunner::run_all`] (and the
+    /// engine-forcing multi seams) shard chunk-sized blocks of the
+    /// configuration set across it, committing block results in
+    /// submission order — outcomes stay bit-identical to the serial
+    /// path (the differential suite enforces this). Pass the
+    /// GA worker pool through its `Dispatch` impl; detach with
+    /// [`BatchRunner::without_dispatch`].
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: Arc<dyn Dispatch>) -> Self {
+        self.dispatch = Some(dispatch);
+        self
+    }
+
+    /// Drops any attached executor; `run_all` runs inline again.
+    #[must_use]
+    pub fn without_dispatch(mut self) -> Self {
+        self.dispatch = None;
+        self
+    }
+
+    /// Worker threads the attached executor offers (`1` without one).
+    #[must_use]
+    pub fn dispatch_workers(&self) -> usize {
+        self.dispatch.as_ref().map_or(1, |d| d.workers().max(1))
     }
 
     /// [`BatchRunner::new`] for the paper's single-FSM behaviour.
@@ -284,31 +316,129 @@ impl BatchRunner {
     ///
     /// As [`BatchRunner::run_all`].
     pub fn run_all_multi(&self, inits: &[InitialConfig]) -> Result<Vec<RunOutcome>, SimError> {
+        self.run_all_multi_with(inits, false)
+    }
+
+    /// [`BatchRunner::run_all_multi`] with the engine's dense-scan
+    /// compatibility mode forced on ([`MultiWorld::set_dense`]): the
+    /// pre-frontier full-`k` exchange sweep, kept as the kernel
+    /// bench's in-process baseline for `frontier_speedup`. Outcomes
+    /// are bit-identical to the default path; only the cost differs.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchRunner::run_all`].
+    pub fn run_all_multi_dense(&self, inits: &[InitialConfig]) -> Result<Vec<RunOutcome>, SimError> {
+        self.run_all_multi_with(inits, true)
+    }
+
+    fn run_all_multi_with(
+        &self,
+        inits: &[InitialConfig],
+        dense: bool,
+    ) -> Result<Vec<RunOutcome>, SimError> {
         let _span = a2a_obs::Span::enter("batch.run_all");
-        let chunk = self.chunk_size(inits.first().map_or(1, InitialConfig::agent_count));
-        let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(inits.len());
-        for block in inits.chunks(chunk) {
-            let mut world = match take_pooled_multi(&self.env) {
-                Some(world) => {
-                    if a2a_obs::metrics_enabled() {
-                        a2a_obs::global().counter("kernel.pool.reuse").incr();
-                    }
-                    world
-                }
-                None => {
-                    if a2a_obs::metrics_enabled() {
-                        a2a_obs::global().counter("kernel.pool.fresh").incr();
-                    }
-                    MultiWorld::from_env(Arc::clone(&self.env))
-                }
-            };
-            // A load error may leave the world half-loaded; drop it
-            // rather than pooling an inconsistent arena.
-            world.load(block)?;
-            outcomes.extend(world.run(self.t_max));
-            return_pooled_multi(world);
+        // An empty batch must not consult `inits[0]` for chunk sizing
+        // (it used to silently size chunks for k = 1).
+        let Some(first) = inits.first() else {
+            return Ok(Vec::new());
+        };
+        let chunk = self.chunk_size(first.agent_count());
+        let blocks = inits.len().div_ceil(chunk);
+        let parallel = self
+            .dispatch
+            .as_ref()
+            .filter(|d| d.workers() > 1 && blocks > 1);
+        if a2a_obs::metrics_enabled() {
+            let occupied = parallel.map_or(1, |d| d.workers().min(blocks));
+            a2a_obs::global().gauge("kernel.dispatch.workers").set(occupied as i64);
         }
+        let outcomes = match parallel {
+            Some(dispatch) => self.run_blocks_parallel(dispatch, inits, chunk, dense)?,
+            None => {
+                let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(inits.len());
+                for block in inits.chunks(chunk) {
+                    outcomes.extend(self.run_block_multi(block, dense)?);
+                }
+                outcomes
+            }
+        };
         self.log_run_all(&outcomes);
+        Ok(outcomes)
+    }
+
+    /// One chunk-block through a pooled per-thread [`MultiWorld`] —
+    /// the unit of work both the serial loop and the parallel
+    /// dispatcher execute.
+    fn run_block_multi(
+        &self,
+        block: &[InitialConfig],
+        dense: bool,
+    ) -> Result<Vec<RunOutcome>, SimError> {
+        let mut world = match take_pooled_multi(&self.env) {
+            Some(world) => {
+                if a2a_obs::metrics_enabled() {
+                    a2a_obs::global().counter("kernel.pool.reuse").incr();
+                }
+                world
+            }
+            None => {
+                if a2a_obs::metrics_enabled() {
+                    a2a_obs::global().counter("kernel.pool.fresh").incr();
+                }
+                MultiWorld::from_env(Arc::clone(&self.env))
+            }
+        };
+        world.set_dense(dense);
+        // A load error may leave the world half-loaded; drop it
+        // rather than pooling an inconsistent arena.
+        world.load(block)?;
+        let outcomes = world.run(self.t_max);
+        // Pooled worlds always rest in frontier mode (the default).
+        world.set_dense(false);
+        return_pooled_multi(world);
+        Ok(outcomes)
+    }
+
+    /// Shards chunk-blocks across `dispatch` and commits the results
+    /// in submission order, which makes the outcome vector — and the
+    /// first reported error — independent of scheduling. Jobs only
+    /// write their own pre-assigned slot; a slot the executor failed
+    /// to deliver (e.g. a worker died mid-batch) is detected by the
+    /// commit loop and re-run inline, so the result is total.
+    fn run_blocks_parallel(
+        &self,
+        dispatch: &Arc<dyn Dispatch>,
+        inits: &[InitialConfig],
+        chunk: usize,
+        dense: bool,
+    ) -> Result<Vec<RunOutcome>, SimError> {
+        type Slot = Mutex<Option<Result<Vec<RunOutcome>, SimError>>>;
+        let blocks: Arc<Vec<Vec<InitialConfig>>> =
+            Arc::new(inits.chunks(chunk).map(<[InitialConfig]>::to_vec).collect());
+        let slots: Arc<Vec<Slot>> =
+            Arc::new((0..blocks.len()).map(|_| Mutex::new(None)).collect());
+        let jobs: Vec<DispatchJob> = (0..blocks.len())
+            .map(|b| {
+                let blocks = Arc::clone(&blocks);
+                let slots = Arc::clone(&slots);
+                let runner = self.clone();
+                Box::new(move || {
+                    let result = runner.run_block_multi(&blocks[b], dense);
+                    *slots[b].lock().expect("slot poisoned") = Some(result);
+                }) as DispatchJob
+            })
+            .collect();
+        dispatch.run_jobs(jobs);
+        let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(inits.len());
+        for (b, slot) in slots.iter().enumerate() {
+            let result = match slot.lock().expect("slot poisoned").take() {
+                Some(result) => result,
+                // Undelivered: repair deterministically on this thread.
+                None => self.run_block_multi(&blocks[b], dense),
+            };
+            outcomes.extend(result?);
+        }
         Ok(outcomes)
     }
 
@@ -325,7 +455,12 @@ impl BatchRunner {
     /// for a batch whose configurations disagree on the agent count.
     pub fn run_all_sliced(&self, inits: &[InitialConfig]) -> Result<Vec<RunOutcome>, SimError> {
         let _span = a2a_obs::Span::enter("batch.run_all");
-        let chunk = self.sliced_chunk_size(inits.first().map_or(1, InitialConfig::agent_count));
+        // An empty batch must not consult `inits[0]` for chunk sizing
+        // (it used to silently size chunks for k = 1).
+        let Some(first) = inits.first() else {
+            return Ok(Vec::new());
+        };
+        let chunk = self.sliced_chunk_size(first.agent_count());
         let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(inits.len());
         for block in inits.chunks(chunk) {
             let mut world = match take_pooled_sliced(&self.env) {
@@ -525,6 +660,112 @@ mod tests {
             runner.run_all(&ragged).unwrap(),
             runner.run_all_multi(&ragged).unwrap()
         );
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_on_every_path() {
+        // Regression: chunk sizing used to read `inits.first()` with a
+        // k = 1 fallback, silently shaping chunks for a batch that does
+        // not exist.
+        let cfg = WorldConfig::paper(GridKind::Square, 16);
+        let runner = BatchRunner::from_genome(&cfg, best_agent(cfg.kind), 200).unwrap();
+        assert!(runner.run_all(&[]).unwrap().is_empty());
+        assert!(runner.run_all_multi(&[]).unwrap().is_empty());
+        assert!(runner.run_all_multi_dense(&[]).unwrap().is_empty());
+        assert!(runner.run_all_sliced(&[]).unwrap().is_empty());
+    }
+
+    /// A real multi-threaded executor for the dispatch tests:
+    /// round-robins jobs over `N` scoped threads.
+    #[derive(Debug)]
+    struct ThreadedDispatch(usize);
+
+    impl crate::Dispatch for ThreadedDispatch {
+        fn run_jobs(&self, jobs: Vec<crate::DispatchJob>) {
+            let mut buckets: Vec<Vec<crate::DispatchJob>> =
+                (0..self.0).map(|_| Vec::new()).collect();
+            for (i, job) in jobs.into_iter().enumerate() {
+                buckets[i % self.0].push(job);
+            }
+            std::thread::scope(|scope| {
+                for bucket in buckets {
+                    scope.spawn(move || {
+                        for job in bucket {
+                            job();
+                        }
+                    });
+                }
+            });
+        }
+
+        fn workers(&self) -> usize {
+            self.0
+        }
+    }
+
+    /// A hostile executor that silently drops every odd-indexed job —
+    /// the commit loop must repair the holes inline.
+    #[derive(Debug)]
+    struct LossyDispatch;
+
+    impl crate::Dispatch for LossyDispatch {
+        fn run_jobs(&self, jobs: Vec<crate::DispatchJob>) {
+            for (i, job) in jobs.into_iter().enumerate() {
+                if i % 2 == 0 {
+                    job();
+                }
+            }
+        }
+
+        fn workers(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn dispatched_run_all_is_bit_identical_to_serial() {
+        let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+        let runner = BatchRunner::from_genome(&cfg, best_agent(cfg.kind), 200).unwrap();
+        let mut rng = SmallRng::seed_from_u64(606);
+        // Enough configurations for several chunk-blocks.
+        let inits: Vec<InitialConfig> = (0..3 * runner.chunk_size(16) + 7)
+            .map(|_| InitialConfig::random(cfg.lattice, cfg.kind, 16, &[], &mut rng).unwrap())
+            .collect();
+        let serial = runner.run_all(&inits).unwrap();
+        let threaded = runner.clone().with_dispatch(Arc::new(ThreadedDispatch(3)));
+        assert_eq!(threaded.run_all(&inits).unwrap(), serial);
+        assert_eq!(threaded.run_all_multi_dense(&inits).unwrap(), serial);
+        assert_eq!(threaded.dispatch_workers(), 3);
+        assert_eq!(threaded.without_dispatch().dispatch_workers(), 1);
+        // A lossy executor leaves holes; the ordered commit repairs
+        // them inline and the result is still bit-identical.
+        let lossy = runner.clone().with_dispatch(Arc::new(LossyDispatch));
+        assert_eq!(lossy.run_all(&inits).unwrap(), serial);
+    }
+
+    #[test]
+    fn dispatched_run_all_reports_the_first_error_in_batch_order() {
+        let cfg = WorldConfig::paper(GridKind::Square, 16);
+        let runner = BatchRunner::from_genome(&cfg, best_agent(cfg.kind), 200).unwrap();
+        let mut rng = SmallRng::seed_from_u64(607);
+        let chunk = runner.chunk_size(8);
+        let mut inits: Vec<InitialConfig> = (0..3 * chunk)
+            .map(|_| InitialConfig::random(cfg.lattice, cfg.kind, 8, &[], &mut rng).unwrap())
+            .collect();
+        // Earlier block: a duplicate placement. Later block: an
+        // out-of-field position. Batch order decides which one wins,
+        // regardless of which job finishes first.
+        inits[chunk + 1] = InitialConfig::new(vec![
+            (a2a_grid::Pos::new(1, 1), a2a_grid::Dir::new(0)),
+            (a2a_grid::Pos::new(1, 1), a2a_grid::Dir::new(0)),
+        ]);
+        inits[2 * chunk + 1] =
+            InitialConfig::new(vec![(a2a_grid::Pos::new(99, 0), a2a_grid::Dir::new(0))]);
+        let threaded = runner.clone().with_dispatch(Arc::new(ThreadedDispatch(3)));
+        assert!(matches!(
+            threaded.run_all(&inits),
+            Err(SimError::DuplicatePosition(_))
+        ));
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub(crate) struct KernelEnv {
     /// Flat neighbour table: `fwd[cell * n_dirs + d]` is the cell one step
     /// along direction `d`, or [`NONE`] off a bordered field.
     pub(crate) fwd: Vec<u32>,
+    /// Whether any `fwd` entry is [`NONE`] (bordered lattice). Toroidal
+    /// fields are fully wrapped, so their exchange gathers skip the
+    /// per-neighbour sentinel test entirely.
+    pub(crate) has_border: bool,
     /// Obstacle cells as a bitset.
     pub(crate) obstacle_words: Vec<u64>,
     /// Validated initial colouring, packed as bit-planes (plane-major).
@@ -140,6 +144,7 @@ impl KernelEnv {
         let phases = (0..behaviour.phase_count())
             .map(|t| compile_genome(behaviour.genome_at(t as u32)))
             .collect();
+        let has_border = fwd.contains(&NONE);
 
         Ok(Self {
             kind: config.kind,
@@ -152,6 +157,7 @@ impl KernelEnv {
             cell_words,
             n_color_planes,
             fwd,
+            has_border,
             obstacle_words,
             color_planes_init,
             phases,
@@ -265,6 +271,16 @@ pub struct FastWorld {
     tail_mask: u64,
     /// Which agents are informed; drives the incremental counter.
     complete: Vec<bool>,
+    /// The activity frontier: a permutation of `0..k` whose first
+    /// [`FastWorld::frontier_len`] entries are exactly the agents with
+    /// unsaturated infosets. The exchange sweep iterates this dense
+    /// list instead of scanning (and branching on) all `k` agents, and
+    /// an agent that completes is retired with one O(1) swap towards
+    /// the tail — so the saturation tail costs the active remainder,
+    /// not `k`.
+    frontier: Vec<u32>,
+    /// Live prefix length of [`FastWorld::frontier`].
+    frontier_len: usize,
     informed: usize,
     time: u32,
     /// Movement conflicts lost so far (round-2 re-perceptions).
@@ -355,6 +371,8 @@ impl FastWorld {
             stride,
             tail_mask,
             complete: vec![false; k],
+            frontier: (0..k as u32).collect(),
+            frontier_len: k,
             informed: 0,
             time: 0,
             conflicts: 0,
@@ -432,6 +450,7 @@ impl FastWorld {
             || k > self.dir.capacity()
             || k > self.state.capacity()
             || k > self.complete.capacity()
+            || k > self.frontier.capacity()
             || k > self.newly.capacity()
             || k * stride > self.info.capacity()
             || k * stride > self.info_next.capacity()
@@ -471,6 +490,9 @@ impl FastWorld {
         self.info_next.extend_from_slice(&self.info);
         self.complete.clear();
         self.complete.resize(k, false);
+        self.frontier.clear();
+        self.frontier.extend(0..k as u32);
+        self.frontier_len = k;
         self.informed = 0;
         self.time = 0;
         self.conflicts = 0;
@@ -718,19 +740,23 @@ impl FastWorld {
     }
 
     /// The synchronous exchange: word-wise ORs of the pre-phase vectors.
-    /// Complete agents are skipped outright — copy, gather and the
-    /// completeness check: once an agent completes, *both* buffers are
-    /// frozen at all-ones (the stale buffer is back-filled after the
-    /// swap below), so there is nothing left to maintain. Peers still
-    /// read the correct pre-phase words either way, because the
-    /// back-fill value equals the value a copy would have produced.
+    /// The sweep iterates the activity frontier — the dense list of
+    /// agents whose infoset is still unsaturated — instead of scanning
+    /// (and branching on) all `k` agents: once an agent completes,
+    /// *both* buffers are frozen at all-ones (the stale buffer is
+    /// back-filled after the swap below), so there is nothing left to
+    /// maintain and it is swap-removed from the frontier in O(1).
+    /// Peers still read the correct pre-phase words either way, because
+    /// the back-fill value equals the value a copy would have produced.
+    /// Frontier order is irrelevant: each agent's gather reads only the
+    /// stale `info` buffer and writes its own `info_next` region.
     fn exchange(&mut self) {
         let env = &*self.env;
         let stride = self.stride;
-        for i in 0..self.pos.len() {
-            if self.complete[i] {
-                continue;
-            }
+        let mut len = self.frontier_len;
+        let mut j = 0;
+        while j < len {
+            let i = self.frontier[j] as usize;
             let base = i * stride;
             self.info_next[base..base + stride]
                 .copy_from_slice(&self.info[base..base + stride]);
@@ -752,8 +778,14 @@ impl FastWorld {
                 self.complete[i] = true;
                 self.informed += 1;
                 self.newly.push(i as u32);
+                len -= 1;
+                self.frontier[j] = self.frontier[len];
+                self.frontier[len] = i as u32;
+            } else {
+                j += 1;
             }
         }
+        self.frontier_len = len;
         std::mem::swap(&mut self.info, &mut self.info_next);
         // Freeze the stale buffer of agents that completed this sweep:
         // from the next step on, both buffers hold their all-ones vector
@@ -809,6 +841,14 @@ impl FastWorld {
     #[must_use]
     pub fn all_informed(&self) -> bool {
         self.informed == self.pos.len()
+    }
+
+    /// Agent IDs still in the exchange frontier: exactly the agents whose
+    /// infoset is not yet saturated. Order is unspecified (the frontier is a
+    /// permutation prefix maintained by O(1) swap-remove).
+    #[must_use]
+    pub fn active_agents(&self) -> &[u32] {
+        &self.frontier[..self.frontier_len]
     }
 
     /// Agent positions in ID order (differential-test snapshot).

@@ -49,6 +49,7 @@ mod batch;
 mod behaviour;
 mod config;
 mod decide;
+mod dispatch;
 mod error;
 mod infoset;
 mod init;
@@ -65,6 +66,7 @@ pub use batch::BatchRunner;
 pub use behaviour::Behaviour;
 pub use config::{ColorInit, ConflictPolicy, InitStatePolicy, WorldConfig};
 pub use decide::{decide, Decision};
+pub use dispatch::{Dispatch, DispatchJob, SerialDispatch};
 pub use error::SimError;
 pub use infoset::InfoSet;
 pub use init::{paper_config_set, InitialConfig};

@@ -52,7 +52,7 @@ pub(crate) fn preferred_chunk(env: &KernelEnv, k: usize) -> usize {
     let k = k.max(1);
     let stride = k.div_ceil(64);
     let per_run = 17 * env.lattice.len()                                 // occupant + claims + cell_info + meta
-        + 8 * k                                                          // pos/dir/state/complete
+        + 12 * k                                                         // pos/dir/state/complete/frontier
         + 16 * k * stride;                                               // info + info_next
     (CHUNK_BUDGET_BYTES / per_run).clamp(4, 64)
 }
@@ -140,6 +140,17 @@ pub struct MultiWorld {
     /// gather per agent per round.
     own_color: Vec<u8>,
     complete: Vec<bool>,
+    /// Per-run activity frontier, flat behind `agent_base` offsets:
+    /// each run's `k` entries are a permutation of its local agent IDs
+    /// whose first [`MultiWorld::frontier_len`] entries are exactly the
+    /// agents with unsaturated infosets. Retirement is an O(1) swap
+    /// with the prefix's last entry, so the saturation tail drops out
+    /// of the exchange sweep instead of being skipped agent by agent.
+    /// Stale in dense mode ([`MultiWorld::set_dense`] rebuilds it on
+    /// re-entry to frontier mode).
+    frontier: Vec<u32>,
+    /// Live prefix length of each run's [`MultiWorld::frontier`] block.
+    frontier_len: Vec<u32>,
     info: Vec<u64>,
     info_next: Vec<u64>,
 
@@ -149,6 +160,11 @@ pub struct MultiWorld {
     /// Global lockstep time: every live run has taken exactly this
     /// many counted steps.
     time: u32,
+    /// Dense-scan compatibility mode: `true` replays the pre-frontier
+    /// full-`k` exchange sweep (the in-process baseline the kernel
+    /// bench measures `frontier_speedup` against); `false` (the
+    /// default) walks the activity frontier.
+    dense: bool,
 
     // Scratch reused across steps.
     requests: Vec<(u32, u32)>,
@@ -160,8 +176,14 @@ pub struct MultiWorld {
     newly: Vec<(usize, usize, u64)>,
     /// Per-run staging of gathered one-word infosets: the whole run is
     /// gathered from [`MultiWorld::cell_info`] into here, then committed
-    /// back, so same-sweep peers read pre-exchange values.
+    /// back, so same-sweep peers read pre-exchange values. Dense mode
+    /// only; the frontier path stages into [`MultiWorld::wpairs`].
     wbuf: Vec<u64>,
+    /// Frontier-mode staging of gathered one-word infosets as
+    /// `(cell, word)` pairs — only active agents are staged, so both
+    /// the gather and the commit loop are proportional to the live
+    /// frontier, not `k`.
+    wpairs: Vec<(u32, u64)>,
 }
 
 impl MultiWorld {
@@ -216,14 +238,18 @@ impl MultiWorld {
             state: Vec::new(),
             own_color: Vec::new(),
             complete: Vec::new(),
+            frontier: Vec::new(),
+            frontier_len: Vec::new(),
             info: Vec::new(),
             info_next: Vec::new(),
             active: Vec::new(),
             time: 0,
+            dense: false,
             requests: Vec::new(),
             decisions: Vec::new(),
             newly: Vec::new(),
             wbuf: Vec::new(),
+            wpairs: Vec::new(),
         }
     }
 
@@ -285,6 +311,9 @@ impl MultiWorld {
             || runs * n_cells > self.claims.capacity()
             || runs * n_cells > self.cell_info.capacity()
             || max_k > self.wbuf.capacity()
+            || max_k > self.wpairs.capacity()
+            || runs > self.frontier_len.capacity()
+            || agent_total > self.frontier.capacity()
             || runs * n_cells > self.meta.capacity()
             || agent_total > self.pos.capacity()
             || agent_total > self.dir.capacity()
@@ -330,6 +359,10 @@ impl MultiWorld {
         self.cell_info.resize(runs * n_cells, 0);
         self.wbuf.clear();
         self.wbuf.reserve(max_k);
+        self.wpairs.clear();
+        self.wpairs.reserve(max_k);
+        self.frontier.clear();
+        self.frontier_len.clear();
         self.meta.clear();
         for _ in 0..runs {
             self.meta.extend_from_slice(&self.meta_init);
@@ -418,6 +451,10 @@ impl MultiWorld {
             self.conflicts.push(0);
             self.outcomes.push(None);
             self.active.push(r as u32);
+            // Every agent starts unsaturated (k = 1 resolves at the
+            // t = 0 exchange below, like everything else).
+            self.frontier.extend(0..k as u32);
+            self.frontier_len.push(k as u32);
         }
         self.info_next.clear();
         self.info_next.extend_from_slice(&self.info);
@@ -463,10 +500,30 @@ impl MultiWorld {
             (reg.histogram("kernel.multi.act.ns"), reg.histogram("kernel.multi.exchange.ns"))
         });
         let env = Arc::clone(&self.env);
+        // `kernel.frontier.active` counts active agent-steps (the work
+        // the frontier sweep actually performs); the `_pct` histogram
+        // samples each global step's active fraction across live runs.
+        // Both derive from `k - informed`, so they are exact in dense
+        // mode too. Handles are interned once, outside the loop.
+        let frontier_stats = metrics.then(|| {
+            let reg = a2a_obs::global();
+            (reg.counter("kernel.frontier.active"), reg.histogram("kernel.frontier.active_pct"))
+        });
         let mut run_steps: u64 = 0;
         let mut compactions: u64 = 0;
         self.retire_solved(metrics, debug, &mut compactions);
         while !self.active.is_empty() && self.time < t_max {
+            if let Some((active_total, active_pct)) = &frontier_stats {
+                let mut act: u64 = 0;
+                let mut tot: u64 = 0;
+                for &r in &self.active {
+                    let r = r as usize;
+                    act += u64::from(self.k[r] - self.informed[r]);
+                    tot += u64::from(self.k[r]);
+                }
+                active_total.add(act);
+                active_pct.record(act * 100 / tot.max(1));
+            }
             let phase = &env.phases[self.time as usize % env.phases.len()];
             let active = std::mem::take(&mut self.active);
             if let Some((act_ns, exchange_ns)) = &phase_hists {
@@ -716,12 +773,125 @@ impl MultiWorld {
         }
     }
 
-    /// One run's exchange sweep: word-wise ORs of the pre-phase
-    /// vectors into `info_next`, with a one-word fast path for
-    /// `k ≤ 64`. Complete agents are skipped outright — both their
-    /// buffers are frozen at all-ones by the post-swap back-fill in
-    /// [`MultiWorld::finish_exchange`].
+    /// One run's exchange sweep, dispatched on the engine mode: the
+    /// activity-frontier walk by default, the dense full-`k` scan under
+    /// [`MultiWorld::set_dense`]. Both produce bit-identical state —
+    /// a complete agent's exchange is a no-op by construction (its
+    /// vector is the all-ones fixed point and neighbours keep reading
+    /// it from the frozen stale buffer / `cell_info` word), so walking
+    /// only unsaturated agents is exact, not approximate.
+    #[inline]
     fn exchange_one(&mut self, env: &KernelEnv, r: usize) {
+        if self.dense {
+            self.exchange_one_dense(env, r);
+        } else {
+            self.exchange_one_frontier(env, r);
+        }
+    }
+
+    /// One run's frontier exchange: walk the live frontier prefix only,
+    /// swap-removing each agent that saturates in O(1). One-word runs
+    /// stage `(cell, word)` pairs in [`MultiWorld::wpairs`] — staging
+    /// and commit are both proportional to the frontier, and toroidal
+    /// fields take a sentinel-free gather — so a run deep in its
+    /// saturation tail costs almost nothing per step.
+    fn exchange_one_frontier(&mut self, env: &KernelEnv, r: usize) {
+        let n_dirs = env.n_dirs;
+        let n_cells = env.lattice.len();
+        let f0 = r * n_cells;
+        let a0 = self.agent_base[r];
+        let k = self.k[r] as usize;
+        let len = self.frontier_len[r] as usize;
+        if len == 0 {
+            return;
+        }
+        let i0 = self.info_base[r];
+        let stride = self.stride[r] as usize;
+        let tail = self.tail_mask[r];
+        let pos = &self.pos[a0..a0 + k];
+        let complete = &mut self.complete[a0..a0 + k];
+        let frontier = &mut self.frontier[a0..a0 + k];
+
+        if stride == 1 {
+            let cell_info = &mut self.cell_info[f0..f0 + n_cells];
+            let wpairs = &mut self.wpairs;
+            wpairs.clear();
+            // Dispatch on the two real neighbourhood sizes (unrolled
+            // OR loop) crossed with borderedness (toroidal `fwd` rows
+            // contain no `NONE`, so the sentinel test vanishes).
+            let live = match (n_dirs, env.has_border) {
+                (6, false) => gather_frontier::<6, false>(
+                    &env.fwd, cell_info, pos, complete, frontier, len, wpairs, tail,
+                ),
+                (6, true) => gather_frontier::<6, true>(
+                    &env.fwd, cell_info, pos, complete, frontier, len, wpairs, tail,
+                ),
+                (4, false) => gather_frontier::<4, false>(
+                    &env.fwd, cell_info, pos, complete, frontier, len, wpairs, tail,
+                ),
+                (4, true) => gather_frontier::<4, true>(
+                    &env.fwd, cell_info, pos, complete, frontier, len, wpairs, tail,
+                ),
+                _ => gather_frontier_any(
+                    n_dirs, &env.fwd, cell_info, pos, complete, frontier, len, wpairs, tail,
+                ),
+            };
+            self.frontier_len[r] = live as u32;
+            self.informed[r] += (len - live) as u32;
+            // Commit the staged words; each active agent occupies a
+            // distinct cell, so the stores never alias, and same-sweep
+            // peers read only pre-exchange values.
+            for &(c, w) in wpairs.iter() {
+                cell_info[c as usize] = w;
+            }
+        } else {
+            let occupant = &self.occupant[f0..f0 + n_cells];
+            let info = &self.info[i0..i0 + k * stride];
+            let info_next = &mut self.info_next[i0..i0 + k * stride];
+            let newly = &mut self.newly;
+            let mut live = len;
+            let mut j = 0;
+            while j < live {
+                let i = frontier[j] as usize;
+                let base = i * stride;
+                info_next[base..base + stride].copy_from_slice(&info[base..base + stride]);
+                let here = pos[i] as usize;
+                let row = &env.fwd[here * n_dirs..here * n_dirs + n_dirs];
+                for &nc in row {
+                    if nc == NONE {
+                        continue;
+                    }
+                    let occ = occupant[nc as usize];
+                    if occ != NONE && occ as usize != i {
+                        let ob = occ as usize * stride;
+                        for w in 0..stride {
+                            info_next[base + w] |= info[ob + w];
+                        }
+                    }
+                }
+                if words_complete(&info_next[base..base + stride], tail) {
+                    complete[i] = true;
+                    newly.push((i0 + base, stride, tail));
+                    live -= 1;
+                    frontier[j] = frontier[live];
+                    frontier[live] = i as u32;
+                } else {
+                    j += 1;
+                }
+            }
+            self.informed[r] += (len - live) as u32;
+            self.frontier_len[r] = live as u32;
+        }
+    }
+
+    /// One run's dense exchange sweep — the pre-frontier full-`k` scan,
+    /// kept verbatim as the kernel bench's same-process baseline for
+    /// `frontier_speedup`: word-wise ORs of the pre-phase vectors into
+    /// `info_next`, with a one-word fast path for `k ≤ 64`. Complete
+    /// agents are skipped one by one — both their buffers are frozen at
+    /// all-ones by the post-swap back-fill in
+    /// [`MultiWorld::finish_exchange`].
+    fn exchange_one_dense(&mut self, env: &KernelEnv, r: usize) {
         let n_dirs = env.n_dirs;
         let n_cells = env.lattice.len();
         let f0 = r * n_cells;
@@ -837,6 +1007,56 @@ impl MultiWorld {
     #[must_use]
     pub fn conflict_losses(&self, r: usize) -> u64 {
         self.conflicts[r]
+    }
+
+    /// Whether the dense (pre-frontier) exchange sweep is in effect.
+    #[must_use]
+    pub fn is_dense(&self) -> bool {
+        self.dense
+    }
+
+    /// Selects the exchange sweep: `true` replays the dense full-`k`
+    /// scan (the kernel bench's in-process baseline for
+    /// `frontier_speedup`), `false` (the default) walks the activity
+    /// frontier. Both produce bit-identical trajectories. Switching
+    /// back to frontier mode rebuilds every run's frontier permutation
+    /// from its completion flags, so the toggle is safe mid-batch.
+    pub fn set_dense(&mut self, dense: bool) {
+        if self.dense && !dense {
+            for r in 0..self.k.len() {
+                let a0 = self.agent_base[r];
+                let k = self.k[r] as usize;
+                let mut live = 0usize;
+                for i in 0..k {
+                    if !self.complete[a0 + i] {
+                        self.frontier[a0 + live] = i as u32;
+                        live += 1;
+                    }
+                }
+                let mut t = live;
+                for i in 0..k {
+                    if self.complete[a0 + i] {
+                        self.frontier[a0 + t] = i as u32;
+                        t += 1;
+                    }
+                }
+                self.frontier_len[r] = live as u32;
+            }
+        }
+        self.dense = dense;
+    }
+
+    /// Run `r`'s active agent IDs — exactly the agents whose infoset is
+    /// not yet saturated — in unspecified order.
+    #[must_use]
+    pub fn active_agents(&self, r: usize) -> Vec<u32> {
+        let a0 = self.agent_base[r];
+        let k = self.k[r] as usize;
+        if self.dense {
+            (0..k as u32).filter(|&i| !self.complete[a0 + i as usize]).collect()
+        } else {
+            self.frontier[a0..a0 + self.frontier_len[r] as usize].to_vec()
+        }
     }
 
     /// Run `r`'s agent positions in ID order.
@@ -975,6 +1195,86 @@ fn gather_one_word_any(
         }
     }
     newly
+}
+
+/// The frontier one-word gather: walks the run's live frontier prefix,
+/// staging `(cell, gathered word)` pairs for exactly the active agents
+/// and swap-removing each agent that saturates. `D` fixes the
+/// neighbourhood size at compile time so the OR loop fully unrolls;
+/// `BORDERED = false` (toroidal fields — no `NONE` entries anywhere in
+/// `fwd`) removes the per-neighbour sentinel test from the inner loop
+/// entirely. Returns the new live length; the caller derives the newly
+/// informed count as `len - returned`.
+#[allow(clippy::too_many_arguments)]
+fn gather_frontier<const D: usize, const BORDERED: bool>(
+    fwd: &[u32],
+    cell_info: &[u64],
+    pos: &[u32],
+    complete: &mut [bool],
+    frontier: &mut [u32],
+    mut len: usize,
+    wpairs: &mut Vec<(u32, u64)>,
+    tail: u64,
+) -> usize {
+    let mut j = 0;
+    while j < len {
+        let i = frontier[j] as usize;
+        let here = pos[i] as usize;
+        let mut w = cell_info[here];
+        let row: [u32; D] = fwd[here * D..here * D + D].try_into().expect("row length is D");
+        for nc in row {
+            if !BORDERED || nc != NONE {
+                w |= cell_info[nc as usize];
+            }
+        }
+        wpairs.push((here as u32, w));
+        if w == tail {
+            complete[i] = true;
+            len -= 1;
+            frontier[j] = frontier[len];
+            frontier[len] = i as u32;
+        } else {
+            j += 1;
+        }
+    }
+    len
+}
+
+/// Runtime-`n_dirs` fallback of [`gather_frontier`], for neighbourhood
+/// sizes without a dedicated instantiation.
+#[allow(clippy::too_many_arguments)]
+fn gather_frontier_any(
+    n_dirs: usize,
+    fwd: &[u32],
+    cell_info: &[u64],
+    pos: &[u32],
+    complete: &mut [bool],
+    frontier: &mut [u32],
+    mut len: usize,
+    wpairs: &mut Vec<(u32, u64)>,
+    tail: u64,
+) -> usize {
+    let mut j = 0;
+    while j < len {
+        let i = frontier[j] as usize;
+        let here = pos[i] as usize;
+        let mut w = cell_info[here];
+        for &nc in &fwd[here * n_dirs..here * n_dirs + n_dirs] {
+            if nc != NONE {
+                w |= cell_info[nc as usize];
+            }
+        }
+        wpairs.push((here as u32, w));
+        if w == tail {
+            complete[i] = true;
+            len -= 1;
+            frontier[j] = frontier[len];
+            frontier[len] = i as u32;
+        } else {
+            j += 1;
+        }
+    }
+    len
 }
 
 #[cfg(test)]

@@ -295,3 +295,44 @@ fn mid_batch_retirement_preserves_outcome_order() {
     assert_eq!(runner.run_all_sliced(&inits).unwrap(), singles, "sliced retirement order");
     assert_eq!(runner.run_all_multi(&inits).unwrap(), singles, "multi retirement order");
 }
+
+#[test]
+fn parallel_dispatch_matches_serial_engines_under_mid_batch_retirement() {
+    // The deterministic dispatcher shards chunk-sized blocks across a
+    // real worker pool; the ordered commit must keep outcome slots
+    // bit-identical to every serial engine even while runs retire at
+    // scattered times inside each block. Batch size is derived from the
+    // runner's own chunk so the dispatcher genuinely fans out over
+    // several blocks (plus a ragged tail) instead of degenerating to a
+    // single submission.
+    use a2a_ga::WorkerPool;
+    use a2a_sim::Dispatch;
+    use std::sync::Arc;
+
+    let cfg = WorldConfig::paper(GridKind::Triangulate, 16);
+    let runner = BatchRunner::from_genome(&cfg, best_agent(cfg.kind), 2_000).unwrap();
+    let mut rng = SmallRng::seed_from_u64(64_003);
+    let runs = runner.chunk_size(8) * 3 + 5;
+    let inits: Vec<InitialConfig> = (0..runs)
+        .map(|_| InitialConfig::random(cfg.lattice, cfg.kind, 8, &[], &mut rng).unwrap())
+        .collect();
+    let singles: Vec<_> = inits.iter().map(|i| runner.outcome_for(i).unwrap()).collect();
+    let mut times: Vec<_> = singles.iter().map(|o| o.t_comm).collect();
+    times.sort_unstable();
+    times.dedup();
+    assert!(times.len() > 10, "scenario pool no longer staggers retirements");
+
+    let pool: Arc<dyn Dispatch> = Arc::new(WorkerPool::new(3));
+    let parallel = runner.clone().with_dispatch(Arc::clone(&pool));
+    assert_eq!(parallel.dispatch_workers(), 3, "pool advertises its worker count");
+    assert_eq!(parallel.run_all(&inits).unwrap(), singles, "dispatched routed path");
+    assert_eq!(parallel.run_all_multi(&inits).unwrap(), singles, "dispatched frontier path");
+    assert_eq!(parallel.run_all_multi_dense(&inits).unwrap(), singles, "dispatched dense path");
+    assert_eq!(runner.run_all_sliced(&inits).unwrap(), singles, "sliced vs dispatched");
+    // Determinism across repeated dispatched executions of the same batch.
+    assert_eq!(
+        parallel.run_all(&inits).unwrap(),
+        parallel.run_all(&inits).unwrap(),
+        "dispatched run is reproducible"
+    );
+}
