@@ -244,6 +244,7 @@ fn main() {
         store: checkpoint_dir.as_deref().map(CheckpointStore::new),
         cadence: 1,
         resume,
+        stop: None,
     };
     let obs = scale.init_obs("all_experiments");
     scale.outln("# Combined reduced-scale regeneration\n");

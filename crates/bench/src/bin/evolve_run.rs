@@ -111,6 +111,7 @@ fn main() {
                 .map(|dir| CheckpointStore::new(format!("{dir}/run{run}"))),
             cadence: 1,
             resume: args.resume,
+            stop: None,
         };
         let report = run_evolution(
             FsmSpec::paper(kind),

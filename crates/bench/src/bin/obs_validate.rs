@@ -8,9 +8,14 @@
 //! cargo run --release -p a2a-bench --bin obs_validate -- \
 //!     [--events events.jsonl] [--snapshot BENCH_obs.json] \
 //!     [--fitness BENCH_fitness.json] [--kernel BENCH_kernel.json] \
-//!     [--kernel-baseline BASELINE.json] [--run CHECKPOINT_DIR_OR_FILE]
+//!     [--kernel-baseline BASELINE.json] [--serve BENCH_serve.json] \
+//!     [--run CHECKPOINT_DIR_OR_FILE]
 //! ```
 //!
+//! `--serve` gates a `BENCH_serve.json` load snapshot: every submitted
+//! job completed (zero lost or duplicated), backpressure and tenant
+//! quotas both answered `429` (with `Retry-After`), and the latency
+//! percentiles are monotone.
 //! `--fitness` additionally gates on the snapshot's own acceptance
 //! terms: `identical_reports` must be true and `speedup ≥ 1`; `--kernel`
 //! gates the same way on `identical_outcomes` (all four engines) and
@@ -27,7 +32,7 @@
 use a2a_obs::json::parse;
 use a2a_obs::schema::{
     validate_bench_snapshot, validate_events, validate_fitness_snapshot,
-    validate_kernel_regression, validate_kernel_snapshot,
+    validate_kernel_regression, validate_kernel_snapshot, validate_serve_snapshot,
 };
 use a2a_run::{CheckpointStore, Payload, CHECKPOINT_FILE};
 use std::path::Path;
@@ -72,12 +77,13 @@ fn main() -> ExitCode {
     let mut fitness: Vec<String> = Vec::new();
     let mut kernels: Vec<String> = Vec::new();
     let mut kernel_baseline: Option<String> = None;
+    let mut serves: Vec<String> = Vec::new();
     let mut runs: Vec<String> = Vec::new();
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--events" | "--snapshot" | "--fitness" | "--kernel" | "--kernel-baseline"
-            | "--run" => {
+            | "--serve" | "--run" => {
                 let Some(path) = it.next() else {
                     eprintln!("missing value for {flag}");
                     return ExitCode::FAILURE;
@@ -88,13 +94,15 @@ fn main() -> ExitCode {
                     "--fitness" => fitness.push(path),
                     "--kernel" => kernels.push(path),
                     "--kernel-baseline" => kernel_baseline = Some(path),
+                    "--serve" => serves.push(path),
                     _ => runs.push(path),
                 }
             }
             other => {
                 eprintln!(
                     "unknown flag `{other}` (use --events FILE / --snapshot FILE / \
-                     --fitness FILE / --kernel FILE / --kernel-baseline FILE / --run DIR)"
+                     --fitness FILE / --kernel FILE / --kernel-baseline FILE / \
+                     --serve FILE / --run DIR)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -105,11 +113,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if events.is_empty() && snapshots.is_empty() && fitness.is_empty() && kernels.is_empty()
-        && runs.is_empty()
+        && serves.is_empty() && runs.is_empty()
     {
         eprintln!(
             "nothing to validate: pass --events FILE, --snapshot FILE, --fitness FILE, \
-             --kernel FILE and/or --run DIR"
+             --kernel FILE, --serve FILE and/or --run DIR"
         );
         return ExitCode::FAILURE;
     }
@@ -206,6 +214,22 @@ fn main() -> ExitCode {
                      frontier ≥ dense, all engines agree)"
                 ),
             },
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+        }
+    }
+    for path in &serves {
+        let result = std::fs::read_to_string(path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|content| parse(content.trim()))
+            .and_then(|doc| validate_serve_snapshot(&doc));
+        match result {
+            Ok(()) => println!(
+                "{path}: OK (serve snapshot, checksum verified, zero lost/duplicated, \
+                 backpressure and quota rejections observed)"
+            ),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");
                 ok = false;

@@ -1,0 +1,73 @@
+//! Load benchmark for the `a2a-serve` service layer: ≥ 1000 concurrent
+//! tiny evolution jobs through an in-process server, plus deterministic
+//! backpressure/quota probes, sealed as `BENCH_serve.json` (schema
+//! `a2a-obs/serve-bench/v1`) and gated in CI by `obs_validate --serve`.
+//!
+//! ```text
+//! cargo run --release -p a2a-bench --bin serve_bench -- \
+//!     [--jobs N] [--clients N] [--executors N] [--out PATH]
+//! ```
+
+use a2a_bench::serve::LoadConfig;
+
+const SNAPSHOT_PATH: &str = "BENCH_serve.json";
+
+fn main() {
+    a2a_obs::init_from_env();
+    a2a_obs::set_metrics(true);
+    let mut cfg = LoadConfig::default();
+    let mut out = SNAPSHOT_PATH.to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--jobs" => cfg.jobs = value("--jobs").parse().expect("numeric"),
+            "--clients" => cfg.clients = value("--clients").parse().expect("numeric"),
+            "--executors" => cfg.executors = value("--executors").parse().expect("numeric"),
+            "--out" => out = value("--out"),
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+
+    println!(
+        "=== serve load: {} jobs, {} clients, {} tenants, queue {} (tenant cap {}), \
+         {} executors ===",
+        cfg.jobs, cfg.clients, cfg.tenants, cfg.queue_capacity, cfg.tenant_max_queued,
+        cfg.executors,
+    );
+    let snapshot = a2a_bench::serve::run_load(&cfg).unwrap_or_else(|e| panic!("load run: {e}"));
+    a2a_obs::schema::validate_serve_snapshot(&snapshot)
+        .unwrap_or_else(|e| panic!("snapshot failed its own gate: {e}"));
+    a2a_obs::atomic_write(&out, format!("{snapshot}\n").as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+
+    let pick = |path: &[&str]| -> f64 {
+        let mut doc = &snapshot;
+        for key in path {
+            doc = doc.get(key).expect("snapshot member");
+        }
+        doc.as_f64().expect("numeric member")
+    };
+    println!(
+        "jobs: {:.0} submitted / {:.0} completed (lost {:.0}, duplicated {:.0})",
+        pick(&["jobs", "submitted"]),
+        pick(&["jobs", "completed"]),
+        pick(&["jobs", "lost"]),
+        pick(&["jobs", "duplicated"]),
+    );
+    println!(
+        "backpressure: {:.0}x queue_full 429, {:.0}x tenant_quota 429 (Retry-After on all)",
+        pick(&["backpressure", "rejected_429"]),
+        pick(&["quota", "rejected_429"]),
+    );
+    println!(
+        "throughput: {:.1} jobs/s; latency p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms",
+        pick(&["throughput", "jobs_per_sec"]),
+        pick(&["latency_ms", "p50"]),
+        pick(&["latency_ms", "p90"]),
+        pick(&["latency_ms", "p99"]),
+    );
+    println!("wrote {out} (schema-valid)");
+}

@@ -11,6 +11,7 @@
 
 pub mod fitness;
 pub mod kernel;
+pub mod serve;
 
 use a2a_ga::default_threads;
 use a2a_obs::{JsonlSink, Level, Sink};

@@ -1,0 +1,373 @@
+//! Load harness for the `a2a-serve` service: hammers an in-process
+//! server with concurrent tiny evolution jobs, counts every admission
+//! decision, and distills the run into the sealed `BENCH_serve.json`
+//! snapshot (schema `a2a-obs/serve-bench/v1`, gated in CI by
+//! `obs_validate --serve`).
+//!
+//! Two deterministic probe phases follow the stochastic load phase, so
+//! the artifact's backpressure/quota evidence never depends on thread
+//! timing: a one-slot server with a pinned executor *must* answer `429
+//! queue_full`, and a one-queued-job tenant cap *must* answer `429
+//! tenant_quota`.
+
+use a2a_obs::json::Json;
+use a2a_obs::schema::{self, SERVE_BENCH_SCHEMA};
+use a2a_serve::{client, QueueConfig, ServeConfig, Server};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-phase shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Jobs to push through the service (the artifact wants ≥ 1000).
+    pub jobs: usize,
+    /// Concurrent submitter threads.
+    pub clients: usize,
+    /// Distinct tenants cycling over the jobs.
+    pub tenants: usize,
+    /// Global queue capacity (small on purpose: backpressure is part
+    /// of the measurement).
+    pub queue_capacity: usize,
+    /// Per-tenant queued-jobs cap.
+    pub tenant_max_queued: usize,
+    /// Executor threads in the server under test.
+    pub executors: usize,
+    /// Scratch directory for the durable job stores.
+    pub store_root: std::path::PathBuf,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            jobs: 1000,
+            clients: 16,
+            tenants: 4,
+            queue_capacity: 8,
+            tenant_max_queued: 4,
+            executors: 8,
+            store_root: std::env::temp_dir()
+                .join(format!("a2a_serve_bench_{}", std::process::id())),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Tally {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    lost: AtomicU64,
+    duplicated: AtomicU64,
+    queue_full_429: AtomicU64,
+    quota_429: AtomicU64,
+    /// `429`s whose reply was missing `Retry-After` (must stay 0).
+    naked_429: AtomicU64,
+}
+
+fn tiny_job(id: &str, tenant: &str, seed: u64) -> String {
+    Json::object()
+        .with("tenant", tenant)
+        .with("id", id)
+        .with("seed", seed)
+        .with("m", 4u64)
+        .with("k", 2u64)
+        .with("configs", 1u64)
+        .with("generations", 1u64)
+        .with("population", 2u64)
+        .with("t_max", 100u64)
+        .to_string()
+}
+
+/// Submits one job until accepted, then waits for its result; returns
+/// the accept→complete latency in milliseconds.
+fn drive_job(addr: &str, id: &str, tenant: &str, seed: u64, tally: &Tally) -> Result<f64, String> {
+    let body = tiny_job(id, tenant, seed);
+    let accepted_at = loop {
+        let reply = client::post(addr, "/jobs", &body).map_err(|e| format!("POST: {e}"))?;
+        match reply.status {
+            202 => break Instant::now(),
+            409 => {
+                // A refused submission must leave no durable trace; an
+                // id that "already exists" means the service invented a
+                // duplicate of a shed job.
+                tally.duplicated.fetch_add(1, Ordering::Relaxed);
+                break Instant::now();
+            }
+            429 => {
+                if reply.body.contains("tenant_quota") {
+                    tally.quota_429.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    tally.queue_full_429.fetch_add(1, Ordering::Relaxed);
+                }
+                if reply.header("retry-after").is_none() {
+                    tally.naked_429.fetch_add(1, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            500 | 503 => std::thread::sleep(Duration::from_millis(5)),
+            other => return Err(format!("job {id}: unexpected status {other}: {}", reply.body)),
+        }
+    };
+    tally.accepted.fetch_add(1, Ordering::Relaxed);
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply = client::get(addr, &format!("/jobs/{id}/result"))
+            .map_err(|e| format!("GET result: {e}"))?;
+        if reply.status == 200 {
+            tally.completed.fetch_add(1, Ordering::Relaxed);
+            return Ok(accepted_at.elapsed().as_secs_f64() * 1e3);
+        }
+        if Instant::now() > deadline {
+            tally.lost.fetch_add(1, Ordering::Relaxed);
+            return Err(format!("job {id} never completed: {}", reply.body));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Deterministic `429` probes on a dedicated one-executor server: a
+/// long-running hog pins the executor, the one queue slot fills, and
+/// the next submissions must shed — first on capacity, then (with the
+/// queue widened per-tenant) on the tenant cap.
+fn probe_rejections(store: &std::path::Path, tally: &Tally) -> Result<(), String> {
+    let cfg = ServeConfig {
+        store_root: store.to_path_buf(),
+        queue: QueueConfig { capacity: 1, tenant_max_queued: 1, tenant_max_running: 1 },
+        executors: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).map_err(|e| format!("probe server: {e}"))?;
+    let addr = server.addr().to_string();
+
+    let hog = Json::object()
+        .with("tenant", "hog")
+        .with("id", "hog")
+        .with("m", 8u64)
+        .with("k", 4u64)
+        .with("configs", 2u64)
+        .with("generations", 1_000_000u64)
+        .with("population", 4u64)
+        .with("t_max", 300u64)
+        .to_string();
+    let reply = client::post(&addr, "/jobs", &hog).map_err(|e| e.to_string())?;
+    if reply.status != 202 {
+        return Err(format!("hog refused: {}", reply.body));
+    }
+    let wait = Instant::now();
+    loop {
+        let running = client::get(&addr, "/healthz")
+            .ok()
+            .and_then(|r| r.json().ok())
+            .and_then(|d| d.get("running").and_then(Json::as_f64))
+            .unwrap_or(0.0);
+        if running >= 1.0 {
+            break;
+        }
+        if wait.elapsed() > Duration::from_secs(10) {
+            return Err("hog never started running".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Queue slot 1/1: a *different* tenant fills it (the hog tenant is
+    // at its own queued cap of 0 used / 1 max — either works, but a
+    // second tenant keeps the two refusal kinds cleanly separated).
+    let filler = tiny_job("filler", "filler-tenant", 1);
+    let reply = client::post(&addr, "/jobs", &filler).map_err(|e| e.to_string())?;
+    if reply.status != 202 {
+        return Err(format!("filler refused: {}", reply.body));
+    }
+    // Capacity exhausted → queue_full, with Retry-After.
+    let shed = client::post(&addr, "/jobs", &tiny_job("shed", "third", 2))
+        .map_err(|e| e.to_string())?;
+    if shed.status != 429 || !shed.body.contains("queue_full") {
+        return Err(format!("expected queue_full 429, got {}: {}", shed.status, shed.body));
+    }
+    tally.queue_full_429.fetch_add(1, Ordering::Relaxed);
+    if shed.header("retry-after").is_none() {
+        tally.naked_429.fetch_add(1, Ordering::Relaxed);
+    }
+    server.stop();
+
+    // Second probe server: roomy queue, tight tenant cap.
+    let cfg = ServeConfig {
+        store_root: store.join("quota"),
+        queue: QueueConfig { capacity: 64, tenant_max_queued: 1, tenant_max_running: 1 },
+        executors: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).map_err(|e| format!("quota server: {e}"))?;
+    let addr = server.addr().to_string();
+    let hog = Json::object()
+        .with("tenant", "greedy")
+        .with("id", "hog2")
+        .with("m", 8u64)
+        .with("k", 4u64)
+        .with("configs", 2u64)
+        .with("generations", 1_000_000u64)
+        .with("population", 4u64)
+        .with("t_max", 300u64)
+        .to_string();
+    if client::post(&addr, "/jobs", &hog).map_err(|e| e.to_string())?.status != 202 {
+        return Err("quota hog refused".to_string());
+    }
+    let wait = Instant::now();
+    while client::get(&addr, "/healthz")
+        .ok()
+        .and_then(|r| r.json().ok())
+        .and_then(|d| d.get("running").and_then(Json::as_f64))
+        .unwrap_or(0.0)
+        < 1.0
+    {
+        if wait.elapsed() > Duration::from_secs(10) {
+            return Err("quota hog never started".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if client::post(&addr, "/jobs", &tiny_job("q1", "greedy", 3))
+        .map_err(|e| e.to_string())?
+        .status
+        != 202
+    {
+        return Err("greedy's first queued job refused".to_string());
+    }
+    let capped = client::post(&addr, "/jobs", &tiny_job("q2", "greedy", 4))
+        .map_err(|e| e.to_string())?;
+    if capped.status != 429 || !capped.body.contains("tenant_quota") {
+        return Err(format!("expected tenant_quota 429, got {}: {}", capped.status, capped.body));
+    }
+    tally.quota_429.fetch_add(1, Ordering::Relaxed);
+    if capped.header("retry-after").is_none() {
+        tally.naked_429.fetch_add(1, Ordering::Relaxed);
+    }
+    server.stop();
+    Ok(())
+}
+
+/// Runs the whole measurement and returns the sealed snapshot.
+///
+/// # Errors
+///
+/// Any transport failure, refused probe, or lost job.
+pub fn run_load(cfg: &LoadConfig) -> Result<Json, String> {
+    let _ = std::fs::remove_dir_all(&cfg.store_root);
+    let tally = Arc::new(Tally::default());
+
+    let server = Server::start(ServeConfig {
+        store_root: cfg.store_root.join("load"),
+        queue: QueueConfig {
+            capacity: cfg.queue_capacity,
+            tenant_max_queued: cfg.tenant_max_queued,
+            tenant_max_running: cfg.executors,
+        },
+        executors: cfg.executors,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("load server: {e}"))?;
+    let addr = server.addr().to_string();
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..cfg.clients {
+        let addr = addr.clone();
+        let tally = Arc::clone(&tally);
+        let (jobs, clients, tenants) = (cfg.jobs, cfg.clients, cfg.tenants);
+        handles.push(std::thread::spawn(move || -> Result<Vec<f64>, String> {
+            let mut latencies = Vec::new();
+            for i in (c..jobs).step_by(clients) {
+                let id = format!("load-{i}");
+                let tenant = format!("tenant-{}", i % tenants);
+                latencies.push(drive_job(&addr, &id, &tenant, i as u64, &tally)?);
+            }
+            Ok(latencies)
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::with_capacity(cfg.jobs);
+    for h in handles {
+        latencies.extend(h.join().map_err(|_| "client thread panicked".to_string())??);
+    }
+    let elapsed = started.elapsed();
+    server.stop();
+
+    probe_rejections(&cfg.store_root.join("probe"), &tally)?;
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let accepted = tally.accepted.load(Ordering::Relaxed);
+    let completed = tally.completed.load(Ordering::Relaxed);
+    let snapshot = schema::seal(
+        Json::object()
+            .with("schema", SERVE_BENCH_SCHEMA)
+            .with(
+                "workload",
+                Json::object()
+                    .with("jobs", cfg.jobs as u64)
+                    .with("tenants", cfg.tenants as u64)
+                    .with("clients", cfg.clients as u64),
+            )
+            .with(
+                "jobs",
+                Json::object()
+                    .with("submitted", accepted)
+                    .with("completed", completed)
+                    .with("lost", tally.lost.load(Ordering::Relaxed))
+                    .with("duplicated", tally.duplicated.load(Ordering::Relaxed)),
+            )
+            .with(
+                "backpressure",
+                Json::object()
+                    .with("rejected_429", tally.queue_full_429.load(Ordering::Relaxed))
+                    .with("retry_after", tally.naked_429.load(Ordering::Relaxed) == 0),
+            )
+            .with(
+                "quota",
+                Json::object().with("rejected_429", tally.quota_429.load(Ordering::Relaxed)),
+            )
+            .with(
+                "throughput",
+                Json::object()
+                    .with("jobs_per_sec", completed as f64 / elapsed.as_secs_f64())
+                    .with("elapsed_us", elapsed.as_micros() as f64),
+            )
+            .with(
+                "latency_ms",
+                Json::object()
+                    .with("p50", percentile(&latencies, 0.50))
+                    .with("p90", percentile(&latencies, 0.90))
+                    .with("p99", percentile(&latencies, 0.99)),
+            ),
+    );
+    let _ = std::fs::remove_dir_all(&cfg.store_root);
+    Ok(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scaled-down load run must already produce a snapshot that
+    /// passes the CI gate (the full 1000-job artifact just runs longer).
+    #[test]
+    fn small_load_run_seals_a_valid_snapshot() {
+        let cfg = LoadConfig {
+            jobs: 40,
+            clients: 8,
+            tenants: 4,
+            queue_capacity: 4,
+            tenant_max_queued: 2,
+            executors: 4,
+            store_root: std::env::temp_dir()
+                .join(format!("a2a_serve_bench_test_{}", std::process::id())),
+        };
+        let doc = run_load(&cfg).expect("load run succeeds");
+        schema::validate_serve_snapshot(&doc).expect("snapshot passes the gate");
+    }
+}

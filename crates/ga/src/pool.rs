@@ -29,9 +29,16 @@
 //!   helper quarantined the map degrades to a clean inline loop on the
 //!   caller.
 //! * **Deadline** — the caller waits at most
-//!   [`WorkerPool::with_task_deadline`] (default [`DEFAULT_TASK_DEADLINE`])
+//!   [`WorkerPool::with_task_deadline`] (default [`DEFAULT_TASK_DEADLINE`],
+//!   overridable process-wide with the `A2A_POOL_DEADLINE_MS` env var)
 //!   for helper results; items a hung or dead worker never delivered
-//!   are reclaimed.
+//!   are reclaimed, and any worker still stuck on a job older than the
+//!   deadline is quarantined (`ga.pool.deadline_quarantines` counter)
+//!   so later maps stop scheduling work for a thread that will never
+//!   take it. Under concurrent maps on a shared pool this is
+//!   deliberately conservative: a worker legitimately busy longer than
+//!   the deadline retires early and the pool degrades toward inline
+//!   maps — correctness is never affected, only helper bandwidth.
 //! * **Bounded retry** — every failed or undelivered item is retried
 //!   exactly once, inline on the caller (`ga.pool.retries` counter). A
 //!   second failure propagates as a panic: deterministic poison must
@@ -48,7 +55,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -62,12 +69,32 @@ pub const MAX_STRIKES: usize = 3;
 /// Default per-map deadline for helper results; items not delivered in
 /// time are retried inline. Far above any sane generation time — the
 /// deadline exists to unwedge a hung worker, not to pace healthy ones.
+/// Overridable process-wide with the `A2A_POOL_DEADLINE_MS` env var
+/// (read once per [`WorkerPool::new`]) or per pool with
+/// [`WorkerPool::with_task_deadline`].
 pub const DEFAULT_TASK_DEADLINE: Duration = Duration::from_secs(120);
+
+/// Env var naming the watchdog deadline in milliseconds (see
+/// [`DEFAULT_TASK_DEADLINE`]).
+pub const POOL_DEADLINE_ENV: &str = "A2A_POOL_DEADLINE_MS";
 
 /// Queue state behind the pool's mutex.
 struct PoolState {
     queue: VecDeque<Job>,
     shutdown: bool,
+}
+
+/// Per-worker watchdog slot.
+#[derive(Default)]
+struct WorkerSlot {
+    /// Nanoseconds since the pool's epoch when the worker's current job
+    /// started (`0` = idle). Written by the worker, read by callers
+    /// reaping hung helpers at deadline expiry.
+    busy_since_ns: AtomicU64,
+    /// Set exactly once when the worker is retired (by its own strike
+    /// budget or by a caller's deadline reap); guards the `live`
+    /// decrement against double counting.
+    quarantined: AtomicBool,
 }
 
 /// The mutex + condvar pair shared between the handle and the workers.
@@ -76,6 +103,32 @@ struct PoolShared {
     available: Condvar,
     /// Workers still serving (spawned minus quarantined).
     live: AtomicUsize,
+    /// Monotonic origin for `busy_since_ns` stamps.
+    epoch: Instant,
+    /// One watchdog slot per spawned worker (empty for inline pools).
+    workers: Vec<WorkerSlot>,
+}
+
+impl PoolShared {
+    /// Nanoseconds since the pool epoch, clamped to ≥ 1 so `0` can mean
+    /// idle in the busy stamps.
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX).max(1)
+    }
+}
+
+/// Retires worker `w`: flips its quarantine flag and, on the first
+/// flip only, shrinks the pool's live width and reports the event.
+fn quarantine_worker(shared: &PoolShared, w: usize, cause: &'static str, counter: &'static str) {
+    if shared.workers[w].quarantined.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.live.fetch_sub(1, Ordering::Relaxed);
+    if a2a_obs::metrics_enabled() {
+        a2a_obs::global().counter(counter).incr();
+    }
+    a2a_obs::event!(a2a_obs::Level::Warn, "ga.pool.quarantine",
+        "worker" => w as u64, "cause" => cause);
 }
 
 /// A persistent pool of worker threads executing boxed jobs.
@@ -111,26 +164,29 @@ impl WorkerPool {
     #[must_use]
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
+        let worker_count = if threads == 1 { 0 } else { threads };
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState { queue: VecDeque::new(), shutdown: false }),
             available: Condvar::new(),
             live: AtomicUsize::new(0),
+            epoch: Instant::now(),
+            workers: (0..worker_count).map(|_| WorkerSlot::default()).collect(),
         });
-        let handles = if threads == 1 {
-            Vec::new()
-        } else {
-            (0..threads)
-                .map(|w| {
-                    let shared = Arc::clone(&shared);
-                    std::thread::Builder::new()
-                        .name(format!("a2a-pool-{w}"))
-                        .spawn(move || worker_loop(&shared, w))
-                        .expect("worker threads must spawn")
-                })
-                .collect::<Vec<_>>()
-        };
+        let handles = (0..worker_count)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("a2a-pool-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("worker threads must spawn")
+            })
+            .collect::<Vec<_>>();
         shared.live.store(handles.len(), Ordering::Relaxed);
-        Self { shared, threads, deadline: DEFAULT_TASK_DEADLINE, handles }
+        let deadline = std::env::var(POOL_DEADLINE_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map_or(DEFAULT_TASK_DEADLINE, Duration::from_millis);
+        Self { shared, threads, deadline, handles }
     }
 
     /// Replaces the per-map helper deadline (see [`DEFAULT_TASK_DEADLINE`]).
@@ -151,6 +207,28 @@ impl WorkerPool {
     #[must_use]
     pub fn live_workers(&self) -> usize {
         self.shared.live.load(Ordering::Relaxed)
+    }
+
+    /// Quarantines every worker whose current job has been running for
+    /// at least this pool's deadline (`ga.pool.deadline_quarantines`).
+    /// Called by [`WorkerPool::map`] when its collection wait times
+    /// out; the hung thread itself is left alone (it exits on its own
+    /// if the job ever returns), but it no longer counts as live, so
+    /// later maps schedule around it.
+    fn reap_hung_workers(&self) {
+        let now = self.shared.now_ns();
+        let deadline_ns = u64::try_from(self.deadline.as_nanos()).unwrap_or(u64::MAX);
+        // 3/4 of the deadline, not the full span: a worker stamps its
+        // job a scheduling hiccup after the caller starts the deadline
+        // clock, so demanding the full duration would let the exact
+        // worker that starved this map slip the reap by microseconds.
+        let stuck_ns = deadline_ns.saturating_sub(deadline_ns / 4);
+        for w in 0..self.shared.workers.len() {
+            let busy = self.shared.workers[w].busy_since_ns.load(Ordering::Relaxed);
+            if busy != 0 && now.saturating_sub(busy) >= stuck_ns {
+                quarantine_worker(&self.shared, w, "deadline", "ga.pool.deadline_quarantines");
+            }
+        }
     }
 
     /// Enqueues one job and wakes a worker.
@@ -245,7 +323,15 @@ impl WorkerPool {
                     }
                     results[i] = r;
                 }
-                Err(_) => break, // disconnected or deadline — retry pass reclaims
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // A worker is wedged. Reclaim its items inline below
+                    // and retire every worker stuck past the deadline so
+                    // later maps stop feeding a thread that never
+                    // delivers.
+                    self.reap_hung_workers();
+                    break;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break, // retry pass reclaims
             }
         }
 
@@ -341,6 +427,12 @@ fn worker_loop(shared: &PoolShared, w: usize) {
     a2a_obs::set_worker_id(Some(w));
     let mut strikes = 0usize;
     loop {
+        // A caller's deadline reap may have retired this worker while it
+        // was stuck in a job that eventually returned: honour the flag
+        // before taking more work.
+        if shared.workers[w].quarantined.load(Ordering::SeqCst) {
+            return;
+        }
         let job = {
             let mut state = shared.state.lock().expect("pool lock is never poisoned");
             loop {
@@ -358,8 +450,12 @@ fn worker_loop(shared: &PoolShared, w: usize) {
         };
         let Some(job) = job else { return };
         // Contain panics to the job; the per-item delivery inside
-        // `drain_to` already told the caller which item failed.
+        // `drain_to` already told the caller which item failed. The busy
+        // stamp brackets the job so deadline reaps can tell a wedged
+        // worker from an idle one.
+        shared.workers[w].busy_since_ns.store(shared.now_ns(), Ordering::Relaxed);
         let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
+        shared.workers[w].busy_since_ns.store(0, Ordering::Relaxed);
         if a2a_obs::metrics_enabled() {
             let reg = a2a_obs::global();
             reg.counter("ga.pool.tasks").incr();
@@ -373,12 +469,7 @@ fn worker_loop(shared: &PoolShared, w: usize) {
                 // Quarantine: this worker has proven unreliable (or the
                 // workload deterministically poisonous); retire it and
                 // let the pool degrade gracefully.
-                shared.live.fetch_sub(1, Ordering::Relaxed);
-                if a2a_obs::metrics_enabled() {
-                    a2a_obs::global().counter("ga.pool.poisoned").incr();
-                }
-                a2a_obs::event!(a2a_obs::Level::Warn, "ga.pool.quarantine",
-                    "worker" => w as u64, "strikes" => strikes as u64);
+                quarantine_worker(shared, w, "strikes", "ga.pool.poisoned");
                 return;
             }
         }
@@ -526,6 +617,55 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn env_var_overrides_default_deadline() {
+        // This test owns A2A_POOL_DEADLINE_MS — nothing else in the
+        // suite reads it at pool-construction time.
+        std::env::set_var(POOL_DEADLINE_ENV, "250");
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.deadline, Duration::from_millis(250));
+        std::env::set_var(POOL_DEADLINE_ENV, "not a number");
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.deadline, DEFAULT_TASK_DEADLINE, "garbage falls back to the default");
+        std::env::remove_var(POOL_DEADLINE_ENV);
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.deadline, DEFAULT_TASK_DEADLINE);
+        let pool = pool.with_task_deadline(Duration::from_millis(7));
+        assert_eq!(pool.deadline, Duration::from_millis(7), "builder still wins over env");
+    }
+
+    #[test]
+    fn lowered_deadline_quarantines_hung_workers() {
+        // Every item wedges when claimed by a pool helper (recognised by
+        // the `a2a-pool-*` thread name) but computes instantly on the
+        // caller. Both scheduled helpers therefore hang past the lowered
+        // deadline, the caller reclaims their items inline, and the reap
+        // retires the hung workers.
+        let hang = Duration::from_millis(1500);
+        let pool = WorkerPool::new(3).with_task_deadline(Duration::from_millis(100));
+        assert_eq!(pool.live_workers(), 3);
+        let items: Arc<Vec<u64>> = Arc::new((0..8).collect());
+        let got = pool.map(&items, move |_, &x| {
+            let on_helper = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("a2a-pool-"));
+            // Helpers wedge; the caller dawdles just enough per item
+            // that the helpers reliably wake and claim work before the
+            // caller drains the whole input.
+            std::thread::sleep(if on_helper { hang } else { Duration::from_millis(20) });
+            x * 3
+        });
+        assert_eq!(got, (0..8).map(|x| x * 3).collect::<Vec<_>>(), "map still completes");
+        assert!(
+            pool.live_workers() < 3,
+            "workers hung past the deadline must be quarantined (live = {})",
+            pool.live_workers()
+        );
+        // The degraded pool keeps serving clean maps.
+        let items: Arc<Vec<u64>> = Arc::new((0..64).collect());
+        assert_eq!(pool.map(&items, |_, &x| x + 1), (1..65).collect::<Vec<_>>());
     }
 
     #[test]

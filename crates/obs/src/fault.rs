@@ -32,6 +32,23 @@
 //! The `A2A_FAULT` grammar is a comma-separated list of
 //! `site:rate[:max]` rules plus an optional `seed=N` item, e.g.
 //! `A2A_FAULT="seed=7,ga.pool.item:0.05:3,run.checkpoint.write:0.5"`.
+//! [`FaultPlan::to_spec`] renders a plan back into this grammar, and
+//! the two round-trip exactly (`parse(plan.to_spec()) == plan`).
+//!
+//! # Instrumented sites
+//!
+//! | site                   | shape         | instrumented where                         |
+//! |------------------------|---------------|--------------------------------------------|
+//! | `ga.pool.item`         | [`panic_point`] | every multi-threaded worker-pool item    |
+//! | `run.checkpoint.write` | [`io_error`]  | `CheckpointStore::save`                    |
+//! | `run.generation`       | [`should_kill`] | every generation/epoch boundary          |
+//! | `serve.request`        | [`io_error`]  | every accepted `a2a-serve` HTTP request    |
+//! | `serve.job.step`       | [`panic_point`] | every `a2a-serve` job generation boundary |
+//! | `serve.checkpoint`     | [`io_error`]  | `a2a-serve` manifest/result persistence    |
+//!
+//! e.g. `A2A_FAULT="seed=9,serve.request:0.01,serve.job.step:0.2:2,serve.checkpoint:0.5:4"`
+//! chaos-tests the service layer: sporadic 500s, two simulated worker
+//! crashes (retried with backoff), and flaky manifest writes.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -142,6 +159,24 @@ impl FaultPlan {
             plan.rules.push(FaultRule { site: site.to_string(), rate, max });
         }
         plan
+    }
+
+    /// Renders the plan in the `A2A_FAULT` grammar, the exact inverse of
+    /// [`FaultPlan::parse`]: `FaultPlan::parse(&plan.to_spec()) == plan`
+    /// for every plan whose rates survive `f64` printing (all parsed
+    /// plans do). Lets a chaos harness hand a programmatic plan to a
+    /// child process through the environment.
+    #[must_use]
+    pub fn to_spec(&self) -> String {
+        let mut items = vec![format!("seed={}", self.seed)];
+        for rule in &self.rules {
+            if rule.max == u64::MAX {
+                items.push(format!("{}:{}", rule.site, rule.rate));
+            } else {
+                items.push(format!("{}:{}:{}", rule.site, rule.rate, rule.max));
+            }
+        }
+        items.join(",")
     }
 }
 
@@ -301,6 +336,37 @@ mod tests {
                 FaultRule { site: "w".into(), rate: 1.0, max: u64::MAX },
             ]
         );
+    }
+
+    #[test]
+    fn env_grammar_round_trips_through_to_spec() {
+        // The serve sites ride the same grammar as every other site; a
+        // plan covering all three (plus the PR-4 sites) must survive
+        // render → parse bit-identically, budgets included.
+        let plan = FaultPlan::seeded(9)
+            .with("serve.request", 0.01, u64::MAX)
+            .with("serve.job.step", 0.2, 2)
+            .with("serve.checkpoint", 0.5, 4)
+            .with("ga.pool.item", 0.05, 3)
+            .with("run.checkpoint.write", 1.0, u64::MAX);
+        let spec = plan.to_spec();
+        assert_eq!(FaultPlan::parse(&spec), plan, "spec was: {spec}");
+        // And the rendered grammar is exactly what the doc comment
+        // promises: seed first, site:rate[:max] items.
+        assert!(spec.starts_with("seed=9,serve.request:0.01,serve.job.step:0.2:2"), "{spec}");
+        // A second round trip is a fixed point.
+        assert_eq!(FaultPlan::parse(&spec).to_spec(), spec);
+    }
+
+    #[test]
+    fn serve_sites_schedule_deterministically() {
+        let plan = FaultPlan::seeded(77)
+            .with("serve.request", 0.3, u64::MAX)
+            .with("serve.job.step", 0.3, u64::MAX);
+        let req: Vec<bool> = (0..64).map(|i| plan.fires("serve.request", i)).collect();
+        let step: Vec<bool> = (0..64).map(|i| plan.fires("serve.job.step", i)).collect();
+        assert_ne!(req, step, "sites hash independently");
+        assert_eq!(req, (0..64).map(|i| plan.fires("serve.request", i)).collect::<Vec<_>>());
     }
 
     #[test]

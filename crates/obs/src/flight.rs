@@ -435,8 +435,11 @@ pub fn dump_dir() -> Option<PathBuf> {
 }
 
 /// Dumps to the configured directory as
-/// `flight-<n>-<sanitised reason>.jsonl`, returning the published
-/// path. `None` when the recorder is disabled, no directory is
+/// `flight-<pid>-<n>-<sanitised reason>.jsonl`, returning the
+/// published path. The PID keeps concurrent processes pointed at one
+/// shared dump directory (the CI `flight/` convention) from clobbering
+/// each other's dumps; `n` separates successive dumps within a
+/// process. `None` when the recorder is disabled, no directory is
 /// configured, or the write fails — a flight dump must never take the
 /// process down harder than it already is.
 pub fn dump(reason: &str) -> Option<PathBuf> {
@@ -451,7 +454,7 @@ pub fn dump(reason: &str) -> Option<PathBuf> {
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
         .take(48)
         .collect();
-    let path = dir.join(format!("flight-{n}-{slug}.jsonl"));
+    let path = dir.join(format!("flight-{}-{n}-{slug}.jsonl", std::process::id()));
     dump_to(&path, reason).ok()?;
     Some(path)
 }

@@ -110,6 +110,11 @@ pub const FITNESS_BENCH_SCHEMA: &str = "a2a-obs/fitness-bench/v1";
 /// Schema identifier written into `BENCH_kernel.json`.
 pub const KERNEL_BENCH_SCHEMA: &str = "a2a-obs/kernel-bench/v3";
 
+/// Schema identifier written into `BENCH_serve.json` (the `a2a-serve`
+/// load-test snapshot sealed by `serve_bench`, gated by
+/// `obs_validate --serve`).
+pub const SERVE_BENCH_SCHEMA: &str = "a2a-obs/serve-bench/v1";
+
 /// The minimum worker count at which [`validate_kernel_snapshot`]
 /// arms the ≥ [`PARALLEL_SPEEDUP_GATE`] gate on `parallel_speedup`.
 /// Below it (CI single-core runners included) the ratio is recorded
@@ -532,6 +537,101 @@ pub fn validate_fitness_snapshot(doc: &Json) -> Result<(), String> {
         }
         _ => Err("missing boolean `identical_reports`".to_string()),
     }
+}
+
+/// Validates a parsed `BENCH_serve.json` document against
+/// `a2a-obs/serve-bench/v1`: the load test must have completed every
+/// submitted job with zero lost or duplicated results, observed both
+/// queue backpressure (≥ 1 rejection with a `Retry-After` header) and
+/// a per-tenant quota rejection, and recorded a positive throughput
+/// with a monotone latency distribution.
+///
+/// ```json
+/// {
+///   "schema": "a2a-obs/serve-bench/v1",
+///   "workload": {"jobs": 1000, "tenants": 4, "clients": 8},
+///   "jobs": {"submitted": 1000, "completed": 1000, "lost": 0, "duplicated": 0},
+///   "backpressure": {"rejected_429": 17, "retry_after": true},
+///   "quota": {"rejected_429": 3},
+///   "throughput": {"jobs_per_sec": 210.0, "elapsed_us": 4.7e6},
+///   "latency_ms": {"p50": 12.0, "p90": 31.0, "p99": 55.0},
+///   "checksum": "…"
+/// }
+/// ```
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn validate_serve_snapshot(doc: &Json) -> Result<(), String> {
+    let schema = doc.get("schema").and_then(Json::as_str).ok_or("missing `schema`")?;
+    if schema != SERVE_BENCH_SCHEMA {
+        return Err(format!("schema `{schema}` is not `{SERVE_BENCH_SCHEMA}`"));
+    }
+    verify_checksum(doc)?;
+
+    let workload = doc.get("workload").ok_or("missing `workload`")?;
+    for key in ["jobs", "tenants", "clients"] {
+        let v = require_num(workload, "workload", key)?;
+        if v <= 0.0 {
+            return Err(format!("`workload.{key}` must be positive"));
+        }
+    }
+
+    let jobs = doc.get("jobs").ok_or("missing `jobs`")?;
+    let submitted = require_num(jobs, "jobs", "submitted")?;
+    let completed = require_num(jobs, "jobs", "completed")?;
+    let lost = require_num(jobs, "jobs", "lost")?;
+    let duplicated = require_num(jobs, "jobs", "duplicated")?;
+    if submitted <= 0.0 {
+        return Err("`jobs.submitted` must be positive".to_string());
+    }
+    if lost != 0.0 {
+        return Err(format!("`jobs.lost` is {lost}: the service dropped jobs"));
+    }
+    if duplicated != 0.0 {
+        return Err(format!("`jobs.duplicated` is {duplicated}: the service duplicated jobs"));
+    }
+    if completed != submitted {
+        return Err(format!(
+            "`jobs.completed` ({completed}) must equal `jobs.submitted` ({submitted})"
+        ));
+    }
+
+    let backpressure = doc.get("backpressure").ok_or("missing `backpressure`")?;
+    let rejected = require_num(backpressure, "backpressure", "rejected_429")?;
+    if rejected < 1.0 {
+        return Err("`backpressure.rejected_429` must be ≥ 1 (full queue never observed)".into());
+    }
+    match backpressure.get("retry_after") {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => {
+            return Err("`backpressure.retry_after` is false: 429 lacked Retry-After".into())
+        }
+        _ => return Err("missing boolean `backpressure.retry_after`".into()),
+    }
+    let quota = doc.get("quota").ok_or("missing `quota`")?;
+    let quota_rejected = require_num(quota, "quota", "rejected_429")?;
+    if quota_rejected < 1.0 {
+        return Err("`quota.rejected_429` must be ≥ 1 (tenant quota never observed)".into());
+    }
+
+    let throughput = doc.get("throughput").ok_or("missing `throughput`")?;
+    let jps = require_num(throughput, "throughput", "jobs_per_sec")?;
+    if !jps.is_finite() || jps <= 0.0 {
+        return Err("`throughput.jobs_per_sec` must be positive".to_string());
+    }
+    require_num(throughput, "throughput", "elapsed_us")?;
+
+    let latency = doc.get("latency_ms").ok_or("missing `latency_ms`")?;
+    let p50 = require_num(latency, "latency_ms", "p50")?;
+    let p90 = require_num(latency, "latency_ms", "p90")?;
+    let p99 = require_num(latency, "latency_ms", "p99")?;
+    if !(p50 <= p90 && p90 <= p99) {
+        return Err(format!(
+            "`latency_ms` percentiles must be monotone (p50 {p50} ≤ p90 {p90} ≤ p99 {p99})"
+        ));
+    }
+    Ok(())
 }
 
 /// Validates a parsed `BENCH_kernel.json` document against
@@ -1021,6 +1121,94 @@ mod tests {
                     .with("active_pct", active.to_json()),
             )
             .with("identical_outcomes", true))
+    }
+
+    fn minimal_serve_snapshot() -> Json {
+        seal(Json::object()
+            .with("schema", SERVE_BENCH_SCHEMA)
+            .with(
+                "workload",
+                Json::object().with("jobs", 1000u64).with("tenants", 4u64).with("clients", 8u64),
+            )
+            .with(
+                "jobs",
+                Json::object()
+                    .with("submitted", 1000u64)
+                    .with("completed", 1000u64)
+                    .with("lost", 0u64)
+                    .with("duplicated", 0u64),
+            )
+            .with(
+                "backpressure",
+                Json::object().with("rejected_429", 17u64).with("retry_after", true),
+            )
+            .with("quota", Json::object().with("rejected_429", 3u64))
+            .with(
+                "throughput",
+                Json::object().with("jobs_per_sec", 210.0).with("elapsed_us", 4.7e6),
+            )
+            .with(
+                "latency_ms",
+                Json::object().with("p50", 12.0).with("p90", 31.0).with("p99", 55.0),
+            ))
+    }
+
+    #[test]
+    fn serve_snapshot_validates_and_gates() {
+        validate_serve_snapshot(&minimal_serve_snapshot()).unwrap();
+
+        let lossy = resealed(
+            minimal_serve_snapshot(),
+            "jobs",
+            Json::object()
+                .with("submitted", 1000u64)
+                .with("completed", 999u64)
+                .with("lost", 1u64)
+                .with("duplicated", 0u64),
+        );
+        assert!(validate_serve_snapshot(&lossy).is_err(), "lost jobs must fail");
+
+        let duplicated = resealed(
+            minimal_serve_snapshot(),
+            "jobs",
+            Json::object()
+                .with("submitted", 1000u64)
+                .with("completed", 1001u64)
+                .with("lost", 0u64)
+                .with("duplicated", 1u64),
+        );
+        assert!(validate_serve_snapshot(&duplicated).is_err(), "duplicated jobs must fail");
+
+        let no_backpressure = resealed(
+            minimal_serve_snapshot(),
+            "backpressure",
+            Json::object().with("rejected_429", 0u64).with("retry_after", true),
+        );
+        assert!(
+            validate_serve_snapshot(&no_backpressure).is_err(),
+            "a load test that never filled the queue proves nothing"
+        );
+
+        let no_retry_after = resealed(
+            minimal_serve_snapshot(),
+            "backpressure",
+            Json::object().with("rejected_429", 5u64).with("retry_after", false),
+        );
+        assert!(validate_serve_snapshot(&no_retry_after).is_err());
+
+        let non_monotone = resealed(
+            minimal_serve_snapshot(),
+            "latency_ms",
+            Json::object().with("p50", 30.0).with("p90", 20.0).with("p99", 55.0),
+        );
+        assert!(validate_serve_snapshot(&non_monotone).is_err());
+
+        let wrong = resealed(minimal_serve_snapshot(), "schema", "other/v0".into());
+        assert!(validate_serve_snapshot(&wrong).is_err());
+
+        let mut tampered = minimal_serve_snapshot();
+        tampered.set("quota", Json::object().with("rejected_429", 99u64));
+        assert!(validate_serve_snapshot(&tampered).is_err(), "tampering breaks the checksum");
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub trait Sink: Send + Sync + fmt::Debug {
 /// untouched (a stale `.tmp` sibling may remain).
 pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
     let path = path.as_ref();
-    let tmp = sibling_with_suffix(path, ".tmp");
+    let tmp = unique_sibling(path, ".tmp");
     {
         let mut file = File::create(&tmp)?;
         file.write_all(bytes)?;
@@ -69,7 +69,7 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()>
 /// crash artifact).
 pub fn publish_via_partial(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
     let path = path.as_ref();
-    let partial = sibling_with_suffix(path, ".partial");
+    let partial = unique_sibling(path, ".partial");
     {
         let mut file = File::create(&partial)?;
         file.write_all(bytes)?;
@@ -90,6 +90,19 @@ fn sibling_with_suffix(path: &Path, suffix: &str) -> PathBuf {
     let mut name = path.file_name().unwrap_or_default().to_os_string();
     name.push(suffix);
     path.with_file_name(name)
+}
+
+/// Monotonic per-process counter distinguishing concurrent temp files.
+static TEMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A process- and call-unique temp sibling of `path`:
+/// `events.jsonl` → `events.jsonl.partial.<pid>-<seq>`. Two sinks (or
+/// two processes sharing a directory) targeting the same published path
+/// therefore never write through the same temp file — each publishes by
+/// renaming its own temp, and last rename wins with a complete file.
+fn unique_sibling(path: &Path, tag: &str) -> PathBuf {
+    let seq = TEMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    sibling_with_suffix(path, &format!("{tag}.{}-{seq}", std::process::id()))
 }
 
 static SINKS: OnceLock<RwLock<Vec<Arc<dyn Sink>>>> = OnceLock::new();
@@ -165,37 +178,45 @@ impl Sink for StderrSink {
 ///
 /// # Crash safety
 ///
-/// The stream is written to a `.partial` sibling of the requested path
-/// and renamed into place by [`JsonlSink::finalize`] (or `Drop`). A
-/// finished file at the requested path is therefore always one a clean
-/// shutdown produced; a `.partial` left behind marks a crashed run —
-/// still readable line by line, with at most the final line truncated
-/// (which `obs_validate` tolerates and reports). The rename keeps the
-/// open descriptor valid, so events recorded after finalization still
-/// land in the published file.
+/// The stream is written to a process- and sink-unique `.partial.*`
+/// sibling of the requested path and renamed into place by
+/// [`JsonlSink::finalize`] (or `Drop`). A finished file at the
+/// requested path is therefore always one a clean shutdown produced; a
+/// `.partial.*` left behind marks a crashed run — still readable line
+/// by line, with at most the final line truncated (which `obs_validate`
+/// tolerates and reports). The rename keeps the open descriptor valid,
+/// so events recorded after finalization still land in the published
+/// file. Because each sink owns its own temp name, two sinks in one
+/// process (or two processes sharing a directory) targeting the same
+/// published path cannot corrupt each other's stream: each publishes a
+/// complete file and the last rename wins.
 #[derive(Debug)]
 pub struct JsonlSink {
     out: Mutex<BufWriter<File>>,
     verbosity: Level,
-    /// Requested (published) path; the stream starts at `.partial`.
+    /// Requested (published) path; the stream starts at `partial`.
     path: PathBuf,
+    /// This sink's own unique temp path (see [`unique_sibling`]).
+    partial: PathBuf,
     finalized: AtomicBool,
 }
 
 impl JsonlSink {
-    /// Opens the `.partial` sibling of `path` (truncating it) and admits
-    /// events up to `verbosity`; `path` itself appears at finalization.
+    /// Opens a unique `.partial.*` sibling of `path` and admits events
+    /// up to `verbosity`; `path` itself appears at finalization.
     ///
     /// # Errors
     ///
     /// Propagates file-creation errors.
     pub fn create(path: impl AsRef<Path>, verbosity: Level) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = File::create(sibling_with_suffix(&path, ".partial"))?;
+        let partial = unique_sibling(&path, ".partial");
+        let file = File::create(&partial)?;
         Ok(Self {
             out: Mutex::new(BufWriter::new(file)),
             verbosity,
             path,
+            partial,
             finalized: AtomicBool::new(false),
         })
     }
@@ -206,6 +227,13 @@ impl JsonlSink {
         &self.path
     }
 
+    /// The in-progress temp path this sink writes through until
+    /// finalization (useful for diagnosing crashed runs).
+    #[must_use]
+    pub fn partial_path(&self) -> &Path {
+        &self.partial
+    }
+
     /// Appends an arbitrary JSON document as one line (registry
     /// snapshots, bench summaries).
     pub fn write_json(&self, doc: &Json) {
@@ -213,9 +241,10 @@ impl JsonlSink {
         let _ = writeln!(out, "{doc}");
     }
 
-    /// Flush + fsync + rename `.partial` into the requested path.
-    /// Idempotent; errors are swallowed (observability must never take
-    /// the run down), leaving the `.partial` behind as the artifact.
+    /// Flush + fsync + rename this sink's own temp file into the
+    /// requested path. Idempotent; errors are swallowed (observability
+    /// must never take the run down), leaving the temp behind as the
+    /// artifact.
     fn publish(&self) {
         let mut out = self.out.lock().expect("jsonl lock never poisoned");
         let _ = out.flush();
@@ -223,7 +252,7 @@ impl JsonlSink {
             return;
         }
         let _ = out.get_ref().sync_all();
-        let _ = std::fs::rename(sibling_with_suffix(&self.path, ".partial"), &self.path);
+        let _ = std::fs::rename(&self.partial, &self.path);
     }
 }
 
@@ -324,12 +353,17 @@ mod tests {
         let dir = std::env::temp_dir().join("a2a_obs_sink_finalize_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("events.jsonl");
-        let partial = dir.join("events.jsonl.partial");
         let _ = std::fs::remove_file(&path);
         let sink = JsonlSink::create(&path, Level::Debug).unwrap();
+        let partial = sink.partial_path().to_path_buf();
+        assert_ne!(partial, path);
+        assert!(
+            partial.file_name().unwrap().to_string_lossy().contains(".partial."),
+            "temp name carries a unique .partial.<pid>-<seq> tag"
+        );
         sink.record(&Event::new(Level::Info, "t.before"));
         sink.flush();
-        assert!(partial.exists(), "stream starts at .partial");
+        assert!(partial.exists(), "stream starts at the sink's own temp");
         assert!(!path.exists(), "published path only appears at finalize");
         sink.finalize();
         assert!(path.exists() && !partial.exists(), "finalize renames into place");
@@ -343,6 +377,40 @@ mod tests {
     }
 
     #[test]
+    fn two_sinks_on_one_path_never_share_a_partial() {
+        // Regression: both sinks used to open the same `.partial`
+        // sibling, so the second create truncated the first sink's
+        // stream and the first finalize renamed a half-written mix.
+        let dir = std::env::temp_dir().join("a2a_obs_sink_race_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let a = JsonlSink::create(&path, Level::Debug).unwrap();
+        let b = JsonlSink::create(&path, Level::Debug).unwrap();
+        assert_ne!(a.partial_path(), b.partial_path(), "each sink owns its temp");
+        for i in 0..50u64 {
+            a.record(&Event::new(Level::Info, "race.a").field("i", i));
+            b.record(&Event::new(Level::Info, "race.b").field("i", i));
+        }
+        a.finalize();
+        b.finalize();
+        // Last finalize wins with a COMPLETE single-sink stream: every
+        // line parses and all 50 records come from exactly one sink.
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 50);
+        let names: std::collections::BTreeSet<String> = lines
+            .iter()
+            .map(|l| {
+                let doc = crate::json::parse(l).unwrap();
+                doc.get("event").and_then(Json::as_str).unwrap().to_string()
+            })
+            .collect();
+        assert_eq!(names.len(), 1, "published stream is one sink's, not interleaved");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn atomic_write_replaces_whole_files() {
         let dir = std::env::temp_dir().join("a2a_obs_atomic_write_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -351,7 +419,12 @@ mod tests {
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\": 1}\n");
         atomic_write(&path, b"{\"v\": 2}\n").unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\": 2}\n");
-        assert!(!dir.join("artifact.json.tmp").exists(), "no stale temp on success");
+        let stale = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(stale, 0, "no stale temp on success");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -27,6 +27,38 @@ use a2a_ga::{
     IslandConfig, IslandOutcome, IslandsState, RunControl,
 };
 use a2a_obs::fault;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative stop flag checked at every generation/epoch boundary
+/// (after the due checkpoint is persisted, so a stopped run is always
+/// resumable from its last boundary). Clones share the flag; any holder
+/// can raise it from any thread — the seam `a2a-serve` uses for job
+/// deadlines and graceful drain.
+#[derive(Debug, Clone, Default)]
+pub struct StopSignal {
+    flag: Arc<AtomicBool>,
+}
+
+impl StopSignal {
+    /// A fresh, unraised signal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag; every harnessed run holding a clone stops at
+    /// its next boundary.
+    pub fn stop(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the flag has been raised.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
 
 /// How a harnessed run persists and restores checkpoints.
 #[derive(Debug, Clone, Default)]
@@ -41,13 +73,16 @@ pub struct RunOptions {
     /// store; a missing checkpoint file just starts fresh, but a corrupt
     /// one or a context-digest mismatch is a hard error.
     pub resume: bool,
+    /// Cooperative stop flag; `None` means the run only stops at its
+    /// generation budget (or a simulated kill).
+    pub stop: Option<StopSignal>,
 }
 
 impl RunOptions {
     /// Persistence into `store` at every boundary, no resume.
     #[must_use]
     pub fn persisting(store: CheckpointStore) -> Self {
-        Self { store: Some(store), cadence: 1, resume: false }
+        Self { store: Some(store), cadence: 1, resume: false, stop: None }
     }
 
     /// Builder-style cadence override.
@@ -61,6 +96,13 @@ impl RunOptions {
     #[must_use]
     pub fn resuming(mut self, resume: bool) -> Self {
         self.resume = resume;
+        self
+    }
+
+    /// Builder-style cooperative stop signal.
+    #[must_use]
+    pub fn with_stop(mut self, stop: StopSignal) -> Self {
+        self.stop = Some(stop);
         self
     }
 }
@@ -82,6 +124,9 @@ pub struct RunReport {
     /// Whether the `run.generation` fault site stopped the run
     /// (simulated kill).
     pub killed: bool,
+    /// Whether a [`StopSignal`] stopped the run at a boundary (the run
+    /// is resumable from its last checkpoint).
+    pub stopped: bool,
 }
 
 /// What a harnessed island-model run produced.
@@ -99,6 +144,8 @@ pub struct IslandsReport {
     pub checkpoint_errors: usize,
     /// Whether the `run.generation` fault site stopped the run.
     pub killed: bool,
+    /// Whether a [`StopSignal`] stopped the run at a boundary.
+    pub stopped: bool,
 }
 
 /// Book-keeping shared by both harness flavours.
@@ -107,17 +154,24 @@ struct Progress {
     written: usize,
     errors: usize,
     killed: bool,
+    stopped: bool,
 }
 
 impl Progress {
     /// Persists `checkpoint` if due at boundary `index`, then probes the
-    /// kill site. Returns the control verdict for the boundary.
+    /// kill site and the cooperative stop flag. Returns the control
+    /// verdict for the boundary.
     fn boundary(
         &mut self,
         store: Option<&CheckpointStore>,
+        stop: Option<&StopSignal>,
         due: bool,
         checkpoint: impl FnOnce() -> Checkpoint,
     ) -> RunControl {
+        // A raised stop flag forces this boundary's checkpoint even off
+        // cadence, so the stopped run resumes exactly where it stopped.
+        let stopping = stop.is_some_and(StopSignal::is_stopped);
+        let due = due || stopping;
         if let Some(store) = store {
             if due {
                 match store.save(&checkpoint()) {
@@ -148,10 +202,13 @@ impl Progress {
         }
         if fault::should_kill("run.generation") {
             self.killed = true;
-            RunControl::Stop
-        } else {
-            RunControl::Continue
+            return RunControl::Stop;
         }
+        if stopping {
+            self.stopped = true;
+            return RunControl::Stop;
+        }
+        RunControl::Continue
     }
 }
 
@@ -231,7 +288,7 @@ pub fn run_evolution(
             on_generation(stats);
             let boundary_index = state.next_generation - 1;
             let due = boundary_index % cadence == 0 || boundary_index == last;
-            progress.boundary(opts.store.as_ref(), due, || Checkpoint {
+            progress.boundary(opts.store.as_ref(), opts.stop.as_ref(), due, || Checkpoint {
                 digest: digest.clone(),
                 spec,
                 counters: counters(evaluator),
@@ -241,11 +298,12 @@ pub fn run_evolution(
     );
     Ok(RunReport {
         outcome: run.outcome,
-        completed: run.completed && !progress.killed,
+        completed: run.completed && !progress.killed && !progress.stopped,
         resumed_from,
         checkpoints_written: progress.written,
         checkpoint_errors: progress.errors,
         killed: progress.killed,
+        stopped: progress.stopped,
     })
 }
 
@@ -288,7 +346,7 @@ pub fn run_islands_checkpointed(
         |epoch, state: &IslandsState| {
             on_epoch(epoch, &state.outcomes);
             let due = epoch % cadence == 0 || state.next_epoch >= epochs;
-            progress.boundary(opts.store.as_ref(), due, || Checkpoint {
+            progress.boundary(opts.store.as_ref(), opts.stop.as_ref(), due, || Checkpoint {
                 digest: digest.clone(),
                 spec,
                 counters: counters(evaluator),
@@ -298,10 +356,11 @@ pub fn run_islands_checkpointed(
     );
     Ok(IslandsReport {
         outcome: run.outcome,
-        completed: run.completed && !progress.killed,
+        completed: run.completed && !progress.killed && !progress.stopped,
         resumed_from,
         checkpoints_written: progress.written,
         checkpoint_errors: progress.errors,
         killed: progress.killed,
+        stopped: progress.stopped,
     })
 }

@@ -62,12 +62,17 @@
 
 pub mod checkpoint;
 pub mod harness;
+pub mod jobs;
 pub mod store;
 
 pub use checkpoint::{
     context_digest, Checkpoint, Counters, Payload, CHECKPOINT_SCHEMA, CHECKPOINT_VERSION,
 };
 pub use harness::{
-    run_evolution, run_islands_checkpointed, IslandsReport, RunOptions, RunReport,
+    run_evolution, run_islands_checkpointed, IslandsReport, RunOptions, RunReport, StopSignal,
+};
+pub use jobs::{
+    validate_job_id, JobManifest, JobStatus, JobStore, JOB_MANIFEST_SCHEMA, MANIFEST_FILE,
+    RESULT_FILE,
 };
 pub use store::{CheckpointStore, CHECKPOINT_FILE};

@@ -1,0 +1,87 @@
+//! A tiny blocking HTTP client — just enough for the test suites and
+//! the load generator to drive the service without external crates.
+
+use a2a_obs::json::{self, Json};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// One parsed reply.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Body text.
+    pub body: String,
+}
+
+impl HttpReply {
+    /// First header value by (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// The parse error message.
+    pub fn json(&self) -> Result<Json, String> {
+        json::parse(&self.body).map_err(|e| format!("bad JSON body: {e}"))
+    }
+}
+
+fn request(method: &str, addr: &str, path: &str, body: Option<&str>) -> std::io::Result<HttpReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_read_timeout(Some(crate::http::SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(crate::http::SOCKET_TIMEOUT));
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))?;
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty reply"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(HttpReply { status, headers, body: body.to_string() })
+}
+
+/// `GET path` against `addr` (`host:port`).
+///
+/// # Errors
+///
+/// Transport failures or an unparseable reply.
+pub fn get(addr: &str, path: &str) -> std::io::Result<HttpReply> {
+    request("GET", addr, path, None)
+}
+
+/// `POST path` with a JSON body against `addr`.
+///
+/// # Errors
+///
+/// Transport failures or an unparseable reply.
+pub fn post(addr: &str, path: &str, body: &str) -> std::io::Result<HttpReply> {
+    request("POST", addr, path, Some(body))
+}

@@ -1,0 +1,193 @@
+//! Job specs (the submitted JSON) and sealed result documents.
+
+use a2a_grid::GridKind;
+use a2a_obs::json::Json;
+use a2a_obs::schema;
+use a2a_run::RunReport;
+
+/// Schema identifier of a job's sealed result document.
+pub const RESULT_SCHEMA: &str = "a2a-serve/result/v1";
+
+/// A parsed evolution-job submission. Every field except `tenant` has
+/// a service default, so the minimal useful submission is
+/// `{"tenant": "t", "id": "job-1"}`.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Job id (optional at submit; the server assigns `j<seq>` when
+    /// absent).
+    pub id: Option<String>,
+    /// Owning tenant (required).
+    pub tenant: String,
+    /// Scheduling priority, higher first (default 1).
+    pub priority: u32,
+    /// Grid family (`"S"` or `"T"`, default `"T"`).
+    pub grid: GridKind,
+    /// Torus side length (default 8).
+    pub m: u16,
+    /// Agent count (default 4).
+    pub k: usize,
+    /// Random initial configurations on top of the 3 designed ones
+    /// (default 4).
+    pub configs: usize,
+    /// GA generations (default 4).
+    pub generations: usize,
+    /// GA seed (default 1).
+    pub seed: u64,
+    /// GA pool size (default 8; the paper's 20 is heavyweight for a
+    /// service job — ask for it explicitly).
+    pub population: usize,
+    /// Simulation step budget override (`0` keeps the evaluator's
+    /// default).
+    pub t_max: u32,
+    /// Wall-clock deadline in milliseconds, checked at generation
+    /// boundaries; `None` means no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Per-job retry budget override (`None` uses the server's).
+    pub max_retries: Option<u32>,
+}
+
+fn num(doc: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let v = v.as_f64().ok_or_else(|| format!("`{key}` must be a number"))?;
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(format!("`{key}` must be a non-negative integer"));
+            }
+            Ok(v as u64)
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parses and validates a submission document.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first invalid member (reported as `400`).
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let tenant = doc
+            .get("tenant")
+            .and_then(Json::as_str)
+            .ok_or("`tenant` is required")?
+            .to_string();
+        if tenant.is_empty() || tenant.len() > 64 {
+            return Err("`tenant` must be 1..=64 characters".to_string());
+        }
+        let id = match doc.get("id") {
+            None => None,
+            Some(v) => {
+                let id = v.as_str().ok_or("`id` must be a string")?;
+                a2a_run::validate_job_id(id)?;
+                Some(id.to_string())
+            }
+        };
+        let grid = match doc.get("grid").and_then(Json::as_str).unwrap_or("T") {
+            "T" | "t" => GridKind::Triangulate,
+            "S" | "s" => GridKind::Square,
+            other => return Err(format!("`grid` must be \"S\" or \"T\", got `{other}`")),
+        };
+        let spec = Self {
+            id,
+            tenant,
+            priority: u32::try_from(num(doc, "priority", 1)?).map_err(|e| e.to_string())?,
+            grid,
+            m: u16::try_from(num(doc, "m", 8)?).map_err(|e| e.to_string())?,
+            k: num(doc, "k", 4)? as usize,
+            configs: num(doc, "configs", 4)? as usize,
+            generations: num(doc, "generations", 4)? as usize,
+            seed: num(doc, "seed", 1)?,
+            population: num(doc, "population", 8)? as usize,
+            t_max: u32::try_from(num(doc, "t_max", 0)?).map_err(|e| e.to_string())?,
+            deadline_ms: doc.get("deadline_ms").map(|_| num(doc, "deadline_ms", 0)).transpose()?,
+            max_retries: doc
+                .get("max_retries")
+                .map(|_| num(doc, "max_retries", 0))
+                .transpose()?
+                .map(|v| u32::try_from(v).unwrap_or(u32::MAX)),
+        };
+        if spec.m < 2 {
+            return Err("`m` must be at least 2".to_string());
+        }
+        if spec.k == 0 {
+            return Err("`k` must be at least 1".to_string());
+        }
+        if spec.generations == 0 {
+            return Err("`generations` must be at least 1".to_string());
+        }
+        if spec.population < 2 {
+            return Err("`population` must be at least 2".to_string());
+        }
+        Ok(spec)
+    }
+}
+
+/// Builds the sealed result document for a completed run. Everything in
+/// it is a pure function of the job spec (context digest, best genome
+/// digits, fitness numbers, a digest over the full generation history),
+/// so an interrupted-and-resumed job's result is **byte-equal** to an
+/// uninterrupted control run's — the property the chaos suite compares
+/// directly.
+#[must_use]
+pub fn build_result(id: &str, digest: &str, report: &RunReport) -> Json {
+    let best = &report.outcome.pool[0];
+    let history_bytes: String =
+        report.outcome.history.iter().map(|s| s.to_json().to_string()).collect();
+    let pool_digits: Vec<Json> =
+        report.outcome.pool.iter().map(|ind| Json::Str(ind.genome.to_string())).collect();
+    schema::seal(
+        Json::object()
+            .with("schema", RESULT_SCHEMA)
+            .with("id", id)
+            .with("digest", digest)
+            .with(
+                "best",
+                Json::object()
+                    .with("genome", best.genome.to_string())
+                    .with("fitness", best.report.fitness)
+                    .with("successes", best.report.successes as u64)
+                    .with("total", best.report.total as u64),
+            )
+            .with("pool", Json::Arr(pool_digits))
+            .with("history_len", report.outcome.history.len() as u64)
+            .with(
+                "history_digest",
+                format!("{:016x}", schema::fnv1a64(history_bytes.as_bytes())),
+            ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_fill_a_minimal_submission() {
+        let doc = Json::object().with("tenant", "acme");
+        let spec = JobSpec::from_json(&doc).unwrap();
+        assert!(spec.id.is_none());
+        assert_eq!(spec.tenant, "acme");
+        assert_eq!(spec.priority, 1);
+        assert_eq!(spec.grid, GridKind::Triangulate);
+        assert_eq!((spec.m, spec.k, spec.configs), (8, 4, 4));
+        assert_eq!((spec.generations, spec.seed, spec.population), (4, 1, 8));
+        assert_eq!(spec.t_max, 0);
+        assert!(spec.deadline_ms.is_none() && spec.max_retries.is_none());
+    }
+
+    #[test]
+    fn invalid_submissions_are_named() {
+        for (doc, needle) in [
+            (Json::object(), "tenant"),
+            (Json::object().with("tenant", "t").with("grid", "Q"), "grid"),
+            (Json::object().with("tenant", "t").with("k", 0u64), "k"),
+            (Json::object().with("tenant", "t").with("generations", 0u64), "generations"),
+            (Json::object().with("tenant", "t").with("population", 1u64), "population"),
+            (Json::object().with("tenant", "t").with("id", "a/b"), "character"),
+            (Json::object().with("tenant", "t").with("seed", -3.0), "seed"),
+        ] {
+            let err = JobSpec::from_json(&doc).unwrap_err();
+            assert!(err.contains(needle), "{err} should mention {needle}");
+        }
+    }
+}
