@@ -9,8 +9,14 @@
 //!     [--events events.jsonl] [--snapshot BENCH_obs.json] \
 //!     [--fitness BENCH_fitness.json] [--kernel BENCH_kernel.json] \
 //!     [--kernel-baseline BASELINE.json] [--serve BENCH_serve.json] \
-//!     [--run CHECKPOINT_DIR_OR_FILE]
+//!     [--campaign BENCH_campaign.json] [--run CHECKPOINT_DIR_OR_FILE]
 //! ```
+//!
+//! `--campaign` gates a `BENCH_campaign.json` snapshot: aggregate
+//! evals/s positive, campaign-wide dedup hit rate observed, the archive
+//! coverage curve monotone, and the 4-shard/1-shard throughput ratio ≥
+//! 2× once the host has 4+ cores (recorded, not floored, on smaller
+//! hosts — the honest-hardware convention of the kernel gates).
 //!
 //! `--serve` gates a `BENCH_serve.json` load snapshot: every submitted
 //! job completed (zero lost or duplicated), backpressure and tenant
@@ -31,8 +37,9 @@
 
 use a2a_obs::json::parse;
 use a2a_obs::schema::{
-    validate_bench_snapshot, validate_events, validate_fitness_snapshot,
-    validate_kernel_regression, validate_kernel_snapshot, validate_serve_snapshot,
+    validate_bench_snapshot, validate_campaign_snapshot, validate_events,
+    validate_fitness_snapshot, validate_kernel_regression, validate_kernel_snapshot,
+    validate_serve_snapshot,
 };
 use a2a_run::{CheckpointStore, Payload, CHECKPOINT_FILE};
 use std::path::Path;
@@ -78,12 +85,13 @@ fn main() -> ExitCode {
     let mut kernels: Vec<String> = Vec::new();
     let mut kernel_baseline: Option<String> = None;
     let mut serves: Vec<String> = Vec::new();
+    let mut campaigns: Vec<String> = Vec::new();
     let mut runs: Vec<String> = Vec::new();
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--events" | "--snapshot" | "--fitness" | "--kernel" | "--kernel-baseline"
-            | "--serve" | "--run" => {
+            | "--serve" | "--campaign" | "--run" => {
                 let Some(path) = it.next() else {
                     eprintln!("missing value for {flag}");
                     return ExitCode::FAILURE;
@@ -95,6 +103,7 @@ fn main() -> ExitCode {
                     "--kernel" => kernels.push(path),
                     "--kernel-baseline" => kernel_baseline = Some(path),
                     "--serve" => serves.push(path),
+                    "--campaign" => campaigns.push(path),
                     _ => runs.push(path),
                 }
             }
@@ -102,7 +111,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "unknown flag `{other}` (use --events FILE / --snapshot FILE / \
                      --fitness FILE / --kernel FILE / --kernel-baseline FILE / \
-                     --serve FILE / --run DIR)"
+                     --serve FILE / --campaign FILE / --run DIR)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -113,11 +122,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if events.is_empty() && snapshots.is_empty() && fitness.is_empty() && kernels.is_empty()
-        && serves.is_empty() && runs.is_empty()
+        && serves.is_empty() && campaigns.is_empty() && runs.is_empty()
     {
         eprintln!(
             "nothing to validate: pass --events FILE, --snapshot FILE, --fitness FILE, \
-             --kernel FILE, --serve FILE and/or --run DIR"
+             --kernel FILE, --serve FILE, --campaign FILE and/or --run DIR"
         );
         return ExitCode::FAILURE;
     }
@@ -229,6 +238,22 @@ fn main() -> ExitCode {
             Ok(()) => println!(
                 "{path}: OK (serve snapshot, checksum verified, zero lost/duplicated, \
                  backpressure and quota rejections observed)"
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+        }
+    }
+    for path in &campaigns {
+        let result = std::fs::read_to_string(path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|content| parse(content.trim()))
+            .and_then(|doc| validate_campaign_snapshot(&doc));
+        match result {
+            Ok(()) => println!(
+                "{path}: OK (campaign snapshot, checksum verified, dedup observed, \
+                 coverage monotone, shard scaling gated by available cores)"
             ),
             Err(e) => {
                 eprintln!("{path}: INVALID: {e}");

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod campaign;
 pub mod fitness;
 pub mod kernel;
 pub mod serve;

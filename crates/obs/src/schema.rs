@@ -126,6 +126,19 @@ pub const PARALLEL_GATE_MIN_WORKERS: f64 = 4.0;
 /// least [`PARALLEL_GATE_MIN_WORKERS`] workers.
 pub const PARALLEL_SPEEDUP_GATE: f64 = 3.0;
 
+/// Schema identifier written into `BENCH_campaign.json` (the sharded
+/// MAP-Elites campaign snapshot sealed by `campaign_run --bench`,
+/// gated by `obs_validate --campaign`).
+pub const CAMPAIGN_BENCH_SCHEMA: &str = "a2a-obs/campaign-bench/v1";
+
+/// The `scaling.ratio` floor (multi-shard aggregate throughput over
+/// the 1-shard run on the same budget) enforced by
+/// [`validate_campaign_snapshot`] once the host has at least
+/// [`PARALLEL_GATE_MIN_WORKERS`] cores. Below that the ratio is
+/// recorded but not floored — the same honest-hardware convention as
+/// the kernel dispatcher gate.
+pub const CAMPAIGN_SHARD_SPEEDUP_GATE: f64 = 2.0;
+
 /// Schema identifier of a flight-recorder dump's sealed header line
 /// (see [`crate::flight`] for the stream layout).
 pub const FLIGHT_SCHEMA: &str = "a2a-obs/flight/v1";
@@ -630,6 +643,111 @@ pub fn validate_serve_snapshot(doc: &Json) -> Result<(), String> {
         return Err(format!(
             "`latency_ms` percentiles must be monotone (p50 {p50} ≤ p90 {p90} ≤ p99 {p99})"
         ));
+    }
+    Ok(())
+}
+
+/// Validates a parsed `BENCH_campaign.json` document against
+/// `a2a-obs/campaign-bench/v1`.
+///
+/// Gates, in order:
+///
+/// * checksum and schema;
+/// * `workload.{niches,shards,rounds,batch}` positive;
+/// * `throughput.evals_per_sec` positive and finite, `throughput.evals`
+///   positive;
+/// * `dedup.hits ≥ 1` and `dedup.hit_rate > 0` — the campaign-wide
+///   digest set must demonstrably skip work;
+/// * `scaling.ratio` positive and finite, and ≥
+///   [`CAMPAIGN_SHARD_SPEEDUP_GATE`] once `scaling.cores` ≥
+///   [`PARALLEL_GATE_MIN_WORKERS`] (on smaller hosts the ratio is
+///   recorded, not floored — one core cannot honestly bind a
+///   multi-process target);
+/// * `coverage_curve` non-empty with monotone non-decreasing `covered`,
+///   `solved` and cumulative `evals`, and final coverage ≥ 1 niche.
+///
+/// # Errors
+///
+/// A message naming the first violated constraint.
+pub fn validate_campaign_snapshot(doc: &Json) -> Result<(), String> {
+    let schema = doc.get("schema").and_then(Json::as_str).ok_or("missing `schema`")?;
+    if schema != CAMPAIGN_BENCH_SCHEMA {
+        return Err(format!("schema `{schema}` is not `{CAMPAIGN_BENCH_SCHEMA}`"));
+    }
+    verify_checksum(doc)?;
+
+    let workload = doc.get("workload").ok_or("missing `workload`")?;
+    for key in ["niches", "shards", "rounds", "batch"] {
+        let v = require_num(workload, "workload", key)?;
+        if v <= 0.0 {
+            return Err(format!("`workload.{key}` must be positive"));
+        }
+    }
+
+    let throughput = doc.get("throughput").ok_or("missing `throughput`")?;
+    let eps = require_num(throughput, "throughput", "evals_per_sec")?;
+    if !eps.is_finite() || eps <= 0.0 {
+        return Err("`throughput.evals_per_sec` must be positive".to_string());
+    }
+    if require_num(throughput, "throughput", "evals")? <= 0.0 {
+        return Err("`throughput.evals` must be positive".to_string());
+    }
+    require_num(throughput, "throughput", "elapsed_us")?;
+
+    let dedup = doc.get("dedup").ok_or("missing `dedup`")?;
+    let hits = require_num(dedup, "dedup", "hits")?;
+    let rate = require_num(dedup, "dedup", "hit_rate")?;
+    if hits < 1.0 {
+        return Err("`dedup.hits` must be ≥ 1 (digest set never skipped work)".to_string());
+    }
+    if !(rate > 0.0 && rate < 1.0) {
+        return Err(format!("`dedup.hit_rate` is {rate}: must lie in (0, 1)"));
+    }
+
+    let scaling = doc.get("scaling").ok_or("missing `scaling`")?;
+    let cores = require_num(scaling, "scaling", "cores")?;
+    let ratio = require_num(scaling, "scaling", "ratio")?;
+    require_num(scaling, "scaling", "single_evals_per_sec")?;
+    require_num(scaling, "scaling", "sharded_evals_per_sec")?;
+    if cores < 1.0 {
+        return Err("`scaling.cores` must be ≥ 1".to_string());
+    }
+    if !ratio.is_finite() || ratio <= 0.0 {
+        return Err(format!("`scaling.ratio` is {ratio}: must be positive and finite"));
+    }
+    if cores >= PARALLEL_GATE_MIN_WORKERS && ratio < CAMPAIGN_SHARD_SPEEDUP_GATE {
+        return Err(format!(
+            "`scaling.ratio` {ratio:.2} < {CAMPAIGN_SHARD_SPEEDUP_GATE}: sharded aggregate \
+             throughput must reach {CAMPAIGN_SHARD_SPEEDUP_GATE}x over the 1-shard run \
+             once {PARALLEL_GATE_MIN_WORKERS}+ cores are available"
+        ));
+    }
+
+    let curve = doc
+        .get("coverage_curve")
+        .and_then(Json::as_arr)
+        .ok_or("missing `coverage_curve` array")?;
+    if curve.is_empty() {
+        return Err("`coverage_curve` must not be empty".to_string());
+    }
+    let mut prev: Option<(f64, f64, f64)> = None;
+    for (i, point) in curve.iter().enumerate() {
+        let path = format!("coverage_curve[{i}]");
+        let covered = require_num(point, &path, "covered")?;
+        let solved = require_num(point, &path, "solved")?;
+        let evals = require_num(point, &path, "evals")?;
+        if let Some((pc, ps, pe)) = prev {
+            if covered < pc || solved < ps || evals < pe {
+                return Err(format!(
+                    "`coverage_curve` must be monotone: point {i} regressed \
+                     (covered {pc}→{covered}, solved {ps}→{solved}, evals {pe}→{evals})"
+                ));
+            }
+        }
+        prev = Some((covered, solved, evals));
+    }
+    if prev.map(|(c, _, _)| c).unwrap_or(0.0) < 1.0 {
+        return Err("`coverage_curve` final `covered` must be ≥ 1 niche".to_string());
     }
     Ok(())
 }
@@ -1209,6 +1327,115 @@ mod tests {
         let mut tampered = minimal_serve_snapshot();
         tampered.set("quota", Json::object().with("rejected_429", 99u64));
         assert!(validate_serve_snapshot(&tampered).is_err(), "tampering breaks the checksum");
+    }
+
+    fn curve_point(round: u64, covered: u64, solved: u64, evals: u64) -> Json {
+        Json::object()
+            .with("round", round)
+            .with("covered", covered)
+            .with("solved", solved)
+            .with("evals", evals)
+    }
+
+    fn minimal_campaign_snapshot() -> Json {
+        seal(Json::object()
+            .with("schema", CAMPAIGN_BENCH_SCHEMA)
+            .with(
+                "workload",
+                Json::object()
+                    .with("niches", 8u64)
+                    .with("shards", 4u64)
+                    .with("rounds", 3u64)
+                    .with("batch", 4u64),
+            )
+            .with(
+                "throughput",
+                Json::object()
+                    .with("evals_per_sec", 520.0)
+                    .with("evals", 96u64)
+                    .with("elapsed_us", 1.8e5),
+            )
+            .with(
+                "dedup",
+                Json::object().with("hits", 16u64).with("hit_rate", 0.14).with("collisions", 0u64),
+            )
+            .with(
+                "scaling",
+                Json::object()
+                    .with("cores", 8u64)
+                    .with("shards", 4u64)
+                    .with("single_evals_per_sec", 200.0)
+                    .with("sharded_evals_per_sec", 520.0)
+                    .with("ratio", 2.6),
+            )
+            .with(
+                "coverage_curve",
+                Json::Arr(vec![
+                    curve_point(0, 6, 1, 40),
+                    curve_point(1, 8, 2, 70),
+                    curve_point(2, 8, 3, 96),
+                ]),
+            ))
+    }
+
+    #[test]
+    fn campaign_snapshot_validates_and_gates() {
+        validate_campaign_snapshot(&minimal_campaign_snapshot()).unwrap();
+
+        let no_dedup = resealed(
+            minimal_campaign_snapshot(),
+            "dedup",
+            Json::object().with("hits", 0u64).with("hit_rate", 0.0).with("collisions", 0u64),
+        );
+        assert!(
+            validate_campaign_snapshot(&no_dedup).is_err(),
+            "a campaign whose digest set never skipped work proves nothing"
+        );
+
+        // 8 cores + ratio below the floor → the 2x gate is armed.
+        let slow_shards = resealed(
+            minimal_campaign_snapshot(),
+            "scaling",
+            Json::object()
+                .with("cores", 8u64)
+                .with("shards", 4u64)
+                .with("single_evals_per_sec", 200.0)
+                .with("sharded_evals_per_sec", 240.0)
+                .with("ratio", 1.2),
+        );
+        assert!(validate_campaign_snapshot(&slow_shards).is_err(), "2x gate armed on 8 cores");
+
+        // 1 core + the same ratio → recorded, not floored.
+        let single_core = resealed(
+            minimal_campaign_snapshot(),
+            "scaling",
+            Json::object()
+                .with("cores", 1u64)
+                .with("shards", 4u64)
+                .with("single_evals_per_sec", 200.0)
+                .with("sharded_evals_per_sec", 240.0)
+                .with("ratio", 1.2),
+        );
+        validate_campaign_snapshot(&single_core)
+            .expect("one core cannot honestly bind a multi-process gate");
+
+        let regressing_curve = resealed(
+            minimal_campaign_snapshot(),
+            "coverage_curve",
+            Json::Arr(vec![curve_point(0, 6, 1, 40), curve_point(1, 5, 1, 70)]),
+        );
+        assert!(validate_campaign_snapshot(&regressing_curve).is_err(), "coverage regressed");
+
+        let empty_curve =
+            resealed(minimal_campaign_snapshot(), "coverage_curve", Json::Arr(Vec::new()));
+        assert!(validate_campaign_snapshot(&empty_curve).is_err());
+
+        let wrong = resealed(minimal_campaign_snapshot(), "schema", "other/v0".into());
+        assert!(validate_campaign_snapshot(&wrong).is_err());
+
+        let mut tampered = minimal_campaign_snapshot();
+        tampered.set("dedup", Json::object().with("hits", 99u64).with("hit_rate", 0.5));
+        assert!(validate_campaign_snapshot(&tampered).is_err(), "tampering breaks the checksum");
     }
 
     #[test]

@@ -1,0 +1,1465 @@
+//! Campaign engine: a MAP-Elites-style archive over (grid, density, k)
+//! niches fed by sharded island workers that exchange migrants through
+//! sealed archive-delta files in a shared store.
+//!
+//! # Shape of a campaign
+//!
+//! A campaign proceeds in synchronous **rounds**. Each round, every
+//! shard computes a batch of candidate genomes for its assigned niches,
+//! dedups them against the campaign-wide digest set, evaluates the
+//! survivors on the shared [`WorkerPool`], and publishes the outcome as
+//! one sealed **archive delta** (`a2a-run/archive-delta/v1`). A
+//! coordinator waits for all deltas of a round, folds them into the
+//! merged archive with conflict-free niche-min semantics, and publishes
+//! the sealed merged archive plus the round's new digests — the barrier
+//! the next round starts from.
+//!
+//! # Crash-only determinism
+//!
+//! Every shard round is a **pure function** of `(campaign seed, shard
+//! index, round index, merged archive of the previous round)` — the
+//! per-round RNG is re-seeded from those via FNV, so no RNG state is
+//! carried across rounds and the delta files *are* the checkpoints.
+//! Resume is "find the artifacts that exist, recompute the ones that
+//! don't": a shard killed mid-round (SIGKILL, fault injection, power
+//! loss) simply redoes the round on restart and — by purity — writes a
+//! byte-identical delta, so the final archive of an interrupted
+//! campaign is byte-identical to an uninterrupted control run. The
+//! chaos suite asserts exactly that.
+//!
+//! # Dedup and merge semantics
+//!
+//! * A genome digest is FNV-1a 64 over `niche_id|digits`, so dedup is
+//!   per-niche (the same FSM is legitimately re-evaluated in a
+//!   different world). Digests ride inside the same sealed delta as the
+//!   folded results — a digest is never durable without its elite, the
+//!   invariant behind "dedup never drops a strictly-better elite".
+//! * Cross-shard dedup is at **round granularity**: shards see the
+//!   union of all digests through completed rounds. Two shards *can*
+//!   collide within one round; the coordinator counts those honestly as
+//!   `collisions` instead of pretending they were deduplicated.
+//! * The archive merge keeps, per niche, the elite with **lower**
+//!   fitness (the paper minimises), ties broken by lexicographically
+//!   smaller digits. That order is total, so folding is commutative,
+//!   associative and idempotent — deltas can arrive in any interleaving
+//!   and the merged archive is identical (property-tested).
+//!
+//! # Work distribution
+//!
+//! Niche assignment is deterministic work-stealing: every round the
+//! niche deck is re-ordered cold-first (uncovered niches ahead of
+//! covered, unsolved ahead of solved), rotated by the round index, and
+//! dealt round-robin across shards with larger budgets for cold niches.
+//! No shard idles on a cold-only set, and because the deal is a pure
+//! function of the merged archive, every replica computes the same
+//! assignment without coordination.
+
+use a2a_fsm::{offspring, FsmSpec, Genome, MutationRates};
+use a2a_ga::{Evaluator, FitnessReport, WorkerPool};
+use a2a_grid::{GridKind, Lattice};
+use a2a_obs::json::Json;
+use a2a_obs::{atomic_write, fault, schema};
+use a2a_sim::{paper_config_set, WorldConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Schema identifier of the sealed campaign spec document.
+pub const CAMPAIGN_SPEC_SCHEMA: &str = "a2a-run/campaign-spec/v1";
+/// Schema identifier of sealed per-shard-per-round archive deltas.
+pub const ARCHIVE_DELTA_SCHEMA: &str = "a2a-run/archive-delta/v1";
+/// Schema identifier of sealed merged-archive round barriers.
+pub const CAMPAIGN_MERGED_SCHEMA: &str = "a2a-run/campaign-merged/v1";
+/// Schema identifier of the sealed final archive.
+pub const ARCHIVE_SCHEMA: &str = "a2a-run/archive/v1";
+/// Schema identifier of the sealed campaign summary.
+pub const CAMPAIGN_SUMMARY_SCHEMA: &str = "a2a-run/campaign-summary/v1";
+
+/// Fault-injection site probed at every shard round boundary (the
+/// campaign analogue of `run.generation`): a fired kill makes the shard
+/// die like a SIGKILLed process, before the round's delta is durable.
+pub const CAMPAIGN_ROUND_SITE: &str = "campaign.round";
+
+/// How long barrier polls wait before declaring the campaign wedged.
+const BARRIER_TIMEOUT: Duration = Duration::from_secs(300);
+/// Poll cadence of the file-based round barriers.
+const BARRIER_POLL: Duration = Duration::from_millis(2);
+
+/// One cell of the MAP-Elites archive: a (grid kind, field size, agent
+/// count) niche. Density is implied (`k / m²`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NicheKey {
+    /// Grid family (S or T).
+    pub kind: GridKind,
+    /// Field edge length (`m × m` torus).
+    pub m: u16,
+    /// Agents placed on the field.
+    pub k: usize,
+}
+
+impl NicheKey {
+    /// Canonical niche identifier, e.g. `t-m8-k4`. Used as the archive
+    /// key and inside genome digests, so it must stay stable.
+    #[must_use]
+    pub fn id(&self) -> String {
+        let kind = match self.kind {
+            GridKind::Square => 's',
+            GridKind::Triangulate => 't',
+        };
+        format!("{kind}-m{}-k{}", self.m, self.k)
+    }
+
+    /// Parses [`NicheKey::id`] back.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed part.
+    pub fn parse(id: &str) -> Result<Self, String> {
+        let mut parts = id.split('-');
+        let kind = match parts.next() {
+            Some("s") => GridKind::Square,
+            Some("t") => GridKind::Triangulate,
+            other => return Err(format!("bad niche kind in `{id}`: {other:?}")),
+        };
+        let m = parts
+            .next()
+            .and_then(|p| p.strip_prefix('m'))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad niche field size in `{id}`"))?;
+        let k = parts
+            .next()
+            .and_then(|p| p.strip_prefix('k'))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad niche agent count in `{id}`"))?;
+        if parts.next().is_some() {
+            return Err(format!("trailing junk in niche id `{id}`"));
+        }
+        Ok(Self { kind, m, k })
+    }
+
+    /// Agent density of the niche (`k / m²`), the paper's x-axis.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        self.k as f64 / (f64::from(self.m) * f64::from(self.m))
+    }
+}
+
+/// Parameters of one campaign. Everything downstream — niche ids,
+/// RNG streams, budgets — derives from this, so two processes with the
+/// same spec replay the same campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// The archive cells.
+    pub niches: Vec<NicheKey>,
+    /// Worker shards feeding the archive.
+    pub shards: usize,
+    /// Synchronous rounds to run.
+    pub rounds: usize,
+    /// Base candidate budget per niche per round (cold niches get 2×).
+    pub batch: usize,
+    /// Seeded random configurations per niche evaluation set (the
+    /// paper's designed hard cases are always appended).
+    pub configs: usize,
+    /// Simulation horizon per configuration.
+    pub t_max: u32,
+    /// Campaign seed; every RNG stream derives from it.
+    pub seed: u64,
+}
+
+impl CampaignSpec {
+    /// Context digest binding artifacts to this spec (same role as
+    /// [`crate::context_digest`] for checkpoints).
+    #[must_use]
+    pub fn digest(&self) -> String {
+        format!("{:016x}", schema::fnv1a64(format!("{self:?}").as_bytes()))
+    }
+
+    /// Serialises the spec as a sealed document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let doc = Json::object()
+            .with("schema", CAMPAIGN_SPEC_SCHEMA)
+            .with("digest", self.digest())
+            .with(
+                "niches",
+                Json::Arr(self.niches.iter().map(|n| Json::Str(n.id())).collect()),
+            )
+            .with("shards", self.shards as u64)
+            .with("rounds", self.rounds as u64)
+            .with("batch", self.batch as u64)
+            .with("configs", self.configs as u64)
+            .with("t_max", u64::from(self.t_max))
+            .with("seed", format!("{:016x}", self.seed));
+        schema::seal(doc)
+    }
+
+    /// Parses and validates a sealed spec document.
+    ///
+    /// # Errors
+    ///
+    /// Checksum mismatch, wrong schema, or a missing/mistyped member.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        schema::verify_checksum(doc)?;
+        expect_schema(doc, CAMPAIGN_SPEC_SCHEMA)?;
+        let niches = doc
+            .get("niches")
+            .and_then(Json::as_arr)
+            .ok_or("campaign spec missing `niches` array")?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .ok_or_else(|| "niche id must be a string".to_string())
+                    .and_then(NicheKey::parse)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_str)
+            .ok_or("campaign spec missing hex `seed`")?;
+        let spec = Self {
+            niches,
+            shards: usize_member(doc, "shards")?,
+            rounds: usize_member(doc, "rounds")?,
+            batch: usize_member(doc, "batch")?,
+            configs: usize_member(doc, "configs")?,
+            t_max: usize_member(doc, "t_max")? as u32,
+            seed: u64::from_str_radix(seed, 16).map_err(|e| format!("bad seed `{seed}`: {e}"))?,
+        };
+        let recorded = doc.get("digest").and_then(Json::as_str).unwrap_or("");
+        if recorded != spec.digest() {
+            return Err(format!(
+                "campaign spec digest mismatch: recorded {recorded}, computed {}",
+                spec.digest()
+            ));
+        }
+        Ok(spec)
+    }
+}
+
+fn expect_schema(doc: &Json, want: &str) -> Result<(), String> {
+    let got = doc.get("schema").and_then(Json::as_str).unwrap_or("<missing>");
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("expected schema `{want}`, found `{got}`"))
+    }
+}
+
+fn usize_member(doc: &Json, key: &str) -> Result<usize, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .map(|v| v as usize)
+        .ok_or_else(|| format!("document missing numeric `{key}`"))
+}
+
+fn u64_member(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("document missing numeric `{key}`"))
+}
+
+/// One archive entry: the niche champion and its full evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Elite {
+    /// Genome digits (decodable via the niche's [`FsmSpec`]).
+    pub digits: String,
+    /// The sealed-in evaluation of those digits on the niche's
+    /// configuration set.
+    pub report: FitnessReport,
+}
+
+impl Elite {
+    /// The total order that makes archive folding commutative: lower
+    /// fitness wins (the paper minimises); exact ties break toward the
+    /// lexicographically smaller digits string. Evaluation is
+    /// bit-identical across engines and replays (PR 3/5), so comparing
+    /// `f64` fitness exactly is sound.
+    #[must_use]
+    pub fn better_than(&self, other: &Elite) -> bool {
+        if self.report.fitness != other.report.fitness {
+            return self.report.fitness < other.report.fitness;
+        }
+        self.digits < other.digits
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("digits", self.digits.as_str())
+            .with("report", self.report.to_json())
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        let digits = doc
+            .get("digits")
+            .and_then(Json::as_str)
+            .ok_or("elite missing string `digits`")?
+            .to_string();
+        let report =
+            FitnessReport::from_json(doc.get("report").ok_or("elite missing `report`")?)?;
+        Ok(Self { digits, report })
+    }
+}
+
+/// The MAP-Elites archive: best-known elite per niche id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Archive {
+    entries: BTreeMap<String, Elite>,
+}
+
+impl Archive {
+    /// An empty archive.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one candidate in; returns whether it became (or improved)
+    /// the niche elite. Commutative in the sense documented on
+    /// [`Elite::better_than`].
+    pub fn fold(&mut self, niche_id: &str, elite: Elite) -> bool {
+        match self.entries.get(niche_id) {
+            Some(best) if !elite.better_than(best) => false,
+            _ => {
+                self.entries.insert(niche_id.to_string(), elite);
+                true
+            }
+        }
+    }
+
+    /// Folds a whole delta in; returns how many niches improved.
+    pub fn merge(&mut self, delta: &ArchiveDelta) -> usize {
+        let mut improved = 0;
+        for (niche_id, elite) in &delta.entries {
+            if self.fold(niche_id, elite.clone()) {
+                improved += 1;
+            }
+        }
+        improved
+    }
+
+    /// The elite of a niche, if the niche is covered.
+    #[must_use]
+    pub fn get(&self, niche_id: &str) -> Option<&Elite> {
+        self.entries.get(niche_id)
+    }
+
+    /// Iterates `(niche id, elite)` in canonical (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Elite)> {
+        self.entries.iter()
+    }
+
+    /// Covered niches (any elite at all).
+    #[must_use]
+    pub fn covered(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Niches whose elite solves every training configuration.
+    #[must_use]
+    pub fn solved(&self) -> usize {
+        self.entries.values().filter(|e| e.report.is_completely_successful()).count()
+    }
+
+    fn entries_json(&self) -> Json {
+        Json::Arr(
+            self.entries
+                .iter()
+                .map(|(id, e)| e.to_json().with("niche", id.as_str()))
+                .collect(),
+        )
+    }
+
+    fn entries_from_json(doc: &Json) -> Result<BTreeMap<String, Elite>, String> {
+        let mut entries = BTreeMap::new();
+        for item in doc.as_arr().ok_or("`entries` must be an array")? {
+            let id = item
+                .get("niche")
+                .and_then(Json::as_str)
+                .ok_or("archive entry missing string `niche`")?;
+            entries.insert(id.to_string(), Elite::from_json(item)?);
+        }
+        Ok(entries)
+    }
+
+    /// Serialises the archive as the sealed final-artifact document
+    /// (the file the chaos suite byte-compares).
+    #[must_use]
+    pub fn to_json(&self, spec_digest: &str) -> Json {
+        let doc = Json::object()
+            .with("schema", ARCHIVE_SCHEMA)
+            .with("digest", spec_digest)
+            .with("covered", self.covered() as u64)
+            .with("solved", self.solved() as u64)
+            .with("entries", self.entries_json());
+        schema::seal(doc)
+    }
+
+    /// Parses a sealed archive document.
+    ///
+    /// # Errors
+    ///
+    /// Checksum mismatch, wrong schema, or malformed entries.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        schema::verify_checksum(doc)?;
+        expect_schema(doc, ARCHIVE_SCHEMA)?;
+        Ok(Self {
+            entries: Self::entries_from_json(
+                doc.get("entries").ok_or("archive missing `entries`")?,
+            )?,
+        })
+    }
+}
+
+/// Digest of one candidate genome in one niche: FNV-1a 64 over
+/// `niche_id|digits`. Niche-scoped on purpose — the same FSM in a
+/// different world is a different evaluation.
+#[must_use]
+pub fn genome_digest(niche_id: &str, digits: &str) -> u64 {
+    schema::fnv1a64(format!("{niche_id}|{digits}").as_bytes())
+}
+
+/// The campaign-wide persistent dedup set: every genome digest whose
+/// evaluation is already durable in some sealed artifact.
+#[derive(Debug, Clone, Default)]
+pub struct DigestSet {
+    set: HashSet<u64>,
+}
+
+impl DigestSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `digest` is already known.
+    #[must_use]
+    pub fn contains(&self, digest: u64) -> bool {
+        self.set.contains(&digest)
+    }
+
+    /// Inserts; returns `true` when the digest was new.
+    pub fn insert(&mut self, digest: u64) -> bool {
+        self.set.insert(digest)
+    }
+
+    /// Number of known digests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether no digest is known yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+/// One shard's sealed output for one round: improved elites, the
+/// digests of every genome it evaluated, and honest counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArchiveDelta {
+    /// Producing shard.
+    pub shard: usize,
+    /// Round index.
+    pub round: usize,
+    /// Best candidate per niche this shard touched this round.
+    pub entries: BTreeMap<String, Elite>,
+    /// Digests of genomes newly evaluated this round (sorted hex).
+    pub digests: Vec<u64>,
+    /// Evaluations actually performed.
+    pub evals: u64,
+    /// Candidates skipped because their digest was already known.
+    pub dedup_hits: u64,
+    /// Candidates derived from another niche's elite (migrants).
+    pub migrations: u64,
+}
+
+impl ArchiveDelta {
+    /// Folds a candidate outcome into the delta (same total order as
+    /// the archive).
+    pub fn fold(&mut self, niche_id: &str, elite: Elite) {
+        match self.entries.get(niche_id) {
+            Some(best) if !elite.better_than(best) => {}
+            _ => {
+                self.entries.insert(niche_id.to_string(), elite);
+            }
+        }
+    }
+
+    /// Serialises as a sealed delta document.
+    #[must_use]
+    pub fn to_json(&self, spec_digest: &str) -> Json {
+        let mut digests = self.digests.clone();
+        digests.sort_unstable();
+        let doc = Json::object()
+            .with("schema", ARCHIVE_DELTA_SCHEMA)
+            .with("digest", spec_digest)
+            .with("shard", self.shard as u64)
+            .with("round", self.round as u64)
+            .with(
+                "entries",
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|(id, e)| e.to_json().with("niche", id.as_str()))
+                        .collect(),
+                ),
+            )
+            .with(
+                "digests",
+                Json::Arr(digests.iter().map(|d| Json::Str(format!("{d:016x}"))).collect()),
+            )
+            .with("evals", self.evals)
+            .with("dedup_hits", self.dedup_hits)
+            .with("migrations", self.migrations);
+        schema::seal(doc)
+    }
+
+    /// Parses a sealed delta document.
+    ///
+    /// # Errors
+    ///
+    /// Checksum mismatch, wrong schema, or malformed members.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        schema::verify_checksum(doc)?;
+        expect_schema(doc, ARCHIVE_DELTA_SCHEMA)?;
+        let digests = doc
+            .get("digests")
+            .and_then(Json::as_arr)
+            .ok_or("delta missing `digests` array")?
+            .iter()
+            .map(|v| {
+                let s = v.as_str().ok_or("digest must be a hex string")?;
+                u64::from_str_radix(s, 16).map_err(|e| format!("bad digest `{s}`: {e}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            shard: usize_member(doc, "shard")?,
+            round: usize_member(doc, "round")?,
+            entries: Archive::entries_from_json(
+                doc.get("entries").ok_or("delta missing `entries`")?,
+            )?,
+            digests,
+            evals: u64_member(doc, "evals")?,
+            dedup_hits: u64_member(doc, "dedup_hits")?,
+            migrations: u64_member(doc, "migrations")?,
+        })
+    }
+}
+
+/// Cumulative campaign counters, as carried by each merged barrier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignCounters {
+    /// Evaluations performed campaign-wide.
+    pub evals: u64,
+    /// Dedup hits (candidates skipped because already evaluated).
+    pub dedup_hits: u64,
+    /// Migrant-derived candidates.
+    pub migrations: u64,
+    /// Same-round cross-shard duplicate evaluations (counted honestly;
+    /// round-granularity dedup cannot prevent them).
+    pub collisions: u64,
+}
+
+/// Per-round statistics, the source of the coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Round index.
+    pub round: usize,
+    /// Cumulative counters after this round's merge.
+    pub counters: CampaignCounters,
+    /// Covered niches after this round.
+    pub covered: usize,
+    /// Completely-successful niches after this round.
+    pub solved: usize,
+}
+
+/// Final outcome of a coordinated campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The merged final archive.
+    pub archive: Archive,
+    /// Cumulative counters.
+    pub counters: CampaignCounters,
+    /// Per-round history (coverage curve).
+    pub rounds: Vec<RoundStats>,
+}
+
+/// File layout of one campaign in a store directory.
+///
+/// ```text
+/// <root>/campaign.json          sealed spec
+/// <root>/delta-s<S>-r<R>.json   sealed shard deltas (the checkpoints)
+/// <root>/digests-r<R>.json      sealed new-digest log per merged round
+/// <root>/merged-r<R>.json       sealed merged archive (round barrier)
+/// <root>/archive-final.json     sealed final archive
+/// <root>/campaign-summary.json  sealed counters + coverage curve
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignStore {
+    root: PathBuf,
+}
+
+impl CampaignStore {
+    /// A store rooted at `root` (created on first write).
+    #[must_use]
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn delta_path(&self, shard: usize, round: usize) -> PathBuf {
+        self.root.join(format!("delta-s{shard}-r{round}.json"))
+    }
+
+    fn digests_path(&self, round: usize) -> PathBuf {
+        self.root.join(format!("digests-r{round}.json"))
+    }
+
+    fn merged_path(&self, round: usize) -> PathBuf {
+        self.root.join(format!("merged-r{round}.json"))
+    }
+
+    /// Path of the sealed final archive.
+    #[must_use]
+    pub fn final_path(&self) -> PathBuf {
+        self.root.join("archive-final.json")
+    }
+
+    /// Path of the sealed campaign summary.
+    #[must_use]
+    pub fn summary_path(&self) -> PathBuf {
+        self.root.join("campaign-summary.json")
+    }
+
+    fn spec_path(&self) -> PathBuf {
+        self.root.join("campaign.json")
+    }
+
+    fn write_doc(&self, path: &Path, doc: &Json) -> Result<(), String> {
+        std::fs::create_dir_all(&self.root)
+            .map_err(|e| format!("cannot create campaign store {}: {e}", self.root.display()))?;
+        fault::io_error("run.checkpoint.write")
+            .and_then(|()| atomic_write(path, format!("{doc}\n").as_bytes()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    fn read_doc(&self, path: &Path) -> Result<Option<Json>, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        a2a_obs::json::parse(text.trim())
+            .map(Some)
+            .map_err(|e| format!("corrupt document {}: {e}", path.display()))
+    }
+
+    /// Publishes the sealed spec, or verifies it matches an existing
+    /// one (resume against a different spec is refused, like checkpoint
+    /// digest mismatches).
+    ///
+    /// # Errors
+    ///
+    /// Write failures, or a pre-existing spec with a different digest.
+    pub fn init(&self, spec: &CampaignSpec) -> Result<(), String> {
+        if let Some(doc) = self.read_doc(&self.spec_path())? {
+            let existing = CampaignSpec::from_json(&doc)?;
+            if existing.digest() != spec.digest() {
+                return Err(format!(
+                    "campaign store {} belongs to a different spec \
+                     (stored digest {}, this campaign {})",
+                    self.root.display(),
+                    existing.digest(),
+                    spec.digest()
+                ));
+            }
+            return Ok(());
+        }
+        self.write_doc(&self.spec_path(), &spec.to_json())
+    }
+
+    /// Loads the sealed spec, if the store is initialised.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable or corrupt spec document.
+    pub fn load_spec(&self) -> Result<Option<CampaignSpec>, String> {
+        self.read_doc(&self.spec_path())?.map(|d| CampaignSpec::from_json(&d)).transpose()
+    }
+
+    /// Persists one shard delta (atomic; the shard's round checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Write failures (including injected `run.checkpoint.write` faults).
+    pub fn save_delta(&self, spec: &CampaignSpec, delta: &ArchiveDelta) -> Result<(), String> {
+        self.write_doc(&self.delta_path(delta.shard, delta.round), &delta.to_json(&spec.digest()))
+    }
+
+    /// Loads one shard delta if present and intact.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable or corrupt (checksum-failing) delta.
+    pub fn load_delta(&self, shard: usize, round: usize) -> Result<Option<ArchiveDelta>, String> {
+        self.read_doc(&self.delta_path(shard, round))?
+            .map(|d| ArchiveDelta::from_json(&d))
+            .transpose()
+    }
+
+    /// Persists the merged barrier of `round`: first the sealed digest
+    /// log, then the sealed merged archive (the order makes the merged
+    /// file the commit point — if the coordinator dies between the two
+    /// writes, the redo rewrites both identically).
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn save_merged(
+        &self,
+        spec: &CampaignSpec,
+        stats: &RoundStats,
+        archive: &Archive,
+        new_digests: &BTreeSet<u64>,
+    ) -> Result<(), String> {
+        let digest_doc = schema::seal(
+            Json::object()
+                .with("schema", "a2a-run/digest-log/v1")
+                .with("digest", spec.digest())
+                .with("round", stats.round as u64)
+                .with(
+                    "digests",
+                    Json::Arr(
+                        new_digests.iter().map(|d| Json::Str(format!("{d:016x}"))).collect(),
+                    ),
+                ),
+        );
+        self.write_doc(&self.digests_path(stats.round), &digest_doc)?;
+        let merged = schema::seal(
+            Json::object()
+                .with("schema", CAMPAIGN_MERGED_SCHEMA)
+                .with("digest", spec.digest())
+                .with("round", stats.round as u64)
+                .with("evals", stats.counters.evals)
+                .with("dedup_hits", stats.counters.dedup_hits)
+                .with("migrations", stats.counters.migrations)
+                .with("collisions", stats.counters.collisions)
+                .with("covered", stats.covered as u64)
+                .with("solved", stats.solved as u64)
+                .with("entries", archive.entries_json()),
+        );
+        self.write_doc(&self.merged_path(stats.round), &merged)
+    }
+
+    /// Loads the merged barrier of `round`, if committed.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable or corrupt merged document.
+    pub fn load_merged(&self, round: usize) -> Result<Option<(RoundStats, Archive)>, String> {
+        let Some(doc) = self.read_doc(&self.merged_path(round))? else {
+            return Ok(None);
+        };
+        schema::verify_checksum(&doc)?;
+        expect_schema(&doc, CAMPAIGN_MERGED_SCHEMA)?;
+        let stats = RoundStats {
+            round: usize_member(&doc, "round")?,
+            counters: CampaignCounters {
+                evals: u64_member(&doc, "evals")?,
+                dedup_hits: u64_member(&doc, "dedup_hits")?,
+                migrations: u64_member(&doc, "migrations")?,
+                collisions: u64_member(&doc, "collisions")?,
+            },
+            covered: usize_member(&doc, "covered")?,
+            solved: usize_member(&doc, "solved")?,
+        };
+        let archive = Archive {
+            entries: Archive::entries_from_json(
+                doc.get("entries").ok_or("merged document missing `entries`")?,
+            )?,
+        };
+        Ok(Some((stats, archive)))
+    }
+
+    /// Loads the sealed digest log of one merged round.
+    ///
+    /// # Errors
+    ///
+    /// Missing, unreadable or corrupt digest log.
+    pub fn load_digests(&self, round: usize) -> Result<Vec<u64>, String> {
+        let doc = self
+            .read_doc(&self.digests_path(round))?
+            .ok_or_else(|| format!("digest log of round {round} is missing"))?;
+        schema::verify_checksum(&doc)?;
+        doc.get("digests")
+            .and_then(Json::as_arr)
+            .ok_or("digest log missing `digests` array")?
+            .iter()
+            .map(|v| {
+                let s = v.as_str().ok_or("digest must be a hex string")?;
+                u64::from_str_radix(s, 16).map_err(|e| format!("bad digest `{s}`: {e}"))
+            })
+            .collect()
+    }
+
+    /// Rebuilds the campaign-wide [`DigestSet`] through round
+    /// `before_round - 1` (what a shard starting `before_round` sees).
+    ///
+    /// # Errors
+    ///
+    /// A missing or corrupt digest log of a committed round.
+    pub fn digest_set(&self, before_round: usize) -> Result<DigestSet, String> {
+        let mut set = DigestSet::new();
+        for round in 0..before_round {
+            for d in self.load_digests(round)? {
+                set.insert(d);
+            }
+        }
+        Ok(set)
+    }
+}
+
+/// Lazily-built per-niche evaluators sharing one [`WorkerPool`] — the
+/// zero-copy reuse path: every niche evaluation in a shard runs on the
+/// same threads, worlds and scratch buffers (PR 3/5 machinery).
+#[derive(Debug)]
+pub struct EvaluatorBank {
+    spec: CampaignSpec,
+    threads: usize,
+    pool: Arc<WorkerPool>,
+    evaluators: HashMap<String, Evaluator>,
+}
+
+impl EvaluatorBank {
+    /// A bank for `spec` evaluating on `threads` workers.
+    #[must_use]
+    pub fn new(spec: &CampaignSpec, threads: usize) -> Self {
+        Self {
+            spec: spec.clone(),
+            threads: threads.max(1),
+            pool: Arc::new(WorkerPool::new(threads.max(1))),
+            evaluators: HashMap::new(),
+        }
+    }
+
+    /// The evaluator of one niche (built on first use).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the niche's configuration set cannot be generated
+    /// (`k` exceeding the cell count — a spec bug, not a runtime state).
+    pub fn evaluator_for(&mut self, niche: NicheKey) -> &Evaluator {
+        let id = niche.id();
+        if !self.evaluators.contains_key(&id) {
+            let world = WorldConfig::paper(niche.kind, niche.m);
+            let configs = paper_config_set(
+                Lattice::torus(niche.m, niche.m),
+                niche.kind,
+                niche.k,
+                self.spec.configs,
+                self.spec.seed,
+            )
+            .unwrap_or_else(|e| panic!("niche {id} has no valid configuration set: {e}"));
+            let evaluator = Evaluator::new(world, configs)
+                .with_t_max(self.spec.t_max)
+                .with_threads(self.threads)
+                .with_cache_context("campaign.shard")
+                .with_pool(Arc::clone(&self.pool));
+            self.evaluators.insert(id.clone(), evaluator);
+        }
+        &self.evaluators[&id]
+    }
+}
+
+/// The deterministic work-stealing deal: per shard, the niches it works
+/// this round with their candidate budgets. A pure function of the spec
+/// and the merged archive, so every replica agrees without messages.
+#[must_use]
+pub fn assign_round(
+    spec: &CampaignSpec,
+    round: usize,
+    archive: &Archive,
+) -> Vec<Vec<(NicheKey, usize)>> {
+    // Cold-first deck: uncovered, then covered-but-unsolved, then
+    // solved; stable by id within a class.
+    let mut deck: Vec<(u8, String, NicheKey)> = spec
+        .niches
+        .iter()
+        .map(|n| {
+            let id = n.id();
+            let class = match archive.get(&id) {
+                None => 0u8,
+                Some(e) if !e.report.is_completely_successful() => 1,
+                Some(_) => 2,
+            };
+            (class, id, *n)
+        })
+        .collect();
+    deck.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    let mut shards: Vec<Vec<(NicheKey, usize)>> = vec![Vec::new(); spec.shards.max(1)];
+    let n = deck.len();
+    for (i, (class, _, niche)) in deck.into_iter().enumerate() {
+        // Rotating the deal by the round index spreads cold niches
+        // across shards over time (no shard is pinned to a cold set).
+        let shard = (i + round) % spec.shards.max(1);
+        let budget = match class {
+            0 => spec.batch * 2, // cold niches soak up spare capacity
+            1 => spec.batch,
+            // Solved niches still refine (lower mean t_comm): at least
+            // the incumbent probe plus one mutation slot.
+            _ => (spec.batch / 2).max(2),
+        };
+        let _ = n;
+        shards[shard].push((niche, budget));
+    }
+    shards
+}
+
+/// Up to two migrant parents for `niche`: elites of *other* niches with
+/// the same grid kind, nearest by (m, k) distance, deterministic order.
+fn migrants_for(spec: &CampaignSpec, niche: NicheKey, archive: &Archive) -> Vec<Elite> {
+    let mut sources: Vec<(u64, String, Elite)> = spec
+        .niches
+        .iter()
+        .filter(|n| n.kind == niche.kind && **n != niche)
+        .filter_map(|n| {
+            let id = n.id();
+            archive.get(&id).map(|e| {
+                let dm = (i64::from(n.m) - i64::from(niche.m)).unsigned_abs();
+                let dk = (n.k as i64 - niche.k as i64).unsigned_abs();
+                (dm * 1000 + dk, id, e.clone())
+            })
+        })
+        .collect();
+    sources.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    sources.into_iter().take(2).map(|(_, _, e)| e).collect()
+}
+
+/// Runs one shard round: a pure function of the spec, shard, round and
+/// previous merged archive (plus the digest set derived from committed
+/// rounds). See the module docs for the candidate schedule.
+pub fn run_shard_round(
+    spec: &CampaignSpec,
+    shard: usize,
+    round: usize,
+    merged: &Archive,
+    digests: &DigestSet,
+    bank: &mut EvaluatorBank,
+) -> ArchiveDelta {
+    let assignment = assign_round(spec, round, merged);
+    let mut delta = ArchiveDelta { shard, round, ..ArchiveDelta::default() };
+    let mut in_round: HashSet<u64> = HashSet::new();
+    let rates = MutationRates::paper();
+    for (niche, budget) in assignment.get(shard).cloned().unwrap_or_default() {
+        let niche_id = niche.id();
+        let fsm_spec = FsmSpec::paper(niche.kind);
+        let stream = format!("{:016x}|{shard}|{round}|{niche_id}", spec.seed);
+        let mut rng = SmallRng::seed_from_u64(schema::fnv1a64(stream.as_bytes()));
+        let incumbent = merged.get(&niche_id).cloned();
+        let migrants = migrants_for(spec, niche, merged);
+
+        // Candidate schedule: the incumbent re-probe first (exercising
+        // the dedup path every round), then mutations cycling over
+        // incumbent + migrant parents, one fresh random genome last.
+        let mut parents: Vec<(Genome, bool)> = Vec::new();
+        if let Some(e) = &incumbent {
+            if let Some(g) = Genome::from_digits(fsm_spec, &e.digits) {
+                parents.push((g, false));
+            }
+        }
+        for m in &migrants {
+            if let Some(g) = Genome::from_digits(fsm_spec, &m.digits) {
+                parents.push((g, true));
+            }
+        }
+        let mut candidates: Vec<Genome> = Vec::with_capacity(budget);
+        if let Some((g, _)) = parents.first() {
+            candidates.push(g.clone()); // incumbent/migrant re-probe
+        }
+        // Start the parent cycle at the round index so small budgets
+        // still rotate through migrants over the campaign instead of
+        // re-mutating the incumbent forever.
+        let mut next_parent = round;
+        // One trailing random-exploration slot, but only when the
+        // budget leaves room for at least one mutation beside it.
+        let reserve_random = budget >= 3;
+        while candidates.len() < budget {
+            let remaining = budget - candidates.len();
+            if parents.is_empty() || (reserve_random && remaining == 1) {
+                candidates.push(Genome::random(fsm_spec, &mut rng));
+            } else {
+                let (parent, is_migrant) = &parents[next_parent % parents.len()];
+                next_parent += 1;
+                if *is_migrant {
+                    delta.migrations += 1;
+                }
+                candidates.push(offspring(parent, rates, &mut rng));
+            }
+        }
+
+        let mut to_eval: Vec<Genome> = Vec::new();
+        for genome in candidates {
+            let digest = genome_digest(&niche_id, &genome.to_digits());
+            if digests.contains(digest) || !in_round.insert(digest) {
+                delta.dedup_hits += 1;
+            } else {
+                delta.digests.push(digest);
+                to_eval.push(genome);
+            }
+        }
+        let reports = bank.evaluator_for(niche).evaluate_all(&to_eval);
+        delta.evals += to_eval.len() as u64;
+        for (genome, report) in to_eval.into_iter().zip(reports) {
+            delta.fold(&niche_id, Elite { digits: genome.to_digits(), report });
+        }
+    }
+    delta.digests.sort_unstable();
+    if a2a_obs::metrics_enabled() {
+        let reg = a2a_obs::global();
+        reg.counter("campaign.evals").add(delta.evals);
+        reg.counter("campaign.dedup.hits").add(delta.dedup_hits);
+        reg.counter("campaign.migrations").add(delta.migrations);
+    }
+    delta
+}
+
+/// How a shard loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardExit {
+    /// All rounds produced durable deltas.
+    Done,
+    /// A scheduled [`CAMPAIGN_ROUND_SITE`] fault fired — the caller
+    /// should die like a real crash (`exit(137)`), leaving the store
+    /// resumable.
+    Killed,
+}
+
+/// Runs one shard's full campaign loop against the store: waits on the
+/// round barriers, skips rounds whose delta is already durable
+/// (resume), computes and publishes the rest.
+///
+/// # Errors
+///
+/// Store I/O failures, spec mismatches or a wedged barrier.
+pub fn run_shard_process(
+    store: &CampaignStore,
+    spec: &CampaignSpec,
+    shard: usize,
+    threads: usize,
+) -> Result<ShardExit, String> {
+    store.init(spec)?;
+    let mut bank = EvaluatorBank::new(spec, threads);
+    let mut digests = DigestSet::new();
+    let mut loaded_through = 0usize; // digest logs folded so far
+    for round in 0..spec.rounds {
+        let merged = if round == 0 {
+            Archive::new()
+        } else {
+            wait_for_merged(store, round - 1)?.1
+        };
+        while loaded_through < round {
+            for d in store.load_digests(loaded_through)? {
+                digests.insert(d);
+            }
+            loaded_through += 1;
+        }
+        if fault::should_kill(CAMPAIGN_ROUND_SITE) {
+            return Ok(ShardExit::Killed);
+        }
+        if store.load_delta(shard, round)?.is_some() {
+            continue; // already durable — resume skips the round
+        }
+        let delta = run_shard_round(spec, shard, round, &merged, &digests, &mut bank);
+        store.save_delta(spec, &delta)?;
+    }
+    Ok(ShardExit::Done)
+}
+
+fn wait_for_merged(store: &CampaignStore, round: usize) -> Result<(RoundStats, Archive), String> {
+    let start = Instant::now();
+    loop {
+        if let Some(found) = store.load_merged(round)? {
+            return Ok(found);
+        }
+        if start.elapsed() > BARRIER_TIMEOUT {
+            return Err(format!(
+                "round {round} barrier never committed within {BARRIER_TIMEOUT:?} \
+                 (coordinator dead?)"
+            ));
+        }
+        std::thread::sleep(BARRIER_POLL);
+    }
+}
+
+/// Coordinates a campaign over an already-populated (or concurrently
+/// populating) store: waits for every shard delta of each round,
+/// performs the batched conflict-free merge, commits the barrier, and
+/// finally seals `archive-final.json` plus the summary.
+///
+/// `tick` is called on every barrier poll with the round being waited
+/// on — process-mode drivers use it to reap and respawn dead shard
+/// children; inline drivers use it to compute the deltas themselves.
+///
+/// # Errors
+///
+/// Store I/O failures, corrupt artifacts, `tick` errors, or a barrier
+/// that never fills.
+pub fn coordinate<F>(
+    store: &CampaignStore,
+    spec: &CampaignSpec,
+    mut tick: F,
+) -> Result<CampaignOutcome, String>
+where
+    F: FnMut(usize) -> Result<(), String>,
+{
+    store.init(spec)?;
+    let mut archive = Archive::new();
+    let mut counters = CampaignCounters::default();
+    let mut rounds = Vec::with_capacity(spec.rounds);
+    for round in 0..spec.rounds {
+        // Resume: a committed barrier carries the cumulative state.
+        if let Some((stats, merged)) = store.load_merged(round)? {
+            archive = merged;
+            counters = stats.counters;
+            rounds.push(stats);
+            continue;
+        }
+        let deltas = wait_for_deltas(store, spec, round, &mut tick)?;
+        let mut new_digests: BTreeSet<u64> = BTreeSet::new();
+        for delta in &deltas {
+            counters.evals += delta.evals;
+            counters.dedup_hits += delta.dedup_hits;
+            counters.migrations += delta.migrations;
+            for d in &delta.digests {
+                if !new_digests.insert(*d) {
+                    counters.collisions += 1;
+                }
+            }
+            archive.merge(delta);
+        }
+        let stats = RoundStats {
+            round,
+            counters,
+            covered: archive.covered(),
+            solved: archive.solved(),
+        };
+        store.save_merged(spec, &stats, &archive, &new_digests)?;
+        rounds.push(stats);
+    }
+    let final_doc = archive.to_json(&spec.digest());
+    store.write_doc(&store.final_path(), &final_doc)?;
+    let summary = schema::seal(
+        Json::object()
+            .with("schema", CAMPAIGN_SUMMARY_SCHEMA)
+            .with("digest", spec.digest())
+            .with("rounds", spec.rounds as u64)
+            .with("shards", spec.shards as u64)
+            .with("niches", spec.niches.len() as u64)
+            .with("evals", counters.evals)
+            .with("dedup_hits", counters.dedup_hits)
+            .with("migrations", counters.migrations)
+            .with("collisions", counters.collisions)
+            .with(
+                "coverage_curve",
+                Json::Arr(
+                    rounds
+                        .iter()
+                        .map(|r| {
+                            Json::object()
+                                .with("round", r.round as u64)
+                                .with("covered", r.covered as u64)
+                                .with("solved", r.solved as u64)
+                                .with("evals", r.counters.evals)
+                        })
+                        .collect(),
+                ),
+            ),
+    );
+    store.write_doc(&store.summary_path(), &summary)?;
+    Ok(CampaignOutcome { archive, counters, rounds })
+}
+
+fn wait_for_deltas<F>(
+    store: &CampaignStore,
+    spec: &CampaignSpec,
+    round: usize,
+    tick: &mut F,
+) -> Result<Vec<ArchiveDelta>, String>
+where
+    F: FnMut(usize) -> Result<(), String>,
+{
+    let start = Instant::now();
+    loop {
+        tick(round)?;
+        let mut deltas = Vec::with_capacity(spec.shards);
+        for shard in 0..spec.shards {
+            match store.load_delta(shard, round)? {
+                Some(d) => deltas.push(d),
+                None => break,
+            }
+        }
+        if deltas.len() == spec.shards {
+            return Ok(deltas);
+        }
+        if start.elapsed() > BARRIER_TIMEOUT {
+            return Err(format!(
+                "round {round}: only {}/{} shard deltas appeared within {BARRIER_TIMEOUT:?}",
+                deltas.len(),
+                spec.shards
+            ));
+        }
+        std::thread::sleep(BARRIER_POLL);
+    }
+}
+
+/// Runs a whole campaign inside this process: shards take turns within
+/// each round (sharing one evaluator bank), then the round is merged —
+/// byte-identical artifacts to the multi-process mode, because shard
+/// rounds are pure functions of durable state.
+///
+/// # Errors
+///
+/// Store I/O failures or corrupt artifacts.
+pub fn run_inline(
+    store: &CampaignStore,
+    spec: &CampaignSpec,
+    threads: usize,
+) -> Result<CampaignOutcome, String> {
+    store.init(spec)?;
+    let mut bank = EvaluatorBank::new(spec, threads);
+    coordinate(store, spec, |round| {
+        let merged =
+            if round == 0 { Archive::new() } else { store.load_merged(round - 1)?.map(|m| m.1).ok_or("previous barrier vanished")? };
+        let digests = store.digest_set(round)?;
+        for shard in 0..spec.shards {
+            if store.load_delta(shard, round)?.is_none() {
+                let delta = run_shard_round(spec, shard, round, &merged, &digests, &mut bank);
+                store.save_delta(spec, &delta)?;
+            }
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            niches: vec![
+                NicheKey { kind: GridKind::Square, m: 4, k: 2 },
+                NicheKey { kind: GridKind::Triangulate, m: 4, k: 2 },
+                NicheKey { kind: GridKind::Triangulate, m: 4, k: 3 },
+            ],
+            shards: 2,
+            rounds: 2,
+            batch: 3,
+            configs: 2,
+            t_max: 40,
+            seed: 11,
+        }
+    }
+
+    fn elite(digits: &str, fitness: f64) -> Elite {
+        Elite {
+            digits: digits.to_string(),
+            report: FitnessReport { fitness, successes: 0, total: 2, mean_t_comm: None },
+        }
+    }
+
+    #[test]
+    fn niche_id_round_trips() {
+        for n in tiny_spec().niches {
+            assert_eq!(NicheKey::parse(&n.id()).unwrap(), n);
+        }
+        assert!(NicheKey::parse("x-m4-k2").is_err());
+        assert!(NicheKey::parse("t-m4-k2-junk").is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_sealed() {
+        let spec = tiny_spec();
+        let doc = spec.to_json();
+        assert!(schema::verify_checksum(&doc).is_ok());
+        assert_eq!(CampaignSpec::from_json(&doc).unwrap(), spec);
+    }
+
+    #[test]
+    fn elite_order_is_total_and_fold_is_commutative() {
+        let a = elite("111", 5.0);
+        let b = elite("222", 5.0);
+        let c = elite("000", 3.0);
+        assert!(a.better_than(&b) && !b.better_than(&a));
+        assert!(c.better_than(&a));
+        let mut one = Archive::new();
+        let mut two = Archive::new();
+        for e in [&a, &b, &c] {
+            one.fold("n", (*e).clone());
+        }
+        for e in [&c, &b, &a] {
+            two.fold("n", (*e).clone());
+        }
+        assert_eq!(one, two);
+        assert_eq!(one.get("n").unwrap().digits, "000");
+    }
+
+    #[test]
+    fn delta_round_trips_sealed() {
+        let mut delta = ArchiveDelta { shard: 1, round: 3, ..Default::default() };
+        delta.fold("t-m4-k2", elite("012", 42.5));
+        delta.digests = vec![9, 4];
+        delta.evals = 2;
+        delta.dedup_hits = 1;
+        delta.migrations = 1;
+        let doc = delta.to_json("cafe");
+        let back = ArchiveDelta::from_json(&doc).unwrap();
+        // Serialisation sorts the digest list (canonical form).
+        let mut want = delta.clone();
+        want.digests.sort_unstable();
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn archive_final_round_trips_sealed() {
+        let mut archive = Archive::new();
+        archive.fold("s-m4-k2", elite("001", 7.0));
+        let doc = archive.to_json("deadbeef");
+        assert_eq!(Archive::from_json(&doc).unwrap(), archive);
+    }
+
+    #[test]
+    fn assignment_covers_every_niche_and_boosts_cold_ones() {
+        let spec = tiny_spec();
+        let empty = Archive::new();
+        let deal = assign_round(&spec, 0, &empty);
+        assert_eq!(deal.len(), spec.shards);
+        let all: Vec<_> = deal.iter().flatten().collect();
+        assert_eq!(all.len(), spec.niches.len(), "every niche dealt exactly once");
+        assert!(all.iter().all(|(_, b)| *b == spec.batch * 2), "cold niches get 2x budget");
+        // Once a niche is covered its budget drops to the base batch.
+        let mut partial = Archive::new();
+        partial.fold(&spec.niches[0].id(), elite("0", 1.0));
+        let deal = assign_round(&spec, 1, &partial);
+        let covered: Vec<_> = deal
+            .iter()
+            .flatten()
+            .filter(|(n, _)| *n == spec.niches[0])
+            .collect();
+        assert_eq!(covered[0].1, spec.batch);
+    }
+
+    #[test]
+    fn assignment_rotates_across_rounds() {
+        let spec = tiny_spec();
+        let empty = Archive::new();
+        let r0 = assign_round(&spec, 0, &empty);
+        let r1 = assign_round(&spec, 1, &empty);
+        assert_ne!(
+            r0.iter().map(|s| s.iter().map(|(n, _)| n.id()).collect::<Vec<_>>()).collect::<Vec<_>>(),
+            r1.iter().map(|s| s.iter().map(|(n, _)| n.id()).collect::<Vec<_>>()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn shard_round_is_a_pure_function_of_its_inputs() {
+        let spec = tiny_spec();
+        let empty = Archive::new();
+        let digests = DigestSet::new();
+        let mut bank_a = EvaluatorBank::new(&spec, 1);
+        let mut bank_b = EvaluatorBank::new(&spec, 1);
+        let a = run_shard_round(&spec, 0, 0, &empty, &digests, &mut bank_a);
+        let b = run_shard_round(&spec, 0, 0, &empty, &digests, &mut bank_b);
+        assert_eq!(a, b);
+        assert_eq!(format!("{}", a.to_json("d")), format!("{}", b.to_json("d")));
+        assert!(a.evals > 0);
+    }
+
+    #[test]
+    fn dedup_skips_already_known_digests() {
+        let spec = tiny_spec();
+        let empty = Archive::new();
+        let mut bank = EvaluatorBank::new(&spec, 1);
+        let first = run_shard_round(&spec, 0, 0, &empty, &DigestSet::new(), &mut bank);
+        let mut known = DigestSet::new();
+        for d in &first.digests {
+            known.insert(*d);
+        }
+        let second = run_shard_round(&spec, 0, 0, &empty, &known, &mut bank);
+        assert_eq!(second.evals, 0, "every candidate was already evaluated");
+        assert_eq!(second.dedup_hits, first.evals + first.dedup_hits);
+    }
+
+    #[test]
+    fn inline_campaign_runs_merges_and_seals() {
+        let dir = std::env::temp_dir().join(format!("a2a_campaign_inline_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CampaignStore::new(&dir);
+        let spec = tiny_spec();
+        let outcome = run_inline(&store, &spec, 1).unwrap();
+        assert_eq!(outcome.rounds.len(), spec.rounds);
+        assert!(outcome.counters.evals > 0);
+        assert!(outcome.counters.dedup_hits > 0, "incumbent re-probes hit the dedup set");
+        assert!(outcome.counters.migrations > 0, "same-kind elites migrate");
+        assert_eq!(outcome.archive.covered(), spec.niches.len());
+        // Final artifact parses back to the merged archive.
+        let text = std::fs::read_to_string(store.final_path()).unwrap();
+        let doc = a2a_obs::json::parse(text.trim()).unwrap();
+        assert_eq!(Archive::from_json(&doc).unwrap(), outcome.archive);
+        // Coverage curve is monotone.
+        for w in outcome.rounds.windows(2) {
+            assert!(w[1].covered >= w[0].covered);
+            assert!(w[1].counters.evals >= w[0].counters.evals);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_campaign_is_byte_identical_to_control() {
+        let base = std::env::temp_dir().join(format!("a2a_campaign_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let spec = tiny_spec();
+        // Control: uninterrupted.
+        let control = CampaignStore::new(base.join("control"));
+        run_inline(&control, &spec, 1).unwrap();
+        // Interrupted: run round 0 only, drop a shard-1 delta of round 1
+        // on the floor (as a mid-round kill would), then resume.
+        let broken = CampaignStore::new(base.join("broken"));
+        broken.init(&spec).unwrap();
+        let mut bank = EvaluatorBank::new(&spec, 1);
+        let empty = Archive::new();
+        let d0 = run_shard_round(&spec, 0, 0, &empty, &DigestSet::new(), &mut bank);
+        broken.save_delta(&spec, &d0).unwrap();
+        // Shard 1's round-0 delta never lands — the "kill". Resume:
+        run_inline(&broken, &spec, 1).unwrap();
+        let a = std::fs::read(control.final_path()).unwrap();
+        let b = std::fs::read(broken.final_path()).unwrap();
+        assert_eq!(a, b, "resumed archive must be byte-identical to the control");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn store_refuses_a_different_spec() {
+        let dir = std::env::temp_dir().join(format!("a2a_campaign_spec_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CampaignStore::new(&dir);
+        let spec = tiny_spec();
+        store.init(&spec).unwrap();
+        let other = CampaignSpec { seed: 99, ..spec };
+        let err = store.init(&other).unwrap_err();
+        assert!(err.contains("different spec"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

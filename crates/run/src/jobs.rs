@@ -264,6 +264,53 @@ impl JobStore {
         ids
     }
 
+    /// One page of job ids: the first `limit` ids strictly after the
+    /// `after` cursor (lexicographic, matching [`JobStore::list`]'s
+    /// order). `after: None` starts at the beginning; a returned page
+    /// shorter than `limit` means the listing is exhausted, otherwise
+    /// the last id of the page is the next cursor.
+    #[must_use]
+    pub fn list_page(&self, after: Option<&str>, limit: usize) -> Vec<String> {
+        self.list()
+            .into_iter()
+            .filter(|id| after.is_none_or(|cursor| id.as_str() > cursor))
+            .take(limit)
+            .collect()
+    }
+
+    /// Retention sweep: deletes the job directories of terminal jobs
+    /// (completed / failed / timed-out) beyond the `keep` most recently
+    /// admitted ones, ordered by manifest `seq`. Non-terminal jobs and
+    /// jobs whose manifest is missing or unreadable are never touched —
+    /// expiry must not destroy evidence of corruption or in-flight
+    /// work. Returns the pruned ids, sorted.
+    ///
+    /// # Errors
+    ///
+    /// The first directory removal that fails (already-pruned jobs stay
+    /// pruned; the sweep is safe to re-run).
+    pub fn prune_terminal(&self, keep: usize) -> Result<Vec<String>, String> {
+        let mut terminal: Vec<(u64, String)> = self
+            .list()
+            .into_iter()
+            .filter_map(|id| match self.load_manifest(&id) {
+                Ok(Some(m)) if m.status.is_terminal() => Some((m.seq, id)),
+                _ => None,
+            })
+            .collect();
+        // Newest admissions first; everything past `keep` expires.
+        terminal.sort_by(|a, b| b.cmp(a));
+        let mut pruned: Vec<String> = Vec::new();
+        for (_, id) in terminal.into_iter().skip(keep) {
+            let dir = self.job_dir(&id)?;
+            std::fs::remove_dir_all(&dir)
+                .map_err(|e| format!("cannot prune {}: {e}", dir.display()))?;
+            pruned.push(id);
+        }
+        pruned.sort();
+        Ok(pruned)
+    }
+
     /// Persists `manifest` atomically (probing the `serve.checkpoint`
     /// fault site first).
     ///
@@ -440,6 +487,70 @@ mod tests {
         assert_eq!(back.attempts, 1);
         // job-b's manifest is untouched by job-a's updates.
         assert_eq!(store.load_manifest("job-b").unwrap().unwrap().status, JobStatus::Queued);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn pagination_walks_the_listing_in_stable_pages() {
+        let root = std::env::temp_dir().join("a2a_run_jobstore_page_test");
+        let _ = std::fs::remove_dir_all(&root);
+        let store = JobStore::new(&root);
+        assert!(store.list_page(None, 10).is_empty(), "absent root pages empty");
+        for i in 0..5 {
+            store.save_manifest(&manifest(&format!("job-{i}"))).unwrap();
+        }
+        assert_eq!(store.list_page(None, 2), vec!["job-0", "job-1"]);
+        assert_eq!(store.list_page(Some("job-1"), 2), vec!["job-2", "job-3"]);
+        // Short page signals exhaustion; a cursor past the end is empty.
+        assert_eq!(store.list_page(Some("job-3"), 2), vec!["job-4"]);
+        assert!(store.list_page(Some("job-4"), 2).is_empty());
+        // Walking page-by-page reconstructs the full listing exactly.
+        let mut walked = Vec::new();
+        let mut cursor: Option<String> = None;
+        loop {
+            let page = store.list_page(cursor.as_deref(), 2);
+            let done = page.len() < 2;
+            cursor = page.last().cloned();
+            walked.extend(page);
+            if done {
+                break;
+            }
+        }
+        assert_eq!(walked, store.list());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn retention_prunes_oldest_terminal_jobs_only() {
+        let root = std::env::temp_dir().join("a2a_run_jobstore_prune_test");
+        let _ = std::fs::remove_dir_all(&root);
+        let store = JobStore::new(&root);
+        // seq encodes admission age; statuses mix terminal and live.
+        for (id, seq, status) in [
+            ("done-old", 1, JobStatus::Completed),
+            ("failed-old", 2, JobStatus::Failed),
+            ("live-old", 3, JobStatus::Running),
+            ("done-mid", 4, JobStatus::TimedOut),
+            ("queued", 5, JobStatus::Queued),
+            ("done-new", 6, JobStatus::Completed),
+        ] {
+            let mut m = manifest(id);
+            m.seq = seq;
+            m.status = status;
+            store.save_manifest(&m).unwrap();
+        }
+        // Keep the 2 newest terminal jobs: done-new (6) and done-mid (4).
+        let pruned = store.prune_terminal(2).unwrap();
+        assert_eq!(pruned, vec!["done-old", "failed-old"]);
+        assert_eq!(
+            store.list(),
+            vec!["done-mid", "done-new", "live-old", "queued"],
+            "non-terminal jobs survive regardless of age"
+        );
+        // Re-running the sweep is a no-op; keep=0 expires every terminal job.
+        assert!(store.prune_terminal(2).unwrap().is_empty());
+        assert_eq!(store.prune_terminal(0).unwrap(), vec!["done-mid", "done-new"]);
+        assert_eq!(store.list(), vec!["live-old", "queued"]);
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -1,0 +1,155 @@
+//! Property-based tests for the campaign archive algebra (DESIGN.md
+//! §15): batched niche-min merges must be order-independent (any
+//! interleaving of shard deltas folds to the same archive), and
+//! digest-based cross-shard dedup must never drop a strictly better
+//! elite — skipping a duplicate genome is only sound because evaluation
+//! is deterministic, so the model here derives every report from the
+//! genome digest exactly as the real evaluator's purity guarantees.
+
+use a2a_ga::FitnessReport;
+use a2a_run::campaign::{genome_digest, Archive, ArchiveDelta, DigestSet, Elite};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// The deterministic-evaluation model: one genome in one niche always
+/// produces the same report (the property PR 3/5 pin down for the real
+/// engines). Fitness and the secondary fields all derive from the
+/// digest so distinct genomes collide on fitness often enough to
+/// exercise the lexicographic tie-break.
+fn report_for(niche_id: &str, digits: &str) -> FitnessReport {
+    let digest = genome_digest(niche_id, digits);
+    FitnessReport {
+        fitness: (digest % 97) as f64 * 10.0,
+        successes: (digest % 7) as usize,
+        total: 10,
+        mean_t_comm: digest.is_multiple_of(2).then_some((digest % 301) as f64),
+    }
+}
+
+fn elite_for(niche_id: &str, digits: &str) -> Elite {
+    Elite { digits: digits.to_string(), report: report_for(niche_id, digits) }
+}
+
+/// A small niche universe (real campaigns have tens of niches, and
+/// collisions are the interesting case).
+fn niche_id(index: usize) -> String {
+    format!("T-m8-k{}", 2 + index % 5)
+}
+
+/// Strategy: a batch of shard deltas, each a list of (niche, genome)
+/// candidate outcomes. Genomes are short digit strings so duplicates
+/// across shards are common.
+fn deltas_strategy() -> impl Strategy<Value = Vec<Vec<(usize, String)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0usize..5, "[0-3]{1,4}"), 0..12),
+        1..6,
+    )
+}
+
+fn build_delta(shard: usize, candidates: &[(usize, String)]) -> ArchiveDelta {
+    let mut delta = ArchiveDelta { shard, round: 0, ..ArchiveDelta::default() };
+    for (niche, digits) in candidates {
+        let id = niche_id(*niche);
+        delta.fold(&id, elite_for(&id, digits));
+        delta.digests.push(genome_digest(&id, digits));
+        delta.evals += 1;
+    }
+    delta
+}
+
+fn archive_text(archive: &Archive) -> String {
+    archive.to_json("prop-digest").to_string()
+}
+
+proptest! {
+    /// Merging the same set of shard deltas in any order — and in any
+    /// batching — yields a byte-identical archive. This is the property
+    /// that lets the coordinator fold deltas as they land instead of
+    /// sorting them, and lets a resumed coordinator replay them from
+    /// disk in directory order.
+    #[test]
+    fn merge_is_order_independent(
+        batches in deltas_strategy(),
+        shuffle_seed in 0u64..1_000,
+    ) {
+        let deltas: Vec<ArchiveDelta> = batches
+            .iter()
+            .enumerate()
+            .map(|(shard, candidates)| build_delta(shard, candidates))
+            .collect();
+
+        let mut in_order = Archive::new();
+        for delta in &deltas {
+            in_order.merge(delta);
+        }
+
+        let mut shuffled: Vec<&ArchiveDelta> = deltas.iter().collect();
+        let mut rng = SmallRng::seed_from_u64(shuffle_seed);
+        // Fisher–Yates, driven by the proptest-drawn seed.
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.random_range(0..=i));
+        }
+        let mut reversed_merge = Archive::new();
+        for delta in shuffled {
+            reversed_merge.merge(delta);
+        }
+
+        // A third ordering: every candidate folded one at a time,
+        // interleaved round-robin across shards.
+        let mut folded = Archive::new();
+        let mut cursors: Vec<usize> = vec![0; batches.len()];
+        loop {
+            let mut progressed = false;
+            for (shard, candidates) in batches.iter().enumerate() {
+                if let Some((niche, digits)) = candidates.get(cursors[shard]) {
+                    let id = niche_id(*niche);
+                    folded.fold(&id, elite_for(&id, digits));
+                    cursors[shard] += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        prop_assert_eq!(&in_order, &reversed_merge);
+        prop_assert_eq!(&in_order, &folded);
+        prop_assert_eq!(archive_text(&in_order), archive_text(&reversed_merge));
+    }
+
+    /// Dedup soundness: a pipeline that skips every candidate whose
+    /// genome digest was already recorded finishes with exactly the
+    /// archive of the pipeline that evaluates everything. A strictly
+    /// better elite can therefore never be lost to dedup — a skipped
+    /// genome's evaluation is bit-identical to the recorded one.
+    #[test]
+    fn dedup_never_drops_a_strictly_better_elite(
+        batches in deltas_strategy(),
+    ) {
+        let mut full = Archive::new();
+        let mut deduped = Archive::new();
+        let mut seen = DigestSet::new();
+        let mut hits = 0u64;
+        let mut total = 0u64;
+        for candidates in &batches {
+            for (niche, digits) in candidates {
+                let id = niche_id(*niche);
+                total += 1;
+                full.fold(&id, elite_for(&id, digits));
+                if seen.insert(genome_digest(&id, digits)) {
+                    deduped.fold(&id, elite_for(&id, digits));
+                } else {
+                    hits += 1;
+                }
+            }
+        }
+        prop_assert_eq!(&full, &deduped);
+        prop_assert_eq!(archive_text(&full), archive_text(&deduped));
+        prop_assert_eq!(seen.len() as u64 + hits, total, "every candidate is counted once");
+        // Dedup only ever *removes* work: the deduped pipeline performs
+        // exactly one evaluation per distinct genome.
+        prop_assert!(seen.len() as u64 <= total);
+    }
+}

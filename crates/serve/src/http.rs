@@ -22,8 +22,22 @@ pub struct Request {
     pub method: String,
     /// Request target path (query string stripped).
     pub path: String,
+    /// Raw query string (without the `?`; empty when none was sent).
+    pub query: String,
     /// Raw body bytes (empty without `Content-Length`).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of one `key=value` query parameter (first match; no
+    /// percent-decoding — the service's parameters are plain tokens).
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
 }
 
 /// Why a request could not be read.
@@ -63,7 +77,10 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, RequestError> {
     let target = parts
         .next()
         .ok_or_else(|| RequestError::Malformed("request line has no target".to_string()))?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     if !path.starts_with('/') {
         return Err(RequestError::Malformed(format!("target `{target}` is not a path")));
     }
@@ -92,7 +109,7 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, RequestError> {
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+    Ok(Request { method, path, query, body })
 }
 
 /// One response, always `Connection: close`.
@@ -209,7 +226,19 @@ mod tests {
         .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/jobs", "query string is stripped");
+        assert_eq!(req.query, "x=1", "query string is preserved separately");
         assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn query_params_parse() {
+        let req = round_trip(b"GET /jobs?after=j3&limit=10 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("after"), Some("j3"));
+        assert_eq!(req.query_param("limit"), Some("10"));
+        assert_eq!(req.query_param("missing"), None);
+        let bare = round_trip(b"GET /jobs HTTP/1.1\r\n\r\n").unwrap();
+        assert!(bare.query.is_empty());
+        assert_eq!(bare.query_param("after"), None);
     }
 
     #[test]

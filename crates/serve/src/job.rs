@@ -3,7 +3,7 @@
 use a2a_grid::GridKind;
 use a2a_obs::json::Json;
 use a2a_obs::schema;
-use a2a_run::RunReport;
+use a2a_run::{IslandsReport, RunReport};
 
 /// Schema identifier of a job's sealed result document.
 pub const RESULT_SCHEMA: &str = "a2a-serve/result/v1";
@@ -44,6 +44,14 @@ pub struct JobSpec {
     pub deadline_ms: Option<u64>,
     /// Per-job retry budget override (`None` uses the server's).
     pub max_retries: Option<u32>,
+    /// Island count; `0` (the default) runs the single-pool procedure,
+    /// anything larger the ring island model (DESIGN.md §9).
+    pub islands: usize,
+    /// Generations per island epoch (only read when `islands > 0`).
+    pub epoch: usize,
+    /// Individuals migrating to the ring successor per epoch (only
+    /// read when `islands > 0`; must leave room in the pool).
+    pub migrants: usize,
 }
 
 fn num(doc: &Json, key: &str, default: u64) -> Result<u64, String> {
@@ -105,6 +113,9 @@ impl JobSpec {
                 .map(|_| num(doc, "max_retries", 0))
                 .transpose()?
                 .map(|v| u32::try_from(v).unwrap_or(u32::MAX)),
+            islands: num(doc, "islands", 0)? as usize,
+            epoch: num(doc, "epoch", 2)? as usize,
+            migrants: num(doc, "migrants", 1)? as usize,
         };
         if spec.m < 2 {
             return Err("`m` must be at least 2".to_string());
@@ -117,6 +128,17 @@ impl JobSpec {
         }
         if spec.population < 2 {
             return Err("`population` must be at least 2".to_string());
+        }
+        if spec.islands > 0 {
+            if spec.islands > 16 {
+                return Err("`islands` must be at most 16".to_string());
+            }
+            if spec.epoch == 0 {
+                return Err("`epoch` must be at least 1 when `islands` is set".to_string());
+            }
+            if spec.migrants >= spec.population {
+                return Err("`migrants` must be smaller than `population`".to_string());
+            }
         }
         Ok(spec)
     }
@@ -157,6 +179,55 @@ pub fn build_result(id: &str, digest: &str, report: &RunReport) -> Json {
     )
 }
 
+/// Island-model counterpart of [`build_result`]: the sealed document of
+/// a completed islands job. Same schema, `"mode": "islands"`, the
+/// globally best individual across islands plus each island's champion
+/// — and the same purity guarantee: byte-equal after kill/resume.
+#[must_use]
+pub fn build_islands_result(id: &str, digest: &str, report: &IslandsReport) -> Json {
+    let best = report.outcome.best();
+    let history_bytes: String = report
+        .outcome
+        .islands
+        .iter()
+        .flat_map(|island| island.history.iter())
+        .map(|s| s.to_json().to_string())
+        .collect();
+    let islands: Vec<Json> = report
+        .outcome
+        .islands
+        .iter()
+        .map(|island| {
+            let top = island.best();
+            Json::object()
+                .with("genome", top.genome.to_string())
+                .with("fitness", top.report.fitness)
+                .with("successes", top.report.successes as u64)
+                .with("total", top.report.total as u64)
+        })
+        .collect();
+    schema::seal(
+        Json::object()
+            .with("schema", RESULT_SCHEMA)
+            .with("id", id)
+            .with("digest", digest)
+            .with("mode", "islands")
+            .with(
+                "best",
+                Json::object()
+                    .with("genome", best.genome.to_string())
+                    .with("fitness", best.report.fitness)
+                    .with("successes", best.report.successes as u64)
+                    .with("total", best.report.total as u64),
+            )
+            .with("islands", Json::Arr(islands))
+            .with(
+                "history_digest",
+                format!("{:016x}", schema::fnv1a64(history_bytes.as_bytes())),
+            ),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +244,32 @@ mod tests {
         assert_eq!((spec.generations, spec.seed, spec.population), (4, 1, 8));
         assert_eq!(spec.t_max, 0);
         assert!(spec.deadline_ms.is_none() && spec.max_retries.is_none());
+        assert_eq!(spec.islands, 0, "single-pool mode by default");
+    }
+
+    #[test]
+    fn islands_submission_parses_and_validates() {
+        let doc = Json::object()
+            .with("tenant", "acme")
+            .with("islands", 3u64)
+            .with("epoch", 2u64)
+            .with("migrants", 1u64);
+        let spec = JobSpec::from_json(&doc).unwrap();
+        assert_eq!((spec.islands, spec.epoch, spec.migrants), (3, 2, 1));
+        for (doc, needle) in [
+            (Json::object().with("tenant", "t").with("islands", 99u64), "islands"),
+            (
+                Json::object().with("tenant", "t").with("islands", 2u64).with("epoch", 0u64),
+                "epoch",
+            ),
+            (
+                Json::object().with("tenant", "t").with("islands", 2u64).with("migrants", 8u64),
+                "migrants",
+            ),
+        ] {
+            let err = JobSpec::from_json(&doc).unwrap_err();
+            assert!(err.contains(needle), "{err} should mention {needle}");
+        }
     }
 
     #[test]

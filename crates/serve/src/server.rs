@@ -22,15 +22,15 @@
 //! checkpoint, bit-identically.
 
 use crate::http::{read_request, Request, RequestError, Response};
-use crate::job::{build_result, JobSpec};
+use crate::job::{build_islands_result, build_result, JobSpec};
 use crate::queue::{JobQueue, QueueConfig, QueuedJob, SubmitError};
 use a2a_fsm::FsmSpec;
-use a2a_ga::{Evaluator, GaConfig, WorkerPool};
+use a2a_ga::{Evaluator, GaConfig, IslandConfig, WorkerPool};
 use a2a_obs::json::{self, Json};
 use a2a_obs::{fault, Event, Level};
 use a2a_run::{
-    context_digest, run_evolution, JobManifest, JobStatus, JobStore, RunOptions, RunReport,
-    StopSignal,
+    context_digest, run_evolution, run_islands_checkpointed, IslandsReport, JobManifest,
+    JobStatus, JobStore, RunOptions, RunReport, StopSignal,
 };
 use a2a_sim::{paper_config_set, WorldConfig};
 use std::collections::{HashMap, VecDeque};
@@ -343,6 +343,7 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("POST", ["jobs"]) => submit(state, &req.body),
+        ("GET", ["jobs"]) => jobs_index(state, req),
         ("GET", ["jobs", id]) => job_status(state, id),
         ("GET", ["jobs", id, "result"]) => job_result(state, id),
         ("GET", ["jobs", id, "events"]) => job_events(state, id),
@@ -352,6 +353,7 @@ fn dispatch(state: &Arc<ServerState>, req: &Request) -> Response {
             state.drain();
             Response::json(200, &Json::object().with("draining", true))
         }
+        ("POST", ["admin", "prune"]) => prune(state, req),
         ("GET" | "POST", _) => Response::error(404, "no such route"),
         _ => Response::error(405, "method not allowed"),
     }
@@ -423,6 +425,71 @@ fn submit(state: &Arc<ServerState>, body: &[u8]) -> Response {
     }
 }
 
+/// Largest accepted `limit` on `GET /jobs` (a page is one response).
+const MAX_PAGE: usize = 200;
+
+/// `GET /jobs?after=<id>&limit=<n>`: one page of the durable job
+/// listing, oldest-id first, with a `next` cursor while more pages
+/// remain. Jobs whose manifest is torn still appear (status
+/// `"unreadable"`) — pagination must not hide corruption.
+fn jobs_index(state: &Arc<ServerState>, req: &Request) -> Response {
+    let after = req.query_param("after");
+    let limit = match req.query_param("limit") {
+        None => 50,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if (1..=MAX_PAGE).contains(&n) => n,
+            _ => return Response::error(400, &format!("`limit` must be 1..={MAX_PAGE}")),
+        },
+    };
+    let page = state.store.list_page(after, limit);
+    let next = (page.len() == limit).then(|| page.last().cloned()).flatten();
+    let jobs: Vec<Json> = page
+        .iter()
+        .map(|id| {
+            let mut entry = Json::object().with("id", id.as_str());
+            match state.store.load_manifest(id) {
+                Ok(Some(m)) => entry = entry
+                    .with("status", m.status.as_str())
+                    .with("tenant", m.tenant.as_str())
+                    .with("seq", m.seq),
+                Ok(None) | Err(_) => entry = entry.with("status", "unreadable"),
+            }
+            entry
+        })
+        .collect();
+    let mut doc = Json::object().with("jobs", Json::Arr(jobs)).with("count", page.len() as u64);
+    if let Some(cursor) = next {
+        doc.set("next", cursor.as_str());
+    }
+    Response::json(200, &doc)
+}
+
+/// `POST /admin/prune?keep=<n>`: retention sweep — expires terminal
+/// jobs beyond the `keep` most recently admitted (default 64). Running
+/// and queued jobs are never touched ([`JobStore::prune_terminal`]).
+fn prune(state: &Arc<ServerState>, req: &Request) -> Response {
+    let keep = match req.query_param("keep") {
+        None => 64,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Response::error(400, "`keep` must be a non-negative integer"),
+        },
+    };
+    match state.store.prune_terminal(keep) {
+        Ok(pruned) => {
+            state.counter("serve.jobs.pruned");
+            let ids: Vec<Json> = pruned.iter().map(|id| Json::Str(id.clone())).collect();
+            Response::json(
+                200,
+                &Json::object()
+                    .with("pruned", Json::Arr(ids))
+                    .with("kept", keep as u64),
+            )
+        }
+        Err(e) => Response::error(500, &e),
+    }
+}
+
 fn job_status(state: &Arc<ServerState>, id: &str) -> Response {
     match state.store.load_manifest(id) {
         Ok(Some(m)) => Response::json(200, &m.to_json()),
@@ -475,6 +542,8 @@ fn healthz(state: &Arc<ServerState>) -> Response {
 enum Attempt {
     /// Ran to its generation budget; result is sealed and saved.
     Completed(Box<RunReport>, String),
+    /// Island-model run that reached its epoch budget.
+    CompletedIslands(Box<IslandsReport>, String),
     /// Stopped at a checkpointed boundary (deadline, drain, or a
     /// simulated kill).
     Stopped {
@@ -523,8 +592,14 @@ fn execute(state: &Arc<ServerState>, job: &QueuedJob) {
         state.stops.lock().unwrap().remove(&job.id);
 
         match outcome {
-            Ok(Ok(Attempt::Completed(report, digest))) => {
-                let result = build_result(&job.id, &digest, &report);
+            Ok(Ok(attempt @ (Attempt::Completed(..) | Attempt::CompletedIslands(..)))) => {
+                let result = match &attempt {
+                    Attempt::Completed(report, digest) => build_result(&job.id, digest, report),
+                    Attempt::CompletedIslands(report, digest) => {
+                        build_islands_result(&job.id, digest, report)
+                    }
+                    Attempt::Stopped { .. } => unreachable!("matched completed variants"),
+                };
                 match state.store.save_result(&job.id, &result) {
                     Ok(()) => {
                         finish(state, &mut manifest, JobStatus::Completed, None);
@@ -660,6 +735,52 @@ fn run_attempt(
         stop: Some(stop.clone()),
     };
     let timed_out = AtomicBool::new(false);
+    if spec.islands > 0 {
+        // Island-model jobs checkpoint at epoch boundaries; deadline
+        // and drain are honoured at the same cadence.
+        let island_config = IslandConfig {
+            islands: spec.islands,
+            epoch: spec.epoch,
+            migrants: spec.migrants,
+        };
+        let report = run_islands_checkpointed(
+            FsmSpec::paper(spec.grid),
+            &evaluator,
+            ga,
+            island_config,
+            &opts,
+            |epoch, outcomes| {
+                fault::panic_point("serve.job.step");
+                if let Some(deadline_ms) = spec.deadline_ms {
+                    if exec_start.elapsed() >= Duration::from_millis(deadline_ms) {
+                        timed_out.store(true, Ordering::SeqCst);
+                        stop.stop();
+                    }
+                }
+                if state.draining.load(Ordering::SeqCst) {
+                    stop.stop();
+                }
+                let best = outcomes
+                    .iter()
+                    .map(|o| o.best().report.fitness)
+                    .fold(f64::INFINITY, f64::min);
+                state.push_event(
+                    id,
+                    Event::new(Level::Info, "serve.job.epoch")
+                        .field("epoch", epoch as u64)
+                        .field("islands", outcomes.len() as u64)
+                        .field("best_fitness", best)
+                        .to_json()
+                        .to_string(),
+                );
+            },
+        )?;
+        return if report.stopped || report.killed {
+            Ok(Attempt::Stopped { timed_out: timed_out.load(Ordering::SeqCst) })
+        } else {
+            Ok(Attempt::CompletedIslands(Box::new(report), digest))
+        };
+    }
     let report = run_evolution(
         FsmSpec::paper(spec.grid),
         &evaluator,

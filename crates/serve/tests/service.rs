@@ -128,6 +128,121 @@ fn submit_poll_result_round_trip() {
 }
 
 #[test]
+fn islands_job_completes_with_islands_result() {
+    let (handle, addr) = start("islands", QueueConfig::default(), 1);
+    let body = Json::object()
+        .with("tenant", "acme")
+        .with("id", "isl-1")
+        .with("seed", 5u64)
+        .with("m", 4u64)
+        .with("k", 2u64)
+        .with("configs", 1u64)
+        .with("generations", 4u64)
+        .with("population", 3u64)
+        .with("t_max", 200u64)
+        .with("islands", 2u64)
+        .with("epoch", 2u64)
+        .with("migrants", 1u64)
+        .to_string();
+    assert_eq!(client::post(&addr, "/jobs", &body).unwrap().status, 202);
+    assert_eq!(
+        poll_status(&addr, "isl-1", &["completed", "failed"], Duration::from_secs(30)),
+        "completed"
+    );
+
+    let result = client::get(&addr, "/jobs/isl-1/result").unwrap();
+    assert_eq!(result.status, 200);
+    let doc = result.json().unwrap();
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(a2a_serve::RESULT_SCHEMA));
+    a2a_obs::schema::verify_checksum(&doc).expect("islands result is sealed");
+    assert_eq!(doc.get("mode").and_then(Json::as_str), Some("islands"));
+    assert_eq!(doc.get("islands").and_then(Json::as_arr).map(|a| a.len()), Some(2));
+    assert!(doc.get("best").and_then(|b| b.get("genome")).is_some());
+
+    // Epoch progress reaches the event stream.
+    let events = client::get(&addr, "/jobs/isl-1/events").unwrap();
+    assert!(
+        events.body.lines().any(|l| l.contains("serve.job.epoch")),
+        "events buffer holds epoch progress: {}",
+        events.body
+    );
+    handle.stop();
+}
+
+#[test]
+fn job_listing_paginates_and_prunes() {
+    let (handle, addr) = start("pagination", QueueConfig::default(), 2);
+    for i in 0..5 {
+        let body = Json::object()
+            .with("tenant", "acme")
+            .with("id", format!("page-{i}"))
+            .with("seed", i as u64)
+            .with("m", 4u64)
+            .with("k", 2u64)
+            .with("configs", 1u64)
+            .with("generations", 2u64)
+            .with("population", 2u64)
+            .with("t_max", 200u64)
+            .to_string();
+        assert_eq!(client::post(&addr, "/jobs", &body).unwrap().status, 202);
+    }
+    for i in 0..5 {
+        poll_status(&addr, &format!("page-{i}"), &["completed"], Duration::from_secs(30));
+    }
+
+    // Page 1: first two ids plus a `next` cursor.
+    let page = client::get(&addr, "/jobs?limit=2").unwrap();
+    assert_eq!(page.status, 200, "{}", page.body);
+    let doc = page.json().unwrap();
+    let ids = |d: &Json| -> Vec<String> {
+        d.get("jobs")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|j| j.get("id").and_then(Json::as_str).unwrap().to_string())
+            .collect()
+    };
+    assert_eq!(ids(&doc), vec!["page-0", "page-1"]);
+    assert_eq!(doc.get("next").and_then(Json::as_str), Some("page-1"));
+    assert_eq!(
+        doc.get("jobs").and_then(Json::as_arr).unwrap()[0]
+            .get("status")
+            .and_then(Json::as_str),
+        Some("completed")
+    );
+
+    // Follow the cursor; the final short page carries no `next`.
+    let page2 = client::get(&addr, "/jobs?after=page-1&limit=2").unwrap().json().unwrap();
+    assert_eq!(ids(&page2), vec!["page-2", "page-3"]);
+    let page3 = client::get(&addr, "/jobs?after=page-3&limit=2").unwrap().json().unwrap();
+    assert_eq!(ids(&page3), vec!["page-4"]);
+    assert!(page3.get("next").is_none(), "short page ends the walk");
+
+    // Bad limits are named, not clamped silently.
+    assert_eq!(client::get(&addr, "/jobs?limit=0").unwrap().status, 400);
+    assert_eq!(client::get(&addr, "/jobs?limit=nope").unwrap().status, 400);
+
+    // Retention: keep the 2 newest terminal jobs, expire the rest.
+    let pruned = client::post(&addr, "/admin/prune?keep=2", "").unwrap();
+    assert_eq!(pruned.status, 200, "{}", pruned.body);
+    let pruned_ids: Vec<String> = pruned
+        .json()
+        .unwrap()
+        .get("pruned")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|j| j.as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(pruned_ids, vec!["page-0", "page-1", "page-2"]);
+    let after = client::get(&addr, "/jobs").unwrap().json().unwrap();
+    assert_eq!(ids(&after), vec!["page-3", "page-4"]);
+    assert_eq!(client::get(&addr, "/jobs/page-0").unwrap().status, 404);
+
+    handle.stop();
+}
+
+#[test]
 fn identical_submissions_conflict() {
     let (handle, addr) = start("conflict", QueueConfig::default(), 1);
     let body = Json::object()
